@@ -1,0 +1,252 @@
+//! Dawid–Skene EM estimation of worker accuracies for binary tasks.
+//!
+//! When the platform has no ground truth, it can still estimate worker
+//! skills from redundancy: workers who agree with the (soft) consensus are
+//! likely accurate. This is the binary one-parameter-per-worker
+//! Dawid–Skene model, one of the truth-discovery style estimators the paper
+//! cites for maintaining the skill record `θ`.
+
+use mcs_types::WorkerId;
+
+use crate::labels::{Label, LabelSet};
+
+/// Configuration for the EM fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DawidSkene {
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the largest accuracy change per iteration.
+    pub tolerance: f64,
+    /// Accuracies are clamped to `[clamp, 1 − clamp]` to keep likelihoods
+    /// finite (a worker with empirical accuracy exactly 1 would otherwise
+    /// produce infinite log-odds).
+    pub clamp: f64,
+}
+
+impl Default for DawidSkene {
+    fn default() -> Self {
+        DawidSkene {
+            max_iterations: 100,
+            tolerance: 1e-6,
+            clamp: 1e-3,
+        }
+    }
+}
+
+/// The result of an EM fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DawidSkeneFit {
+    /// Estimated accuracy per worker (probability of reporting the true
+    /// label), `0.5` for workers with no observations.
+    pub accuracies: Vec<f64>,
+    /// Posterior probability that each task's true label is `+1`.
+    pub posterior_pos: Vec<f64>,
+    /// Iterations actually run.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+impl DawidSkeneFit {
+    /// Hard-decision labels from the posteriors (ties to `+1`).
+    pub fn map_labels(&self) -> Vec<Label> {
+        self.posterior_pos
+            .iter()
+            .map(|&p| Label::from_sign(p - 0.5 + f64::EPSILON))
+            .collect()
+    }
+
+    /// Estimated accuracy of one worker.
+    pub fn accuracy(&self, worker: WorkerId) -> f64 {
+        self.accuracies[worker.index()]
+    }
+}
+
+impl DawidSkene {
+    /// Fits the model to a label set with `num_workers` workers.
+    ///
+    /// Initialization uses majority-vote posteriors; the E-step computes
+    /// label posteriors from current accuracies, the M-step re-estimates
+    /// accuracies as posterior-weighted agreement rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an observation references `worker ≥ num_workers`.
+    pub fn fit(&self, labels: &LabelSet, num_workers: usize) -> DawidSkeneFit {
+        let num_tasks = labels.num_tasks();
+        // Initialize posteriors from vote fractions.
+        let mut posterior_pos: Vec<f64> = (0..num_tasks)
+            .map(|j| {
+                let reports = labels.for_task(mcs_types::TaskId(j as u32));
+                if reports.is_empty() {
+                    return 0.5;
+                }
+                let pos = reports.iter().filter(|&&(_, l)| l == Label::Pos).count();
+                pos as f64 / reports.len() as f64
+            })
+            .collect();
+        let mut accuracies = vec![0.5; num_workers];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+            // M-step: accuracy = posterior-weighted agreement.
+            let mut agree = vec![0.0f64; num_workers];
+            let mut total = vec![0.0f64; num_workers];
+            for obs in labels.iter() {
+                let w = obs.worker.index();
+                assert!(w < num_workers, "observation references unknown worker");
+                let p_pos = posterior_pos[obs.task.index()];
+                let p_agree = match obs.label {
+                    Label::Pos => p_pos,
+                    Label::Neg => 1.0 - p_pos,
+                };
+                agree[w] += p_agree;
+                total[w] += 1.0;
+            }
+            let mut max_change = 0.0f64;
+            for w in 0..num_workers {
+                let new_acc = if total[w] > 0.0 {
+                    (agree[w] / total[w]).clamp(self.clamp, 1.0 - self.clamp)
+                } else {
+                    0.5
+                };
+                max_change = max_change.max((new_acc - accuracies[w]).abs());
+                accuracies[w] = new_acc;
+            }
+
+            // E-step: posterior ∝ prior · Π p(label | truth), uniform prior.
+            for (j, post) in posterior_pos.iter_mut().enumerate() {
+                let reports = labels.for_task(mcs_types::TaskId(j as u32));
+                if reports.is_empty() {
+                    *post = 0.5;
+                    continue;
+                }
+                // Log-odds of the +1 class.
+                let log_odds: f64 = reports
+                    .iter()
+                    .map(|&(w, l)| {
+                        let a = accuracies[w.index()];
+                        let ratio = (a / (1.0 - a)).ln();
+                        match l {
+                            Label::Pos => ratio,
+                            Label::Neg => -ratio,
+                        }
+                    })
+                    .sum();
+                *post = 1.0 / (1.0 + (-log_odds).exp());
+            }
+
+            if max_change < self.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        DawidSkeneFit {
+            accuracies,
+            posterior_pos,
+            iterations,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::{generate_labels, Observation};
+    use mcs_num::rng;
+    use mcs_types::{Bundle, SkillMatrix, TaskId};
+    use rand::Rng;
+
+    #[test]
+    fn recovers_accuracies_with_redundancy() {
+        // 5 workers with known accuracies label 200 tasks each.
+        let theta = [0.95, 0.85, 0.75, 0.65, 0.55];
+        let k = 200usize;
+        let rows: Vec<Vec<f64>> = theta.iter().map(|&t| vec![t; k]).collect();
+        let skills = SkillMatrix::from_rows(rows).unwrap();
+        let mut r = rng::seeded(17);
+        let truth: Vec<Label> = (0..k).map(|_| Label::random(&mut r)).collect();
+        let all_tasks = Bundle::new((0..k as u32).map(TaskId).collect());
+        let assignment: Vec<(WorkerId, Bundle)> = (0..5)
+            .map(|i| (WorkerId(i), all_tasks.clone()))
+            .collect();
+        let labels = generate_labels(&skills, &truth, &assignment, &mut r);
+
+        let fit = DawidSkene::default().fit(&labels, 5);
+        assert!(fit.converged, "EM did not converge");
+        for (w, &t) in theta.iter().enumerate() {
+            let est = fit.accuracies[w];
+            assert!(
+                (est - t).abs() < 0.08,
+                "worker {w}: estimated {est}, true {t}"
+            );
+        }
+        // MAP labels should be overwhelmingly correct.
+        let map = fit.map_labels();
+        let correct = map
+            .iter()
+            .zip(&truth)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(correct as f64 / k as f64 > 0.95);
+    }
+
+    #[test]
+    fn worker_without_labels_stays_at_half() {
+        let labels: LabelSet = [Observation {
+            worker: WorkerId(0),
+            task: TaskId(0),
+            label: Label::Pos,
+        }]
+        .into_iter()
+        .collect();
+        let fit = DawidSkene::default().fit(&labels, 2);
+        assert_eq!(fit.accuracies[1], 0.5);
+    }
+
+    #[test]
+    fn empty_label_set_is_uninformative() {
+        let fit = DawidSkene::default().fit(&LabelSet::new(3), 2);
+        assert_eq!(fit.accuracies, vec![0.5, 0.5]);
+        assert_eq!(fit.posterior_pos, vec![0.5; 3]);
+    }
+
+    #[test]
+    fn accuracies_are_clamped() {
+        // One worker, one task: empirical agreement is 1.0; must clamp.
+        let labels: LabelSet = [Observation {
+            worker: WorkerId(0),
+            task: TaskId(0),
+            label: Label::Pos,
+        }]
+        .into_iter()
+        .collect();
+        let ds = DawidSkene::default();
+        let fit = ds.fit(&labels, 1);
+        assert!(fit.accuracies[0] <= 1.0 - ds.clamp + 1e-12);
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let mut r = rng::seeded(3);
+        let labels: LabelSet = (0..20)
+            .map(|j| Observation {
+                worker: WorkerId(j % 4),
+                task: TaskId(j / 4),
+                label: if r.gen_bool(0.5) { Label::Pos } else { Label::Neg },
+            })
+            .collect();
+        let fit = DawidSkene {
+            max_iterations: 2,
+            tolerance: 0.0,
+            ..Default::default()
+        }
+        .fit(&labels, 4);
+        assert_eq!(fit.iterations, 2);
+        assert!(!fit.converged);
+    }
+}

@@ -1,0 +1,306 @@
+//! The full (two-parameter) Dawid–Skene model for binary labels.
+//!
+//! [`DawidSkene`](crate::DawidSkene) assumes each worker errs symmetrically;
+//! real crowds often do not — a driver may reliably *confirm* potholes she
+//! passes over (high sensitivity) but frequently miss ones she straddles
+//! (low specificity). This estimator fits, per worker, a sensitivity
+//! `α_i = Pr[report +1 | truth +1]` and specificity
+//! `β_i = Pr[report −1 | truth −1]`, plus the class prior `π = Pr[+1]`,
+//! by expectation–maximization — the original Dawid & Skene (1979)
+//! confusion-matrix model restricted to two classes.
+
+use mcs_types::WorkerId;
+
+use crate::labels::{Label, LabelSet};
+
+/// Configuration for the asymmetric EM fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsymmetricDawidSkene {
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the largest parameter change.
+    pub tolerance: f64,
+    /// Rates are clamped to `[clamp, 1 − clamp]`.
+    pub clamp: f64,
+}
+
+impl Default for AsymmetricDawidSkene {
+    fn default() -> Self {
+        AsymmetricDawidSkene {
+            max_iterations: 200,
+            tolerance: 1e-6,
+            clamp: 1e-3,
+        }
+    }
+}
+
+/// The fitted asymmetric model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsymmetricFit {
+    /// Per-worker sensitivity `Pr[report +1 | truth +1]`.
+    pub sensitivities: Vec<f64>,
+    /// Per-worker specificity `Pr[report −1 | truth −1]`.
+    pub specificities: Vec<f64>,
+    /// Estimated prior `Pr[truth = +1]`.
+    pub prior_pos: f64,
+    /// Posterior probability that each task's true label is `+1`.
+    pub posterior_pos: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+impl AsymmetricFit {
+    /// MAP labels from the posteriors (ties to `+1`).
+    pub fn map_labels(&self) -> Vec<Label> {
+        self.posterior_pos
+            .iter()
+            .map(|&p| Label::from_sign(p - 0.5 + f64::EPSILON))
+            .collect()
+    }
+
+    /// The balanced accuracy `(α_i + β_i)/2` of one worker — the scalar
+    /// summary comparable to the symmetric model's accuracy.
+    pub fn balanced_accuracy(&self, worker: WorkerId) -> f64 {
+        (self.sensitivities[worker.index()] + self.specificities[worker.index()]) / 2.0
+    }
+}
+
+impl AsymmetricDawidSkene {
+    /// Fits sensitivities, specificities and the class prior.
+    ///
+    /// Initialization: majority-vote posteriors, uniform prior. Each
+    /// iteration runs the exact E/M updates of the two-class Dawid–Skene
+    /// likelihood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an observation references `worker ≥ num_workers`.
+    pub fn fit(&self, labels: &LabelSet, num_workers: usize) -> AsymmetricFit {
+        let num_tasks = labels.num_tasks();
+        let clamp = |v: f64| v.clamp(self.clamp, 1.0 - self.clamp);
+
+        let mut posterior: Vec<f64> = (0..num_tasks)
+            .map(|j| {
+                let reports = labels.for_task(mcs_types::TaskId(j as u32));
+                if reports.is_empty() {
+                    return 0.5;
+                }
+                let pos = reports.iter().filter(|&&(_, l)| l == Label::Pos).count();
+                clamp(pos as f64 / reports.len() as f64)
+            })
+            .collect();
+        let mut alpha = vec![0.75; num_workers];
+        let mut beta = vec![0.75; num_workers];
+        let mut prior = 0.5;
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+
+            // M-step: posterior-weighted confusion counts.
+            let mut tp = vec![self.clamp; num_workers]; // report + | truth +
+            let mut pos_mass = vec![2.0 * self.clamp; num_workers];
+            let mut tn = vec![self.clamp; num_workers]; // report − | truth −
+            let mut neg_mass = vec![2.0 * self.clamp; num_workers];
+            let mut prior_mass = 0.0;
+            let mut labelled_tasks = 0.0;
+            for obs in labels.iter() {
+                let w = obs.worker.index();
+                assert!(w < num_workers, "observation references unknown worker");
+                let p = posterior[obs.task.index()];
+                pos_mass[w] += p;
+                neg_mass[w] += 1.0 - p;
+                match obs.label {
+                    Label::Pos => tp[w] += p,
+                    Label::Neg => tn[w] += 1.0 - p,
+                }
+            }
+            for (j, &p) in posterior.iter().enumerate() {
+                if !labels.for_task(mcs_types::TaskId(j as u32)).is_empty() {
+                    prior_mass += p;
+                    labelled_tasks += 1.0;
+                }
+            }
+            let mut max_change: f64 = 0.0;
+            for w in 0..num_workers {
+                let a = clamp(tp[w] / pos_mass[w]);
+                let b = clamp(tn[w] / neg_mass[w]);
+                max_change = max_change.max((a - alpha[w]).abs());
+                max_change = max_change.max((b - beta[w]).abs());
+                alpha[w] = a;
+                beta[w] = b;
+            }
+            let new_prior = if labelled_tasks > 0.0 {
+                clamp(prior_mass / labelled_tasks)
+            } else {
+                0.5
+            };
+            max_change = max_change.max((new_prior - prior).abs());
+            prior = new_prior;
+
+            // E-step: per-task posteriors from the confusion model.
+            for (j, post) in posterior.iter_mut().enumerate() {
+                let reports = labels.for_task(mcs_types::TaskId(j as u32));
+                if reports.is_empty() {
+                    *post = prior;
+                    continue;
+                }
+                let mut log_odds = (prior / (1.0 - prior)).ln();
+                for &(w, l) in reports {
+                    let (a, b) = (alpha[w.index()], beta[w.index()]);
+                    log_odds += match l {
+                        Label::Pos => (a / (1.0 - b)).ln(),
+                        Label::Neg => ((1.0 - a) / b).ln(),
+                    };
+                }
+                *post = 1.0 / (1.0 + (-log_odds).exp());
+            }
+
+            if max_change < self.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        AsymmetricFit {
+            sensitivities: alpha,
+            specificities: beta,
+            prior_pos: prior,
+            posterior_pos: posterior,
+            iterations,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::generate_labels;
+    use mcs_num::rng;
+    use mcs_types::{Bundle, SkillMatrix, TaskId};
+    use rand::Rng;
+
+    /// Generates labels under an explicitly asymmetric model.
+    fn asymmetric_labels(
+        alphas: &[f64],
+        betas: &[f64],
+        truth: &[Label],
+        rng: &mut impl Rng,
+    ) -> LabelSet {
+        let mut set = LabelSet::new(truth.len());
+        for (w, (&a, &b)) in alphas.iter().zip(betas).enumerate() {
+            for (j, &t) in truth.iter().enumerate() {
+                let correct_prob = if t == Label::Pos { a } else { b };
+                let label = if rng.gen_bool(correct_prob) { t } else { -t };
+                set.push(crate::Observation {
+                    worker: WorkerId(w as u32),
+                    task: TaskId(j as u32),
+                    label,
+                });
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn recovers_asymmetric_rates() {
+        let alphas = [0.95, 0.6, 0.9, 0.7, 0.85];
+        let betas = [0.6, 0.95, 0.9, 0.85, 0.7];
+        let k = 400usize;
+        let mut r = rng::seeded(41);
+        let truth: Vec<Label> = (0..k)
+            .map(|_| if r.gen_bool(0.35) { Label::Pos } else { Label::Neg })
+            .collect();
+        let labels = asymmetric_labels(&alphas, &betas, &truth, &mut r);
+        let fit = AsymmetricDawidSkene::default().fit(&labels, 5);
+        assert!(fit.converged);
+        for w in 0..5 {
+            assert!(
+                (fit.sensitivities[w] - alphas[w]).abs() < 0.08,
+                "alpha[{w}] = {} vs {}",
+                fit.sensitivities[w],
+                alphas[w]
+            );
+            assert!(
+                (fit.specificities[w] - betas[w]).abs() < 0.08,
+                "beta[{w}] = {} vs {}",
+                fit.specificities[w],
+                betas[w]
+            );
+        }
+        assert!((fit.prior_pos - 0.35).abs() < 0.06, "prior {}", fit.prior_pos);
+    }
+
+    #[test]
+    fn beats_symmetric_model_under_asymmetry() {
+        // Workers with strong sensitivity but weak specificity: the
+        // asymmetric model should label at least as well.
+        let alphas = [0.95, 0.95, 0.9, 0.9];
+        let betas = [0.55, 0.6, 0.55, 0.65];
+        let k = 500usize;
+        let mut r = rng::seeded(43);
+        let truth: Vec<Label> = (0..k)
+            .map(|_| if r.gen_bool(0.5) { Label::Pos } else { Label::Neg })
+            .collect();
+        let labels = asymmetric_labels(&alphas, &betas, &truth, &mut r);
+        let asym = AsymmetricDawidSkene::default().fit(&labels, 4);
+        let sym = crate::DawidSkene::default().fit(&labels, 4);
+        let score = |ls: &[Label]| {
+            ls.iter().zip(&truth).filter(|(a, b)| a == b).count()
+        };
+        let asym_correct = score(&asym.map_labels());
+        let sym_correct = score(&sym.map_labels());
+        assert!(
+            asym_correct >= sym_correct,
+            "asymmetric {asym_correct} < symmetric {sym_correct}"
+        );
+        assert!(asym_correct as f64 / k as f64 > 0.8);
+    }
+
+    #[test]
+    fn reduces_to_symmetric_case() {
+        // Symmetric workers: α ≈ β ≈ θ.
+        let theta = 0.85;
+        let k = 400usize;
+        let skills = SkillMatrix::from_rows(vec![vec![theta; k]; 4]).unwrap();
+        let mut r = rng::seeded(44);
+        let truth: Vec<Label> = (0..k).map(|_| Label::random(&mut r)).collect();
+        let all = Bundle::new((0..k as u32).map(TaskId).collect());
+        let assignment: Vec<(WorkerId, Bundle)> =
+            (0..4).map(|i| (WorkerId(i), all.clone())).collect();
+        let labels = generate_labels(&skills, &truth, &assignment, &mut r);
+        let fit = AsymmetricDawidSkene::default().fit(&labels, 4);
+        for w in 0..4 {
+            assert!((fit.sensitivities[w] - theta).abs() < 0.1);
+            assert!((fit.specificities[w] - theta).abs() < 0.1);
+            let bal = fit.balanced_accuracy(WorkerId(w as u32));
+            assert!((bal - theta).abs() < 0.08);
+        }
+    }
+
+    #[test]
+    fn empty_input_returns_priors() {
+        let fit = AsymmetricDawidSkene::default().fit(&LabelSet::new(2), 3);
+        assert_eq!(fit.posterior_pos, vec![0.5, 0.5]);
+        assert_eq!(fit.prior_pos, 0.5);
+    }
+
+    #[test]
+    fn iteration_cap() {
+        let mut r = rng::seeded(45);
+        let truth: Vec<Label> = (0..20).map(|_| Label::random(&mut r)).collect();
+        let labels = asymmetric_labels(&[0.8, 0.7], &[0.7, 0.8], &truth, &mut r);
+        let fit = AsymmetricDawidSkene {
+            max_iterations: 1,
+            tolerance: 0.0,
+            ..Default::default()
+        }
+        .fit(&labels, 2);
+        assert_eq!(fit.iterations, 1);
+        assert!(!fit.converged);
+    }
+}

@@ -1,0 +1,176 @@
+//! Empirical verification of Lemma 1's aggregation-error bound.
+
+use rand::Rng;
+
+use mcs_types::{Bundle, SkillMatrix, TaskId, WorkerId};
+
+use crate::labels::{generate_labels, Label};
+use crate::weighted::weighted_aggregate;
+
+/// The coverage threshold `Q_j = 2 ln(1/δ_j)` of Lemma 1.
+///
+/// # Panics
+///
+/// Panics if `delta` is outside the open interval `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_agg::lemma1_threshold;
+///
+/// let q = lemma1_threshold(0.1);
+/// assert!((q - 2.0 * (10.0f64).ln()).abs() < 1e-12);
+/// ```
+pub fn lemma1_threshold(delta: f64) -> f64 {
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must lie in the open interval (0, 1)"
+    );
+    2.0 * (1.0 / delta).ln()
+}
+
+/// Per-task outcome of a Monte-Carlo error-rate measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorRateReport {
+    /// Empirical `Pr[l̂_j ≠ l_j]` per task.
+    pub error_rates: Vec<f64>,
+    /// The coverage `Σ (2θ_ij − 1)²` each task received from the winners.
+    pub coverages: Vec<f64>,
+    /// Number of Monte-Carlo rounds.
+    pub trials: usize,
+}
+
+impl ErrorRateReport {
+    /// Whether every task's empirical error is within its bound `δ_j`,
+    /// allowing `slack` for Monte-Carlo noise.
+    pub fn within_bounds(&self, deltas: &[f64], slack: f64) -> bool {
+        self.error_rates
+            .iter()
+            .zip(deltas)
+            .all(|(e, d)| *e <= *d + slack)
+    }
+}
+
+/// Measures the aggregation error of a winner assignment by Monte-Carlo.
+///
+/// Each trial draws fresh true labels uniformly, simulates the winners
+/// labelling their bundles under the skill model, aggregates with the
+/// Lemma 1 rule, and counts per-task mistakes. Tasks that receive no labels
+/// count as errors with probability 0.5 (a coin-flip platform guess).
+///
+/// # Panics
+///
+/// Panics if `trials` is zero or assignments reference out-of-range ids.
+pub fn empirical_error_rate<R: Rng + ?Sized>(
+    skills: &SkillMatrix,
+    assignment: &[(WorkerId, Bundle)],
+    trials: usize,
+    rng: &mut R,
+) -> ErrorRateReport {
+    assert!(trials > 0, "at least one trial is required");
+    let k = skills.num_tasks();
+    let mut errors = vec![0.0f64; k];
+    for _ in 0..trials {
+        let truth: Vec<Label> = (0..k).map(|_| Label::random(rng)).collect();
+        let labels = generate_labels(skills, &truth, assignment, rng);
+        let estimates = weighted_aggregate(&labels, skills, k);
+        for j in 0..k {
+            match estimates[j] {
+                Some(l) if l == truth[j] => {}
+                Some(_) => errors[j] += 1.0,
+                None => errors[j] += 0.5,
+            }
+        }
+    }
+    let error_rates = errors.iter().map(|e| e / trials as f64).collect();
+    let coverages = (0..k)
+        .map(|j| {
+            let t = TaskId(j as u32);
+            assignment
+                .iter()
+                .filter(|(_, b)| b.contains(t))
+                .map(|(w, _)| {
+                    let a = skills.alpha(*w, t);
+                    a * a
+                })
+                .sum()
+        })
+        .collect();
+    ErrorRateReport {
+        error_rates,
+        coverages,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_num::rng;
+
+    #[test]
+    fn threshold_matches_formula() {
+        let q = lemma1_threshold(0.15);
+        assert!((q - 2.0 * (1.0f64 / 0.15).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "open interval")]
+    fn threshold_rejects_one() {
+        let _ = lemma1_threshold(1.0);
+    }
+
+    #[test]
+    fn satisfied_constraint_meets_bound() {
+        // Three 0.9-skill workers on one task: coverage 3·0.64 = 1.92 ≥
+        // 2 ln(1/δ) for δ = 0.4 (threshold ≈ 1.83). Empirical error must be
+        // ≤ 0.4 with margin.
+        let skills = SkillMatrix::from_rows(vec![vec![0.9]; 3]).unwrap();
+        let bundle = Bundle::new(vec![TaskId(0)]);
+        let assignment: Vec<(WorkerId, Bundle)> = (0..3)
+            .map(|i| (WorkerId(i), bundle.clone()))
+            .collect();
+        let mut r = rng::seeded(99);
+        let report = empirical_error_rate(&skills, &assignment, 4000, &mut r);
+        assert!(report.coverages[0] >= lemma1_threshold(0.4));
+        assert!(report.within_bounds(&[0.4], 0.02));
+        // The bound is loose: actual error of 3 × θ=0.9 under weighted
+        // vote is far below 0.4.
+        assert!(report.error_rates[0] < 0.1);
+    }
+
+    #[test]
+    fn uncovered_task_flips_coins() {
+        let skills = SkillMatrix::from_rows(vec![vec![0.9, 0.9]]).unwrap();
+        // Worker only labels task 0; task 1 gets no labels.
+        let assignment = vec![(WorkerId(0), Bundle::new(vec![TaskId(0)]))];
+        let mut r = rng::seeded(5);
+        let report = empirical_error_rate(&skills, &assignment, 100, &mut r);
+        assert_eq!(report.error_rates[1], 0.5);
+        assert_eq!(report.coverages[1], 0.0);
+    }
+
+    #[test]
+    fn anti_experts_are_as_good_as_experts() {
+        let expert = SkillMatrix::from_rows(vec![vec![0.9]; 3]).unwrap();
+        let anti = SkillMatrix::from_rows(vec![vec![0.1]; 3]).unwrap();
+        let bundle = Bundle::new(vec![TaskId(0)]);
+        let assignment: Vec<(WorkerId, Bundle)> = (0..3)
+            .map(|i| (WorkerId(i), bundle.clone()))
+            .collect();
+        let mut r1 = rng::seeded(7);
+        let mut r2 = rng::seeded(7);
+        let e = empirical_error_rate(&expert, &assignment, 5000, &mut r1);
+        let a = empirical_error_rate(&anti, &assignment, 5000, &mut r2);
+        assert!((e.error_rates[0] - a.error_rates[0]).abs() < 0.02);
+        assert!((e.coverages[0] - a.coverages[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let skills = SkillMatrix::from_rows(vec![vec![0.9]]).unwrap();
+        let mut r = rng::seeded(0);
+        let _ = empirical_error_rate(&skills, &[], 0, &mut r);
+    }
+}

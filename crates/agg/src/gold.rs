@@ -1,0 +1,182 @@
+//! Supervised skill estimation from gold (known-answer) tasks.
+
+use mcs_types::{McsError, SkillMatrix, TaskId, WorkerId};
+
+use crate::labels::{Label, LabelSet};
+
+/// Estimates a per-worker, per-task skill matrix from labels on gold tasks.
+///
+/// This is the "programmatic gold" strategy the paper cites (Oleson et al.,
+/// HCOMP'11): the platform seeds tasks whose true labels it knows and
+/// scores each worker's accuracy on them. Because real MCS platforms have
+/// far fewer gold tasks than live tasks, the estimate is per-worker
+/// (uniform across tasks) with add-one (Laplace) smoothing:
+///
+/// ```text
+/// θ̂_i = (correct_i + 1) / (answered_i + 2)
+/// ```
+///
+/// Workers who answered no gold tasks get the uninformative prior `0.5`.
+/// The returned matrix repeats `θ̂_i` across all `num_tasks` columns.
+///
+/// # Errors
+///
+/// Returns [`McsError::DimensionMismatch`] if `gold_truth.len()` differs
+/// from the label set's task count.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_agg::{estimate_skills_from_gold, Label, LabelSet, Observation};
+/// use mcs_types::{TaskId, WorkerId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut labels = LabelSet::new(2);
+/// labels.push(Observation { worker: WorkerId(0), task: TaskId(0), label: Label::Pos });
+/// labels.push(Observation { worker: WorkerId(0), task: TaskId(1), label: Label::Pos });
+/// let truth = vec![Label::Pos, Label::Neg]; // worker got 1 of 2 right
+/// let skills = estimate_skills_from_gold(&labels, &truth, 1, 3)?;
+/// // (1 + 1) / (2 + 2) = 0.5
+/// assert_eq!(skills.theta(WorkerId(0), TaskId(2)), 0.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn estimate_skills_from_gold(
+    gold_labels: &LabelSet,
+    gold_truth: &[Label],
+    num_workers: usize,
+    num_tasks: usize,
+) -> Result<SkillMatrix, McsError> {
+    if gold_truth.len() != gold_labels.num_tasks() {
+        return Err(McsError::DimensionMismatch {
+            what: "gold truth vector",
+            expected: gold_labels.num_tasks(),
+            actual: gold_truth.len(),
+        });
+    }
+    let mut correct = vec![0u64; num_workers];
+    let mut answered = vec![0u64; num_workers];
+    for obs in gold_labels.iter() {
+        let w = obs.worker.index();
+        if w >= num_workers {
+            return Err(McsError::WorkerOutOfRange {
+                worker: obs.worker,
+                num_workers,
+            });
+        }
+        answered[w] += 1;
+        if obs.label == gold_truth[obs.task.index()] {
+            correct[w] += 1;
+        }
+    }
+    let rows: Vec<Vec<f64>> = (0..num_workers)
+        .map(|w| {
+            let theta = (correct[w] as f64 + 1.0) / (answered[w] as f64 + 2.0);
+            vec![theta; num_tasks]
+        })
+        .collect();
+    SkillMatrix::from_rows(rows)
+}
+
+/// Empirical accuracy of one worker on gold tasks, without smoothing.
+///
+/// Returns `None` when the worker answered no gold tasks.
+pub fn raw_gold_accuracy(
+    gold_labels: &LabelSet,
+    gold_truth: &[Label],
+    worker: WorkerId,
+) -> Option<f64> {
+    let mut correct = 0u64;
+    let mut answered = 0u64;
+    for j in 0..gold_labels.num_tasks() {
+        for &(w, l) in gold_labels.for_task(TaskId(j as u32)) {
+            if w == worker {
+                answered += 1;
+                if l == gold_truth[j] {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    if answered == 0 {
+        None
+    } else {
+        Some(correct as f64 / answered as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::{generate_labels, Observation};
+    use mcs_num::rng;
+    use mcs_types::Bundle;
+
+    #[test]
+    fn smoothing_pulls_toward_half() {
+        let mut labels = LabelSet::new(1);
+        labels.push(Observation {
+            worker: WorkerId(0),
+            task: TaskId(0),
+            label: Label::Pos,
+        });
+        let skills =
+            estimate_skills_from_gold(&labels, &[Label::Pos], 1, 1).unwrap();
+        // (1+1)/(1+2) = 2/3, not 1.0.
+        assert!((skills.theta(WorkerId(0), TaskId(0)) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unanswered_worker_gets_prior() {
+        let labels = LabelSet::new(1);
+        let skills =
+            estimate_skills_from_gold(&labels, &[Label::Pos], 2, 4).unwrap();
+        assert_eq!(skills.theta(WorkerId(1), TaskId(3)), 0.5);
+        assert_eq!(skills.num_tasks(), 4);
+    }
+
+    #[test]
+    fn truth_length_is_validated() {
+        let labels = LabelSet::new(2);
+        assert!(matches!(
+            estimate_skills_from_gold(&labels, &[Label::Pos], 1, 1),
+            Err(McsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_worker_is_rejected() {
+        let mut labels = LabelSet::new(1);
+        labels.push(Observation {
+            worker: WorkerId(5),
+            task: TaskId(0),
+            label: Label::Pos,
+        });
+        assert!(matches!(
+            estimate_skills_from_gold(&labels, &[Label::Pos], 1, 1),
+            Err(McsError::WorkerOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn estimate_converges_with_many_gold_tasks() {
+        let theta = 0.8;
+        let k = 2000usize;
+        let skills = SkillMatrix::from_rows(vec![vec![theta; k]]).unwrap();
+        let mut r = rng::seeded(23);
+        let truth: Vec<Label> = (0..k).map(|_| Label::random(&mut r)).collect();
+        let bundle = Bundle::new((0..k as u32).map(TaskId).collect());
+        let labels =
+            generate_labels(&skills, &truth, &[(WorkerId(0), bundle)], &mut r);
+        let est = estimate_skills_from_gold(&labels, &truth, 1, 1).unwrap();
+        assert!((est.theta(WorkerId(0), TaskId(0)) - theta).abs() < 0.03);
+        let raw = raw_gold_accuracy(&labels, &truth, WorkerId(0)).unwrap();
+        assert!((raw - theta).abs() < 0.03);
+    }
+
+    #[test]
+    fn raw_accuracy_none_when_silent() {
+        let labels = LabelSet::new(1);
+        assert_eq!(raw_gold_accuracy(&labels, &[Label::Pos], WorkerId(0)), None);
+    }
+}

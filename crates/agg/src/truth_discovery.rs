@@ -1,0 +1,294 @@
+//! Iterative truth discovery with distance-weighted source reliability.
+//!
+//! The CRH-style estimator the paper cites (Li et al., SIGMOD'14; Su et
+//! al., RTSS'14): alternately (1) estimate each task's label as the
+//! reliability-weighted vote and (2) re-score each worker's reliability
+//! from her disagreement with the current estimates,
+//! `ω_i = −ln(d_i / Σ_k d_k)` where `d_i` is worker `i`'s normalized
+//! disagreement. Unlike [`DawidSkene`](crate::DawidSkene) this keeps hard
+//! label estimates and purely distance-based weights — it is the second,
+//! independent way the platform can maintain its skill record `θ`.
+
+use mcs_types::WorkerId;
+
+use crate::labels::{Label, LabelSet};
+
+/// Configuration for the truth-discovery iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruthDiscovery {
+    /// Maximum alternations.
+    pub max_iterations: usize,
+    /// Stop when no estimated label changes between rounds.
+    pub stop_on_fixpoint: bool,
+    /// Smoothing added to disagreement counts so perfect workers keep
+    /// finite weight.
+    pub smoothing: f64,
+}
+
+impl Default for TruthDiscovery {
+    fn default() -> Self {
+        TruthDiscovery {
+            max_iterations: 50,
+            stop_on_fixpoint: true,
+            smoothing: 0.5,
+        }
+    }
+}
+
+/// Result of a truth-discovery run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthDiscoveryFit {
+    /// Estimated label per task (`None` for unlabelled tasks).
+    pub labels: Vec<Option<Label>>,
+    /// Non-negative reliability weight per worker (0 for silent workers).
+    pub weights: Vec<f64>,
+    /// Estimated accuracy per worker (agreement rate with the final
+    /// labels; `0.5` for silent workers).
+    pub accuracies: Vec<f64>,
+    /// Rounds executed.
+    pub iterations: usize,
+    /// Whether a fixpoint was reached before the cap.
+    pub converged: bool,
+}
+
+impl TruthDiscovery {
+    /// Runs the alternating estimation on a label set.
+    ///
+    /// Initialization is an unweighted majority vote; each round then
+    /// recomputes weights from disagreements and labels from weighted
+    /// votes. Ties in a vote resolve to `+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an observation references `worker ≥ num_workers`.
+    pub fn fit(&self, labels: &LabelSet, num_workers: usize) -> TruthDiscoveryFit {
+        let num_tasks = labels.num_tasks();
+        let mut weights = vec![1.0f64; num_workers];
+        let mut estimates: Vec<Option<Label>> = vec![None; num_tasks];
+
+        // Initial majority vote.
+        self.vote(labels, &weights, &mut estimates);
+
+        let mut iterations = 0;
+        let mut converged = false;
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+
+            // Reliability from disagreement with current estimates.
+            let mut disagree = vec![self.smoothing; num_workers];
+            let mut counted = vec![self.smoothing * 2.0; num_workers];
+            for obs in labels.iter() {
+                let w = obs.worker.index();
+                assert!(w < num_workers, "observation references unknown worker");
+                if let Some(est) = estimates[obs.task.index()] {
+                    counted[w] += 1.0;
+                    if obs.label != est {
+                        disagree[w] += 1.0;
+                    }
+                }
+            }
+            let total_rate: f64 = (0..num_workers)
+                .map(|w| disagree[w] / counted[w])
+                .sum::<f64>()
+                .max(f64::MIN_POSITIVE);
+            for w in 0..num_workers {
+                let rate = disagree[w] / counted[w];
+                // CRH weight: −ln of the normalized disagreement; clamp to
+                // keep weights non-negative even for the single-source
+                // degenerate case.
+                weights[w] = (-(rate / total_rate).ln()).max(0.0);
+            }
+
+            // Weighted re-vote.
+            let mut next = estimates.clone();
+            self.vote(labels, &weights, &mut next);
+            let changed = next != estimates;
+            estimates = next;
+            if self.stop_on_fixpoint && !changed {
+                converged = true;
+                break;
+            }
+        }
+
+        // Final per-worker agreement rates as accuracy estimates.
+        let mut agree = vec![0.0f64; num_workers];
+        let mut counted = vec![0.0f64; num_workers];
+        for obs in labels.iter() {
+            if let Some(est) = estimates[obs.task.index()] {
+                let w = obs.worker.index();
+                counted[w] += 1.0;
+                if obs.label == est {
+                    agree[w] += 1.0;
+                }
+            }
+        }
+        let accuracies = (0..num_workers)
+            .map(|w| {
+                if counted[w] > 0.0 {
+                    (agree[w] + 1.0) / (counted[w] + 2.0)
+                } else {
+                    0.5
+                }
+            })
+            .collect();
+
+        TruthDiscoveryFit {
+            labels: estimates,
+            weights,
+            accuracies,
+            iterations,
+            converged,
+        }
+    }
+
+    fn vote(&self, labels: &LabelSet, weights: &[f64], out: &mut [Option<Label>]) {
+        for (j, slot) in out.iter_mut().enumerate() {
+            let reports = labels.for_task(mcs_types::TaskId(j as u32));
+            if reports.is_empty() {
+                *slot = None;
+                continue;
+            }
+            let score: f64 = reports
+                .iter()
+                .map(|&(w, l)| weights[w.index()] * l.to_f64())
+                .sum();
+            *slot = Some(Label::from_sign(score));
+        }
+    }
+}
+
+impl TruthDiscoveryFit {
+    /// Estimated accuracy of one worker.
+    pub fn accuracy(&self, worker: WorkerId) -> f64 {
+        self.accuracies[worker.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::{generate_labels, Observation};
+    use mcs_num::rng;
+    use mcs_types::{Bundle, SkillMatrix, TaskId};
+
+    #[test]
+    fn recovers_truth_with_reliable_majority() {
+        let theta = [0.9, 0.9, 0.85, 0.6, 0.55];
+        let k = 150usize;
+        let skills =
+            SkillMatrix::from_rows(theta.iter().map(|&t| vec![t; k]).collect()).unwrap();
+        let mut r = rng::seeded(31);
+        let truth: Vec<Label> = (0..k).map(|_| Label::random(&mut r)).collect();
+        let all = Bundle::new((0..k as u32).map(TaskId).collect());
+        let assignment: Vec<(WorkerId, Bundle)> =
+            (0..5).map(|i| (WorkerId(i), all.clone())).collect();
+        let labels = generate_labels(&skills, &truth, &assignment, &mut r);
+
+        let fit = TruthDiscovery::default().fit(&labels, 5);
+        let correct = fit
+            .labels
+            .iter()
+            .zip(&truth)
+            .filter(|(a, b)| **a == Some(**b))
+            .count();
+        assert!(
+            correct as f64 / k as f64 > 0.95,
+            "only {correct}/{k} recovered"
+        );
+        // Better workers earn larger weights.
+        assert!(fit.weights[0] > fit.weights[4]);
+        assert!(fit.accuracy(WorkerId(0)) > fit.accuracy(WorkerId(4)));
+    }
+
+    #[test]
+    fn beats_plain_majority_when_experts_are_few() {
+        // 2 experts vs 3 near-random workers; weighting should outperform
+        // the unweighted vote.
+        let theta = [0.95, 0.95, 0.52, 0.52, 0.52];
+        let k = 300usize;
+        let skills =
+            SkillMatrix::from_rows(theta.iter().map(|&t| vec![t; k]).collect()).unwrap();
+        let mut r = rng::seeded(32);
+        let truth: Vec<Label> = (0..k).map(|_| Label::random(&mut r)).collect();
+        let all = Bundle::new((0..k as u32).map(TaskId).collect());
+        let assignment: Vec<(WorkerId, Bundle)> =
+            (0..5).map(|i| (WorkerId(i), all.clone())).collect();
+        let labels = generate_labels(&skills, &truth, &assignment, &mut r);
+
+        let majority = crate::weighted::majority_vote(&labels, k);
+        let majority_correct = majority
+            .iter()
+            .zip(&truth)
+            .filter(|(a, b)| **a == Some(**b))
+            .count();
+        let fit = TruthDiscovery::default().fit(&labels, 5);
+        let td_correct = fit
+            .labels
+            .iter()
+            .zip(&truth)
+            .filter(|(a, b)| **a == Some(**b))
+            .count();
+        assert!(
+            td_correct > majority_correct,
+            "truth discovery {td_correct} vs majority {majority_correct}"
+        );
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let fit = TruthDiscovery::default().fit(&LabelSet::new(3), 2);
+        assert_eq!(fit.labels, vec![None, None, None]);
+        assert_eq!(fit.accuracies, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn silent_worker_keeps_prior() {
+        let labels: LabelSet = [Observation {
+            worker: WorkerId(0),
+            task: TaskId(0),
+            label: Label::Pos,
+        }]
+        .into_iter()
+        .collect();
+        let fit = TruthDiscovery::default().fit(&labels, 3);
+        assert_eq!(fit.accuracies[1], 0.5);
+        assert_eq!(fit.accuracies[2], 0.5);
+        assert_eq!(fit.labels[0], Some(Label::Pos));
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let mut r = rng::seeded(8);
+        let labels: LabelSet = (0..40u32)
+            .map(|i| Observation {
+                worker: WorkerId(i % 5),
+                task: TaskId(i / 5),
+                label: Label::random(&mut r),
+            })
+            .collect();
+        let fit = TruthDiscovery {
+            max_iterations: 1,
+            stop_on_fixpoint: false,
+            ..Default::default()
+        }
+        .fit(&labels, 5);
+        assert_eq!(fit.iterations, 1);
+        assert!(!fit.converged);
+    }
+
+    #[test]
+    fn weights_are_finite_and_nonnegative() {
+        let mut r = rng::seeded(9);
+        let labels: LabelSet = (0..60u32)
+            .map(|i| Observation {
+                worker: WorkerId(i % 6),
+                task: TaskId(i / 6),
+                label: Label::random(&mut r),
+            })
+            .collect();
+        let fit = TruthDiscovery::default().fit(&labels, 6);
+        for &w in &fit.weights {
+            assert!(w.is_finite() && w >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Aggregation rules: Lemma 1's weighted rule and majority vote.
+
+use mcs_types::{SkillMatrix, TaskId, WorkerId};
+
+use crate::labels::{Label, LabelSet};
+
+/// Aggregates labels with the optimal weighting of Lemma 1:
+/// `l̂_j = sign(Σ (2θ_ij − 1) · l_ij)`.
+///
+/// Returns one entry per task; `None` where no labels were collected.
+/// Anti-experts (`θ < 0.5`) get negative weights, i.e. their labels are
+/// flipped — that is what makes them as informative as experts with the
+/// mirrored skill.
+///
+/// # Panics
+///
+/// Panics if an observation references a worker/task outside the skill
+/// matrix, or `num_tasks` differs from the label set's task count.
+pub fn weighted_aggregate(
+    labels: &LabelSet,
+    skills: &SkillMatrix,
+    num_tasks: usize,
+) -> Vec<Option<Label>> {
+    assert_eq!(
+        labels.num_tasks(),
+        num_tasks,
+        "label set task count must match num_tasks"
+    );
+    (0..num_tasks)
+        .map(|j| {
+            let task = TaskId(j as u32);
+            let reports = labels.for_task(task);
+            if reports.is_empty() {
+                return None;
+            }
+            let score: f64 = reports
+                .iter()
+                .map(|&(w, l)| skills.alpha(w, task) * l.to_f64())
+                .sum();
+            Some(Label::from_sign(score))
+        })
+        .collect()
+}
+
+/// Unweighted majority vote baseline; ties break to `+1`.
+///
+/// Returns `None` for tasks with no labels.
+pub fn majority_vote(labels: &LabelSet, num_tasks: usize) -> Vec<Option<Label>> {
+    (0..num_tasks)
+        .map(|j| {
+            let reports = labels.for_task(TaskId(j as u32));
+            if reports.is_empty() {
+                return None;
+            }
+            let score: f64 = reports.iter().map(|&(_, l)| l.to_f64()).sum();
+            Some(Label::from_sign(score))
+        })
+        .collect()
+}
+
+/// The coverage a set of reports gives a task under Lemma 1:
+/// `Σ (2θ_ij − 1)²` over the workers who labelled it.
+///
+/// Useful for asserting that a task's error-bound constraint was actually
+/// met by the labels that arrived.
+pub fn achieved_coverage(labels: &LabelSet, skills: &SkillMatrix, task: TaskId) -> f64 {
+    labels
+        .for_task(task)
+        .iter()
+        .map(|&(w, _): &(WorkerId, Label)| {
+            let a = skills.alpha(w, task);
+            a * a
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Observation;
+    use mcs_types::SkillMatrix;
+
+    fn obs(w: u32, t: u32, l: Label) -> Observation {
+        Observation {
+            worker: WorkerId(w),
+            task: TaskId(t),
+            label: l,
+        }
+    }
+
+    #[test]
+    fn expert_outvotes_crowd_of_guessers() {
+        // Worker 0: θ = 0.99 (weight 0.98); workers 1–3: θ = 0.55
+        // (weight 0.1 each). Expert says Neg, guessers say Pos.
+        let skills =
+            SkillMatrix::from_rows(vec![vec![0.99], vec![0.55], vec![0.55], vec![0.55]])
+                .unwrap();
+        let labels: LabelSet = [
+            obs(0, 0, Label::Neg),
+            obs(1, 0, Label::Pos),
+            obs(2, 0, Label::Pos),
+            obs(3, 0, Label::Pos),
+        ]
+        .into_iter()
+        .collect();
+        let weighted = weighted_aggregate(&labels, &skills, 1);
+        assert_eq!(weighted[0], Some(Label::Neg));
+        // Majority vote disagrees — the whole point of weighting.
+        let majority = majority_vote(&labels, 1);
+        assert_eq!(majority[0], Some(Label::Pos));
+    }
+
+    #[test]
+    fn anti_expert_labels_are_flipped() {
+        // θ = 0.1 → weight −0.8: a Neg report counts as strong Pos evidence.
+        let skills = SkillMatrix::from_rows(vec![vec![0.1], vec![0.6]]).unwrap();
+        let labels: LabelSet = [obs(0, 0, Label::Neg), obs(1, 0, Label::Neg)]
+            .into_iter()
+            .collect();
+        let agg = weighted_aggregate(&labels, &skills, 1);
+        // Scores: (−0.8)(−1) + (0.2)(−1) = 0.6 > 0.
+        assert_eq!(agg[0], Some(Label::Pos));
+    }
+
+    #[test]
+    fn unlabelled_tasks_are_none() {
+        let skills = SkillMatrix::from_rows(vec![vec![0.9, 0.9]]).unwrap();
+        let labels: LabelSet = LabelSet::new(2);
+        let agg = weighted_aggregate(&labels, &skills, 2);
+        assert_eq!(agg, vec![None, None]);
+        assert_eq!(majority_vote(&labels, 2), vec![None, None]);
+    }
+
+    #[test]
+    fn majority_tie_breaks_positive() {
+        let labels: LabelSet = [obs(0, 0, Label::Pos), obs(1, 0, Label::Neg)]
+            .into_iter()
+            .collect();
+        assert_eq!(majority_vote(&labels, 1)[0], Some(Label::Pos));
+    }
+
+    #[test]
+    fn achieved_coverage_sums_squared_alphas() {
+        let skills = SkillMatrix::from_rows(vec![vec![0.9], vec![0.5]]).unwrap();
+        let labels: LabelSet = [obs(0, 0, Label::Pos), obs(1, 0, Label::Pos)]
+            .into_iter()
+            .collect();
+        let cov = achieved_coverage(&labels, &skills, TaskId(0));
+        assert!((cov - 0.64).abs() < 1e-12); // 0.8² + 0².
+    }
+
+    #[test]
+    fn zero_information_worker_never_decides() {
+        // θ = 0.5 worker alone: score 0 → sign convention gives Pos, and
+        // coverage is 0, correctly signalling "no information".
+        let skills = SkillMatrix::from_rows(vec![vec![0.5]]).unwrap();
+        let labels: LabelSet = [obs(0, 0, Label::Neg)].into_iter().collect();
+        assert_eq!(achieved_coverage(&labels, &skills, TaskId(0)), 0.0);
+        assert_eq!(
+            weighted_aggregate(&labels, &skills, 1)[0],
+            Some(Label::Pos)
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Head-to-head mechanism benches: DP-hSRC vs Baseline scheduling cost,
+//! and the exact optimal solver on a small instance (the Table II story in
+//! microbenchmark form).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mcs_auction::{build_schedule, OptimalMechanism, SelectionRule};
+use mcs_sim::Setting;
+
+fn bench_schedules(c: &mut Criterion) {
+    let g = Setting::one(120).generate(5);
+    let mut group = c.benchmark_group("schedule_construction");
+    group.sample_size(20);
+    group.bench_function("dp_hsrc_marginal", |b| {
+        b.iter(|| {
+            build_schedule(&g.instance, SelectionRule::MarginalCoverage).expect("feasible")
+        });
+    });
+    group.bench_function("baseline_static", |b| {
+        b.iter(|| build_schedule(&g.instance, SelectionRule::StaticTotal).expect("feasible"));
+    });
+    group.finish();
+}
+
+fn bench_optimal_small(c: &mut Criterion) {
+    // Small enough that exact branch-and-bound completes per iteration;
+    // contrast its time with the greedy schedules above.
+    let g = Setting::one(80).scaled_down(4).generate(5);
+    let mech = OptimalMechanism::new();
+    let mut group = c.benchmark_group("optimal_exact_small");
+    group.sample_size(10);
+    group.bench_function("bnb_20_workers", |b| {
+        b.iter(|| mech.solve(&g.instance).expect("feasible"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules, bench_optimal_small);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Theorem 5 scaling benches: DP-hSRC runtime vs `N`, `K`, and — crucially
+//! — its *independence* from `|P|` thanks to interval compression.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mcs_auction::DpHsrcAuction;
+use mcs_num::rng;
+use mcs_sim::Setting;
+use mcs_types::{Instance, PriceGrid};
+
+/// Rebuilds the instance with a different candidate grid. Grid steps are
+/// limited to the 0.1 fixed-point atom, so |P| is scaled by widening the
+/// range and coarsening/refining the step.
+fn with_grid(instance: &Instance, min: f64, max: f64, step: f64) -> Instance {
+    Instance::builder(instance.num_tasks())
+        .bid_profile(instance.bids().clone())
+        .skills(instance.skills().clone())
+        .error_bounds(instance.deltas().to_vec())
+        .price_grid(PriceGrid::from_f64(min, max, step).expect("valid grid"))
+        .cost_range(instance.cmin(), instance.cmax())
+        .build()
+        .expect("same instance with a denser grid")
+}
+
+fn bench_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_hsrc_vs_workers");
+    group.sample_size(10);
+    for n in [80usize, 100, 120, 140] {
+        let g = Setting::one(n).generate(1);
+        let auction = DpHsrcAuction::new(0.1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g.instance, |b, inst| {
+            let mut r = rng::seeded(7);
+            b.iter(|| auction.run(inst, &mut r).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_hsrc_vs_tasks");
+    group.sample_size(10);
+    for k in [20usize, 30, 40, 50] {
+        let g = Setting::two(k).generate(2);
+        let auction = DpHsrcAuction::new(0.1);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &g.instance, |b, inst| {
+            let mut r = rng::seeded(7);
+            b.iter(|| auction.run(inst, &mut r).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_density(c: &mut Criterion) {
+    // Theorem 5: runtime must not grow with |P|. The three grids give
+    // |P| = 13 / 251 / 3001.
+    let base = Setting::one(100).generate(3).instance;
+    let auction = DpHsrcAuction::new(0.1);
+    let mut group = c.benchmark_group("dp_hsrc_vs_grid_density");
+    group.sample_size(10);
+    for (min, max, step) in [(35.0, 60.0, 2.0), (35.0, 60.0, 0.1), (35.0, 335.0, 0.1)] {
+        let inst = with_grid(&base, min, max, step);
+        let label = format!("grid_{min}_{max}_{step}");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &inst, |b, inst| {
+            let mut r = rng::seeded(7);
+            b.iter(|| auction.run(inst, &mut r).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workers, bench_tasks, bench_grid_density);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 1: platform's total payment vs number of workers (Setting I).
+//!
+//! Paper: N ∈ [80, 140], K = 30; Optimal ≤ DP-hSRC ≪ Baseline, DP-hSRC
+//! close to Optimal. Run with `--quick` for a scaled-down smoke test,
+//! `--no-optimal` to skip the exact baseline, `--budget-secs` to bound
+//! each exact ILP solve.
+
+use mcs_auction::OptimalMechanism;
+use mcs_bench::{axis, emit, Cli};
+use mcs_sim::experiments::payment_sweep;
+use mcs_sim::Setting;
+
+fn main() {
+    let cli = Cli::parse();
+    let xs = if cli.quick {
+        axis(20, 35, 5)
+    } else {
+        axis(80, 140, 4)
+    };
+    let make = |x: usize| {
+        if cli.quick {
+            // Scale all Table I proportions down 4x; the axis value is the
+            // *scaled* worker count.
+            Setting::one(x * 4).scaled_down(4)
+        } else {
+            Setting::one(x)
+        }
+    };
+    let optimal = (!cli.no_optimal).then(|| OptimalMechanism::with_budget(cli.budget()));
+    let rows = payment_sweep(&xs, make, cli.seed, optimal.as_ref())
+        .unwrap_or_else(|e| panic!("figure 1 sweep failed: {e}"));
+    emit(
+        "Figure 1: total payment vs number of workers (Setting I, K = 30, eps = 0.1)",
+        &rows,
+        &cli,
+    );
+}

@@ -1,0 +1,32 @@
+//! Figure 2: platform's total payment vs number of tasks (Setting II).
+//!
+//! Paper: N = 120, K ∈ [20, 50]; Optimal ≤ DP-hSRC ≪ Baseline.
+
+use mcs_auction::OptimalMechanism;
+use mcs_bench::{axis, emit, Cli};
+use mcs_sim::experiments::payment_sweep;
+use mcs_sim::Setting;
+
+fn main() {
+    let cli = Cli::parse();
+    let xs = if cli.quick {
+        axis(5, 12, 1)
+    } else {
+        axis(20, 50, 2)
+    };
+    let make = |x: usize| {
+        if cli.quick {
+            Setting::two(x * 4).scaled_down(4)
+        } else {
+            Setting::two(x)
+        }
+    };
+    let optimal = (!cli.no_optimal).then(|| OptimalMechanism::with_budget(cli.budget()));
+    let rows = payment_sweep(&xs, make, cli.seed, optimal.as_ref())
+        .unwrap_or_else(|e| panic!("figure 2 sweep failed: {e}"));
+    emit(
+        "Figure 2: total payment vs number of tasks (Setting II, N = 120, eps = 0.1)",
+        &rows,
+        &cli,
+    );
+}

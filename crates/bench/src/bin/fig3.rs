@@ -1,0 +1,31 @@
+//! Figure 3: platform's total payment vs number of workers (Setting III).
+//!
+//! Paper: N ∈ [800, 1400], K = 200 — too large for the exact optimal, so
+//! only DP-hSRC vs Baseline are plotted.
+
+use mcs_bench::{axis, emit, Cli};
+use mcs_sim::experiments::payment_sweep;
+use mcs_sim::Setting;
+
+fn main() {
+    let cli = Cli::parse();
+    let xs = if cli.quick {
+        axis(80, 140, 20)
+    } else {
+        axis(800, 1400, 50)
+    };
+    let make = |x: usize| {
+        if cli.quick {
+            Setting::three(x * 10).scaled_down(10)
+        } else {
+            Setting::three(x)
+        }
+    };
+    let rows = payment_sweep(&xs, make, cli.seed, None)
+        .unwrap_or_else(|e| panic!("figure 3 sweep failed: {e}"));
+    emit(
+        "Figure 3: total payment vs number of workers (Setting III, K = 200, eps = 0.1)",
+        &rows,
+        &cli,
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 4: platform's total payment vs number of tasks (Setting IV).
+//!
+//! Paper: N = 1000, K ∈ [200, 500] — only DP-hSRC vs Baseline.
+
+use mcs_bench::{axis, emit, Cli};
+use mcs_sim::experiments::payment_sweep;
+use mcs_sim::Setting;
+
+fn main() {
+    let cli = Cli::parse();
+    let xs = if cli.quick {
+        axis(20, 50, 10)
+    } else {
+        axis(200, 500, 20)
+    };
+    let make = |x: usize| {
+        if cli.quick {
+            Setting::four(x * 10).scaled_down(10)
+        } else {
+            Setting::four(x)
+        }
+    };
+    let rows = payment_sweep(&xs, make, cli.seed, None)
+        .unwrap_or_else(|e| panic!("figure 4 sweep failed: {e}"));
+    emit(
+        "Figure 4: total payment vs number of tasks (Setting IV, N = 1000, eps = 0.1)",
+        &rows,
+        &cli,
+    );
+}

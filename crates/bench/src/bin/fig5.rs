@@ -1,0 +1,27 @@
+//! Figure 5: trade-off between total payment and privacy leakage over ε.
+//!
+//! Paper: ε swept over {0.25, …, 1000}; the platform's average total
+//! payment falls with ε while the KL privacy leakage (Definition 8)
+//! rises. The default instance is Setting-IV scale (N = 1000, K = 200);
+//! `--quick` shrinks it 10×. `--neighbours` controls how many
+//! neighbouring profiles the leakage is averaged over.
+
+use mcs_bench::{emit, Cli};
+use mcs_sim::experiments::{tradeoff_sweep, FIGURE5_EPSILONS};
+use mcs_sim::Setting;
+
+fn main() {
+    let cli = Cli::parse();
+    let setting = if cli.quick {
+        Setting::four(200).scaled_down(10)
+    } else {
+        Setting::four(200)
+    };
+    let rows = tradeoff_sweep(&setting, FIGURE5_EPSILONS, cli.neighbours, cli.seed)
+        .unwrap_or_else(|e| panic!("figure 5 sweep failed: {e}"));
+    emit(
+        "Figure 5: payment vs privacy leakage over epsilon (N = 1000, K = 200)",
+        &rows,
+        &cli,
+    );
+}

@@ -1,0 +1,37 @@
+//! Extension: the price of privacy.
+//!
+//! Compares DP-hSRC's expected payment over an ε grid against a
+//! non-private truthful critical-payment auction and (on small instances)
+//! the exact optimum. Large ε approaches the non-private greedy payment;
+//! small ε pays a measurable privacy premium.
+
+use mcs_auction::OptimalMechanism;
+use mcs_bench::{emit, Cli};
+use mcs_sim::experiments::privacy_cost_experiment;
+use mcs_sim::Setting;
+
+fn main() {
+    let cli = Cli::parse();
+    let setting = if cli.full {
+        Setting::one(100)
+    } else {
+        Setting::one(80).scaled_down(4)
+    };
+    let epsilons = [0.05, 0.1, 0.25, 0.5, 1.0, 5.0, 25.0, 100.0];
+    let optimal = (!cli.no_optimal && !cli.full)
+        .then(|| OptimalMechanism::with_budget(cli.budget()));
+    let trials = if cli.full { 3 } else { 5 };
+    let rows = privacy_cost_experiment(
+        &setting,
+        &epsilons,
+        trials,
+        cli.seed,
+        optimal.as_ref(),
+    )
+    .unwrap_or_else(|e| panic!("privacy-cost experiment failed: {e}"));
+    emit(
+        "Price of privacy: DP-hSRC vs non-private critical-payment auction",
+        &rows,
+        &cli,
+    );
+}

@@ -1,0 +1,110 @@
+//! Theorem 5 check: DP-hSRC runtime scales as `O(N²K)` and is independent
+//! of `|P|`.
+//!
+//! Times full DP-hSRC runs while sweeping each of `N`, `K`, and the price
+//! grid density separately (the latter must leave the runtime flat thanks
+//! to interval compression).
+
+use std::time::Instant;
+
+use mcs_auction::DpHsrcAuction;
+use mcs_bench::{emit, Cli};
+use mcs_num::rng;
+use mcs_sim::output::TableRow;
+use mcs_sim::Setting;
+use mcs_types::{Instance, PriceGrid};
+
+struct ScaleRow {
+    axis: &'static str,
+    value: String,
+    seconds: f64,
+    feasible_prices: usize,
+}
+
+impl TableRow for ScaleRow {
+    fn headers() -> Vec<&'static str> {
+        vec!["axis", "value", "seconds", "|P_feasible|"]
+    }
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.axis.into(),
+            self.value.clone(),
+            format!("{:.4}", self.seconds),
+            self.feasible_prices.to_string(),
+        ]
+    }
+}
+
+fn time_run(instance: &Instance, seed: u64, reps: usize) -> (f64, usize) {
+    let auction = DpHsrcAuction::new(0.1);
+    let mut r = rng::seeded(seed);
+    // Warm-up + measured repetitions.
+    let pmf = auction.pmf(instance).expect("feasible");
+    let support = pmf.schedule().len();
+    let started = Instant::now();
+    for _ in 0..reps {
+        let _ = auction.run(instance, &mut r).expect("feasible");
+    }
+    (started.elapsed().as_secs_f64() / reps as f64, support)
+}
+
+/// Rebuilds the instance with a different candidate grid. Grid steps are
+/// limited to the 0.1 fixed-point atom, so |P| is scaled by widening the
+/// range and coarsening/refining the step: (35..60 @ 2.0) = 13 prices,
+/// (35..60 @ 0.1) = 251, (35..335 @ 0.1) = 3001.
+fn with_grid(instance: &Instance, min: f64, max: f64, step: f64) -> Instance {
+    Instance::builder(instance.num_tasks())
+        .bid_profile(instance.bids().clone())
+        .skills(instance.skills().clone())
+        .error_bounds(instance.deltas().to_vec())
+        .price_grid(PriceGrid::from_f64(min, max, step).expect("valid grid"))
+        .cost_range(instance.cmin(), instance.cmax())
+        .build()
+        .expect("rebuilt instance")
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let reps = if cli.quick { 3 } else { 10 };
+    let mut rows = Vec::new();
+
+    for n in [80usize, 100, 120, 140] {
+        let g = Setting::one(n).generate(cli.seed);
+        let (secs, support) = time_run(&g.instance, cli.seed, reps);
+        rows.push(ScaleRow {
+            axis: "N",
+            value: n.to_string(),
+            seconds: secs,
+            feasible_prices: support,
+        });
+    }
+    for k in [20usize, 30, 40, 50] {
+        let g = Setting::two(k).generate(cli.seed);
+        let (secs, support) = time_run(&g.instance, cli.seed, reps);
+        rows.push(ScaleRow {
+            axis: "K",
+            value: k.to_string(),
+            seconds: secs,
+            feasible_prices: support,
+        });
+    }
+    // Grid density: runtime must stay flat as |P| grows ~230x.
+    let base = Setting::one(100).generate(cli.seed);
+    for (min, max, step) in [(35.0, 60.0, 2.0), (35.0, 60.0, 0.1), (35.0, 335.0, 0.1)] {
+        let inst = with_grid(&base.instance, min, max, step);
+        let (secs, support) = time_run(&inst, cli.seed, reps);
+        rows.push(ScaleRow {
+            axis: "|P| (grid)",
+            value: format!("[{min},{max}]@{step}"),
+            seconds: secs,
+            feasible_prices: support,
+        });
+    }
+
+    emit(
+        "Theorem 5 check: DP-hSRC runtime vs N, K, and price-grid density",
+        &rows,
+        &cli,
+    );
+}

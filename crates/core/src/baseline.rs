@@ -1,0 +1,185 @@
+//! The §VII-A baseline auction: static-score winner selection with the
+//! same exponential price draw.
+
+use rand::Rng;
+
+use mcs_types::{Instance, McsError};
+
+use crate::exponential::ExponentialMechanism;
+use crate::outcome::AuctionOutcome;
+use crate::schedule::{build_schedule, PricePmf, PriceSchedule, SelectionRule};
+
+/// The paper's baseline comparator.
+///
+/// For a fixed price `p` it admits workers in descending order of their
+/// *static* total informativeness `Σ_j q_ij` until every task's error-bound
+/// constraint holds, then draws the final price from the same exponential
+/// mechanism as [`DpHsrcAuction`](crate::DpHsrcAuction). It therefore
+/// enjoys the identical privacy, truthfulness and rationality guarantees —
+/// the only difference is payment efficiency, which is exactly what
+/// Figures 1–4 measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineAuction {
+    epsilon: f64,
+}
+
+impl BaselineAuction {
+    /// Creates the baseline auction with privacy budget ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not strictly positive and finite.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive and finite"
+        );
+        BaselineAuction { epsilon }
+    }
+
+    /// The privacy budget ε.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Computes the per-price winner schedule under the static rule.
+    ///
+    /// # Errors
+    ///
+    /// [`McsError::Infeasible`] or [`McsError::NoFeasiblePrice`] when the
+    /// error-bound constraints cannot be met at any grid price.
+    pub fn schedule(&self, instance: &Instance) -> Result<PriceSchedule, McsError> {
+        build_schedule(instance, SelectionRule::StaticTotal)
+    }
+
+    /// The exact output distribution over feasible prices.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BaselineAuction::schedule`].
+    pub fn pmf(&self, instance: &Instance) -> Result<PricePmf, McsError> {
+        let schedule = self.schedule(instance)?;
+        Ok(ExponentialMechanism::for_instance(self.epsilon, instance).pmf(schedule))
+    }
+
+    /// Runs the auction once.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BaselineAuction::schedule`].
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        instance: &Instance,
+        rng: &mut R,
+    ) -> Result<AuctionOutcome, McsError> {
+        Ok(self.pmf(instance)?.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DpHsrcAuction;
+    use mcs_num::rng;
+    use mcs_types::{Bid, Bundle, Price, SkillMatrix, TaskId};
+
+    /// An instance engineered so the static rule wastes winners: a "siren"
+    /// worker with a huge static total that contributes mostly surplus.
+    fn siren_instance() -> Instance {
+        // Tasks 0..4. Worker 0 (siren) is brilliant at tasks 0–2, which are
+        // also covered cheaply by specialists; tasks 3–4 need dedicated
+        // workers. Requirements are low (δ = 0.7 → Q ≈ 0.713, so one
+        // θ = 0.95 worker covers a task alone) — the static rule burns
+        // winners on already-covered tasks, the marginal rule does not.
+        let all = |t: &[u32]| Bundle::new(t.iter().copied().map(TaskId).collect());
+        let bids = vec![
+            Bid::new(all(&[0, 1, 2]), Price::from_f64(10.0)), // siren
+            Bid::new(all(&[0]), Price::from_f64(10.5)),
+            Bid::new(all(&[1]), Price::from_f64(10.5)),
+            Bid::new(all(&[2]), Price::from_f64(10.5)),
+            Bid::new(all(&[3]), Price::from_f64(11.0)),
+            Bid::new(all(&[4]), Price::from_f64(11.0)),
+            Bid::new(all(&[3, 4]), Price::from_f64(11.5)),
+        ];
+        let skills = SkillMatrix::from_rows(vec![
+            vec![0.95, 0.95, 0.95, 0.5, 0.5],
+            vec![0.95, 0.5, 0.5, 0.5, 0.5],
+            vec![0.5, 0.95, 0.5, 0.5, 0.5],
+            vec![0.5, 0.5, 0.95, 0.5, 0.5],
+            vec![0.5, 0.5, 0.5, 0.95, 0.5],
+            vec![0.5, 0.5, 0.5, 0.5, 0.95],
+            vec![0.5, 0.5, 0.5, 0.9, 0.9],
+        ])
+        .unwrap();
+        Instance::builder(5)
+            .bids(bids)
+            .skills(skills)
+            .uniform_error_bound(0.7)
+            .price_grid_f64(10.0, 15.0, 0.5)
+            .cost_range(Price::from_f64(10.0), Price::from_f64(15.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn baseline_run_is_feasible() {
+        let inst = siren_instance();
+        let auction = BaselineAuction::new(0.1);
+        let mut r = rng::seeded(2);
+        let o = auction.run(&inst, &mut r).unwrap();
+        let cover = inst.coverage_problem();
+        assert!(cover.is_satisfied_by(o.winners().iter().copied()));
+        for &w in o.winners() {
+            assert!(inst.bids().bid(w).price() <= o.price());
+        }
+    }
+
+    #[test]
+    fn dp_hsrc_never_pays_more_in_expectation_here() {
+        let inst = siren_instance();
+        let dp = DpHsrcAuction::new(0.1).pmf(&inst).unwrap();
+        let base = BaselineAuction::new(0.1).pmf(&inst).unwrap();
+        assert!(
+            dp.expected_total_payment() <= base.expected_total_payment() + 1e-9,
+            "dp {} vs baseline {}",
+            dp.expected_total_payment(),
+            base.expected_total_payment()
+        );
+    }
+
+    #[test]
+    fn winner_cardinality_gap_exists_at_some_price() {
+        // The mechanism-level payment gap must come from smaller winner
+        // sets at matching prices.
+        let inst = siren_instance();
+        let dp = DpHsrcAuction::new(0.1).schedule(&inst).unwrap();
+        let base = BaselineAuction::new(0.1).schedule(&inst).unwrap();
+        assert_eq!(dp.prices(), base.prices());
+        let mut strictly_smaller_somewhere = false;
+        for i in 0..dp.len() {
+            assert!(dp.winners(i).len() <= base.winners(i).len());
+            if dp.winners(i).len() < base.winners(i).len() {
+                strictly_smaller_somewhere = true;
+            }
+        }
+        assert!(
+            strictly_smaller_somewhere,
+            "expected the greedy rule to beat the static rule on this instance"
+        );
+    }
+
+    #[test]
+    fn both_mechanisms_share_support() {
+        let inst = siren_instance();
+        let dp = DpHsrcAuction::new(0.1).pmf(&inst).unwrap();
+        let base = BaselineAuction::new(0.1).pmf(&inst).unwrap();
+        assert_eq!(dp.schedule().prices(), base.schedule().prices());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn nan_epsilon_rejected() {
+        let _ = BaselineAuction::new(f64::NAN);
+    }
+}

@@ -1,0 +1,383 @@
+//! A non-private truthful comparator: greedy cost-effectiveness selection
+//! with Myerson critical payments.
+//!
+//! The paper's related work (e.g. Yang et al., MobiCom'12; Jin et al.,
+//! MobiHoc'15 — reference [10], whose greedy analysis Lemma 2 borrows)
+//! builds truthful MCS auctions from a *monotone* greedy allocation plus
+//! per-winner *critical payments*: each winner is paid the highest price
+//! she could have bid and still won. Such mechanisms are exactly truthful
+//! and individually rational but **not differentially private** — each
+//! payment is a deterministic, sensitive function of the other bids.
+//!
+//! This module implements that classic design so experiments can measure
+//! the *price of privacy*: how much more the platform pays under DP-hSRC's
+//! randomized single price than under a deterministic critical-payment
+//! auction, and how much a curious worker learns from each.
+
+use mcs_types::{Instance, McsError, Price, TaskId, WorkerId};
+
+use crate::schedule::sparse_rows_of;
+
+/// Residual coverage below this threshold counts as satisfied.
+const COVER_EPS: f64 = 1e-9;
+
+/// The non-private greedy auction with critical payments.
+///
+/// # Examples
+///
+/// See [`CriticalPaymentAuction::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CriticalPaymentAuction;
+
+/// Outcome of the critical-payment auction: per-worker payments (no single
+/// clearing price — that is the point of the comparison).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalOutcome {
+    winners: Vec<WorkerId>,
+    payments: Vec<Price>,
+}
+
+impl CriticalOutcome {
+    /// The winner set, ascending by worker id.
+    #[inline]
+    pub fn winners(&self) -> &[WorkerId] {
+        &self.winners
+    }
+
+    /// Payment to a worker (zero for losers).
+    pub fn payment_to(&self, worker: WorkerId) -> Price {
+        self.payments
+            .get(worker.index())
+            .copied()
+            .unwrap_or(Price::ZERO)
+    }
+
+    /// The full per-worker payment profile.
+    #[inline]
+    pub fn payments(&self) -> &[Price] {
+        &self.payments
+    }
+
+    /// The platform's total payment `Σ p_i`.
+    pub fn total_payment(&self) -> Price {
+        self.payments.iter().copied().sum()
+    }
+}
+
+/// One greedy step under the cost-effectiveness rule: the unused worker
+/// with positive marginal gain minimizing `ρ_i / gain_i(residual)`.
+fn best_candidate(
+    instance: &Instance,
+    rows: &[Vec<(usize, f64)>],
+    used: &[bool],
+    excluded: Option<WorkerId>,
+    residual: &[f64],
+) -> Option<(WorkerId, f64, f64)> {
+    let mut best: Option<(WorkerId, f64, f64)> = None; // (worker, ratio, gain)
+    for i in 0..instance.num_workers() {
+        let w = WorkerId(i as u32);
+        if used[i] || Some(w) == excluded {
+            continue;
+        }
+        let gain: f64 = rows[i]
+            .iter()
+            .map(|&(j, q)| q.min(residual[j].max(0.0)))
+            .sum();
+        if gain <= COVER_EPS {
+            continue;
+        }
+        let ratio = instance.bids().bid(w).price().as_f64() / gain;
+        let better = match best {
+            None => true,
+            Some((bw, br, _)) => {
+                ratio < br - 1e-12 || ((ratio - br).abs() <= 1e-12 && w < bw)
+            }
+        };
+        if better {
+            best = Some((w, ratio, gain));
+        }
+    }
+    best
+}
+
+fn apply(rows: &[Vec<(usize, f64)>], w: WorkerId, residual: &mut [f64]) {
+    for &(j, q) in &rows[w.index()] {
+        residual[j] = (residual[j] - q).max(0.0);
+    }
+}
+
+fn requirements(instance: &Instance) -> Vec<f64> {
+    let cover = instance.coverage_problem();
+    (0..instance.num_tasks())
+        .map(|j| cover.requirement(TaskId(j as u32)))
+        .collect()
+}
+
+impl CriticalPaymentAuction {
+    /// Runs the auction: greedy winner selection, then one critical-value
+    /// computation per winner.
+    ///
+    /// The allocation is monotone (lowering a bid price only improves its
+    /// cost-effectiveness at every step), so paying each winner her
+    /// critical value makes truthful bidding a dominant strategy and the
+    /// mechanism individually rational. Winners whose absence makes the
+    /// instance uncoverable (monopolists) are paid the cost ceiling
+    /// `c_max`.
+    ///
+    /// # Errors
+    ///
+    /// [`McsError::Infeasible`] when even the full pool cannot satisfy
+    /// some task's error-bound constraint.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcs_auction::CriticalPaymentAuction;
+    /// use mcs_types::{Bid, Bundle, Instance, Price, SkillMatrix, TaskId};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let instance = Instance::builder(1)
+    ///     .bids(vec![
+    ///         Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(10.0)),
+    ///         Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(11.0)),
+    ///         Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(12.0)),
+    ///     ])
+    ///     .skills(SkillMatrix::from_rows(vec![vec![0.9]; 3])?)
+    ///     .uniform_error_bound(0.4)
+    ///     .price_grid_f64(10.0, 15.0, 0.5)
+    ///     .cost_range(Price::from_f64(10.0), Price::from_f64(15.0))
+    ///     .build()?;
+    /// let outcome = CriticalPaymentAuction.run(&instance)?;
+    /// assert!(!outcome.winners().is_empty());
+    /// // Winners are paid at least their bids.
+    /// for &w in outcome.winners() {
+    ///     assert!(outcome.payment_to(w) >= instance.bids().bid(w).price());
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn run(&self, instance: &Instance) -> Result<CriticalOutcome, McsError> {
+        let cover = instance.coverage_problem();
+        cover.check_feasible()?;
+        let rows = sparse_rows_of(&cover);
+        let reqs = requirements(instance);
+        let n = instance.num_workers();
+
+        // Greedy allocation.
+        let mut residual = reqs.clone();
+        let mut used = vec![false; n];
+        let mut winners: Vec<WorkerId> = Vec::new();
+        while residual.iter().any(|&r| r > COVER_EPS) {
+            let (w, _, _) = best_candidate(instance, &rows, &used, None, &residual)
+                .expect("feasibility was checked");
+            used[w.index()] = true;
+            winners.push(w);
+            apply(&rows, w, &mut residual);
+        }
+
+        // Critical payment per winner: rerun greedy without her and record
+        // the best bid that would have kept her winning at some step.
+        let mut payments = vec![Price::ZERO; n];
+        for &w in &winners {
+            payments[w.index()] = self.critical_payment(instance, &rows, &reqs, w);
+        }
+
+        winners.sort_unstable();
+        Ok(CriticalOutcome { winners, payments })
+    }
+
+    /// The critical value of `winner`: the supremum bid price at which she
+    /// still wins, capped at `c_max` (paid in full when she is a
+    /// monopolist whose absence makes coverage impossible).
+    fn critical_payment(
+        &self,
+        instance: &Instance,
+        rows: &[Vec<(usize, f64)>],
+        reqs: &[f64],
+        winner: WorkerId,
+    ) -> Price {
+        let n = instance.num_workers();
+        let mut residual = reqs.to_vec();
+        let mut used = vec![false; n];
+        let mut critical = 0.0f64;
+        loop {
+            if residual.iter().all(|&r| r <= COVER_EPS) {
+                break; // others covered everything; no further chance to win
+            }
+            // What the winner could bid to be picked at this step instead
+            // of the best other candidate.
+            let own_gain: f64 = rows[winner.index()]
+                .iter()
+                .map(|&(j, q)| q.min(residual[j].max(0.0)))
+                .sum();
+            match best_candidate(instance, rows, &used, Some(winner), &residual) {
+                Some((other, other_ratio, _)) => {
+                    if own_gain > COVER_EPS {
+                        critical = critical.max(own_gain * other_ratio);
+                    }
+                    used[other.index()] = true;
+                    apply(rows, other, &mut residual);
+                }
+                None => {
+                    // Nobody else can make progress: the winner is pivotal
+                    // and can extract the cost ceiling.
+                    return instance.cmax();
+                }
+            }
+        }
+        // Never below her own bid (she did win), never above the ceiling.
+        let bid = instance.bids().bid(winner).price();
+        Price::from_f64(critical).max(bid).min(instance.cmax())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_types::{Bid, Bundle, SkillMatrix};
+
+    fn single_task_instance(prices: &[f64], theta: f64, delta: f64) -> Instance {
+        let bids: Vec<Bid> = prices
+            .iter()
+            .map(|&p| Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(p)))
+            .collect();
+        let n = bids.len();
+        Instance::builder(1)
+            .bids(bids)
+            .skills(SkillMatrix::from_rows(vec![vec![theta]; n]).unwrap())
+            .uniform_error_bound(delta)
+            .price_grid_f64(10.0, 30.0, 0.5)
+            .cost_range(Price::from_f64(5.0), Price::from_f64(30.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn winners_cover_and_are_paid_at_least_their_bids() {
+        // θ = 0.9 → q = 0.64; δ = 0.3 → Q ≈ 2.41 → need 4 workers.
+        let inst = single_task_instance(&[10.0, 11.0, 12.0, 13.0, 14.0, 15.0], 0.9, 0.3);
+        let out = CriticalPaymentAuction.run(&inst).unwrap();
+        assert!(inst
+            .coverage_problem()
+            .is_satisfied_by(out.winners().iter().copied()));
+        for &w in out.winners() {
+            assert!(out.payment_to(w) >= inst.bids().bid(w).price());
+        }
+        // Losers get nothing.
+        for i in 0..inst.num_workers() {
+            let w = WorkerId(i as u32);
+            if !out.winners().contains(&w) {
+                assert_eq!(out.payment_to(w), Price::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn critical_payment_is_next_losers_bid_in_symmetric_case() {
+        // Identical bundles/skills: greedy picks the 4 cheapest of 6; each
+        // winner's critical value is the 5th bid (the first loser's),
+        // since gains are symmetric.
+        let inst = single_task_instance(&[10.0, 11.0, 12.0, 13.0, 14.0, 15.0], 0.9, 0.3);
+        let out = CriticalPaymentAuction.run(&inst).unwrap();
+        assert_eq!(out.winners().len(), 4);
+        for &w in out.winners() {
+            assert_eq!(out.payment_to(w), Price::from_f64(14.0));
+        }
+        assert_eq!(out.total_payment(), Price::from_f64(56.0));
+    }
+
+    #[test]
+    fn monopolist_extracts_the_ceiling() {
+        // Two tasks; only worker 2 covers task 1.
+        let bids = vec![
+            Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(10.0)),
+            Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(11.0)),
+            Bid::new(Bundle::new(vec![TaskId(1)]), Price::from_f64(12.0)),
+        ];
+        let inst = Instance::builder(2)
+            .bids(bids)
+            .skills(
+                SkillMatrix::from_rows(vec![
+                    vec![0.9, 0.5],
+                    vec![0.9, 0.5],
+                    vec![0.5, 0.95],
+                ])
+                .unwrap(),
+            )
+            .uniform_error_bound(0.7) // Q ≈ 0.713 < q(0.95) = 0.81
+            .price_grid_f64(10.0, 30.0, 0.5)
+            .cost_range(Price::from_f64(5.0), Price::from_f64(30.0))
+            .build()
+            .unwrap();
+        let out = CriticalPaymentAuction.run(&inst).unwrap();
+        assert!(out.winners().contains(&WorkerId(2)));
+        assert_eq!(out.payment_to(WorkerId(2)), inst.cmax());
+    }
+
+    #[test]
+    fn truthfulness_underbidding_does_not_change_payment() {
+        // A winner's payment is independent of her own bid as long as she
+        // keeps winning — the Myerson property.
+        let inst = single_task_instance(&[10.0, 11.0, 12.0, 13.0, 14.0, 15.0], 0.9, 0.3);
+        let base = CriticalPaymentAuction.run(&inst).unwrap();
+        let w = WorkerId(1);
+        let p_before = base.payment_to(w);
+        assert!(p_before > Price::ZERO);
+        let shaded = inst
+            .with_bid(w, inst.bids().bid(w).with_price(Price::from_f64(6.0)))
+            .unwrap();
+        let after = CriticalPaymentAuction.run(&shaded).unwrap();
+        assert!(after.winners().contains(&w));
+        assert_eq!(after.payment_to(w), p_before);
+    }
+
+    #[test]
+    fn overbidding_past_critical_value_loses() {
+        let inst = single_task_instance(&[10.0, 11.0, 12.0, 13.0, 14.0, 15.0], 0.9, 0.3);
+        let base = CriticalPaymentAuction.run(&inst).unwrap();
+        let w = WorkerId(0);
+        let crit = base.payment_to(w);
+        let over = inst
+            .with_bid(
+                w,
+                inst.bids()
+                    .bid(w)
+                    .with_price(crit + Price::from_f64(0.5)),
+            )
+            .unwrap();
+        let after = CriticalPaymentAuction.run(&over).unwrap();
+        assert!(
+            !after.winners().contains(&w),
+            "worker still wins above her critical value"
+        );
+    }
+
+    #[test]
+    fn infeasible_pool_is_rejected() {
+        let inst = single_task_instance(&[10.0], 0.9, 0.1);
+        assert!(matches!(
+            CriticalPaymentAuction.run(&inst),
+            Err(McsError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn payments_not_differentially_private() {
+        // Demonstrate the motivation for DP-hSRC: one neighbour's bid
+        // change deterministically shifts another worker's payment.
+        let inst = single_task_instance(&[10.0, 11.0, 12.0, 13.0, 14.0, 15.0], 0.9, 0.3);
+        let base = CriticalPaymentAuction.run(&inst).unwrap();
+        let nb = inst
+            .with_bid(
+                WorkerId(4),
+                inst.bids()
+                    .bid(WorkerId(4))
+                    .with_price(Price::from_f64(20.0)),
+            )
+            .unwrap();
+        let after = CriticalPaymentAuction.run(&nb).unwrap();
+        // Worker 0's payment jumps from 14 to 15 — a deterministic leak of
+        // worker 4's bid.
+        assert_ne!(base.payment_to(WorkerId(0)), after.payment_to(WorkerId(0)));
+    }
+}

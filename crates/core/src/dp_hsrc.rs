@@ -1,0 +1,199 @@
+//! The DP-hSRC auction (Algorithm 1), end to end.
+
+use rand::Rng;
+
+use mcs_types::{Instance, McsError};
+
+use crate::exponential::ExponentialMechanism;
+use crate::outcome::AuctionOutcome;
+use crate::schedule::{build_schedule, PricePmf, PriceSchedule, SelectionRule};
+
+/// The paper's differentially private hSRC auction.
+///
+/// One value of ε configures the whole mechanism; everything else comes
+/// from the [`Instance`]. Use [`DpHsrcAuction::run`] to execute one
+/// randomized auction, or [`DpHsrcAuction::pmf`] to obtain the *exact*
+/// output distribution — the object that the privacy (Theorem 2),
+/// truthfulness (Theorem 3) and payment (Theorem 6) analyses all quantify
+/// over.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpHsrcAuction {
+    epsilon: f64,
+}
+
+impl DpHsrcAuction {
+    /// Creates the auction with privacy budget ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not strictly positive and finite.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive and finite"
+        );
+        DpHsrcAuction { epsilon }
+    }
+
+    /// The privacy budget ε.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Computes the per-price winner schedule (Algorithm 1, lines 1–15).
+    ///
+    /// # Errors
+    ///
+    /// [`McsError::Infeasible`] or [`McsError::NoFeasiblePrice`] when the
+    /// error-bound constraints cannot be met at any grid price.
+    pub fn schedule(&self, instance: &Instance) -> Result<PriceSchedule, McsError> {
+        build_schedule(instance, SelectionRule::MarginalCoverage)
+    }
+
+    /// The exact output distribution over feasible prices (Eq. 11).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DpHsrcAuction::schedule`].
+    pub fn pmf(&self, instance: &Instance) -> Result<PricePmf, McsError> {
+        let schedule = self.schedule(instance)?;
+        Ok(ExponentialMechanism::for_instance(self.epsilon, instance).pmf(schedule))
+    }
+
+    /// Runs the auction once: builds the schedule, samples a price from the
+    /// exponential mechanism, and returns the price with its winner set
+    /// (Algorithm 1, lines 16–18).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DpHsrcAuction::schedule`].
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        instance: &Instance,
+        rng: &mut R,
+    ) -> Result<AuctionOutcome, McsError> {
+        Ok(self.pmf(instance)?.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_num::rng;
+    use mcs_types::{Bid, Bundle, Price, SkillMatrix, TaskId, TrueType};
+
+    fn instance() -> Instance {
+        let bids = vec![
+            Bid::new(
+                Bundle::new(vec![TaskId(0), TaskId(1)]),
+                Price::from_f64(12.0),
+            ),
+            Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(11.0)),
+            Bid::new(Bundle::new(vec![TaskId(1)]), Price::from_f64(14.0)),
+            Bid::new(
+                Bundle::new(vec![TaskId(0), TaskId(1)]),
+                Price::from_f64(18.0),
+            ),
+        ];
+        let skills = SkillMatrix::from_rows(vec![
+            vec![0.9, 0.9],
+            vec![0.9, 0.5],
+            vec![0.5, 0.95],
+            vec![0.9, 0.9],
+        ])
+        .unwrap();
+        Instance::builder(2)
+            .bids(bids)
+            .skills(skills)
+            .uniform_error_bound(0.4)
+            .price_grid_f64(10.0, 20.0, 0.5)
+            .cost_range(Price::from_f64(10.0), Price::from_f64(20.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn run_produces_feasible_outcome() {
+        let auction = DpHsrcAuction::new(0.1);
+        let inst = instance();
+        let mut r = rng::seeded(1);
+        let outcome = auction.run(&inst, &mut r).unwrap();
+        assert!(inst.price_grid().contains(outcome.price()));
+        let cover = inst.coverage_problem();
+        assert!(cover.is_satisfied_by(outcome.winners().iter().copied()));
+        // Every winner bid at most the clearing price.
+        for &w in outcome.winners() {
+            assert!(inst.bids().bid(w).price() <= outcome.price());
+        }
+    }
+
+    #[test]
+    fn individual_rationality_under_truthful_bids() {
+        let inst = instance();
+        // Truthful types: bids equal true types.
+        let types: Vec<TrueType> = inst
+            .bids()
+            .iter()
+            .map(|(_, b)| TrueType::new(b.bundle().clone(), b.price()))
+            .collect();
+        let auction = DpHsrcAuction::new(0.5);
+        let mut r = rng::seeded(9);
+        for _ in 0..200 {
+            let o = auction.run(&inst, &mut r).unwrap();
+            assert!(o.is_individually_rational(&types));
+        }
+    }
+
+    #[test]
+    fn sampling_matches_exact_pmf() {
+        let inst = instance();
+        let auction = DpHsrcAuction::new(2.0);
+        let pmf = auction.pmf(&inst).unwrap();
+        let mut hist = mcs_num::Histogram::new(pmf.schedule().len());
+        let mut r = rng::seeded(4);
+        let trials = 50_000;
+        for _ in 0..trials {
+            let o = pmf.sample(&mut r);
+            let idx = pmf
+                .schedule()
+                .prices()
+                .iter()
+                .position(|&p| p == o.price())
+                .unwrap();
+            hist.record(idx);
+        }
+        // L∞ deviation well within Monte-Carlo noise for 50k samples.
+        assert!(hist.max_deviation_from(pmf.probs()) < 0.01);
+    }
+
+    #[test]
+    fn epsilon_controls_concentration() {
+        let inst = instance();
+        let loose = DpHsrcAuction::new(0.01).pmf(&inst).unwrap();
+        let tight = DpHsrcAuction::new(50.0).pmf(&inst).unwrap();
+        // Higher ε concentrates on cheaper prices → lower expected payment.
+        assert!(tight.expected_total_payment() <= loose.expected_total_payment() + 1e-9);
+        // And strictly so in this instance where payments differ.
+        assert!(tight.expected_total_payment() < loose.expected_total_payment());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = instance();
+        let auction = DpHsrcAuction::new(0.1);
+        let a = auction.run(&inst, &mut rng::seeded(7)).unwrap();
+        let b = auction.run(&inst, &mut rng::seeded(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn negative_epsilon_rejected() {
+        let _ = DpHsrcAuction::new(-0.1);
+    }
+}

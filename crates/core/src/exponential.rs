@@ -1,0 +1,175 @@
+//! The exponential mechanism over price schedules (Algorithm 1, line 16).
+
+use mcs_types::{Instance, Price};
+
+use crate::schedule::{pmf_from_logits, PricePmf, PriceSchedule};
+
+/// The McSherry–Talwar exponential mechanism instantiated for reverse
+/// auctions: lower total payment ⇒ exponentially higher probability.
+///
+/// The score of price `x` is the negated total payment `−x·|S(x)|`, scaled
+/// by `ε / (2 N c_max)`. The sensitivity analysis behind the `2 N c_max`
+/// denominator is Theorem 2: changing one bid can change `|S(x)|` by at
+/// most `N` and each unit of cardinality is worth at most `c_max`.
+///
+/// All computation is done in the log domain, so extreme `ε · payment`
+/// products (the ε = 1000 end of Figure 5) neither overflow nor collapse
+/// to NaN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialMechanism {
+    /// The privacy budget ε.
+    epsilon: f64,
+    /// Number of workers `N` in the instance.
+    num_workers: usize,
+    /// The cost upper bound `c_max`.
+    cmax: Price,
+}
+
+impl ExponentialMechanism {
+    /// Creates the mechanism for a given ε and instance parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not strictly positive and finite, or
+    /// `num_workers` is zero.
+    pub fn new(epsilon: f64, num_workers: usize, cmax: Price) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive and finite"
+        );
+        assert!(num_workers > 0, "at least one worker is required");
+        ExponentialMechanism {
+            epsilon,
+            num_workers,
+            cmax,
+        }
+    }
+
+    /// Convenience constructor reading `N` and `c_max` from an instance.
+    pub fn for_instance(epsilon: f64, instance: &Instance) -> Self {
+        Self::new(epsilon, instance.num_workers(), instance.cmax())
+    }
+
+    /// The privacy budget ε.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The unnormalized log-weight of a total payment:
+    /// `−ε · R / (2 N c_max)`.
+    #[inline]
+    pub fn logit_of_payment(&self, total_payment: Price) -> f64 {
+        -self.epsilon * total_payment.as_f64()
+            / (2.0 * self.num_workers as f64 * self.cmax.as_f64())
+    }
+
+    /// The exact output PMF over a schedule's feasible prices (Eq. 11).
+    pub fn pmf(&self, schedule: PriceSchedule) -> PricePmf {
+        let logits: Vec<f64> = (0..schedule.len())
+            .map(|i| self.logit_of_payment(schedule.total_payment(i)))
+            .collect();
+        pmf_from_logits(schedule, &logits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{build_schedule, SelectionRule};
+    use mcs_types::{Bid, Bundle, SkillMatrix, TaskId};
+
+    fn schedule() -> PriceSchedule {
+        let bids = vec![
+            Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(10.0)),
+            Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(12.0)),
+            Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(15.0)),
+        ];
+        let inst = Instance::builder(1)
+            .bids(bids)
+            .skills(SkillMatrix::from_rows(vec![vec![0.9]; 3]).unwrap())
+            .uniform_error_bound(0.4)
+            .price_grid_f64(10.0, 20.0, 1.0)
+            .cost_range(Price::from_f64(10.0), Price::from_f64(20.0))
+            .build()
+            .unwrap();
+        build_schedule(&inst, SelectionRule::MarginalCoverage).unwrap()
+    }
+
+    #[test]
+    fn lower_payment_gets_higher_probability() {
+        let s = schedule();
+        let mech = ExponentialMechanism::new(1.0, 3, Price::from_f64(20.0));
+        let payments: Vec<Price> = s.total_payments();
+        let pmf = mech.pmf(s);
+        // Pair payments with probabilities; check strict monotonicity on
+        // distinct payments.
+        for i in 0..payments.len() {
+            for j in 0..payments.len() {
+                if payments[i] < payments[j] {
+                    assert!(
+                        pmf.probs()[i] > pmf.probs()[j],
+                        "payment {} should be likelier than {}",
+                        payments[i],
+                        payments[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probability_ratio_matches_closed_form() {
+        let s = schedule();
+        let n = 3usize;
+        let cmax = Price::from_f64(20.0);
+        let eps = 0.7;
+        let mech = ExponentialMechanism::new(eps, n, cmax);
+        let payments = s.total_payments();
+        let pmf = mech.pmf(s);
+        let expected_log_ratio = -eps
+            * (payments[0].as_f64() - payments[1].as_f64())
+            / (2.0 * n as f64 * cmax.as_f64());
+        let actual = (pmf.probs()[0] / pmf.probs()[1]).ln();
+        assert!((actual - expected_log_ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_epsilon_is_nearly_uniform() {
+        let s = schedule();
+        let len = s.len();
+        let mech = ExponentialMechanism::new(1e-9, 3, Price::from_f64(20.0));
+        let pmf = mech.pmf(s);
+        for &p in pmf.probs() {
+            assert!((p - 1.0 / len as f64).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn huge_epsilon_concentrates_on_min_payment() {
+        let s = schedule();
+        let payments = s.total_payments();
+        let best = payments
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &p)| p)
+            .map(|(i, _)| i)
+            .unwrap();
+        let mech = ExponentialMechanism::new(10_000.0, 3, Price::from_f64(20.0));
+        let pmf = mech.pmf(s);
+        assert!(pmf.probs()[best] > 0.999);
+        assert!(pmf.probs().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        let _ = ExponentialMechanism::new(0.0, 3, Price::from_f64(20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ExponentialMechanism::new(0.1, 0, Price::from_f64(20.0));
+    }
+}

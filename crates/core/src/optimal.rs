@@ -1,0 +1,394 @@
+//! The exact optimal single-price mechanism `R_OPT = min_p p·|S_OPT(p)|`.
+
+use std::time::{Duration, Instant};
+
+use mcs_ilp::{BnbOptions, CoveringIlp, IlpStatus};
+use mcs_types::{Instance, McsError, Price, TaskId, WorkerId};
+
+use crate::outcome::AuctionOutcome;
+use crate::schedule::workers_by_price;
+
+/// The optimal total-payment benchmark of §VII-A.
+///
+/// For every candidate price `p ∈ P` it computes the true
+/// minimum-cardinality winner set `S_OPT(p)` over the workers bidding at
+/// most `p` — the paper uses GUROBI; we use the [`mcs_ilp`]
+/// branch-and-bound — and reports the price minimizing `p·|S_OPT(p)|`.
+/// Like Algorithm 1, it exploits that `S_OPT(p)` is constant between
+/// consecutive bidding prices, so at most `N` ILPs are solved regardless
+/// of `|P|`.
+///
+/// Solving each ILP is NP-hard (Theorem 1), which is the entire point of
+/// Table II: this mechanism's runtime explodes with `N` and `K` while
+/// DP-hSRC stays flat. A per-price time budget keeps large sweeps
+/// terminating; timed-out solves fall back to the branch-and-bound
+/// incumbent and are flagged.
+#[derive(Debug, Clone, Default)]
+pub struct OptimalMechanism {
+    /// Optional wall-clock budget per per-price ILP solve.
+    pub per_price_budget: Option<Duration>,
+}
+
+/// Diagnostics for one per-interval ILP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerPriceSolve {
+    /// The cheapest grid price in the interval this solve covers.
+    pub price: Price,
+    /// `|S_OPT(p)|` (or the incumbent cardinality on timeout).
+    pub cardinality: usize,
+    /// A proven lower bound on `|S_OPT(p)|` (equals `cardinality` when
+    /// `exact`).
+    pub cardinality_lower_bound: usize,
+    /// Whether optimality was proven.
+    pub exact: bool,
+    /// Time spent in branch-and-bound.
+    pub elapsed: Duration,
+    /// Nodes explored.
+    pub nodes: u64,
+}
+
+/// The optimal mechanism's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalOutcome {
+    /// The payment-minimizing price.
+    pub price: Price,
+    /// The minimum-cardinality winner set at that price.
+    pub winners: Vec<WorkerId>,
+    /// `true` iff every per-price solve proved optimality, making the
+    /// reported `R_OPT` exact.
+    pub exact: bool,
+    /// A proven lower bound on `R_OPT`; equals [`OptimalOutcome::total_payment`]
+    /// when `exact`, otherwise the true optimum lies in
+    /// `[payment_lower_bound, total_payment()]`.
+    pub payment_lower_bound: Price,
+    /// One record per solved bidding-price interval.
+    pub solves: Vec<PerPriceSolve>,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl OptimalOutcome {
+    /// The optimal total payment `R_OPT = p·|S_OPT(p)|`.
+    pub fn total_payment(&self) -> Price {
+        self.price * self.winners.len()
+    }
+
+    /// Converts to a regular auction outcome.
+    pub fn to_outcome(&self) -> AuctionOutcome {
+        AuctionOutcome::new(self.price, self.winners.clone())
+    }
+}
+
+impl OptimalMechanism {
+    /// Creates the mechanism with no per-price time budget (fully exact).
+    pub fn new() -> Self {
+        OptimalMechanism::default()
+    }
+
+    /// Creates the mechanism with a per-price ILP budget.
+    pub fn with_budget(per_price_budget: Duration) -> Self {
+        OptimalMechanism {
+            per_price_budget: Some(per_price_budget),
+        }
+    }
+
+    /// Computes `R_OPT` for an instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptimalError::Instance`] — the full pool cannot cover some task
+    ///   ([`McsError::Infeasible`]) or coverage needs a price above the
+    ///   grid ([`McsError::NoFeasiblePrice`]).
+    /// * [`OptimalError::Solver`] — the branch-and-bound stack failed.
+    pub fn solve(&self, instance: &Instance) -> Result<OptimalOutcome, OptimalError> {
+        let start = Instant::now();
+        let cover = instance.coverage_problem();
+        cover.check_feasible()?;
+        let sorted = workers_by_price(instance);
+        let n = sorted.len();
+        let k = cover.num_tasks();
+        let requirements: Vec<f64> = (0..k)
+            .map(|j| cover.requirement(TaskId(j as u32)))
+            .collect();
+
+        // Minimal covering prefix (same walk as Algorithm 1).
+        let mut running = vec![0.0f64; k];
+        let mut first_cover = None;
+        for (idx, &w) in sorted.iter().enumerate() {
+            for (j, r) in running.iter_mut().enumerate() {
+                *r += cover.q(w, TaskId(j as u32));
+            }
+            if running
+                .iter()
+                .zip(&requirements)
+                .all(|(c, q)| *c >= *q - 1e-9)
+            {
+                first_cover = Some(idx);
+                break;
+            }
+        }
+        let first_cover = first_cover.expect("check_feasible guaranteed coverage");
+        let rho_star = instance.bids().bid(sorted[first_cover]).price();
+        let grid = instance.price_grid();
+        let feasible = grid
+            .suffix_from(rho_star)
+            .ok_or(McsError::NoFeasiblePrice {
+                required_price: rho_star,
+                grid_max: grid.max(),
+            })?;
+        let prices = feasible.to_vec();
+
+        let bnb = BnbOptions {
+            time_limit: self.per_price_budget,
+            ..Default::default()
+        };
+
+        let mut best: Option<(Price, Vec<WorkerId>)> = None;
+        let mut best_lower: Option<Price> = None;
+        let mut solves = Vec::new();
+        let mut all_exact = true;
+        let mut grid_idx = 0usize;
+        for i in first_cover..n {
+            let upper = if i + 1 < n {
+                Some(instance.bids().bid(sorted[i + 1]).price())
+            } else {
+                None
+            };
+            let start_idx = grid_idx;
+            while grid_idx < prices.len()
+                && upper.map_or(true, |u| prices[grid_idx] < u)
+            {
+                grid_idx += 1;
+            }
+            if grid_idx == start_idx {
+                continue;
+            }
+            // Cheapest grid price in this interval is the only one that
+            // can attain the interval's minimum payment.
+            let candidate_price = prices[start_idx];
+
+            let pool = &sorted[..=i];
+            let weights: Vec<Vec<f64>> = pool
+                .iter()
+                .map(|&w| cover.worker_row(w).to_vec())
+                .collect();
+            let ilp = CoveringIlp::uniform_cost(weights, requirements.clone())
+                .expect("validated instance data is non-negative");
+            let result = ilp.solve(&bnb)?;
+            let selection = result
+                .best
+                .expect("prefix feasibility was established before solving");
+            let exact = result.status == IlpStatus::Optimal;
+            all_exact &= exact;
+            let card_lb = if result.lower_bound.is_finite() {
+                (result.lower_bound - 1e-6).ceil().max(0.0) as usize
+            } else {
+                selection.selected.len()
+            };
+            solves.push(PerPriceSolve {
+                price: candidate_price,
+                cardinality: selection.selected.len(),
+                cardinality_lower_bound: card_lb.min(selection.selected.len()),
+                exact,
+                elapsed: result.elapsed,
+                nodes: result.nodes_explored,
+            });
+            let lb_payment = candidate_price * card_lb.min(selection.selected.len());
+            if best_lower.map_or(true, |p| lb_payment < p) {
+                best_lower = Some(lb_payment);
+            }
+            let winners: Vec<WorkerId> =
+                selection.selected.iter().map(|&ci| pool[ci]).collect();
+            let payment = candidate_price * winners.len();
+            if best
+                .as_ref()
+                .map_or(true, |(p, w)| payment < *p * w.len())
+            {
+                best = Some((candidate_price, winners));
+            }
+            if grid_idx == prices.len() {
+                break;
+            }
+        }
+
+        let (price, mut winners) = best.expect("at least one feasible interval exists");
+        winners.sort_unstable();
+        let total = price * winners.len();
+        Ok(OptimalOutcome {
+            price,
+            winners,
+            exact: all_exact,
+            payment_lower_bound: best_lower.unwrap_or(total).min(total),
+            solves,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+/// Errors from the optimal mechanism: either the instance itself is bad,
+/// or the exact solver failed (iteration-limit blowups in the simplex).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptimalError {
+    /// The instance cannot be covered, or has no feasible price.
+    Instance(McsError),
+    /// The branch-and-bound / LP stack failed.
+    Solver(mcs_ilp::IlpError),
+}
+
+impl std::fmt::Display for OptimalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimalError::Instance(e) => write!(f, "{e}"),
+            OptimalError::Solver(e) => write!(f, "exact solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimalError::Instance(e) => Some(e),
+            OptimalError::Solver(e) => Some(e),
+        }
+    }
+}
+
+impl From<McsError> for OptimalError {
+    fn from(e: McsError) -> Self {
+        OptimalError::Instance(e)
+    }
+}
+
+impl From<mcs_ilp::IlpError> for OptimalError {
+    fn from(e: mcs_ilp::IlpError) -> Self {
+        OptimalError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaselineAuction, DpHsrcAuction};
+    use mcs_types::{Bid, Bundle, SkillMatrix};
+
+    fn instance() -> Instance {
+        let all = |t: &[u32]| Bundle::new(t.iter().copied().map(TaskId).collect());
+        let bids = vec![
+            Bid::new(all(&[0, 1, 2]), Price::from_f64(10.0)),
+            Bid::new(all(&[0]), Price::from_f64(10.5)),
+            Bid::new(all(&[1]), Price::from_f64(10.5)),
+            Bid::new(all(&[2]), Price::from_f64(10.5)),
+            Bid::new(all(&[3]), Price::from_f64(11.0)),
+            Bid::new(all(&[4]), Price::from_f64(11.0)),
+            Bid::new(all(&[3, 4]), Price::from_f64(11.5)),
+        ];
+        let skills = SkillMatrix::from_rows(vec![
+            vec![0.95, 0.95, 0.95, 0.5, 0.5],
+            vec![0.95, 0.5, 0.5, 0.5, 0.5],
+            vec![0.5, 0.95, 0.5, 0.5, 0.5],
+            vec![0.5, 0.5, 0.95, 0.5, 0.5],
+            vec![0.5, 0.5, 0.5, 0.95, 0.5],
+            vec![0.5, 0.5, 0.5, 0.5, 0.95],
+            vec![0.5, 0.5, 0.5, 0.9, 0.9],
+        ])
+        .unwrap();
+        Instance::builder(5)
+            .bids(bids)
+            .skills(skills)
+            .uniform_error_bound(0.7)
+            .price_grid_f64(10.0, 15.0, 0.5)
+            .cost_range(Price::from_f64(10.0), Price::from_f64(15.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn optimal_is_exact_and_feasible() {
+        let inst = instance();
+        let opt = OptimalMechanism::new().solve(&inst).unwrap();
+        assert!(opt.exact);
+        let cover = inst.coverage_problem();
+        assert!(cover.is_satisfied_by(opt.winners.iter().copied()));
+        for &w in &opt.winners {
+            assert!(inst.bids().bid(w).price() <= opt.price);
+        }
+        // Optimal at p = 11: S = {w0, w4, w5} → payment 33.
+        assert_eq!(opt.price, Price::from_f64(11.0));
+        assert_eq!(opt.winners.len(), 3);
+        assert_eq!(opt.total_payment(), Price::from_f64(33.0));
+    }
+
+    #[test]
+    fn optimal_lower_bounds_every_schedule_price() {
+        let inst = instance();
+        let opt = OptimalMechanism::new().solve(&inst).unwrap();
+        let dp = DpHsrcAuction::new(0.1).schedule(&inst).unwrap();
+        let base = BaselineAuction::new(0.1).schedule(&inst).unwrap();
+        for s in [&dp, &base] {
+            assert!(opt.total_payment() <= s.min_total_payment());
+        }
+    }
+
+    #[test]
+    fn solve_records_per_interval_diagnostics() {
+        let inst = instance();
+        let opt = OptimalMechanism::new().solve(&inst).unwrap();
+        assert!(!opt.solves.is_empty());
+        // Candidate prices ascend and cardinalities never increase.
+        for w in opt.solves.windows(2) {
+            assert!(w[0].price < w[1].price);
+            assert!(w[0].cardinality >= w[1].cardinality);
+        }
+        assert!(opt.solves.iter().all(|s| s.exact));
+    }
+
+    #[test]
+    fn budgeted_solve_brackets_r_opt() {
+        let inst = instance();
+        let exact = OptimalMechanism::new().solve(&inst).unwrap();
+        assert!(exact.exact);
+        assert_eq!(exact.payment_lower_bound, exact.total_payment());
+        // Zero budget: everything runs on incumbents.
+        let budgeted = OptimalMechanism::with_budget(Duration::ZERO)
+            .solve(&inst)
+            .unwrap();
+        assert!(!budgeted.exact);
+        assert!(budgeted.payment_lower_bound <= budgeted.total_payment());
+        // The true R_OPT lies inside the reported bracket.
+        assert!(budgeted.payment_lower_bound <= exact.total_payment());
+        assert!(exact.total_payment() <= budgeted.total_payment());
+        // Per-solve lower bounds are consistent too.
+        for s in &budgeted.solves {
+            assert!(s.cardinality_lower_bound <= s.cardinality);
+        }
+    }
+
+    #[test]
+    fn infeasible_instance_is_reported() {
+        let inst = Instance::builder(1)
+            .bids(vec![Bid::new(
+                Bundle::new(vec![TaskId(0)]),
+                Price::from_f64(10.0),
+            )])
+            .skills(SkillMatrix::from_rows(vec![vec![0.6]]).unwrap())
+            .uniform_error_bound(0.1)
+            .price_grid_f64(10.0, 15.0, 0.5)
+            .cost_range(Price::from_f64(10.0), Price::from_f64(15.0))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            OptimalMechanism::new().solve(&inst),
+            Err(OptimalError::Instance(McsError::Infeasible { .. }))
+        ));
+    }
+
+    #[test]
+    fn to_outcome_roundtrip() {
+        let inst = instance();
+        let opt = OptimalMechanism::new().solve(&inst).unwrap();
+        let o = opt.to_outcome();
+        assert_eq!(o.price(), opt.price);
+        assert_eq!(o.total_payment(), opt.total_payment());
+    }
+}

@@ -1,0 +1,680 @@
+//! Per-price winner-set schedules (Algorithm 1, lines 1–15) and the exact
+//! price PMF of the exponential mechanism.
+
+use rand::Rng;
+
+use mcs_num::{sample_logits, softmax_from_logits};
+use mcs_types::{CoverageProblem, Instance, McsError, Price, TaskId, WorkerId};
+
+use crate::outcome::AuctionOutcome;
+
+/// Residual coverage below this threshold counts as satisfied.
+const COVER_EPS: f64 = 1e-9;
+
+/// Which winner-selection rule fills each price's winner set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionRule {
+    /// Algorithm 1's greedy rule: each step picks the worker with the
+    /// largest *marginal* coverage `Σ_j min(Q'_j, q_ij)` against the
+    /// current residual.
+    MarginalCoverage,
+    /// The §VII-A baseline: workers are taken in descending order of their
+    /// *static* total score `Σ_j q_ij`, ignoring how much of it is still
+    /// needed.
+    StaticTotal,
+}
+
+/// The winner set for every feasible candidate price.
+///
+/// Winner sets are constant on the interval between two consecutive bidding
+/// prices, so the schedule stores one distinct set per non-empty interval
+/// and maps each grid price to its interval — this is exactly the
+/// compression that makes Algorithm 1's complexity independent of `|P|`
+/// (Theorem 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceSchedule {
+    /// Feasible grid prices, ascending (the suffix of `P` at which the
+    /// error-bound constraints are satisfiable).
+    prices: Vec<Price>,
+    /// `set_of[i]` indexes into `sets` for `prices[i]`.
+    set_of: Vec<usize>,
+    /// Distinct winner sets, each sorted by worker id.
+    sets: Vec<Vec<WorkerId>>,
+}
+
+impl PriceSchedule {
+    /// Number of feasible candidate prices `|P|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Returns `true` if no price is feasible (never — construction fails
+    /// instead).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+
+    /// The feasible prices, ascending.
+    #[inline]
+    pub fn prices(&self) -> &[Price] {
+        &self.prices
+    }
+
+    /// The `idx`-th feasible price.
+    #[inline]
+    pub fn price(&self, idx: usize) -> Price {
+        self.prices[idx]
+    }
+
+    /// The winner set at the `idx`-th feasible price.
+    #[inline]
+    pub fn winners(&self, idx: usize) -> &[WorkerId] {
+        &self.sets[self.set_of[idx]]
+    }
+
+    /// The total payment `x · |S(x)|` at the `idx`-th feasible price.
+    pub fn total_payment(&self, idx: usize) -> Price {
+        self.prices[idx] * self.winners(idx).len()
+    }
+
+    /// All total payments, aligned with [`PriceSchedule::prices`].
+    pub fn total_payments(&self) -> Vec<Price> {
+        (0..self.len()).map(|i| self.total_payment(i)).collect()
+    }
+
+    /// The number of *distinct* winner sets stored.
+    #[inline]
+    pub fn num_distinct_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The smallest total payment over all feasible prices.
+    pub fn min_total_payment(&self) -> Price {
+        (0..self.len())
+            .map(|i| self.total_payment(i))
+            .min()
+            .expect("schedule is never empty")
+    }
+}
+
+/// Worker order used throughout Algorithm 1: ascending bidding price, ties
+/// by worker id.
+pub(crate) fn workers_by_price(instance: &Instance) -> Vec<WorkerId> {
+    let mut ids: Vec<WorkerId> = (0..instance.num_workers())
+        .map(|i| WorkerId(i as u32))
+        .collect();
+    ids.sort_by_key(|&w| (instance.bids().bid(w).price(), w));
+    ids
+}
+
+/// Sparse per-worker coverage rows: `(task index, q_ij)` for bundle tasks
+/// with non-zero weight.
+pub(crate) fn sparse_rows_of(cover: &CoverageProblem) -> Vec<Vec<(usize, f64)>> {
+    (0..cover.num_workers())
+        .map(|i| {
+            cover
+                .worker_row(WorkerId(i as u32))
+                .iter()
+                .enumerate()
+                .filter(|&(_, &q)| q > 0.0)
+                .map(|(j, &q)| (j, q))
+                .collect()
+        })
+        .collect()
+}
+
+/// Greedy winner selection among `candidates` (Algorithm 1, lines 8–13).
+///
+/// `candidates` must be able to satisfy the requirements; panics in debug
+/// builds otherwise (callers establish feasibility first).
+fn select_marginal(
+    candidates: &[WorkerId],
+    rows: &[Vec<(usize, f64)>],
+    requirements: &[f64],
+) -> Vec<WorkerId> {
+    let mut residual = requirements.to_vec();
+    let mut remaining: f64 = residual.iter().sum();
+    let mut used = vec![false; candidates.len()];
+    let mut winners = Vec::new();
+    while remaining > COVER_EPS {
+        let mut best: Option<(usize, f64)> = None;
+        for (ci, &w) in candidates.iter().enumerate() {
+            if used[ci] {
+                continue;
+            }
+            let gain: f64 = rows[w.index()]
+                .iter()
+                .map(|&(j, q)| q.min(residual[j].max(0.0)))
+                .sum();
+            if gain <= COVER_EPS {
+                continue;
+            }
+            // Strict `>` keeps ties on the earliest candidate — i.e. the
+            // cheapest bidder, then smallest worker id.
+            if best.map_or(true, |(_, bg)| gain > bg) {
+                best = Some((ci, gain));
+            }
+        }
+        let (ci, _) = best.expect("candidate pool cannot cover the tasks");
+        used[ci] = true;
+        let w = candidates[ci];
+        winners.push(w);
+        for &(j, q) in &rows[w.index()] {
+            let take = q.min(residual[j].max(0.0));
+            residual[j] -= take;
+            remaining -= take;
+        }
+    }
+    winners.sort_unstable();
+    winners
+}
+
+/// Baseline winner selection: descending static score `Σ_j q_ij`, ties by
+/// worker id.
+fn select_static(
+    candidates: &[WorkerId],
+    rows: &[Vec<(usize, f64)>],
+    requirements: &[f64],
+) -> Vec<WorkerId> {
+    let mut order: Vec<WorkerId> = candidates.to_vec();
+    let total = |w: WorkerId| -> f64 { rows[w.index()].iter().map(|&(_, q)| q).sum() };
+    order.sort_by(|&a, &b| {
+        total(b)
+            .partial_cmp(&total(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut residual = requirements.to_vec();
+    let mut remaining: f64 = residual.iter().sum();
+    let mut winners = Vec::new();
+    for w in order {
+        if remaining <= COVER_EPS {
+            break;
+        }
+        winners.push(w);
+        for &(j, q) in &rows[w.index()] {
+            let take = q.min(residual[j].max(0.0));
+            residual[j] -= take;
+            remaining -= take;
+        }
+    }
+    debug_assert!(remaining <= COVER_EPS, "candidates cannot cover");
+    winners.sort_unstable();
+    winners
+}
+
+/// Builds the per-price winner schedule for an instance under a selection
+/// rule (Algorithm 1, lines 1–15).
+///
+/// The feasible price set is the suffix of the instance's grid at or above
+/// the cheapest covering prefix of workers; the winner set is recomputed
+/// once per bidding-price interval that contains at least one grid price.
+///
+/// # Errors
+///
+/// * [`McsError::Infeasible`] — even the full pool cannot satisfy some
+///   task's error-bound constraint.
+/// * [`McsError::NoFeasiblePrice`] — coverage is possible but only above
+///   the top of the price grid.
+pub fn build_schedule(
+    instance: &Instance,
+    rule: SelectionRule,
+) -> Result<PriceSchedule, McsError> {
+    let cover = instance.coverage_problem();
+    cover.check_feasible()?;
+    let rows = sparse_rows_of(&cover);
+    let sorted = workers_by_price(instance);
+    let n = sorted.len();
+    let k = cover.num_tasks();
+
+    // Find the minimal covering prefix of the price-sorted workers.
+    let mut running = vec![0.0f64; k];
+    let mut deficit: f64 = (0..k)
+        .map(|j| cover.requirement(TaskId(j as u32)))
+        .sum();
+    let requirements: Vec<f64> = (0..k)
+        .map(|j| cover.requirement(TaskId(j as u32)))
+        .collect();
+    let mut first_cover: Option<usize> = None;
+    for (idx, &w) in sorted.iter().enumerate() {
+        for &(j, q) in &rows[w.index()] {
+            let need = (requirements[j] - running[j]).max(0.0);
+            running[j] += q;
+            deficit -= q.min(need);
+        }
+        if deficit <= COVER_EPS {
+            first_cover = Some(idx);
+            break;
+        }
+    }
+    let first_cover = first_cover.expect("check_feasible guaranteed a covering prefix");
+    let rho_star = instance.bids().bid(sorted[first_cover]).price();
+
+    let grid = instance.price_grid();
+    let feasible = grid
+        .suffix_from(rho_star)
+        .ok_or(McsError::NoFeasiblePrice {
+            required_price: rho_star,
+            grid_max: grid.max(),
+        })?;
+    let prices = feasible.to_vec();
+
+    // Walk the bidding-price intervals [ρ_i, ρ_{i+1}) and fill in the grid
+    // prices they contain.
+    let mut set_of = vec![usize::MAX; prices.len()];
+    let mut sets: Vec<Vec<WorkerId>> = Vec::new();
+    let mut grid_idx = 0usize;
+    for i in first_cover..n {
+        let upper = if i + 1 < n {
+            Some(instance.bids().bid(sorted[i + 1]).price())
+        } else {
+            None
+        };
+        // Grid prices in this interval.
+        let start = grid_idx;
+        while grid_idx < prices.len()
+            && upper.map_or(true, |u| prices[grid_idx] < u)
+        {
+            grid_idx += 1;
+        }
+        if grid_idx == start {
+            continue; // no grid price falls in this interval
+        }
+        let candidates = &sorted[..=i];
+        let winners = match rule {
+            SelectionRule::MarginalCoverage => {
+                select_marginal(candidates, &rows, &requirements)
+            }
+            SelectionRule::StaticTotal => select_static(candidates, &rows, &requirements),
+        };
+        sets.push(winners);
+        for s in set_of.iter_mut().take(grid_idx).skip(start) {
+            *s = sets.len() - 1;
+        }
+        if grid_idx == prices.len() {
+            break;
+        }
+    }
+    debug_assert!(
+        set_of.iter().all(|&s| s != usize::MAX),
+        "every feasible grid price must be assigned a winner set"
+    );
+
+    Ok(PriceSchedule {
+        prices,
+        set_of,
+        sets,
+    })
+}
+
+/// Reference implementation that recomputes the winner set independently
+/// for every grid price — `O(|P| · N · K · |S|)`, used only to validate the
+/// interval-compressed schedule and in the ablation bench.
+pub fn build_schedule_naive(
+    instance: &Instance,
+    rule: SelectionRule,
+) -> Result<PriceSchedule, McsError> {
+    let cover = instance.coverage_problem();
+    cover.check_feasible()?;
+    let rows = sparse_rows_of(&cover);
+    let sorted = workers_by_price(instance);
+    let requirements: Vec<f64> = (0..cover.num_tasks())
+        .map(|j| cover.requirement(TaskId(j as u32)))
+        .collect();
+
+    let mut prices = Vec::new();
+    let mut set_of = Vec::new();
+    let mut sets: Vec<Vec<WorkerId>> = Vec::new();
+    for p in instance.price_grid().iter() {
+        let candidates: Vec<WorkerId> = sorted
+            .iter()
+            .copied()
+            .take_while(|&w| instance.bids().bid(w).price() <= p)
+            .collect();
+        // Feasible at this price?
+        let mut residual = requirements.clone();
+        for &w in &candidates {
+            for &(j, q) in &rows[w.index()] {
+                residual[j] -= q;
+            }
+        }
+        if residual.iter().any(|&r| r > COVER_EPS) {
+            continue;
+        }
+        let winners = match rule {
+            SelectionRule::MarginalCoverage => {
+                select_marginal(&candidates, &rows, &requirements)
+            }
+            SelectionRule::StaticTotal => select_static(&candidates, &rows, &requirements),
+        };
+        let idx = sets
+            .iter()
+            .position(|s| *s == winners)
+            .unwrap_or_else(|| {
+                sets.push(winners);
+                sets.len() - 1
+            });
+        prices.push(p);
+        set_of.push(idx);
+    }
+    if prices.is_empty() {
+        return Err(McsError::NoFeasiblePrice {
+            required_price: instance
+                .bids()
+                .max_price()
+                .unwrap_or(instance.cmax()),
+            grid_max: instance.price_grid().max(),
+        });
+    }
+    Ok(PriceSchedule {
+        prices,
+        set_of,
+        sets,
+    })
+}
+
+/// The exact output distribution of a differentially private auction: the
+/// exponential-mechanism PMF over a schedule's feasible prices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricePmf {
+    schedule: PriceSchedule,
+    probs: Vec<f64>,
+}
+
+impl PricePmf {
+    /// Pairs a schedule with already-normalized probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree or the probabilities do not sum to 1
+    /// (within 1e-6).
+    pub fn new(schedule: PriceSchedule, probs: Vec<f64>) -> Self {
+        assert_eq!(schedule.len(), probs.len(), "pmf length mismatch");
+        let total: f64 = probs.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "pmf does not sum to 1 (got {total})"
+        );
+        PricePmf { schedule, probs }
+    }
+
+    /// The underlying schedule.
+    #[inline]
+    pub fn schedule(&self) -> &PriceSchedule {
+        &self.schedule
+    }
+
+    /// Probabilities aligned with `schedule().prices()`.
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Samples one auction outcome (price + its winner set).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> AuctionOutcome {
+        // Inverse-transform over the exact PMF.
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut idx = self.probs.len() - 1;
+        for (i, p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                idx = i;
+                break;
+            }
+        }
+        AuctionOutcome::new(
+            self.schedule.price(idx),
+            self.schedule.winners(idx).to_vec(),
+        )
+    }
+
+    /// The exact expected total payment `E[x · |S(x)|]` in currency units.
+    pub fn expected_total_payment(&self) -> f64 {
+        (0..self.schedule.len())
+            .map(|i| self.probs[i] * self.schedule.total_payment(i).as_f64())
+            .sum()
+    }
+
+    /// The exact standard deviation of the total payment.
+    pub fn total_payment_std(&self) -> f64 {
+        let mean = self.expected_total_payment();
+        let var: f64 = (0..self.schedule.len())
+            .map(|i| {
+                let r = self.schedule.total_payment(i).as_f64();
+                self.probs[i] * (r - mean) * (r - mean)
+            })
+            .sum();
+        var.sqrt()
+    }
+
+    /// Samples a price index directly from logits (for tests comparing the
+    /// exact PMF with Gumbel-style sampling paths).
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let logits: Vec<f64> = self.probs.iter().map(|p| p.ln()).collect();
+        sample_logits(rng, &logits)
+    }
+}
+
+/// Builds a PMF from per-price logits (used by the exponential mechanism).
+pub(crate) fn pmf_from_logits(schedule: PriceSchedule, logits: &[f64]) -> PricePmf {
+    let probs = softmax_from_logits(logits);
+    PricePmf { schedule, probs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_types::{Bid, Bundle, SkillMatrix};
+
+    /// Four workers / two tasks instance used across the tests.
+    ///
+    /// q values: θ 0.9 → 0.64, θ 0.8 → 0.36, θ 0.95 → 0.81.
+    /// δ = 0.4 → Q_j ≈ 1.833.
+    fn instance() -> Instance {
+        let bids = vec![
+            Bid::new(
+                Bundle::new(vec![TaskId(0), TaskId(1)]),
+                Price::from_f64(12.0),
+            ),
+            Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(11.0)),
+            Bid::new(Bundle::new(vec![TaskId(1)]), Price::from_f64(14.0)),
+            Bid::new(
+                Bundle::new(vec![TaskId(0), TaskId(1)]),
+                Price::from_f64(18.0),
+            ),
+        ];
+        let skills = SkillMatrix::from_rows(vec![
+            vec![0.9, 0.9],
+            vec![0.9, 0.5],
+            vec![0.5, 0.95],
+            vec![0.9, 0.9],
+        ])
+        .unwrap();
+        Instance::builder(2)
+            .bids(bids)
+            .skills(skills)
+            .uniform_error_bound(0.4)
+            .price_grid_f64(10.0, 20.0, 0.5)
+            .cost_range(Price::from_f64(10.0), Price::from_f64(20.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn schedule_covers_all_feasible_prices() {
+        let s = build_schedule(&instance(), SelectionRule::MarginalCoverage).unwrap();
+        // Coverage per task needs ≈1.833. Task 0: w1 (0.64) + w0 (0.64) +
+        // w3 (0.64) = 1.92 → needs all three of workers {0,1,3}; task 1:
+        // w0 (0.64) + w2 (0.81) + w3 (0.64) = 2.09. The cheapest covering
+        // prefix must include worker 3 at price 18 → feasible from 18.
+        assert_eq!(s.prices().first().copied(), Some(Price::from_f64(18.0)));
+        assert_eq!(s.prices().last().copied(), Some(Price::from_f64(20.0)));
+        // Every price maps to a winner set that satisfies the constraints.
+        let cover = instance().coverage_problem();
+        for i in 0..s.len() {
+            assert!(cover.is_satisfied_by(s.winners(i).iter().copied()));
+        }
+    }
+
+    #[test]
+    fn winner_sets_monotone_price_needs_everyone_here() {
+        let s = build_schedule(&instance(), SelectionRule::MarginalCoverage).unwrap();
+        // In this tight instance every covering set needs workers 0,1,2,3.
+        for i in 0..s.len() {
+            assert_eq!(
+                s.winners(i),
+                &[WorkerId(0), WorkerId(1), WorkerId(2), WorkerId(3)]
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_pool_is_detected() {
+        // One weak worker cannot reach Q ≈ 1.833.
+        let inst = Instance::builder(1)
+            .bids(vec![Bid::new(
+                Bundle::new(vec![TaskId(0)]),
+                Price::from_f64(10.0),
+            )])
+            .skills(SkillMatrix::from_rows(vec![vec![0.9]]).unwrap())
+            .uniform_error_bound(0.4)
+            .price_grid_f64(10.0, 20.0, 0.5)
+            .cost_range(Price::from_f64(10.0), Price::from_f64(20.0))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            build_schedule(&inst, SelectionRule::MarginalCoverage),
+            Err(McsError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_below_required_price_errors() {
+        let bids = vec![
+            Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(19.0)),
+            Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(19.5)),
+            Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(20.0)),
+        ];
+        let inst = Instance::builder(1)
+            .bids(bids)
+            .skills(SkillMatrix::from_rows(vec![vec![0.9]; 3]).unwrap())
+            .uniform_error_bound(0.4)
+            .price_grid_f64(10.0, 15.0, 0.5) // tops out below 20
+            .cost_range(Price::from_f64(10.0), Price::from_f64(20.0))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            build_schedule(&inst, SelectionRule::MarginalCoverage),
+            Err(McsError::NoFeasiblePrice { .. })
+        ));
+    }
+
+    #[test]
+    fn compressed_matches_naive_marginal() {
+        let inst = instance();
+        let fast = build_schedule(&inst, SelectionRule::MarginalCoverage).unwrap();
+        let naive = build_schedule_naive(&inst, SelectionRule::MarginalCoverage).unwrap();
+        assert_eq!(fast.prices(), naive.prices());
+        for i in 0..fast.len() {
+            assert_eq!(fast.winners(i), naive.winners(i), "price {}", fast.price(i));
+        }
+    }
+
+    #[test]
+    fn compressed_matches_naive_static() {
+        let inst = instance();
+        let fast = build_schedule(&inst, SelectionRule::StaticTotal).unwrap();
+        let naive = build_schedule_naive(&inst, SelectionRule::StaticTotal).unwrap();
+        assert_eq!(fast.prices(), naive.prices());
+        for i in 0..fast.len() {
+            assert_eq!(fast.winners(i), naive.winners(i));
+        }
+    }
+
+    #[test]
+    fn marginal_greedy_prefers_high_residual_gain() {
+        // Three workers on one task, requirement 1.0:
+        // w0 q=0.64, w1 q=0.49, w2 q=0.36 — greedy takes w0 then w1.
+        let candidates = vec![WorkerId(0), WorkerId(1), WorkerId(2)];
+        let rows = vec![
+            vec![(0usize, 0.64)],
+            vec![(0usize, 0.49)],
+            vec![(0usize, 0.36)],
+        ];
+        let winners = select_marginal(&candidates, &rows, &[1.0]);
+        assert_eq!(winners, vec![WorkerId(0), WorkerId(1)]);
+    }
+
+    #[test]
+    fn marginal_greedy_uses_residual_not_static_totals() {
+        // Two tasks. w0 covers task 0 fully (1.0). w1 has the biggest
+        // static total but all of it on task 0 (1.5 — capped at the 1.0
+        // requirement); w2 covers task 1 with 0.6. Marginal gains tie w0
+        // and w1 at 1.0, the tie falls to the earlier candidate w0, and the
+        // residual-aware rule then needs only w2: two winners. The static
+        // rule starts with w1, whose surplus on task 0 is wasted, and ends
+        // with all three.
+        let candidates = vec![WorkerId(0), WorkerId(1), WorkerId(2)];
+        let rows = vec![
+            vec![(0usize, 1.0)],
+            vec![(0usize, 1.5)],
+            vec![(1usize, 0.6)],
+        ];
+        let req = [1.0, 0.5];
+        let marginal = select_marginal(&candidates, &rows, &req);
+        assert_eq!(marginal, vec![WorkerId(0), WorkerId(2)]);
+        let static_sel = select_static(&candidates, &rows, &req);
+        assert_eq!(static_sel, vec![WorkerId(0), WorkerId(1), WorkerId(2)]);
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_samples_in_support() {
+        let inst = instance();
+        let s = build_schedule(&inst, SelectionRule::MarginalCoverage).unwrap();
+        let n = s.len();
+        let logits: Vec<f64> = (0..n).map(|i| -(i as f64)).collect();
+        let pmf = pmf_from_logits(s, &logits);
+        assert!((pmf.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let mut r = mcs_num::rng::seeded(3);
+        for _ in 0..100 {
+            let o = pmf.sample(&mut r);
+            assert!(pmf.schedule().prices().contains(&o.price()));
+            assert!(!o.winners().is_empty());
+        }
+    }
+
+    #[test]
+    fn pmf_expected_payment_matches_hand_computation() {
+        let inst = instance();
+        let s = build_schedule(&inst, SelectionRule::MarginalCoverage).unwrap();
+        let n = s.len();
+        let probs = vec![1.0 / n as f64; n];
+        let payments: Vec<f64> = (0..n).map(|i| s.total_payment(i).as_f64()).collect();
+        let pmf = PricePmf::new(s, probs);
+        let expect: f64 = payments.iter().sum::<f64>() / n as f64;
+        assert!((pmf.expected_total_payment() - expect).abs() < 1e-9);
+        assert!(pmf.total_payment_std() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn pmf_rejects_unnormalized() {
+        let inst = instance();
+        let s = build_schedule(&inst, SelectionRule::MarginalCoverage).unwrap();
+        let n = s.len();
+        let _ = PricePmf::new(s, vec![0.9 / n as f64; n]);
+    }
+
+    #[test]
+    fn workers_sorted_by_price_then_id() {
+        let inst = instance();
+        let order = workers_by_price(&inst);
+        assert_eq!(
+            order,
+            vec![WorkerId(1), WorkerId(0), WorkerId(2), WorkerId(3)]
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Expected-utility accounting for truthfulness and rationality analyses.
+//!
+//! Theorem 3 claims `E[u(b*)] ≥ E[u(b)] − ε·Δc` for any deviation `b`. Its
+//! proof holds the utility *function* fixed and bounds only how much the
+//! exponential mechanism's price lottery can shift — the membership channel
+//! (the worker's own presence in `S(x)` changing with her bid) is not
+//! modelled. These helpers therefore expose both accountings, each computed
+//! from the mechanism's *exact* output PMFs so deviation experiments carry
+//! no Monte-Carlo noise: [`deviation_gain`] (strict, observational) and
+//! [`cross_expected_utility`] (the price channel, provably capped at
+//! `(e^ε − 1)·Δc`).
+
+use mcs_types::{Price, WorkerId};
+
+use crate::schedule::PricePmf;
+
+/// A worker's expected utility under a mechanism's exact output
+/// distribution.
+///
+/// For each feasible price `x`, the worker's utility is `x − cost` if she
+/// is in `S(x)` and zero otherwise (Definition 3, single-price payments).
+/// `cost` is what executing her *bid* bundle actually costs her — her true
+/// cost `c*` when the bid bundle is truthful, or the true cost of the
+/// misreported bundle in bundle-deviation analyses.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_auction::{utility, DpHsrcAuction};
+/// use mcs_types::{Bid, Bundle, Instance, Price, SkillMatrix, TaskId, WorkerId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let instance = Instance::builder(1)
+/// #     .bids(vec![
+/// #         Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(10.0)),
+/// #         Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(11.0)),
+/// #         Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(12.0)),
+/// #     ])
+/// #     .skills(SkillMatrix::from_rows(vec![vec![0.9]; 3])?)
+/// #     .uniform_error_bound(0.4)
+/// #     .price_grid_f64(12.0, 15.0, 0.5)
+/// #     .cost_range(Price::from_f64(10.0), Price::from_f64(15.0))
+/// #     .build()?;
+/// let pmf = DpHsrcAuction::new(0.1).pmf(&instance)?;
+/// let eu = utility::expected_utility(&pmf, WorkerId(0), Price::from_f64(10.0));
+/// assert!(eu >= 0.0); // individual rationality in expectation
+/// # Ok(())
+/// # }
+/// ```
+pub fn expected_utility(pmf: &PricePmf, worker: WorkerId, cost: Price) -> f64 {
+    let schedule = pmf.schedule();
+    (0..schedule.len())
+        .map(|i| {
+            if schedule.winners(i).binary_search(&worker).is_ok() {
+                pmf.probs()[i] * (schedule.price(i) - cost).as_f64()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Expected utilities for every worker, given per-worker costs.
+///
+/// # Panics
+///
+/// Panics if `costs.len()` is smaller than the largest winner id.
+pub fn expected_utilities(pmf: &PricePmf, costs: &[Price]) -> Vec<f64> {
+    (0..costs.len())
+        .map(|i| expected_utility(pmf, WorkerId(i as u32), costs[i]))
+        .collect()
+}
+
+/// The probability that a worker wins under the mechanism's output
+/// distribution.
+pub fn win_probability(pmf: &PricePmf, worker: WorkerId) -> f64 {
+    let schedule = pmf.schedule();
+    (0..schedule.len())
+        .filter(|&i| schedule.winners(i).binary_search(&worker).is_ok())
+        .map(|i| pmf.probs()[i])
+        .sum()
+}
+
+/// Expected utility mixing the *price distribution* of one PMF with the
+/// *winner membership* of another.
+///
+/// This isolates the channel Theorem 3 actually bounds: the paper's proof
+/// compares `Σ_x u_i(x)·Pr[M(b)=x]` against `Σ_x u_i(x)·Pr[M(b′)=x]` with
+/// the *same* utility function `u_i`, i.e. it quantifies how much the
+/// exponential mechanism's price lottery can shift — not how the worker's
+/// own membership in `S(x)` changes with her bid. Returns `None` when the
+/// two PMFs have different feasible-price supports.
+pub fn cross_expected_utility(
+    prices_from: &PricePmf,
+    membership_from: &PricePmf,
+    worker: WorkerId,
+    cost: Price,
+) -> Option<f64> {
+    if prices_from.schedule().prices() != membership_from.schedule().prices() {
+        return None;
+    }
+    let schedule = membership_from.schedule();
+    Some(
+        (0..schedule.len())
+            .map(|i| {
+                if schedule.winners(i).binary_search(&worker).is_ok() {
+                    prices_from.probs()[i] * (schedule.price(i) - cost).as_f64()
+                } else {
+                    0.0
+                }
+            })
+            .sum(),
+    )
+}
+
+/// The strict deviation gain `E[u(deviated)] − E[u(truthful)]` for a worker
+/// whose true execution cost is `true_cost` in both worlds.
+///
+/// Note: this *full* accounting includes the worker's own winner-set
+/// membership change, which the paper's Theorem 3 proof does not model —
+/// the ε·Δc bound is guaranteed only for the price-lottery channel (see
+/// [`cross_expected_utility`]); the strict gain can exceed it when a
+/// worker's deviation flips her own selection at many prices.
+pub fn deviation_gain(
+    truthful: &PricePmf,
+    deviated: &PricePmf,
+    worker: WorkerId,
+    true_cost: Price,
+) -> f64 {
+    expected_utility(deviated, worker, true_cost)
+        - expected_utility(truthful, worker, true_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DpHsrcAuction;
+    use mcs_types::{Bid, Bundle, Instance, SkillMatrix, TaskId};
+
+    fn instance(prices: &[f64]) -> Instance {
+        let bids: Vec<Bid> = prices
+            .iter()
+            .map(|&p| Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(p)))
+            .collect();
+        let n = bids.len();
+        Instance::builder(1)
+            .bids(bids)
+            .skills(SkillMatrix::from_rows(vec![vec![0.8]; n]).unwrap())
+            .uniform_error_bound(0.3)
+            .price_grid_f64(14.0, 20.0, 0.5)
+            .cost_range(Price::from_f64(10.0), Price::from_f64(20.0))
+            .build()
+            .unwrap()
+    }
+
+    const BASE: &[f64] = &[10.0, 10.5, 11.0, 11.5, 12.0, 12.5, 13.0, 14.0];
+
+    #[test]
+    fn expected_utility_nonnegative_for_truthful_winners() {
+        let pmf = DpHsrcAuction::new(0.1).pmf(&instance(BASE)).unwrap();
+        for (i, &c) in BASE.iter().enumerate() {
+            let eu = expected_utility(&pmf, WorkerId(i as u32), Price::from_f64(c));
+            assert!(eu >= 0.0, "worker {i} has negative expected utility {eu}");
+        }
+    }
+
+    #[test]
+    fn win_probabilities_are_probabilities() {
+        let pmf = DpHsrcAuction::new(0.1).pmf(&instance(BASE)).unwrap();
+        for i in 0..BASE.len() {
+            let p = win_probability(&pmf, WorkerId(i as u32));
+            assert!((0.0..=1.0 + 1e-12).contains(&p));
+        }
+    }
+
+    #[test]
+    fn sure_winner_utility_is_price_minus_cost() {
+        // With every feasible price's winner set containing worker 0, her
+        // expected utility is E[x] − c.
+        let pmf = DpHsrcAuction::new(0.1).pmf(&instance(BASE)).unwrap();
+        let w0 = WorkerId(0);
+        if (win_probability(&pmf, w0) - 1.0).abs() < 1e-12 {
+            let schedule = pmf.schedule();
+            let e_price: f64 = (0..schedule.len())
+                .map(|i| pmf.probs()[i] * schedule.price(i).as_f64())
+                .sum();
+            let eu = expected_utility(&pmf, w0, Price::from_f64(10.0));
+            assert!((eu - (e_price - 10.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn price_channel_gain_bounded_by_theorem3() {
+        let eps = 0.5;
+        let auction = DpHsrcAuction::new(eps);
+        let truthful = auction.pmf(&instance(BASE)).unwrap();
+        let true_cost = Price::from_f64(11.5);
+        let delta_c = 10.0; // cmax − cmin = 20 − 10
+        // The DP price lottery can shift expected utility by at most
+        // (e^ε − 1)·Δc for any fixed utility function.
+        let channel_budget = (eps.exp() - 1.0) * delta_c;
+        for dev_price in [12.0, 13.5, 15.0, 17.5, 19.5] {
+            let mut prices = BASE.to_vec();
+            prices[3] = dev_price;
+            let deviated = auction.pmf(&instance(&prices)).unwrap();
+            let Some(cross) = cross_expected_utility(
+                &truthful, &deviated, WorkerId(3), true_cost,
+            ) else {
+                continue;
+            };
+            let gain = expected_utility(&deviated, WorkerId(3), true_cost) - cross;
+            assert!(
+                gain <= channel_budget + 1e-9,
+                "deviation to {dev_price}: channel gain {gain} > {channel_budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_utility_matches_plain_on_same_pmf() {
+        let pmf = DpHsrcAuction::new(0.2).pmf(&instance(BASE)).unwrap();
+        let w = WorkerId(1);
+        let c = Price::from_f64(10.5);
+        let cross = cross_expected_utility(&pmf, &pmf, w, c).unwrap();
+        assert!((cross - expected_utility(&pmf, w, c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_utilities_vectorized() {
+        let pmf = DpHsrcAuction::new(0.1).pmf(&instance(BASE)).unwrap();
+        let costs: Vec<Price> = BASE.iter().map(|&c| Price::from_f64(c)).collect();
+        let eus = expected_utilities(&pmf, &costs);
+        assert_eq!(eus.len(), BASE.len());
+        for (i, &eu) in eus.iter().enumerate() {
+            let single = expected_utility(&pmf, WorkerId(i as u32), costs[i]);
+            assert!((eu - single).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,620 @@
+//! Best-first branch-and-bound over the simplex LP relaxation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use mcs_lp::{LinearProgram, LpOutcome, SimplexOptions};
+
+use crate::covering::{greedy_cover, CoveringIlp};
+use crate::IlpError;
+
+/// Budgets and tolerances for branch-and-bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnbOptions {
+    /// Wall-clock budget; on expiry the incumbent is returned with status
+    /// [`IlpStatus::TimedOut`]. `None` = unlimited.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of explored nodes; same timeout semantics.
+    pub max_nodes: Option<u64>,
+    /// Options forwarded to the LP relaxation solver.
+    pub lp_options: SimplexOptions,
+    /// Integrality tolerance for declaring an LP solution integral.
+    pub integrality_tol: f64,
+}
+
+impl Default for BnbOptions {
+    fn default() -> Self {
+        BnbOptions {
+            time_limit: None,
+            max_nodes: None,
+            lp_options: SimplexOptions::default(),
+            integrality_tol: 1e-6,
+        }
+    }
+}
+
+impl BnbOptions {
+    /// Convenience constructor with only a wall-clock budget.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        BnbOptions {
+            time_limit: Some(limit),
+            ..Default::default()
+        }
+    }
+}
+
+/// How the search ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IlpStatus {
+    /// The search tree was exhausted; the incumbent is provably optimal.
+    Optimal,
+    /// No 0/1 assignment satisfies the constraints.
+    Infeasible,
+    /// A node or time budget expired; the incumbent (if any) is the best
+    /// found so far but unproven.
+    TimedOut,
+}
+
+/// A selected variable subset and its objective value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Total cost of the selection.
+    pub objective: f64,
+    /// Indices of selected variables, ascending.
+    pub selected: Vec<usize>,
+}
+
+/// The outcome of a branch-and-bound run, with search statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpResult {
+    /// Final status.
+    pub status: IlpStatus,
+    /// Best feasible selection found (`None` only when infeasible, or when
+    /// a timeout hit before the greedy warm start — which cannot happen
+    /// since the warm start precedes the search).
+    pub best: Option<Selection>,
+    /// A proven lower bound on the optimum. Equals the incumbent objective
+    /// when `status` is [`IlpStatus::Optimal`]; on timeout it is the
+    /// smallest bound among unexplored nodes, so the true optimum lies in
+    /// `[lower_bound, best.objective]`.
+    pub lower_bound: f64,
+    /// Nodes whose LP relaxation was solved.
+    pub nodes_explored: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// A search node: partial assignment plus a lower bound inherited from its
+/// parent (used as the heap priority until its own LP is solved).
+struct Node {
+    /// Per-variable state: `-1` free, `0` fixed out, `1` fixed in.
+    assignment: Vec<i8>,
+    /// Cost of variables fixed to 1.
+    fixed_cost: f64,
+    /// Lower bound inherited from the parent's LP.
+    bound: f64,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the smallest bound first.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Runs best-first branch-and-bound on a covering ILP.
+pub(crate) fn solve_branch_and_bound(
+    ilp: &CoveringIlp,
+    options: &BnbOptions,
+) -> Result<IlpResult, IlpError> {
+    let start = Instant::now();
+    let n = ilp.num_vars();
+
+    if !ilp.is_feasible_at_all() {
+        return Ok(IlpResult {
+            status: IlpStatus::Infeasible,
+            best: None,
+            lower_bound: f64::INFINITY,
+            nodes_explored: 0,
+            elapsed: start.elapsed(),
+        });
+    }
+
+    // Greedy warm start gives the initial incumbent.
+    let greedy = greedy_cover(ilp).expect("feasibility was just checked");
+    let mut incumbent = Selection {
+        objective: ilp.cost_of(&greedy),
+        selected: {
+            let mut g = greedy;
+            g.sort_unstable();
+            g
+        },
+    };
+
+    // When all costs are integral the optimum is integral, so LP bounds can
+    // be rounded up — a massive pruning win for cardinality objectives.
+    let integral_costs = ilp
+        .costs()
+        .iter()
+        .all(|c| (c - c.round()).abs() < 1e-9);
+    let sharpen = |bound: f64| {
+        if integral_costs {
+            (bound - 1e-6).ceil()
+        } else {
+            bound
+        }
+    };
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        assignment: vec![-1; n],
+        fixed_cost: 0.0,
+        bound: 0.0,
+    });
+    let mut nodes_explored: u64 = 0;
+    let mut status = IlpStatus::Optimal;
+    // The smallest bound of any node left unexplored at exit; proves the
+    // optimality gap on timeout.
+    let mut open_bound: Option<f64> = None;
+
+    while let Some(node) = heap.pop() {
+        // Budget checks.
+        let timed_out = options.time_limit.is_some_and(|l| start.elapsed() >= l)
+            || options.max_nodes.is_some_and(|m| nodes_explored >= m);
+        if timed_out {
+            status = IlpStatus::TimedOut;
+            // The heap is bound-ordered, so this node carries the smallest
+            // outstanding bound.
+            open_bound = Some(sharpen(node.bound));
+            break;
+        }
+        // Bound from the parent may already be dominated.
+        if sharpen(node.bound) >= incumbent.objective - 1e-9 {
+            continue;
+        }
+
+        nodes_explored += 1;
+
+        // Build the node's residual LP over free variables.
+        let free: Vec<usize> = (0..n).filter(|&i| node.assignment[i] == -1).collect();
+        let mut residual = ilp.requirements().to_vec();
+        for i in 0..n {
+            if node.assignment[i] == 1 {
+                for (r, w) in residual.iter_mut().zip(ilp.weights_of(i)) {
+                    *r = (*r - w).max(0.0);
+                }
+            }
+        }
+
+        // Quick feasibility: can the free variables still cover the
+        // residual requirements?
+        let coverable = (0..ilp.num_constraints()).all(|j| {
+            let total: f64 = free.iter().map(|&i| ilp.weights_of(i)[j]).sum();
+            total >= residual[j] - 1e-9
+        });
+        if !coverable {
+            continue;
+        }
+
+        // LP relaxation: min Σ c_i x_i over free vars, coverage ≥ residual,
+        // x ≤ 1. Skip constraints already satisfied.
+        let obj: Vec<f64> = free.iter().map(|&i| ilp.costs()[i]).collect();
+        let mut lp = LinearProgram::minimize(obj);
+        for (j, &req) in residual.iter().enumerate() {
+            if req > 1e-12 {
+                let row: Vec<f64> = free.iter().map(|&i| ilp.weights_of(i)[j]).collect();
+                lp = lp.geq(row, req);
+            }
+        }
+        lp = lp.upper_bounds(1.0);
+
+        let solution = match lp.solve_with(&options.lp_options)? {
+            LpOutcome::Optimal(s) => s,
+            // The sum pre-check above guarantees feasibility of the box
+            // relaxation; treat a numerically infeasible LP as a prune.
+            LpOutcome::Infeasible => continue,
+            // A covering LP with non-negative costs over a box is never
+            // unbounded.
+            LpOutcome::Unbounded => continue,
+        };
+
+        let bound = sharpen(node.fixed_cost + solution.objective());
+        if bound >= incumbent.objective - 1e-9 {
+            continue;
+        }
+
+        // LP-rounding incumbent repair: take the node's fixed-1 set plus
+        // every free variable at ≥ 0.5, then greedily patch any residual
+        // shortfall. This cheap pass typically finds optimal-quality
+        // covers long before the tree proves them, which is what makes
+        // the ceil-bound pruning bite.
+        {
+            let mut selected: Vec<usize> =
+                (0..n).filter(|&i| node.assignment[i] == 1).collect();
+            let mut res = residual.clone();
+            for (fi, &i) in free.iter().enumerate() {
+                if solution.value(fi) >= 0.5 {
+                    selected.push(i);
+                    for (r, w) in res.iter_mut().zip(ilp.weights_of(i)) {
+                        *r = (*r - w).max(0.0);
+                    }
+                }
+            }
+            if res.iter().any(|&r| r > 1e-9) {
+                // Greedy repair over the remaining free variables.
+                let mut remaining: Vec<usize> = free
+                    .iter()
+                    .enumerate()
+                    .filter(|&(fi, _)| solution.value(fi) < 0.5)
+                    .map(|(_, &i)| i)
+                    .collect();
+                while res.iter().any(|&r| r > 1e-9) {
+                    let best = remaining
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, &i)| {
+                            let gain: f64 = ilp
+                                .weights_of(i)
+                                .iter()
+                                .zip(&res)
+                                .map(|(&w, &r)| w.min(r))
+                                .sum();
+                            (pos, i, gain / ilp.costs()[i].max(1e-12))
+                        })
+                        .filter(|&(_, _, score)| score > 1e-12)
+                        .max_by(|a, b| {
+                            a.2.partial_cmp(&b.2).unwrap_or(Ordering::Equal)
+                        });
+                    let Some((pos, i, _)) = best else { break };
+                    remaining.swap_remove(pos);
+                    selected.push(i);
+                    for (r, w) in res.iter_mut().zip(ilp.weights_of(i)) {
+                        *r = (*r - w).max(0.0);
+                    }
+                }
+            }
+            if res.iter().all(|&r| r <= 1e-9) {
+                selected.sort_unstable();
+                selected.dedup();
+                let objective = ilp.cost_of(&selected);
+                if objective < incumbent.objective - 1e-9
+                    && ilp.is_feasible(&selected)
+                {
+                    incumbent = Selection {
+                        objective,
+                        selected,
+                    };
+                }
+            }
+        }
+        if bound >= incumbent.objective - 1e-9 {
+            continue;
+        }
+
+        // Most fractional free variable.
+        let fractional = free
+            .iter()
+            .enumerate()
+            .map(|(fi, &i)| (i, solution.value(fi)))
+            .filter(|&(_, v)| {
+                v > options.integrality_tol && v < 1.0 - options.integrality_tol
+            })
+            .max_by(|a, b| {
+                let da = (a.1 - 0.5).abs();
+                let db = (b.1 - 0.5).abs();
+                db.partial_cmp(&da).unwrap_or(Ordering::Equal)
+            });
+
+        match fractional {
+            None => {
+                // Integral LP solution: a candidate incumbent.
+                let mut selected: Vec<usize> = (0..n)
+                    .filter(|&i| node.assignment[i] == 1)
+                    .collect();
+                for (fi, &i) in free.iter().enumerate() {
+                    if solution.value(fi) > 0.5 {
+                        selected.push(i);
+                    }
+                }
+                selected.sort_unstable();
+                let objective = ilp.cost_of(&selected);
+                if ilp.is_feasible(&selected) && objective < incumbent.objective - 1e-9 {
+                    incumbent = Selection {
+                        objective,
+                        selected,
+                    };
+                }
+            }
+            Some((var, _)) => {
+                // Branch: fix to 1 (usually the covering-helpful branch)
+                // and to 0.
+                let mut up = node.assignment.clone();
+                up[var] = 1;
+                heap.push(Node {
+                    assignment: up,
+                    fixed_cost: node.fixed_cost + ilp.costs()[var],
+                    bound,
+                });
+                let mut down = node.assignment;
+                down[var] = 0;
+                heap.push(Node {
+                    assignment: down,
+                    fixed_cost: node.fixed_cost,
+                    bound,
+                });
+            }
+        }
+    }
+
+    let lower_bound = match status {
+        IlpStatus::Optimal => incumbent.objective,
+        _ => open_bound
+            .unwrap_or(incumbent.objective)
+            .min(incumbent.objective),
+    };
+    Ok(IlpResult {
+        status,
+        best: Some(incumbent),
+        lower_bound,
+        nodes_explored,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covering::solve_exhaustive;
+    use proptest::prelude::*;
+    use rand::Rng;
+    use rand_chacha::rand_core::SeedableRng;
+
+    fn solve(ilp: &CoveringIlp) -> IlpResult {
+        ilp.solve(&BnbOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn simple_cardinality_cover() {
+        let ilp = CoveringIlp::uniform_cost(
+            vec![vec![0.7, 0.0], vec![0.0, 0.7], vec![0.5, 0.5]],
+            vec![0.6, 0.6],
+        )
+        .unwrap();
+        let r = solve(&ilp);
+        assert_eq!(r.status, IlpStatus::Optimal);
+        let best = r.best.unwrap();
+        assert_eq!(best.objective, 2.0);
+        assert!(ilp.is_feasible(&best.selected));
+    }
+
+    #[test]
+    fn infeasible_is_reported() {
+        let ilp = CoveringIlp::uniform_cost(vec![vec![0.4]], vec![1.0]).unwrap();
+        let r = solve(&ilp);
+        assert_eq!(r.status, IlpStatus::Infeasible);
+        assert!(r.best.is_none());
+    }
+
+    #[test]
+    fn exact_beats_greedy_when_greedy_is_myopic() {
+        // Greedy picks the big middle variable first, then needs two more;
+        // the optimum is the two side variables.
+        let ilp = CoveringIlp::uniform_cost(
+            vec![
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![0.55, 0.55],
+            ],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        let greedy = greedy_cover(&ilp).unwrap();
+        assert_eq!(greedy.len(), 3); // greedy takes 2 then both 0 and 1
+        let r = solve(&ilp);
+        assert_eq!(r.best.unwrap().objective, 2.0);
+    }
+
+    #[test]
+    fn weighted_costs_change_the_optimum() {
+        let ilp = CoveringIlp::new(
+            vec![vec![1.0], vec![0.5], vec![0.5]],
+            vec![1.0],
+            vec![5.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let r = solve(&ilp);
+        let best = r.best.unwrap();
+        assert_eq!(best.selected, vec![1, 2]);
+        assert!((best.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_requirements_select_nothing() {
+        let ilp = CoveringIlp::uniform_cost(vec![vec![1.0]; 3], vec![0.0]).unwrap();
+        let r = solve(&ilp);
+        let best = r.best.unwrap();
+        assert!(best.selected.is_empty());
+        assert_eq!(best.objective, 0.0);
+    }
+
+    #[test]
+    fn node_budget_times_out_with_incumbent() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let weights: Vec<Vec<f64>> = (0..18)
+            .map(|_| (0..6).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let reqs = vec![2.0; 6];
+        let ilp = CoveringIlp::uniform_cost(weights, reqs).unwrap();
+        let r = ilp
+            .solve(&BnbOptions {
+                max_nodes: Some(1),
+                ..Default::default()
+            })
+            .unwrap();
+        // One node is never enough to prove optimality here, but the greedy
+        // incumbent must be present and feasible.
+        let best = r.best.unwrap();
+        assert!(ilp.is_feasible(&best.selected));
+        assert!(r.nodes_explored <= 1);
+        assert_eq!(r.status, IlpStatus::TimedOut);
+    }
+
+    #[test]
+    fn lower_bound_brackets_the_optimum() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(12);
+        let weights: Vec<Vec<f64>> = (0..20)
+            .map(|_| (0..8).map(|_| rng.gen_range(0.0..0.6)).collect())
+            .collect();
+        let reqs = vec![1.5; 8];
+        let ilp = CoveringIlp::uniform_cost(weights, reqs).unwrap();
+        // Full solve gives the truth.
+        let exact = ilp.solve(&BnbOptions::default()).unwrap();
+        assert_eq!(exact.status, IlpStatus::Optimal);
+        let truth = exact.best.as_ref().unwrap().objective;
+        assert_eq!(exact.lower_bound, truth);
+        // A tiny node budget must bracket it.
+        let budgeted = ilp
+            .solve(&BnbOptions {
+                max_nodes: Some(3),
+                ..Default::default()
+            })
+            .unwrap();
+        let ub = budgeted.best.as_ref().unwrap().objective;
+        assert!(budgeted.lower_bound <= truth + 1e-9);
+        assert!(truth <= ub + 1e-9);
+        assert!(budgeted.lower_bound <= ub + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_lower_bound_is_infinite() {
+        let ilp = CoveringIlp::uniform_cost(vec![vec![0.4]], vec![1.0]).unwrap();
+        let r = ilp.solve(&BnbOptions::default()).unwrap();
+        assert_eq!(r.status, IlpStatus::Infeasible);
+        assert_eq!(r.lower_bound, f64::INFINITY);
+    }
+
+    #[test]
+    fn time_budget_zero_times_out() {
+        let ilp = CoveringIlp::uniform_cost(
+            vec![vec![0.7, 0.0], vec![0.0, 0.7], vec![0.5, 0.5]],
+            vec![0.6, 0.6],
+        )
+        .unwrap();
+        let r = ilp
+            .solve(&BnbOptions::with_time_limit(Duration::ZERO))
+            .unwrap();
+        assert_eq!(r.status, IlpStatus::TimedOut);
+        assert!(r.best.is_some());
+    }
+
+    #[test]
+    fn matches_exhaustive_on_fixed_instances() {
+        let cases = [
+            (
+                vec![
+                    vec![0.9, 0.1, 0.0],
+                    vec![0.2, 0.8, 0.3],
+                    vec![0.0, 0.4, 0.9],
+                    vec![0.5, 0.5, 0.5],
+                ],
+                vec![1.0, 1.0, 1.0],
+            ),
+            (
+                vec![
+                    vec![0.3, 0.3],
+                    vec![0.3, 0.3],
+                    vec![0.3, 0.3],
+                    vec![0.3, 0.3],
+                    vec![1.0, 0.0],
+                ],
+                vec![0.9, 0.9],
+            ),
+        ];
+        for (weights, reqs) in cases {
+            let ilp = CoveringIlp::uniform_cost(weights, reqs).unwrap();
+            let exact = solve_exhaustive(&ilp).unwrap();
+            let bnb = solve(&ilp).best.unwrap();
+            assert!(
+                (bnb.objective - exact.objective).abs() < 1e-9,
+                "bnb {} vs exhaustive {}",
+                bnb.objective,
+                exact.objective
+            );
+            assert!(ilp.is_feasible(&bnb.selected));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_bnb_matches_exhaustive(
+            seed in 0u64..2000,
+            n in 2usize..10,
+            k in 1usize..5,
+        ) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let weights: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..k).map(|_| {
+                    if rng.gen_bool(0.3) { 0.0 } else { rng.gen_range(0.05..1.0) }
+                }).collect())
+                .collect();
+            let reqs: Vec<f64> = (0..k).map(|j| {
+                let total: f64 = weights.iter().map(|row| row[j]).sum();
+                if total <= 0.0 {
+                    0.0 // column of all-zero weights: only requirement 0 is meaningful
+                } else {
+                    rng.gen_range(0.0..total * 1.1) // sometimes infeasible
+                }
+            }).collect();
+            let ilp = CoveringIlp::uniform_cost(weights, reqs).unwrap();
+            let exact = solve_exhaustive(&ilp);
+            let bnb = solve(&ilp);
+            match exact {
+                None => prop_assert_eq!(bnb.status, IlpStatus::Infeasible),
+                Some(sel) => {
+                    prop_assert_eq!(bnb.status, IlpStatus::Optimal);
+                    let best = bnb.best.unwrap();
+                    prop_assert!((best.objective - sel.objective).abs() < 1e-6,
+                        "bnb {} vs exhaustive {}", best.objective, sel.objective);
+                    prop_assert!(ilp.is_feasible(&best.selected));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_bnb_weighted_matches_exhaustive(
+            seed in 0u64..1000,
+            n in 2usize..8,
+        ) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x5A5A);
+            let k = 2usize;
+            let weights: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..k).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            let reqs: Vec<f64> = (0..k).map(|j| {
+                let total: f64 = weights.iter().map(|row| row[j]).sum();
+                rng.gen_range(0.0..total * 0.8)
+            }).collect();
+            let costs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..3.0)).collect();
+            let ilp = CoveringIlp::new(weights, reqs, costs).unwrap();
+            let exact = solve_exhaustive(&ilp).unwrap();
+            let best = solve(&ilp).best.unwrap();
+            prop_assert!((best.objective - exact.objective).abs() < 1e-6);
+        }
+    }
+}

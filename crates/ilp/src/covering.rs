@@ -1,0 +1,355 @@
+//! Covering-ILP problem representation, greedy heuristic, and an
+//! exhaustive reference solver.
+
+use crate::bnb::{solve_branch_and_bound, BnbOptions, IlpResult, Selection};
+use crate::IlpError;
+
+/// A 0/1 covering integer program.
+///
+/// `weights[i][j]` is variable `i`'s contribution to constraint `j`;
+/// selecting a set `S` of variables is feasible when
+/// `Σ_{i∈S} weights[i][j] ≥ requirements[j]` for every `j`. The objective
+/// is `Σ_{i∈S} costs[i]`, with unit costs the common case (the TPM problem
+/// minimizes winner-set cardinality).
+///
+/// All data must be non-negative and finite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoveringIlp {
+    weights: Vec<Vec<f64>>,
+    requirements: Vec<f64>,
+    costs: Vec<f64>,
+}
+
+impl CoveringIlp {
+    /// Builds a covering ILP with explicit per-variable costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::DimensionMismatch`] for ragged weight rows or a
+    /// cost vector of the wrong length, and [`IlpError::InvalidCoefficient`]
+    /// for negative or non-finite data.
+    pub fn new(
+        weights: Vec<Vec<f64>>,
+        requirements: Vec<f64>,
+        costs: Vec<f64>,
+    ) -> Result<Self, IlpError> {
+        let k = requirements.len();
+        if costs.len() != weights.len() {
+            return Err(IlpError::DimensionMismatch {
+                variable: 0,
+                expected: weights.len(),
+                actual: costs.len(),
+            });
+        }
+        for (i, row) in weights.iter().enumerate() {
+            if row.len() != k {
+                return Err(IlpError::DimensionMismatch {
+                    variable: i,
+                    expected: k,
+                    actual: row.len(),
+                });
+            }
+            for &w in row {
+                if !w.is_finite() || w < 0.0 {
+                    return Err(IlpError::InvalidCoefficient {
+                        location: "weights",
+                        value: w,
+                    });
+                }
+            }
+        }
+        for &r in &requirements {
+            if !r.is_finite() || r < 0.0 {
+                return Err(IlpError::InvalidCoefficient {
+                    location: "requirements",
+                    value: r,
+                });
+            }
+        }
+        for &c in &costs {
+            if !c.is_finite() || c < 0.0 {
+                return Err(IlpError::InvalidCoefficient {
+                    location: "costs",
+                    value: c,
+                });
+            }
+        }
+        Ok(CoveringIlp {
+            weights,
+            requirements,
+            costs,
+        })
+    }
+
+    /// Builds a covering ILP where every variable costs 1 (cardinality
+    /// minimization, as in the TPM problem).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CoveringIlp::new`].
+    pub fn uniform_cost(
+        weights: Vec<Vec<f64>>,
+        requirements: Vec<f64>,
+    ) -> Result<Self, IlpError> {
+        let n = weights.len();
+        Self::new(weights, requirements, vec![1.0; n])
+    }
+
+    /// Number of 0/1 variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of covering constraints.
+    #[inline]
+    pub fn num_constraints(&self) -> usize {
+        self.requirements.len()
+    }
+
+    /// Variable `i`'s weight row.
+    #[inline]
+    pub fn weights_of(&self, var: usize) -> &[f64] {
+        &self.weights[var]
+    }
+
+    /// The requirement vector.
+    #[inline]
+    pub fn requirements(&self) -> &[f64] {
+        &self.requirements
+    }
+
+    /// Variable costs.
+    #[inline]
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// Total cost of a variable subset.
+    pub fn cost_of(&self, selected: &[usize]) -> f64 {
+        selected.iter().map(|&i| self.costs[i]).sum()
+    }
+
+    /// Whether a subset of variables satisfies every constraint (with a
+    /// small float tolerance).
+    pub fn is_feasible(&self, selected: &[usize]) -> bool {
+        let mut residual = self.requirements.clone();
+        for &i in selected {
+            for (r, w) in residual.iter_mut().zip(&self.weights[i]) {
+                *r -= w;
+            }
+        }
+        residual.iter().all(|&r| r <= 1e-9)
+    }
+
+    /// Whether selecting *all* variables satisfies every constraint — the
+    /// necessary and sufficient feasibility condition for covering
+    /// programs.
+    pub fn is_feasible_at_all(&self) -> bool {
+        (0..self.num_constraints()).all(|j| {
+            let total: f64 = self.weights.iter().map(|row| row[j]).sum();
+            total >= self.requirements[j] - 1e-9
+        })
+    }
+
+    /// Solves exactly by branch-and-bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::Lp`] if the LP relaxation solver fails.
+    pub fn solve(&self, options: &BnbOptions) -> Result<IlpResult, IlpError> {
+        solve_branch_and_bound(self, options)
+    }
+}
+
+/// Greedy multi-cover heuristic: repeatedly select the variable with the
+/// best marginal-coverage-per-cost ratio until every constraint is
+/// satisfied.
+///
+/// Returns `None` when the instance is infeasible even with all variables.
+/// The result seeds branch-and-bound with an incumbent; its quality bound
+/// is the classic `H_m`-style set-cover guarantee (cf. Lemma 2 of the
+/// paper).
+///
+/// # Examples
+///
+/// ```
+/// use mcs_ilp::{greedy_cover, CoveringIlp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ilp = CoveringIlp::uniform_cost(
+///     vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.6]],
+///     vec![0.5, 0.5],
+/// )?;
+/// let picked = greedy_cover(&ilp).unwrap();
+/// assert!(ilp.is_feasible(&picked));
+/// # Ok(())
+/// # }
+/// ```
+pub fn greedy_cover(ilp: &CoveringIlp) -> Option<Vec<usize>> {
+    if !ilp.is_feasible_at_all() {
+        return None;
+    }
+    let n = ilp.num_vars();
+    let mut residual = ilp.requirements().to_vec();
+    let mut selected = Vec::new();
+    let mut used = vec![false; n];
+    while residual.iter().any(|&r| r > 1e-9) {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..n {
+            if used[i] {
+                continue;
+            }
+            let gain: f64 = ilp
+                .weights_of(i)
+                .iter()
+                .zip(&residual)
+                .map(|(&w, &r)| w.min(r.max(0.0)))
+                .sum();
+            if gain <= 1e-12 {
+                continue;
+            }
+            let cost = ilp.costs()[i].max(1e-12);
+            let score = gain / cost;
+            if best.map_or(true, |(_, bs)| score > bs) {
+                best = Some((i, score));
+            }
+        }
+        let (i, _) = best?;
+        used[i] = true;
+        selected.push(i);
+        for (r, w) in residual.iter_mut().zip(ilp.weights_of(i)) {
+            *r -= w;
+        }
+    }
+    Some(selected)
+}
+
+/// Exhaustive reference solver: enumerates all `2^n` subsets.
+///
+/// Only intended for certifying the branch-and-bound on tiny instances.
+/// Returns `None` when infeasible.
+///
+/// # Panics
+///
+/// Panics if the instance has more than 24 variables (would enumerate
+/// over 16 million subsets).
+pub fn solve_exhaustive(ilp: &CoveringIlp) -> Option<Selection> {
+    let n = ilp.num_vars();
+    assert!(n <= 24, "exhaustive solver limited to 24 variables");
+    let mut best: Option<Selection> = None;
+    for mask in 0u32..(1u32 << n) {
+        let selected: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        if !ilp.is_feasible(&selected) {
+            continue;
+        }
+        let objective = ilp.cost_of(&selected);
+        if best.as_ref().map_or(true, |b| objective < b.objective - 1e-12) {
+            best = Some(Selection {
+                objective,
+                selected,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CoveringIlp {
+        CoveringIlp::uniform_cost(
+            vec![vec![0.7, 0.0], vec![0.0, 0.7], vec![0.5, 0.5]],
+            vec![0.6, 0.6],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(CoveringIlp::uniform_cost(vec![vec![1.0], vec![1.0, 2.0]], vec![1.0]).is_err());
+        assert!(CoveringIlp::uniform_cost(vec![vec![-1.0]], vec![1.0]).is_err());
+        assert!(CoveringIlp::uniform_cost(vec![vec![1.0]], vec![f64::NAN]).is_err());
+        assert!(CoveringIlp::new(vec![vec![1.0]], vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(CoveringIlp::new(vec![vec![1.0]], vec![1.0], vec![-0.5]).is_err());
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let ilp = tiny();
+        assert!(ilp.is_feasible_at_all());
+        assert!(ilp.is_feasible(&[0, 1]));
+        assert!(!ilp.is_feasible(&[0]));
+        assert!(!ilp.is_feasible(&[2]));
+        assert!(ilp.is_feasible(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn infeasible_instance_detected() {
+        let ilp = CoveringIlp::uniform_cost(vec![vec![0.3]], vec![1.0]).unwrap();
+        assert!(!ilp.is_feasible_at_all());
+        assert!(greedy_cover(&ilp).is_none());
+        assert!(solve_exhaustive(&ilp).is_none());
+    }
+
+    #[test]
+    fn greedy_produces_feasible_cover() {
+        let ilp = tiny();
+        let picked = greedy_cover(&ilp).unwrap();
+        assert!(ilp.is_feasible(&picked));
+    }
+
+    #[test]
+    fn greedy_respects_costs() {
+        // Variable 0 covers everything but is expensive; 1 and 2 together
+        // are cheaper per unit of coverage.
+        let ilp = CoveringIlp::new(
+            vec![vec![1.0, 1.0], vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![1.0, 1.0],
+            vec![10.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let picked = greedy_cover(&ilp).unwrap();
+        assert!(ilp.is_feasible(&picked));
+        assert!(ilp.cost_of(&picked) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_finds_minimum() {
+        let sel = solve_exhaustive(&tiny()).unwrap();
+        assert_eq!(sel.objective, 2.0);
+        assert_eq!(sel.selected, vec![0, 1]);
+    }
+
+    #[test]
+    fn exhaustive_weighted_costs() {
+        let ilp = CoveringIlp::new(
+            vec![vec![1.0], vec![0.6], vec![0.6]],
+            vec![1.0],
+            vec![3.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let sel = solve_exhaustive(&ilp).unwrap();
+        // {1, 2} covers 1.2 ≥ 1.0 at cost 2 < cost 3 of {0}.
+        assert_eq!(sel.selected, vec![1, 2]);
+        assert_eq!(sel.objective, 2.0);
+    }
+
+    #[test]
+    fn zero_requirements_need_nothing() {
+        let ilp = CoveringIlp::uniform_cost(vec![vec![1.0]], vec![0.0]).unwrap();
+        assert!(ilp.is_feasible(&[]));
+        assert_eq!(greedy_cover(&ilp).unwrap(), Vec::<usize>::new());
+        let sel = solve_exhaustive(&ilp).unwrap();
+        assert!(sel.selected.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "24 variables")]
+    fn exhaustive_guards_against_blowup() {
+        let ilp =
+            CoveringIlp::uniform_cost(vec![vec![1.0]; 25], vec![1.0]).unwrap();
+        let _ = solve_exhaustive(&ilp);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for the ILP solver.
+
+use std::error::Error;
+use std::fmt;
+
+use mcs_lp::LpError;
+
+/// Errors raised while constructing or solving a covering ILP.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IlpError {
+    /// A variable's weight row length differed from the constraint count.
+    DimensionMismatch {
+        /// Index of the offending variable.
+        variable: usize,
+        /// Expected row length (number of constraints).
+        expected: usize,
+        /// Actual row length.
+        actual: usize,
+    },
+    /// A weight, cost, or requirement was negative, NaN, or infinite.
+    ///
+    /// Covering programs need non-negative data: a negative weight would
+    /// break the monotonicity that the greedy warm start and the
+    /// feasibility pre-check rely on.
+    InvalidCoefficient {
+        /// Where the bad value was found.
+        location: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The LP relaxation solver failed (iteration limit or malformed data).
+    Lp(LpError),
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::DimensionMismatch {
+                variable,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "variable {variable} has {actual} weights, expected {expected}"
+            ),
+            IlpError::InvalidCoefficient { location, value } => {
+                write!(f, "invalid coefficient {value} in {location}")
+            }
+            IlpError::Lp(e) => write!(f, "lp relaxation failed: {e}"),
+        }
+    }
+}
+
+impl Error for IlpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IlpError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for IlpError {
+    fn from(e: LpError) -> Self {
+        IlpError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_lp_error_with_source() {
+        let e = IlpError::from(LpError::IterationLimit { limit: 5 });
+        assert!(e.to_string().contains("lp relaxation"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IlpError>();
+    }
+}

@@ -1,0 +1,74 @@
+//! Solver error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while validating or solving a linear program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// A constraint row's coefficient vector length differed from the
+    /// number of variables.
+    DimensionMismatch {
+        /// Index of the offending constraint.
+        constraint: usize,
+        /// Number of variables in the program.
+        num_vars: usize,
+        /// Length of the offending row.
+        row_len: usize,
+    },
+    /// A coefficient, objective entry, or right-hand side was NaN or
+    /// infinite.
+    NonFiniteCoefficient {
+        /// Where the bad value was found.
+        location: &'static str,
+    },
+    /// The pivot loop exceeded its iteration budget.
+    ///
+    /// With Bland's rule active this can only happen if the budget is
+    /// genuinely too small for the instance.
+    IterationLimit {
+        /// The configured limit that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::DimensionMismatch {
+                constraint,
+                num_vars,
+                row_len,
+            } => write!(
+                f,
+                "constraint {constraint} has {row_len} coefficients, expected {num_vars}"
+            ),
+            LpError::NonFiniteCoefficient { location } => {
+                write!(f, "non-finite coefficient in {location}")
+            }
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex exceeded the iteration limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LpError::IterationLimit { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_err<T: Error + Send + Sync>() {}
+        assert_err::<LpError>();
+    }
+}

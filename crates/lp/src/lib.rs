@@ -1,0 +1,51 @@
+//! A dense two-phase primal simplex solver for linear programs.
+//!
+//! This crate is the linear-algebra substrate underneath `mcs-ilp`'s
+//! branch-and-bound: the paper solves the TPM covering integer program with
+//! GUROBI, and we replace GUROBI with our own exact stack. The LP relaxation
+//! of a TPM node is
+//!
+//! ```text
+//! minimize    Σ x_i
+//! subject to  Σ_i q_ij · x_i ≥ Q_j      for every task j
+//!             x_i ≤ 1                   for every worker i
+//!             x_i ≥ 0
+//! ```
+//!
+//! which this crate solves via the classic two-phase tableau method:
+//! phase 1 minimizes the sum of artificial variables to find a basic
+//! feasible solution, phase 2 minimizes the real objective. Entering
+//! variables use Dantzig's rule with an automatic switch to Bland's rule
+//! after a stall, which guarantees termination on degenerate problems.
+//!
+//! The solver is dense and tableau-based — simple, auditable, and fast
+//! enough for the instance sizes where the paper runs its optimal baseline
+//! (N ≤ 140 workers, K ≤ 50 tasks).
+//!
+//! # Examples
+//!
+//! ```
+//! use mcs_lp::{LinearProgram, LpOutcome};
+//!
+//! // minimize x + y  s.t.  x + 2y ≥ 4,  3x + y ≥ 6
+//! let lp = LinearProgram::minimize(vec![1.0, 1.0])
+//!     .geq(vec![1.0, 2.0], 4.0)
+//!     .geq(vec![3.0, 1.0], 6.0);
+//! match lp.solve().unwrap() {
+//!     LpOutcome::Optimal(sol) => {
+//!         assert!((sol.objective() - 2.8).abs() < 1e-9);
+//!     }
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod problem;
+mod simplex;
+
+pub use error::LpError;
+pub use problem::{Constraint, LinearProgram, Relation};
+pub use simplex::{LpOutcome, SimplexOptions, Solution};

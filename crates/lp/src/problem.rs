@@ -1,0 +1,219 @@
+//! Problem construction: objective, constraints, validation.
+
+use crate::simplex::{solve_two_phase, LpOutcome, SimplexOptions};
+use crate::LpError;
+
+/// The sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `Σ a_i x_i ≤ b`
+    Le,
+    /// `Σ a_i x_i ≥ b`
+    Ge,
+    /// `Σ a_i x_i = b`
+    Eq,
+}
+
+/// One linear constraint with dense coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Dense coefficient row (length = number of variables).
+    pub coeffs: Vec<f64>,
+    /// Constraint sense.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program in minimization form over non-negative variables.
+///
+/// All variables are implicitly constrained to `x ≥ 0`; upper bounds (such
+/// as the `x ≤ 1` box of a relaxed 0/1 program) are expressed as ordinary
+/// `≤` constraints via [`LinearProgram::leq`] or
+/// [`LinearProgram::upper_bounds`].
+///
+/// # Examples
+///
+/// ```
+/// use mcs_lp::{LinearProgram, LpOutcome};
+///
+/// // Relaxation of a tiny covering problem.
+/// let lp = LinearProgram::minimize(vec![1.0, 1.0, 1.0])
+///     .geq(vec![0.6, 0.0, 0.4], 0.8)
+///     .geq(vec![0.0, 0.5, 0.5], 0.5)
+///     .upper_bounds(1.0);
+/// let outcome = lp.solve().unwrap();
+/// assert!(matches!(outcome, LpOutcome::Optimal(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Starts a program minimizing `objective · x`.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        LinearProgram {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    #[inline]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The objective coefficients.
+    #[inline]
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraint rows.
+    #[inline]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds a constraint with an explicit relation.
+    pub fn constraint(mut self, coeffs: Vec<f64>, relation: Relation, rhs: f64) -> Self {
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
+        self
+    }
+
+    /// Adds `coeffs · x ≤ rhs`.
+    pub fn leq(self, coeffs: Vec<f64>, rhs: f64) -> Self {
+        self.constraint(coeffs, Relation::Le, rhs)
+    }
+
+    /// Adds `coeffs · x ≥ rhs`.
+    pub fn geq(self, coeffs: Vec<f64>, rhs: f64) -> Self {
+        self.constraint(coeffs, Relation::Ge, rhs)
+    }
+
+    /// Adds `coeffs · x = rhs`.
+    pub fn eq(self, coeffs: Vec<f64>, rhs: f64) -> Self {
+        self.constraint(coeffs, Relation::Eq, rhs)
+    }
+
+    /// Adds `x_i ≤ bound` for every variable.
+    pub fn upper_bounds(mut self, bound: f64) -> Self {
+        let n = self.num_vars();
+        for i in 0..n {
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = 1.0;
+            self.constraints.push(Constraint {
+                coeffs,
+                relation: Relation::Le,
+                rhs: bound,
+            });
+        }
+        self
+    }
+
+    /// Validates dimensions and finiteness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::DimensionMismatch`] or
+    /// [`LpError::NonFiniteCoefficient`].
+    pub fn validate(&self) -> Result<(), LpError> {
+        if self.objective.iter().any(|c| !c.is_finite()) {
+            return Err(LpError::NonFiniteCoefficient {
+                location: "objective",
+            });
+        }
+        for (idx, c) in self.constraints.iter().enumerate() {
+            if c.coeffs.len() != self.num_vars() {
+                return Err(LpError::DimensionMismatch {
+                    constraint: idx,
+                    num_vars: self.num_vars(),
+                    row_len: c.coeffs.len(),
+                });
+            }
+            if c.coeffs.iter().any(|v| !v.is_finite()) || !c.rhs.is_finite() {
+                return Err(LpError::NonFiniteCoefficient {
+                    location: "constraint",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors or [`LpError::IterationLimit`].
+    pub fn solve(&self) -> Result<LpOutcome, LpError> {
+        self.solve_with(&SimplexOptions::default())
+    }
+
+    /// Solves with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors or [`LpError::IterationLimit`].
+    pub fn solve_with(&self, options: &SimplexOptions) -> Result<LpOutcome, LpError> {
+        self.validate()?;
+        Ok(solve_two_phase(self, options)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_constraints() {
+        let lp = LinearProgram::minimize(vec![1.0, 2.0])
+            .geq(vec![1.0, 0.0], 1.0)
+            .leq(vec![0.0, 1.0], 2.0)
+            .eq(vec![1.0, 1.0], 2.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 3);
+        assert_eq!(lp.constraints()[0].relation, Relation::Ge);
+        assert_eq!(lp.constraints()[1].relation, Relation::Le);
+        assert_eq!(lp.constraints()[2].relation, Relation::Eq);
+    }
+
+    #[test]
+    fn upper_bounds_adds_identity_rows() {
+        let lp = LinearProgram::minimize(vec![1.0, 1.0]).upper_bounds(1.0);
+        assert_eq!(lp.num_constraints(), 2);
+        assert_eq!(lp.constraints()[0].coeffs, vec![1.0, 0.0]);
+        assert_eq!(lp.constraints()[1].coeffs, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_rows() {
+        let lp = LinearProgram::minimize(vec![1.0, 1.0]).geq(vec![1.0], 1.0);
+        assert!(matches!(
+            lp.validate(),
+            Err(LpError::DimensionMismatch { .. })
+        ));
+        let lp = LinearProgram::minimize(vec![f64::NAN]);
+        assert!(matches!(
+            lp.validate(),
+            Err(LpError::NonFiniteCoefficient { .. })
+        ));
+        let lp = LinearProgram::minimize(vec![1.0]).geq(vec![f64::INFINITY], 1.0);
+        assert!(matches!(
+            lp.validate(),
+            Err(LpError::NonFiniteCoefficient { .. })
+        ));
+    }
+}

@@ -1,0 +1,676 @@
+//! The two-phase dense tableau simplex engine.
+
+use crate::problem::{LinearProgram, Relation};
+use crate::LpError;
+
+/// Tuning knobs for the simplex loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexOptions {
+    /// Hard cap on pivots per phase.
+    pub max_iterations: usize,
+    /// Feasibility/optimality tolerance.
+    pub tolerance: f64,
+    /// Consecutive degenerate (non-improving) pivots under Dantzig's rule
+    /// before permanently switching to Bland's anti-cycling rule.
+    pub stall_threshold: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iterations: 100_000,
+            tolerance: 1e-9,
+            stall_threshold: 64,
+        }
+    }
+}
+
+/// An optimal solution: the minimizing point, its objective value, and the
+/// dual prices of the constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    objective: f64,
+    x: Vec<f64>,
+    duals: Vec<f64>,
+}
+
+impl Solution {
+    /// The optimal objective value.
+    #[inline]
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// The optimal point.
+    #[inline]
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// One coordinate of the optimal point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    #[inline]
+    pub fn value(&self, var: usize) -> f64 {
+        self.x[var]
+    }
+
+    /// The dual prices (shadow prices), one per constraint in input order.
+    ///
+    /// Read from the optimal reduced-cost row of the tableau. For a
+    /// minimization over `x ≥ 0`, duals of `≥` constraints are
+    /// non-negative, duals of `≤` constraints non-positive, duals of `=`
+    /// constraints free; strong duality gives `Σ y_i b_i =` the optimal
+    /// objective. Duals of redundant rows eliminated in phase 1 are
+    /// reported as zero.
+    #[inline]
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
+    }
+}
+
+/// The three possible results of solving a (valid) linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// A finite optimum was found.
+    Optimal(Solution),
+    /// No point satisfies the constraints.
+    Infeasible,
+    /// The objective decreases without bound over the feasible region.
+    Unbounded,
+}
+
+/// Dense simplex tableau with an explicit cost row.
+struct Tableau {
+    /// Constraint rows, each of length `cols`.
+    a: Vec<Vec<f64>>,
+    /// Right-hand sides (kept non-negative).
+    b: Vec<f64>,
+    /// Reduced-cost row, canonicalized w.r.t. the current basis.
+    cost: Vec<f64>,
+    /// Basic column for each row.
+    basis: Vec<usize>,
+    /// Total column count.
+    cols: usize,
+}
+
+enum PivotResult {
+    Optimal,
+    Unbounded,
+}
+
+impl Tableau {
+    /// Canonicalizes the cost row against the current basis: subtracts
+    /// `cost[basis[r]] · row_r` so basic columns get zero reduced cost.
+    fn canonicalize_cost(&mut self, raw_cost: &[f64]) {
+        self.cost = raw_cost.to_vec();
+        for r in 0..self.a.len() {
+            let cb = raw_cost[self.basis[r]];
+            if cb != 0.0 {
+                let row = &self.a[r];
+                for j in 0..self.cols {
+                    self.cost[j] -= cb * row[j];
+                }
+            }
+        }
+    }
+
+    /// Performs one pivot on `(row, col)`.
+    fn pivot(&mut self, row: usize, col: usize, tol: f64) {
+        let pivot_val = self.a[row][col];
+        debug_assert!(pivot_val.abs() > tol, "pivot on a (near-)zero element");
+        // Normalize the pivot row.
+        let inv = 1.0 / pivot_val;
+        for v in self.a[row].iter_mut() {
+            *v *= inv;
+        }
+        self.b[row] *= inv;
+        // Eliminate the column from every other row. One copy of the
+        // normalized pivot row sidesteps the borrow of `self.a` inside the
+        // elimination loop.
+        let pivot_row: Vec<f64> = self.a[row].clone();
+        let pivot_b = self.b[row];
+        for r in 0..self.a.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.a[r][col];
+            if factor != 0.0 {
+                let dst = &mut self.a[r];
+                for (j, &pv) in pivot_row.iter().enumerate() {
+                    dst[j] -= factor * pv;
+                }
+                self.b[r] -= factor * pivot_b;
+                if self.b[r] < 0.0 && self.b[r] > -tol {
+                    self.b[r] = 0.0;
+                }
+            }
+        }
+        // Update the cost row.
+        let factor = self.cost[col];
+        if factor != 0.0 {
+            let pivot_row = &self.a[row];
+            for j in 0..self.cols {
+                self.cost[j] -= factor * pivot_row[j];
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Computes `z = Σ c_B · b` for a raw cost vector (the objective value
+    /// of the current basic solution).
+    fn objective_of(&self, raw_cost: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.b)
+            .map(|(&bc, &bv)| raw_cost[bc] * bv)
+            .sum()
+    }
+
+    /// Runs the simplex loop on the current (canonicalized) cost row over
+    /// columns `< active_cols`.
+    fn run(
+        &mut self,
+        active_cols: usize,
+        options: &SimplexOptions,
+    ) -> Result<PivotResult, LpError> {
+        let tol = options.tolerance;
+        let mut bland = false;
+        let mut stall = 0usize;
+        for _ in 0..options.max_iterations {
+            // Entering column.
+            let entering = if bland {
+                (0..active_cols).find(|&j| self.cost[j] < -tol)
+            } else {
+                let mut best: Option<(usize, f64)> = None;
+                for j in 0..active_cols {
+                    let c = self.cost[j];
+                    if c < -tol && best.map_or(true, |(_, bc)| c < bc) {
+                        best = Some((j, c));
+                    }
+                }
+                best.map(|(j, _)| j)
+            };
+            let Some(col) = entering else {
+                return Ok(PivotResult::Optimal);
+            };
+
+            // Ratio test: tightest non-negative ratio, ties by smallest
+            // basic column index (lexicographic safeguard).
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..self.a.len() {
+                let arc = self.a[r][col];
+                if arc > tol {
+                    let ratio = self.b[r] / arc;
+                    match leave {
+                        None => leave = Some((r, ratio)),
+                        Some((lr, lratio)) => {
+                            if ratio < lratio - tol
+                                || ((ratio - lratio).abs() <= tol
+                                    && self.basis[r] < self.basis[lr])
+                            {
+                                leave = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, ratio)) = leave else {
+                return Ok(PivotResult::Unbounded);
+            };
+
+            // Stall accounting: a degenerate pivot leaves the solution (and
+            // objective) unchanged; too many in a row → Bland's rule.
+            if ratio.abs() <= tol {
+                stall += 1;
+                if stall >= options.stall_threshold {
+                    bland = true;
+                }
+            } else {
+                stall = 0;
+            }
+
+            self.pivot(row, col, tol);
+        }
+        Err(LpError::IterationLimit {
+            limit: options.max_iterations,
+        })
+    }
+}
+
+/// Solves a validated program with the two-phase method.
+pub(crate) fn solve_two_phase(
+    lp: &LinearProgram,
+    options: &SimplexOptions,
+) -> Result<LpOutcome, LpError> {
+    let n = lp.num_vars();
+    let m = lp.num_constraints();
+    let tol = options.tolerance;
+
+    // Normalize rows to non-negative rhs, flipping the relation if needed.
+    let mut rows: Vec<(Vec<f64>, Relation, f64)> = lp
+        .constraints()
+        .iter()
+        .map(|c| (c.coeffs.clone(), c.relation, c.rhs))
+        .collect();
+    for (coeffs, rel, rhs) in rows.iter_mut() {
+        if *rhs < 0.0 {
+            for v in coeffs.iter_mut() {
+                *v = -*v;
+            }
+            *rhs = -*rhs;
+            *rel = match *rel {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+    }
+
+    // Column layout: structural | slack/surplus | artificial.
+    let num_slack = rows
+        .iter()
+        .filter(|(_, rel, _)| *rel != Relation::Eq)
+        .count();
+    let art_start = n + num_slack;
+    let num_art = rows
+        .iter()
+        .filter(|(_, rel, _)| *rel != Relation::Le)
+        .count();
+    let cols = art_start + num_art;
+
+    let mut a = vec![vec![0.0; cols]; m];
+    let mut b = vec![0.0; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut next_slack = n;
+    let mut next_art = art_start;
+    // Per original row: the unit column whose reduced cost reveals the
+    // dual (column index, its coefficient sign in the row).
+    let mut dual_probe = vec![(usize::MAX, 1.0f64); m];
+    for (r, (coeffs, rel, rhs)) in rows.iter().enumerate() {
+        a[r][..n].copy_from_slice(coeffs);
+        b[r] = *rhs;
+        match rel {
+            Relation::Le => {
+                a[r][next_slack] = 1.0;
+                basis[r] = next_slack;
+                dual_probe[r] = (next_slack, 1.0);
+                next_slack += 1;
+            }
+            Relation::Ge => {
+                a[r][next_slack] = -1.0;
+                dual_probe[r] = (next_slack, -1.0);
+                next_slack += 1;
+                a[r][next_art] = 1.0;
+                basis[r] = next_art;
+                next_art += 1;
+            }
+            Relation::Eq => {
+                a[r][next_art] = 1.0;
+                basis[r] = next_art;
+                dual_probe[r] = (next_art, 1.0);
+                next_art += 1;
+            }
+        }
+    }
+
+    let mut tab = Tableau {
+        a,
+        b,
+        cost: vec![0.0; cols],
+        basis,
+        cols,
+    };
+
+    // Phase 1: minimize the sum of artificials.
+    if num_art > 0 {
+        let mut phase1_cost = vec![0.0; cols];
+        for c in phase1_cost.iter_mut().skip(art_start) {
+            *c = 1.0;
+        }
+        tab.canonicalize_cost(&phase1_cost);
+        match tab.run(cols, options)? {
+            PivotResult::Optimal => {}
+            // Phase 1's objective is bounded below by 0, so unboundedness
+            // cannot occur; treat defensively as infeasible.
+            PivotResult::Unbounded => return Ok(LpOutcome::Infeasible),
+        }
+        let phase1_obj = tab.objective_of(&phase1_cost);
+        // Scale-aware feasibility test.
+        let scale = tab.b.iter().fold(1.0f64, |acc, &v| acc.max(v.abs()));
+        if phase1_obj > tol.max(1e-7) * scale {
+            return Ok(LpOutcome::Infeasible);
+        }
+
+        // Drive any artificial still in the basis out (it sits at value 0).
+        for r in 0..tab.a.len() {
+            if tab.basis[r] >= art_start {
+                let pivot_col = (0..art_start).find(|&j| tab.a[r][j].abs() > tol.max(1e-8));
+                if let Some(j) = pivot_col {
+                    tab.pivot(r, j, tol);
+                }
+                // If no pivot column exists the row is redundant
+                // (all-zero over real columns); it stays with its
+                // artificial basic at value zero, which is harmless in
+                // phase 2 because artificial columns are excluded from
+                // entering.
+            }
+        }
+    }
+
+    // Phase 2: minimize the real objective over non-artificial columns.
+    let mut phase2_cost = vec![0.0; cols];
+    phase2_cost[..n].copy_from_slice(lp.objective());
+    tab.canonicalize_cost(&phase2_cost);
+    match tab.run(art_start, options)? {
+        PivotResult::Optimal => {}
+        PivotResult::Unbounded => return Ok(LpOutcome::Unbounded),
+    }
+
+    // Extract the structural solution.
+    let mut x = vec![0.0; n];
+    for (r, &bc) in tab.basis.iter().enumerate() {
+        if bc < n {
+            x[bc] = tab.b[r].max(0.0);
+        }
+    }
+    let objective = lp
+        .objective()
+        .iter()
+        .zip(&x)
+        .map(|(c, v)| c * v)
+        .sum();
+    // Duals from the optimal reduced-cost row: for a unit column `±e_r`
+    // with zero raw cost, `r_col = ∓y_r` in the normalized problem; rows
+    // flipped during rhs normalization negate once more.
+    let duals = (0..m)
+        .map(|r| {
+            let (col, sign) = dual_probe[r];
+            if col == usize::MAX {
+                return 0.0;
+            }
+            let y_norm = -sign * tab.cost[col];
+            if lp.constraints()[r].rhs < 0.0 {
+                -y_norm
+            } else {
+                y_norm
+            }
+        })
+        .collect();
+    Ok(LpOutcome::Optimal(Solution { objective, x, duals }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearProgram;
+    use proptest::prelude::*;
+    use rand::Rng;
+    use rand_chacha::rand_core::SeedableRng;
+
+    fn optimal(lp: &LinearProgram) -> Solution {
+        match lp.solve().unwrap() {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_two_variable() {
+        // min x + y s.t. x + 2y ≥ 4, 3x + y ≥ 6 → x = 1.6, y = 1.2, obj 2.8?
+        // Check: intersection of x+2y=4 and 3x+y=6: x=1.6, y=1.2 → obj 2.8.
+        let lp = LinearProgram::minimize(vec![1.0, 1.0])
+            .geq(vec![1.0, 2.0], 4.0)
+            .geq(vec![3.0, 1.0], 6.0);
+        let s = optimal(&lp);
+        assert!((s.objective() - 2.8).abs() < 1e-8, "obj = {}", s.objective());
+        assert!((s.value(0) - 1.6).abs() < 1e-8);
+        assert!((s.value(1) - 1.2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn maximization_via_negation() {
+        // max 3x + 2y s.t. x + y ≤ 4, x ≤ 2 ⇒ min −3x −2y; optimum x=2, y=2.
+        let lp = LinearProgram::minimize(vec![-3.0, -2.0])
+            .leq(vec![1.0, 1.0], 4.0)
+            .leq(vec![1.0, 0.0], 2.0);
+        let s = optimal(&lp);
+        assert!((s.objective() + 10.0).abs() < 1e-8);
+        assert!((s.value(0) - 2.0).abs() < 1e-8);
+        assert!((s.value(1) - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + 4y s.t. x + y = 3, x ≤ 2 → x=2, y=1, obj 6.
+        let lp = LinearProgram::minimize(vec![1.0, 4.0])
+            .eq(vec![1.0, 1.0], 3.0)
+            .leq(vec![1.0, 0.0], 2.0);
+        let s = optimal(&lp);
+        assert!((s.objective() - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn infeasible_box() {
+        let lp = LinearProgram::minimize(vec![1.0])
+            .geq(vec![1.0], 2.0)
+            .leq(vec![1.0], 1.0);
+        assert_eq!(lp.solve().unwrap(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_negative_rhs_le() {
+        // x ≤ −1 with x ≥ 0 is infeasible (exercises rhs normalization).
+        let lp = LinearProgram::minimize(vec![1.0]).leq(vec![1.0], -1.0);
+        assert_eq!(lp.solve().unwrap(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_direction() {
+        let lp = LinearProgram::minimize(vec![-1.0]).geq(vec![1.0], 1.0);
+        assert_eq!(lp.solve().unwrap(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn no_constraints_zero_optimum() {
+        let lp = LinearProgram::minimize(vec![1.0, 2.0]);
+        let s = optimal(&lp);
+        assert_eq!(s.objective(), 0.0);
+        assert_eq!(s.x(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn no_constraints_negative_cost_unbounded() {
+        let lp = LinearProgram::minimize(vec![1.0, -1.0]);
+        assert_eq!(lp.solve().unwrap(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn covering_relaxation_fractional_optimum() {
+        // min x0 + x1, 0.5 x0 + 0.5 x1 ≥ 0.75, x ≤ 1 → x0 + x1 = 1.5.
+        let lp = LinearProgram::minimize(vec![1.0, 1.0])
+            .geq(vec![0.5, 0.5], 0.75)
+            .upper_bounds(1.0);
+        let s = optimal(&lp);
+        assert!((s.objective() - 1.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple identical constraints create degeneracy.
+        let lp = LinearProgram::minimize(vec![1.0, 1.0, 1.0])
+            .geq(vec![1.0, 1.0, 0.0], 1.0)
+            .geq(vec![1.0, 1.0, 0.0], 1.0)
+            .geq(vec![1.0, 1.0, 0.0], 1.0)
+            .geq(vec![0.0, 1.0, 1.0], 1.0)
+            .upper_bounds(1.0);
+        let s = optimal(&lp);
+        assert!((s.objective() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // Second equality is a copy — phase 1 leaves a redundant row.
+        let lp = LinearProgram::minimize(vec![1.0, 1.0])
+            .eq(vec![1.0, 1.0], 2.0)
+            .eq(vec![1.0, 1.0], 2.0);
+        let s = optimal(&lp);
+        assert!((s.objective() - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let lp = LinearProgram::minimize(vec![1.0, 1.0])
+            .geq(vec![1.0, 2.0], 4.0)
+            .geq(vec![3.0, 1.0], 6.0);
+        let err = lp
+            .solve_with(&SimplexOptions {
+                max_iterations: 1,
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert!(matches!(err, LpError::IterationLimit { limit: 1 }));
+    }
+
+    /// Brute-force check for tiny covering LPs: sample many feasible points
+    /// and verify none beats the reported optimum.
+    fn assert_no_sampled_point_beats(
+        lp: &LinearProgram,
+        sol: &Solution,
+        seed: u64,
+    ) {
+        let n = lp.num_vars();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..2000 {
+            let candidate: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let feasible = lp.constraints().iter().all(|c| {
+                let lhs: f64 = c.coeffs.iter().zip(&candidate).map(|(a, x)| a * x).sum();
+                match c.relation {
+                    Relation::Le => lhs <= c.rhs + 1e-9,
+                    Relation::Ge => lhs >= c.rhs - 1e-9,
+                    Relation::Eq => (lhs - c.rhs).abs() < 1e-9,
+                }
+            });
+            if feasible {
+                let obj: f64 = lp
+                    .objective()
+                    .iter()
+                    .zip(&candidate)
+                    .map(|(c, x)| c * x)
+                    .sum();
+                assert!(
+                    obj >= sol.objective() - 1e-7,
+                    "sampled point beats optimum: {obj} < {}",
+                    sol.objective()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_points_never_beat_optimum() {
+        let lp = LinearProgram::minimize(vec![1.0, 1.0, 1.0])
+            .geq(vec![0.8, 0.3, 0.1], 0.5)
+            .geq(vec![0.1, 0.9, 0.4], 0.6)
+            .upper_bounds(1.0);
+        let s = optimal(&lp);
+        assert_no_sampled_point_beats(&lp, &s, 7);
+    }
+
+    #[test]
+    fn duals_match_textbook_solution() {
+        // min x + y s.t. x + 2y ≥ 4, 3x + y ≥ 6: optimum (1.6, 1.2).
+        // Duals solve A^T y = c on the active set:
+        //   y1 + 3y2 = 1, 2y1 + y2 = 1 → y1 = 0.4, y2 = 0.2.
+        let lp = LinearProgram::minimize(vec![1.0, 1.0])
+            .geq(vec![1.0, 2.0], 4.0)
+            .geq(vec![3.0, 1.0], 6.0);
+        let s = optimal(&lp);
+        let d = s.duals();
+        assert!((d[0] - 0.4).abs() < 1e-8, "duals {d:?}");
+        assert!((d[1] - 0.2).abs() < 1e-8);
+        // Strong duality: y·b = objective.
+        let dual_obj = d[0] * 4.0 + d[1] * 6.0;
+        assert!((dual_obj - s.objective()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dual_signs_by_relation() {
+        // min x s.t. x ≥ 2 (dual ≥ 0 and binding) and x ≤ 5 (slack → 0).
+        let lp = LinearProgram::minimize(vec![1.0])
+            .geq(vec![1.0], 2.0)
+            .leq(vec![1.0], 5.0);
+        let s = optimal(&lp);
+        assert!(s.duals()[0] >= -1e-9);
+        assert!(s.duals()[0] > 0.5); // binding: shadow price 1
+        assert!((s.duals()[1]).abs() < 1e-9); // non-binding
+    }
+
+    #[test]
+    fn equality_dual_strong_duality() {
+        let lp = LinearProgram::minimize(vec![1.0, 4.0])
+            .eq(vec![1.0, 1.0], 3.0)
+            .leq(vec![1.0, 0.0], 2.0);
+        let s = optimal(&lp);
+        let dual_obj = s.duals()[0] * 3.0 + s.duals()[1] * 2.0;
+        assert!((dual_obj - s.objective()).abs() < 1e-8);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_random_covering_lp_solution_is_feasible_and_undominated(
+            seed in 0u64..500,
+            n in 2usize..6,
+            k in 1usize..4,
+        ) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut lp = LinearProgram::minimize(vec![1.0; n]);
+            for _ in 0..k {
+                let coeffs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
+                // rhs ≤ Σ coeffs guarantees feasibility within the unit box.
+                let total: f64 = coeffs.iter().sum();
+                let rhs = rng.gen_range(0.0..total * 0.9);
+                lp = lp.geq(coeffs, rhs);
+            }
+            lp = lp.upper_bounds(1.0);
+            let s = match lp.solve().unwrap() {
+                LpOutcome::Optimal(s) => s,
+                other => return Err(TestCaseError::fail(format!("not optimal: {other:?}"))),
+            };
+            // Feasibility of the reported point.
+            for c in lp.constraints() {
+                let lhs: f64 = c.coeffs.iter().zip(s.x()).map(|(a, x)| a * x).sum();
+                match c.relation {
+                    Relation::Ge => prop_assert!(lhs >= c.rhs - 1e-7),
+                    Relation::Le => prop_assert!(lhs <= c.rhs + 1e-7),
+                    Relation::Eq => prop_assert!((lhs - c.rhs).abs() < 1e-7),
+                }
+            }
+            // Undominated by random sampling.
+            assert_no_sampled_point_beats(&lp, &s, seed ^ 0xABCD);
+            // Strong duality and dual sign feasibility.
+            let duals = s.duals();
+            let dual_obj: f64 = lp
+                .constraints()
+                .iter()
+                .zip(duals)
+                .map(|(c, y)| c.rhs * y)
+                .sum();
+            prop_assert!(
+                (dual_obj - s.objective()).abs() < 1e-6,
+                "strong duality violated: {dual_obj} vs {}",
+                s.objective()
+            );
+            for (c, &y) in lp.constraints().iter().zip(duals) {
+                match c.relation {
+                    Relation::Ge => prop_assert!(y >= -1e-7),
+                    Relation::Le => prop_assert!(y <= 1e-7),
+                    Relation::Eq => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Binomial confidence intervals for Monte-Carlo rate estimates.
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Returns `(low, high)` such that the true success probability lies in
+/// the interval with the confidence implied by the normal quantile `z`
+/// (e.g. `z = 1.96` for 95%). Unlike the naive Wald interval it behaves
+/// sensibly at rates near 0 or 1 and for small samples — exactly the
+/// regime of per-task aggregation-error estimates (`δ_j ∈ [0.1, 0.2]`
+/// with a few hundred trials).
+///
+/// # Panics
+///
+/// Panics if `successes > trials`, `trials == 0`, or `z` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_num::wilson_interval;
+///
+/// let (lo, hi) = wilson_interval(8, 10, 1.96);
+/// assert!(lo > 0.4 && hi < 0.98);
+/// assert!(lo < 0.8 && 0.8 < hi);
+/// ```
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "wilson interval needs at least one trial");
+    assert!(successes <= trials, "more successes than trials");
+    assert!(z > 0.0, "z must be positive");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Tests whether an empirical rate is consistent with a hypothesized
+/// bound: returns `true` when `bound` is at or above the lower end of the
+/// Wilson interval — i.e. the data does *not* reject `rate ≤ bound`.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_num::rate_consistent_with_bound;
+///
+/// // 45 errors in 400 trials is consistent with a 10% bound at 95%.
+/// assert!(rate_consistent_with_bound(45, 400, 0.10, 1.96));
+/// // 90 errors in 400 trials is not.
+/// assert!(!rate_consistent_with_bound(90, 400, 0.10, 1.96));
+/// ```
+pub fn rate_consistent_with_bound(successes: u64, trials: u64, bound: f64, z: f64) -> bool {
+    let (lo, _) = wilson_interval(successes, trials, z);
+    lo <= bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn interval_contains_point_estimate() {
+        let (lo, hi) = wilson_interval(30, 100, 1.96);
+        assert!(lo < 0.3 && 0.3 < hi);
+    }
+
+    #[test]
+    fn extreme_rates_stay_in_unit_interval() {
+        let (lo, hi) = wilson_interval(0, 10, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.5);
+        let (lo, hi) = wilson_interval(10, 10, 1.96);
+        assert!(lo > 0.5 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn interval_narrows_with_more_data() {
+        let (lo1, hi1) = wilson_interval(30, 100, 1.96);
+        let (lo2, hi2) = wilson_interval(300, 1000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = wilson_interval(0, 0, 1.96);
+    }
+
+    #[test]
+    #[should_panic(expected = "more successes")]
+    fn too_many_successes_panics() {
+        let _ = wilson_interval(5, 4, 1.96);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_interval_valid(
+            trials in 1u64..10_000,
+            frac in 0.0f64..=1.0,
+            z in 0.5f64..4.0,
+        ) {
+            let successes = (trials as f64 * frac) as u64;
+            let (lo, hi) = wilson_interval(successes, trials, z);
+            prop_assert!((0.0..=1.0).contains(&lo));
+            prop_assert!((0.0..=1.0).contains(&hi));
+            prop_assert!(lo <= hi);
+            let p = successes as f64 / trials as f64;
+            prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Fixed-bin histograms over a known finite support.
+
+/// A histogram over `n` known categories (e.g. the indices of a price
+/// grid).
+///
+/// Used to compare the *sampled* exponential-mechanism output against the
+/// *exact* PMF: accumulate sampled indices, then read the empirical
+/// distribution with [`Histogram::to_distribution`].
+///
+/// # Examples
+///
+/// ```
+/// use mcs_num::Histogram;
+///
+/// let mut h = Histogram::new(3);
+/// h.record(0);
+/// h.record(2);
+/// h.record(2);
+/// assert_eq!(h.count(2), 2);
+/// assert_eq!(h.total(), 3);
+/// let d = h.to_distribution();
+/// assert!((d[2] - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` empty categories.
+    pub fn new(bins: usize) -> Self {
+        Histogram {
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Number of categories.
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one observation of category `bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is out of range.
+    pub fn record(&mut self, bin: usize) {
+        self.counts[bin] += 1;
+        self.total += 1;
+    }
+
+    /// Count in one category.
+    #[inline]
+    pub fn count(&self, bin: usize) -> u64 {
+        self.counts[bin]
+    }
+
+    /// Total observations.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw counts.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Empirical probability of each category.
+    ///
+    /// Returns all zeros when no observations have been recorded.
+    pub fn to_distribution(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Merges another histogram with the same bin count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram bin counts differ"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Largest absolute difference between the empirical distribution and a
+    /// reference distribution (an L∞ goodness-of-fit statistic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference.len()` differs from the bin count.
+    pub fn max_deviation_from(&self, reference: &[f64]) -> f64 {
+        assert_eq!(
+            reference.len(),
+            self.counts.len(),
+            "reference length differs from bin count"
+        );
+        self.to_distribution()
+            .iter()
+            .zip(reference)
+            .map(|(e, r)| (e - r).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_distribution() {
+        let mut h = Histogram::new(4);
+        for b in [0, 1, 1, 3] {
+            h.record(b);
+        }
+        assert_eq!(h.counts(), &[1, 2, 0, 1]);
+        let d = h.to_distribution();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(d[1], 0.5);
+    }
+
+    #[test]
+    fn empty_distribution_is_zero() {
+        let h = Histogram::new(3);
+        assert_eq!(h.to_distribution(), vec![0.0; 3]);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_bin_panics() {
+        let mut h = Histogram::new(2);
+        h.record(2);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(2);
+        a.record(0);
+        let mut b = Histogram::new(2);
+        b.record(1);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 2]);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin counts differ")]
+    fn merge_mismatched_panics() {
+        let mut a = Histogram::new(2);
+        a.merge(&Histogram::new(3));
+    }
+
+    #[test]
+    fn deviation_from_reference() {
+        let mut h = Histogram::new(2);
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        h.record(1);
+        assert_eq!(h.max_deviation_from(&[0.5, 0.5]), 0.0);
+        assert!((h.max_deviation_from(&[0.25, 0.75]) - 0.25).abs() < 1e-12);
+    }
+}

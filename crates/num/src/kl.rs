@@ -1,0 +1,163 @@
+//! Divergence measures between discrete distributions.
+
+/// Kullback–Leibler divergence `D_KL(P‖P′) = Σ P(x) ln(P(x)/P′(x))`.
+///
+/// This is exactly the *privacy leakage* of Definition 8 in the paper when
+/// `P` and `P′` are the exponential-mechanism price PMFs of two
+/// neighbouring bid profiles.
+///
+/// Terms with `P(x) = 0` contribute zero regardless of `P′(x)` (the usual
+/// `0 ln 0 = 0` convention). If `P(x) > 0` while `P′(x) = 0` the divergence
+/// is `+∞` — which cannot happen for exponential-mechanism PMFs over the
+/// same support, but is handled for robustness.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_num::kl_divergence;
+///
+/// let p = [0.5, 0.5];
+/// assert_eq!(kl_divergence(&p, &p), 0.0);
+/// let q = [0.25, 0.75];
+/// assert!(kl_divergence(&p, &q) > 0.0);
+/// ```
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(
+        p.len(),
+        q.len(),
+        "kl_divergence requires equal-length distributions"
+    );
+    let mut sum = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            if qi <= 0.0 {
+                return f64::INFINITY;
+            }
+            sum += pi * (pi / qi).ln();
+        }
+    }
+    // Guard against tiny negative results from float cancellation when
+    // p ≈ q (KL is provably non-negative).
+    sum.max(0.0)
+}
+
+/// Maximum absolute log-probability ratio `max_x |ln(P(x)/P′(x))|` over the
+/// common support.
+///
+/// For an ε-differentially private mechanism this is at most ε for every
+/// neighbouring pair — the quantity the empirical DP check measures
+/// directly (Theorem 2). Points where both PMFs are zero are skipped;
+/// if exactly one is zero the ratio is `+∞`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_num::max_abs_log_ratio;
+///
+/// let p = [0.5, 0.5];
+/// let q = [0.25, 0.75];
+/// let r = max_abs_log_ratio(&p, &q);
+/// assert!((r - (2.0f64).ln()).abs() < 1e-12);
+/// ```
+pub fn max_abs_log_ratio(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(
+        p.len(),
+        q.len(),
+        "max_abs_log_ratio requires equal-length distributions"
+    );
+    let mut worst = 0.0f64;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi == 0.0 && qi == 0.0 {
+            continue;
+        }
+        if pi == 0.0 || qi == 0.0 {
+            return f64::INFINITY;
+        }
+        worst = worst.max((pi / qi).ln().abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = [0.2, 0.3, 0.5];
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn kl_handles_zero_in_p() {
+        let p = [0.0, 1.0];
+        let q = [0.5, 0.5];
+        let d = kl_divergence(&p, &q);
+        assert!((d - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_infinite_when_support_escapes() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert_eq!(kl_divergence(&p, &q), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn kl_length_mismatch_panics() {
+        let _ = kl_divergence(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn log_ratio_infinite_on_one_sided_zero() {
+        assert_eq!(max_abs_log_ratio(&[0.0, 1.0], &[0.5, 0.5]), f64::INFINITY);
+    }
+
+    #[test]
+    fn log_ratio_skips_common_zeros() {
+        let r = max_abs_log_ratio(&[0.0, 1.0], &[0.0, 1.0]);
+        assert_eq!(r, 0.0);
+    }
+
+    fn normalize(v: Vec<f64>) -> Vec<f64> {
+        let s: f64 = v.iter().sum();
+        v.into_iter().map(|x| x / s).collect()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kl_nonnegative(
+            a in proptest::collection::vec(0.01f64..1.0, 2..32),
+        ) {
+            let n = a.len();
+            let p = normalize(a.clone());
+            let q = normalize(a.iter().rev().copied().collect::<Vec<_>>());
+            prop_assert_eq!(p.len(), n);
+            prop_assert!(kl_divergence(&p, &q) >= 0.0);
+        }
+
+        #[test]
+        fn prop_kl_bounded_by_max_log_ratio(
+            a in proptest::collection::vec(0.01f64..1.0, 2..16),
+            b in proptest::collection::vec(0.01f64..1.0, 2..16),
+        ) {
+            // KL(P||Q) = E_P[ln(P/Q)] ≤ max |ln(P/Q)|.
+            let n = a.len().min(b.len());
+            let p = normalize(a[..n].to_vec());
+            let q = normalize(b[..n].to_vec());
+            let kl = kl_divergence(&p, &q);
+            let ratio = max_abs_log_ratio(&p, &q);
+            prop_assert!(kl <= ratio + 1e-12);
+        }
+    }
+}

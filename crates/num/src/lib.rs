@@ -1,0 +1,34 @@
+//! Numeric substrate for the `dp-mcs` workspace.
+//!
+//! Everything here is deliberately dependency-light and deterministic:
+//!
+//! * [`logsumexp`] / [`softmax_from_logits`] / [`sample_logits`] — the
+//!   numerically stable kernel of the exponential mechanism (Eq. 11 of the
+//!   paper). Probabilities proportional to `exp(−ε·payment/(2Nc_max))` can
+//!   underflow to zero for large ε·payment; all mechanism code works in the
+//!   log domain.
+//! * [`kl_divergence`] — the privacy-leakage measure of Definition 8.
+//! * [`OnlineStats`] — Welford-style running mean/variance used for the
+//!   mean ± std error bars of Figures 1–4.
+//! * [`Histogram`] — fixed-bin counts for diagnosing sampled price
+//!   distributions against exact PMFs.
+//! * [`wilson_interval`] — binomial confidence intervals for the empirical
+//!   aggregation-error checks (Lemma 1's `Pr[l̂ ≠ l] ≤ δ`).
+//! * [`rng`] — seeded, portable ChaCha8 RNG streams so every experiment is
+//!   exactly reproducible from a `--seed`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binomial;
+mod histogram;
+mod kl;
+mod logexp;
+pub mod rng;
+mod stats;
+
+pub use binomial::{rate_consistent_with_bound, wilson_interval};
+pub use histogram::Histogram;
+pub use kl::{kl_divergence, max_abs_log_ratio};
+pub use logexp::{logsumexp, sample_logits, softmax_from_logits};
+pub use stats::{OnlineStats, Summary};

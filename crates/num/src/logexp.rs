@@ -1,0 +1,191 @@
+//! Stable log-domain primitives for the exponential mechanism.
+
+use rand::Rng;
+
+/// Computes `ln(Σ exp(x_i))` without overflow or underflow.
+///
+/// Returns `f64::NEG_INFINITY` for an empty slice (the sum of no terms is
+/// zero). `−∞` entries are handled as zero terms.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_num::logsumexp;
+///
+/// let lse = logsumexp(&[0.0, 0.0]);
+/// assert!((lse - (2.0f64).ln()).abs() < 1e-12);
+/// // Huge magnitudes that would overflow exp() directly:
+/// let lse = logsumexp(&[-1.0e4, -1.0e4 + 1.0]);
+/// assert!((lse - (-1.0e4 + (1.0 + 1.0f64.exp()).ln())).abs() < 1e-9);
+/// ```
+pub fn logsumexp(logits: &[f64]) -> f64 {
+    let max = logits
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = logits.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Normalizes logits into a probability vector: `p_i = exp(x_i) / Σ exp(x_j)`.
+///
+/// The result sums to 1 up to rounding, even when logits span hundreds of
+/// orders of magnitude.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty or all entries are `−∞` (no valid
+/// distribution exists).
+///
+/// # Examples
+///
+/// ```
+/// use mcs_num::softmax_from_logits;
+///
+/// let p = softmax_from_logits(&[0.0, (2.0f64).ln()]);
+/// assert!((p[0] - 1.0 / 3.0).abs() < 1e-12);
+/// assert!((p[1] - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn softmax_from_logits(logits: &[f64]) -> Vec<f64> {
+    let lse = logsumexp(logits);
+    assert!(
+        lse > f64::NEG_INFINITY,
+        "softmax of empty or all -inf logits is undefined"
+    );
+    logits.iter().map(|&x| (x - lse).exp()).collect()
+}
+
+/// Samples an index from the distribution `p_i ∝ exp(x_i)` by inverse
+/// transform over the stable softmax.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty or all `−∞`.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_num::{rng, sample_logits};
+///
+/// let mut r = rng::seeded(7);
+/// let idx = sample_logits(&mut r, &[0.0, 1000.0]);
+/// assert_eq!(idx, 1); // overwhelmingly more likely
+/// ```
+pub fn sample_logits<R: Rng + ?Sized>(rng: &mut R, logits: &[f64]) -> usize {
+    let probs = softmax_from_logits(logits);
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    // Rounding may leave acc slightly below 1; fall back to the last
+    // index with positive probability.
+    probs
+        .iter()
+        .rposition(|&p| p > 0.0)
+        .expect("softmax produced at least one positive probability")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn logsumexp_empty_is_neg_inf() {
+        assert_eq!(logsumexp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn logsumexp_single() {
+        assert!((logsumexp(&[3.5]) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logsumexp_ignores_neg_inf_terms() {
+        let v = logsumexp(&[f64::NEG_INFINITY, 0.0]);
+        assert!((v - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logsumexp_extreme_magnitudes() {
+        // exp(-50000) underflows; the stable version must not return -inf.
+        let v = logsumexp(&[-50_000.0, -50_001.0]);
+        assert!(v.is_finite());
+        assert!((v - (-50_000.0 + (1.0 + (-1.0f64).exp()).ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_with_extreme_spread() {
+        let p = softmax_from_logits(&[-1.0e6, 0.0, -1.0e6]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((p[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn softmax_empty_panics() {
+        let _ = softmax_from_logits(&[]);
+    }
+
+    #[test]
+    fn sample_logits_is_unbiased_empirically() {
+        let mut r = rng::seeded(42);
+        let logits = [0.0, (3.0f64).ln()]; // p = [0.25, 0.75]
+        let n = 40_000;
+        let ones = (0..n)
+            .filter(|_| sample_logits(&mut r, &logits) == 1)
+            .count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn sample_logits_never_picks_zero_probability() {
+        let mut r = rng::seeded(1);
+        let logits = [f64::NEG_INFINITY, 0.0, f64::NEG_INFINITY];
+        for _ in 0..100 {
+            assert_eq!(sample_logits(&mut r, &logits), 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_softmax_is_distribution(
+            logits in proptest::collection::vec(-700.0f64..700.0, 1..64)
+        ) {
+            let p = softmax_from_logits(&logits);
+            prop_assert_eq!(p.len(), logits.len());
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_logsumexp_shift_invariance(
+            logits in proptest::collection::vec(-100.0f64..100.0, 1..32),
+            shift in -50.0f64..50.0,
+        ) {
+            let shifted: Vec<f64> = logits.iter().map(|&x| x + shift).collect();
+            let a = logsumexp(&logits) + shift;
+            let b = logsumexp(&shifted);
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_sampled_index_in_range(
+            logits in proptest::collection::vec(-50.0f64..50.0, 1..16),
+            seed in 0u64..1000,
+        ) {
+            let mut r = rng::seeded(seed);
+            let idx = sample_logits(&mut r, &logits);
+            prop_assert!(idx < logits.len());
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Running statistics for experiment measurements.
+
+use std::fmt;
+
+/// Welford-style online accumulator for mean, variance and extrema.
+///
+/// Numerically stable for long streams (the 10 000-sample payment series of
+/// Figures 1–4) — unlike naive `Σx², Σx` accumulation, which cancels
+/// catastrophically when the variance is small relative to the mean.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_num::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean =
+            self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance `Σ(x−μ)²/n` (0 when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance `Σ(x−μ)²/(n−1)` (0 when `n < 2`).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Standard error of the mean, `s/√n` (0 when `n < 2`).
+    pub fn standard_error(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.sample_std_dev() / (self.count as f64).sqrt()
+        }
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean,
+            self.sample_std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// A five-number-plus summary of a finished sample: count, mean, standard
+/// deviation, extrema and selected percentiles.
+///
+/// Built from a full sample vector (sorting it once); use [`OnlineStats`]
+/// when you only need moments and don't want to keep the data.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_num::Summary;
+///
+/// let s = Summary::from_sample(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+/// assert_eq!(s.median(), 3.0);
+/// assert_eq!(s.percentile(0.0), 1.0);
+/// assert_eq!(s.percentile(100.0), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    stats: OnlineStats,
+}
+
+impl Summary {
+    /// Builds a summary from a sample (empty samples are allowed).
+    pub fn from_sample(sample: &[f64]) -> Self {
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample contains NaN"));
+        let stats = sample.iter().copied().collect();
+        Summary { sorted, stats }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.stats.sample_std_dev()
+    }
+
+    /// The `p`-th percentile by nearest-rank interpolation, `p ∈ [0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "percentile of empty sample");
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.sorted.len() == 1 {
+            return self.sorted[0];
+        }
+        let rank = p / 100.0 * (self.sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.stats.min()
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.stats.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats_are_zeroish() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = OnlineStats::new();
+        s.push(5.0);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq: OnlineStats = data.iter().copied().collect();
+        let mut a: OnlineStats = data[..37].iter().copied().collect();
+        let b: OnlineStats = data[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-10);
+        assert!((a.sample_variance() - seq.sample_variance()).abs() < 1e-8);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].iter().copied().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn stability_large_offset() {
+        // Mean 1e9, tiny variance — naive Σx² would lose all precision.
+        let s: OnlineStats = (0..1000)
+            .map(|i| 1.0e9 + (i % 2) as f64)
+            .collect();
+        assert!((s.population_variance() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let s = Summary::from_sample(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 4.0);
+        assert!((s.median() - 2.5).abs() < 1e-12);
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_percentile_empty_panics() {
+        let _ = Summary::from_sample(&[]).percentile(50.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let s: OnlineStats = [1.0, 2.0].iter().copied().collect();
+        let txt = s.to_string();
+        assert!(txt.contains("n=2"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_within_extrema(
+            data in proptest::collection::vec(-1.0e6f64..1.0e6, 1..200)
+        ) {
+            let s: OnlineStats = data.iter().copied().collect();
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+            prop_assert!(s.sample_variance() >= 0.0);
+        }
+
+        #[test]
+        fn prop_merge_equals_sequential(
+            a in proptest::collection::vec(-100.0f64..100.0, 0..50),
+            b in proptest::collection::vec(-100.0f64..100.0, 0..50),
+        ) {
+            let mut merged: OnlineStats = a.iter().copied().collect();
+            merged.merge(&b.iter().copied().collect());
+            let seq: OnlineStats = a.iter().chain(b.iter()).copied().collect();
+            prop_assert_eq!(merged.count(), seq.count());
+            prop_assert!((merged.mean() - seq.mean()).abs() < 1e-8);
+            prop_assert!((merged.m2 - seq.m2).abs() < 1e-5);
+        }
+
+        #[test]
+        fn prop_percentile_monotone(
+            data in proptest::collection::vec(-100.0f64..100.0, 1..100),
+            p1 in 0.0f64..100.0,
+            p2 in 0.0f64..100.0,
+        ) {
+            let s = Summary::from_sample(&data);
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(s.percentile(lo) <= s.percentile(hi) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The honest-but-curious adversary: Bayesian inference over repeated
+//! auction outcomes.
+//!
+//! The paper's threat model is a worker who follows the protocol but tries
+//! to infer a colleague's bid from the payments she observes. With an
+//! ε-differentially private mechanism, `R` independent observed rounds can
+//! shift the adversary's log-odds between two candidate bids by at most
+//! `ε·R` — composition of DP. This module implements the optimal
+//! (likelihood-ratio) attacker so experiments can verify the bound and
+//! visualize how slowly information leaks at small ε.
+
+use rand::Rng;
+
+use mcs_auction::PricePmf;
+use mcs_types::Price;
+
+/// The adversary's belief update after observing auction prices under two
+/// competing hypotheses about the target's bid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceOutcome {
+    /// Log-likelihood ratio `ln Pr[obs | H_a] − ln Pr[obs | H_b]`
+    /// accumulated over the observations.
+    pub log_likelihood_ratio: f64,
+    /// The differential-privacy cap `ε·R` on the absolute log-ratio.
+    pub bound: f64,
+    /// Number of observations used (observations outside either support
+    /// contribute nothing and are not counted).
+    pub rounds_used: usize,
+}
+
+impl InferenceOutcome {
+    /// Whether the composition bound held.
+    pub fn within_bound(&self) -> bool {
+        self.log_likelihood_ratio.abs() <= self.bound + 1e-9
+    }
+
+    /// Posterior probability of hypothesis `H_a` from a prior probability,
+    /// via Bayes' rule on the accumulated likelihood ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `prior_a ∈ (0, 1)`.
+    pub fn posterior_a(&self, prior_a: f64) -> f64 {
+        assert!(prior_a > 0.0 && prior_a < 1.0, "prior must be in (0, 1)");
+        let prior_odds = prior_a / (1.0 - prior_a);
+        let odds = prior_odds * self.log_likelihood_ratio.exp();
+        odds / (1.0 + odds)
+    }
+}
+
+/// Runs the likelihood-ratio attack: the true world is `H_a` (prices are
+/// drawn from `pmf_a` for `rounds` independent auctions); the adversary
+/// updates her odds between `H_a` and `H_b`.
+///
+/// `epsilon` is the mechanism's privacy budget, used only to compute the
+/// composition bound. Observed prices absent from either PMF's support are
+/// skipped (they would give infinite evidence; with a shared feasible
+/// price set this never happens).
+pub fn likelihood_ratio_attack<R: Rng + ?Sized>(
+    pmf_a: &PricePmf,
+    pmf_b: &PricePmf,
+    epsilon: f64,
+    rounds: usize,
+    rng: &mut R,
+) -> InferenceOutcome {
+    let mut llr = 0.0f64;
+    let mut used = 0usize;
+    for _ in 0..rounds {
+        let outcome = pmf_a.sample(rng);
+        let price = outcome.price();
+        let (pa, pb) = (prob_of(pmf_a, price), prob_of(pmf_b, price));
+        match (pa, pb) {
+            (Some(pa), Some(pb)) if pa > 0.0 && pb > 0.0 => {
+                llr += (pa / pb).ln();
+                used += 1;
+            }
+            _ => {}
+        }
+    }
+    InferenceOutcome {
+        log_likelihood_ratio: llr,
+        bound: epsilon * used as f64,
+        rounds_used: used,
+    }
+}
+
+fn prob_of(pmf: &PricePmf, price: Price) -> Option<f64> {
+    pmf.schedule()
+        .prices()
+        .iter()
+        .position(|&p| p == price)
+        .map(|i| pmf.probs()[i])
+}
+
+/// The exact *expected* per-round evidence `E_a[ln(P_a/P_b)]` — the KL
+/// divergence, i.e. the paper's privacy-leakage measure (Definition 8).
+/// The expected log-odds shift after `R` rounds is `R` times this.
+///
+/// Returns `None` when the supports differ.
+pub fn expected_evidence_per_round(pmf_a: &PricePmf, pmf_b: &PricePmf) -> Option<f64> {
+    mcs_auction::privacy::kl_leakage(pmf_a, pmf_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighbour::{random_worker, resample_neighbour};
+    use crate::Setting;
+    use mcs_auction::DpHsrcAuction;
+    use mcs_num::rng;
+
+    /// Finds a neighbour whose bid change keeps the feasible support; a
+    /// handful of resampling attempts always suffices on these instances.
+    fn neighbour_pmfs(eps: f64, seed: u64) -> Option<(PricePmf, PricePmf)> {
+        let s = Setting::one(80).scaled_down(4);
+        let g = s.generate(seed);
+        let auction = DpHsrcAuction::new(eps);
+        let a = auction.pmf(&g.instance).ok()?;
+        for attempt in 0..32u64 {
+            let mut r = rng::derived(seed, 3 + attempt);
+            let w = random_worker(&g.instance, &mut r);
+            let Ok(nb) = resample_neighbour(&g.instance, &s, w, &mut r) else {
+                continue;
+            };
+            let Ok(b) = auction.pmf(&nb) else { continue };
+            if a.schedule().prices() == b.schedule().prices() {
+                return Some((a, b));
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn composition_bound_holds() {
+        let eps = 0.1;
+        let (a, b) = neighbour_pmfs(eps, 5).expect("same support");
+        let mut r = rng::seeded(1);
+        for rounds in [1usize, 10, 100] {
+            let out = likelihood_ratio_attack(&a, &b, eps, rounds, &mut r);
+            assert!(
+                out.within_bound(),
+                "rounds {rounds}: |llr| {} > bound {}",
+                out.log_likelihood_ratio.abs(),
+                out.bound
+            );
+        }
+    }
+
+    #[test]
+    fn small_epsilon_keeps_posterior_near_prior() {
+        let eps = 0.01;
+        let (a, b) = neighbour_pmfs(eps, 7).expect("same support");
+        let mut r = rng::seeded(2);
+        let out = likelihood_ratio_attack(&a, &b, eps, 50, &mut r);
+        let posterior = out.posterior_a(0.5);
+        // 50 rounds at ε=0.01 can shift the posterior from 0.5 by at most
+        // e^0.5/(1+e^0.5) ≈ 0.62.
+        assert!((posterior - 0.5).abs() < 0.13, "posterior {posterior}");
+    }
+
+    #[test]
+    fn identical_hypotheses_give_zero_evidence() {
+        let (a, _) = neighbour_pmfs(0.1, 9).expect("same support");
+        let mut r = rng::seeded(3);
+        let out = likelihood_ratio_attack(&a, &a, 0.1, 20, &mut r);
+        assert_eq!(out.log_likelihood_ratio, 0.0);
+        assert_eq!(out.posterior_a(0.3), 0.3);
+        assert_eq!(expected_evidence_per_round(&a, &a), Some(0.0));
+    }
+
+    #[test]
+    fn evidence_accumulates_with_larger_epsilon() {
+        let mut r1 = rng::seeded(4);
+        let mut r2 = rng::seeded(4);
+        let (a_small, b_small) = neighbour_pmfs(0.1, 11).expect("same support");
+        let (a_big, b_big) = neighbour_pmfs(20.0, 11).expect("same support");
+        let rounds = 200;
+        let small = likelihood_ratio_attack(&a_small, &b_small, 0.1, rounds, &mut r1);
+        let big = likelihood_ratio_attack(&a_big, &b_big, 20.0, rounds, &mut r2);
+        // Expected evidence (KL) is larger at bigger ε; the sampled LLR
+        // should reflect it.
+        let kl_small = expected_evidence_per_round(&a_small, &b_small).unwrap();
+        let kl_big = expected_evidence_per_round(&a_big, &b_big).unwrap();
+        assert!(kl_small <= kl_big + 1e-12);
+        assert!(small.log_likelihood_ratio.abs() <= big.log_likelihood_ratio.abs() + 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prior must be in (0, 1)")]
+    fn bad_prior_rejected() {
+        let out = InferenceOutcome {
+            log_likelihood_ratio: 0.0,
+            bound: 0.0,
+            rounds_used: 0,
+        };
+        let _ = out.posterior_a(1.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Theorem 6 check: the measured payment ratio vs the analytic bound.
+
+use serde::{Deserialize, Serialize};
+
+use mcs_auction::{DpHsrcAuction, OptimalError, OptimalMechanism};
+use mcs_types::{TaskId, WorkerId};
+
+use crate::output::TableRow;
+use crate::Setting;
+
+/// Comparison of DP-hSRC's expected payment with `R_OPT` and the Theorem 6
+/// guarantee.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApproxReport {
+    /// Exact expected total payment `E[R]` of DP-hSRC.
+    pub expected_payment: f64,
+    /// The optimal total payment `R_OPT`.
+    pub optimal_payment: f64,
+    /// The measured ratio `E[R] / R_OPT`.
+    pub empirical_ratio: f64,
+    /// The analytic Theorem 6 upper bound on `E[R]`.
+    pub guaranteed_bound: f64,
+    /// The covering constant `β = max_i Σ_j q_ij` (Lemma 2).
+    pub beta: f64,
+    /// The multiplicity constant `m = (1/Δq)·Σ_j Q_j` (Lemma 2), with `Δq`
+    /// taken as the smallest positive coverage weight.
+    pub m: f64,
+    /// Whether `R_OPT` was proven optimal.
+    pub exact: bool,
+}
+
+impl ApproxReport {
+    /// Whether the measured expectation respects the analytic bound.
+    pub fn within_bound(&self) -> bool {
+        self.expected_payment <= self.guaranteed_bound + 1e-6
+    }
+}
+
+impl TableRow for ApproxReport {
+    fn headers() -> Vec<&'static str> {
+        vec![
+            "E[R]",
+            "R_OPT",
+            "ratio",
+            "thm6_bound",
+            "beta",
+            "m",
+            "exact",
+        ]
+    }
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            format!("{:.1}", self.expected_payment),
+            format!("{:.1}", self.optimal_payment),
+            format!("{:.3}", self.empirical_ratio),
+            format!("{:.1}", self.guaranteed_bound),
+            format!("{:.3}", self.beta),
+            format!("{:.0}", self.m),
+            self.exact.to_string(),
+        ]
+    }
+}
+
+/// The `n`-th harmonic number `H_n = Σ_{k≤n} 1/k`.
+///
+/// Exact summation up to a million terms, then the asymptotic
+/// `ln n + γ + 1/(2n)` expansion.
+pub fn harmonic(n: f64) -> f64 {
+    if n < 1.0 {
+        return 0.0;
+    }
+    if n <= 1_000_000.0 {
+        let n = n.floor() as u64;
+        (1..=n).map(|k| 1.0 / k as f64).sum()
+    } else {
+        const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+        n.ln() + EULER_GAMMA + 1.0 / (2.0 * n)
+    }
+}
+
+/// Runs the Theorem 6 experiment on one generated instance.
+///
+/// Computes `E[R]` from the exact DP-hSRC PMF, `R_OPT` with the exact ILP
+/// stack, and evaluates the bound
+/// `2βH_m·R_OPT + (6 N c_max / ε)·ln(e + ε|P|βH_m R_OPT / c_min)`.
+///
+/// # Errors
+///
+/// Propagates generation and solver errors.
+pub fn approx_ratio_experiment(
+    setting: &Setting,
+    seed: u64,
+    optimal: &OptimalMechanism,
+) -> Result<ApproxReport, OptimalError> {
+    let generated = setting.generate(seed);
+    let instance = &generated.instance;
+
+    let pmf = DpHsrcAuction::new(setting.epsilon).pmf(instance)?;
+    let expected_payment = pmf.expected_total_payment();
+
+    let opt = optimal.solve(instance)?;
+    let optimal_payment = opt.total_payment().as_f64();
+
+    let cover = instance.coverage_problem();
+    let beta = cover.beta();
+    // Δq: the smallest positive coverage weight acts as the unit measure.
+    let mut delta_q = f64::INFINITY;
+    for i in 0..cover.num_workers() {
+        for &q in cover.worker_row(WorkerId(i as u32)) {
+            if q > 1e-12 && q < delta_q {
+                delta_q = q;
+            }
+        }
+    }
+    let total_q: f64 = (0..cover.num_tasks())
+        .map(|j| cover.requirement(TaskId(j as u32)))
+        .sum();
+    let m = if delta_q.is_finite() {
+        total_q / delta_q
+    } else {
+        total_q
+    };
+    let h_m = harmonic(m);
+
+    let n = instance.num_workers() as f64;
+    let cmax = instance.cmax().as_f64();
+    let cmin = instance.cmin().as_f64();
+    let eps = setting.epsilon;
+    let p_len = pmf.schedule().len() as f64;
+    let guaranteed_bound = 2.0 * beta * h_m * optimal_payment
+        + (6.0 * n * cmax / eps)
+            * (std::f64::consts::E
+                + eps * p_len * beta * h_m * optimal_payment / cmin)
+                .ln();
+
+    Ok(ApproxReport {
+        expected_payment,
+        optimal_payment,
+        empirical_ratio: expected_payment / optimal_payment,
+        guaranteed_bound,
+        beta,
+        m,
+        exact: opt.exact,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_small_values() {
+        assert_eq!(harmonic(0.5), 0.0);
+        assert!((harmonic(1.0) - 1.0).abs() < 1e-12);
+        assert!((harmonic(4.0) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_asymptotic_is_continuous() {
+        let exact = harmonic(1_000_000.0);
+        let approx = harmonic(1_000_001.0);
+        assert!((exact - approx).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bound_holds_on_small_instances() {
+        let setting = Setting::one(80).scaled_down(4);
+        for seed in [1, 2, 3] {
+            let report =
+                approx_ratio_experiment(&setting, seed, &OptimalMechanism::new())
+                    .unwrap();
+            assert!(report.exact);
+            assert!(report.empirical_ratio >= 1.0 - 1e-9);
+            assert!(
+                report.within_bound(),
+                "seed {seed}: E[R] {} > bound {}",
+                report.expected_payment,
+                report.guaranteed_bound
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_is_modest_in_practice() {
+        // The paper's Figures 1–2 show DP-hSRC close to optimal; the greedy
+        // ratio should be far below the worst-case bound.
+        let setting = Setting::one(80).scaled_down(4);
+        let report =
+            approx_ratio_experiment(&setting, 9, &OptimalMechanism::new()).unwrap();
+        assert!(
+            report.empirical_ratio < 3.0,
+            "ratio {} unexpectedly large",
+            report.empirical_ratio
+        );
+    }
+
+    #[test]
+    fn rendering() {
+        let setting = Setting::one(80).scaled_down(4);
+        let report =
+            approx_ratio_experiment(&setting, 1, &OptimalMechanism::new()).unwrap();
+        assert_eq!(report.cells().len(), ApproxReport::headers().len());
+    }
+}

@@ -1,0 +1,262 @@
+//! Theorem 3 check: measured gain from strategic price misreporting.
+//!
+//! Two measurements are reported per deviation:
+//!
+//! * **price-channel gain** — the quantity Theorem 3's proof actually
+//!   bounds: the change in expected utility caused purely by the
+//!   exponential mechanism's price lottery shifting, holding the worker's
+//!   winner-membership function fixed. DP implies this never exceeds
+//!   `(e^ε − 1)·Δc` (≈ `ε·Δc` for small ε).
+//! * **strict gain** — the full change in expected utility, including the
+//!   worker's own membership in `S(x)` flipping with her bid. The paper's
+//!   proof does not model this channel, and the strict gain *can* exceed
+//!   `ε·Δc` (e.g. a high-cost worker underbidding to win at prices she was
+//!   priced out of). The experiment reports it honestly rather than
+//!   asserting the paper's bound on it; see EXPERIMENTS.md for the
+//!   discussion.
+
+use serde::{Deserialize, Serialize};
+
+use mcs_auction::{utility, DpHsrcAuction};
+use mcs_types::{McsError, Price, WorkerId};
+
+use crate::output::TableRow;
+use crate::Setting;
+
+/// The result of sweeping one worker's misreported price across the cost
+/// range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviationReport {
+    /// The deviating worker.
+    pub worker: u32,
+    /// Her true cost `c*`.
+    pub true_cost: f64,
+    /// Expected utility when bidding truthfully.
+    pub truthful_utility: f64,
+    /// `(misreported price, strict gain, price-channel gain)` per
+    /// deviation; the channel gain is `None` when the deviation shifted
+    /// the feasible price support.
+    pub gains: Vec<(f64, f64, Option<f64>)>,
+    /// The largest strict gain observed.
+    pub max_strict_gain: f64,
+    /// The largest price-channel gain observed.
+    pub max_channel_gain: f64,
+    /// The paper's stated cap `ε·Δc` (Theorem 3).
+    pub budget: f64,
+    /// The DP-derived cap on the price channel, `(e^ε − 1)·Δc`.
+    pub channel_budget: f64,
+}
+
+impl DeviationReport {
+    /// Whether the price-channel gains respect the DP-derived bound
+    /// (guaranteed by Theorem 2; must always hold).
+    pub fn channel_within_budget(&self) -> bool {
+        self.max_channel_gain <= self.channel_budget + 1e-9
+    }
+
+    /// Whether even the strict gains stayed within the paper's `ε·Δc`
+    /// claim (not guaranteed; see the module docs).
+    pub fn strict_within_budget(&self) -> bool {
+        self.max_strict_gain <= self.budget + 1e-9
+    }
+}
+
+impl TableRow for DeviationReport {
+    fn headers() -> Vec<&'static str> {
+        vec![
+            "worker",
+            "true_cost",
+            "truthful_eu",
+            "max_strict_gain",
+            "max_channel_gain",
+            "eps*dc",
+            "(e^eps-1)*dc",
+        ]
+    }
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.worker.to_string(),
+            format!("{:.1}", self.true_cost),
+            format!("{:.4}", self.truthful_utility),
+            format!("{:.6}", self.max_strict_gain),
+            format!("{:.6}", self.max_channel_gain),
+            format!("{:.2}", self.budget),
+            format!("{:.2}", self.channel_budget),
+        ]
+    }
+}
+
+/// Measures how much `worker` can gain by misreporting her price.
+///
+/// The instance is generated from `setting`; the worker's bid price is
+/// replaced by `num_deviations` values evenly spread over `[c_min, c_max]`
+/// (snapped to the 0.1 grid). For each deviated profile her expected
+/// utility under the exact DP-hSRC output distribution is compared against
+/// the truthful profile, in both the strict and price-channel accountings
+/// (see the module docs). Both expectations charge her true cost `c*`.
+///
+/// # Errors
+///
+/// Propagates instance generation/scheduling errors.
+///
+/// # Panics
+///
+/// Panics if `worker` is out of range for the generated instance or
+/// `num_deviations` is zero.
+pub fn deviation_experiment(
+    setting: &Setting,
+    seed: u64,
+    worker: WorkerId,
+    num_deviations: usize,
+) -> Result<DeviationReport, McsError> {
+    assert!(num_deviations > 0, "need at least one deviation");
+    let generated = setting.generate(seed);
+    let instance = &generated.instance;
+    assert!(
+        worker.index() < instance.num_workers(),
+        "worker out of range"
+    );
+    let true_cost = generated.types[worker.index()].cost();
+
+    let auction = DpHsrcAuction::new(setting.epsilon);
+    let truthful_pmf = auction.pmf(instance)?;
+    let truthful_utility = utility::expected_utility(&truthful_pmf, worker, true_cost);
+
+    let lo = Price::from_f64(setting.cmin).tenths();
+    let hi = Price::from_f64(setting.cmax).tenths();
+    let mut gains = Vec::with_capacity(num_deviations);
+    let mut max_strict_gain = f64::NEG_INFINITY;
+    let mut max_channel_gain = f64::NEG_INFINITY;
+    for k in 0..num_deviations {
+        let tenths = if num_deviations == 1 {
+            lo
+        } else {
+            lo + ((hi - lo) as f64 * k as f64 / (num_deviations - 1) as f64).round() as i64
+        };
+        let dev_price = Price::from_tenths(tenths);
+        let bid = instance.bids().bid(worker).with_price(dev_price);
+        let deviated = instance.with_bid(worker, bid)?;
+        let deviated_pmf = auction.pmf(&deviated)?;
+
+        let strict = utility::expected_utility(&deviated_pmf, worker, true_cost)
+            - truthful_utility;
+        max_strict_gain = max_strict_gain.max(strict);
+
+        // Price channel: same membership function (the deviated world's),
+        // truthful vs deviated price distributions.
+        let channel = utility::cross_expected_utility(
+            &truthful_pmf,
+            &deviated_pmf,
+            worker,
+            true_cost,
+        )
+        .map(|cross| {
+            utility::expected_utility(&deviated_pmf, worker, true_cost) - cross
+        });
+        if let Some(c) = channel {
+            max_channel_gain = max_channel_gain.max(c);
+        }
+        gains.push((dev_price.as_f64(), strict, channel));
+    }
+    if max_channel_gain == f64::NEG_INFINITY {
+        max_channel_gain = 0.0;
+    }
+
+    let delta_c = setting.cmax - setting.cmin;
+    Ok(DeviationReport {
+        worker: worker.0,
+        true_cost: true_cost.as_f64(),
+        truthful_utility,
+        gains,
+        max_strict_gain,
+        max_channel_gain,
+        budget: setting.truthfulness_budget(),
+        channel_budget: (setting.epsilon.exp() - 1.0) * delta_c,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_auction::utility::{cross_expected_utility, expected_utility};
+
+    fn mini() -> Setting {
+        Setting::one(80).scaled_down(4)
+    }
+
+    #[test]
+    fn channel_gains_never_exceed_dp_bound() {
+        for worker in [0u32, 3, 7] {
+            let report =
+                deviation_experiment(&mini(), 11, WorkerId(worker), 12).unwrap();
+            assert!(
+                report.channel_within_budget(),
+                "worker {worker}: channel gain {} > {}",
+                report.max_channel_gain,
+                report.channel_budget
+            );
+        }
+    }
+
+    #[test]
+    fn strict_gains_are_reported_even_when_large() {
+        // The strict accounting can exceed ε·Δc (membership channel); the
+        // report must expose rather than hide it.
+        let report = deviation_experiment(&mini(), 11, WorkerId(3), 12).unwrap();
+        assert!(report.max_strict_gain.is_finite());
+        assert_eq!(report.gains.len(), 12);
+    }
+
+    /// Pins the reproduction finding recorded in EXPERIMENTS.md: under
+    /// strict accounting the paper's ε·Δc claim is violated by a wide
+    /// margin on this instance, while the DP-provable price-channel bound
+    /// still holds.
+    #[test]
+    fn strict_gain_violation_is_reproducible() {
+        let report = deviation_experiment(&mini(), 24, WorkerId(2), 8).unwrap();
+        assert!(
+            report.max_strict_gain > report.budget * 5.0,
+            "expected a large strict violation, got {}",
+            report.max_strict_gain
+        );
+        assert!(report.channel_within_budget());
+    }
+
+    #[test]
+    fn truthful_deviation_gains_nothing() {
+        let setting = mini();
+        let g = setting.generate(11);
+        let w = WorkerId(2);
+        let auction = DpHsrcAuction::new(setting.epsilon);
+        let truthful = auction.pmf(&g.instance).unwrap();
+        let rebid = g
+            .instance
+            .with_bid(w, g.instance.bids().bid(w).clone())
+            .unwrap();
+        let again = auction.pmf(&rebid).unwrap();
+        let cost = g.types[2].cost();
+        let strict = expected_utility(&again, w, cost)
+            - expected_utility(&truthful, w, cost);
+        assert!(strict.abs() < 1e-12);
+        let channel = expected_utility(&again, w, cost)
+            - cross_expected_utility(&truthful, &again, w, cost).unwrap();
+        assert!(channel.abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_covers_the_cost_range() {
+        let report = deviation_experiment(&mini(), 5, WorkerId(1), 6).unwrap();
+        assert_eq!(report.gains.len(), 6);
+        assert!((report.gains[0].0 - 10.0).abs() < 1e-9);
+        assert!((report.gains[5].0 - 60.0).abs() < 1e-9);
+        assert_eq!(report.budget, 5.0); // 0.1 × (60 − 10)
+        assert!(report.channel_budget > report.budget); // e^ε−1 > ε
+    }
+
+    #[test]
+    fn rendering() {
+        let report = deviation_experiment(&mini(), 5, WorkerId(1), 3).unwrap();
+        assert_eq!(report.cells().len(), DeviationReport::headers().len());
+    }
+}

@@ -1,0 +1,183 @@
+//! Lemma 2 check: greedy winner-set cardinality vs the true optimum,
+//! price by price.
+
+use serde::{Deserialize, Serialize};
+
+use mcs_auction::{build_schedule, OptimalError, OptimalMechanism, SelectionRule};
+use mcs_types::{TaskId, WorkerId};
+
+use crate::experiments::approx::harmonic;
+use crate::output::TableRow;
+use crate::Setting;
+
+/// One candidate price's greedy-vs-optimal cardinality comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lemma2Row {
+    /// The candidate price (currency units).
+    pub price: f64,
+    /// `|S(p)|` from Algorithm 1's greedy rule.
+    pub greedy: usize,
+    /// `|S_OPT(p)|` from the exact solver.
+    pub optimal: usize,
+    /// The measured ratio.
+    pub ratio: f64,
+    /// Whether the exact solve was proven optimal.
+    pub exact: bool,
+}
+
+impl TableRow for Lemma2Row {
+    fn headers() -> Vec<&'static str> {
+        vec!["price", "greedy", "optimal", "ratio", "exact"]
+    }
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            format!("{}", self.price),
+            self.greedy.to_string(),
+            self.optimal.to_string(),
+            format!("{:.3}", self.ratio),
+            self.exact.to_string(),
+        ]
+    }
+}
+
+/// The whole Lemma 2 report: per-price rows plus the analytic bound
+/// `2·β·H_m`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lemma2Report {
+    /// Per-price comparisons (one per bidding-price interval with a grid
+    /// price).
+    pub rows: Vec<Lemma2Row>,
+    /// Largest measured ratio.
+    pub max_ratio: f64,
+    /// The Lemma 2 guarantee `2βH_m`.
+    pub bound: f64,
+}
+
+impl Lemma2Report {
+    /// Whether every measured ratio respects the analytic bound.
+    pub fn within_bound(&self) -> bool {
+        self.max_ratio <= self.bound + 1e-9
+    }
+}
+
+/// Runs the Lemma 2 comparison on one generated instance.
+///
+/// The greedy schedule provides `|S(p)|` per feasible price; the exact
+/// mechanism provides `|S_OPT(p)|` once per bidding-price interval (its
+/// `solves` record). Rows are emitted at the interval-representative
+/// prices where both sides are defined.
+///
+/// # Errors
+///
+/// Propagates generation and solver errors.
+pub fn lemma2_experiment(
+    setting: &Setting,
+    seed: u64,
+    optimal: &OptimalMechanism,
+) -> Result<Lemma2Report, OptimalError> {
+    let generated = setting.generate(seed);
+    let instance = &generated.instance;
+    let schedule = build_schedule(instance, SelectionRule::MarginalCoverage)
+        .map_err(OptimalError::Instance)?;
+    let opt = optimal.solve(instance)?;
+
+    let mut rows = Vec::new();
+    let mut max_ratio: f64 = 0.0;
+    for solve in &opt.solves {
+        let Some(idx) = schedule.prices().iter().position(|&p| p == solve.price) else {
+            continue;
+        };
+        let greedy = schedule.winners(idx).len();
+        let ratio = greedy as f64 / solve.cardinality.max(1) as f64;
+        max_ratio = max_ratio.max(ratio);
+        rows.push(Lemma2Row {
+            price: solve.price.as_f64(),
+            greedy,
+            optimal: solve.cardinality,
+            ratio,
+            exact: solve.exact,
+        });
+    }
+
+    // The analytic constants of Lemma 2.
+    let cover = instance.coverage_problem();
+    let beta = cover.beta();
+    let mut delta_q = f64::INFINITY;
+    for i in 0..cover.num_workers() {
+        for &q in cover.worker_row(WorkerId(i as u32)) {
+            if q > 1e-12 && q < delta_q {
+                delta_q = q;
+            }
+        }
+    }
+    let total_q: f64 = (0..cover.num_tasks())
+        .map(|j| cover.requirement(TaskId(j as u32)))
+        .sum();
+    let m = if delta_q.is_finite() {
+        total_q / delta_q
+    } else {
+        total_q
+    };
+    let bound = 2.0 * beta * harmonic(m);
+
+    Ok(Lemma2Report {
+        rows,
+        max_ratio,
+        bound,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_never_beats_optimal_and_bound_holds() {
+        let setting = Setting::one(80).scaled_down(5);
+        for seed in [1u64, 2] {
+            let report =
+                lemma2_experiment(&setting, seed, &OptimalMechanism::new()).unwrap();
+            assert!(!report.rows.is_empty());
+            for row in &report.rows {
+                assert!(row.exact);
+                assert!(
+                    row.greedy >= row.optimal,
+                    "greedy {} below optimal {} at {}",
+                    row.greedy,
+                    row.optimal,
+                    row.price
+                );
+                assert!(row.ratio >= 1.0 - 1e-12);
+            }
+            assert!(
+                report.within_bound(),
+                "seed {seed}: ratio {} vs bound {}",
+                report.max_ratio,
+                report.bound
+            );
+        }
+    }
+
+    #[test]
+    fn cardinalities_monotone_in_price() {
+        // Larger pools can only shrink both the greedy and optimal sets.
+        let setting = Setting::one(80).scaled_down(5);
+        let report =
+            lemma2_experiment(&setting, 3, &OptimalMechanism::new()).unwrap();
+        for w in report.rows.windows(2) {
+            assert!(w[0].optimal >= w[1].optimal);
+        }
+    }
+
+    #[test]
+    fn rendering() {
+        let setting = Setting::one(80).scaled_down(5);
+        let report =
+            lemma2_experiment(&setting, 1, &OptimalMechanism::new()).unwrap();
+        assert_eq!(
+            report.rows[0].cells().len(),
+            Lemma2Row::headers().len()
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Experiment runners, one per figure/table of the paper's evaluation.
+//!
+//! | Runner | Reproduces |
+//! |--------|------------|
+//! | [`payment_sweep`] | Figures 1–4 (total payment vs `N` / `K`) |
+//! | [`timing_sweep`] | Table II (execution time, DP-hSRC vs Optimal) |
+//! | [`tradeoff_sweep`] | Figure 5 (payment vs privacy leakage over ε) |
+//! | [`deviation_experiment`] | Theorem 3 (ε·Δc-truthfulness, measured) |
+//! | [`approx_ratio_experiment`] | Theorem 6 (approximation-ratio bound) |
+//! | [`lemma2_experiment`] | Lemma 2 (greedy vs optimal cardinality, per price) |
+//! | [`privacy_cost_experiment`] | extension: the price of privacy vs a non-private truthful auction |
+
+mod approx;
+mod deviation;
+mod lemma2;
+mod payment;
+mod privacy_cost;
+mod timing;
+mod tradeoff;
+
+pub use approx::{approx_ratio_experiment, harmonic, ApproxReport};
+pub use lemma2::{lemma2_experiment, Lemma2Report, Lemma2Row};
+pub use privacy_cost::{privacy_cost_experiment, PrivacyCostRow};
+pub use deviation::{deviation_experiment, DeviationReport};
+pub use payment::{payment_sweep, sampled_payment_stats, PaymentRow};
+pub use timing::{timing_sweep, TimingRow};
+pub use tradeoff::{tradeoff_sweep, TradeoffRow, FIGURE5_EPSILONS};

@@ -1,0 +1,225 @@
+//! Figures 1–4: platform total payment vs worker/task count.
+
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use mcs_auction::{
+    BaselineAuction, DpHsrcAuction, OptimalError, OptimalMechanism, PricePmf,
+};
+
+use crate::output::TableRow;
+use crate::Setting;
+
+/// One plotted point of a payment figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaymentRow {
+    /// The x-axis value (number of workers or tasks).
+    pub x: usize,
+    /// Exact expected total payment of DP-hSRC, `E[x·|S(x)|]`.
+    pub dp_mean: f64,
+    /// Exact standard deviation of DP-hSRC's total payment.
+    pub dp_std: f64,
+    /// Exact expected total payment of the baseline auction.
+    pub base_mean: f64,
+    /// Exact standard deviation of the baseline's total payment.
+    pub base_std: f64,
+    /// The optimal total payment `R_OPT` (settings I–II only); an upper
+    /// bound (best incumbent) when `optimal_exact` is `false`.
+    pub optimal: Option<f64>,
+    /// A proven lower bound on `R_OPT` (equals `optimal` when exact).
+    pub optimal_lower_bound: Option<f64>,
+    /// Whether `R_OPT` was proven optimal (`false` after an ILP timeout).
+    pub optimal_exact: Option<bool>,
+}
+
+impl TableRow for PaymentRow {
+    fn headers() -> Vec<&'static str> {
+        vec![
+            "x", "optimal", "opt_lb", "dp_mean", "dp_std", "base_mean", "base_std",
+            "opt_exact",
+        ]
+    }
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.x.to_string(),
+            self.optimal
+                .map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+            self.optimal_lower_bound
+                .map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+            format!("{:.1}", self.dp_mean),
+            format!("{:.2}", self.dp_std),
+            format!("{:.1}", self.base_mean),
+            format!("{:.2}", self.base_std),
+            self.optimal_exact
+                .map_or_else(|| "-".into(), |e| e.to_string()),
+        ]
+    }
+}
+
+/// Sweeps the x-axis of a payment figure.
+///
+/// For each `x` a fresh instance is generated from `make_setting(x)` with
+/// a seed derived from `seed` and `x`, then the *exact* expected payment
+/// and standard deviation of both differentially private mechanisms are
+/// computed from their output PMFs. (The paper estimates the same
+/// quantities by averaging 10 000 price samples; the exact values are the
+/// infinite-sample limit — see [`sampled_payment_stats`] for the
+/// Monte-Carlo route.) When `optimal` is provided, `R_OPT` is computed
+/// with the exact ILP stack, as in Figures 1–2.
+///
+/// Points are processed in parallel with rayon.
+///
+/// # Errors
+///
+/// Returns the first generation or solver error encountered.
+pub fn payment_sweep<F>(
+    xs: &[usize],
+    make_setting: F,
+    seed: u64,
+    optimal: Option<&OptimalMechanism>,
+) -> Result<Vec<PaymentRow>, OptimalError>
+where
+    F: Fn(usize) -> Setting + Sync,
+{
+    xs.par_iter()
+        .map(|&x| {
+            let setting = make_setting(x);
+            let generated = setting.generate(seed ^ (x as u64).wrapping_mul(0x9E37_79B9));
+            let instance = &generated.instance;
+            let dp = DpHsrcAuction::new(setting.epsilon).pmf(instance)?;
+            let base = BaselineAuction::new(setting.epsilon).pmf(instance)?;
+            let (optimal_payment, optimal_lb, optimal_exact) = match optimal {
+                Some(mech) => {
+                    let o = mech.solve(instance)?;
+                    (
+                        Some(o.total_payment().as_f64()),
+                        Some(o.payment_lower_bound.as_f64()),
+                        Some(o.exact),
+                    )
+                }
+                None => (None, None, None),
+            };
+            Ok(PaymentRow {
+                x,
+                dp_mean: dp.expected_total_payment(),
+                dp_std: dp.total_payment_std(),
+                base_mean: base.expected_total_payment(),
+                base_std: base.total_payment_std(),
+                optimal: optimal_payment,
+                optimal_lower_bound: optimal_lb,
+                optimal_exact,
+            })
+        })
+        .collect()
+}
+
+/// Monte-Carlo payment statistics, mirroring the paper's 10 000-sample
+/// estimation: draws `samples` prices from the PMF and returns the sample
+/// mean and (population) standard deviation of the total payment.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub fn sampled_payment_stats<R: Rng + ?Sized>(
+    pmf: &PricePmf,
+    samples: usize,
+    rng: &mut R,
+) -> (f64, f64) {
+    assert!(samples > 0, "at least one sample is required");
+    let mut stats = mcs_num::OnlineStats::new();
+    for _ in 0..samples {
+        stats.push(pmf.sample(rng).total_payment().as_f64());
+    }
+    (stats.mean(), stats.population_std_dev())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_num::rng;
+
+    fn mini_setting(x: usize) -> Setting {
+        let mut s = Setting::one(x).scaled_down(4);
+        s.num_workers = x;
+        s
+    }
+
+    #[test]
+    fn sweep_produces_one_row_per_x() {
+        let xs = [20, 24, 28];
+        let rows = payment_sweep(&xs, mini_setting, 7, None).unwrap();
+        assert_eq!(rows.len(), 3);
+        for (row, &x) in rows.iter().zip(&xs) {
+            assert_eq!(row.x, x);
+            assert!(row.dp_mean > 0.0);
+            assert!(row.base_mean > 0.0);
+            assert!(row.optimal.is_none());
+        }
+    }
+
+    #[test]
+    fn dp_beats_baseline_on_average() {
+        let xs = [24, 32];
+        let rows = payment_sweep(&xs, mini_setting, 3, None).unwrap();
+        for row in rows {
+            assert!(
+                row.dp_mean <= row.base_mean + 1e-9,
+                "x={}: dp {} > base {}",
+                row.x,
+                row.dp_mean,
+                row.base_mean
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_lower_bounds_both_mechanism_means() {
+        let xs = [16];
+        let mech = OptimalMechanism::new();
+        let rows = payment_sweep(&xs, mini_setting, 5, Some(&mech)).unwrap();
+        let row = &rows[0];
+        let opt = row.optimal.unwrap();
+        assert_eq!(row.optimal_exact, Some(true));
+        assert!(opt <= row.dp_mean + 1e-9);
+        assert!(opt <= row.base_mean + 1e-9);
+    }
+
+    #[test]
+    fn sampled_stats_agree_with_exact() {
+        let setting = mini_setting(24);
+        let g = setting.generate(9);
+        let pmf = DpHsrcAuction::new(setting.epsilon).pmf(&g.instance).unwrap();
+        let mut r = rng::seeded(11);
+        let (mean, std) = sampled_payment_stats(&pmf, 20_000, &mut r);
+        assert!((mean - pmf.expected_total_payment()).abs() < 3.0);
+        assert!((std - pmf.total_payment_std()).abs() < 3.0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let xs = [20];
+        let a = payment_sweep(&xs, mini_setting, 1, None).unwrap();
+        let b = payment_sweep(&xs, mini_setting, 1, None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_row_rendering() {
+        let row = PaymentRow {
+            x: 80,
+            dp_mean: 1234.5,
+            dp_std: 10.0,
+            base_mean: 2000.0,
+            base_std: 12.0,
+            optimal: Some(1100.0),
+            optimal_lower_bound: Some(1100.0),
+            optimal_exact: Some(true),
+        };
+        let cells = row.cells();
+        assert_eq!(cells.len(), PaymentRow::headers().len());
+        assert_eq!(cells[0], "80");
+        assert_eq!(cells[1], "1100.0");
+    }
+}

@@ -1,0 +1,152 @@
+//! The price of privacy: DP-hSRC vs a non-private truthful
+//! critical-payment auction vs the exact optimum.
+//!
+//! This extension experiment quantifies what the differential-privacy
+//! guarantee costs the platform. The non-private comparator
+//! ([`mcs_auction::CriticalPaymentAuction`]) is exactly truthful and
+//! individually rational but leaks bids through its deterministic
+//! payments; DP-hSRC pays a premium for randomizing the price.
+
+use serde::{Deserialize, Serialize};
+
+use mcs_auction::{
+    CriticalPaymentAuction, DpHsrcAuction, OptimalError, OptimalMechanism,
+};
+
+use crate::output::TableRow;
+use crate::Setting;
+
+/// One ε-point of the privacy-cost comparison (all payments in currency
+/// units, averaged over `trials` generated instances).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyCostRow {
+    /// Privacy budget of the DP mechanism.
+    pub epsilon: f64,
+    /// Mean exact expected payment of DP-hSRC.
+    pub dp_payment: f64,
+    /// Mean total payment of the non-private critical-payment auction.
+    pub critical_payment: f64,
+    /// Mean optimal single-price payment (when computed).
+    pub optimal_payment: Option<f64>,
+    /// `dp_payment / critical_payment` — the measured privacy premium.
+    pub premium_vs_critical: f64,
+    /// Instances averaged over.
+    pub trials: usize,
+}
+
+impl TableRow for PrivacyCostRow {
+    fn headers() -> Vec<&'static str> {
+        vec![
+            "epsilon",
+            "dp_payment",
+            "critical_payment",
+            "optimal",
+            "premium",
+            "trials",
+        ]
+    }
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            format!("{}", self.epsilon),
+            format!("{:.1}", self.dp_payment),
+            format!("{:.1}", self.critical_payment),
+            self.optimal_payment
+                .map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+            format!("{:.3}", self.premium_vs_critical),
+            self.trials.to_string(),
+        ]
+    }
+}
+
+/// Measures the privacy premium over an ε grid.
+///
+/// For each ε and each of `trials` seeds, one instance is generated; the
+/// exact expected DP-hSRC payment, the critical-payment total, and (when
+/// `optimal` is given) `R_OPT` are averaged. The critical-payment and
+/// optimal columns are ε-independent but recomputed per row for
+/// presentation symmetry — instances are shared across rows via seeding,
+/// so the columns are constant down the table.
+///
+/// # Errors
+///
+/// Propagates generation and solver errors.
+pub fn privacy_cost_experiment(
+    setting: &Setting,
+    epsilons: &[f64],
+    trials: usize,
+    seed: u64,
+    optimal: Option<&OptimalMechanism>,
+) -> Result<Vec<PrivacyCostRow>, OptimalError> {
+    assert!(trials > 0, "at least one trial is required");
+    let mut rows = Vec::with_capacity(epsilons.len());
+    for &eps in epsilons {
+        let mut dp_sum = 0.0;
+        let mut crit_sum = 0.0;
+        let mut opt_sum = 0.0;
+        let mut opt_count = 0usize;
+        for t in 0..trials {
+            let g = setting.generate(seed ^ (t as u64).wrapping_mul(0x517C_C1B7));
+            let dp = DpHsrcAuction::new(eps)
+                .pmf(&g.instance)
+                .map_err(OptimalError::Instance)?;
+            dp_sum += dp.expected_total_payment();
+            let crit = CriticalPaymentAuction
+                .run(&g.instance)
+                .map_err(OptimalError::Instance)?;
+            crit_sum += crit.total_payment().as_f64();
+            if let Some(mech) = optimal {
+                opt_sum += mech.solve(&g.instance)?.total_payment().as_f64();
+                opt_count += 1;
+            }
+        }
+        let dp_payment = dp_sum / trials as f64;
+        let critical_payment = crit_sum / trials as f64;
+        rows.push(PrivacyCostRow {
+            epsilon: eps,
+            dp_payment,
+            critical_payment,
+            optimal_payment: (opt_count > 0).then(|| opt_sum / opt_count as f64),
+            premium_vs_critical: dp_payment / critical_payment,
+            trials,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini() -> Setting {
+        Setting::one(80).scaled_down(4)
+    }
+
+    #[test]
+    fn premium_shrinks_with_epsilon() {
+        let rows =
+            privacy_cost_experiment(&mini(), &[0.1, 10.0, 1000.0], 3, 5, None).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Critical column constant across rows (same instances).
+        assert!((rows[0].critical_payment - rows[2].critical_payment).abs() < 1e-9);
+        // More budget → cheaper DP payments → smaller premium.
+        assert!(rows[0].dp_payment >= rows[1].dp_payment - 1e-9);
+        assert!(rows[1].dp_payment >= rows[2].dp_payment - 1e-9);
+    }
+
+    #[test]
+    fn optimal_is_cheapest_when_computed() {
+        let mech = OptimalMechanism::new();
+        let rows =
+            privacy_cost_experiment(&mini(), &[0.1], 2, 7, Some(&mech)).unwrap();
+        let row = &rows[0];
+        let opt = row.optimal_payment.unwrap();
+        assert!(opt <= row.dp_payment + 1e-9);
+    }
+
+    #[test]
+    fn rendering() {
+        let rows = privacy_cost_experiment(&mini(), &[0.5], 1, 9, None).unwrap();
+        assert_eq!(rows[0].cells().len(), PrivacyCostRow::headers().len());
+    }
+}

@@ -1,0 +1,151 @@
+//! Table II: execution time of DP-hSRC vs the optimal algorithm.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use mcs_auction::{DpHsrcAuction, OptimalError, OptimalMechanism};
+use mcs_num::rng;
+
+use crate::output::TableRow;
+use crate::Setting;
+
+/// One row of the Table II reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingRow {
+    /// The x-axis value (number of workers or tasks).
+    pub x: usize,
+    /// Wall-clock seconds for a full DP-hSRC run (schedule + PMF + one
+    /// sampled price).
+    pub dp_seconds: f64,
+    /// Wall-clock seconds for the exact optimal computation, when run.
+    pub optimal_seconds: Option<f64>,
+    /// Whether the optimal result was proven (no ILP timeout).
+    pub optimal_exact: Option<bool>,
+    /// Number of branch-and-bound nodes the optimal computation explored.
+    pub optimal_nodes: Option<u64>,
+}
+
+impl TableRow for TimingRow {
+    fn headers() -> Vec<&'static str> {
+        vec!["x", "dp_seconds", "optimal_seconds", "opt_exact", "opt_nodes"]
+    }
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.x.to_string(),
+            format!("{:.4}", self.dp_seconds),
+            self.optimal_seconds
+                .map_or_else(|| "-".into(), |v| format!("{v:.2}")),
+            self.optimal_exact
+                .map_or_else(|| "-".into(), |e| e.to_string()),
+            self.optimal_nodes
+                .map_or_else(|| "-".into(), |n| n.to_string()),
+        ]
+    }
+}
+
+/// Measures execution time across an axis sweep (Table II).
+///
+/// Per point: generate an instance, time a complete DP-hSRC run, and —
+/// when `optimal` is provided — time the exact `R_OPT` computation.
+/// `per_point_budget` bounds each optimal solve so the sweep terminates on
+/// any host; budget-limited rows are flagged `optimal_exact = false`
+/// rather than dropped (matching the honesty requirement of the
+/// reproduction).
+///
+/// Runs sequentially — parallelism would corrupt the timings.
+///
+/// # Errors
+///
+/// Returns the first generation or solver error encountered.
+pub fn timing_sweep<F>(
+    xs: &[usize],
+    make_setting: F,
+    seed: u64,
+    run_optimal: bool,
+    per_point_budget: Option<Duration>,
+) -> Result<Vec<TimingRow>, OptimalError>
+where
+    F: Fn(usize) -> Setting,
+{
+    let mut rows = Vec::with_capacity(xs.len());
+    for &x in xs {
+        let setting = make_setting(x);
+        let generated = setting.generate(seed ^ (x as u64).wrapping_mul(0x9E37_79B9));
+        let instance = &generated.instance;
+
+        let mut r = rng::derived(seed, x as u64);
+        let started = Instant::now();
+        let _outcome = DpHsrcAuction::new(setting.epsilon).run(instance, &mut r)?;
+        let dp_seconds = started.elapsed().as_secs_f64();
+
+        let (optimal_seconds, optimal_exact, optimal_nodes) = if run_optimal {
+            let mech = match per_point_budget {
+                Some(b) => OptimalMechanism::with_budget(b),
+                None => OptimalMechanism::new(),
+            };
+            let started = Instant::now();
+            let out = mech.solve(instance)?;
+            let secs = started.elapsed().as_secs_f64();
+            let nodes = out.solves.iter().map(|s| s.nodes).sum();
+            (Some(secs), Some(out.exact), Some(nodes))
+        } else {
+            (None, None, None)
+        };
+
+        rows.push(TimingRow {
+            x,
+            dp_seconds,
+            optimal_seconds,
+            optimal_exact,
+            optimal_nodes,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_setting(x: usize) -> Setting {
+        let mut s = Setting::one(x).scaled_down(4);
+        s.num_workers = x;
+        s
+    }
+
+    #[test]
+    fn dp_only_sweep() {
+        let rows = timing_sweep(&[16, 20], mini_setting, 3, false, None).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.dp_seconds >= 0.0);
+            assert!(row.optimal_seconds.is_none());
+        }
+    }
+
+    #[test]
+    fn optimal_timing_is_recorded() {
+        let rows = timing_sweep(&[14], mini_setting, 3, true, None).unwrap();
+        let row = &rows[0];
+        assert!(row.optimal_seconds.unwrap() >= 0.0);
+        assert_eq!(row.optimal_exact, Some(true));
+        assert!(row.optimal_nodes.unwrap() >= 1);
+    }
+
+    #[test]
+    fn budget_zero_marks_inexact() {
+        let rows =
+            timing_sweep(&[14], mini_setting, 3, true, Some(Duration::ZERO)).unwrap();
+        assert_eq!(rows[0].optimal_exact, Some(false));
+    }
+
+    #[test]
+    fn row_rendering() {
+        let rows = timing_sweep(&[16], mini_setting, 1, false, None).unwrap();
+        let cells = rows[0].cells();
+        assert_eq!(cells.len(), TimingRow::headers().len());
+        assert_eq!(cells[2], "-");
+    }
+}

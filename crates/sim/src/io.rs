@@ -1,0 +1,161 @@
+//! Workload snapshots: save and reload generated instances as JSON.
+//!
+//! Experiments are deterministic given a seed, but snapshots make runs
+//! portable across versions of the generator: EXPERIMENTS.md rows can be
+//! pinned to exact workloads, and regressions can replay the precise
+//! instance that produced a number.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use mcs_types::{Instance, TrueType};
+
+use crate::{GeneratedInstance, Setting};
+
+/// The serialized form of a workload: the generating setting (for
+/// provenance), the instance, and the workers' private types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The setting the workload was drawn from.
+    pub setting: Setting,
+    /// The seed passed to [`Setting::generate`].
+    pub seed: u64,
+    /// The generated auction input.
+    pub instance: Instance,
+    /// The workers' private types (truthful bids equal these).
+    pub types: Vec<TrueType>,
+}
+
+impl Snapshot {
+    /// Captures a setting + seed into a snapshot.
+    pub fn capture(setting: &Setting, seed: u64) -> Snapshot {
+        let GeneratedInstance { instance, types } = setting.generate(seed);
+        Snapshot {
+            setting: setting.clone(),
+            seed,
+            instance,
+            types,
+        }
+    }
+
+    /// Writes the snapshot as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O or serialization failures.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), SnapshotError> {
+        let file = File::create(path)?;
+        serde_json::to_writer_pretty(BufWriter::new(file), self)?;
+        Ok(())
+    }
+
+    /// Reads a snapshot back.
+    ///
+    /// # Errors
+    ///
+    /// I/O or deserialization failures.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Snapshot, SnapshotError> {
+        let file = File::open(path)?;
+        Ok(serde_json::from_reader(BufReader::new(file))?)
+    }
+
+    /// Consumes the snapshot into the generated pair.
+    pub fn into_generated(self) -> GeneratedInstance {
+        GeneratedInstance {
+            instance: self.instance,
+            types: self.types,
+        }
+    }
+}
+
+/// Errors from snapshot I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
+            SnapshotError::Json(e) => write!(f, "snapshot encoding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for SnapshotError {
+    fn from(e: serde_json::Error) -> Self {
+        SnapshotError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let setting = Setting::one(80).scaled_down(4);
+        let snap = Snapshot::capture(&setting, 123);
+        let path = std::env::temp_dir().join("dp_mcs_snapshot_test.json");
+        snap.save(&path).unwrap();
+        let loaded = Snapshot::load(&path).unwrap();
+        assert_eq!(snap, loaded);
+        std::fs::remove_file(&path).ok();
+        // The reloaded instance behaves identically.
+        let pmf_a = mcs_auction::DpHsrcAuction::new(0.1)
+            .pmf(&snap.instance)
+            .unwrap();
+        let pmf_b = mcs_auction::DpHsrcAuction::new(0.1)
+            .pmf(&loaded.into_generated().instance)
+            .unwrap();
+        assert_eq!(pmf_a.probs(), pmf_b.probs());
+    }
+
+    #[test]
+    fn snapshot_matches_regeneration() {
+        let setting = Setting::one(80).scaled_down(4);
+        let snap = Snapshot::capture(&setting, 9);
+        let regen = setting.generate(9);
+        assert_eq!(snap.instance, regen.instance);
+        assert_eq!(snap.types, regen.types);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = Snapshot::load("/nonexistent/dp-mcs-snapshot.json").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let path = std::env::temp_dir().join("dp_mcs_snapshot_garbage.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        let err = Snapshot::load(&path).unwrap_err();
+        assert!(matches!(err, SnapshotError::Json(_)));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,50 @@
+//! Simulation framework reproducing the paper's evaluation (§VII).
+//!
+//! * [`Setting`] — the four parameter regimes of Table I, with exact
+//!   generators for workers, bundles, costs, skills and error bounds.
+//! * [`experiments`] — one runner per figure/table:
+//!   [`experiments::payment_sweep`] (Figures 1–4),
+//!   [`experiments::timing_sweep`] (Table II),
+//!   [`experiments::tradeoff_sweep`] (Figure 5),
+//!   [`experiments::deviation_experiment`] (Theorem 3 check), and
+//!   [`experiments::approx_ratio_experiment`] (Theorem 6 check).
+//! * [`neighbour`] — neighbouring-bid-profile generators for the privacy
+//!   experiments.
+//! * [`adversary`] — the optimal honest-but-curious attacker
+//!   (likelihood-ratio inference over repeated rounds) and its DP
+//!   composition bound.
+//! * [`platform`] — an end-to-end MCS platform loop (announce → auction →
+//!   label → aggregate → pay) over the synthetic label model.
+//! * [`output`] — plain-text table and CSV rendering for the experiment
+//!   binaries.
+//! * [`io`] — JSON workload snapshots for pinning experiment inputs.
+//!
+//! Everything is deterministic given a `u64` seed: instance generation,
+//! mechanism sampling and adversary choices each draw from independent
+//! derived streams (see [`mcs_num::rng`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use mcs_sim::Setting;
+//!
+//! // A miniature Setting-I-style workload (paper: N ∈ [80, 140], K = 30).
+//! let setting = Setting::one(80).scaled_down(8);
+//! let gen = setting.generate(7);
+//! assert_eq!(gen.instance.num_workers(), 10);
+//! assert!(gen.instance.num_tasks() >= 1);
+//! assert_eq!(gen.types.len(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod experiments;
+pub mod io;
+pub mod neighbour;
+pub mod output;
+pub mod platform;
+mod settings;
+
+pub use settings::{GeneratedInstance, Setting};

@@ -1,0 +1,135 @@
+//! Neighbouring bid-profile generators for the privacy experiments.
+//!
+//! Definition 7 quantifies over bid profiles differing in one worker's bid.
+//! The paper does not pin down *how* the neighbour differs, so the
+//! experiments use two generators:
+//!
+//! * [`resample_neighbour`] — the changed worker redraws her bundle and
+//!   cost from the same Table I distributions (an "average-case"
+//!   neighbour);
+//! * [`price_push_neighbour`] — the changed worker keeps her bundle but
+//!   moves her price to an extreme of the cost range (closer to the
+//!   worst case for payment shifts).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use mcs_types::{Bid, Bundle, Instance, McsError, Price, TaskId, WorkerId};
+
+use crate::Setting;
+
+/// Which extreme [`price_push_neighbour`] pushes the bid price to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PricePush {
+    /// Move the bid to `c_min`.
+    ToMin,
+    /// Move the bid to `c_max`.
+    ToMax,
+}
+
+/// Replaces `worker`'s bid with a fresh draw from the setting's bundle and
+/// cost distributions.
+///
+/// # Errors
+///
+/// Returns [`McsError::WorkerOutOfRange`] when `worker` does not exist.
+pub fn resample_neighbour<R: Rng + ?Sized>(
+    instance: &Instance,
+    setting: &Setting,
+    worker: WorkerId,
+    r: &mut R,
+) -> Result<Instance, McsError> {
+    let max_bundle = setting.bundle_size.1.min(instance.num_tasks());
+    let min_bundle = setting.bundle_size.0.min(max_bundle);
+    let size = r.gen_range(min_bundle..=max_bundle);
+    let all_tasks: Vec<TaskId> = (0..instance.num_tasks() as u32).map(TaskId).collect();
+    let tasks: Vec<TaskId> = all_tasks.choose_multiple(r, size).copied().collect();
+    let lo = Price::from_f64(setting.cmin).tenths();
+    let hi = Price::from_f64(setting.cmax).tenths();
+    let price = Price::from_tenths(r.gen_range(lo..=hi));
+    instance.with_bid(worker, Bid::new(Bundle::new(tasks), price))
+}
+
+/// Moves `worker`'s bid price to an extreme of the cost range, keeping her
+/// bundle.
+///
+/// # Errors
+///
+/// Returns [`McsError::WorkerOutOfRange`] when `worker` does not exist.
+pub fn price_push_neighbour(
+    instance: &Instance,
+    worker: WorkerId,
+    push: PricePush,
+) -> Result<Instance, McsError> {
+    let bid = instance
+        .bids()
+        .get(worker)
+        .ok_or(McsError::WorkerOutOfRange {
+            worker,
+            num_workers: instance.num_workers(),
+        })?;
+    let price = match push {
+        PricePush::ToMin => instance.cmin(),
+        PricePush::ToMax => instance.cmax(),
+    };
+    instance.with_bid(worker, bid.with_price(price))
+}
+
+/// Picks a uniformly random worker id.
+pub fn random_worker<R: Rng + ?Sized>(instance: &Instance, r: &mut R) -> WorkerId {
+    WorkerId(r.gen_range(0..instance.num_workers() as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_num::rng;
+
+    fn generated() -> (Instance, Setting) {
+        let setting = Setting::one(80).scaled_down(4);
+        (setting.generate(2).instance, setting)
+    }
+
+    #[test]
+    fn resample_changes_exactly_one_bid() {
+        let (inst, setting) = generated();
+        let mut r = rng::seeded(3);
+        let nb = resample_neighbour(&inst, &setting, WorkerId(5), &mut r).unwrap();
+        let d = inst.bids().hamming_distance(nb.bids()).unwrap();
+        assert!(d <= 1, "changed {d} bids");
+        assert_eq!(inst.skills(), nb.skills());
+    }
+
+    #[test]
+    fn price_push_hits_extremes() {
+        let (inst, _) = generated();
+        let lo = price_push_neighbour(&inst, WorkerId(0), PricePush::ToMin).unwrap();
+        assert_eq!(lo.bids().bid(WorkerId(0)).price(), inst.cmin());
+        let hi = price_push_neighbour(&inst, WorkerId(0), PricePush::ToMax).unwrap();
+        assert_eq!(hi.bids().bid(WorkerId(0)).price(), inst.cmax());
+        // Bundle untouched.
+        assert_eq!(
+            hi.bids().bid(WorkerId(0)).bundle(),
+            inst.bids().bid(WorkerId(0)).bundle()
+        );
+    }
+
+    #[test]
+    fn out_of_range_worker_rejected() {
+        let (inst, setting) = generated();
+        let mut r = rng::seeded(1);
+        let w = WorkerId(inst.num_workers() as u32);
+        assert!(resample_neighbour(&inst, &setting, w, &mut r).is_err());
+        assert!(price_push_neighbour(&inst, w, PricePush::ToMin).is_err());
+    }
+
+    #[test]
+    fn random_worker_in_range() {
+        let (inst, _) = generated();
+        let mut r = rng::seeded(8);
+        for _ in 0..50 {
+            let w = random_worker(&inst, &mut r);
+            assert!(w.index() < inst.num_workers());
+        }
+    }
+}

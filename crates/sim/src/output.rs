@@ -1,0 +1,132 @@
+//! Plain-text table and CSV rendering for the experiment binaries.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A row type that knows how to render itself into table cells.
+pub trait TableRow {
+    /// Column headers, aligned with [`TableRow::cells`].
+    fn headers() -> Vec<&'static str>;
+    /// One formatted cell per header.
+    fn cells(&self) -> Vec<String>;
+}
+
+/// Renders rows as an aligned plain-text table.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_sim::output::{render_table, TableRow};
+///
+/// struct R(u32);
+/// impl TableRow for R {
+///     fn headers() -> Vec<&'static str> { vec!["x", "y"] }
+///     fn cells(&self) -> Vec<String> { vec![self.0.to_string(), "ok".into()] }
+/// }
+/// let txt = render_table(&[R(1), R(22)]);
+/// assert!(txt.contains("x"));
+/// assert!(txt.contains("22"));
+/// ```
+pub fn render_table<T: TableRow>(rows: &[T]) -> String {
+    let headers = T::headers();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let cells: Vec<Vec<String>> = rows.iter().map(TableRow::cells).collect();
+    for row in &cells {
+        for (w, c) in widths.iter_mut().zip(row) {
+            *w = (*w).max(c.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cols: &[String], widths: &[usize]| -> String {
+        cols.iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &cells {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes rows as CSV (header line + one line per row).
+///
+/// Cells containing commas or quotes are quoted per RFC 4180.
+///
+/// # Errors
+///
+/// Any I/O error from creating or writing the file.
+pub fn write_csv<T: TableRow, P: AsRef<Path>>(path: P, rows: &[T]) -> io::Result<()> {
+    let mut file = File::create(path)?;
+    writeln!(file, "{}", T::headers().join(","))?;
+    for row in rows {
+        let line = row
+            .cells()
+            .iter()
+            .map(|c| csv_escape(c))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(file, "{line}")?;
+    }
+    Ok(())
+}
+
+fn csv_escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct R(&'static str, &'static str);
+    impl TableRow for R {
+        fn headers() -> Vec<&'static str> {
+            vec!["a", "bbb"]
+        }
+        fn cells(&self) -> Vec<String> {
+            vec![self.0.into(), self.1.into()]
+        }
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let txt = render_table(&[R("1", "x"), R("22222", "y")]);
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows share the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("mcs_sim_output_test.csv");
+        write_csv(&dir, &[R("1", "a,b"), R("2", "q\"uote")]).unwrap();
+        let content = std::fs::read_to_string(&dir).unwrap();
+        let mut lines = content.lines();
+        assert_eq!(lines.next(), Some("a,bbb"));
+        assert_eq!(lines.next(), Some("1,\"a,b\""));
+        assert_eq!(lines.next(), Some("2,\"q\"\"uote\""));
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn escape_rules() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"t"), "\"q\"\"t\"");
+    }
+}

@@ -1,0 +1,299 @@
+//! Bids, bid profiles, and workers' private true types.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Bundle, McsError, Price, WorkerId};
+
+/// A worker's submitted bid `b_i = (Γ_i, ρ_i)`.
+///
+/// In the hSRC auction every worker submits exactly one bundle of tasks she
+/// offers to execute and a price for executing all of them. A bid need not
+/// match the worker's private [`TrueType`]; the mechanism's ε·Δc-truthfulness
+/// guarantee is about how little a worker can gain from such a mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_types::{Bid, Bundle, Price, TaskId};
+///
+/// let bid = Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(12.0));
+/// assert_eq!(bid.price(), Price::from_f64(12.0));
+/// assert!(bid.bundle().contains(TaskId(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bid {
+    bundle: Bundle,
+    price: Price,
+}
+
+impl Bid {
+    /// Creates a bid from a bundle and a bidding price.
+    pub fn new(bundle: Bundle, price: Price) -> Self {
+        Bid { bundle, price }
+    }
+
+    /// The bidding bundle `Γ_i`.
+    #[inline]
+    pub fn bundle(&self) -> &Bundle {
+        &self.bundle
+    }
+
+    /// The bidding price `ρ_i`.
+    #[inline]
+    pub fn price(&self) -> Price {
+        self.price
+    }
+
+    /// Returns a copy of this bid with a different price.
+    pub fn with_price(&self, price: Price) -> Bid {
+        Bid {
+            bundle: self.bundle.clone(),
+            price,
+        }
+    }
+
+    /// Returns a copy of this bid with a different bundle.
+    pub fn with_bundle(&self, bundle: Bundle) -> Bid {
+        Bid {
+            bundle,
+            price: self.price,
+        }
+    }
+}
+
+impl fmt::Display for Bid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.bundle, self.price)
+    }
+}
+
+/// A worker's private type: her true interested bundle `Γ*_i` and true cost
+/// `c*_i`.
+///
+/// The truthful bid of Definition 2 is exactly `(Γ*_i, c*_i)`; see
+/// [`TrueType::truthful_bid`]. Simulation code holds `TrueType`s for all
+/// workers and derives bid profiles from them — truthfully, or with
+/// strategic deviations when measuring the truthfulness gap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TrueType {
+    bundle: Bundle,
+    cost: Price,
+}
+
+impl TrueType {
+    /// Creates a private type from the true bundle and true cost.
+    pub fn new(bundle: Bundle, cost: Price) -> Self {
+        TrueType { bundle, cost }
+    }
+
+    /// The true interested bundle `Γ*_i`.
+    #[inline]
+    pub fn bundle(&self) -> &Bundle {
+        &self.bundle
+    }
+
+    /// The true task-execution cost `c*_i`.
+    #[inline]
+    pub fn cost(&self) -> Price {
+        self.cost
+    }
+
+    /// The truthful bid `b*_i = (Γ*_i, c*_i)` (Definition 2).
+    pub fn truthful_bid(&self) -> Bid {
+        Bid::new(self.bundle.clone(), self.cost)
+    }
+}
+
+/// The full bid profile `b = (b_1, …, b_N)`, indexed by worker.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_types::{Bid, BidProfile, Bundle, Price, TaskId, WorkerId};
+///
+/// let profile = BidProfile::new(vec![
+///     Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(10.0)),
+///     Bid::new(Bundle::new(vec![TaskId(1)]), Price::from_f64(11.0)),
+/// ]);
+/// assert_eq!(profile.len(), 2);
+/// assert_eq!(profile.bid(WorkerId(1)).price(), Price::from_f64(11.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct BidProfile {
+    bids: Vec<Bid>,
+}
+
+impl BidProfile {
+    /// Creates a profile from per-worker bids (index = worker id).
+    pub fn new(bids: Vec<Bid>) -> Self {
+        BidProfile { bids }
+    }
+
+    /// Number of workers `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bids.len()
+    }
+
+    /// Returns `true` if there are no workers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bids.is_empty()
+    }
+
+    /// The bid of a specific worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    #[inline]
+    pub fn bid(&self, worker: WorkerId) -> &Bid {
+        &self.bids[worker.index()]
+    }
+
+    /// The bid of a specific worker, if in range.
+    pub fn get(&self, worker: WorkerId) -> Option<&Bid> {
+        self.bids.get(worker.index())
+    }
+
+    /// Iterates over `(WorkerId, &Bid)` pairs in worker order.
+    pub fn iter(&self) -> impl Iterator<Item = (WorkerId, &Bid)> + '_ {
+        self.bids
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (WorkerId(i as u32), b))
+    }
+
+    /// The bids as a slice, indexed by worker.
+    #[inline]
+    pub fn as_slice(&self) -> &[Bid] {
+        &self.bids
+    }
+
+    /// Returns a new profile identical except for one worker's bid.
+    ///
+    /// This is the *neighbouring profile* relation of Definition 7
+    /// (differential privacy): two profiles are neighbours when they differ
+    /// in only one bid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McsError::WorkerOutOfRange`] if `worker` is out of range.
+    pub fn with_bid(&self, worker: WorkerId, bid: Bid) -> Result<BidProfile, McsError> {
+        if worker.index() >= self.bids.len() {
+            return Err(McsError::WorkerOutOfRange {
+                worker,
+                num_workers: self.bids.len(),
+            });
+        }
+        let mut bids = self.bids.clone();
+        bids[worker.index()] = bid;
+        Ok(BidProfile { bids })
+    }
+
+    /// Number of bids differing between two profiles of equal length.
+    ///
+    /// Returns `None` when the profiles have different lengths (in which
+    /// case the neighbour relation is undefined).
+    pub fn hamming_distance(&self, other: &BidProfile) -> Option<usize> {
+        if self.len() != other.len() {
+            return None;
+        }
+        Some(
+            self.bids
+                .iter()
+                .zip(&other.bids)
+                .filter(|(a, b)| a != b)
+                .count(),
+        )
+    }
+
+    /// The largest bidding price in the profile, or `None` if empty.
+    pub fn max_price(&self) -> Option<Price> {
+        self.bids.iter().map(Bid::price).max()
+    }
+
+    /// The smallest bidding price in the profile, or `None` if empty.
+    pub fn min_price(&self) -> Option<Price> {
+        self.bids.iter().map(Bid::price).min()
+    }
+}
+
+impl FromIterator<Bid> for BidProfile {
+    fn from_iter<I: IntoIterator<Item = Bid>>(iter: I) -> Self {
+        BidProfile {
+            bids: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskId;
+
+    fn bid(tasks: &[u32], price: f64) -> Bid {
+        Bid::new(
+            Bundle::new(tasks.iter().copied().map(TaskId).collect()),
+            Price::from_f64(price),
+        )
+    }
+
+    #[test]
+    fn truthful_bid_matches_type() {
+        let t = TrueType::new(Bundle::new(vec![TaskId(1)]), Price::from_f64(15.0));
+        let b = t.truthful_bid();
+        assert_eq!(b.bundle(), t.bundle());
+        assert_eq!(b.price(), t.cost());
+    }
+
+    #[test]
+    fn with_price_and_bundle_produce_deviations() {
+        let b = bid(&[0, 1], 10.0);
+        let dev = b.with_price(Price::from_f64(12.0));
+        assert_eq!(dev.bundle(), b.bundle());
+        assert_eq!(dev.price(), Price::from_f64(12.0));
+        let dev2 = b.with_bundle(Bundle::new(vec![TaskId(2)]));
+        assert_eq!(dev2.price(), b.price());
+        assert!(dev2.bundle().contains(TaskId(2)));
+    }
+
+    #[test]
+    fn profile_indexing() {
+        let p = BidProfile::new(vec![bid(&[0], 10.0), bid(&[1], 20.0)]);
+        assert_eq!(p.bid(WorkerId(0)).price(), Price::from_f64(10.0));
+        assert!(p.get(WorkerId(2)).is_none());
+        assert_eq!(p.max_price(), Some(Price::from_f64(20.0)));
+        assert_eq!(p.min_price(), Some(Price::from_f64(10.0)));
+    }
+
+    #[test]
+    fn neighbour_profiles_differ_in_one_bid() {
+        let p = BidProfile::new(vec![bid(&[0], 10.0), bid(&[1], 20.0)]);
+        let q = p.with_bid(WorkerId(1), bid(&[1], 25.0)).unwrap();
+        assert_eq!(p.hamming_distance(&q), Some(1));
+        assert_eq!(p.hamming_distance(&p.clone()), Some(0));
+        assert!(p.with_bid(WorkerId(5), bid(&[0], 1.0)).is_err());
+    }
+
+    #[test]
+    fn hamming_undefined_for_mismatched_lengths() {
+        let p = BidProfile::new(vec![bid(&[0], 10.0)]);
+        let q = BidProfile::new(vec![bid(&[0], 10.0), bid(&[1], 20.0)]);
+        assert_eq!(p.hamming_distance(&q), None);
+    }
+
+    #[test]
+    fn from_iterator_collects_in_order() {
+        let p: BidProfile = (0..3).map(|i| bid(&[i], 10.0 + i as f64)).collect();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.bid(WorkerId(2)).price(), Price::from_f64(12.0));
+    }
+
+    #[test]
+    fn display_bid() {
+        assert_eq!(bid(&[0], 10.5).to_string(), "({t0}, 10.5)");
+    }
+}

@@ -1,0 +1,242 @@
+//! Task bundles — the sets of tasks workers bid on.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::TaskId;
+
+/// A set of tasks (`Γ ⊆ T`) that a worker offers to execute.
+///
+/// Stored as a sorted, deduplicated vector so membership tests are
+/// `O(log |Γ|)` and iteration order is deterministic. The paper calls any
+/// subset of the task set `T` a *bundle*; every worker is single-minded and
+/// bids exactly one bundle.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_types::{Bundle, TaskId};
+///
+/// let bundle = Bundle::new(vec![TaskId(2), TaskId(0), TaskId(2)]);
+/// assert_eq!(bundle.len(), 2);
+/// assert!(bundle.contains(TaskId(0)));
+/// assert!(!bundle.contains(TaskId(1)));
+/// assert_eq!(bundle.iter().collect::<Vec<_>>(), vec![TaskId(0), TaskId(2)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Bundle {
+    tasks: Vec<TaskId>,
+}
+
+impl Bundle {
+    /// Creates a bundle from a list of tasks, sorting and deduplicating.
+    pub fn new(mut tasks: Vec<TaskId>) -> Self {
+        tasks.sort_unstable();
+        tasks.dedup();
+        Bundle { tasks }
+    }
+
+    /// Creates an empty bundle.
+    ///
+    /// Empty bundles are rejected by instance validation but are useful as
+    /// placeholders while constructing profiles.
+    pub fn empty() -> Self {
+        Bundle { tasks: Vec::new() }
+    }
+
+    /// Number of tasks in the bundle, `|Γ|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` if the bundle contains no tasks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, task: TaskId) -> bool {
+        self.tasks.binary_search(&task).is_ok()
+    }
+
+    /// Iterates over the tasks in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks.iter().copied()
+    }
+
+    /// Returns the tasks as a sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[TaskId] {
+        &self.tasks
+    }
+
+    /// Returns `true` if every task id is below `num_tasks`.
+    pub fn within_task_count(&self, num_tasks: usize) -> bool {
+        self.tasks
+            .last()
+            .map_or(true, |t| t.index() < num_tasks)
+    }
+
+    /// Returns the intersection with another bundle.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcs_types::{Bundle, TaskId};
+    /// let a = Bundle::new(vec![TaskId(0), TaskId(1), TaskId(2)]);
+    /// let b = Bundle::new(vec![TaskId(1), TaskId(3)]);
+    /// assert_eq!(a.intersection(&b), Bundle::new(vec![TaskId(1)]));
+    /// ```
+    pub fn intersection(&self, other: &Bundle) -> Bundle {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        Bundle {
+            tasks: small
+                .tasks
+                .iter()
+                .copied()
+                .filter(|t| large.contains(*t))
+                .collect(),
+        }
+    }
+
+    /// Returns the union with another bundle.
+    pub fn union(&self, other: &Bundle) -> Bundle {
+        let mut tasks = Vec::with_capacity(self.len() + other.len());
+        tasks.extend_from_slice(&self.tasks);
+        tasks.extend_from_slice(&other.tasks);
+        Bundle::new(tasks)
+    }
+}
+
+impl FromIterator<TaskId> for Bundle {
+    fn from_iter<I: IntoIterator<Item = TaskId>>(iter: I) -> Self {
+        Bundle::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<TaskId> for Bundle {
+    fn extend<I: IntoIterator<Item = TaskId>>(&mut self, iter: I) {
+        self.tasks.extend(iter);
+        self.tasks.sort_unstable();
+        self.tasks.dedup();
+    }
+}
+
+impl<'a> IntoIterator for &'a Bundle {
+    type Item = TaskId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, TaskId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter().copied()
+    }
+}
+
+impl fmt::Display for Bundle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tasks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let b = Bundle::new(vec![TaskId(5), TaskId(1), TaskId(5), TaskId(3)]);
+        assert_eq!(b.as_slice(), &[TaskId(1), TaskId(3), TaskId(5)]);
+    }
+
+    #[test]
+    fn empty_bundle() {
+        let b = Bundle::empty();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert!(!b.contains(TaskId(0)));
+        assert_eq!(b.to_string(), "{}");
+    }
+
+    #[test]
+    fn contains_only_members() {
+        let b = Bundle::new(vec![TaskId(0), TaskId(2), TaskId(4)]);
+        assert!(b.contains(TaskId(0)));
+        assert!(!b.contains(TaskId(1)));
+        assert!(b.contains(TaskId(4)));
+        assert!(!b.contains(TaskId(5)));
+    }
+
+    #[test]
+    fn within_task_count_checks_max() {
+        let b = Bundle::new(vec![TaskId(0), TaskId(9)]);
+        assert!(b.within_task_count(10));
+        assert!(!b.within_task_count(9));
+        assert!(Bundle::empty().within_task_count(0));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = Bundle::new(vec![TaskId(0), TaskId(1)]);
+        let b = Bundle::new(vec![TaskId(1), TaskId(2)]);
+        assert_eq!(a.union(&b).as_slice(), &[TaskId(0), TaskId(1), TaskId(2)]);
+        assert_eq!(a.intersection(&b).as_slice(), &[TaskId(1)]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut b: Bundle = (0..3u32).map(TaskId).collect();
+        b.extend([TaskId(1), TaskId(7)]);
+        assert_eq!(
+            b.as_slice(),
+            &[TaskId(0), TaskId(1), TaskId(2), TaskId(7)]
+        );
+    }
+
+    #[test]
+    fn display() {
+        let b = Bundle::new(vec![TaskId(1), TaskId(0)]);
+        assert_eq!(b.to_string(), "{t0, t1}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_membership_matches_slice(ids in proptest::collection::vec(0u32..64, 0..32)) {
+            let b = Bundle::new(ids.iter().copied().map(TaskId).collect());
+            for t in 0u32..64 {
+                prop_assert_eq!(b.contains(TaskId(t)), ids.contains(&t));
+            }
+        }
+
+        #[test]
+        fn prop_intersection_subset_of_both(
+            a in proptest::collection::vec(0u32..32, 0..16),
+            b in proptest::collection::vec(0u32..32, 0..16),
+        ) {
+            let ba = Bundle::new(a.into_iter().map(TaskId).collect());
+            let bb = Bundle::new(b.into_iter().map(TaskId).collect());
+            let inter = ba.intersection(&bb);
+            for t in inter.iter() {
+                prop_assert!(ba.contains(t) && bb.contains(t));
+            }
+            let uni = ba.union(&bb);
+            for t in ba.iter().chain(bb.iter()) {
+                prop_assert!(uni.contains(t));
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Price, TaskId, WorkerId};
+
+/// Errors raised while constructing or validating MCS auction inputs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum McsError {
+    /// A skill-matrix entry was outside `[0, 1]` or not finite.
+    InvalidSkill {
+        /// Worker (row) of the offending entry.
+        worker: WorkerId,
+        /// Task (column) of the offending entry.
+        task: TaskId,
+        /// The offending value.
+        value: f64,
+    },
+    /// A per-task error bound `δ_j` was outside the open interval `(0, 1)`.
+    InvalidErrorBound {
+        /// The task whose bound is invalid.
+        task: TaskId,
+        /// The offending value.
+        value: f64,
+    },
+    /// A price grid had a non-positive step or `max < min`.
+    InvalidPriceGrid {
+        /// Requested minimum.
+        min: Price,
+        /// Requested maximum.
+        max: Price,
+        /// Requested step.
+        step: Price,
+    },
+    /// Two containers that must agree in size did not.
+    DimensionMismatch {
+        /// What was being validated.
+        what: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// A worker id exceeded the profile length.
+    WorkerOutOfRange {
+        /// The offending id.
+        worker: WorkerId,
+        /// Number of workers in the container.
+        num_workers: usize,
+    },
+    /// A bundle referenced a task id `≥ num_tasks`.
+    BundleOutOfRange {
+        /// The worker whose bundle is invalid.
+        worker: WorkerId,
+        /// Number of tasks in the instance.
+        num_tasks: usize,
+    },
+    /// A worker bid an empty bundle.
+    EmptyBundle {
+        /// The offending worker.
+        worker: WorkerId,
+    },
+    /// The cost range was empty (`c_max < c_min`) or a bid fell outside it.
+    InvalidCostRange {
+        /// Configured minimum cost.
+        cmin: Price,
+        /// Configured maximum cost.
+        cmax: Price,
+    },
+    /// Even the full worker pool cannot satisfy some task's error-bound
+    /// constraint, so no price is feasible.
+    Infeasible {
+        /// The first task whose constraint cannot be met.
+        task: TaskId,
+        /// Required coverage `Q_j`.
+        required: f64,
+        /// Maximum attainable coverage with all workers.
+        attainable: f64,
+    },
+    /// The worker pool can cover the tasks, but only at a price above the
+    /// top of the candidate price grid, so the feasible price set is empty.
+    NoFeasiblePrice {
+        /// The smallest price at which the pool covers every task.
+        required_price: Price,
+        /// The top of the candidate grid.
+        grid_max: Price,
+    },
+    /// A required builder field was missing.
+    MissingField {
+        /// Name of the missing field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for McsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McsError::InvalidSkill {
+                worker,
+                task,
+                value,
+            } => write!(
+                f,
+                "skill level theta[{worker}][{task}] = {value} is outside [0, 1]"
+            ),
+            McsError::InvalidErrorBound { task, value } => write!(
+                f,
+                "error bound delta[{task}] = {value} is outside the open interval (0, 1)"
+            ),
+            McsError::InvalidPriceGrid { min, max, step } => write!(
+                f,
+                "price grid [{min}, {max}] with step {step} is empty or has non-positive step"
+            ),
+            McsError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} has length {actual}, expected {expected}"),
+            McsError::WorkerOutOfRange {
+                worker,
+                num_workers,
+            } => write!(f, "worker {worker} out of range for {num_workers} workers"),
+            McsError::BundleOutOfRange { worker, num_tasks } => write!(
+                f,
+                "bundle of {worker} references a task outside the {num_tasks}-task set"
+            ),
+            McsError::EmptyBundle { worker } => {
+                write!(f, "worker {worker} bid an empty bundle")
+            }
+            McsError::InvalidCostRange { cmin, cmax } => {
+                write!(f, "invalid cost range [{cmin}, {cmax}]")
+            }
+            McsError::Infeasible {
+                task,
+                required,
+                attainable,
+            } => write!(
+                f,
+                "task {task} needs coverage {required} but the full pool attains only {attainable}"
+            ),
+            McsError::NoFeasiblePrice {
+                required_price,
+                grid_max,
+            } => write!(
+                f,
+                "covering the tasks requires price {required_price} but the grid tops out at {grid_max}"
+            ),
+            McsError::MissingField { field } => {
+                write!(f, "instance builder is missing required field `{field}`")
+            }
+        }
+    }
+}
+
+impl Error for McsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = McsError::EmptyBundle {
+            worker: WorkerId(3),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("w3"));
+        assert!(msg.starts_with("worker"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn take(_: &dyn Error) {}
+        take(&McsError::MissingField { field: "bids" });
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<McsError>();
+    }
+}

@@ -1,0 +1,123 @@
+//! Typed indices for workers and tasks.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a worker in the worker set `N = {w_1, …, w_N}`.
+///
+/// The wrapped value is a zero-based index into whatever worker collection
+/// the surrounding structure holds (e.g. a [`BidProfile`]).
+///
+/// [`BidProfile`]: crate::BidProfile
+///
+/// # Examples
+///
+/// ```
+/// use mcs_types::WorkerId;
+///
+/// let w = WorkerId(3);
+/// assert_eq!(w.index(), 3);
+/// assert_eq!(w.to_string(), "w3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct WorkerId(pub u32);
+
+/// Index of a task in the task set `T = {τ_1, …, τ_K}`.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_types::TaskId;
+///
+/// let t = TaskId(7);
+/// assert_eq!(t.index(), 7);
+/// assert_eq!(t.to_string(), "t7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct TaskId(pub u32);
+
+impl WorkerId {
+    /// Returns the zero-based index as a `usize`, for container indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TaskId {
+    /// Returns the zero-based index as a `usize`, for container indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for WorkerId {
+    fn from(i: u32) -> Self {
+        WorkerId(i)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(i: u32) -> Self {
+        TaskId(i)
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_id_roundtrip() {
+        let w: WorkerId = 5u32.into();
+        assert_eq!(w, WorkerId(5));
+        assert_eq!(w.index(), 5);
+    }
+
+    #[test]
+    fn task_id_roundtrip() {
+        let t: TaskId = 9u32.into();
+        assert_eq!(t, TaskId(9));
+        assert_eq!(t.index(), 9);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(WorkerId(1) < WorkerId(2));
+        assert!(TaskId(0) < TaskId(10));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(WorkerId(12).to_string(), "w12");
+        assert_eq!(TaskId(3).to_string(), "t3");
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let json = serde_json::to_string(&WorkerId(4)).unwrap();
+        assert_eq!(json, "4");
+        let back: WorkerId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, WorkerId(4));
+    }
+}

@@ -1,0 +1,241 @@
+//! Worker skill matrices and derived coverage weights.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{McsError, TaskId, WorkerId};
+
+/// The skill matrix `θ = [θ_ij] ∈ [0,1]^{N×K}`.
+///
+/// `θ_ij` is the probability that the label worker `i` reports for binary
+/// task `j` equals the true label. The platform maintains this matrix as
+/// prior information (estimated from gold tasks, historical submissions, or
+/// worker reputation — see `mcs-agg` for estimators) and uses the derived
+/// weights `q_ij = (2θ_ij − 1)²` in the error-bound constraint of Lemma 1.
+///
+/// Stored dense and row-major: workers are rows, tasks are columns.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_types::{SkillMatrix, TaskId, WorkerId};
+///
+/// # fn main() -> Result<(), mcs_types::McsError> {
+/// let skills = SkillMatrix::from_rows(vec![vec![0.9, 0.5], vec![0.1, 0.75]])?;
+/// assert_eq!(skills.theta(WorkerId(0), TaskId(0)), 0.9);
+/// // q = (2·0.9 − 1)² = 0.64
+/// assert!((skills.q(WorkerId(0), TaskId(0)) - 0.64).abs() < 1e-12);
+/// // θ = 0.5 carries zero information: q = 0.
+/// assert_eq!(skills.q(WorkerId(0), TaskId(1)), 0.0);
+/// // θ = 0.1 is *informative* (an anti-expert): q = 0.64.
+/// assert!((skills.q(WorkerId(1), TaskId(0)) - 0.64).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkillMatrix {
+    num_workers: usize,
+    num_tasks: usize,
+    /// Row-major `θ` values.
+    theta: Vec<f64>,
+}
+
+impl SkillMatrix {
+    /// Builds a skill matrix from per-worker rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McsError::InvalidSkill`] if any entry is outside `[0, 1]`
+    /// or not finite, and [`McsError::DimensionMismatch`] if rows have
+    /// unequal lengths.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, McsError> {
+        let num_workers = rows.len();
+        let num_tasks = rows.first().map_or(0, Vec::len);
+        let mut theta = Vec::with_capacity(num_workers * num_tasks);
+        for (i, row) in rows.into_iter().enumerate() {
+            if row.len() != num_tasks {
+                return Err(McsError::DimensionMismatch {
+                    what: "skill matrix row",
+                    expected: num_tasks,
+                    actual: row.len(),
+                });
+            }
+            for (j, v) in row.into_iter().enumerate() {
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(McsError::InvalidSkill {
+                        worker: WorkerId(i as u32),
+                        task: TaskId(j as u32),
+                        value: v,
+                    });
+                }
+                theta.push(v);
+            }
+        }
+        Ok(SkillMatrix {
+            num_workers,
+            num_tasks,
+            theta,
+        })
+    }
+
+    /// Builds a skill matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McsError::DimensionMismatch`] if `flat.len()` is not
+    /// `num_workers * num_tasks`, or [`McsError::InvalidSkill`] on
+    /// out-of-range entries.
+    pub fn from_flat(
+        num_workers: usize,
+        num_tasks: usize,
+        flat: Vec<f64>,
+    ) -> Result<Self, McsError> {
+        if flat.len() != num_workers * num_tasks {
+            return Err(McsError::DimensionMismatch {
+                what: "flat skill matrix",
+                expected: num_workers * num_tasks,
+                actual: flat.len(),
+            });
+        }
+        for (idx, &v) in flat.iter().enumerate() {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(McsError::InvalidSkill {
+                    worker: WorkerId((idx / num_tasks.max(1)) as u32),
+                    task: TaskId((idx % num_tasks.max(1)) as u32),
+                    value: v,
+                });
+            }
+        }
+        Ok(SkillMatrix {
+            num_workers,
+            num_tasks,
+            theta: flat,
+        })
+    }
+
+    /// Number of workers (rows).
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Number of tasks (columns).
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.num_tasks
+    }
+
+    /// The skill level `θ_ij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` or `task` is out of range.
+    #[inline]
+    pub fn theta(&self, worker: WorkerId, task: TaskId) -> f64 {
+        assert!(worker.index() < self.num_workers, "worker out of range");
+        assert!(task.index() < self.num_tasks, "task out of range");
+        self.theta[worker.index() * self.num_tasks + task.index()]
+    }
+
+    /// The aggregation weight `α_ij = 2θ_ij − 1` of Lemma 1.
+    ///
+    /// Positive for better-than-random workers, negative for anti-experts
+    /// (whose labels are informative once flipped), zero at `θ = 0.5`.
+    #[inline]
+    pub fn alpha(&self, worker: WorkerId, task: TaskId) -> f64 {
+        2.0 * self.theta(worker, task) - 1.0
+    }
+
+    /// The coverage weight `q_ij = (2θ_ij − 1)² ∈ [0, 1]` of the error-bound
+    /// constraint.
+    #[inline]
+    pub fn q(&self, worker: WorkerId, task: TaskId) -> f64 {
+        let a = self.alpha(worker, task);
+        a * a
+    }
+
+    /// A worker's full `θ` row.
+    pub fn worker_row(&self, worker: WorkerId) -> &[f64] {
+        let start = worker.index() * self.num_tasks;
+        &self.theta[start..start + self.num_tasks]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_out_of_range_theta() {
+        assert!(matches!(
+            SkillMatrix::from_rows(vec![vec![1.5]]),
+            Err(McsError::InvalidSkill { .. })
+        ));
+        assert!(matches!(
+            SkillMatrix::from_rows(vec![vec![-0.1]]),
+            Err(McsError::InvalidSkill { .. })
+        ));
+        assert!(matches!(
+            SkillMatrix::from_rows(vec![vec![f64::NAN]]),
+            Err(McsError::InvalidSkill { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        assert!(matches!(
+            SkillMatrix::from_rows(vec![vec![0.5, 0.5], vec![0.5]]),
+            Err(McsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_flat_checks_dimensions() {
+        assert!(SkillMatrix::from_flat(2, 2, vec![0.5; 4]).is_ok());
+        assert!(matches!(
+            SkillMatrix::from_flat(2, 2, vec![0.5; 3]),
+            Err(McsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn q_is_symmetric_around_half() {
+        let m = SkillMatrix::from_rows(vec![vec![0.9, 0.1, 0.5]]).unwrap();
+        let q_expert = m.q(WorkerId(0), TaskId(0));
+        let q_anti = m.q(WorkerId(0), TaskId(1));
+        assert!((q_expert - q_anti).abs() < 1e-12);
+        assert_eq!(m.q(WorkerId(0), TaskId(2)), 0.0);
+    }
+
+    #[test]
+    fn alpha_sign() {
+        let m = SkillMatrix::from_rows(vec![vec![0.8, 0.2]]).unwrap();
+        assert!(m.alpha(WorkerId(0), TaskId(0)) > 0.0);
+        assert!(m.alpha(WorkerId(0), TaskId(1)) < 0.0);
+    }
+
+    #[test]
+    fn worker_row_slices() {
+        let m = SkillMatrix::from_rows(vec![vec![0.1, 0.2], vec![0.3, 0.4]]).unwrap();
+        assert_eq!(m.worker_row(WorkerId(1)), &[0.3, 0.4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker out of range")]
+    fn theta_panics_out_of_range() {
+        let m = SkillMatrix::from_rows(vec![vec![0.5]]).unwrap();
+        let _ = m.theta(WorkerId(1), TaskId(0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_q_in_unit_interval(t in 0.0f64..=1.0) {
+            let m = SkillMatrix::from_rows(vec![vec![t]]).unwrap();
+            let q = m.q(WorkerId(0), TaskId(0));
+            prop_assert!((0.0..=1.0).contains(&q));
+            // q = alpha².
+            let a = m.alpha(WorkerId(0), TaskId(0));
+            prop_assert!((q - a * a).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The honest-but-curious attack, made concrete.
+//!
+//! A curious worker watches the clearing price of repeated auctions and
+//! tries to decide between two hypotheses about a colleague's bid (did she
+//! bid cheap or expensive?). The optimal attack is the likelihood-ratio
+//! test over the mechanism's exact output distributions — and differential
+//! privacy caps the evidence it can gather at `ε` per round.
+//!
+//! ```text
+//! cargo run --release --example adversary_inference
+//! ```
+
+use dp_mcs::sim::adversary::{expected_evidence_per_round, likelihood_ratio_attack};
+use dp_mcs::sim::neighbour::{price_push_neighbour, PricePush};
+use dp_mcs::{DpHsrcAuction, Instance, Setting, WorkerId};
+
+/// Finds a target worker whose price push to c_max changes the payment
+/// distribution without shifting the feasible price set (pushing a
+/// load-bearing cheap worker would alter the support, which the paper's
+/// fixed-`P` analysis excludes).
+fn pick_target(instance: &Instance) -> Option<WorkerId> {
+    let probe = DpHsrcAuction::new(1.0);
+    let base = probe.pmf(instance).ok()?;
+    for i in 0..instance.num_workers() {
+        let w = WorkerId(i as u32);
+        let Ok(alt) = price_push_neighbour(instance, w, PricePush::ToMax) else {
+            continue;
+        };
+        let Ok(pmf_b) = probe.pmf(&alt) else { continue };
+        if base.schedule().prices() == pmf_b.schedule().prices()
+            && base.probs() != pmf_b.probs()
+        {
+            return Some(w);
+        }
+    }
+    None
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let setting = Setting::one(80).scaled_down(2);
+    let generated = setting.generate(5);
+    let instance = &generated.instance;
+    let target = pick_target(instance).expect("some worker is informative");
+
+    println!(
+        "target worker {target}: true bid price {}",
+        instance.bids().bid(target).price()
+    );
+
+    for eps in [0.1, 1.0, 10.0] {
+        let auction = DpHsrcAuction::new(eps);
+        // Hypothesis A: the profile as-is. Hypothesis B: the target bid at
+        // the cost ceiling instead.
+        let pmf_a = auction.pmf(instance)?;
+        let alt = price_push_neighbour(instance, target, PricePush::ToMax)?;
+        let pmf_b = auction.pmf(&alt)?;
+        if pmf_a.schedule().prices() != pmf_b.schedule().prices() {
+            println!("eps {eps}: hypotheses have different supports — skipped");
+            continue;
+        }
+
+        let per_round = expected_evidence_per_round(&pmf_a, &pmf_b)
+            .expect("supports checked above");
+        let mut rng = dp_mcs::num::rng::seeded(99);
+        let rounds = 200;
+        let outcome = likelihood_ratio_attack(&pmf_a, &pmf_b, eps, rounds, &mut rng);
+        println!(
+            "eps {:>5}: E[evidence]/round = {:.6} (= KL leakage), after {} rounds \
+             LLR = {:+.4} (cap {:.1}), posterior from 50/50 prior = {:.3}",
+            eps,
+            per_round,
+            outcome.rounds_used,
+            outcome.log_likelihood_ratio,
+            outcome.bound,
+            outcome.posterior_a(0.5),
+        );
+        assert!(outcome.within_bound());
+    }
+
+    println!(
+        "\nAt eps = 0.1 the adversary stays at her 50/50 prior even after 200\n\
+         rounds; at eps = 10 the same observations visibly shift her posterior —\n\
+         the Figure 5 trade-off, experienced from the attacker's side."
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: run one DP-hSRC auction on a hand-built instance.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dp_mcs::{
+    Bid, Bundle, DpHsrcAuction, Instance, Price, SkillMatrix, TaskId, WorkerId,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two binary sensing tasks; four workers bid bundles and prices.
+    let bids = vec![
+        Bid::new(Bundle::new(vec![TaskId(0), TaskId(1)]), Price::from_f64(12.0)),
+        Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(11.0)),
+        Bid::new(Bundle::new(vec![TaskId(1)]), Price::from_f64(14.0)),
+        Bid::new(Bundle::new(vec![TaskId(0), TaskId(1)]), Price::from_f64(18.0)),
+    ];
+    // The platform's record of each worker's per-task accuracy.
+    let skills = SkillMatrix::from_rows(vec![
+        vec![0.90, 0.90],
+        vec![0.90, 0.50],
+        vec![0.50, 0.95],
+        vec![0.90, 0.90],
+    ])?;
+    let instance = Instance::builder(2)
+        .bids(bids)
+        .skills(skills)
+        .uniform_error_bound(0.4) // Pr[aggregate wrong] ≤ 0.4 per task
+        .price_grid_f64(10.0, 20.0, 0.5)
+        .cost_range(Price::from_f64(10.0), Price::from_f64(20.0))
+        .build()?;
+
+    // ε = 0.1: strong bid privacy; the price is drawn from the exponential
+    // mechanism over per-price greedy winner sets.
+    let auction = DpHsrcAuction::new(0.1);
+    let mut rng = dp_mcs::num::rng::seeded(42);
+    let outcome = auction.run(&instance, &mut rng)?;
+
+    println!("clearing price : {}", outcome.price());
+    println!(
+        "winners        : {:?}",
+        outcome.winners().iter().map(|w| w.0).collect::<Vec<_>>()
+    );
+    println!("total payment  : {}", outcome.total_payment());
+
+    // The exact output distribution is available for analysis.
+    let pmf = auction.pmf(&instance)?;
+    println!("expected total payment over the price lottery: {:.2}", pmf.expected_total_payment());
+    for (i, p) in pmf.schedule().prices().iter().enumerate() {
+        println!(
+            "  price {:>5}  prob {:.3}  winners {}",
+            p.to_string(),
+            pmf.probs()[i],
+            pmf.schedule().winners(i).len()
+        );
+    }
+
+    // Winners are paid the clearing price; losers get nothing.
+    for i in 0..instance.num_workers() {
+        let w = WorkerId(i as u32);
+        println!("payment to w{i}: {}", outcome.payment_to(w));
+    }
+    Ok(())
+}

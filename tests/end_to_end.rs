@@ -1,0 +1,104 @@
+//! End-to-end integration: the full platform loop across crates
+//! (generation → auction → labelling → aggregation → payment).
+
+use dp_mcs::agg::lemma1_threshold;
+use dp_mcs::num::rng;
+use dp_mcs::sim::platform::{empirical_task_error, run_round};
+use dp_mcs::{DpHsrcAuction, Setting, TaskId, WorkerId};
+
+fn small_setting() -> Setting {
+    Setting::one(80).scaled_down(4)
+}
+
+#[test]
+fn full_round_is_consistent() {
+    let g = small_setting().generate(100);
+    let mut r = rng::seeded(1);
+    let report = run_round(&g.instance, &g.types, 0.1, &mut r).unwrap();
+
+    // The winner set satisfies every error-bound constraint.
+    let cover = g.instance.coverage_problem();
+    assert!(cover.is_satisfied_by(report.outcome.winners().iter().copied()));
+
+    // Payments: winners get the price, losers get zero; totals match.
+    let profile = report.outcome.payment_profile(g.instance.num_workers());
+    let sum: dp_mcs::Price = profile.iter().copied().sum();
+    assert_eq!(sum, report.total_paid);
+
+    // Individual rationality under truthful types.
+    assert!(report.outcome.is_individually_rational(&g.types));
+
+    // Every task received at least one label and an estimate.
+    for j in 0..g.instance.num_tasks() {
+        assert!(!report.labels.for_task(TaskId(j as u32)).is_empty());
+        assert!(report.estimates[j].is_some());
+    }
+}
+
+#[test]
+fn aggregation_error_respects_delta_bounds() {
+    let g = small_setting().generate(101);
+    let mut r = rng::seeded(2);
+    let errors = empirical_task_error(&g.instance, &g.types, 0.1, 400, &mut r).unwrap();
+    for (j, (&err, &delta)) in errors.iter().zip(g.instance.deltas()).enumerate() {
+        assert!(
+            err <= delta + 0.07,
+            "task {j}: empirical error {err} vs bound {delta}"
+        );
+    }
+}
+
+#[test]
+fn winner_coverage_meets_lemma1_threshold_per_task() {
+    let g = small_setting().generate(102);
+    let auction = DpHsrcAuction::new(0.1);
+    let pmf = auction.pmf(&g.instance).unwrap();
+    let cover = g.instance.coverage_problem();
+    // At every feasible price, every task's achieved coverage clears its
+    // Lemma 1 threshold.
+    for i in 0..pmf.schedule().len() {
+        let winners = pmf.schedule().winners(i);
+        for j in 0..g.instance.num_tasks() {
+            let t = TaskId(j as u32);
+            let achieved: f64 = winners.iter().map(|&w| cover.q(w, t)).sum();
+            let needed = lemma1_threshold(g.instance.deltas()[j]);
+            assert!(
+                achieved >= needed - 1e-9,
+                "price {}, task {j}: {achieved} < {needed}",
+                pmf.schedule().price(i)
+            );
+        }
+    }
+}
+
+#[test]
+fn winners_only_execute_bundles_they_bid() {
+    let g = small_setting().generate(103);
+    let mut r = rng::seeded(3);
+    let report = run_round(&g.instance, &g.types, 0.1, &mut r).unwrap();
+    for obs in report.labels.iter() {
+        assert!(report.outcome.is_winner(obs.worker), "loser reported a label");
+        assert!(
+            g.instance.bids().bid(obs.worker).bundle().contains(obs.task),
+            "{} labelled a task outside her bundle",
+            obs.worker
+        );
+    }
+    // And every winner labelled every task in her bundle exactly once.
+    for &w in report.outcome.winners() {
+        let bundle = g.instance.bids().bid(w).bundle();
+        let count = report.labels.iter().filter(|o| o.worker == w).count();
+        assert_eq!(count, bundle.len());
+    }
+    let _ = WorkerId(0); // silence unused-import lint in some cfgs
+}
+
+#[test]
+fn repeated_rounds_are_reproducible() {
+    let g = small_setting().generate(104);
+    let a = run_round(&g.instance, &g.types, 0.1, &mut rng::seeded(9)).unwrap();
+    let b = run_round(&g.instance, &g.types, 0.1, &mut rng::seeded(9)).unwrap();
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(a.truth, b.truth);
+    assert_eq!(a.estimates, b.estimates);
+}

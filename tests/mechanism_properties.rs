@@ -1,0 +1,189 @@
+//! Cross-crate integration tests of the paper's four claimed properties
+//! (Theorems 2–4 and 6) on generated Table-I-proportioned instances.
+
+use dp_mcs::auction::{privacy, utility, BaselineAuction, OptimalMechanism};
+use dp_mcs::num::rng;
+use dp_mcs::sim::neighbour::{
+    price_push_neighbour, random_worker, resample_neighbour, PricePush,
+};
+use dp_mcs::{DpHsrcAuction, Setting, WorkerId};
+
+fn setting() -> Setting {
+    Setting::one(80).scaled_down(4)
+}
+
+/// Theorem 2: ε-differential privacy, checked on exact PMFs for random and
+/// worst-case neighbours across several ε.
+#[test]
+fn differential_privacy_bound_holds() {
+    let s = setting();
+    let g = s.generate(7);
+    let mut r = rng::seeded(40);
+    for eps in [0.1, 1.0, 5.0] {
+        let auction = DpHsrcAuction::new(eps);
+        let base = auction.pmf(&g.instance).unwrap();
+        for k in 0..12 {
+            let w = random_worker(&g.instance, &mut r);
+            let nb = match k % 3 {
+                0 => resample_neighbour(&g.instance, &s, w, &mut r).unwrap(),
+                1 => price_push_neighbour(&g.instance, w, PricePush::ToMin).unwrap(),
+                _ => price_push_neighbour(&g.instance, w, PricePush::ToMax).unwrap(),
+            };
+            let Ok(nb_pmf) = auction.pmf(&nb) else { continue };
+            if let Some(ratio) = privacy::dp_log_ratio(&base, &nb_pmf) {
+                assert!(
+                    ratio <= eps + 1e-9,
+                    "eps {eps}, neighbour {k}: ratio {ratio}"
+                );
+            }
+        }
+    }
+}
+
+/// The baseline enjoys the same DP guarantee (it shares the exponential
+/// mechanism).
+#[test]
+fn baseline_is_also_differentially_private() {
+    let s = setting();
+    let g = s.generate(8);
+    let mut r = rng::seeded(41);
+    let eps = 0.5;
+    let auction = BaselineAuction::new(eps);
+    let base = auction.pmf(&g.instance).unwrap();
+    for _ in 0..8 {
+        let w = random_worker(&g.instance, &mut r);
+        let nb = resample_neighbour(&g.instance, &s, w, &mut r).unwrap();
+        let Ok(nb_pmf) = auction.pmf(&nb) else { continue };
+        if let Some(ratio) = privacy::dp_log_ratio(&base, &nb_pmf) {
+            assert!(ratio <= eps + 1e-9);
+        }
+    }
+}
+
+/// Theorem 3 (price channel): the DP lottery shifts expected utility by at
+/// most (e^ε − 1)·Δc for a fixed membership function.
+#[test]
+fn truthfulness_price_channel_bounded() {
+    let s = setting();
+    let g = s.generate(9);
+    let auction = DpHsrcAuction::new(s.epsilon);
+    let truthful = auction.pmf(&g.instance).unwrap();
+    let channel_budget = (s.epsilon.exp() - 1.0) * (s.cmax - s.cmin);
+    for widx in [0u32, 5, 11] {
+        let w = WorkerId(widx);
+        let cost = g.types[widx as usize].cost();
+        for dev in [15.0, 30.0, 45.0, 60.0] {
+            let bid = g
+                .instance
+                .bids()
+                .bid(w)
+                .with_price(dp_mcs::Price::from_f64(dev));
+            let deviated = g.instance.with_bid(w, bid).unwrap();
+            let dev_pmf = auction.pmf(&deviated).unwrap();
+            let Some(cross) =
+                utility::cross_expected_utility(&truthful, &dev_pmf, w, cost)
+            else {
+                continue;
+            };
+            let gain = utility::expected_utility(&dev_pmf, w, cost) - cross;
+            assert!(
+                gain <= channel_budget + 1e-9,
+                "worker {widx} deviating to {dev}: channel gain {gain}"
+            );
+        }
+    }
+}
+
+/// Theorem 4: individual rationality under truthful bidding, for every
+/// price in the support.
+#[test]
+fn individual_rationality_over_entire_support() {
+    let g = setting().generate(10);
+    let pmf = DpHsrcAuction::new(0.1).pmf(&g.instance).unwrap();
+    for i in 0..pmf.schedule().len() {
+        let price = pmf.schedule().price(i);
+        for &w in pmf.schedule().winners(i) {
+            let cost = g.types[w.index()].cost();
+            assert!(
+                cost <= price,
+                "winner {w} at price {price} has cost {cost}"
+            );
+        }
+    }
+}
+
+/// Figure 1/2 ordering: Optimal ≤ E[DP-hSRC] ≤ E[Baseline] on fixed seeds.
+#[test]
+fn payment_ordering_matches_figures() {
+    for seed in [20, 21, 22] {
+        let g = setting().generate(seed);
+        let opt = OptimalMechanism::new().solve(&g.instance).unwrap();
+        assert!(opt.exact);
+        let dp = DpHsrcAuction::new(0.1).pmf(&g.instance).unwrap();
+        let base = BaselineAuction::new(0.1).pmf(&g.instance).unwrap();
+        let r_opt = opt.total_payment().as_f64();
+        assert!(
+            r_opt <= dp.expected_total_payment() + 1e-9,
+            "seed {seed}: optimal above dp"
+        );
+        assert!(
+            dp.expected_total_payment() <= base.expected_total_payment() + 1e-9,
+            "seed {seed}: dp {} above baseline {}",
+            dp.expected_total_payment(),
+            base.expected_total_payment()
+        );
+    }
+}
+
+/// Theorem 6 sanity: expected payment within the analytic bound.
+#[test]
+fn approximation_bound_holds() {
+    use dp_mcs::sim::experiments::approx_ratio_experiment;
+    let report =
+        approx_ratio_experiment(&setting(), 30, &OptimalMechanism::new()).unwrap();
+    assert!(report.exact);
+    assert!(report.within_bound());
+    assert!(report.empirical_ratio >= 1.0 - 1e-9);
+}
+
+/// Table II shape at test scale: the exact solver explores orders of
+/// magnitude more work than DP-hSRC even when both succeed.
+#[test]
+fn optimal_work_dwarfs_dp_hsrc_work() {
+    use std::time::Instant;
+    let g = setting().generate(77);
+    let t0 = Instant::now();
+    let _ = DpHsrcAuction::new(0.1).pmf(&g.instance).unwrap();
+    let dp_time = t0.elapsed();
+    let t0 = Instant::now();
+    let opt = OptimalMechanism::new().solve(&g.instance).unwrap();
+    let opt_time = t0.elapsed();
+    assert!(opt.exact);
+    // Node counts are the platform-independent work measure.
+    let nodes: u64 = opt.solves.iter().map(|s| s.nodes).sum();
+    assert!(nodes >= 1);
+    // The exact solver costs at least as much wall-clock as DP-hSRC
+    // (usually vastly more; keep the assertion robust to fast hosts).
+    assert!(opt_time >= dp_time);
+}
+
+/// ε → ∞ recovers the greedy payment minimum; ε → 0 approaches the uniform
+/// average over feasible prices.
+#[test]
+fn epsilon_limits_are_correct() {
+    let g = setting().generate(31);
+    let schedule = DpHsrcAuction::new(1.0).schedule(&g.instance).unwrap();
+    let min_payment = schedule.min_total_payment().as_f64();
+    let uniform_mean: f64 = schedule
+        .total_payments()
+        .iter()
+        .map(|p| p.as_f64())
+        .sum::<f64>()
+        / schedule.len() as f64;
+
+    let tight = DpHsrcAuction::new(5000.0).pmf(&g.instance).unwrap();
+    assert!((tight.expected_total_payment() - min_payment).abs() < 0.5);
+
+    let loose = DpHsrcAuction::new(1e-6).pmf(&g.instance).unwrap();
+    assert!((loose.expected_total_payment() - uniform_mean).abs() < 0.5);
+}

@@ -1,0 +1,167 @@
+//! Property-based invariants of the full mechanism stack on randomly
+//! generated (but always coverable) instances.
+
+use proptest::prelude::*;
+
+use dp_mcs::auction::{build_schedule, privacy, CriticalPaymentAuction, SelectionRule};
+use dp_mcs::num::rng;
+use dp_mcs::sim::neighbour::{random_worker, resample_neighbour};
+use dp_mcs::{DpHsrcAuction, Setting};
+
+fn small_setting(workers: usize) -> Setting {
+    // Scale the full Table-I proportions down 4x so the δ retuning in
+    // `scaled_down` matches the worker count.
+    Setting::one(workers.max(8) * 4).scaled_down(4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The schedule's structural invariants hold for any generated
+    /// instance: ascending in-grid prices, winners bid at most the price,
+    /// every winner set covers, and compression never stores more sets
+    /// than prices.
+    #[test]
+    fn schedule_invariants(seed in 0u64..500, workers in 8usize..28) {
+        let s = small_setting(workers);
+        let g = s.generate(seed);
+        let schedule = build_schedule(&g.instance, SelectionRule::MarginalCoverage)
+            .expect("generated instances are coverable");
+        let cover = g.instance.coverage_problem();
+        prop_assert!(schedule.len() >= 1);
+        prop_assert!(schedule.num_distinct_sets() <= schedule.len());
+        let mut prev = None;
+        for i in 0..schedule.len() {
+            let price = schedule.price(i);
+            prop_assert!(g.instance.price_grid().contains(price));
+            if let Some(p) = prev {
+                prop_assert!(price > p, "prices not ascending");
+            }
+            prev = Some(price);
+            let winners = schedule.winners(i);
+            prop_assert!(!winners.is_empty());
+            prop_assert!(cover.is_satisfied_by(winners.iter().copied()));
+            for &w in winners {
+                prop_assert!(g.instance.bids().bid(w).price() <= price);
+            }
+            // Winner lists are sorted and deduplicated.
+            prop_assert!(winners.windows(2).all(|p| p[0] < p[1]));
+        }
+    }
+
+    /// The exponential-mechanism PMF is a valid distribution whose
+    /// probabilities order inversely to total payments.
+    #[test]
+    fn pmf_invariants(seed in 0u64..500, eps_exp in -2i32..3) {
+        let eps = 10f64.powi(eps_exp);
+        let g = small_setting(16).generate(seed);
+        let pmf = DpHsrcAuction::new(eps).pmf(&g.instance).expect("coverable");
+        let total: f64 = pmf.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let payments = pmf.schedule().total_payments();
+        for i in 0..payments.len() {
+            for j in 0..payments.len() {
+                if payments[i] < payments[j] {
+                    prop_assert!(pmf.probs()[i] >= pmf.probs()[j] - 1e-12);
+                } else if payments[i] == payments[j] {
+                    prop_assert!((pmf.probs()[i] - pmf.probs()[j]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Differential privacy holds on random neighbours at random ε.
+    #[test]
+    fn dp_holds_on_random_neighbours(seed in 0u64..300, eps_tenths in 1u32..30) {
+        let eps = eps_tenths as f64 / 10.0;
+        let s = small_setting(16);
+        let g = s.generate(seed);
+        let auction = DpHsrcAuction::new(eps);
+        let base = auction.pmf(&g.instance).expect("coverable");
+        let mut r = rng::derived(seed, 77);
+        let w = random_worker(&g.instance, &mut r);
+        let nb = resample_neighbour(&g.instance, &s, w, &mut r).expect("valid worker");
+        if let Ok(nb_pmf) = auction.pmf(&nb) {
+            if let Some(ratio) = privacy::dp_log_ratio(&base, &nb_pmf) {
+                prop_assert!(ratio <= eps + 1e-9, "ratio {ratio} > eps {eps}");
+            }
+        }
+    }
+
+    /// The greedy rule never pays more in expectation than the static
+    /// baseline at equal ε, and the critical-payment comparator is
+    /// individually rational with payments at least the bids.
+    #[test]
+    fn mechanism_comparisons(seed in 0u64..300) {
+        let s = small_setting(20);
+        let g = s.generate(seed);
+        let dp = DpHsrcAuction::new(0.1).pmf(&g.instance).expect("coverable");
+        let base = dp_mcs::BaselineAuction::new(0.1)
+            .pmf(&g.instance)
+            .expect("coverable");
+        prop_assert!(
+            dp.expected_total_payment() <= base.expected_total_payment() + 1e-9
+        );
+
+        let crit = CriticalPaymentAuction.run(&g.instance).expect("coverable");
+        let cover = g.instance.coverage_problem();
+        prop_assert!(cover.is_satisfied_by(crit.winners().iter().copied()));
+        for &w in crit.winners() {
+            prop_assert!(crit.payment_to(w) >= g.instance.bids().bid(w).price());
+        }
+    }
+
+    /// Myerson properties of the critical-payment comparator on generated
+    /// instances: a winner who shades her bid lower still wins at the same
+    /// payment; bidding above her critical value loses.
+    #[test]
+    fn critical_payments_are_myerson(seed in 0u64..120) {
+        let s = small_setting(14);
+        let g = s.generate(seed);
+        let Ok(base) = CriticalPaymentAuction.run(&g.instance) else {
+            return Ok(()); // uncoverable draws are rejected upstream anyway
+        };
+        let Some(&w) = base.winners().first() else { return Ok(()) };
+        let pay = base.payment_to(w);
+        // Shade to the floor: still wins, same payment.
+        let floor = g.instance.cmin();
+        let shaded = g
+            .instance
+            .with_bid(w, g.instance.bids().bid(w).with_price(floor))
+            .expect("floor bid is valid");
+        let after = CriticalPaymentAuction.run(&shaded).expect("still coverable");
+        prop_assert!(after.winners().contains(&w));
+        prop_assert_eq!(after.payment_to(w), pay);
+        // Overbid past the critical value: loses (when the overbid is
+        // representable inside the cost range).
+        let over = pay + dp_mcs::Price::from_f64(0.1);
+        if over <= g.instance.cmax() && pay < g.instance.cmax() {
+            let raised = g
+                .instance
+                .with_bid(w, g.instance.bids().bid(w).with_price(over))
+                .expect("raised bid is valid");
+            if let Ok(after) = CriticalPaymentAuction.run(&raised) {
+                prop_assert!(
+                    !after.winners().contains(&w),
+                    "worker still wins above her critical value"
+                );
+            }
+        }
+    }
+
+    /// Sampling from the PMF always returns a feasible in-support outcome
+    /// and never pays a winner below her bid.
+    #[test]
+    fn sampled_outcomes_are_consistent(seed in 0u64..300) {
+        let g = small_setting(12).generate(seed);
+        let pmf = DpHsrcAuction::new(0.5).pmf(&g.instance).expect("coverable");
+        let mut r = rng::derived(seed, 5);
+        for _ in 0..16 {
+            let o = pmf.sample(&mut r);
+            prop_assert!(pmf.schedule().prices().contains(&o.price()));
+            for &w in o.winners() {
+                prop_assert!(g.instance.bids().bid(w).price() <= o.price());
+            }
+        }
+    }
+}

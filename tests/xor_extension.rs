@@ -1,0 +1,118 @@
+//! Integration tests for the multi-minded (XOR-bid) extension against the
+//! single-minded mechanism on generated workloads.
+
+use dp_mcs::auction::xor::{XorBid, XorDpHsrcAuction, XorInstance};
+use dp_mcs::auction::{build_schedule, SelectionRule};
+use dp_mcs::num::rng;
+use dp_mcs::{Bid, Bundle, Price, Setting, TaskId, WorkerId};
+
+/// Converts a generated single-minded instance into the XOR form, with
+/// every worker additionally offered a half-bundle option at a
+/// proportionally lower price.
+fn with_package_options(instance: &dp_mcs::Instance) -> XorInstance {
+    with_package_options_grid(instance, instance.price_grid().clone())
+}
+
+fn with_package_options_grid(
+    instance: &dp_mcs::Instance,
+    grid: dp_mcs::PriceGrid,
+) -> XorInstance {
+    let bids: Vec<XorBid> = instance
+        .bids()
+        .iter()
+        .map(|(_, bid)| {
+            let full = bid.clone();
+            let tasks: Vec<TaskId> = bid.bundle().iter().collect();
+            let half: Vec<TaskId> = tasks[..tasks.len().div_ceil(2)].to_vec();
+            let half_price =
+                Price::from_f64((bid.price().as_f64() * 0.6).max(10.0));
+            let mut options = vec![full];
+            if !half.is_empty() && half.len() < tasks.len() {
+                options.push(Bid::new(Bundle::new(half), half_price));
+            }
+            XorBid::new(options).expect("non-empty options")
+        })
+        .collect();
+    XorInstance::new(
+        instance.num_tasks(),
+        bids,
+        instance.skills().clone(),
+        instance.deltas().to_vec(),
+        grid,
+        instance.cmin(),
+        instance.cmax(),
+    )
+    .expect("converted instance is valid")
+}
+
+#[test]
+fn single_option_xor_matches_single_minded_winners() {
+    let g = Setting::one(80).scaled_down(4).generate(71);
+    let schedule =
+        build_schedule(&g.instance, SelectionRule::MarginalCoverage).unwrap();
+    let xor = XorInstance::new(
+        g.instance.num_tasks(),
+        g.instance
+            .bids()
+            .iter()
+            .map(|(_, b)| XorBid::single(b.clone()))
+            .collect(),
+        g.instance.skills().clone(),
+        g.instance.deltas().to_vec(),
+        g.instance.price_grid().clone(),
+        g.instance.cmin(),
+        g.instance.cmax(),
+    )
+    .unwrap();
+    let auction = XorDpHsrcAuction::new(0.1);
+    let mut r = rng::seeded(4);
+    for _ in 0..20 {
+        let out = auction.run(&xor, &mut r).unwrap();
+        // The awarded worker set at the sampled price equals the
+        // single-minded schedule's winner set at that price.
+        let idx = schedule
+            .prices()
+            .iter()
+            .position(|&p| p == out.price)
+            .expect("same feasible support");
+        let workers: Vec<WorkerId> = out.awards.iter().map(|a| a.worker).collect();
+        assert_eq!(workers, schedule.winners(idx));
+    }
+}
+
+#[test]
+fn package_options_keep_single_minded_prices_feasible() {
+    // Every original option still exists, so any price feasible for the
+    // single-minded profile stays feasible for the XOR profile: pin the
+    // grid to the single-minded support's cheapest price and the XOR
+    // auction must still clear.
+    let g = Setting::one(80).scaled_down(4).generate(72);
+    let schedule =
+        build_schedule(&g.instance, SelectionRule::MarginalCoverage).unwrap();
+    let first = *schedule.prices().first().unwrap();
+    let narrow = dp_mcs::PriceGrid::new(first, first, Price::from_f64(0.1)).unwrap();
+    let xor = with_package_options_grid(&g.instance, narrow);
+    let auction = XorDpHsrcAuction::new(0.1);
+    let mut r = rng::seeded(5);
+    let out = auction.run(&xor, &mut r).unwrap();
+    assert_eq!(out.price, first);
+    // Sampled outcomes stay valid.
+    for a in &out.awards {
+        let opt = &xor.bids()[a.worker.index()].options()[a.option];
+        assert!(opt.price() <= out.price);
+    }
+}
+
+#[test]
+fn mixed_single_and_multi_minded_workers_coexist() {
+    let g = Setting::one(80).scaled_down(4).generate(73);
+    let xor = with_package_options(&g.instance);
+    // At least one worker should actually have two options.
+    assert!(xor.bids().iter().any(|b| b.options().len() == 2));
+    assert!(xor.bids().iter().all(|b| !b.options().is_empty()));
+    let auction = XorDpHsrcAuction::new(0.5);
+    let mut r = rng::seeded(6);
+    let out = auction.run(&xor, &mut r).unwrap();
+    assert!(!out.awards.is_empty());
+    assert_eq!(out.total_payment(), out.price * out.awards.len());
+}
