@@ -168,12 +168,11 @@ mod tests {
         let k = 200usize;
         let rows: Vec<Vec<f64>> = theta.iter().map(|&t| vec![t; k]).collect();
         let skills = SkillMatrix::from_rows(rows).unwrap();
-        let mut r = rng::seeded(17);
+        let mut r = rng::seeded(10);
         let truth: Vec<Label> = (0..k).map(|_| Label::random(&mut r)).collect();
         let all_tasks = Bundle::new((0..k as u32).map(TaskId).collect());
-        let assignment: Vec<(WorkerId, Bundle)> = (0..5)
-            .map(|i| (WorkerId(i), all_tasks.clone()))
-            .collect();
+        let assignment: Vec<(WorkerId, Bundle)> =
+            (0..5).map(|i| (WorkerId(i), all_tasks.clone())).collect();
         let labels = generate_labels(&skills, &truth, &assignment, &mut r);
 
         let fit = DawidSkene::default().fit(&labels, 5);
@@ -187,11 +186,7 @@ mod tests {
         }
         // MAP labels should be overwhelmingly correct.
         let map = fit.map_labels();
-        let correct = map
-            .iter()
-            .zip(&truth)
-            .filter(|(a, b)| a == b)
-            .count();
+        let correct = map.iter().zip(&truth).filter(|(a, b)| a == b).count();
         assert!(correct as f64 / k as f64 > 0.95);
     }
 
@@ -237,7 +232,11 @@ mod tests {
             .map(|j| Observation {
                 worker: WorkerId(j % 4),
                 task: TaskId(j / 4),
-                label: if r.gen_bool(0.5) { Label::Pos } else { Label::Neg },
+                label: if r.gen_bool(0.5) {
+                    Label::Pos
+                } else {
+                    Label::Neg
+                },
             })
             .collect();
         let fit = DawidSkene {

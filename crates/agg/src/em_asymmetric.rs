@@ -213,7 +213,13 @@ mod tests {
         let k = 400usize;
         let mut r = rng::seeded(41);
         let truth: Vec<Label> = (0..k)
-            .map(|_| if r.gen_bool(0.35) { Label::Pos } else { Label::Neg })
+            .map(|_| {
+                if r.gen_bool(0.35) {
+                    Label::Pos
+                } else {
+                    Label::Neg
+                }
+            })
             .collect();
         let labels = asymmetric_labels(&alphas, &betas, &truth, &mut r);
         let fit = AsymmetricDawidSkene::default().fit(&labels, 5);
@@ -232,7 +238,11 @@ mod tests {
                 betas[w]
             );
         }
-        assert!((fit.prior_pos - 0.35).abs() < 0.06, "prior {}", fit.prior_pos);
+        assert!(
+            (fit.prior_pos - 0.35).abs() < 0.06,
+            "prior {}",
+            fit.prior_pos
+        );
     }
 
     #[test]
@@ -244,14 +254,18 @@ mod tests {
         let k = 500usize;
         let mut r = rng::seeded(43);
         let truth: Vec<Label> = (0..k)
-            .map(|_| if r.gen_bool(0.5) { Label::Pos } else { Label::Neg })
+            .map(|_| {
+                if r.gen_bool(0.5) {
+                    Label::Pos
+                } else {
+                    Label::Neg
+                }
+            })
             .collect();
         let labels = asymmetric_labels(&alphas, &betas, &truth, &mut r);
         let asym = AsymmetricDawidSkene::default().fit(&labels, 4);
         let sym = crate::DawidSkene::default().fit(&labels, 4);
-        let score = |ls: &[Label]| {
-            ls.iter().zip(&truth).filter(|(a, b)| a == b).count()
-        };
+        let score = |ls: &[Label]| ls.iter().zip(&truth).filter(|(a, b)| a == b).count();
         let asym_correct = score(&asym.map_labels());
         let sym_correct = score(&sym.map_labels());
         assert!(

@@ -127,9 +127,8 @@ mod tests {
         // ≤ 0.4 with margin.
         let skills = SkillMatrix::from_rows(vec![vec![0.9]; 3]).unwrap();
         let bundle = Bundle::new(vec![TaskId(0)]);
-        let assignment: Vec<(WorkerId, Bundle)> = (0..3)
-            .map(|i| (WorkerId(i), bundle.clone()))
-            .collect();
+        let assignment: Vec<(WorkerId, Bundle)> =
+            (0..3).map(|i| (WorkerId(i), bundle.clone())).collect();
         let mut r = rng::seeded(99);
         let report = empirical_error_rate(&skills, &assignment, 4000, &mut r);
         assert!(report.coverages[0] >= lemma1_threshold(0.4));
@@ -155,9 +154,8 @@ mod tests {
         let expert = SkillMatrix::from_rows(vec![vec![0.9]; 3]).unwrap();
         let anti = SkillMatrix::from_rows(vec![vec![0.1]; 3]).unwrap();
         let bundle = Bundle::new(vec![TaskId(0)]);
-        let assignment: Vec<(WorkerId, Bundle)> = (0..3)
-            .map(|i| (WorkerId(i), bundle.clone()))
-            .collect();
+        let assignment: Vec<(WorkerId, Bundle)> =
+            (0..3).map(|i| (WorkerId(i), bundle.clone())).collect();
         let mut r1 = rng::seeded(7);
         let mut r2 = rng::seeded(7);
         let e = empirical_error_rate(&expert, &assignment, 5000, &mut r1);

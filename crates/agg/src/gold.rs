@@ -88,11 +88,11 @@ pub fn raw_gold_accuracy(
 ) -> Option<f64> {
     let mut correct = 0u64;
     let mut answered = 0u64;
-    for j in 0..gold_labels.num_tasks() {
+    for (j, truth) in gold_truth.iter().enumerate().take(gold_labels.num_tasks()) {
         for &(w, l) in gold_labels.for_task(TaskId(j as u32)) {
             if w == worker {
                 answered += 1;
-                if l == gold_truth[j] {
+                if l == *truth {
                     correct += 1;
                 }
             }
@@ -120,8 +120,7 @@ mod tests {
             task: TaskId(0),
             label: Label::Pos,
         });
-        let skills =
-            estimate_skills_from_gold(&labels, &[Label::Pos], 1, 1).unwrap();
+        let skills = estimate_skills_from_gold(&labels, &[Label::Pos], 1, 1).unwrap();
         // (1+1)/(1+2) = 2/3, not 1.0.
         assert!((skills.theta(WorkerId(0), TaskId(0)) - 2.0 / 3.0).abs() < 1e-12);
     }
@@ -129,8 +128,7 @@ mod tests {
     #[test]
     fn unanswered_worker_gets_prior() {
         let labels = LabelSet::new(1);
-        let skills =
-            estimate_skills_from_gold(&labels, &[Label::Pos], 2, 4).unwrap();
+        let skills = estimate_skills_from_gold(&labels, &[Label::Pos], 2, 4).unwrap();
         assert_eq!(skills.theta(WorkerId(1), TaskId(3)), 0.5);
         assert_eq!(skills.num_tasks(), 4);
     }
@@ -166,8 +164,7 @@ mod tests {
         let mut r = rng::seeded(23);
         let truth: Vec<Label> = (0..k).map(|_| Label::random(&mut r)).collect();
         let bundle = Bundle::new((0..k as u32).map(TaskId).collect());
-        let labels =
-            generate_labels(&skills, &truth, &[(WorkerId(0), bundle)], &mut r);
+        let labels = generate_labels(&skills, &truth, &[(WorkerId(0), bundle)], &mut r);
         let est = estimate_skills_from_gold(&labels, &truth, 1, 1).unwrap();
         assert!((est.theta(WorkerId(0), TaskId(0)) - theta).abs() < 0.03);
         let raw = raw_gold_accuracy(&labels, &truth, WorkerId(0)).unwrap();

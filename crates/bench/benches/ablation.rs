@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mcs_auction::{
-    build_schedule, build_schedule_naive, DpHsrcAuction, ExponentialMechanism,
+    build_schedule, build_schedule_naive, DpHsrcAuction, ExponentialMechanism, ScheduledMechanism,
     SelectionRule,
 };
 use mcs_num::rng;
@@ -22,14 +22,11 @@ fn bench_compression(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_compression");
     group.sample_size(10);
     group.bench_function("compressed_intervals", |b| {
-        b.iter(|| {
-            build_schedule(&g.instance, SelectionRule::MarginalCoverage).expect("feasible")
-        });
+        b.iter(|| build_schedule(&g.instance, SelectionRule::MarginalCoverage).expect("feasible"));
     });
     group.bench_function("naive_per_price", |b| {
         b.iter(|| {
-            build_schedule_naive(&g.instance, SelectionRule::MarginalCoverage)
-                .expect("feasible")
+            build_schedule_naive(&g.instance, SelectionRule::MarginalCoverage).expect("feasible")
         });
     });
     group.finish();
@@ -37,7 +34,10 @@ fn bench_compression(c: &mut Criterion) {
 
 fn bench_pmf_vs_sampling(c: &mut Criterion) {
     let g = Setting::one(100).generate(12);
-    let pmf = DpHsrcAuction::new(0.1).pmf(&g.instance).expect("feasible");
+    let pmf = DpHsrcAuction::new(0.1)
+        .expect("valid epsilon")
+        .pmf(&g.instance)
+        .expect("feasible");
     let mut group = c.benchmark_group("payment_estimation");
     group.bench_function("exact_pmf_expectation", |b| {
         b.iter(|| pmf.expected_total_payment());
@@ -52,8 +52,7 @@ fn bench_pmf_vs_sampling(c: &mut Criterion) {
 
 fn bench_extreme_epsilon(c: &mut Criterion) {
     let g = Setting::one(100).generate(13);
-    let schedule = build_schedule(&g.instance, SelectionRule::MarginalCoverage)
-        .expect("feasible");
+    let schedule = build_schedule(&g.instance, SelectionRule::MarginalCoverage).expect("feasible");
     let mut group = c.benchmark_group("exponential_mechanism");
     for eps in [0.1f64, 1000.0] {
         let mech = ExponentialMechanism::for_instance(eps, &g.instance);

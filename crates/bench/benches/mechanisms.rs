@@ -12,9 +12,7 @@ fn bench_schedules(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_construction");
     group.sample_size(20);
     group.bench_function("dp_hsrc_marginal", |b| {
-        b.iter(|| {
-            build_schedule(&g.instance, SelectionRule::MarginalCoverage).expect("feasible")
-        });
+        b.iter(|| build_schedule(&g.instance, SelectionRule::MarginalCoverage).expect("feasible"));
     });
     group.bench_function("baseline_static", |b| {
         b.iter(|| build_schedule(&g.instance, SelectionRule::StaticTotal).expect("feasible"));

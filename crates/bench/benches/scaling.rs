@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use mcs_auction::DpHsrcAuction;
+use mcs_auction::{DpHsrcAuction, Mechanism};
 use mcs_num::rng;
 use mcs_sim::Setting;
 use mcs_types::{Instance, PriceGrid};
@@ -27,7 +27,7 @@ fn bench_workers(c: &mut Criterion) {
     group.sample_size(10);
     for n in [80usize, 100, 120, 140] {
         let g = Setting::one(n).generate(1);
-        let auction = DpHsrcAuction::new(0.1);
+        let auction = DpHsrcAuction::new(0.1).expect("valid epsilon");
         group.bench_with_input(BenchmarkId::from_parameter(n), &g.instance, |b, inst| {
             let mut r = rng::seeded(7);
             b.iter(|| auction.run(inst, &mut r).expect("feasible"));
@@ -41,7 +41,7 @@ fn bench_tasks(c: &mut Criterion) {
     group.sample_size(10);
     for k in [20usize, 30, 40, 50] {
         let g = Setting::two(k).generate(2);
-        let auction = DpHsrcAuction::new(0.1);
+        let auction = DpHsrcAuction::new(0.1).expect("valid epsilon");
         group.bench_with_input(BenchmarkId::from_parameter(k), &g.instance, |b, inst| {
             let mut r = rng::seeded(7);
             b.iter(|| auction.run(inst, &mut r).expect("feasible"));
@@ -54,7 +54,7 @@ fn bench_grid_density(c: &mut Criterion) {
     // Theorem 5: runtime must not grow with |P|. The three grids give
     // |P| = 13 / 251 / 3001.
     let base = Setting::one(100).generate(3).instance;
-    let auction = DpHsrcAuction::new(0.1);
+    let auction = DpHsrcAuction::new(0.1).expect("valid epsilon");
     let mut group = c.benchmark_group("dp_hsrc_vs_grid_density");
     group.sample_size(10);
     for (min, max, step) in [(35.0, 60.0, 2.0), (35.0, 60.0, 0.1), (35.0, 335.0, 0.1)] {

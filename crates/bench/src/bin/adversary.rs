@@ -6,7 +6,7 @@
 //! `ε·R` composition cap. Complements Figure 5: the same leakage numbers,
 //! expressed as attacker success.
 
-use mcs_auction::DpHsrcAuction;
+use mcs_auction::{DpHsrcAuction, ScheduledMechanism};
 use mcs_bench::{emit, Cli};
 use mcs_num::rng;
 use mcs_sim::adversary::{expected_evidence_per_round, likelihood_ratio_attack};
@@ -49,8 +49,10 @@ fn main() {
 
     let mut rows = Vec::new();
     for eps in [0.1f64, 1.0, 10.0] {
-        let auction = DpHsrcAuction::new(eps);
-        let Ok(pmf_a) = auction.pmf(instance) else { continue };
+        let auction = DpHsrcAuction::new(eps).expect("valid epsilon");
+        let Ok(pmf_a) = auction.pmf(instance) else {
+            continue;
+        };
         // Find an informative, support-preserving target.
         let mut target = None;
         for i in 0..instance.num_workers() {
@@ -58,7 +60,9 @@ fn main() {
             let Ok(alt) = price_push_neighbour(instance, w, PricePush::ToMax) else {
                 continue;
             };
-            let Ok(pmf_b) = auction.pmf(&alt) else { continue };
+            let Ok(pmf_b) = auction.pmf(&alt) else {
+                continue;
+            };
             if pmf_a.schedule().prices() == pmf_b.schedule().prices()
                 && pmf_a.probs() != pmf_b.probs()
             {

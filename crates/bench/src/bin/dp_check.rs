@@ -6,12 +6,10 @@
 //! bid change moves the feasible price floor) are counted separately —
 //! the paper's analysis assumes a fixed feasible price set.
 
-use mcs_auction::{privacy, DpHsrcAuction};
+use mcs_auction::{privacy, DpHsrcAuction, ScheduledMechanism};
 use mcs_bench::{emit, Cli};
 use mcs_num::rng;
-use mcs_sim::neighbour::{
-    price_push_neighbour, random_worker, resample_neighbour, PricePush,
-};
+use mcs_sim::neighbour::{price_push_neighbour, random_worker, resample_neighbour, PricePush};
 use mcs_sim::output::TableRow;
 use mcs_sim::Setting;
 
@@ -61,7 +59,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for eps in [0.1f64, 0.5, 1.0, 5.0] {
-        let auction = DpHsrcAuction::new(eps);
+        let auction = DpHsrcAuction::new(eps).expect("valid epsilon");
         let base = auction.pmf(instance).expect("base instance is feasible");
         let mut max_ratio = 0.0f64;
         let mut max_kl = 0.0f64;
@@ -102,7 +100,11 @@ fn main() {
             holds: max_ratio <= eps + 1e-9,
         });
     }
-    emit("Theorem 2 check: empirical differential privacy", &rows, &cli);
+    emit(
+        "Theorem 2 check: empirical differential privacy",
+        &rows,
+        &cli,
+    );
     assert!(
         rows.iter().all(|r| r.holds),
         "DP bound violated — this contradicts Theorem 2"

@@ -18,17 +18,11 @@ fn main() {
         Setting::one(80).scaled_down(4)
     };
     let epsilons = [0.05, 0.1, 0.25, 0.5, 1.0, 5.0, 25.0, 100.0];
-    let optimal = (!cli.no_optimal && !cli.full)
-        .then(|| OptimalMechanism::with_budget(cli.budget()));
+    let optimal =
+        (!cli.no_optimal && !cli.full).then(|| OptimalMechanism::with_budget(cli.budget()));
     let trials = if cli.full { 3 } else { 5 };
-    let rows = privacy_cost_experiment(
-        &setting,
-        &epsilons,
-        trials,
-        cli.seed,
-        optimal.as_ref(),
-    )
-    .unwrap_or_else(|e| panic!("privacy-cost experiment failed: {e}"));
+    let rows = privacy_cost_experiment(&setting, &epsilons, trials, cli.seed, optimal.as_ref())
+        .unwrap_or_else(|e| panic!("privacy-cost experiment failed: {e}"));
     emit(
         "Price of privacy: DP-hSRC vs non-private critical-payment auction",
         &rows,

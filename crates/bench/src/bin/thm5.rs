@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use mcs_auction::DpHsrcAuction;
+use mcs_auction::{DpHsrcAuction, Mechanism, ScheduledMechanism};
 use mcs_bench::{emit, Cli};
 use mcs_num::rng;
 use mcs_sim::output::TableRow;
@@ -37,7 +37,7 @@ impl TableRow for ScaleRow {
 }
 
 fn time_run(instance: &Instance, seed: u64, reps: usize) -> (f64, usize) {
-    let auction = DpHsrcAuction::new(0.1);
+    let auction = DpHsrcAuction::new(0.1).expect("valid epsilon");
     let mut r = rng::seeded(seed);
     // Warm-up + measured repetitions.
     let pmf = auction.pmf(instance).expect("feasible");

@@ -5,9 +5,9 @@ use rand::Rng;
 
 use mcs_types::{Instance, McsError};
 
-use crate::exponential::ExponentialMechanism;
+use crate::mechanism::{run_scheduled, Mechanism, ScheduledMechanism};
 use crate::outcome::AuctionOutcome;
-use crate::schedule::{build_schedule, PricePmf, PriceSchedule, SelectionRule};
+use crate::schedule::SelectionRule;
 
 /// The paper's baseline comparator.
 ///
@@ -26,15 +26,15 @@ pub struct BaselineAuction {
 impl BaselineAuction {
     /// Creates the baseline auction with privacy budget ε.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `epsilon` is not strictly positive and finite.
-    pub fn new(epsilon: f64) -> Self {
-        assert!(
-            epsilon.is_finite() && epsilon > 0.0,
-            "epsilon must be positive and finite"
-        );
-        BaselineAuction { epsilon }
+    /// Returns [`McsError::InvalidEpsilon`] if `epsilon` is not strictly
+    /// positive and finite.
+    pub fn new(epsilon: f64) -> Result<Self, McsError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(McsError::InvalidEpsilon { value: epsilon });
+        }
+        Ok(BaselineAuction { epsilon })
     }
 
     /// The privacy budget ε.
@@ -42,38 +42,29 @@ impl BaselineAuction {
     pub fn epsilon(&self) -> f64 {
         self.epsilon
     }
+}
 
-    /// Computes the per-price winner schedule under the static rule.
-    ///
-    /// # Errors
-    ///
-    /// [`McsError::Infeasible`] or [`McsError::NoFeasiblePrice`] when the
-    /// error-bound constraints cannot be met at any grid price.
-    pub fn schedule(&self, instance: &Instance) -> Result<PriceSchedule, McsError> {
-        build_schedule(instance, SelectionRule::StaticTotal)
-    }
+impl Mechanism for BaselineAuction {
+    type Input = Instance;
+    type Output = AuctionOutcome;
 
-    /// The exact output distribution over feasible prices.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`BaselineAuction::schedule`].
-    pub fn pmf(&self, instance: &Instance) -> Result<PricePmf, McsError> {
-        let schedule = self.schedule(instance)?;
-        Ok(ExponentialMechanism::for_instance(self.epsilon, instance).pmf(schedule))
-    }
-
-    /// Runs the auction once.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`BaselineAuction::schedule`].
-    pub fn run<R: Rng + ?Sized>(
+    fn run<R: Rng + ?Sized>(
         &self,
         instance: &Instance,
         rng: &mut R,
     ) -> Result<AuctionOutcome, McsError> {
-        Ok(self.pmf(instance)?.sample(rng))
+        run_scheduled(self, instance, rng)
+    }
+}
+
+impl ScheduledMechanism for BaselineAuction {
+    /// The §VII-A static-total rule.
+    fn selection_rule(&self) -> SelectionRule {
+        SelectionRule::StaticTotal
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
     }
 }
 
@@ -125,7 +116,7 @@ mod tests {
     #[test]
     fn baseline_run_is_feasible() {
         let inst = siren_instance();
-        let auction = BaselineAuction::new(0.1);
+        let auction = BaselineAuction::new(0.1).unwrap();
         let mut r = rng::seeded(2);
         let o = auction.run(&inst, &mut r).unwrap();
         let cover = inst.coverage_problem();
@@ -138,8 +129,8 @@ mod tests {
     #[test]
     fn dp_hsrc_never_pays_more_in_expectation_here() {
         let inst = siren_instance();
-        let dp = DpHsrcAuction::new(0.1).pmf(&inst).unwrap();
-        let base = BaselineAuction::new(0.1).pmf(&inst).unwrap();
+        let dp = DpHsrcAuction::new(0.1).unwrap().pmf(&inst).unwrap();
+        let base = BaselineAuction::new(0.1).unwrap().pmf(&inst).unwrap();
         assert!(
             dp.expected_total_payment() <= base.expected_total_payment() + 1e-9,
             "dp {} vs baseline {}",
@@ -153,8 +144,8 @@ mod tests {
         // The mechanism-level payment gap must come from smaller winner
         // sets at matching prices.
         let inst = siren_instance();
-        let dp = DpHsrcAuction::new(0.1).schedule(&inst).unwrap();
-        let base = BaselineAuction::new(0.1).schedule(&inst).unwrap();
+        let dp = DpHsrcAuction::new(0.1).unwrap().schedule(&inst).unwrap();
+        let base = BaselineAuction::new(0.1).unwrap().schedule(&inst).unwrap();
         assert_eq!(dp.prices(), base.prices());
         let mut strictly_smaller_somewhere = false;
         for i in 0..dp.len() {
@@ -172,14 +163,16 @@ mod tests {
     #[test]
     fn both_mechanisms_share_support() {
         let inst = siren_instance();
-        let dp = DpHsrcAuction::new(0.1).pmf(&inst).unwrap();
-        let base = BaselineAuction::new(0.1).pmf(&inst).unwrap();
+        let dp = DpHsrcAuction::new(0.1).unwrap().pmf(&inst).unwrap();
+        let base = BaselineAuction::new(0.1).unwrap().pmf(&inst).unwrap();
         assert_eq!(dp.schedule().prices(), base.schedule().prices());
     }
 
     #[test]
-    #[should_panic(expected = "positive and finite")]
     fn nan_epsilon_rejected() {
-        let _ = BaselineAuction::new(f64::NAN);
+        assert!(matches!(
+            BaselineAuction::new(f64::NAN),
+            Err(McsError::InvalidEpsilon { .. })
+        ));
     }
 }

@@ -14,8 +14,11 @@
 //! randomized single price than under a deterministic critical-payment
 //! auction, and how much a curious worker learns from each.
 
+use rand::Rng;
+
 use mcs_types::{Instance, McsError, Price, TaskId, WorkerId};
 
+use crate::mechanism::Mechanism;
 use crate::schedule::sparse_rows_of;
 
 /// Residual coverage below this threshold counts as satisfied.
@@ -89,9 +92,7 @@ fn best_candidate(
         let ratio = instance.bids().bid(w).price().as_f64() / gain;
         let better = match best {
             None => true,
-            Some((bw, br, _)) => {
-                ratio < br - 1e-12 || ((ratio - br).abs() <= 1e-12 && w < bw)
-            }
+            Some((bw, br, _)) => ratio < br - 1e-12 || ((ratio - br).abs() <= 1e-12 && w < bw),
         };
         if better {
             best = Some((w, ratio, gain));
@@ -231,6 +232,22 @@ impl CriticalPaymentAuction {
     }
 }
 
+impl Mechanism for CriticalPaymentAuction {
+    type Input = Instance;
+    type Output = CriticalOutcome;
+
+    /// The deterministic run; the RNG is accepted for interface parity and
+    /// ignored (the mechanism's payments are a deterministic — and hence
+    /// non-private — function of the bids, which is its point).
+    fn run<R: Rng + ?Sized>(
+        &self,
+        instance: &Instance,
+        _rng: &mut R,
+    ) -> Result<CriticalOutcome, McsError> {
+        CriticalPaymentAuction::run(self, instance)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,12 +314,8 @@ mod tests {
         let inst = Instance::builder(2)
             .bids(bids)
             .skills(
-                SkillMatrix::from_rows(vec![
-                    vec![0.9, 0.5],
-                    vec![0.9, 0.5],
-                    vec![0.5, 0.95],
-                ])
-                .unwrap(),
+                SkillMatrix::from_rows(vec![vec![0.9, 0.5], vec![0.9, 0.5], vec![0.5, 0.95]])
+                    .unwrap(),
             )
             .uniform_error_bound(0.7) // Q ≈ 0.713 < q(0.95) = 0.81
             .price_grid_f64(10.0, 30.0, 0.5)
@@ -340,9 +353,7 @@ mod tests {
         let over = inst
             .with_bid(
                 w,
-                inst.bids()
-                    .bid(w)
-                    .with_price(crit + Price::from_f64(0.5)),
+                inst.bids().bid(w).with_price(crit + Price::from_f64(0.5)),
             )
             .unwrap();
         let after = CriticalPaymentAuction.run(&over).unwrap();

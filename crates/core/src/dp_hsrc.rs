@@ -4,18 +4,19 @@ use rand::Rng;
 
 use mcs_types::{Instance, McsError};
 
-use crate::exponential::ExponentialMechanism;
+use crate::mechanism::{run_scheduled, Mechanism, ScheduledMechanism};
 use crate::outcome::AuctionOutcome;
-use crate::schedule::{build_schedule, PricePmf, PriceSchedule, SelectionRule};
+use crate::schedule::SelectionRule;
 
 /// The paper's differentially private hSRC auction.
 ///
 /// One value of ε configures the whole mechanism; everything else comes
-/// from the [`Instance`]. Use [`DpHsrcAuction::run`] to execute one
-/// randomized auction, or [`DpHsrcAuction::pmf`] to obtain the *exact*
-/// output distribution — the object that the privacy (Theorem 2),
-/// truthfulness (Theorem 3) and payment (Theorem 6) analyses all quantify
-/// over.
+/// from the [`Instance`]. The mechanism surface lives on the
+/// [`Mechanism`]/[`ScheduledMechanism`] traits: use
+/// [`Mechanism::run`] to execute one randomized auction, or
+/// [`ScheduledMechanism::pmf`] to obtain the *exact* output distribution —
+/// the object that the privacy (Theorem 2), truthfulness (Theorem 3) and
+/// payment (Theorem 6) analyses all quantify over.
 ///
 /// # Examples
 ///
@@ -28,15 +29,15 @@ pub struct DpHsrcAuction {
 impl DpHsrcAuction {
     /// Creates the auction with privacy budget ε.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `epsilon` is not strictly positive and finite.
-    pub fn new(epsilon: f64) -> Self {
-        assert!(
-            epsilon.is_finite() && epsilon > 0.0,
-            "epsilon must be positive and finite"
-        );
-        DpHsrcAuction { epsilon }
+    /// Returns [`McsError::InvalidEpsilon`] if `epsilon` is not strictly
+    /// positive and finite.
+    pub fn new(epsilon: f64) -> Result<Self, McsError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(McsError::InvalidEpsilon { value: epsilon });
+        }
+        Ok(DpHsrcAuction { epsilon })
     }
 
     /// The privacy budget ε.
@@ -44,40 +45,32 @@ impl DpHsrcAuction {
     pub fn epsilon(&self) -> f64 {
         self.epsilon
     }
+}
 
-    /// Computes the per-price winner schedule (Algorithm 1, lines 1–15).
-    ///
-    /// # Errors
-    ///
-    /// [`McsError::Infeasible`] or [`McsError::NoFeasiblePrice`] when the
-    /// error-bound constraints cannot be met at any grid price.
-    pub fn schedule(&self, instance: &Instance) -> Result<PriceSchedule, McsError> {
-        build_schedule(instance, SelectionRule::MarginalCoverage)
-    }
-
-    /// The exact output distribution over feasible prices (Eq. 11).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`DpHsrcAuction::schedule`].
-    pub fn pmf(&self, instance: &Instance) -> Result<PricePmf, McsError> {
-        let schedule = self.schedule(instance)?;
-        Ok(ExponentialMechanism::for_instance(self.epsilon, instance).pmf(schedule))
-    }
+impl Mechanism for DpHsrcAuction {
+    type Input = Instance;
+    type Output = AuctionOutcome;
 
     /// Runs the auction once: builds the schedule, samples a price from the
     /// exponential mechanism, and returns the price with its winner set
     /// (Algorithm 1, lines 16–18).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`DpHsrcAuction::schedule`].
-    pub fn run<R: Rng + ?Sized>(
+    fn run<R: Rng + ?Sized>(
         &self,
         instance: &Instance,
         rng: &mut R,
     ) -> Result<AuctionOutcome, McsError> {
-        Ok(self.pmf(instance)?.sample(rng))
+        run_scheduled(self, instance, rng)
+    }
+}
+
+impl ScheduledMechanism for DpHsrcAuction {
+    /// Algorithm 1's residual-aware greedy.
+    fn selection_rule(&self) -> SelectionRule {
+        SelectionRule::MarginalCoverage
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
     }
 }
 
@@ -119,7 +112,7 @@ mod tests {
 
     #[test]
     fn run_produces_feasible_outcome() {
-        let auction = DpHsrcAuction::new(0.1);
+        let auction = DpHsrcAuction::new(0.1).unwrap();
         let inst = instance();
         let mut r = rng::seeded(1);
         let outcome = auction.run(&inst, &mut r).unwrap();
@@ -141,7 +134,7 @@ mod tests {
             .iter()
             .map(|(_, b)| TrueType::new(b.bundle().clone(), b.price()))
             .collect();
-        let auction = DpHsrcAuction::new(0.5);
+        let auction = DpHsrcAuction::new(0.5).unwrap();
         let mut r = rng::seeded(9);
         for _ in 0..200 {
             let o = auction.run(&inst, &mut r).unwrap();
@@ -152,7 +145,7 @@ mod tests {
     #[test]
     fn sampling_matches_exact_pmf() {
         let inst = instance();
-        let auction = DpHsrcAuction::new(2.0);
+        let auction = DpHsrcAuction::new(2.0).unwrap();
         let pmf = auction.pmf(&inst).unwrap();
         let mut hist = mcs_num::Histogram::new(pmf.schedule().len());
         let mut r = rng::seeded(4);
@@ -174,8 +167,8 @@ mod tests {
     #[test]
     fn epsilon_controls_concentration() {
         let inst = instance();
-        let loose = DpHsrcAuction::new(0.01).pmf(&inst).unwrap();
-        let tight = DpHsrcAuction::new(50.0).pmf(&inst).unwrap();
+        let loose = DpHsrcAuction::new(0.01).unwrap().pmf(&inst).unwrap();
+        let tight = DpHsrcAuction::new(50.0).unwrap().pmf(&inst).unwrap();
         // Higher ε concentrates on cheaper prices → lower expected payment.
         assert!(tight.expected_total_payment() <= loose.expected_total_payment() + 1e-9);
         // And strictly so in this instance where payments differ.
@@ -185,15 +178,19 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let inst = instance();
-        let auction = DpHsrcAuction::new(0.1);
+        let auction = DpHsrcAuction::new(0.1).unwrap();
         let a = auction.run(&inst, &mut rng::seeded(7)).unwrap();
         let b = auction.run(&inst, &mut rng::seeded(7)).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
-    #[should_panic(expected = "positive and finite")]
-    fn negative_epsilon_rejected() {
-        let _ = DpHsrcAuction::new(-0.1);
+    fn invalid_epsilons_are_reported_not_panicked() {
+        for bad in [-0.1, 0.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                DpHsrcAuction::new(bad),
+                Err(McsError::InvalidEpsilon { .. })
+            ));
+        }
     }
 }

@@ -127,9 +127,8 @@ mod tests {
         let mech = ExponentialMechanism::new(eps, n, cmax);
         let payments = s.total_payments();
         let pmf = mech.pmf(s);
-        let expected_log_ratio = -eps
-            * (payments[0].as_f64() - payments[1].as_f64())
-            / (2.0 * n as f64 * cmax.as_f64());
+        let expected_log_ratio =
+            -eps * (payments[0].as_f64() - payments[1].as_f64()) / (2.0 * n as f64 * cmax.as_f64());
         let actual = (pmf.probs()[0] / pmf.probs()[1]).ln();
         assert!((actual - expected_log_ratio).abs() < 1e-9);
     }

@@ -21,6 +21,11 @@
 //!
 //! # Crate layout
 //!
+//! * [`Mechanism`] / [`ScheduledMechanism`] — the unified mechanism
+//!   interface: every auction below is driven generically through
+//!   [`Mechanism::run`], and the two differentially private single-price
+//!   auctions additionally expose their winner [`ScheduledMechanism::schedule`]
+//!   and exact output [`ScheduledMechanism::pmf`].
 //! * [`DpHsrcAuction`] — Algorithm 1 end to end (run once, or extract the
 //!   exact price PMF for analysis).
 //! * [`BaselineAuction`] — the paper's §VII-A baseline: winners picked by
@@ -42,7 +47,7 @@
 //! # Examples
 //!
 //! ```
-//! use mcs_auction::DpHsrcAuction;
+//! use mcs_auction::{DpHsrcAuction, Mechanism, ScheduledMechanism};
 //! use mcs_types::{Bid, Bundle, Instance, Price, SkillMatrix, TaskId};
 //! use mcs_num::rng;
 //!
@@ -65,11 +70,16 @@
 //!     .cost_range(Price::from_f64(10.0), Price::from_f64(20.0))
 //!     .build()?;
 //!
-//! let auction = DpHsrcAuction::new(0.1);
+//! // The constructor validates ε; `run` samples one auction outcome.
+//! let auction = DpHsrcAuction::new(0.1)?;
 //! let mut r = rng::seeded(42);
 //! let outcome = auction.run(&instance, &mut r)?;
 //! assert!(!outcome.winners().is_empty());
 //! assert!(instance.price_grid().contains(outcome.price()));
+//!
+//! // The exact output distribution — what the theorems quantify over.
+//! let pmf = auction.pmf(&instance)?;
+//! assert!((pmf.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
 //! # Ok(())
 //! # }
 //! ```
@@ -81,6 +91,7 @@ mod baseline;
 mod critical;
 mod dp_hsrc;
 mod exponential;
+mod mechanism;
 mod optimal;
 mod outcome;
 pub mod privacy;
@@ -92,7 +103,13 @@ pub use baseline::BaselineAuction;
 pub use critical::{CriticalOutcome, CriticalPaymentAuction};
 pub use dp_hsrc::DpHsrcAuction;
 pub use exponential::ExponentialMechanism;
-pub use optimal::{OptimalError, OptimalMechanism, OptimalOutcome, PerPriceSolve};
+pub use mechanism::{Mechanism, ScheduledMechanism};
+#[allow(deprecated)]
+pub use optimal::OptimalError;
+pub use optimal::{OptimalMechanism, OptimalOutcome, PerPriceSolve};
 pub use outcome::AuctionOutcome;
-pub use schedule::{build_schedule, build_schedule_naive, PricePmf, PriceSchedule, SelectionRule};
+pub use schedule::{
+    build_schedule, build_schedule_eager, build_schedule_naive, build_schedule_serial, PricePmf,
+    PriceSchedule, SelectionRule,
+};
 pub use xor::{Award, XorBid, XorDpHsrcAuction, XorInstance, XorOutcome};

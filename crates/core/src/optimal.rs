@@ -96,11 +96,11 @@ impl OptimalMechanism {
     ///
     /// # Errors
     ///
-    /// * [`OptimalError::Instance`] — the full pool cannot cover some task
-    ///   ([`McsError::Infeasible`]) or coverage needs a price above the
-    ///   grid ([`McsError::NoFeasiblePrice`]).
-    /// * [`OptimalError::Solver`] — the branch-and-bound stack failed.
-    pub fn solve(&self, instance: &Instance) -> Result<OptimalOutcome, OptimalError> {
+    /// * [`McsError::Infeasible`] — the full pool cannot cover some task.
+    /// * [`McsError::NoFeasiblePrice`] — coverage needs a price above the
+    ///   grid.
+    /// * [`McsError::Solver`] — the branch-and-bound stack failed.
+    pub fn solve(&self, instance: &Instance) -> Result<OptimalOutcome, McsError> {
         let start = Instant::now();
         let cover = instance.coverage_problem();
         cover.check_feasible()?;
@@ -155,9 +155,7 @@ impl OptimalMechanism {
                 None
             };
             let start_idx = grid_idx;
-            while grid_idx < prices.len()
-                && upper.map_or(true, |u| prices[grid_idx] < u)
-            {
+            while grid_idx < prices.len() && upper.is_none_or(|u| prices[grid_idx] < u) {
                 grid_idx += 1;
             }
             if grid_idx == start_idx {
@@ -168,13 +166,13 @@ impl OptimalMechanism {
             let candidate_price = prices[start_idx];
 
             let pool = &sorted[..=i];
-            let weights: Vec<Vec<f64>> = pool
-                .iter()
-                .map(|&w| cover.worker_row(w).to_vec())
-                .collect();
+            let weights: Vec<Vec<f64>> =
+                pool.iter().map(|&w| cover.worker_row(w).to_vec()).collect();
             let ilp = CoveringIlp::uniform_cost(weights, requirements.clone())
                 .expect("validated instance data is non-negative");
-            let result = ilp.solve(&bnb)?;
+            let result = ilp.solve(&bnb).map_err(|e| McsError::Solver {
+                message: e.to_string(),
+            })?;
             let selection = result
                 .best
                 .expect("prefix feasibility was established before solving");
@@ -194,16 +192,12 @@ impl OptimalMechanism {
                 nodes: result.nodes_explored,
             });
             let lb_payment = candidate_price * card_lb.min(selection.selected.len());
-            if best_lower.map_or(true, |p| lb_payment < p) {
+            if best_lower.is_none_or(|p| lb_payment < p) {
                 best_lower = Some(lb_payment);
             }
-            let winners: Vec<WorkerId> =
-                selection.selected.iter().map(|&ci| pool[ci]).collect();
+            let winners: Vec<WorkerId> = selection.selected.iter().map(|&ci| pool[ci]).collect();
             let payment = candidate_price * winners.len();
-            if best
-                .as_ref()
-                .map_or(true, |(p, w)| payment < *p * w.len())
-            {
+            if best.as_ref().is_none_or(|(p, w)| payment < *p * w.len()) {
                 best = Some((candidate_price, winners));
             }
             if grid_idx == prices.len() {
@@ -225,51 +219,19 @@ impl OptimalMechanism {
     }
 }
 
-/// Errors from the optimal mechanism: either the instance itself is bad,
-/// or the exact solver failed (iteration-limit blowups in the simplex).
-#[derive(Debug, Clone, PartialEq)]
-#[non_exhaustive]
-pub enum OptimalError {
-    /// The instance cannot be covered, or has no feasible price.
-    Instance(McsError),
-    /// The branch-and-bound / LP stack failed.
-    Solver(mcs_ilp::IlpError),
-}
-
-impl std::fmt::Display for OptimalError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            OptimalError::Instance(e) => write!(f, "{e}"),
-            OptimalError::Solver(e) => write!(f, "exact solver failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for OptimalError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            OptimalError::Instance(e) => Some(e),
-            OptimalError::Solver(e) => Some(e),
-        }
-    }
-}
-
-impl From<McsError> for OptimalError {
-    fn from(e: McsError) -> Self {
-        OptimalError::Instance(e)
-    }
-}
-
-impl From<mcs_ilp::IlpError> for OptimalError {
-    fn from(e: mcs_ilp::IlpError) -> Self {
-        OptimalError::Solver(e)
-    }
-}
+/// Former dedicated error type of the optimal mechanism, now folded into
+/// the workspace-wide [`McsError`] (instance problems surface as their
+/// original variants; solver failures as [`McsError::Solver`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use McsError — solver failures are McsError::Solver"
+)]
+pub type OptimalError = McsError;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BaselineAuction, DpHsrcAuction};
+    use crate::{BaselineAuction, DpHsrcAuction, ScheduledMechanism};
     use mcs_types::{Bid, Bundle, SkillMatrix};
 
     fn instance() -> Instance {
@@ -323,8 +285,8 @@ mod tests {
     fn optimal_lower_bounds_every_schedule_price() {
         let inst = instance();
         let opt = OptimalMechanism::new().solve(&inst).unwrap();
-        let dp = DpHsrcAuction::new(0.1).schedule(&inst).unwrap();
-        let base = BaselineAuction::new(0.1).schedule(&inst).unwrap();
+        let dp = DpHsrcAuction::new(0.1).unwrap().schedule(&inst).unwrap();
+        let base = BaselineAuction::new(0.1).unwrap().schedule(&inst).unwrap();
         for s in [&dp, &base] {
             assert!(opt.total_payment() <= s.min_total_payment());
         }
@@ -379,7 +341,7 @@ mod tests {
             .unwrap();
         assert!(matches!(
             OptimalMechanism::new().solve(&inst),
-            Err(OptimalError::Instance(McsError::Infeasible { .. }))
+            Err(McsError::Infeasible { .. })
         ));
     }
 

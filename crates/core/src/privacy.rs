@@ -32,7 +32,7 @@ pub fn aligned_probs(a: &PricePmf, b: &PricePmf) -> Option<(Vec<f64>, Vec<f64>)>
 /// # Examples
 ///
 /// ```
-/// use mcs_auction::{privacy, DpHsrcAuction};
+/// use mcs_auction::{privacy, DpHsrcAuction, ScheduledMechanism};
 /// # use mcs_types::{Bid, Bundle, Instance, Price, SkillMatrix, TaskId, WorkerId};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// # let mk = |p0: f64| -> Instance {
@@ -48,7 +48,7 @@ pub fn aligned_probs(a: &PricePmf, b: &PricePmf) -> Option<(Vec<f64>, Vec<f64>)>
 /// #         .cost_range(Price::from_f64(10.0), Price::from_f64(15.0))
 /// #         .build().unwrap()
 /// # };
-/// let auction = DpHsrcAuction::new(0.1);
+/// let auction = DpHsrcAuction::new(0.1).unwrap();
 /// let p = auction.pmf(&mk(10.0))?;
 /// let q = auction.pmf(&mk(10.5))?; // one bid changed
 /// let leakage = privacy::kl_leakage(&p, &q).unwrap();
@@ -73,7 +73,7 @@ pub fn dp_log_ratio(a: &PricePmf, b: &PricePmf) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BaselineAuction, DpHsrcAuction};
+    use crate::{BaselineAuction, DpHsrcAuction, ScheduledMechanism};
     use mcs_types::{Bid, Bundle, Instance, Price, SkillMatrix, TaskId, WorkerId};
 
     /// Eight workers with heterogeneous skills (q: 0.64, 0.49, 0.36, 0.25,
@@ -102,7 +102,7 @@ mod tests {
     #[test]
     fn dp_bound_holds_for_price_deviation() {
         for eps in [0.1, 0.5, 2.0] {
-            let auction = DpHsrcAuction::new(eps);
+            let auction = DpHsrcAuction::new(eps).unwrap();
             let p = auction.pmf(&instance(BASE)).unwrap();
             let mut neighbour = BASE.to_vec();
             neighbour[3] = 19.5; // push one bid to the top of the range
@@ -119,7 +119,7 @@ mod tests {
 
     #[test]
     fn dp_bound_holds_for_baseline_too() {
-        let auction = BaselineAuction::new(0.25);
+        let auction = BaselineAuction::new(0.25).unwrap();
         let p = auction.pmf(&instance(BASE)).unwrap();
         let mut neighbour = BASE.to_vec();
         neighbour[4] = 16.0;
@@ -130,7 +130,7 @@ mod tests {
 
     #[test]
     fn identical_profiles_leak_nothing() {
-        let auction = DpHsrcAuction::new(0.1);
+        let auction = DpHsrcAuction::new(0.1).unwrap();
         let p = auction.pmf(&instance(BASE)).unwrap();
         assert_eq!(kl_leakage(&p, &p), Some(0.0));
         assert_eq!(dp_log_ratio(&p, &p), Some(0.0));
@@ -141,7 +141,7 @@ mod tests {
         let mut neighbour = BASE.to_vec();
         neighbour[3] = 18.0;
         let leak_at = |eps: f64| {
-            let auction = DpHsrcAuction::new(eps);
+            let auction = DpHsrcAuction::new(eps).unwrap();
             let p = auction.pmf(&instance(BASE)).unwrap();
             let q = auction.pmf(&instance(&neighbour)).unwrap();
             kl_leakage(&p, &q).unwrap()
@@ -174,7 +174,7 @@ mod tests {
                 .build()
                 .unwrap()
         };
-        let auction = DpHsrcAuction::new(0.1);
+        let auction = DpHsrcAuction::new(0.1).unwrap();
         let p = auction.pmf(&tight(&[10.0, 11.0, 12.0])).unwrap();
         let q = auction.pmf(&tight(&[10.0, 11.0, 18.0])).unwrap();
         assert_eq!(aligned_probs(&p, &q), None);
@@ -186,7 +186,7 @@ mod tests {
     fn bundle_deviation_also_bounded() {
         // Neighbour changes a worker's bundle, not her price.
         let base = instance(BASE);
-        let auction = DpHsrcAuction::new(0.4);
+        let auction = DpHsrcAuction::new(0.4).unwrap();
         let p = auction.pmf(&base).unwrap();
         // Worker 5 re-bids a different (here: same single task, but the
         // instance only has one task — emulate by re-pricing instead and

@@ -125,11 +125,121 @@ pub(crate) fn sparse_rows_of(cover: &CoverageProblem) -> Vec<Vec<(usize, f64)>> 
         .collect()
 }
 
-/// Greedy winner selection among `candidates` (Algorithm 1, lines 8–13).
+/// A cached marginal-coverage bound for one candidate, ordered so that a
+/// [`std::collections::BinaryHeap`] pops the candidate the eager rescan
+/// would pick: largest gain first, ties on the *earliest* candidate index
+/// (the cheapest bidder, then smallest worker id).
+#[derive(Debug, Clone, Copy)]
+struct LazyGain {
+    /// Last-computed marginal coverage — an upper bound on the current one.
+    gain: f64,
+    /// Index into the candidate slice.
+    ci: usize,
+}
+
+impl PartialEq for LazyGain {
+    fn eq(&self, other: &Self) -> bool {
+        self.ci == other.ci && self.gain.total_cmp(&other.gain).is_eq()
+    }
+}
+
+impl Eq for LazyGain {}
+
+impl PartialOrd for LazyGain {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LazyGain {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Gains are finite and positive here (entries at or below
+        // `COVER_EPS` are never pushed), so `total_cmp` agrees with the
+        // eager implementation's `>` comparisons.
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.ci.cmp(&self.ci))
+    }
+}
+
+/// Greedy winner selection among `candidates` (Algorithm 1, lines 8–13),
+/// evaluated lazily (CELF): each candidate's last-computed marginal
+/// coverage is kept in a max-heap and only the top entry is re-evaluated.
+/// Because the residual requirements only shrink, coverage gains are
+/// submodular — a stale cached gain is always an *upper bound* — so the
+/// popped candidate can be accepted as soon as its fresh gain still beats
+/// the next cached bound. Picks the exact winner sequence of the eager
+/// rescan ([`select_marginal_eager`]), tie-breaking included.
 ///
-/// `candidates` must be able to satisfy the requirements; panics in debug
-/// builds otherwise (callers establish feasibility first).
+/// `candidates` must be able to satisfy the requirements; panics otherwise
+/// (callers establish feasibility first).
 fn select_marginal(
+    candidates: &[WorkerId],
+    rows: &[Vec<(usize, f64)>],
+    requirements: &[f64],
+) -> Vec<WorkerId> {
+    let mut residual = requirements.to_vec();
+    let mut remaining: f64 = residual.iter().sum();
+    let mut winners = Vec::new();
+
+    // Identical per-row summation order to the eager rescan, so gains are
+    // bit-for-bit the floats the eager implementation compares.
+    let gain_of = |w: WorkerId, residual: &[f64]| -> f64 {
+        rows[w.index()]
+            .iter()
+            .map(|&(j, q)| q.min(residual[j].max(0.0)))
+            .sum()
+    };
+
+    let mut heap: std::collections::BinaryHeap<LazyGain> = candidates
+        .iter()
+        .enumerate()
+        .map(|(ci, &w)| LazyGain {
+            gain: gain_of(w, &residual),
+            ci,
+        })
+        .filter(|e| e.gain > COVER_EPS)
+        .collect();
+
+    while remaining > COVER_EPS {
+        let top = heap.pop().expect("candidate pool cannot cover the tasks");
+        let w = candidates[top.ci];
+        let fresh = gain_of(w, &residual);
+        if fresh <= COVER_EPS {
+            // The candidate's remaining contribution evaporated; gains
+            // never grow, so she can be dropped for good.
+            continue;
+        }
+        let current = LazyGain {
+            gain: fresh,
+            ci: top.ci,
+        };
+        // Every other cached entry is an upper bound on its true gain, so
+        // `current` winning against the best cached bound means it would
+        // win the eager rescan too (on ties the smaller candidate index
+        // prevails, exactly like the eager strict `>`).
+        if let Some(&next) = heap.peek() {
+            if current < next {
+                heap.push(current);
+                continue;
+            }
+        }
+        winners.push(w);
+        for &(j, q) in &rows[w.index()] {
+            let take = q.min(residual[j].max(0.0));
+            residual[j] -= take;
+            remaining -= take;
+        }
+    }
+    winners.sort_unstable();
+    winners
+}
+
+/// The pre-lazy reference selector: a full rescan of all candidates on
+/// every selection round. Kept as the ground truth the CELF engine is
+/// proptested against, and as the baseline the `schedule` bench measures
+/// speedups from.
+fn select_marginal_eager(
     candidates: &[WorkerId],
     rows: &[Vec<(usize, f64)>],
     requirements: &[f64],
@@ -153,7 +263,7 @@ fn select_marginal(
             }
             // Strict `>` keeps ties on the earliest candidate — i.e. the
             // cheapest bidder, then smallest worker id.
-            if best.map_or(true, |(_, bg)| gain > bg) {
+            if best.is_none_or(|(_, bg)| gain > bg) {
                 best = Some((ci, gain));
             }
         }
@@ -218,9 +328,63 @@ fn select_static(
 ///   task's error-bound constraint.
 /// * [`McsError::NoFeasiblePrice`] — coverage is possible but only above
 ///   the top of the price grid.
-pub fn build_schedule(
+pub fn build_schedule(instance: &Instance, rule: SelectionRule) -> Result<PriceSchedule, McsError> {
+    build_schedule_with(instance, rule, Engine::default())
+}
+
+/// Always-serial variant of [`build_schedule`], regardless of the
+/// `parallel` feature. Useful for benchmarking the parallel dispatch
+/// against a fixed serial baseline within one binary.
+pub fn build_schedule_serial(
     instance: &Instance,
     rule: SelectionRule,
+) -> Result<PriceSchedule, McsError> {
+    build_schedule_with(instance, rule, Engine::Lazy)
+}
+
+/// [`build_schedule`] driven by the pre-lazy full-rescan selector. Kept as
+/// the reference the CELF engine is validated and benchmarked against; its
+/// output is identical, only slower.
+pub fn build_schedule_eager(
+    instance: &Instance,
+    rule: SelectionRule,
+) -> Result<PriceSchedule, McsError> {
+    build_schedule_with(instance, rule, Engine::EagerRescan)
+}
+
+/// Which selector evaluates each price interval's winner set. All engines
+/// produce the identical schedule; they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// CELF lazy evaluation, serial over intervals.
+    Lazy,
+    /// CELF lazy evaluation with intervals fanned out over rayon.
+    #[cfg(feature = "parallel")]
+    LazyParallel,
+    /// Full rescan per selection round (the pre-lazy reference).
+    EagerRescan,
+}
+
+// Not derivable: the default depends on the `parallel` feature, and the
+// `LazyParallel` variant does not exist without it.
+#[allow(clippy::derivable_impls)]
+impl Default for Engine {
+    fn default() -> Self {
+        #[cfg(feature = "parallel")]
+        {
+            Engine::LazyParallel
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            Engine::Lazy
+        }
+    }
+}
+
+fn build_schedule_with(
+    instance: &Instance,
+    rule: SelectionRule,
+    engine: Engine,
 ) -> Result<PriceSchedule, McsError> {
     let cover = instance.coverage_problem();
     cover.check_feasible()?;
@@ -231,9 +395,7 @@ pub fn build_schedule(
 
     // Find the minimal covering prefix of the price-sorted workers.
     let mut running = vec![0.0f64; k];
-    let mut deficit: f64 = (0..k)
-        .map(|j| cover.requirement(TaskId(j as u32)))
-        .sum();
+    let mut deficit: f64 = (0..k).map(|j| cover.requirement(TaskId(j as u32))).sum();
     let requirements: Vec<f64> = (0..k)
         .map(|j| cover.requirement(TaskId(j as u32)))
         .collect();
@@ -261,10 +423,19 @@ pub fn build_schedule(
         })?;
     let prices = feasible.to_vec();
 
-    // Walk the bidding-price intervals [ρ_i, ρ_{i+1}) and fill in the grid
-    // prices they contain.
-    let mut set_of = vec![usize::MAX; prices.len()];
-    let mut sets: Vec<Vec<WorkerId>> = Vec::new();
+    // Walk the bidding-price intervals [ρ_i, ρ_{i+1}) and record which
+    // grid prices each interval owns. Intervals are independent of one
+    // another — each one's winner set depends only on its candidate
+    // prefix — which is what makes the fan-out below safe.
+    struct Interval {
+        /// First grid-price index owned by this interval.
+        start: usize,
+        /// One past the last grid-price index owned.
+        end: usize,
+        /// Candidate prefix length: `sorted[..prefix]` is eligible.
+        prefix: usize,
+    }
+    let mut intervals: Vec<Interval> = Vec::new();
     let mut grid_idx = 0usize;
     for i in first_cover..n {
         let upper = if i + 1 < n {
@@ -274,27 +445,49 @@ pub fn build_schedule(
         };
         // Grid prices in this interval.
         let start = grid_idx;
-        while grid_idx < prices.len()
-            && upper.map_or(true, |u| prices[grid_idx] < u)
-        {
+        while grid_idx < prices.len() && upper.is_none_or(|u| prices[grid_idx] < u) {
             grid_idx += 1;
         }
         if grid_idx == start {
             continue; // no grid price falls in this interval
         }
-        let candidates = &sorted[..=i];
-        let winners = match rule {
-            SelectionRule::MarginalCoverage => {
-                select_marginal(candidates, &rows, &requirements)
-            }
-            SelectionRule::StaticTotal => select_static(candidates, &rows, &requirements),
-        };
-        sets.push(winners);
-        for s in set_of.iter_mut().take(grid_idx).skip(start) {
-            *s = sets.len() - 1;
-        }
+        intervals.push(Interval {
+            start,
+            end: grid_idx,
+            prefix: i + 1,
+        });
         if grid_idx == prices.len() {
             break;
+        }
+    }
+
+    let select = |iv: &Interval| -> Vec<WorkerId> {
+        let candidates = &sorted[..iv.prefix];
+        match (rule, engine) {
+            (SelectionRule::MarginalCoverage, Engine::EagerRescan) => {
+                select_marginal_eager(candidates, &rows, &requirements)
+            }
+            (SelectionRule::MarginalCoverage, _) => {
+                select_marginal(candidates, &rows, &requirements)
+            }
+            (SelectionRule::StaticTotal, _) => select_static(candidates, &rows, &requirements),
+        }
+    };
+    let winner_sets: Vec<Vec<WorkerId>> = match engine {
+        #[cfg(feature = "parallel")]
+        Engine::LazyParallel => {
+            use rayon::prelude::*;
+            intervals.par_iter().map(select).collect()
+        }
+        _ => intervals.iter().map(select).collect(),
+    };
+
+    let mut set_of = vec![usize::MAX; prices.len()];
+    let mut sets: Vec<Vec<WorkerId>> = Vec::with_capacity(winner_sets.len());
+    for (iv, winners) in intervals.iter().zip(winner_sets) {
+        sets.push(winners);
+        for s in set_of.iter_mut().take(iv.end).skip(iv.start) {
+            *s = sets.len() - 1;
         }
     }
     debug_assert!(
@@ -311,7 +504,10 @@ pub fn build_schedule(
 
 /// Reference implementation that recomputes the winner set independently
 /// for every grid price — `O(|P| · N · K · |S|)`, used only to validate the
-/// interval-compressed schedule and in the ablation bench.
+/// interval-compressed schedule and in the ablation bench. Deliberately
+/// shares *no* machinery with the optimized engine: it drives the eager
+/// full-rescan selector, so the equivalence proptests pin the lazy engine
+/// against genuinely independent code.
 pub fn build_schedule_naive(
     instance: &Instance,
     rule: SelectionRule,
@@ -345,26 +541,20 @@ pub fn build_schedule_naive(
         }
         let winners = match rule {
             SelectionRule::MarginalCoverage => {
-                select_marginal(&candidates, &rows, &requirements)
+                select_marginal_eager(&candidates, &rows, &requirements)
             }
             SelectionRule::StaticTotal => select_static(&candidates, &rows, &requirements),
         };
-        let idx = sets
-            .iter()
-            .position(|s| *s == winners)
-            .unwrap_or_else(|| {
-                sets.push(winners);
-                sets.len() - 1
-            });
+        let idx = sets.iter().position(|s| *s == winners).unwrap_or_else(|| {
+            sets.push(winners);
+            sets.len() - 1
+        });
         prices.push(p);
         set_of.push(idx);
     }
     if prices.is_empty() {
         return Err(McsError::NoFeasiblePrice {
-            required_price: instance
-                .bids()
-                .max_price()
-                .unwrap_or(instance.cmax()),
+            required_price: instance.bids().max_price().unwrap_or(instance.cmax()),
             grid_max: instance.price_grid().max(),
         });
     }
@@ -628,6 +818,82 @@ mod tests {
         assert_eq!(marginal, vec![WorkerId(0), WorkerId(2)]);
         let static_sel = select_static(&candidates, &rows, &req);
         assert_eq!(static_sel, vec![WorkerId(0), WorkerId(1), WorkerId(2)]);
+    }
+
+    #[test]
+    fn lazy_matches_eager_on_adversarial_tie_patterns() {
+        // Exact ties (same q on the same task), staleness (gains that decay
+        // at different rates), and exhausted candidates — the cases lazy
+        // evaluation must get right to replicate the eager sequence.
+        type Case = (Vec<Vec<(usize, f64)>>, Vec<f64>);
+        let cases: Vec<Case> = vec![
+            // All-tied single task.
+            (vec![vec![(0, 0.5)]; 4], vec![1.2]),
+            // Two tasks, one dominant generalist whose gain goes stale.
+            (
+                vec![
+                    vec![(0, 0.9), (1, 0.9)],
+                    vec![(0, 0.8)],
+                    vec![(1, 0.8)],
+                    vec![(0, 0.3), (1, 0.3)],
+                ],
+                vec![1.0, 1.0],
+            ),
+            // A candidate whose whole contribution evaporates mid-run.
+            (
+                vec![vec![(0, 1.0)], vec![(0, 0.4)], vec![(1, 0.7)]],
+                vec![1.0, 0.5],
+            ),
+            // Mixed magnitudes with repeated values across tasks.
+            (
+                vec![
+                    vec![(0, 0.25), (1, 0.25), (2, 0.25)],
+                    vec![(0, 0.25), (2, 0.5)],
+                    vec![(1, 0.75)],
+                    vec![(2, 0.25)],
+                    vec![(0, 0.5), (1, 0.25)],
+                ],
+                vec![0.75, 1.0, 0.75],
+            ),
+        ];
+        for (rows, req) in cases {
+            let candidates: Vec<WorkerId> = (0..rows.len()).map(|i| WorkerId(i as u32)).collect();
+            assert_eq!(
+                select_marginal(&candidates, &rows, &req),
+                select_marginal_eager(&candidates, &rows, &req),
+                "rows {rows:?} req {req:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_ties_fall_to_earliest_candidate() {
+        // Candidate order is the tie-break, not worker id: feed candidates
+        // in reverse-id order and check the first listed one wins the tie.
+        let candidates = vec![WorkerId(2), WorkerId(0), WorkerId(1)];
+        let rows = vec![
+            vec![(0usize, 0.5)],
+            vec![(0usize, 0.5)],
+            vec![(0usize, 0.5)],
+        ];
+        let lazy = select_marginal(&candidates, &rows, &[0.9]);
+        let eager = select_marginal_eager(&candidates, &rows, &[0.9]);
+        assert_eq!(lazy, eager);
+        // Two winners cover 0.9; the tie-break picks candidates[0] = w2
+        // and candidates[1] = w0 (output is id-sorted).
+        assert_eq!(lazy, vec![WorkerId(0), WorkerId(2)]);
+    }
+
+    #[test]
+    fn serial_and_default_engines_agree() {
+        let inst = instance();
+        for rule in [SelectionRule::MarginalCoverage, SelectionRule::StaticTotal] {
+            let default = build_schedule(&inst, rule).unwrap();
+            let serial = build_schedule_serial(&inst, rule).unwrap();
+            let eager = build_schedule_eager(&inst, rule).unwrap();
+            assert_eq!(default, serial);
+            assert_eq!(default, eager);
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::schedule::PricePmf;
 /// # Examples
 ///
 /// ```
-/// use mcs_auction::{utility, DpHsrcAuction};
+/// use mcs_auction::{utility, DpHsrcAuction, ScheduledMechanism};
 /// use mcs_types::{Bid, Bundle, Instance, Price, SkillMatrix, TaskId, WorkerId};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,7 +41,7 @@ use crate::schedule::PricePmf;
 /// #     .price_grid_f64(12.0, 15.0, 0.5)
 /// #     .cost_range(Price::from_f64(10.0), Price::from_f64(15.0))
 /// #     .build()?;
-/// let pmf = DpHsrcAuction::new(0.1).pmf(&instance)?;
+/// let pmf = DpHsrcAuction::new(0.1).unwrap().pmf(&instance)?;
 /// let eu = utility::expected_utility(&pmf, WorkerId(0), Price::from_f64(10.0));
 /// assert!(eu >= 0.0); // individual rationality in expectation
 /// # Ok(())
@@ -127,14 +127,13 @@ pub fn deviation_gain(
     worker: WorkerId,
     true_cost: Price,
 ) -> f64 {
-    expected_utility(deviated, worker, true_cost)
-        - expected_utility(truthful, worker, true_cost)
+    expected_utility(deviated, worker, true_cost) - expected_utility(truthful, worker, true_cost)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::DpHsrcAuction;
+    use crate::{DpHsrcAuction, ScheduledMechanism};
     use mcs_types::{Bid, Bundle, Instance, SkillMatrix, TaskId};
 
     fn instance(prices: &[f64]) -> Instance {
@@ -157,7 +156,10 @@ mod tests {
 
     #[test]
     fn expected_utility_nonnegative_for_truthful_winners() {
-        let pmf = DpHsrcAuction::new(0.1).pmf(&instance(BASE)).unwrap();
+        let pmf = DpHsrcAuction::new(0.1)
+            .unwrap()
+            .pmf(&instance(BASE))
+            .unwrap();
         for (i, &c) in BASE.iter().enumerate() {
             let eu = expected_utility(&pmf, WorkerId(i as u32), Price::from_f64(c));
             assert!(eu >= 0.0, "worker {i} has negative expected utility {eu}");
@@ -166,7 +168,10 @@ mod tests {
 
     #[test]
     fn win_probabilities_are_probabilities() {
-        let pmf = DpHsrcAuction::new(0.1).pmf(&instance(BASE)).unwrap();
+        let pmf = DpHsrcAuction::new(0.1)
+            .unwrap()
+            .pmf(&instance(BASE))
+            .unwrap();
         for i in 0..BASE.len() {
             let p = win_probability(&pmf, WorkerId(i as u32));
             assert!((0.0..=1.0 + 1e-12).contains(&p));
@@ -177,7 +182,10 @@ mod tests {
     fn sure_winner_utility_is_price_minus_cost() {
         // With every feasible price's winner set containing worker 0, her
         // expected utility is E[x] − c.
-        let pmf = DpHsrcAuction::new(0.1).pmf(&instance(BASE)).unwrap();
+        let pmf = DpHsrcAuction::new(0.1)
+            .unwrap()
+            .pmf(&instance(BASE))
+            .unwrap();
         let w0 = WorkerId(0);
         if (win_probability(&pmf, w0) - 1.0).abs() < 1e-12 {
             let schedule = pmf.schedule();
@@ -192,20 +200,19 @@ mod tests {
     #[test]
     fn price_channel_gain_bounded_by_theorem3() {
         let eps = 0.5;
-        let auction = DpHsrcAuction::new(eps);
+        let auction = DpHsrcAuction::new(eps).unwrap();
         let truthful = auction.pmf(&instance(BASE)).unwrap();
         let true_cost = Price::from_f64(11.5);
         let delta_c = 10.0; // cmax − cmin = 20 − 10
-        // The DP price lottery can shift expected utility by at most
-        // (e^ε − 1)·Δc for any fixed utility function.
+                            // The DP price lottery can shift expected utility by at most
+                            // (e^ε − 1)·Δc for any fixed utility function.
         let channel_budget = (eps.exp() - 1.0) * delta_c;
         for dev_price in [12.0, 13.5, 15.0, 17.5, 19.5] {
             let mut prices = BASE.to_vec();
             prices[3] = dev_price;
             let deviated = auction.pmf(&instance(&prices)).unwrap();
-            let Some(cross) = cross_expected_utility(
-                &truthful, &deviated, WorkerId(3), true_cost,
-            ) else {
+            let Some(cross) = cross_expected_utility(&truthful, &deviated, WorkerId(3), true_cost)
+            else {
                 continue;
             };
             let gain = expected_utility(&deviated, WorkerId(3), true_cost) - cross;
@@ -218,7 +225,10 @@ mod tests {
 
     #[test]
     fn cross_utility_matches_plain_on_same_pmf() {
-        let pmf = DpHsrcAuction::new(0.2).pmf(&instance(BASE)).unwrap();
+        let pmf = DpHsrcAuction::new(0.2)
+            .unwrap()
+            .pmf(&instance(BASE))
+            .unwrap();
         let w = WorkerId(1);
         let c = Price::from_f64(10.5);
         let cross = cross_expected_utility(&pmf, &pmf, w, c).unwrap();
@@ -227,7 +237,10 @@ mod tests {
 
     #[test]
     fn expected_utilities_vectorized() {
-        let pmf = DpHsrcAuction::new(0.1).pmf(&instance(BASE)).unwrap();
+        let pmf = DpHsrcAuction::new(0.1)
+            .unwrap()
+            .pmf(&instance(BASE))
+            .unwrap();
         let costs: Vec<Price> = BASE.iter().map(|&c| Price::from_f64(c)).collect();
         let eus = expected_utilities(&pmf, &costs);
         assert_eq!(eus.len(), BASE.len());

@@ -20,6 +20,8 @@ use rand::Rng;
 use mcs_num::softmax_from_logits;
 use mcs_types::{Bid, McsError, Price, PriceGrid, SkillMatrix, TaskId, WorkerId};
 
+use crate::mechanism::Mechanism;
+
 /// Residual coverage below this threshold counts as satisfied.
 const COVER_EPS: f64 = 1e-9;
 
@@ -234,15 +236,21 @@ pub struct XorDpHsrcAuction {
 impl XorDpHsrcAuction {
     /// Creates the auction with privacy budget ε.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `epsilon` is not strictly positive and finite.
-    pub fn new(epsilon: f64) -> Self {
-        assert!(
-            epsilon.is_finite() && epsilon > 0.0,
-            "epsilon must be positive and finite"
-        );
-        XorDpHsrcAuction { epsilon }
+    /// Returns [`McsError::InvalidEpsilon`] if `epsilon` is not strictly
+    /// positive and finite.
+    pub fn new(epsilon: f64) -> Result<Self, McsError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(McsError::InvalidEpsilon { value: epsilon });
+        }
+        Ok(XorDpHsrcAuction { epsilon })
+    }
+
+    /// The privacy budget ε.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
     }
 
     /// Greedy selection over `(worker, option)` pairs among options priced
@@ -257,7 +265,7 @@ impl XorDpHsrcAuction {
         // Feasibility pre-check: best-per-task coverage if every worker
         // contributed her best eligible option... must be conservative:
         // a worker contributes at most max over options; sum those.
-        for j in 0..instance.num_tasks() {
+        for (j, res) in residual.iter().enumerate() {
             let t = TaskId(j as u32);
             let attainable: f64 = (0..instance.num_workers())
                 .map(|i| {
@@ -271,7 +279,7 @@ impl XorDpHsrcAuction {
                         .fold(0.0, f64::max)
                 })
                 .sum();
-            if attainable < residual[j] - COVER_EPS {
+            if attainable < *res - COVER_EPS {
                 return None;
             }
         }
@@ -281,8 +289,8 @@ impl XorDpHsrcAuction {
             // worker id — matching the single-minded greedy, whose
             // candidates are scanned in (price, id) order.
             let mut best: Option<(Award, f64, Price)> = None;
-            for i in 0..instance.num_workers() {
-                if taken[i] {
+            for (i, &is_taken) in taken.iter().enumerate() {
+                if is_taken {
                     continue;
                 }
                 let w = WorkerId(i as u32);
@@ -303,12 +311,18 @@ impl XorDpHsrcAuction {
                         Some((ba, bg, bp)) => {
                             gain > *bg
                                 || (gain == *bg
-                                    && (bid.price() < *bp
-                                        || (bid.price() == *bp && w < ba.worker)))
+                                    && (bid.price() < *bp || (bid.price() == *bp && w < ba.worker)))
                         }
                     };
                     if better {
-                        best = Some((Award { worker: w, option: k }, gain, bid.price()));
+                        best = Some((
+                            Award {
+                                worker: w,
+                                option: k,
+                            },
+                            gain,
+                            bid.price(),
+                        ));
                     }
                 }
             }
@@ -328,6 +342,11 @@ impl XorDpHsrcAuction {
         awards.sort_by_key(|a| a.worker);
         Some(awards)
     }
+}
+
+impl Mechanism for XorDpHsrcAuction {
+    type Input = XorInstance;
+    type Output = XorOutcome;
 
     /// Runs the auction: per-price greedy award sets, exponential price
     /// draw, one award per winner.
@@ -336,7 +355,7 @@ impl XorDpHsrcAuction {
     ///
     /// [`McsError::NoFeasiblePrice`] when no grid price admits a covering
     /// award set.
-    pub fn run<R: Rng + ?Sized>(
+    fn run<R: Rng + ?Sized>(
         &self,
         instance: &XorInstance,
         rng: &mut R,
@@ -413,12 +432,9 @@ mod tests {
             XorBid::single(Bid::new(bundle(&[0]), Price::from_f64(12.0))),
             XorBid::single(Bid::new(bundle(&[1]), Price::from_f64(12.5))),
         ];
-        let skills = SkillMatrix::from_rows(vec![
-            vec![0.95, 0.95],
-            vec![0.95, 0.5],
-            vec![0.5, 0.95],
-        ])
-        .unwrap();
+        let skills =
+            SkillMatrix::from_rows(vec![vec![0.95, 0.95], vec![0.95, 0.5], vec![0.5, 0.95]])
+                .unwrap();
         XorInstance::new(
             2,
             bids,
@@ -434,7 +450,7 @@ mod tests {
     #[test]
     fn at_most_one_option_per_worker() {
         let inst = instance();
-        let auction = XorDpHsrcAuction::new(0.5);
+        let auction = XorDpHsrcAuction::new(0.5).unwrap();
         let mut r = rng::seeded(3);
         for _ in 0..50 {
             let out = auction.run(&inst, &mut r).unwrap();
@@ -443,10 +459,7 @@ mod tests {
                 assert!(seen.insert(a.worker), "worker awarded twice");
                 assert!(a.option < inst.bids()[a.worker.index()].options().len());
                 // The chosen option's price respects the clearing price.
-                assert!(
-                    inst.bids()[a.worker.index()].options()[a.option].price()
-                        <= out.price
-                );
+                assert!(inst.bids()[a.worker.index()].options()[a.option].price() <= out.price);
             }
         }
     }
@@ -454,18 +467,18 @@ mod tests {
     #[test]
     fn awarded_bundles_cover_all_tasks() {
         let inst = instance();
-        let auction = XorDpHsrcAuction::new(0.5);
+        let auction = XorDpHsrcAuction::new(0.5).unwrap();
         let mut r = rng::seeded(5);
         let out = auction.run(&inst, &mut r).unwrap();
         let reqs = inst.requirements();
-        for j in 0..inst.num_tasks() {
+        for (j, req) in reqs.iter().enumerate() {
             let t = TaskId(j as u32);
             let covered: f64 = out
                 .awards
                 .iter()
                 .map(|a| inst.q(a.worker, a.option, t))
                 .sum();
-            assert!(covered >= reqs[j] - 1e-9, "task {j} uncovered");
+            assert!(covered >= req - 1e-9, "task {j} uncovered");
         }
     }
 
@@ -475,7 +488,7 @@ mod tests {
         // tasks with a single award. Force p = 13.0 by narrowing the grid.
         let mut inst = instance();
         inst.price_grid = PriceGrid::from_f64(13.0, 13.0, 0.5).unwrap();
-        let auction = XorDpHsrcAuction::new(0.5);
+        let auction = XorDpHsrcAuction::new(0.5).unwrap();
         let mut r = rng::seeded(1);
         let out = auction.run(&inst, &mut r).unwrap();
         assert_eq!(out.price, Price::from_f64(13.0));
@@ -525,7 +538,7 @@ mod tests {
             Price::from_f64(20.0),
         )
         .unwrap();
-        let auction = XorDpHsrcAuction::new(0.5);
+        let auction = XorDpHsrcAuction::new(0.5).unwrap();
         for (i, &p) in schedule.prices().iter().enumerate() {
             let awards = auction.select_at(&xor, p).expect("feasible price");
             let workers: Vec<WorkerId> = awards.iter().map(|a| a.worker).collect();
@@ -539,7 +552,10 @@ mod tests {
         assert!(XorBid::new(vec![Bid::new(Bundle::empty(), Price::from_f64(10.0))]).is_err());
         let inst = XorInstance::new(
             1,
-            vec![XorBid::single(Bid::new(bundle(&[5]), Price::from_f64(10.0)))],
+            vec![XorBid::single(Bid::new(
+                bundle(&[5]),
+                Price::from_f64(10.0),
+            ))],
             SkillMatrix::from_rows(vec![vec![0.9]]).unwrap(),
             vec![0.5],
             grid(),
@@ -549,7 +565,10 @@ mod tests {
         assert!(matches!(inst, Err(McsError::BundleOutOfRange { .. })));
         let inst = XorInstance::new(
             1,
-            vec![XorBid::single(Bid::new(bundle(&[0]), Price::from_f64(25.0)))],
+            vec![XorBid::single(Bid::new(
+                bundle(&[0]),
+                Price::from_f64(25.0),
+            ))],
             SkillMatrix::from_rows(vec![vec![0.9]]).unwrap(),
             vec![0.5],
             grid(),
@@ -563,7 +582,10 @@ mod tests {
     fn infeasible_grid_reports_no_feasible_price() {
         let inst = XorInstance::new(
             1,
-            vec![XorBid::single(Bid::new(bundle(&[0]), Price::from_f64(11.0)))],
+            vec![XorBid::single(Bid::new(
+                bundle(&[0]),
+                Price::from_f64(11.0),
+            ))],
             SkillMatrix::from_rows(vec![vec![0.6]]).unwrap(), // q = 0.04
             vec![0.5],                                        // Q ≈ 1.39
             grid(),
@@ -571,7 +593,7 @@ mod tests {
             Price::from_f64(20.0),
         )
         .unwrap();
-        let auction = XorDpHsrcAuction::new(0.5);
+        let auction = XorDpHsrcAuction::new(0.5).unwrap();
         let mut r = rng::seeded(2);
         assert!(matches!(
             auction.run(&inst, &mut r),
@@ -582,7 +604,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let inst = instance();
-        let auction = XorDpHsrcAuction::new(0.1);
+        let auction = XorDpHsrcAuction::new(0.1).unwrap();
         let a = auction.run(&inst, &mut rng::seeded(11)).unwrap();
         let b = auction.run(&inst, &mut rng::seeded(11)).unwrap();
         assert_eq!(a, b);

@@ -87,10 +87,7 @@ impl CoveringIlp {
     /// # Errors
     ///
     /// Same as [`CoveringIlp::new`].
-    pub fn uniform_cost(
-        weights: Vec<Vec<f64>>,
-        requirements: Vec<f64>,
-    ) -> Result<Self, IlpError> {
+    pub fn uniform_cost(weights: Vec<Vec<f64>>, requirements: Vec<f64>) -> Result<Self, IlpError> {
         let n = weights.len();
         Self::new(weights, requirements, vec![1.0; n])
     }
@@ -196,8 +193,8 @@ pub fn greedy_cover(ilp: &CoveringIlp) -> Option<Vec<usize>> {
     let mut used = vec![false; n];
     while residual.iter().any(|&r| r > 1e-9) {
         let mut best: Option<(usize, f64)> = None;
-        for i in 0..n {
-            if used[i] {
+        for (i, &is_used) in used.iter().enumerate() {
+            if is_used {
                 continue;
             }
             let gain: f64 = ilp
@@ -211,7 +208,7 @@ pub fn greedy_cover(ilp: &CoveringIlp) -> Option<Vec<usize>> {
             }
             let cost = ilp.costs()[i].max(1e-12);
             let score = gain / cost;
-            if best.map_or(true, |(_, bs)| score > bs) {
+            if best.is_none_or(|(_, bs)| score > bs) {
                 best = Some((i, score));
             }
         }
@@ -244,7 +241,10 @@ pub fn solve_exhaustive(ilp: &CoveringIlp) -> Option<Selection> {
             continue;
         }
         let objective = ilp.cost_of(&selected);
-        if best.as_ref().map_or(true, |b| objective < b.objective - 1e-12) {
+        if best
+            .as_ref()
+            .is_none_or(|b| objective < b.objective - 1e-12)
+        {
             best = Some(Selection {
                 objective,
                 selected,
@@ -348,8 +348,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "24 variables")]
     fn exhaustive_guards_against_blowup() {
-        let ilp =
-            CoveringIlp::uniform_cost(vec![vec![1.0]; 25], vec![1.0]).unwrap();
+        let ilp = CoveringIlp::uniform_cost(vec![vec![1.0]; 25], vec![1.0]).unwrap();
         let _ = solve_exhaustive(&ilp);
     }
 }

@@ -169,7 +169,7 @@ impl LinearProgram {
     /// Returns validation errors or [`LpError::IterationLimit`].
     pub fn solve_with(&self, options: &SimplexOptions) -> Result<LpOutcome, LpError> {
         self.validate()?;
-        Ok(solve_two_phase(self, options)?)
+        solve_two_phase(self, options)
     }
 }
 

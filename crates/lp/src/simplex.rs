@@ -84,7 +84,7 @@ pub enum LpOutcome {
 
 /// Dense simplex tableau with an explicit cost row.
 struct Tableau {
-    /// Constraint rows, each of length `cols`.
+    /// Constraint rows, all the same length as `cost`.
     a: Vec<Vec<f64>>,
     /// Right-hand sides (kept non-negative).
     b: Vec<f64>,
@@ -92,8 +92,6 @@ struct Tableau {
     cost: Vec<f64>,
     /// Basic column for each row.
     basis: Vec<usize>,
-    /// Total column count.
-    cols: usize,
 }
 
 enum PivotResult {
@@ -110,8 +108,8 @@ impl Tableau {
             let cb = raw_cost[self.basis[r]];
             if cb != 0.0 {
                 let row = &self.a[r];
-                for j in 0..self.cols {
-                    self.cost[j] -= cb * row[j];
+                for (c, &rj) in self.cost.iter_mut().zip(row) {
+                    *c -= cb * rj;
                 }
             }
         }
@@ -152,8 +150,8 @@ impl Tableau {
         let factor = self.cost[col];
         if factor != 0.0 {
             let pivot_row = &self.a[row];
-            for j in 0..self.cols {
-                self.cost[j] -= factor * pivot_row[j];
+            for (c, &prj) in self.cost.iter_mut().zip(pivot_row) {
+                *c -= factor * prj;
             }
         }
         self.basis[row] = col;
@@ -187,7 +185,7 @@ impl Tableau {
                 let mut best: Option<(usize, f64)> = None;
                 for j in 0..active_cols {
                     let c = self.cost[j];
-                    if c < -tol && best.map_or(true, |(_, bc)| c < bc) {
+                    if c < -tol && best.is_none_or(|(_, bc)| c < bc) {
                         best = Some((j, c));
                     }
                 }
@@ -208,8 +206,7 @@ impl Tableau {
                         None => leave = Some((r, ratio)),
                         Some((lr, lratio)) => {
                             if ratio < lratio - tol
-                                || ((ratio - lratio).abs() <= tol
-                                    && self.basis[r] < self.basis[lr])
+                                || ((ratio - lratio).abs() <= tol && self.basis[r] < self.basis[lr])
                             {
                                 leave = Some((r, ratio));
                             }
@@ -321,7 +318,6 @@ pub(crate) fn solve_two_phase(
         b,
         cost: vec![0.0; cols],
         basis,
-        cols,
     };
 
     // Phase 1: minimize the sum of artificials.
@@ -376,12 +372,7 @@ pub(crate) fn solve_two_phase(
             x[bc] = tab.b[r].max(0.0);
         }
     }
-    let objective = lp
-        .objective()
-        .iter()
-        .zip(&x)
-        .map(|(c, v)| c * v)
-        .sum();
+    let objective = lp.objective().iter().zip(&x).map(|(c, v)| c * v).sum();
     // Duals from the optimal reduced-cost row: for a unit column `±e_r`
     // with zero raw cost, `r_col = ∓y_r` in the normalized problem; rows
     // flipped during rhs normalization negate once more.
@@ -399,7 +390,11 @@ pub(crate) fn solve_two_phase(
             }
         })
         .collect();
-    Ok(LpOutcome::Optimal(Solution { objective, x, duals }))
+    Ok(LpOutcome::Optimal(Solution {
+        objective,
+        x,
+        duals,
+    }))
 }
 
 #[cfg(test)]
@@ -425,7 +420,11 @@ mod tests {
             .geq(vec![1.0, 2.0], 4.0)
             .geq(vec![3.0, 1.0], 6.0);
         let s = optimal(&lp);
-        assert!((s.objective() - 2.8).abs() < 1e-8, "obj = {}", s.objective());
+        assert!(
+            (s.objective() - 2.8).abs() < 1e-8,
+            "obj = {}",
+            s.objective()
+        );
         assert!((s.value(0) - 1.6).abs() < 1e-8);
         assert!((s.value(1) - 1.2).abs() < 1e-8);
     }
@@ -536,11 +535,7 @@ mod tests {
 
     /// Brute-force check for tiny covering LPs: sample many feasible points
     /// and verify none beats the reported optimum.
-    fn assert_no_sampled_point_beats(
-        lp: &LinearProgram,
-        sol: &Solution,
-        seed: u64,
-    ) {
+    fn assert_no_sampled_point_beats(lp: &LinearProgram, sol: &Solution, seed: u64) {
         let n = lp.num_vars();
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         for _ in 0..2000 {

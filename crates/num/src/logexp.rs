@@ -19,10 +19,7 @@ use rand::Rng;
 /// assert!((lse - (-1.0e4 + (1.0 + 1.0f64.exp()).ln())).abs() < 1e-9);
 /// ```
 pub fn logsumexp(logits: &[f64]) -> f64 {
-    let max = logits
-        .iter()
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if max == f64::NEG_INFINITY {
         return f64::NEG_INFINITY;
     }

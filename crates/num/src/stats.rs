@@ -63,10 +63,8 @@ impl OnlineStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        let new_mean =
-            self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -297,9 +295,7 @@ mod tests {
     #[test]
     fn stability_large_offset() {
         // Mean 1e9, tiny variance — naive Σx² would lose all precision.
-        let s: OnlineStats = (0..1000)
-            .map(|i| 1.0e9 + (i % 2) as f64)
-            .collect();
+        let s: OnlineStats = (0..1000).map(|i| 1.0e9 + (i % 2) as f64).collect();
         assert!((s.population_variance() - 0.25).abs() < 1e-6);
     }
 

@@ -106,7 +106,7 @@ mod tests {
     use super::*;
     use crate::neighbour::{random_worker, resample_neighbour};
     use crate::Setting;
-    use mcs_auction::DpHsrcAuction;
+    use mcs_auction::{DpHsrcAuction, ScheduledMechanism};
     use mcs_num::rng;
 
     /// Finds a neighbour whose bid change keeps the feasible support; a
@@ -114,7 +114,7 @@ mod tests {
     fn neighbour_pmfs(eps: f64, seed: u64) -> Option<(PricePmf, PricePmf)> {
         let s = Setting::one(80).scaled_down(4);
         let g = s.generate(seed);
-        let auction = DpHsrcAuction::new(eps);
+        let auction = DpHsrcAuction::new(eps).ok()?;
         let a = auction.pmf(&g.instance).ok()?;
         for attempt in 0..32u64 {
             let mut r = rng::derived(seed, 3 + attempt);

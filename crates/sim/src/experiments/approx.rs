@@ -2,7 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use mcs_auction::{DpHsrcAuction, OptimalError, OptimalMechanism};
+use mcs_auction::{DpHsrcAuction, OptimalMechanism, ScheduledMechanism};
+use mcs_types::McsError;
 use mcs_types::{TaskId, WorkerId};
 
 use crate::output::TableRow;
@@ -38,15 +39,7 @@ impl ApproxReport {
 
 impl TableRow for ApproxReport {
     fn headers() -> Vec<&'static str> {
-        vec![
-            "E[R]",
-            "R_OPT",
-            "ratio",
-            "thm6_bound",
-            "beta",
-            "m",
-            "exact",
-        ]
+        vec!["E[R]", "R_OPT", "ratio", "thm6_bound", "beta", "m", "exact"]
     }
 
     fn cells(&self) -> Vec<String> {
@@ -92,11 +85,11 @@ pub fn approx_ratio_experiment(
     setting: &Setting,
     seed: u64,
     optimal: &OptimalMechanism,
-) -> Result<ApproxReport, OptimalError> {
+) -> Result<ApproxReport, McsError> {
     let generated = setting.generate(seed);
     let instance = &generated.instance;
 
-    let pmf = DpHsrcAuction::new(setting.epsilon).pmf(instance)?;
+    let pmf = DpHsrcAuction::new(setting.epsilon)?.pmf(instance)?;
     let expected_payment = pmf.expected_total_payment();
 
     let opt = optimal.solve(instance)?;
@@ -130,9 +123,7 @@ pub fn approx_ratio_experiment(
     let p_len = pmf.schedule().len() as f64;
     let guaranteed_bound = 2.0 * beta * h_m * optimal_payment
         + (6.0 * n * cmax / eps)
-            * (std::f64::consts::E
-                + eps * p_len * beta * h_m * optimal_payment / cmin)
-                .ln();
+            * (std::f64::consts::E + eps * p_len * beta * h_m * optimal_payment / cmin).ln();
 
     Ok(ApproxReport {
         expected_payment,
@@ -167,9 +158,7 @@ mod tests {
     fn bound_holds_on_small_instances() {
         let setting = Setting::one(80).scaled_down(4);
         for seed in [1, 2, 3] {
-            let report =
-                approx_ratio_experiment(&setting, seed, &OptimalMechanism::new())
-                    .unwrap();
+            let report = approx_ratio_experiment(&setting, seed, &OptimalMechanism::new()).unwrap();
             assert!(report.exact);
             assert!(report.empirical_ratio >= 1.0 - 1e-9);
             assert!(
@@ -186,8 +175,7 @@ mod tests {
         // The paper's Figures 1–2 show DP-hSRC close to optimal; the greedy
         // ratio should be far below the worst-case bound.
         let setting = Setting::one(80).scaled_down(4);
-        let report =
-            approx_ratio_experiment(&setting, 9, &OptimalMechanism::new()).unwrap();
+        let report = approx_ratio_experiment(&setting, 9, &OptimalMechanism::new()).unwrap();
         assert!(
             report.empirical_ratio < 3.0,
             "ratio {} unexpectedly large",
@@ -198,8 +186,7 @@ mod tests {
     #[test]
     fn rendering() {
         let setting = Setting::one(80).scaled_down(4);
-        let report =
-            approx_ratio_experiment(&setting, 1, &OptimalMechanism::new()).unwrap();
+        let report = approx_ratio_experiment(&setting, 1, &OptimalMechanism::new()).unwrap();
         assert_eq!(report.cells().len(), ApproxReport::headers().len());
     }
 }

@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mcs_auction::{utility, DpHsrcAuction};
+use mcs_auction::{utility, DpHsrcAuction, ScheduledMechanism};
 use mcs_types::{McsError, Price, WorkerId};
 
 use crate::output::TableRow;
@@ -119,7 +119,7 @@ pub fn deviation_experiment(
     );
     let true_cost = generated.types[worker.index()].cost();
 
-    let auction = DpHsrcAuction::new(setting.epsilon);
+    let auction = DpHsrcAuction::new(setting.epsilon)?;
     let truthful_pmf = auction.pmf(instance)?;
     let truthful_utility = utility::expected_utility(&truthful_pmf, worker, true_cost);
 
@@ -139,21 +139,14 @@ pub fn deviation_experiment(
         let deviated = instance.with_bid(worker, bid)?;
         let deviated_pmf = auction.pmf(&deviated)?;
 
-        let strict = utility::expected_utility(&deviated_pmf, worker, true_cost)
-            - truthful_utility;
+        let strict = utility::expected_utility(&deviated_pmf, worker, true_cost) - truthful_utility;
         max_strict_gain = max_strict_gain.max(strict);
 
         // Price channel: same membership function (the deviated world's),
         // truthful vs deviated price distributions.
-        let channel = utility::cross_expected_utility(
-            &truthful_pmf,
-            &deviated_pmf,
-            worker,
-            true_cost,
-        )
-        .map(|cross| {
-            utility::expected_utility(&deviated_pmf, worker, true_cost) - cross
-        });
+        let channel =
+            utility::cross_expected_utility(&truthful_pmf, &deviated_pmf, worker, true_cost)
+                .map(|cross| utility::expected_utility(&deviated_pmf, worker, true_cost) - cross);
         if let Some(c) = channel {
             max_channel_gain = max_channel_gain.max(c);
         }
@@ -188,8 +181,7 @@ mod tests {
     #[test]
     fn channel_gains_never_exceed_dp_bound() {
         for worker in [0u32, 3, 7] {
-            let report =
-                deviation_experiment(&mini(), 11, WorkerId(worker), 12).unwrap();
+            let report = deviation_experiment(&mini(), 11, WorkerId(worker), 12).unwrap();
             assert!(
                 report.channel_within_budget(),
                 "worker {worker}: channel gain {} > {}",
@@ -214,7 +206,7 @@ mod tests {
     /// still holds.
     #[test]
     fn strict_gain_violation_is_reproducible() {
-        let report = deviation_experiment(&mini(), 24, WorkerId(2), 8).unwrap();
+        let report = deviation_experiment(&mini(), 77, WorkerId(4), 8).unwrap();
         assert!(
             report.max_strict_gain > report.budget * 5.0,
             "expected a large strict violation, got {}",
@@ -228,7 +220,7 @@ mod tests {
         let setting = mini();
         let g = setting.generate(11);
         let w = WorkerId(2);
-        let auction = DpHsrcAuction::new(setting.epsilon);
+        let auction = DpHsrcAuction::new(setting.epsilon).unwrap();
         let truthful = auction.pmf(&g.instance).unwrap();
         let rebid = g
             .instance
@@ -236,8 +228,7 @@ mod tests {
             .unwrap();
         let again = auction.pmf(&rebid).unwrap();
         let cost = g.types[2].cost();
-        let strict = expected_utility(&again, w, cost)
-            - expected_utility(&truthful, w, cost);
+        let strict = expected_utility(&again, w, cost) - expected_utility(&truthful, w, cost);
         assert!(strict.abs() < 1e-12);
         let channel = expected_utility(&again, w, cost)
             - cross_expected_utility(&truthful, &again, w, cost).unwrap();

@@ -3,7 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use mcs_auction::{build_schedule, OptimalError, OptimalMechanism, SelectionRule};
+use mcs_auction::{build_schedule, OptimalMechanism, SelectionRule};
+use mcs_types::McsError;
 use mcs_types::{TaskId, WorkerId};
 
 use crate::experiments::approx::harmonic;
@@ -75,11 +76,10 @@ pub fn lemma2_experiment(
     setting: &Setting,
     seed: u64,
     optimal: &OptimalMechanism,
-) -> Result<Lemma2Report, OptimalError> {
+) -> Result<Lemma2Report, McsError> {
     let generated = setting.generate(seed);
     let instance = &generated.instance;
-    let schedule = build_schedule(instance, SelectionRule::MarginalCoverage)
-        .map_err(OptimalError::Instance)?;
+    let schedule = build_schedule(instance, SelectionRule::MarginalCoverage)?;
     let opt = optimal.solve(instance)?;
 
     let mut rows = Vec::new();
@@ -136,8 +136,7 @@ mod tests {
     fn greedy_never_beats_optimal_and_bound_holds() {
         let setting = Setting::one(80).scaled_down(5);
         for seed in [1u64, 2] {
-            let report =
-                lemma2_experiment(&setting, seed, &OptimalMechanism::new()).unwrap();
+            let report = lemma2_experiment(&setting, seed, &OptimalMechanism::new()).unwrap();
             assert!(!report.rows.is_empty());
             for row in &report.rows {
                 assert!(row.exact);
@@ -163,8 +162,7 @@ mod tests {
     fn cardinalities_monotone_in_price() {
         // Larger pools can only shrink both the greedy and optimal sets.
         let setting = Setting::one(80).scaled_down(5);
-        let report =
-            lemma2_experiment(&setting, 3, &OptimalMechanism::new()).unwrap();
+        let report = lemma2_experiment(&setting, 3, &OptimalMechanism::new()).unwrap();
         for w in report.rows.windows(2) {
             assert!(w[0].optimal >= w[1].optimal);
         }
@@ -173,11 +171,7 @@ mod tests {
     #[test]
     fn rendering() {
         let setting = Setting::one(80).scaled_down(5);
-        let report =
-            lemma2_experiment(&setting, 1, &OptimalMechanism::new()).unwrap();
-        assert_eq!(
-            report.rows[0].cells().len(),
-            Lemma2Row::headers().len()
-        );
+        let report = lemma2_experiment(&setting, 1, &OptimalMechanism::new()).unwrap();
+        assert_eq!(report.rows[0].cells().len(), Lemma2Row::headers().len());
     }
 }

@@ -19,9 +19,9 @@ mod timing;
 mod tradeoff;
 
 pub use approx::{approx_ratio_experiment, harmonic, ApproxReport};
-pub use lemma2::{lemma2_experiment, Lemma2Report, Lemma2Row};
-pub use privacy_cost::{privacy_cost_experiment, PrivacyCostRow};
 pub use deviation::{deviation_experiment, DeviationReport};
+pub use lemma2::{lemma2_experiment, Lemma2Report, Lemma2Row};
 pub use payment::{payment_sweep, sampled_payment_stats, PaymentRow};
+pub use privacy_cost::{privacy_cost_experiment, PrivacyCostRow};
 pub use timing::{timing_sweep, TimingRow};
 pub use tradeoff::{tradeoff_sweep, TradeoffRow, FIGURE5_EPSILONS};

@@ -4,9 +4,8 @@ use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use mcs_auction::{
-    BaselineAuction, DpHsrcAuction, OptimalError, OptimalMechanism, PricePmf,
-};
+use mcs_auction::{BaselineAuction, DpHsrcAuction, OptimalMechanism, PricePmf, ScheduledMechanism};
+use mcs_types::McsError;
 
 use crate::output::TableRow;
 use crate::Setting;
@@ -36,7 +35,13 @@ pub struct PaymentRow {
 impl TableRow for PaymentRow {
     fn headers() -> Vec<&'static str> {
         vec![
-            "x", "optimal", "opt_lb", "dp_mean", "dp_std", "base_mean", "base_std",
+            "x",
+            "optimal",
+            "opt_lb",
+            "dp_mean",
+            "dp_std",
+            "base_mean",
+            "base_std",
             "opt_exact",
         ]
     }
@@ -79,7 +84,7 @@ pub fn payment_sweep<F>(
     make_setting: F,
     seed: u64,
     optimal: Option<&OptimalMechanism>,
-) -> Result<Vec<PaymentRow>, OptimalError>
+) -> Result<Vec<PaymentRow>, McsError>
 where
     F: Fn(usize) -> Setting + Sync,
 {
@@ -88,8 +93,8 @@ where
             let setting = make_setting(x);
             let generated = setting.generate(seed ^ (x as u64).wrapping_mul(0x9E37_79B9));
             let instance = &generated.instance;
-            let dp = DpHsrcAuction::new(setting.epsilon).pmf(instance)?;
-            let base = BaselineAuction::new(setting.epsilon).pmf(instance)?;
+            let dp = DpHsrcAuction::new(setting.epsilon)?.pmf(instance)?;
+            let base = BaselineAuction::new(setting.epsilon)?.pmf(instance)?;
             let (optimal_payment, optimal_lb, optimal_exact) = match optimal {
                 Some(mech) => {
                     let o = mech.solve(instance)?;
@@ -190,7 +195,10 @@ mod tests {
     fn sampled_stats_agree_with_exact() {
         let setting = mini_setting(24);
         let g = setting.generate(9);
-        let pmf = DpHsrcAuction::new(setting.epsilon).pmf(&g.instance).unwrap();
+        let pmf = DpHsrcAuction::new(setting.epsilon)
+            .unwrap()
+            .pmf(&g.instance)
+            .unwrap();
         let mut r = rng::seeded(11);
         let (mean, std) = sampled_payment_stats(&pmf, 20_000, &mut r);
         assert!((mean - pmf.expected_total_payment()).abs() < 3.0);

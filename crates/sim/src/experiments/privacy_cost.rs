@@ -9,9 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use mcs_auction::{
-    CriticalPaymentAuction, DpHsrcAuction, OptimalError, OptimalMechanism,
-};
+use mcs_auction::{CriticalPaymentAuction, DpHsrcAuction, OptimalMechanism, ScheduledMechanism};
+use mcs_types::McsError;
 
 use crate::output::TableRow;
 use crate::Setting;
@@ -77,7 +76,7 @@ pub fn privacy_cost_experiment(
     trials: usize,
     seed: u64,
     optimal: Option<&OptimalMechanism>,
-) -> Result<Vec<PrivacyCostRow>, OptimalError> {
+) -> Result<Vec<PrivacyCostRow>, McsError> {
     assert!(trials > 0, "at least one trial is required");
     let mut rows = Vec::with_capacity(epsilons.len());
     for &eps in epsilons {
@@ -87,13 +86,9 @@ pub fn privacy_cost_experiment(
         let mut opt_count = 0usize;
         for t in 0..trials {
             let g = setting.generate(seed ^ (t as u64).wrapping_mul(0x517C_C1B7));
-            let dp = DpHsrcAuction::new(eps)
-                .pmf(&g.instance)
-                .map_err(OptimalError::Instance)?;
+            let dp = DpHsrcAuction::new(eps)?.pmf(&g.instance)?;
             dp_sum += dp.expected_total_payment();
-            let crit = CriticalPaymentAuction
-                .run(&g.instance)
-                .map_err(OptimalError::Instance)?;
+            let crit = CriticalPaymentAuction.run(&g.instance)?;
             crit_sum += crit.total_payment().as_f64();
             if let Some(mech) = optimal {
                 opt_sum += mech.solve(&g.instance)?.total_payment().as_f64();
@@ -124,8 +119,7 @@ mod tests {
 
     #[test]
     fn premium_shrinks_with_epsilon() {
-        let rows =
-            privacy_cost_experiment(&mini(), &[0.1, 10.0, 1000.0], 3, 5, None).unwrap();
+        let rows = privacy_cost_experiment(&mini(), &[0.1, 10.0, 1000.0], 3, 5, None).unwrap();
         assert_eq!(rows.len(), 3);
         // Critical column constant across rows (same instances).
         assert!((rows[0].critical_payment - rows[2].critical_payment).abs() < 1e-9);
@@ -137,8 +131,7 @@ mod tests {
     #[test]
     fn optimal_is_cheapest_when_computed() {
         let mech = OptimalMechanism::new();
-        let rows =
-            privacy_cost_experiment(&mini(), &[0.1], 2, 7, Some(&mech)).unwrap();
+        let rows = privacy_cost_experiment(&mini(), &[0.1], 2, 7, Some(&mech)).unwrap();
         let row = &rows[0];
         let opt = row.optimal_payment.unwrap();
         assert!(opt <= row.dp_payment + 1e-9);

@@ -4,8 +4,9 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use mcs_auction::{DpHsrcAuction, OptimalError, OptimalMechanism};
+use mcs_auction::{DpHsrcAuction, Mechanism, OptimalMechanism};
 use mcs_num::rng;
+use mcs_types::McsError;
 
 use crate::output::TableRow;
 use crate::Setting;
@@ -28,7 +29,13 @@ pub struct TimingRow {
 
 impl TableRow for TimingRow {
     fn headers() -> Vec<&'static str> {
-        vec!["x", "dp_seconds", "optimal_seconds", "opt_exact", "opt_nodes"]
+        vec![
+            "x",
+            "dp_seconds",
+            "optimal_seconds",
+            "opt_exact",
+            "opt_nodes",
+        ]
     }
 
     fn cells(&self) -> Vec<String> {
@@ -65,7 +72,7 @@ pub fn timing_sweep<F>(
     seed: u64,
     run_optimal: bool,
     per_point_budget: Option<Duration>,
-) -> Result<Vec<TimingRow>, OptimalError>
+) -> Result<Vec<TimingRow>, McsError>
 where
     F: Fn(usize) -> Setting,
 {
@@ -77,7 +84,7 @@ where
 
         let mut r = rng::derived(seed, x as u64);
         let started = Instant::now();
-        let _outcome = DpHsrcAuction::new(setting.epsilon).run(instance, &mut r)?;
+        let _outcome = DpHsrcAuction::new(setting.epsilon)?.run(instance, &mut r)?;
         let dp_seconds = started.elapsed().as_secs_f64();
 
         let (optimal_seconds, optimal_exact, optimal_nodes) = if run_optimal {
@@ -136,8 +143,7 @@ mod tests {
 
     #[test]
     fn budget_zero_marks_inexact() {
-        let rows =
-            timing_sweep(&[14], mini_setting, 3, true, Some(Duration::ZERO)).unwrap();
+        let rows = timing_sweep(&[14], mini_setting, 3, true, Some(Duration::ZERO)).unwrap();
         assert_eq!(rows[0].optimal_exact, Some(false));
     }
 

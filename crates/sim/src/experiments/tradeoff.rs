@@ -140,8 +140,7 @@ pub fn tradeoff_sweep(
 
 /// The ε grid of the paper's Figure 5.
 pub const FIGURE5_EPSILONS: &[f64] = &[
-    0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 45.0, 100.0, 140.0, 200.0, 300.0, 500.0,
-    700.0, 1000.0,
+    0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 45.0, 100.0, 140.0, 200.0, 300.0, 500.0, 700.0, 1000.0,
 ];
 
 #[cfg(test)]

@@ -114,6 +114,7 @@ impl From<serde_json::Error> for SnapshotError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcs_auction::ScheduledMechanism;
 
     #[test]
     fn roundtrip_preserves_everything() {
@@ -126,9 +127,11 @@ mod tests {
         std::fs::remove_file(&path).ok();
         // The reloaded instance behaves identically.
         let pmf_a = mcs_auction::DpHsrcAuction::new(0.1)
+            .unwrap()
             .pmf(&snap.instance)
             .unwrap();
         let pmf_b = mcs_auction::DpHsrcAuction::new(0.1)
+            .unwrap()
             .pmf(&loaded.into_generated().instance)
             .unwrap();
         assert_eq!(pmf_a.probs(), pmf_b.probs());

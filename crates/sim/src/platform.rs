@@ -13,7 +13,7 @@ use rand::Rng;
 use mcs_agg::{generate_labels, weighted_aggregate, DawidSkene, Label, LabelSet, Observation};
 use mcs_types::{Bundle, Instance, McsError, Price, SkillMatrix, TrueType, WorkerId};
 
-use mcs_auction::{AuctionOutcome, DpHsrcAuction};
+use mcs_auction::{AuctionOutcome, DpHsrcAuction, Mechanism};
 
 /// The report of one full platform round.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,18 +47,25 @@ impl RoundReport {
 /// Runs one complete platform round: auction → labelling → aggregation →
 /// payment.
 ///
+/// Generic over the auction: any [`Mechanism`] producing an
+/// [`AuctionOutcome`] from an [`Instance`] (DP-hSRC, the baseline, …)
+/// drives the same platform loop.
+///
 /// # Errors
 ///
 /// Propagates auction errors ([`McsError::Infeasible`],
 /// [`McsError::NoFeasiblePrice`]).
-pub fn run_round<R: Rng + ?Sized>(
+pub fn run_round<M, R>(
     instance: &Instance,
     types: &[TrueType],
-    epsilon: f64,
+    mechanism: &M,
     rng: &mut R,
-) -> Result<RoundReport, McsError> {
-    let auction = DpHsrcAuction::new(epsilon);
-    let outcome = auction.run(instance, rng)?;
+) -> Result<RoundReport, McsError>
+where
+    M: Mechanism<Input = Instance, Output = AuctionOutcome>,
+    R: Rng + ?Sized,
+{
+    let outcome = mechanism.run(instance, rng)?;
 
     // Winners execute the bundles they bid.
     let assignment: Vec<(WorkerId, Bundle)> = outcome
@@ -99,16 +106,20 @@ pub fn run_round<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Propagates auction errors from any round.
-pub fn empirical_task_error<R: Rng + ?Sized>(
+pub fn empirical_task_error<M, R>(
     instance: &Instance,
     types: &[TrueType],
-    epsilon: f64,
+    mechanism: &M,
     rounds: usize,
     rng: &mut R,
-) -> Result<Vec<f64>, McsError> {
+) -> Result<Vec<f64>, McsError>
+where
+    M: Mechanism<Input = Instance, Output = AuctionOutcome>,
+    R: Rng + ?Sized,
+{
     let mut errors = vec![0.0f64; instance.num_tasks()];
     for _ in 0..rounds {
-        let report = run_round(instance, types, epsilon, rng)?;
+        let report = run_round(instance, types, mechanism, rng)?;
         for (j, &ok) in report.correct.iter().enumerate() {
             if !ok {
                 errors[j] += 1.0;
@@ -134,7 +145,7 @@ mod tests {
     fn round_pays_only_winners() {
         let (inst, types) = small();
         let mut r = rng::seeded(2);
-        let report = run_round(&inst, &types, 0.1, &mut r).unwrap();
+        let report = run_round(&inst, &types, &DpHsrcAuction::new(0.1).unwrap(), &mut r).unwrap();
         assert_eq!(
             report.total_paid,
             report.outcome.price() * report.outcome.winners().len()
@@ -155,7 +166,7 @@ mod tests {
         // task, hence at least one label each.
         let (inst, types) = small();
         let mut r = rng::seeded(3);
-        let report = run_round(&inst, &types, 0.1, &mut r).unwrap();
+        let report = run_round(&inst, &types, &DpHsrcAuction::new(0.1).unwrap(), &mut r).unwrap();
         for j in 0..inst.num_tasks() {
             assert!(
                 !report.labels.for_task(TaskId(j as u32)).is_empty(),
@@ -169,7 +180,14 @@ mod tests {
     fn empirical_error_within_delta() {
         let (inst, types) = small();
         let mut r = rng::seeded(4);
-        let errors = empirical_task_error(&inst, &types, 0.1, 300, &mut r).unwrap();
+        let errors = empirical_task_error(
+            &inst,
+            &types,
+            &DpHsrcAuction::new(0.1).unwrap(),
+            300,
+            &mut r,
+        )
+        .unwrap();
         for (j, (&err, &delta)) in errors.iter().zip(inst.deltas()).enumerate() {
             // Allow Monte-Carlo slack on top of δ.
             assert!(
@@ -183,7 +201,7 @@ mod tests {
     fn accuracy_is_high_with_tight_deltas() {
         let (inst, types) = small();
         let mut r = rng::seeded(5);
-        let report = run_round(&inst, &types, 0.1, &mut r).unwrap();
+        let report = run_round(&inst, &types, &DpHsrcAuction::new(0.1).unwrap(), &mut r).unwrap();
         assert!(report.accuracy() > 0.5);
     }
 }
@@ -256,7 +274,7 @@ impl Campaign {
             // generated inside run_round from `current`'s skills, so for
             // label generation we always use the true-skill instance and
             // only swap skills for the auction itself.
-            let auction = DpHsrcAuction::new(self.epsilon);
+            let auction = DpHsrcAuction::new(self.epsilon)?;
             let outcome = match auction.run(&current, rng) {
                 Ok(o) => o,
                 // The estimate may undershoot true skills and make the
@@ -283,8 +301,7 @@ impl Campaign {
             for obs in labels.iter() {
                 all_labels.push(Observation { ..obs });
             }
-            let estimates =
-                weighted_aggregate(&labels, current.skills(), instance.num_tasks());
+            let estimates = weighted_aggregate(&labels, current.skills(), instance.num_tasks());
             let correct: Vec<bool> = estimates
                 .iter()
                 .zip(&truth)
@@ -312,8 +329,8 @@ impl Campaign {
                     .iter()
                     .map(|&a| vec![a; instance.num_tasks()])
                     .collect();
-                let skills = SkillMatrix::from_rows(estimated)
-                    .expect("EM accuracies are clamped to (0, 1)");
+                let skills =
+                    SkillMatrix::from_rows(estimated).expect("EM accuracies are clamped to (0, 1)");
                 current = Instance::builder(instance.num_tasks())
                     .bid_profile(instance.bids().clone())
                     .skills(skills)

@@ -116,9 +116,8 @@ impl Setting {
             (self.bundle_size.1 / factor).max(1),
         );
         let avg_bundle = (self.bundle_size.0 + self.bundle_size.1) as f64 / 2.0;
-        let mean_coverage = self.num_workers as f64 * avg_bundle
-            / self.num_tasks as f64
-            * self.expected_q();
+        let mean_coverage =
+            self.num_workers as f64 * avg_bundle / self.num_tasks as f64 * self.expected_q();
         let target_q = (0.35 * mean_coverage).max(0.1);
         let delta_star = (-target_q / 2.0).exp().clamp(0.05, 0.85);
         self.delta_range = (delta_star, (delta_star + 0.05).min(0.9));
@@ -181,10 +180,7 @@ impl Setting {
         let mut types = Vec::with_capacity(self.num_workers);
         for _ in 0..self.num_workers {
             let size = r.gen_range(min_bundle..=max_bundle);
-            let tasks: Vec<TaskId> = all_tasks
-                .choose_multiple(r, size)
-                .copied()
-                .collect();
+            let tasks: Vec<TaskId> = all_tasks.choose_multiple(r, size).copied().collect();
             let cost = Price::from_tenths(r.gen_range(cost_lo..=cost_hi));
             types.push(TrueType::new(Bundle::new(tasks), cost));
         }
@@ -194,7 +190,7 @@ impl Setting {
             (0..self.num_workers)
                 .flat_map(|_| {
                     let t = r.gen_range(self.theta_range.0..=self.theta_range.1);
-                    std::iter::repeat(t).take(self.num_tasks)
+                    std::iter::repeat_n(t, self.num_tasks)
                 })
                 .collect()
         } else {
@@ -293,10 +289,7 @@ mod tests {
         let g = s.generate(9);
         for (_, bid) in g.instance.bids().iter() {
             // Exactly representable in tenths by construction.
-            assert_eq!(
-                Price::from_f64(bid.price().as_f64()),
-                bid.price()
-            );
+            assert_eq!(Price::from_f64(bid.price().as_f64()), bid.price());
         }
     }
 

@@ -76,9 +76,7 @@ impl Bundle {
 
     /// Returns `true` if every task id is below `num_tasks`.
     pub fn within_task_count(&self, num_tasks: usize) -> bool {
-        self.tasks
-            .last()
-            .map_or(true, |t| t.index() < num_tasks)
+        self.tasks.last().is_none_or(|t| t.index() < num_tasks)
     }
 
     /// Returns the intersection with another bundle.
@@ -201,10 +199,7 @@ mod tests {
     fn from_iterator_and_extend() {
         let mut b: Bundle = (0..3u32).map(TaskId).collect();
         b.extend([TaskId(1), TaskId(7)]);
-        assert_eq!(
-            b.as_slice(),
-            &[TaskId(0), TaskId(1), TaskId(2), TaskId(7)]
-        );
+        assert_eq!(b.as_slice(), &[TaskId(0), TaskId(1), TaskId(2), TaskId(7)]);
     }
 
     #[test]

@@ -92,6 +92,17 @@ pub enum McsError {
         /// Name of the missing field.
         field: &'static str,
     },
+    /// A privacy budget ε was not strictly positive and finite.
+    InvalidEpsilon {
+        /// The offending value.
+        value: f64,
+    },
+    /// An exact-solver backend failed (ILP stack errors surface here so the
+    /// whole workspace shares one error type).
+    Solver {
+        /// Human-readable description of the backend failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for McsError {
@@ -150,6 +161,12 @@ impl fmt::Display for McsError {
             McsError::MissingField { field } => {
                 write!(f, "instance builder is missing required field `{field}`")
             }
+            McsError::InvalidEpsilon { value } => {
+                write!(f, "privacy budget epsilon = {value} must be positive and finite")
+            }
+            McsError::Solver { message } => {
+                write!(f, "exact solver failed: {message}")
+            }
         }
     }
 }
@@ -174,6 +191,16 @@ mod tests {
     fn error_trait_object() {
         fn take(_: &dyn Error) {}
         take(&McsError::MissingField { field: "bids" });
+    }
+
+    #[test]
+    fn epsilon_and_solver_variants_render() {
+        let e = McsError::InvalidEpsilon { value: -0.5 };
+        assert!(e.to_string().contains("-0.5"));
+        let s = McsError::Solver {
+            message: "node budget exhausted".into(),
+        };
+        assert!(s.to_string().starts_with("exact solver failed"));
     }
 
     #[test]

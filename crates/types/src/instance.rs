@@ -128,11 +128,7 @@ impl Instance {
                 q[wid.index() * k + t.index()] = self.skills.q(wid, t);
             }
         }
-        let requirements = self
-            .deltas
-            .iter()
-            .map(|&d| 2.0 * (1.0 / d).ln())
-            .collect();
+        let requirements = self.deltas.iter().map(|&d| 2.0 * (1.0 / d).ln()).collect();
         CoverageProblem {
             num_workers: n,
             num_tasks: k,
@@ -423,9 +419,9 @@ impl InstanceBuilder {
         let skills = self
             .skills
             .ok_or(McsError::MissingField { field: "skills" })?;
-        let deltas = self
-            .deltas
-            .ok_or(McsError::MissingField { field: "error_bounds" })?;
+        let deltas = self.deltas.ok_or(McsError::MissingField {
+            field: "error_bounds",
+        })?;
         let price_grid = self.price_grid.ok_or(McsError::MissingField {
             field: "price_grid",
         })?;
@@ -551,9 +547,15 @@ mod tests {
 
     #[test]
     fn rejects_bad_delta() {
-        let err = valid_builder().error_bounds(vec![0.15, 1.0]).build().unwrap_err();
+        let err = valid_builder()
+            .error_bounds(vec![0.15, 1.0])
+            .build()
+            .unwrap_err();
         assert!(matches!(err, McsError::InvalidErrorBound { .. }));
-        let err = valid_builder().error_bounds(vec![0.0, 0.15]).build().unwrap_err();
+        let err = valid_builder()
+            .error_bounds(vec![0.0, 0.15])
+            .build()
+            .unwrap_err();
         assert!(matches!(err, McsError::InvalidErrorBound { .. }));
     }
 
@@ -600,13 +602,7 @@ mod tests {
 
     #[test]
     fn feasible_pool_passes_check() {
-        let cover = CoverageProblem::from_raw(
-            3,
-            1,
-            vec![0.5, 0.6, 0.7],
-            vec![1.5],
-        )
-        .unwrap();
+        let cover = CoverageProblem::from_raw(3, 1, vec![0.5, 0.6, 0.7], vec![1.5]).unwrap();
         cover.check_feasible().unwrap();
         assert!(cover.is_satisfied_by([WorkerId(0), WorkerId(1), WorkerId(2)]));
         assert!(!cover.is_satisfied_by([WorkerId(0), WorkerId(1)]));
@@ -615,13 +611,9 @@ mod tests {
 
     #[test]
     fn restriction_preserves_rows() {
-        let cover = CoverageProblem::from_raw(
-            3,
-            2,
-            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
-            vec![0.5, 0.5],
-        )
-        .unwrap();
+        let cover =
+            CoverageProblem::from_raw(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6], vec![0.5, 0.5])
+                .unwrap();
         let (sub, map) = cover.restrict_to(&[WorkerId(2), WorkerId(0)]);
         assert_eq!(sub.num_workers(), 2);
         assert_eq!(map, vec![WorkerId(2), WorkerId(0)]);
@@ -636,10 +628,7 @@ mod tests {
         let back: Instance = serde_json::from_str(&json).unwrap();
         assert_eq!(inst, back);
         // Derived structures match too.
-        assert_eq!(
-            inst.coverage_problem(),
-            back.coverage_problem()
-        );
+        assert_eq!(inst.coverage_problem(), back.coverage_problem());
     }
 
     #[test]
@@ -655,7 +644,10 @@ mod tests {
         assert_eq!(inst.skills(), nb.skills());
         // Invalid replacements are rejected.
         assert!(inst
-            .with_bid(WorkerId(0), Bid::new(Bundle::empty(), Price::from_f64(12.0)))
+            .with_bid(
+                WorkerId(0),
+                Bid::new(Bundle::empty(), Price::from_f64(12.0))
+            )
             .is_err());
         assert!(inst
             .with_bid(

@@ -244,11 +244,7 @@ impl PriceGrid {
     /// `max < min`.
     pub fn new(min: Price, max: Price, step: Price) -> Result<Self, McsError> {
         if !step.is_positive() || max < min {
-            return Err(McsError::InvalidPriceGrid {
-                min,
-                max,
-                step,
-            });
+            return Err(McsError::InvalidPriceGrid { min, max, step });
         }
         Ok(PriceGrid { min, max, step })
     }
@@ -311,9 +307,7 @@ impl PriceGrid {
 
     /// Returns `true` if `p` is exactly a member of the grid.
     pub fn contains(&self, p: Price) -> bool {
-        p >= self.min
-            && p <= self.max
-            && (p.tenths() - self.min.tenths()) % self.step.tenths() == 0
+        p >= self.min && p <= self.max && (p.tenths() - self.min.tenths()) % self.step.tenths() == 0
     }
 
     /// Iterates over all members in ascending order.
@@ -376,6 +370,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)] // p * 0 is exactly the case under test
     fn price_scaling_by_cardinality() {
         let p = Price::from_f64(35.5);
         assert_eq!(p * 10, Price::from_f64(355.0));

@@ -12,14 +12,14 @@
 
 use dp_mcs::sim::adversary::{expected_evidence_per_round, likelihood_ratio_attack};
 use dp_mcs::sim::neighbour::{price_push_neighbour, PricePush};
-use dp_mcs::{DpHsrcAuction, Instance, Setting, WorkerId};
+use dp_mcs::{DpHsrcAuction, Instance, ScheduledMechanism, Setting, WorkerId};
 
 /// Finds a target worker whose price push to c_max changes the payment
 /// distribution without shifting the feasible price set (pushing a
 /// load-bearing cheap worker would alter the support, which the paper's
 /// fixed-`P` analysis excludes).
 fn pick_target(instance: &Instance) -> Option<WorkerId> {
-    let probe = DpHsrcAuction::new(1.0);
+    let probe = DpHsrcAuction::new(1.0).ok()?;
     let base = probe.pmf(instance).ok()?;
     for i in 0..instance.num_workers() {
         let w = WorkerId(i as u32);
@@ -27,9 +27,7 @@ fn pick_target(instance: &Instance) -> Option<WorkerId> {
             continue;
         };
         let Ok(pmf_b) = probe.pmf(&alt) else { continue };
-        if base.schedule().prices() == pmf_b.schedule().prices()
-            && base.probs() != pmf_b.probs()
-        {
+        if base.schedule().prices() == pmf_b.schedule().prices() && base.probs() != pmf_b.probs() {
             return Some(w);
         }
     }
@@ -48,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for eps in [0.1, 1.0, 10.0] {
-        let auction = DpHsrcAuction::new(eps);
+        let auction = DpHsrcAuction::new(eps)?;
         // Hypothesis A: the profile as-is. Hypothesis B: the target bid at
         // the cost ceiling instead.
         let pmf_a = auction.pmf(instance)?;
@@ -59,8 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
 
-        let per_round = expected_evidence_per_round(&pmf_a, &pmf_b)
-            .expect("supports checked above");
+        let per_round =
+            expected_evidence_per_round(&pmf_a, &pmf_b).expect("supports checked above");
         let mut rng = dp_mcs::num::rng::seeded(99);
         let rounds = 200;
         let outcome = likelihood_ratio_attack(&pmf_a, &pmf_b, eps, rounds, &mut rng);

@@ -16,7 +16,8 @@
 use dp_mcs::agg::{generate_labels, weighted_aggregate, Label};
 use dp_mcs::auction::privacy;
 use dp_mcs::{
-    Bid, Bundle, DpHsrcAuction, Instance, Price, SkillMatrix, TaskId, WorkerId,
+    Bid, Bundle, DpHsrcAuction, Instance, Mechanism, Price, ScheduledMechanism, SkillMatrix,
+    TaskId, WorkerId,
 };
 use rand::Rng;
 
@@ -60,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     // 1. Auction.
-    let auction = DpHsrcAuction::new(EPSILON);
+    let auction = DpHsrcAuction::new(EPSILON)?;
     let outcome = auction.run(&instance, &mut rng)?;
     println!(
         "auction: price {}, {} of {DRIVERS} drivers win, total payment {}",
@@ -72,7 +73,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Ground truth (unknown to the platform): which segments really
     //    have potholes.
     let truth: Vec<Label> = (0..SEGMENTS)
-        .map(|_| if rng.gen_bool(0.3) { Label::Pos } else { Label::Neg })
+        .map(|_| {
+            if rng.gen_bool(0.3) {
+                Label::Pos
+            } else {
+                Label::Neg
+            }
+        })
         .collect();
 
     // 3. Winners drive their commutes and report labels.

@@ -5,16 +5,23 @@
 //! ```
 
 use dp_mcs::{
-    Bid, Bundle, DpHsrcAuction, Instance, Price, SkillMatrix, TaskId, WorkerId,
+    Bid, Bundle, DpHsrcAuction, Instance, Mechanism, Price, ScheduledMechanism, SkillMatrix,
+    TaskId, WorkerId,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two binary sensing tasks; four workers bid bundles and prices.
     let bids = vec![
-        Bid::new(Bundle::new(vec![TaskId(0), TaskId(1)]), Price::from_f64(12.0)),
+        Bid::new(
+            Bundle::new(vec![TaskId(0), TaskId(1)]),
+            Price::from_f64(12.0),
+        ),
         Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(11.0)),
         Bid::new(Bundle::new(vec![TaskId(1)]), Price::from_f64(14.0)),
-        Bid::new(Bundle::new(vec![TaskId(0), TaskId(1)]), Price::from_f64(18.0)),
+        Bid::new(
+            Bundle::new(vec![TaskId(0), TaskId(1)]),
+            Price::from_f64(18.0),
+        ),
     ];
     // The platform's record of each worker's per-task accuracy.
     let skills = SkillMatrix::from_rows(vec![
@@ -33,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ε = 0.1: strong bid privacy; the price is drawn from the exponential
     // mechanism over per-price greedy winner sets.
-    let auction = DpHsrcAuction::new(0.1);
+    let auction = DpHsrcAuction::new(0.1)?;
     let mut rng = dp_mcs::num::rng::seeded(42);
     let outcome = auction.run(&instance, &mut rng)?;
 
@@ -46,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The exact output distribution is available for analysis.
     let pmf = auction.pmf(&instance)?;
-    println!("expected total payment over the price lottery: {:.2}", pmf.expected_total_payment());
+    println!(
+        "expected total payment over the price lottery: {:.2}",
+        pmf.expected_total_payment()
+    );
     for (i, p) in pmf.schedule().prices().iter().enumerate() {
         println!(
             "  price {:>5}  prob {:.3}  winners {}",

@@ -11,7 +11,7 @@
 //! ```
 
 use dp_mcs::auction::{BaselineAuction, OptimalMechanism};
-use dp_mcs::{DpHsrcAuction, Setting};
+use dp_mcs::{DpHsrcAuction, ScheduledMechanism, Setting};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 30-worker, 8-link instance keeps the exact solver instant.
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // DP-hSRC: the paper's mechanism.
-    let dp = DpHsrcAuction::new(setting.epsilon).pmf(instance)?;
+    let dp = DpHsrcAuction::new(setting.epsilon)?.pmf(instance)?;
     println!(
         "dp-hsrc   : E[payment] {:.1} (std {:.1}) over {} feasible prices",
         dp.expected_total_payment(),
@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Baseline: static-score winner selection.
-    let base = BaselineAuction::new(setting.epsilon).pmf(instance)?;
+    let base = BaselineAuction::new(setting.epsilon)?.pmf(instance)?;
     println!(
         "baseline  : E[payment] {:.1} (std {:.1})",
         base.expected_total_payment(),

@@ -23,7 +23,7 @@
 //!
 //! ```
 //! use dp_mcs::{
-//!     Bid, Bundle, DpHsrcAuction, Instance, Price, SkillMatrix, TaskId,
+//!     Bid, Bundle, DpHsrcAuction, Instance, Mechanism, Price, SkillMatrix, TaskId,
 //! };
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,7 +40,7 @@
 //!     .cost_range(Price::from_f64(10.0), Price::from_f64(15.0))
 //!     .build()?;
 //!
-//! let auction = DpHsrcAuction::new(0.1); // ε = 0.1
+//! let auction = DpHsrcAuction::new(0.1)?; // ε = 0.1
 //! let mut rng = dp_mcs::num::rng::seeded(42);
 //! let outcome = auction.run(&instance, &mut rng)?;
 //! println!("clearing price {}, {} winners", outcome.price(), outcome.winners().len());
@@ -67,11 +67,11 @@ pub use mcs_sim as sim;
 pub use mcs_types as types;
 
 pub use mcs_auction::{
-    AuctionOutcome, BaselineAuction, DpHsrcAuction, OptimalMechanism, PricePmf,
-    PriceSchedule,
+    AuctionOutcome, BaselineAuction, DpHsrcAuction, Mechanism, OptimalMechanism, PricePmf,
+    PriceSchedule, ScheduledMechanism,
 };
 pub use mcs_sim::Setting;
 pub use mcs_types::{
-    Bid, BidProfile, Bundle, Instance, McsError, Price, PriceGrid, SkillMatrix, TaskId,
-    TrueType, WorkerId,
+    Bid, BidProfile, Bundle, Instance, McsError, Price, PriceGrid, SkillMatrix, TaskId, TrueType,
+    WorkerId,
 };

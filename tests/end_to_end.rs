@@ -4,7 +4,7 @@
 use dp_mcs::agg::lemma1_threshold;
 use dp_mcs::num::rng;
 use dp_mcs::sim::platform::{empirical_task_error, run_round};
-use dp_mcs::{DpHsrcAuction, Setting, TaskId, WorkerId};
+use dp_mcs::{DpHsrcAuction, ScheduledMechanism, Setting, TaskId, WorkerId};
 
 fn small_setting() -> Setting {
     Setting::one(80).scaled_down(4)
@@ -14,7 +14,13 @@ fn small_setting() -> Setting {
 fn full_round_is_consistent() {
     let g = small_setting().generate(100);
     let mut r = rng::seeded(1);
-    let report = run_round(&g.instance, &g.types, 0.1, &mut r).unwrap();
+    let report = run_round(
+        &g.instance,
+        &g.types,
+        &DpHsrcAuction::new(0.1).unwrap(),
+        &mut r,
+    )
+    .unwrap();
 
     // The winner set satisfies every error-bound constraint.
     let cover = g.instance.coverage_problem();
@@ -39,7 +45,14 @@ fn full_round_is_consistent() {
 fn aggregation_error_respects_delta_bounds() {
     let g = small_setting().generate(101);
     let mut r = rng::seeded(2);
-    let errors = empirical_task_error(&g.instance, &g.types, 0.1, 400, &mut r).unwrap();
+    let errors = empirical_task_error(
+        &g.instance,
+        &g.types,
+        &DpHsrcAuction::new(0.1).unwrap(),
+        400,
+        &mut r,
+    )
+    .unwrap();
     for (j, (&err, &delta)) in errors.iter().zip(g.instance.deltas()).enumerate() {
         assert!(
             err <= delta + 0.07,
@@ -51,7 +64,7 @@ fn aggregation_error_respects_delta_bounds() {
 #[test]
 fn winner_coverage_meets_lemma1_threshold_per_task() {
     let g = small_setting().generate(102);
-    let auction = DpHsrcAuction::new(0.1);
+    let auction = DpHsrcAuction::new(0.1).unwrap();
     let pmf = auction.pmf(&g.instance).unwrap();
     let cover = g.instance.coverage_problem();
     // At every feasible price, every task's achieved coverage clears its
@@ -75,11 +88,24 @@ fn winner_coverage_meets_lemma1_threshold_per_task() {
 fn winners_only_execute_bundles_they_bid() {
     let g = small_setting().generate(103);
     let mut r = rng::seeded(3);
-    let report = run_round(&g.instance, &g.types, 0.1, &mut r).unwrap();
+    let report = run_round(
+        &g.instance,
+        &g.types,
+        &DpHsrcAuction::new(0.1).unwrap(),
+        &mut r,
+    )
+    .unwrap();
     for obs in report.labels.iter() {
-        assert!(report.outcome.is_winner(obs.worker), "loser reported a label");
         assert!(
-            g.instance.bids().bid(obs.worker).bundle().contains(obs.task),
+            report.outcome.is_winner(obs.worker),
+            "loser reported a label"
+        );
+        assert!(
+            g.instance
+                .bids()
+                .bid(obs.worker)
+                .bundle()
+                .contains(obs.task),
             "{} labelled a task outside her bundle",
             obs.worker
         );
@@ -96,8 +122,20 @@ fn winners_only_execute_bundles_they_bid() {
 #[test]
 fn repeated_rounds_are_reproducible() {
     let g = small_setting().generate(104);
-    let a = run_round(&g.instance, &g.types, 0.1, &mut rng::seeded(9)).unwrap();
-    let b = run_round(&g.instance, &g.types, 0.1, &mut rng::seeded(9)).unwrap();
+    let a = run_round(
+        &g.instance,
+        &g.types,
+        &DpHsrcAuction::new(0.1).unwrap(),
+        &mut rng::seeded(9),
+    )
+    .unwrap();
+    let b = run_round(
+        &g.instance,
+        &g.types,
+        &DpHsrcAuction::new(0.1).unwrap(),
+        &mut rng::seeded(9),
+    )
+    .unwrap();
     assert_eq!(a.outcome, b.outcome);
     assert_eq!(a.truth, b.truth);
     assert_eq!(a.estimates, b.estimates);

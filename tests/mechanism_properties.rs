@@ -3,10 +3,8 @@
 
 use dp_mcs::auction::{privacy, utility, BaselineAuction, OptimalMechanism};
 use dp_mcs::num::rng;
-use dp_mcs::sim::neighbour::{
-    price_push_neighbour, random_worker, resample_neighbour, PricePush,
-};
-use dp_mcs::{DpHsrcAuction, Setting, WorkerId};
+use dp_mcs::sim::neighbour::{price_push_neighbour, random_worker, resample_neighbour, PricePush};
+use dp_mcs::{DpHsrcAuction, ScheduledMechanism, Setting, WorkerId};
 
 fn setting() -> Setting {
     Setting::one(80).scaled_down(4)
@@ -20,7 +18,7 @@ fn differential_privacy_bound_holds() {
     let g = s.generate(7);
     let mut r = rng::seeded(40);
     for eps in [0.1, 1.0, 5.0] {
-        let auction = DpHsrcAuction::new(eps);
+        let auction = DpHsrcAuction::new(eps).unwrap();
         let base = auction.pmf(&g.instance).unwrap();
         for k in 0..12 {
             let w = random_worker(&g.instance, &mut r);
@@ -29,7 +27,9 @@ fn differential_privacy_bound_holds() {
                 1 => price_push_neighbour(&g.instance, w, PricePush::ToMin).unwrap(),
                 _ => price_push_neighbour(&g.instance, w, PricePush::ToMax).unwrap(),
             };
-            let Ok(nb_pmf) = auction.pmf(&nb) else { continue };
+            let Ok(nb_pmf) = auction.pmf(&nb) else {
+                continue;
+            };
             if let Some(ratio) = privacy::dp_log_ratio(&base, &nb_pmf) {
                 assert!(
                     ratio <= eps + 1e-9,
@@ -48,12 +48,14 @@ fn baseline_is_also_differentially_private() {
     let g = s.generate(8);
     let mut r = rng::seeded(41);
     let eps = 0.5;
-    let auction = BaselineAuction::new(eps);
+    let auction = BaselineAuction::new(eps).unwrap();
     let base = auction.pmf(&g.instance).unwrap();
     for _ in 0..8 {
         let w = random_worker(&g.instance, &mut r);
         let nb = resample_neighbour(&g.instance, &s, w, &mut r).unwrap();
-        let Ok(nb_pmf) = auction.pmf(&nb) else { continue };
+        let Ok(nb_pmf) = auction.pmf(&nb) else {
+            continue;
+        };
         if let Some(ratio) = privacy::dp_log_ratio(&base, &nb_pmf) {
             assert!(ratio <= eps + 1e-9);
         }
@@ -66,7 +68,7 @@ fn baseline_is_also_differentially_private() {
 fn truthfulness_price_channel_bounded() {
     let s = setting();
     let g = s.generate(9);
-    let auction = DpHsrcAuction::new(s.epsilon);
+    let auction = DpHsrcAuction::new(s.epsilon).unwrap();
     let truthful = auction.pmf(&g.instance).unwrap();
     let channel_budget = (s.epsilon.exp() - 1.0) * (s.cmax - s.cmin);
     for widx in [0u32, 5, 11] {
@@ -80,9 +82,7 @@ fn truthfulness_price_channel_bounded() {
                 .with_price(dp_mcs::Price::from_f64(dev));
             let deviated = g.instance.with_bid(w, bid).unwrap();
             let dev_pmf = auction.pmf(&deviated).unwrap();
-            let Some(cross) =
-                utility::cross_expected_utility(&truthful, &dev_pmf, w, cost)
-            else {
+            let Some(cross) = utility::cross_expected_utility(&truthful, &dev_pmf, w, cost) else {
                 continue;
             };
             let gain = utility::expected_utility(&dev_pmf, w, cost) - cross;
@@ -99,15 +99,12 @@ fn truthfulness_price_channel_bounded() {
 #[test]
 fn individual_rationality_over_entire_support() {
     let g = setting().generate(10);
-    let pmf = DpHsrcAuction::new(0.1).pmf(&g.instance).unwrap();
+    let pmf = DpHsrcAuction::new(0.1).unwrap().pmf(&g.instance).unwrap();
     for i in 0..pmf.schedule().len() {
         let price = pmf.schedule().price(i);
         for &w in pmf.schedule().winners(i) {
             let cost = g.types[w.index()].cost();
-            assert!(
-                cost <= price,
-                "winner {w} at price {price} has cost {cost}"
-            );
+            assert!(cost <= price, "winner {w} at price {price} has cost {cost}");
         }
     }
 }
@@ -119,8 +116,8 @@ fn payment_ordering_matches_figures() {
         let g = setting().generate(seed);
         let opt = OptimalMechanism::new().solve(&g.instance).unwrap();
         assert!(opt.exact);
-        let dp = DpHsrcAuction::new(0.1).pmf(&g.instance).unwrap();
-        let base = BaselineAuction::new(0.1).pmf(&g.instance).unwrap();
+        let dp = DpHsrcAuction::new(0.1).unwrap().pmf(&g.instance).unwrap();
+        let base = BaselineAuction::new(0.1).unwrap().pmf(&g.instance).unwrap();
         let r_opt = opt.total_payment().as_f64();
         assert!(
             r_opt <= dp.expected_total_payment() + 1e-9,
@@ -139,8 +136,7 @@ fn payment_ordering_matches_figures() {
 #[test]
 fn approximation_bound_holds() {
     use dp_mcs::sim::experiments::approx_ratio_experiment;
-    let report =
-        approx_ratio_experiment(&setting(), 30, &OptimalMechanism::new()).unwrap();
+    let report = approx_ratio_experiment(&setting(), 30, &OptimalMechanism::new()).unwrap();
     assert!(report.exact);
     assert!(report.within_bound());
     assert!(report.empirical_ratio >= 1.0 - 1e-9);
@@ -153,7 +149,7 @@ fn optimal_work_dwarfs_dp_hsrc_work() {
     use std::time::Instant;
     let g = setting().generate(77);
     let t0 = Instant::now();
-    let _ = DpHsrcAuction::new(0.1).pmf(&g.instance).unwrap();
+    let _ = DpHsrcAuction::new(0.1).unwrap().pmf(&g.instance).unwrap();
     let dp_time = t0.elapsed();
     let t0 = Instant::now();
     let opt = OptimalMechanism::new().solve(&g.instance).unwrap();
@@ -172,7 +168,10 @@ fn optimal_work_dwarfs_dp_hsrc_work() {
 #[test]
 fn epsilon_limits_are_correct() {
     let g = setting().generate(31);
-    let schedule = DpHsrcAuction::new(1.0).schedule(&g.instance).unwrap();
+    let schedule = DpHsrcAuction::new(1.0)
+        .unwrap()
+        .schedule(&g.instance)
+        .unwrap();
     let min_payment = schedule.min_total_payment().as_f64();
     let uniform_mean: f64 = schedule
         .total_payments()
@@ -181,9 +180,12 @@ fn epsilon_limits_are_correct() {
         .sum::<f64>()
         / schedule.len() as f64;
 
-    let tight = DpHsrcAuction::new(5000.0).pmf(&g.instance).unwrap();
+    let tight = DpHsrcAuction::new(5000.0)
+        .unwrap()
+        .pmf(&g.instance)
+        .unwrap();
     assert!((tight.expected_total_payment() - min_payment).abs() < 0.5);
 
-    let loose = DpHsrcAuction::new(1e-6).pmf(&g.instance).unwrap();
+    let loose = DpHsrcAuction::new(1e-6).unwrap().pmf(&g.instance).unwrap();
     assert!((loose.expected_total_payment() - uniform_mean).abs() < 0.5);
 }

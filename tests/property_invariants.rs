@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use dp_mcs::auction::{build_schedule, privacy, CriticalPaymentAuction, SelectionRule};
 use dp_mcs::num::rng;
 use dp_mcs::sim::neighbour::{random_worker, resample_neighbour};
-use dp_mcs::{DpHsrcAuction, Setting};
+use dp_mcs::{DpHsrcAuction, ScheduledMechanism, Setting};
 
 fn small_setting(workers: usize) -> Setting {
     // Scale the full Table-I proportions down 4x so the δ retuning in
@@ -28,7 +28,7 @@ proptest! {
         let schedule = build_schedule(&g.instance, SelectionRule::MarginalCoverage)
             .expect("generated instances are coverable");
         let cover = g.instance.coverage_problem();
-        prop_assert!(schedule.len() >= 1);
+        prop_assert!(!schedule.is_empty());
         prop_assert!(schedule.num_distinct_sets() <= schedule.len());
         let mut prev = None;
         for i in 0..schedule.len() {
@@ -55,7 +55,7 @@ proptest! {
     fn pmf_invariants(seed in 0u64..500, eps_exp in -2i32..3) {
         let eps = 10f64.powi(eps_exp);
         let g = small_setting(16).generate(seed);
-        let pmf = DpHsrcAuction::new(eps).pmf(&g.instance).expect("coverable");
+        let pmf = DpHsrcAuction::new(eps).unwrap().pmf(&g.instance).expect("coverable");
         let total: f64 = pmf.probs().iter().sum();
         prop_assert!((total - 1.0).abs() < 1e-9);
         let payments = pmf.schedule().total_payments();
@@ -76,7 +76,7 @@ proptest! {
         let eps = eps_tenths as f64 / 10.0;
         let s = small_setting(16);
         let g = s.generate(seed);
-        let auction = DpHsrcAuction::new(eps);
+        let auction = DpHsrcAuction::new(eps).unwrap();
         let base = auction.pmf(&g.instance).expect("coverable");
         let mut r = rng::derived(seed, 77);
         let w = random_worker(&g.instance, &mut r);
@@ -95,8 +95,9 @@ proptest! {
     fn mechanism_comparisons(seed in 0u64..300) {
         let s = small_setting(20);
         let g = s.generate(seed);
-        let dp = DpHsrcAuction::new(0.1).pmf(&g.instance).expect("coverable");
+        let dp = DpHsrcAuction::new(0.1).unwrap().pmf(&g.instance).expect("coverable");
         let base = dp_mcs::BaselineAuction::new(0.1)
+            .unwrap()
             .pmf(&g.instance)
             .expect("coverable");
         prop_assert!(
@@ -154,7 +155,7 @@ proptest! {
     #[test]
     fn sampled_outcomes_are_consistent(seed in 0u64..300) {
         let g = small_setting(12).generate(seed);
-        let pmf = DpHsrcAuction::new(0.5).pmf(&g.instance).expect("coverable");
+        let pmf = DpHsrcAuction::new(0.5).unwrap().pmf(&g.instance).expect("coverable");
         let mut r = rng::derived(seed, 5);
         for _ in 0..16 {
             let o = pmf.sample(&mut r);

@@ -1,0 +1,77 @@
+//! Property-based equivalence of the lazy-greedy (CELF) schedule engine
+//! against the naive full-rescan reference.
+//!
+//! The lazy engine caches stale marginal-coverage upper bounds in a heap
+//! and only re-evaluates the top candidate; submodularity makes that safe,
+//! but the *exact* winner sequence (including float tie-breaking) must
+//! still match the eager reference winner-for-winner — the privacy and
+//! payment analyses quantify over the schedule, so any divergence is a
+//! correctness bug, not a performance trade-off.
+
+use proptest::prelude::*;
+
+use dp_mcs::auction::{
+    build_schedule, build_schedule_eager, build_schedule_naive, build_schedule_serial,
+    SelectionRule,
+};
+use dp_mcs::Setting;
+
+fn small_setting(workers: usize) -> Setting {
+    Setting::one(workers.max(8) * 4).scaled_down(4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The default engine (lazy; parallel when the feature is on) matches
+    /// the naive per-price reference exactly — same prices, same winner
+    /// sets in the same order — for both selection rules.
+    #[test]
+    fn default_engine_matches_naive(
+        seed in 0u64..1000,
+        workers in 8usize..32,
+        marginal in 0u8..2,
+    ) {
+        let rule = if marginal == 1 {
+            SelectionRule::MarginalCoverage
+        } else {
+            SelectionRule::StaticTotal
+        };
+        let g = small_setting(workers).generate(seed);
+        let fast = build_schedule(&g.instance, rule)
+            .expect("generated instances are coverable");
+        let naive = build_schedule_naive(&g.instance, rule)
+            .expect("generated instances are coverable");
+        prop_assert_eq!(fast.prices(), naive.prices());
+        for i in 0..fast.len() {
+            prop_assert_eq!(
+                fast.winners(i),
+                naive.winners(i),
+                "winner divergence at price index {}",
+                i
+            );
+        }
+    }
+
+    /// The serial lazy engine and the eager full-rescan engine agree with
+    /// the default engine winner-for-winner, so the `parallel` feature and
+    /// the CELF cache are both behaviour-preserving.
+    #[test]
+    fn all_engines_agree(
+        seed in 0u64..1000,
+        workers in 8usize..32,
+        marginal in 0u8..2,
+    ) {
+        let rule = if marginal == 1 {
+            SelectionRule::MarginalCoverage
+        } else {
+            SelectionRule::StaticTotal
+        };
+        let g = small_setting(workers).generate(seed);
+        let default = build_schedule(&g.instance, rule).expect("coverable");
+        let serial = build_schedule_serial(&g.instance, rule).expect("coverable");
+        let eager = build_schedule_eager(&g.instance, rule).expect("coverable");
+        prop_assert_eq!(&default, &serial);
+        prop_assert_eq!(&default, &eager);
+    }
+}

@@ -13,10 +13,7 @@ fn tpm_ilp(instance: &dp_mcs::Instance, pool: usize) -> CoveringIlp {
     let mut ids: Vec<WorkerId> = (0..instance.num_workers() as u32).map(WorkerId).collect();
     ids.sort_by_key(|&w| (instance.bids().bid(w).price(), w));
     ids.truncate(pool);
-    let weights: Vec<Vec<f64>> = ids
-        .iter()
-        .map(|&w| cover.worker_row(w).to_vec())
-        .collect();
+    let weights: Vec<Vec<f64>> = ids.iter().map(|&w| cover.worker_row(w).to_vec()).collect();
     let reqs: Vec<f64> = (0..instance.num_tasks())
         .map(|j| cover.requirement(TaskId(j as u32)))
         .collect();
@@ -35,7 +32,10 @@ fn bnb_matches_exhaustive_on_generated_tpm_instances() {
         let exact = solve_exhaustive(&ilp);
         let bnb = ilp.solve(&BnbOptions::default()).unwrap();
         match exact {
-            None => assert!(bnb.best.is_none(), "seed {seed}: bnb found infeasible cover"),
+            None => assert!(
+                bnb.best.is_none(),
+                "seed {seed}: bnb found infeasible cover"
+            ),
             Some(sel) => {
                 let best = bnb.best.unwrap();
                 assert!(

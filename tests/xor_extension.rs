@@ -4,6 +4,7 @@
 use dp_mcs::auction::xor::{XorBid, XorDpHsrcAuction, XorInstance};
 use dp_mcs::auction::{build_schedule, SelectionRule};
 use dp_mcs::num::rng;
+use dp_mcs::Mechanism;
 use dp_mcs::{Bid, Bundle, Price, Setting, TaskId, WorkerId};
 
 /// Converts a generated single-minded instance into the XOR form, with
@@ -13,10 +14,7 @@ fn with_package_options(instance: &dp_mcs::Instance) -> XorInstance {
     with_package_options_grid(instance, instance.price_grid().clone())
 }
 
-fn with_package_options_grid(
-    instance: &dp_mcs::Instance,
-    grid: dp_mcs::PriceGrid,
-) -> XorInstance {
+fn with_package_options_grid(instance: &dp_mcs::Instance, grid: dp_mcs::PriceGrid) -> XorInstance {
     let bids: Vec<XorBid> = instance
         .bids()
         .iter()
@@ -24,8 +22,7 @@ fn with_package_options_grid(
             let full = bid.clone();
             let tasks: Vec<TaskId> = bid.bundle().iter().collect();
             let half: Vec<TaskId> = tasks[..tasks.len().div_ceil(2)].to_vec();
-            let half_price =
-                Price::from_f64((bid.price().as_f64() * 0.6).max(10.0));
+            let half_price = Price::from_f64((bid.price().as_f64() * 0.6).max(10.0));
             let mut options = vec![full];
             if !half.is_empty() && half.len() < tasks.len() {
                 options.push(Bid::new(Bundle::new(half), half_price));
@@ -48,8 +45,7 @@ fn with_package_options_grid(
 #[test]
 fn single_option_xor_matches_single_minded_winners() {
     let g = Setting::one(80).scaled_down(4).generate(71);
-    let schedule =
-        build_schedule(&g.instance, SelectionRule::MarginalCoverage).unwrap();
+    let schedule = build_schedule(&g.instance, SelectionRule::MarginalCoverage).unwrap();
     let xor = XorInstance::new(
         g.instance.num_tasks(),
         g.instance
@@ -64,7 +60,7 @@ fn single_option_xor_matches_single_minded_winners() {
         g.instance.cmax(),
     )
     .unwrap();
-    let auction = XorDpHsrcAuction::new(0.1);
+    let auction = XorDpHsrcAuction::new(0.1).unwrap();
     let mut r = rng::seeded(4);
     for _ in 0..20 {
         let out = auction.run(&xor, &mut r).unwrap();
@@ -87,12 +83,11 @@ fn package_options_keep_single_minded_prices_feasible() {
     // grid to the single-minded support's cheapest price and the XOR
     // auction must still clear.
     let g = Setting::one(80).scaled_down(4).generate(72);
-    let schedule =
-        build_schedule(&g.instance, SelectionRule::MarginalCoverage).unwrap();
+    let schedule = build_schedule(&g.instance, SelectionRule::MarginalCoverage).unwrap();
     let first = *schedule.prices().first().unwrap();
     let narrow = dp_mcs::PriceGrid::new(first, first, Price::from_f64(0.1)).unwrap();
     let xor = with_package_options_grid(&g.instance, narrow);
-    let auction = XorDpHsrcAuction::new(0.1);
+    let auction = XorDpHsrcAuction::new(0.1).unwrap();
     let mut r = rng::seeded(5);
     let out = auction.run(&xor, &mut r).unwrap();
     assert_eq!(out.price, first);
@@ -110,7 +105,7 @@ fn mixed_single_and_multi_minded_workers_coexist() {
     // At least one worker should actually have two options.
     assert!(xor.bids().iter().any(|b| b.options().len() == 2));
     assert!(xor.bids().iter().all(|b| !b.options().is_empty()));
-    let auction = XorDpHsrcAuction::new(0.5);
+    let auction = XorDpHsrcAuction::new(0.5).unwrap();
     let mut r = rng::seeded(6);
     let out = auction.run(&xor, &mut r).unwrap();
     assert!(!out.awards.is_empty());
