@@ -1,0 +1,307 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Measures wall-clock time with adaptive per-sample iteration counts and
+//! prints `name  time: [min median max]` lines — no plots, no statistical
+//! regression machinery. Bench binaries keep the exact upstream authoring
+//! surface this workspace uses (`benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!` / `criterion_main!` macros) and honour a substring
+//! filter argument like `cargo bench -- schedule`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimizer barrier under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The measurement driver handed to bench closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Per-iteration durations of collected samples.
+    samples: Vec<Duration>,
+}
+
+/// Target wall-clock spent inside one sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(5);
+
+impl Bencher {
+    /// Times `routine`, adapting the iteration count so each sample spans
+    /// roughly [`SAMPLE_BUDGET`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate on a single warm-up call.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+        self.samples.sort();
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        let min = self.samples[0];
+        let max = *self.samples.last().expect("non-empty");
+        let median = self.samples[self.samples.len() / 2];
+        println!(
+            "{id:<48} time: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(max),
+        );
+    }
+
+    /// Median per-iteration time of the last [`Bencher::iter`] run.
+    pub fn median(&self) -> Duration {
+        self.samples
+            .get(self.samples.len() / 2)
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Cargo invokes bench binaries as `binary --bench [filter]`; any
+        // non-flag argument is a substring filter on benchmark ids.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.default_sample_size;
+        self.run_one(&id.id, sample_size, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, sample_size: usize, mut f: F) {
+        if !self.matches(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let n = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, n, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Criterion {
+        Criterion {
+            filter: None,
+            default_sample_size: 5,
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_and_measures() {
+        let mut c = fresh();
+        let mut runs = 0u64;
+        c.bench_function("counter", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(runs)
+            });
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_respects_sample_size_and_filter() {
+        let mut c = Criterion {
+            filter: Some("wanted".into()),
+            default_sample_size: 5,
+        };
+        let mut wanted = false;
+        let mut unwanted = false;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("wanted", |b| b.iter(|| wanted = true));
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &_x| {
+            b.iter(|| unwanted = true)
+        });
+        g.finish();
+        assert!(wanted && !unwanted);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(12)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with("s"));
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::from_parameter(128).id, "128");
+        assert_eq!(BenchmarkId::new("build", 64).id, "build/64");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

@@ -1,0 +1,435 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses: the
+//! `proptest!` test-block macro with `#![proptest_config(...)]`, `arg in
+//! strategy` bindings over numeric ranges and `collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` assertion macros. Unlike upstream
+//! there is no shrinking: cases are generated from a deterministic
+//! per-test seed (a hash of the test name mixed with the case index), so
+//! failures reproduce exactly across runs and report the offending inputs.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Everything the `proptest!` macro and its callers need in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError};
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Marks the current case as failed.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The deterministic generator handed to strategies.
+///
+/// SplitMix64: tiny, full-period, and statistically fine for test-input
+/// generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty sampling range");
+        // Multiply-shift keeps the bias negligible for test-scale ranges.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let draw = u128::from(rng.next_u64()) % span;
+                ((self.start as i128) + draw as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128) - (lo as i128) + 1;
+                let draw = u128::from(rng.next_u64()) % (span as u128);
+                ((lo as i128) + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn pick(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let x = self.start + rng.next_f64() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn pick(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        let unit = rng.next_u64() as f64 / u64::MAX as f64; // [0, 1]
+        (lo + unit * (hi - lo)).clamp(lo, hi)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn pick(&self, rng: &mut TestRng) -> f32 {
+        let wide = Range {
+            start: f64::from(self.start),
+            end: f64::from(self.end),
+        };
+        wide.pick(rng) as f32
+    }
+}
+
+impl<S: Strategy> Strategy for &S {
+    type Value = S::Value;
+
+    fn pick(&self, rng: &mut TestRng) -> S::Value {
+        (**self).pick(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with element strategy `element` and a length
+    /// drawn uniformly from `sizes`.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        assert!(sizes.start < sizes.end, "empty vec size range");
+        VecStrategy { element, sizes }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.sizes.end - self.sizes.start) as u64;
+            let len = self.sizes.start + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test base seed.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one proptest-style test: `cases` deterministic cases, panicking
+/// with the offending inputs on the first failure.
+///
+/// Called by the `proptest!` macro; not part of the public proptest API.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+{
+    let base = hash_name(name);
+    for i in 0..config.cases {
+        let mut rng = TestRng::new(base ^ (u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let (outcome, inputs) = case(&mut rng);
+        if let Err(e) = outcome {
+            panic!(
+                "proptest case {i}/{} failed: {e}\n  inputs: {inputs}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Declares a block of property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn holds(x in 0u64..100, ys in proptest::collection::vec(0u32..9, 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal muncher behind [`proptest!`]; expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&config, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::Strategy::pick(&($strategy), __proptest_rng);)+
+                let __proptest_inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        if !s.is_empty() { s.push_str(", "); }
+                        s.push_str(concat!(stringify!($arg), " = "));
+                        s.push_str(&::std::format!("{:?}", $arg));
+                    )+
+                    s
+                };
+                let __proptest_outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                (__proptest_outcome, __proptest_inputs)
+            });
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::new(42);
+        let mut b = crate::TestRng::new(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..2_000 {
+            let x = (3u64..17).pick(&mut rng);
+            assert!((3..17).contains(&x));
+            let y = (-5i32..5).pick(&mut rng);
+            assert!((-5..5).contains(&y));
+            let f = (0.25f64..0.75).pick(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let g = (0.0f64..=1.0).pick(&mut rng);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = crate::TestRng::new(11);
+        let strat = crate::collection::vec(0u32..64, 2..9);
+        for _ in 0..500 {
+            let v = strat.pick(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 64));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_args(x in 1u64..100, ys in crate::collection::vec(0u32..4, 0..6)) {
+            prop_assert!(x >= 1);
+            prop_assert!(ys.len() < 6);
+            if x == 1 {
+                return Ok(()); // early accept must type-check
+            }
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, 0);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_inputs() {
+        let config = ProptestConfig::with_cases(4);
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases(&config, "always_fails", |_rng| {
+                (Err(TestCaseError::fail("boom")), "x = 3".to_string())
+            });
+        });
+        let err = result.expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("boom") && msg.contains("x = 3"), "{msg}");
+    }
+}

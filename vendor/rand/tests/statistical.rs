@@ -1,0 +1,76 @@
+//! Coarse statistical sanity checks over the ChaCha8-backed stream:
+//! catastrophic generator or distribution bugs (stuck bits, heavy bias)
+//! trip these long before they would corrupt experiment statistics.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn gen_bool_frequency_tracks_p() {
+    let mut r = ChaCha8Rng::seed_from_u64(7);
+    for &p in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+        let n = 40_000;
+        let hits = (0..n).filter(|_| r.gen_bool(p)).count();
+        let freq = hits as f64 / n as f64;
+        assert!(
+            (freq - p).abs() < 0.02,
+            "gen_bool({p}) frequency {freq} off by more than 2%"
+        );
+    }
+}
+
+#[test]
+fn gen_range_f64_moments_are_uniform() {
+    let mut r = ChaCha8Rng::seed_from_u64(11);
+    let n = 50_000;
+    let draws: Vec<f64> = (0..n).map(|_| r.gen_range(2.0..6.0)).collect();
+    let mean = draws.iter().sum::<f64>() / n as f64;
+    let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+    // Uniform(2, 6) variance is (6-2)^2 / 12 = 4/3.
+    assert!((var - 4.0 / 3.0).abs() < 0.1, "variance {var}");
+    assert!(draws.iter().all(|&x| (2.0..6.0).contains(&x)));
+}
+
+#[test]
+fn gen_range_int_buckets_are_flat() {
+    let mut r = ChaCha8Rng::seed_from_u64(13);
+    let n = 90_000;
+    let mut buckets = [0u32; 9];
+    for _ in 0..n {
+        buckets[r.gen_range(0usize..9)] += 1;
+    }
+    let expected = n as f64 / 9.0;
+    for (i, &b) in buckets.iter().enumerate() {
+        assert!(
+            (f64::from(b) - expected).abs() < expected * 0.05,
+            "bucket {i}: {b} vs expected {expected}"
+        );
+    }
+}
+
+#[test]
+fn chacha_streams_differ_across_seeds_but_repeat_within() {
+    let a: Vec<u64> = {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        (0..64).map(|_| r.gen::<u64>()).collect()
+    };
+    let a2: Vec<u64> = {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        (0..64).map(|_| r.gen::<u64>()).collect()
+    };
+    let b: Vec<u64> = {
+        let mut r = ChaCha8Rng::seed_from_u64(2);
+        (0..64).map(|_| r.gen::<u64>()).collect()
+    };
+    assert_eq!(a, a2, "same seed must replay the same stream");
+    assert_ne!(a, b, "different seeds must diverge");
+    // Bits should be roughly balanced.
+    let ones: u32 = a.iter().map(|x| x.count_ones()).sum();
+    let total = 64 * 64;
+    assert!(
+        (f64::from(ones) / f64::from(total) - 0.5).abs() < 0.03,
+        "bit balance {ones}/{total}"
+    );
+}

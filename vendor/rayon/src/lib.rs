@@ -1,0 +1,255 @@
+//! Offline vendored stand-in for `rayon`. It implements the small slice of
+//! the parallel-iterator API this workspace uses (`par_iter().map(..)` with
+//! ordered `collect` and `for_each`) with *real* data parallelism: items
+//! are chunked across `std::thread::scope` threads, one per available core.
+//!
+//! Unlike upstream rayon there is no work-stealing pool — each parallel
+//! call spawns its own scoped threads. That costs microseconds per call,
+//! which is fine for the per-interval schedule builds and per-point
+//! experiment sweeps this workspace parallelizes.
+
+/// The `use rayon::prelude::*` surface.
+pub mod prelude {
+    pub use crate::{
+        FromParallelVec, IntoParallelIterator, IntoParallelRefIterator, ParMap, ParSlice,
+    };
+}
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads for a job of `len` items.
+fn threads_for(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Runs `f` over `0..len` split into contiguous chunks, one chunk per
+/// thread, and returns the per-index outputs in order.
+fn parallel_map_indices<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads_for(len);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    let mut slots: Vec<&mut [Option<T>]> = Vec::with_capacity(threads);
+    let mut rest = out.as_mut_slice();
+    while !rest.is_empty() {
+        let take = chunk.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        slots.push(head);
+        rest = tail;
+    }
+    std::thread::scope(|scope| {
+        for (t, slot) in slots.into_iter().enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = t * chunk;
+                for (i, cell) in slot.iter_mut().enumerate() {
+                    *cell = Some(f(base + i));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every index was produced"))
+        .collect()
+}
+
+/// A parallel iterator over `&[T]`.
+#[derive(Debug)]
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// Conversion of `&Collection` into a parallel iterator
+/// (`rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: 'a;
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Returns a parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// Conversion of an owned collection into a parallel iterator. Provided
+/// for API parity; only borrowed iteration is accelerated here.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item;
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn into_par_iter(self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T> ParSlice<'a, T>
+where
+    T: Sync,
+{
+    /// Maps every item through `f` in parallel.
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        parallel_map_indices(self.items.len(), |i| f(&self.items[i]));
+    }
+}
+
+impl<'a, T, F, U> ParMap<'a, T, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> U + Sync,
+    U: Send,
+{
+    /// Collects the mapped outputs, preserving input order. Supports the
+    /// same short-circuit containers as rayon via [`FromParallelVec`]
+    /// (plain `Vec<T>` and `Result<Vec<T>, E>`).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelVec<U>,
+    {
+        let produced = parallel_map_indices(self.items.len(), |i| (self.f)(&self.items[i]));
+        C::from_parallel_vec(produced)
+    }
+}
+
+/// Containers buildable from an ordered `Vec` of parallel outputs.
+pub trait FromParallelVec<T>: Sized {
+    /// Builds the container.
+    fn from_parallel_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelVec<T> for Vec<T> {
+    fn from_parallel_vec(items: Vec<T>) -> Vec<T> {
+        items
+    }
+}
+
+impl<T, E> FromParallelVec<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_parallel_vec(items: Vec<Result<T, E>>) -> Result<Vec<T>, E> {
+        items.into_iter().collect()
+    }
+}
+
+impl<T> FromParallelVec<Option<T>> for Option<Vec<T>> {
+    fn from_parallel_vec(items: Vec<Option<T>>) -> Option<Vec<T>> {
+        items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_err() {
+        let xs: Vec<u64> = (0..100).collect();
+        let r: Result<Vec<u64>, String> = xs
+            .par_iter()
+            .map(|&x| {
+                if x == 57 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(r, Err("boom".to_string()));
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let xs: Vec<u64> = (1..=100).collect();
+        let sum = AtomicU64::new(0);
+        xs.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let xs: Vec<u64> = vec![];
+        let out: Vec<u64> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallelism_actually_engages() {
+        // With >1 core, distinct thread ids must appear for a large job.
+        let xs: Vec<u64> = (0..10_000).collect();
+        let ids: Vec<std::thread::ThreadId> =
+            xs.par_iter().map(|_| std::thread::current().id()).collect();
+        let uniq: std::collections::HashSet<_> = ids.into_iter().collect();
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        if cores > 1 {
+            assert!(uniq.len() > 1, "expected multiple worker threads");
+        }
+    }
+}

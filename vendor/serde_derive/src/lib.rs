@@ -1,0 +1,318 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Parses the derive input by walking `proc_macro::TokenTree`s directly
+//! (no `syn`/`quote` — they are unavailable offline) and emits impls of
+//! the vendored `serde::Serialize` / `serde::Deserialize` value-tree
+//! traits. Supported shapes: named structs, tuple structs, unit structs,
+//! and the `#[serde(transparent)]` / `#[serde(default)]` attributes this
+//! workspace uses. Field types are never inspected — generated code leans
+//! on type inference at the use site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Input {
+    name: String,
+    transparent: bool,
+    fields: Fields,
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
+}
+
+/// Scans one `#[...]` attribute body for `serde(...)` flags.
+fn scan_attr(body: TokenStream, transparent: &mut bool, default: &mut bool) {
+    let mut iter = body.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    if let Some(TokenTree::Group(g)) = iter.next() {
+        for tok in g.stream() {
+            if let TokenTree::Ident(id) = tok {
+                match id.to_string().as_str() {
+                    "transparent" => *transparent = true,
+                    "default" => *default = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+    let mut transparent = false;
+
+    // Attributes and visibility before the `struct` keyword.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let mut ignored = false;
+                    scan_attr(g.stream(), &mut transparent, &mut ignored);
+                }
+                _ => return Err("malformed attribute".into()),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if matches!(
+                    iter.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    iter.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("the vendored serde_derive does not support enums".into());
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` before `struct`")),
+            None => return Err("ran out of tokens before `struct`".into()),
+        }
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+
+    let fields = match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err("the vendored serde_derive does not support generic structs".into());
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named(g.stream())?)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => return Err(format!("unexpected struct body: {other:?}")),
+    };
+
+    Ok(Input {
+        name,
+        transparent,
+        fields,
+    })
+}
+
+/// Parses `name: Type, ...` named fields, honouring per-field attributes.
+fn parse_named(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    'fields: loop {
+        let mut default = false;
+        let mut ignored = false;
+        // Field attributes and visibility.
+        let name = loop {
+            match iter.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        scan_attr(g.stream(), &mut ignored, &mut default);
+                    }
+                    _ => return Err("malformed field attribute".into()),
+                },
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if matches!(
+                        iter.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        iter.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token `{other}` in fields")),
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.next() {
+                None => {
+                    fields.push(Field { name, default });
+                    break 'fields;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    fields.push(Field { name, default });
+                    continue 'fields;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts tuple-struct fields: top-level commas at angle depth 0, plus one
+/// for a trailing non-empty segment.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0i32;
+    let mut segment_nonempty = false;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                segment_nonempty = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                segment_nonempty = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if segment_nonempty {
+                    count += 1;
+                }
+                segment_nonempty = false;
+            }
+            _ => segment_nonempty = true,
+        }
+    }
+    if segment_nonempty {
+        count += 1;
+    }
+    count
+}
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match (&item.fields, item.transparent) {
+        (Fields::Named(fields), true) if fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+        }
+        (Fields::Tuple(1), true) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        (Fields::Named(fields), false) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        (Fields::Tuple(n), false) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        (Fields::Unit, _) => "::serde::Value::Null".to_string(),
+        (_, true) => {
+            return format!(
+                "compile_error!(\"#[serde(transparent)] on `{name}` requires exactly one field\");"
+            );
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match (&item.fields, item.transparent) {
+        (Fields::Named(fields), true) if fields.len() == 1 => format!(
+            "Ok({name} {{ {}: ::serde::Deserialize::from_value(v)? }})",
+            fields[0].name
+        ),
+        (Fields::Tuple(1), true) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        (Fields::Named(fields), false) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let fallback = if f.default {
+                        "::core::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return Err(::serde::DeError::missing_field(\"{}\"))",
+                            f.name
+                        )
+                    };
+                    format!(
+                        "{n}: match v.get(\"{n}\") {{ \
+                         Some(x) => ::serde::Deserialize::from_value(x)?, \
+                         None => {fallback} }}",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "if !matches!(v, ::serde::Value::Object(_)) {{ \
+                 return Err(::serde::DeError::expected(\"object\", v)); }} \
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        (Fields::Tuple(n), false) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ \
+                 ::serde::Value::Array(items) if items.len() == {n} => \
+                 Ok({name}({})), \
+                 _ => Err(::serde::DeError::expected(\"{n}-element array\", v)) }}",
+                inits.join(", ")
+            )
+        }
+        (Fields::Unit, _) => format!("Ok({name})"),
+        (_, true) => {
+            return format!(
+                "compile_error!(\"#[serde(transparent)] on `{name}` requires exactly one field\");"
+            );
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \tfn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
