@@ -54,6 +54,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Label paths feed the fault-tolerant round engine with partial, possibly
+// empty per-task label sets; aggregation must surface typed errors (e.g.
+// `McsError::EmptyLabelSet`), never unwrap. Tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod em;
 mod em_asymmetric;
@@ -69,4 +73,6 @@ pub use error_bound::{empirical_error_rate, lemma1_threshold, ErrorRateReport};
 pub use gold::{estimate_skills_from_gold, raw_gold_accuracy};
 pub use labels::{generate_labels, Label, LabelSet, Observation};
 pub use truth_discovery::{TruthDiscovery, TruthDiscoveryFit};
-pub use weighted::{achieved_coverage, majority_vote, weighted_aggregate};
+pub use weighted::{
+    achieved_coverage, majority_vote, weighted_aggregate, weighted_aggregate_strict,
+};

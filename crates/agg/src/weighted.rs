@@ -1,6 +1,6 @@
 //! Aggregation rules: Lemma 1's weighted rule and majority vote.
 
-use mcs_types::{SkillMatrix, TaskId, WorkerId};
+use mcs_types::{McsError, SkillMatrix, TaskId, WorkerId};
 
 use crate::labels::{Label, LabelSet};
 
@@ -38,6 +38,42 @@ pub fn weighted_aggregate(
                 .map(|&(w, l)| skills.alpha(w, task) * l.to_f64())
                 .sum();
             Some(Label::from_sign(score))
+        })
+        .collect()
+}
+
+/// The strict variant of [`weighted_aggregate`]: every task must have at
+/// least one label, and the result is a plain per-task label vector.
+///
+/// Use this on paths where a missing estimate is a *fault*, not an option —
+/// e.g. asserting that a fault-free round produced a verdict for every
+/// task. Fault-tolerant paths that expect gaps should keep using
+/// [`weighted_aggregate`] and handle `None` per task.
+///
+/// # Errors
+///
+/// Returns [`McsError::EmptyLabelSet`] naming the first task with no
+/// labels, and [`McsError::DimensionMismatch`] if `num_tasks` differs from
+/// the label set's task count.
+pub fn weighted_aggregate_strict(
+    labels: &LabelSet,
+    skills: &SkillMatrix,
+    num_tasks: usize,
+) -> Result<Vec<Label>, McsError> {
+    if labels.num_tasks() != num_tasks {
+        return Err(McsError::DimensionMismatch {
+            what: "label set task count",
+            expected: num_tasks,
+            actual: labels.num_tasks(),
+        });
+    }
+    weighted_aggregate(labels, skills, num_tasks)
+        .into_iter()
+        .enumerate()
+        .map(|(j, estimate)| {
+            estimate.ok_or(McsError::EmptyLabelSet {
+                task: TaskId(j as u32),
+            })
         })
         .collect()
 }
@@ -136,6 +172,23 @@ mod tests {
             .into_iter()
             .collect();
         assert_eq!(majority_vote(&labels, 1)[0], Some(Label::Pos));
+    }
+
+    #[test]
+    fn strict_aggregate_errors_on_uncovered_task() {
+        let skills = SkillMatrix::from_rows(vec![vec![0.9, 0.9]]).unwrap();
+        let mut labels = LabelSet::new(2);
+        labels.push(obs(0, 0, Label::Pos));
+        let err = weighted_aggregate_strict(&labels, &skills, 2).unwrap_err();
+        assert_eq!(err, McsError::EmptyLabelSet { task: TaskId(1) });
+        labels.push(obs(0, 1, Label::Neg));
+        let full = weighted_aggregate_strict(&labels, &skills, 2).unwrap();
+        assert_eq!(full, vec![Label::Pos, Label::Neg]);
+        // Dimension mismatch is typed, not a panic.
+        assert!(matches!(
+            weighted_aggregate_strict(&labels, &skills, 3),
+            Err(McsError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

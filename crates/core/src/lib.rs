@@ -86,6 +86,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Injected faults drive this crate with arbitrary coverage states, so the
+// schedule/selection path must fail typed, never panic. Tests keep their
+// unwraps (the whole crate compiles under `cfg(test)` for the test harness).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod baseline;
 mod critical;
@@ -109,7 +113,7 @@ pub use optimal::OptimalError;
 pub use optimal::{OptimalMechanism, OptimalOutcome, PerPriceSolve};
 pub use outcome::AuctionOutcome;
 pub use schedule::{
-    build_schedule, build_schedule_eager, build_schedule_naive, build_schedule_serial, PricePmf,
-    PriceSchedule, SelectionRule,
+    build_residual_schedule, build_schedule, build_schedule_eager, build_schedule_naive,
+    build_schedule_serial, PricePmf, PriceSchedule, SelectionRule,
 };
 pub use xor::{Award, XorBid, XorDpHsrcAuction, XorInstance, XorOutcome};

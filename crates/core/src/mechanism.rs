@@ -17,11 +17,13 @@
 
 use rand::Rng;
 
-use mcs_types::{Instance, McsError};
+use mcs_types::{Instance, McsError, WorkerId};
 
 use crate::exponential::ExponentialMechanism;
 use crate::outcome::AuctionOutcome;
-use crate::schedule::{build_schedule, PricePmf, PriceSchedule, SelectionRule};
+use crate::schedule::{
+    build_residual_schedule, build_schedule, PricePmf, PriceSchedule, SelectionRule,
+};
 
 /// An auction mechanism: a (possibly randomized) map from an input profile
 /// to an outcome.
@@ -85,6 +87,49 @@ pub trait ScheduledMechanism: Mechanism<Input = Instance, Output = AuctionOutcom
     fn pmf(&self, instance: &Instance) -> Result<PricePmf, McsError> {
         let schedule = self.schedule(instance)?;
         Ok(ExponentialMechanism::for_instance(self.epsilon(), instance).pmf(schedule))
+    }
+
+    /// The winner schedule for a *residual* covering problem: only
+    /// `eligible` workers may win and each task needs only the leftover
+    /// coverage `residual[j]` (non-positive entries count as already
+    /// satisfied).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`build_residual_schedule`] errors — most notably
+    /// [`McsError::CoverageShortfall`] when the eligible pool cannot close
+    /// some residual requirement.
+    fn residual_schedule(
+        &self,
+        instance: &Instance,
+        residual: &[f64],
+        eligible: &[WorkerId],
+    ) -> Result<PriceSchedule, McsError> {
+        build_residual_schedule(instance, self.selection_rule(), residual, eligible)
+    }
+
+    /// Runs a **backfill re-auction**: samples one outcome for the residual
+    /// covering problem over the eligible workers' standing bids, using the
+    /// same exponential-mechanism price draw as the primary auction.
+    ///
+    /// This is the entry point fault-tolerant platform rounds use after
+    /// winner dropout: coverage already delivered stays paid for and
+    /// satisfied, and only the shortfall `Q'_j` is re-purchased.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduledMechanism::residual_schedule`] errors
+    /// ([`McsError::CoverageShortfall`], [`McsError::NoFeasiblePrice`], …).
+    fn reauction<R: Rng + ?Sized>(
+        &self,
+        instance: &Instance,
+        residual: &[f64],
+        eligible: &[WorkerId],
+        rng: &mut R,
+    ) -> Result<AuctionOutcome, McsError> {
+        let schedule = self.residual_schedule(instance, residual, eligible)?;
+        let pmf = ExponentialMechanism::for_instance(self.epsilon(), instance).pmf(schedule);
+        Ok(pmf.sample(rng))
     }
 }
 

@@ -91,11 +91,15 @@ impl PriceSchedule {
     }
 
     /// The smallest total payment over all feasible prices.
+    ///
+    /// Construction never yields an empty schedule; if one is produced
+    /// through future internal changes this returns [`Price::ZERO`] rather
+    /// than panicking.
     pub fn min_total_payment(&self) -> Price {
         (0..self.len())
             .map(|i| self.total_payment(i))
             .min()
-            .expect("schedule is never empty")
+            .unwrap_or(Price::ZERO)
     }
 }
 
@@ -162,6 +166,30 @@ impl Ord for LazyGain {
     }
 }
 
+/// The typed error for a candidate pool that ran dry with coverage still
+/// outstanding: names the first task whose requirement is unmet.
+///
+/// Callers establish feasibility before selecting, so reaching this means
+/// either an internal inconsistency or an explicitly partial (residual)
+/// selection — both must surface as data, not a panic, now that fault
+/// injection can drive the schedule path with arbitrary coverage states.
+fn coverage_shortfall(residual: &[f64], requirements: &[f64]) -> McsError {
+    for (j, &r) in residual.iter().enumerate() {
+        if r > COVER_EPS {
+            return McsError::CoverageShortfall {
+                task: TaskId(j as u32),
+                required: requirements[j].max(0.0),
+                achieved: (requirements[j] - r).max(0.0),
+            };
+        }
+    }
+    McsError::CoverageShortfall {
+        task: TaskId(0),
+        required: 0.0,
+        achieved: 0.0,
+    }
+}
+
 /// Greedy winner selection among `candidates` (Algorithm 1, lines 8–13),
 /// evaluated lazily (CELF): each candidate's last-computed marginal
 /// coverage is kept in a max-heap and only the top entry is re-evaluated.
@@ -171,13 +199,15 @@ impl Ord for LazyGain {
 /// the next cached bound. Picks the exact winner sequence of the eager
 /// rescan ([`select_marginal_eager`]), tie-breaking included.
 ///
-/// `candidates` must be able to satisfy the requirements; panics otherwise
-/// (callers establish feasibility first).
+/// # Errors
+///
+/// [`McsError::CoverageShortfall`] if the candidates cannot satisfy the
+/// requirements (callers normally establish feasibility first).
 fn select_marginal(
     candidates: &[WorkerId],
     rows: &[Vec<(usize, f64)>],
     requirements: &[f64],
-) -> Vec<WorkerId> {
+) -> Result<Vec<WorkerId>, McsError> {
     let mut residual = requirements.to_vec();
     let mut remaining: f64 = residual.iter().sum();
     let mut winners = Vec::new();
@@ -202,7 +232,9 @@ fn select_marginal(
         .collect();
 
     while remaining > COVER_EPS {
-        let top = heap.pop().expect("candidate pool cannot cover the tasks");
+        let Some(top) = heap.pop() else {
+            return Err(coverage_shortfall(&residual, requirements));
+        };
         let w = candidates[top.ci];
         let fresh = gain_of(w, &residual);
         if fresh <= COVER_EPS {
@@ -232,7 +264,7 @@ fn select_marginal(
         }
     }
     winners.sort_unstable();
-    winners
+    Ok(winners)
 }
 
 /// The pre-lazy reference selector: a full rescan of all candidates on
@@ -243,7 +275,7 @@ fn select_marginal_eager(
     candidates: &[WorkerId],
     rows: &[Vec<(usize, f64)>],
     requirements: &[f64],
-) -> Vec<WorkerId> {
+) -> Result<Vec<WorkerId>, McsError> {
     let mut residual = requirements.to_vec();
     let mut remaining: f64 = residual.iter().sum();
     let mut used = vec![false; candidates.len()];
@@ -267,7 +299,9 @@ fn select_marginal_eager(
                 best = Some((ci, gain));
             }
         }
-        let (ci, _) = best.expect("candidate pool cannot cover the tasks");
+        let Some((ci, _)) = best else {
+            return Err(coverage_shortfall(&residual, requirements));
+        };
         used[ci] = true;
         let w = candidates[ci];
         winners.push(w);
@@ -278,7 +312,7 @@ fn select_marginal_eager(
         }
     }
     winners.sort_unstable();
-    winners
+    Ok(winners)
 }
 
 /// Baseline winner selection: descending static score `Σ_j q_ij`, ties by
@@ -287,7 +321,7 @@ fn select_static(
     candidates: &[WorkerId],
     rows: &[Vec<(usize, f64)>],
     requirements: &[f64],
-) -> Vec<WorkerId> {
+) -> Result<Vec<WorkerId>, McsError> {
     let mut order: Vec<WorkerId> = candidates.to_vec();
     let total = |w: WorkerId| -> f64 { rows[w.index()].iter().map(|&(_, q)| q).sum() };
     order.sort_by(|&a, &b| {
@@ -310,9 +344,11 @@ fn select_static(
             remaining -= take;
         }
     }
-    debug_assert!(remaining <= COVER_EPS, "candidates cannot cover");
+    if remaining > COVER_EPS {
+        return Err(coverage_shortfall(&residual, requirements));
+    }
     winners.sort_unstable();
-    winners
+    Ok(winners)
 }
 
 /// Builds the per-price winner schedule for an instance under a selection
@@ -388,17 +424,109 @@ fn build_schedule_with(
 ) -> Result<PriceSchedule, McsError> {
     let cover = instance.coverage_problem();
     cover.check_feasible()?;
+    let requirements: Vec<f64> = (0..cover.num_tasks())
+        .map(|j| cover.requirement(TaskId(j as u32)))
+        .collect();
+    let all = workers_by_price(instance);
+    schedule_over(instance, rule, engine, &requirements, &all)
+}
+
+/// Builds a per-price winner schedule for a *residual* covering problem:
+/// only `eligible` workers may win, and each task needs only the leftover
+/// coverage `requirements[j]` (non-positive entries mean already
+/// satisfied).
+///
+/// This is the re-auction primitive behind fault-tolerant platform rounds:
+/// after some winners fail to deliver, the platform re-runs Algorithm 1
+/// over the losers' standing bids against the residual constraints
+/// `Q'_j = Q_j − Σ_delivered q_ij`.
+///
+/// If every requirement is already satisfied the schedule covers the whole
+/// price grid with an empty winner set (recruiting nobody is feasible at
+/// any price).
+///
+/// # Errors
+///
+/// * [`McsError::DimensionMismatch`] — `requirements` is not one entry per
+///   task.
+/// * [`McsError::WorkerOutOfRange`] — an eligible id is out of range.
+/// * [`McsError::CoverageShortfall`] — the eligible pool cannot close some
+///   task's residual requirement.
+/// * [`McsError::NoFeasiblePrice`] — the eligible pool covers, but only at
+///   a price above the top of the grid.
+pub fn build_residual_schedule(
+    instance: &Instance,
+    rule: SelectionRule,
+    requirements: &[f64],
+    eligible: &[WorkerId],
+) -> Result<PriceSchedule, McsError> {
+    if requirements.len() != instance.num_tasks() {
+        return Err(McsError::DimensionMismatch {
+            what: "residual requirement vector",
+            expected: instance.num_tasks(),
+            actual: requirements.len(),
+        });
+    }
+    for &w in eligible {
+        if w.index() >= instance.num_workers() {
+            return Err(McsError::WorkerOutOfRange {
+                worker: w,
+                num_workers: instance.num_workers(),
+            });
+        }
+    }
+    let cover = instance.coverage_problem();
+    for (j, &need) in requirements.iter().enumerate() {
+        if need <= COVER_EPS {
+            continue;
+        }
+        let task = TaskId(j as u32);
+        let attainable: f64 = eligible.iter().map(|&w| cover.q(w, task)).sum();
+        if attainable < need - COVER_EPS {
+            return Err(McsError::CoverageShortfall {
+                task,
+                required: need,
+                achieved: attainable,
+            });
+        }
+    }
+    let mut sorted = eligible.to_vec();
+    sorted.sort_by_key(|&w| (instance.bids().bid(w).price(), w));
+    sorted.dedup();
+    schedule_over(instance, rule, Engine::default(), requirements, &sorted)
+}
+
+/// The shared schedule engine: Algorithm 1 over an arbitrary (possibly
+/// residual) requirement vector and a price-sorted candidate pool.
+fn schedule_over(
+    instance: &Instance,
+    rule: SelectionRule,
+    engine: Engine,
+    raw_requirements: &[f64],
+    sorted: &[WorkerId],
+) -> Result<PriceSchedule, McsError> {
+    let cover = instance.coverage_problem();
     let rows = sparse_rows_of(&cover);
-    let sorted = workers_by_price(instance);
     let n = sorted.len();
     let k = cover.num_tasks();
+    let requirements: Vec<f64> = raw_requirements.iter().map(|r| r.max(0.0)).collect();
+    let grid = instance.price_grid();
+
+    // Nothing left to cover: every grid price is trivially feasible with
+    // an empty winner set.
+    if requirements.iter().sum::<f64>() <= COVER_EPS {
+        let prices = grid.to_vec();
+        let set_of = vec![0; prices.len()];
+        return Ok(PriceSchedule {
+            prices,
+            set_of,
+            sets: vec![Vec::new()],
+        });
+    }
 
     // Find the minimal covering prefix of the price-sorted workers.
     let mut running = vec![0.0f64; k];
-    let mut deficit: f64 = (0..k).map(|j| cover.requirement(TaskId(j as u32))).sum();
-    let requirements: Vec<f64> = (0..k)
-        .map(|j| cover.requirement(TaskId(j as u32)))
-        .collect();
+    let mut deficit: f64 = requirements.iter().sum();
     let mut first_cover: Option<usize> = None;
     for (idx, &w) in sorted.iter().enumerate() {
         for &(j, q) in &rows[w.index()] {
@@ -411,10 +539,22 @@ fn build_schedule_with(
             break;
         }
     }
-    let first_cover = first_cover.expect("check_feasible guaranteed a covering prefix");
+    // Callers verify feasibility of the pool, so this is unreachable in
+    // practice; it still degrades to a typed error rather than a panic.
+    let Some(first_cover) = first_cover else {
+        for j in 0..k {
+            if running[j] < requirements[j] - COVER_EPS {
+                return Err(McsError::CoverageShortfall {
+                    task: TaskId(j as u32),
+                    required: requirements[j],
+                    achieved: running[j],
+                });
+            }
+        }
+        return Err(coverage_shortfall(&[], &[]));
+    };
     let rho_star = instance.bids().bid(sorted[first_cover]).price();
 
-    let grid = instance.price_grid();
     let feasible = grid
         .suffix_from(rho_star)
         .ok_or(McsError::NoFeasiblePrice {
@@ -461,7 +601,7 @@ fn build_schedule_with(
         }
     }
 
-    let select = |iv: &Interval| -> Vec<WorkerId> {
+    let select = |iv: &Interval| -> Result<Vec<WorkerId>, McsError> {
         let candidates = &sorted[..iv.prefix];
         match (rule, engine) {
             (SelectionRule::MarginalCoverage, Engine::EagerRescan) => {
@@ -473,7 +613,7 @@ fn build_schedule_with(
             (SelectionRule::StaticTotal, _) => select_static(candidates, &rows, &requirements),
         }
     };
-    let winner_sets: Vec<Vec<WorkerId>> = match engine {
+    let selected: Vec<Result<Vec<WorkerId>, McsError>> = match engine {
         #[cfg(feature = "parallel")]
         Engine::LazyParallel => {
             use rayon::prelude::*;
@@ -481,6 +621,7 @@ fn build_schedule_with(
         }
         _ => intervals.iter().map(select).collect(),
     };
+    let winner_sets: Vec<Vec<WorkerId>> = selected.into_iter().collect::<Result<_, _>>()?;
 
     let mut set_of = vec![usize::MAX; prices.len()];
     let mut sets: Vec<Vec<WorkerId>> = Vec::with_capacity(winner_sets.len());
@@ -541,9 +682,9 @@ pub fn build_schedule_naive(
         }
         let winners = match rule {
             SelectionRule::MarginalCoverage => {
-                select_marginal_eager(&candidates, &rows, &requirements)
+                select_marginal_eager(&candidates, &rows, &requirements)?
             }
-            SelectionRule::StaticTotal => select_static(&candidates, &rows, &requirements),
+            SelectionRule::StaticTotal => select_static(&candidates, &rows, &requirements)?,
         };
         let idx = sets.iter().position(|s| *s == winners).unwrap_or_else(|| {
             sets.push(winners);
@@ -794,7 +935,7 @@ mod tests {
             vec![(0usize, 0.49)],
             vec![(0usize, 0.36)],
         ];
-        let winners = select_marginal(&candidates, &rows, &[1.0]);
+        let winners = select_marginal(&candidates, &rows, &[1.0]).unwrap();
         assert_eq!(winners, vec![WorkerId(0), WorkerId(1)]);
     }
 
@@ -814,9 +955,9 @@ mod tests {
             vec![(1usize, 0.6)],
         ];
         let req = [1.0, 0.5];
-        let marginal = select_marginal(&candidates, &rows, &req);
+        let marginal = select_marginal(&candidates, &rows, &req).unwrap();
         assert_eq!(marginal, vec![WorkerId(0), WorkerId(2)]);
-        let static_sel = select_static(&candidates, &rows, &req);
+        let static_sel = select_static(&candidates, &rows, &req).unwrap();
         assert_eq!(static_sel, vec![WorkerId(0), WorkerId(1), WorkerId(2)]);
     }
 
@@ -876,12 +1017,128 @@ mod tests {
             vec![(0usize, 0.5)],
             vec![(0usize, 0.5)],
         ];
-        let lazy = select_marginal(&candidates, &rows, &[0.9]);
-        let eager = select_marginal_eager(&candidates, &rows, &[0.9]);
+        let lazy = select_marginal(&candidates, &rows, &[0.9]).unwrap();
+        let eager = select_marginal_eager(&candidates, &rows, &[0.9]).unwrap();
         assert_eq!(lazy, eager);
         // Two winners cover 0.9; the tie-break picks candidates[0] = w2
         // and candidates[1] = w0 (output is id-sorted).
         assert_eq!(lazy, vec![WorkerId(0), WorkerId(2)]);
+    }
+
+    #[test]
+    fn exhausted_candidates_return_shortfall_not_panic() {
+        // One weak worker against an uncoverable requirement: every
+        // selector reports the typed shortfall.
+        let candidates = vec![WorkerId(0)];
+        let rows = vec![vec![(0usize, 0.3)]];
+        let req = [1.0];
+        for result in [
+            select_marginal(&candidates, &rows, &req),
+            select_marginal_eager(&candidates, &rows, &req),
+            select_static(&candidates, &rows, &req),
+        ] {
+            match result {
+                Err(McsError::CoverageShortfall {
+                    task,
+                    required,
+                    achieved,
+                }) => {
+                    assert_eq!(task, TaskId(0));
+                    assert!((required - 1.0).abs() < 1e-12);
+                    assert!(achieved <= 0.3 + 1e-12);
+                }
+                other => panic!("expected CoverageShortfall, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn residual_schedule_over_losers_matches_manual_requirements() {
+        // Pretend workers 0 and 1 already delivered; the residual auction
+        // over workers {2, 3} must cover what is left of each task.
+        let inst = instance();
+        let cover = inst.coverage_problem();
+        let residual: Vec<f64> = (0..inst.num_tasks())
+            .map(|j| {
+                let t = TaskId(j as u32);
+                cover.requirement(t) - cover.q(WorkerId(0), t) - cover.q(WorkerId(1), t)
+            })
+            .collect();
+        let eligible = vec![WorkerId(2), WorkerId(3)];
+        let s =
+            build_residual_schedule(&inst, SelectionRule::MarginalCoverage, &residual, &eligible)
+                .unwrap();
+        assert!(!s.is_empty());
+        for i in 0..s.len() {
+            // Winners come only from the eligible pool and close the
+            // residual requirements.
+            let mut coverage = vec![0.0f64; inst.num_tasks()];
+            for &w in s.winners(i) {
+                assert!(eligible.contains(&w), "ineligible winner {w}");
+                for (j, c) in coverage.iter_mut().enumerate() {
+                    *c += cover.q(w, TaskId(j as u32));
+                }
+            }
+            for (j, (&c, &need)) in coverage.iter().zip(&residual).enumerate() {
+                assert!(c >= need.max(0.0) - 1e-9, "task {j}: {c} < {need}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_schedule_with_satisfied_requirements_is_empty_sets() {
+        let inst = instance();
+        let residual = vec![0.0; inst.num_tasks()];
+        let s = build_residual_schedule(
+            &inst,
+            SelectionRule::MarginalCoverage,
+            &residual,
+            &[WorkerId(0)],
+        )
+        .unwrap();
+        assert_eq!(s.len(), inst.price_grid().len());
+        for i in 0..s.len() {
+            assert!(s.winners(i).is_empty());
+            assert_eq!(s.total_payment(i), Price::ZERO);
+        }
+    }
+
+    #[test]
+    fn residual_schedule_reports_shortfall_for_weak_pool() {
+        let inst = instance();
+        let cover = inst.coverage_problem();
+        let residual: Vec<f64> = (0..inst.num_tasks())
+            .map(|j| cover.requirement(TaskId(j as u32)))
+            .collect();
+        // Worker 1 alone (task 0 only, q = 0.64) cannot close full
+        // requirements on both tasks.
+        let err = build_residual_schedule(
+            &inst,
+            SelectionRule::MarginalCoverage,
+            &residual,
+            &[WorkerId(1)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, McsError::CoverageShortfall { .. }));
+    }
+
+    #[test]
+    fn residual_schedule_validates_inputs() {
+        let inst = instance();
+        assert!(matches!(
+            build_residual_schedule(&inst, SelectionRule::MarginalCoverage, &[1.0], &[]),
+            Err(McsError::DimensionMismatch { .. })
+        ));
+        let residual = vec![0.0; inst.num_tasks()];
+        assert!(matches!(
+            build_residual_schedule(
+                &inst,
+                SelectionRule::MarginalCoverage,
+                &residual,
+                &[WorkerId(99)],
+            ),
+            Err(McsError::WorkerOutOfRange { .. })
+        ));
     }
 
     #[test]

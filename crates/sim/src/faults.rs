@@ -1,0 +1,510 @@
+//! Worker fault model: reproducible injection of dropout, stragglers and
+//! corrupted reports into a platform round.
+//!
+//! The paper's guarantees assume every auction winner delivers labels for
+//! its whole bundle; real mobile-crowd-sensing workers do not. This module
+//! models the four failure classes the fault-tolerant round engine
+//! ([`crate::platform::run_round_resilient`]) must survive:
+//!
+//! * **no-show** — the worker never submits anything;
+//! * **partial dropout** — a fraction of the bundle is never labelled;
+//! * **straggler** — the full bundle arrives, but late (and past the
+//!   platform's deadline it counts as missing);
+//! * **corrupted reports** — a fraction of labels is flipped (the worker
+//!   misreports, maliciously or through sensor error).
+//!
+//! Fault assignment is driven by a dedicated RNG stream derived from the
+//! plan's seed, per `(phase, worker)` — never from the round's main RNG —
+//! so every failure scenario is reproducible, fault draws are independent
+//! of how much randomness the auction itself consumed, and an empty plan
+//! leaves the main RNG stream byte-for-byte identical to a fault-free run.
+
+use rand::Rng;
+
+use mcs_agg::{LabelSet, Observation};
+use mcs_num::rng;
+use mcs_types::{Bundle, McsError, TaskId, WorkerId};
+
+/// A reproducible description of the faults to inject into a round.
+///
+/// Rates are probabilities in `[0, 1]`; a single uniform draw per worker
+/// picks at most one fault class (cumulative over `no_show_rate`,
+/// `partial_dropout_rate`, `straggler_rate`, `flip_rate`, in that order),
+/// so the four rates must sum to at most 1.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_sim::faults::FaultPlan;
+///
+/// let plan = FaultPlan::no_show(0.3, 42);
+/// assert!(plan.validate().is_ok());
+/// assert!(!plan.is_empty());
+/// assert!(FaultPlan::none().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a worker submits nothing at all.
+    pub no_show_rate: f64,
+    /// Probability a worker delivers only part of its bundle.
+    pub partial_dropout_rate: f64,
+    /// Expected fraction of the bundle dropped by a partial worker
+    /// (each bundle task is dropped independently; at least one survives
+    /// and at least one is dropped, otherwise the fault degenerates).
+    pub dropout_fraction: f64,
+    /// Probability a worker delivers late.
+    pub straggler_rate: f64,
+    /// Inclusive range of straggler delays, in abstract platform ticks.
+    /// Compared against the round's deadline budget.
+    pub straggler_delay: (u32, u32),
+    /// Probability a worker's reports are corrupted.
+    pub flip_rate: f64,
+    /// Probability each label of a corrupted worker is flipped.
+    pub flip_fraction: f64,
+    /// Seed of the dedicated fault stream.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, any seed. A round run under this plan is
+    /// byte-for-byte the happy-path round.
+    pub fn none() -> Self {
+        FaultPlan {
+            no_show_rate: 0.0,
+            partial_dropout_rate: 0.0,
+            dropout_fraction: 0.5,
+            straggler_rate: 0.0,
+            straggler_delay: (1, 1),
+            flip_rate: 0.0,
+            flip_fraction: 0.5,
+            seed: 0,
+        }
+    }
+
+    /// A plan with only full no-shows at the given rate.
+    pub fn no_show(rate: f64, seed: u64) -> Self {
+        FaultPlan {
+            no_show_rate: rate,
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Returns `true` if the plan can never perturb a round.
+    pub fn is_empty(&self) -> bool {
+        self.no_show_rate <= 0.0
+            && self.partial_dropout_rate <= 0.0
+            && self.straggler_rate <= 0.0
+            && self.flip_rate <= 0.0
+    }
+
+    /// Validates rates, fractions and the delay range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McsError::Solver`] with a descriptive message when a rate
+    /// or fraction falls outside `[0, 1]`, the four fault rates sum above
+    /// 1, or the straggler delay range is empty (no dedicated error
+    /// variant is warranted for a simulation-only knob).
+    pub fn validate(&self) -> Result<(), McsError> {
+        let rates = [
+            ("no_show_rate", self.no_show_rate),
+            ("partial_dropout_rate", self.partial_dropout_rate),
+            ("straggler_rate", self.straggler_rate),
+            ("flip_rate", self.flip_rate),
+            ("dropout_fraction", self.dropout_fraction),
+            ("flip_fraction", self.flip_fraction),
+        ];
+        for (name, v) in rates {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(McsError::Solver {
+                    message: format!("fault plan field {name} = {v} is outside [0, 1]"),
+                });
+            }
+        }
+        let total =
+            self.no_show_rate + self.partial_dropout_rate + self.straggler_rate + self.flip_rate;
+        if total > 1.0 + 1e-12 {
+            return Err(McsError::Solver {
+                message: format!("fault plan rates sum to {total} > 1"),
+            });
+        }
+        if self.straggler_delay.0 > self.straggler_delay.1 {
+            return Err(McsError::Solver {
+                message: format!(
+                    "fault plan straggler_delay range ({}, {}) is empty",
+                    self.straggler_delay.0, self.straggler_delay.1
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What actually happened to one worker's submission in one phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerFate {
+    /// Full bundle delivered on time, labels as reported.
+    Delivered,
+    /// Nothing was submitted.
+    NoShow,
+    /// The listed bundle tasks were never labelled; the rest arrived on
+    /// time.
+    Partial {
+        /// Tasks whose labels were dropped.
+        dropped: Vec<TaskId>,
+    },
+    /// The full bundle arrived `delay` ticks after the round started.
+    Straggler {
+        /// Arrival delay in platform ticks.
+        delay: u32,
+    },
+    /// The full bundle arrived on time but the listed labels were flipped.
+    Corrupted {
+        /// Tasks whose labels were flipped.
+        flipped: Vec<TaskId>,
+    },
+}
+
+impl WorkerFate {
+    /// Whether the worker's *complete* bundle reached the platform within
+    /// `deadline` ticks — the condition for being paid.
+    ///
+    /// Corruption is not detectable by the platform (it has no ground
+    /// truth), so corrupted-but-complete submissions still count.
+    pub fn delivered_in_full(&self, deadline: u32) -> bool {
+        match self {
+            WorkerFate::Delivered | WorkerFate::Corrupted { .. } => true,
+            WorkerFate::Straggler { delay } => *delay <= deadline,
+            WorkerFate::NoShow | WorkerFate::Partial { .. } => false,
+        }
+    }
+
+    /// Whether any of the worker's labels reached the platform in time.
+    pub fn delivered_anything(&self, deadline: u32) -> bool {
+        match self {
+            WorkerFate::NoShow => false,
+            WorkerFate::Partial { dropped: _ } => true,
+            _ => self.delivered_in_full(deadline),
+        }
+    }
+}
+
+/// A per-task coverage shortfall surviving after backfill: the typed
+/// "what degraded and by how much" record of a [`DegradedRoundReport`]
+/// (see [`crate::platform`]).
+///
+/// [`DegradedRoundReport`]: crate::platform::DegradedRoundReport
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageShortfall {
+    /// The under-covered task.
+    pub task: TaskId,
+    /// Required coverage `Q_j = 2 ln(1/δ_j)`.
+    pub required: f64,
+    /// Coverage `Σ q_ij` actually achieved by surviving reports.
+    pub achieved: f64,
+}
+
+impl From<CoverageShortfall> for McsError {
+    fn from(s: CoverageShortfall) -> McsError {
+        McsError::CoverageShortfall {
+            task: s.task,
+            required: s.required,
+            achieved: s.achieved,
+        }
+    }
+}
+
+/// Deterministically assigns fates to workers according to a [`FaultPlan`].
+///
+/// Fate draws are keyed by `(seed, phase, worker)`, so they are independent
+/// of iteration order, of the main round RNG, and of one another.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Wraps a validated plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlan::validate`] errors.
+    pub fn new(plan: FaultPlan) -> Result<Self, McsError> {
+        plan.validate()?;
+        Ok(FaultInjector { plan })
+    }
+
+    /// The wrapped plan.
+    #[inline]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Draws the fate of one worker's submission in one phase (phase 0 is
+    /// the primary round; backfill rounds count up from 1).
+    pub fn fate_of(&self, phase: u32, worker: WorkerId, bundle: &Bundle) -> WorkerFate {
+        if self.plan.is_empty() {
+            return WorkerFate::Delivered;
+        }
+        let salt = ((phase as u64) << 32) | worker.0 as u64;
+        let mut r = rng::derived(self.plan.seed, salt);
+        let u: f64 = r.gen();
+        let p = &self.plan;
+        if u < p.no_show_rate {
+            return WorkerFate::NoShow;
+        }
+        if u < p.no_show_rate + p.partial_dropout_rate {
+            let mut dropped: Vec<TaskId> = bundle
+                .iter()
+                .filter(|_| r.gen_bool(p.dropout_fraction.clamp(0.0, 1.0)))
+                .collect();
+            // A degenerate draw collapses to the nearest non-degenerate
+            // fault: dropping everything is a no-show, dropping nothing is
+            // a delivery.
+            if dropped.len() == bundle.len() {
+                return WorkerFate::NoShow;
+            }
+            if dropped.is_empty() {
+                if let Some(first) = bundle.iter().next() {
+                    dropped.push(first);
+                } else {
+                    return WorkerFate::Delivered;
+                }
+                if dropped.len() == bundle.len() {
+                    return WorkerFate::NoShow;
+                }
+            }
+            return WorkerFate::Partial { dropped };
+        }
+        if u < p.no_show_rate + p.partial_dropout_rate + p.straggler_rate {
+            let (lo, hi) = p.straggler_delay;
+            let delay = if lo >= hi { lo } else { r.gen_range(lo..=hi) };
+            return WorkerFate::Straggler { delay };
+        }
+        if u < p.no_show_rate + p.partial_dropout_rate + p.straggler_rate + p.flip_rate {
+            let flipped: Vec<TaskId> = bundle
+                .iter()
+                .filter(|_| r.gen_bool(p.flip_fraction.clamp(0.0, 1.0)))
+                .collect();
+            if flipped.is_empty() {
+                return WorkerFate::Delivered;
+            }
+            return WorkerFate::Corrupted { flipped };
+        }
+        WorkerFate::Delivered
+    }
+
+    /// Draws fates for a whole assignment (one phase).
+    pub fn fates_for(
+        &self,
+        phase: u32,
+        assignment: &[(WorkerId, Bundle)],
+    ) -> Vec<(WorkerId, WorkerFate)> {
+        assignment
+            .iter()
+            .map(|(w, b)| (*w, self.fate_of(phase, *w, b)))
+            .collect()
+    }
+}
+
+/// Applies fates to the labels a phase *would* have produced, returning
+/// only what the platform actually receives within `deadline` ticks.
+///
+/// Labels from workers without a fate entry pass through unchanged (they
+/// were not part of this phase's assignment).
+pub fn filter_labels(
+    labels: &LabelSet,
+    fates: &[(WorkerId, WorkerFate)],
+    deadline: u32,
+) -> LabelSet {
+    let fate_of = |w: WorkerId| fates.iter().find(|(fw, _)| *fw == w).map(|(_, f)| f);
+    let mut delivered = LabelSet::new(labels.num_tasks());
+    for obs in labels.iter() {
+        let kept = match fate_of(obs.worker) {
+            None | Some(WorkerFate::Delivered) => Some(obs.label),
+            Some(WorkerFate::NoShow) => None,
+            Some(WorkerFate::Straggler { delay }) => (*delay <= deadline).then_some(obs.label),
+            Some(WorkerFate::Partial { dropped }) => {
+                (!dropped.contains(&obs.task)).then_some(obs.label)
+            }
+            Some(WorkerFate::Corrupted { flipped }) => Some(if flipped.contains(&obs.task) {
+                -obs.label
+            } else {
+                obs.label
+            }),
+        };
+        if let Some(label) = kept {
+            delivered.push(Observation { label, ..obs });
+        }
+    }
+    delivered
+}
+
+/// The achieved error bound `δ̂_j = exp(−C_j / 2)` implied by coverage
+/// `C_j` (the inverse of Lemma 1's `Q_j = 2 ln(1/δ_j)`).
+///
+/// Zero coverage yields `δ̂ = 1`: no guarantee at all.
+#[inline]
+pub fn achieved_delta(coverage: f64) -> f64 {
+    (-coverage.max(0.0) / 2.0).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_agg::Label;
+    use mcs_types::Bundle;
+
+    fn bundle(tasks: &[u32]) -> Bundle {
+        Bundle::new(tasks.iter().map(|&t| TaskId(t)).collect())
+    }
+
+    fn obs(w: u32, t: u32, l: Label) -> Observation {
+        Observation {
+            worker: WorkerId(w),
+            task: TaskId(t),
+            label: l,
+        }
+    }
+
+    #[test]
+    fn empty_plan_never_faults() {
+        let inj = FaultInjector::new(FaultPlan::none()).unwrap();
+        for w in 0..50 {
+            assert_eq!(
+                inj.fate_of(0, WorkerId(w), &bundle(&[0, 1, 2])),
+                WorkerFate::Delivered
+            );
+        }
+    }
+
+    #[test]
+    fn fates_are_deterministic_and_phase_dependent() {
+        let plan = FaultPlan {
+            no_show_rate: 0.25,
+            partial_dropout_rate: 0.25,
+            straggler_rate: 0.25,
+            flip_rate: 0.25,
+            seed: 7,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(plan).unwrap();
+        let b = bundle(&[0, 1, 2, 3]);
+        let first: Vec<WorkerFate> = (0..20).map(|w| inj.fate_of(0, WorkerId(w), &b)).collect();
+        let second: Vec<WorkerFate> = (0..20).map(|w| inj.fate_of(0, WorkerId(w), &b)).collect();
+        assert_eq!(first, second);
+        let other_phase: Vec<WorkerFate> =
+            (0..20).map(|w| inj.fate_of(1, WorkerId(w), &b)).collect();
+        assert_ne!(first, other_phase, "phases share a fault stream");
+    }
+
+    #[test]
+    fn no_show_rate_one_drops_everyone() {
+        let inj = FaultInjector::new(FaultPlan::no_show(1.0, 3)).unwrap();
+        for w in 0..20 {
+            assert_eq!(
+                inj.fate_of(0, WorkerId(w), &bundle(&[0])),
+                WorkerFate::NoShow
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let mut p = FaultPlan::none();
+        p.no_show_rate = -0.1;
+        assert!(p.validate().is_err());
+        let mut p = FaultPlan::none();
+        p.no_show_rate = 0.7;
+        p.flip_rate = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = FaultPlan::none();
+        p.straggler_delay = (5, 2);
+        assert!(p.validate().is_err());
+        assert!(FaultInjector::new(p).is_err());
+    }
+
+    #[test]
+    fn filter_respects_each_fate() {
+        let labels: LabelSet = [
+            obs(0, 0, Label::Pos),
+            obs(1, 0, Label::Pos),
+            obs(2, 0, Label::Pos),
+            obs(2, 1, Label::Neg),
+            obs(3, 1, Label::Pos),
+            obs(4, 1, Label::Neg),
+        ]
+        .into_iter()
+        .collect();
+        let fates = vec![
+            (WorkerId(0), WorkerFate::NoShow),
+            (WorkerId(1), WorkerFate::Straggler { delay: 99 }),
+            (
+                WorkerId(2),
+                WorkerFate::Partial {
+                    dropped: vec![TaskId(1)],
+                },
+            ),
+            (
+                WorkerId(3),
+                WorkerFate::Corrupted {
+                    flipped: vec![TaskId(1)],
+                },
+            ),
+            // Worker 4 has no fate entry: passes through.
+        ];
+        let delivered = filter_labels(&labels, &fates, 10);
+        // Worker 0 gone, worker 1 too late, worker 2 keeps task 0 only,
+        // worker 3's task-1 label flipped, worker 4 untouched.
+        assert_eq!(delivered.for_task(TaskId(0)), &[(WorkerId(2), Label::Pos)]);
+        assert_eq!(
+            delivered.for_task(TaskId(1)),
+            &[(WorkerId(3), Label::Neg), (WorkerId(4), Label::Neg)]
+        );
+        // A generous deadline lets the straggler in.
+        let relaxed = filter_labels(&labels, &fates, 100);
+        assert_eq!(
+            relaxed.for_task(TaskId(0)),
+            &[(WorkerId(1), Label::Pos), (WorkerId(2), Label::Pos)]
+        );
+    }
+
+    #[test]
+    fn delivery_predicates() {
+        assert!(WorkerFate::Delivered.delivered_in_full(0));
+        assert!(!WorkerFate::NoShow.delivered_anything(10));
+        assert!(WorkerFate::Straggler { delay: 5 }.delivered_in_full(5));
+        assert!(!WorkerFate::Straggler { delay: 6 }.delivered_in_full(5));
+        let partial = WorkerFate::Partial {
+            dropped: vec![TaskId(0)],
+        };
+        assert!(!partial.delivered_in_full(10));
+        assert!(partial.delivered_anything(10));
+        assert!(WorkerFate::Corrupted {
+            flipped: vec![TaskId(0)]
+        }
+        .delivered_in_full(10));
+    }
+
+    #[test]
+    fn achieved_delta_inverts_lemma1_threshold() {
+        for delta in [0.05, 0.1, 0.2, 0.5, 0.9] {
+            let q = mcs_agg::lemma1_threshold(delta);
+            assert!((achieved_delta(q) - delta).abs() < 1e-12);
+        }
+        assert_eq!(achieved_delta(0.0), 1.0);
+        assert_eq!(achieved_delta(-3.0), 1.0);
+    }
+
+    #[test]
+    fn shortfall_converts_to_typed_error() {
+        let s = CoverageShortfall {
+            task: TaskId(3),
+            required: 4.0,
+            achieved: 1.5,
+        };
+        let e: McsError = s.into();
+        assert!(matches!(e, McsError::CoverageShortfall { .. }));
+    }
+}

@@ -14,7 +14,11 @@
 //!   (likelihood-ratio inference over repeated rounds) and its DP
 //!   composition bound.
 //! * [`platform`] — an end-to-end MCS platform loop (announce → auction →
-//!   label → aggregate → pay) over the synthetic label model.
+//!   label → aggregate → pay) over the synthetic label model, including
+//!   the fault-tolerant round engine
+//!   ([`platform::run_round_resilient`]).
+//! * [`faults`] — the worker fault model: reproducible no-show, partial
+//!   dropout, straggler, and corrupted-report injection.
 //! * [`output`] — plain-text table and CSV rendering for the experiment
 //!   binaries.
 //! * [`io`] — JSON workload snapshots for pinning experiment inputs.
@@ -38,9 +42,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Fault-injected rounds exercise arbitrary partial-coverage states, so the
+// simulation path must degrade gracefully, never panic on a stray unwrap.
+// Tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod adversary;
 pub mod experiments;
+pub mod faults;
 pub mod io;
 pub mod neighbour;
 pub mod output;

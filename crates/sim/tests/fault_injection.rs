@@ -1,0 +1,191 @@
+//! Property-based tests of the fault-tolerant round engine.
+//!
+//! For arbitrary fault plans, seeds and generated instances:
+//! `run_round_resilient` must never panic, must never pay more than the
+//! clearing price times the number of workers who delivered in each phase,
+//! and must report achieved error bounds `δ̂_j` consistent with the
+//! coverage its surviving labels actually provide. Under an empty plan it
+//! must reproduce `run_round` byte for byte.
+
+use proptest::prelude::*;
+use rand::Rng;
+
+use mcs_agg::achieved_coverage;
+use mcs_num::rng;
+use mcs_sim::faults::{achieved_delta, FaultPlan};
+use mcs_sim::platform::{run_round, run_round_resilient, DegradedRoundReport, ResilienceConfig};
+use mcs_sim::Setting;
+use mcs_types::{Instance, Price, TaskId, TrueType, WorkerId};
+
+use mcs_auction::DpHsrcAuction;
+
+fn generated(instance_seed: u64) -> (Instance, Vec<TrueType>) {
+    let g = Setting::one(80).scaled_down(4).generate(instance_seed);
+    (g.instance, g.types)
+}
+
+/// Every invariant the engine promises, checked against one report.
+fn check_report(instance: &Instance, types: &[TrueType], report: &DegradedRoundReport) {
+    let deadline = ResilienceConfig::default().deadline;
+
+    // -- Payments: exactly the full-bundle deliverers of each phase, at
+    //    that phase's clearing price; never more.
+    let mut expected_paid: Vec<(WorkerId, Price)> = report
+        .fates
+        .iter()
+        .filter(|(_, f)| f.delivered_in_full(deadline))
+        .map(|(w, _)| (*w, report.round.outcome.price()))
+        .collect();
+    for bf in &report.backfill {
+        expected_paid.extend(
+            bf.fates
+                .iter()
+                .filter(|(_, f)| f.delivered_in_full(deadline))
+                .map(|(w, _)| (*w, bf.outcome.price())),
+        );
+    }
+    assert_eq!(report.paid, expected_paid);
+    let ceiling: Price = report.round.outcome.price() * report.fates.len()
+        + report
+            .backfill
+            .iter()
+            .map(|bf| bf.outcome.price() * bf.fates.len())
+            .sum::<Price>();
+    let total: Price = report.paid.iter().map(|&(_, p)| p).sum();
+    assert_eq!(report.round.total_paid, total);
+    assert!(report.round.total_paid <= ceiling);
+
+    // -- Utilities: payment minus true cost for the paid, zero otherwise.
+    for (i, (utility, true_type)) in report.round.utilities.iter().zip(types).enumerate() {
+        let w = WorkerId(i as u32);
+        match report.paid.iter().find(|(pw, _)| *pw == w) {
+            Some(&(_, amount)) => assert_eq!(*utility, amount - true_type.cost()),
+            None => assert_eq!(*utility, Price::ZERO),
+        }
+    }
+
+    // -- Achieved bounds: δ̂_j = exp(−C_j/2) with C_j recomputed from the
+    //    labels the report says survived.
+    let cover = instance.coverage_problem();
+    for j in 0..instance.num_tasks() {
+        let t = TaskId(j as u32);
+        let c = achieved_coverage(&report.round.labels, instance.skills(), t);
+        assert!((report.achieved_coverage[j] - c).abs() < 1e-12);
+        assert!((report.achieved_deltas[j] - achieved_delta(c)).abs() < 1e-12);
+        let short = report.shortfalls.iter().find(|s| s.task == t);
+        if c < cover.requirement(t) - 1e-9 {
+            let s = short.expect("under-covered task must be reported");
+            assert!((s.achieved - c).abs() < 1e-12);
+            assert!((s.required - cover.requirement(t)).abs() < 1e-12);
+        } else {
+            assert!(short.is_none(), "covered task {t} reported as shortfall");
+        }
+    }
+    assert_eq!(report.degraded(), !report.shortfalls.is_empty());
+    assert!(report.backfill.len() <= report.backfill_attempts);
+    assert!(report.backfill_attempts <= ResilienceConfig::default().max_backfill_rounds);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary plans over arbitrary instances: no panic, and every
+    /// reported quantity is internally consistent.
+    #[test]
+    fn prop_resilient_round_is_sound(
+        instance_seed in 0u64..12,
+        round_seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        no_show in 0.0f64..0.4,
+        partial in 0.0f64..0.25,
+        straggle in 0.0f64..0.2,
+        flip in 0.0f64..0.15,
+        dropout_fraction in 0.05f64..0.95,
+        delay_hi in 1u32..200,
+    ) {
+        let (instance, types) = generated(instance_seed);
+        let plan = FaultPlan {
+            no_show_rate: no_show,
+            partial_dropout_rate: partial,
+            straggler_rate: straggle,
+            flip_rate: flip,
+            dropout_fraction,
+            flip_fraction: dropout_fraction,
+            straggler_delay: (1, delay_hi),
+            seed: fault_seed,
+        };
+        let auction = DpHsrcAuction::new(0.1).expect("valid epsilon");
+        let mut r = rng::seeded(round_seed);
+        let report = run_round_resilient(
+            &instance,
+            &types,
+            &auction,
+            &plan,
+            &ResilienceConfig::default(),
+            &mut r,
+        )
+        .expect("generated instances are feasible");
+        check_report(&instance, &types, &report);
+    }
+
+    /// The empty plan is the identity: same report as `run_round` and the
+    /// same amount of randomness consumed.
+    #[test]
+    fn prop_empty_plan_matches_run_round(
+        instance_seed in 0u64..12,
+        round_seed in 0u64..1000,
+    ) {
+        let (instance, types) = generated(instance_seed);
+        let auction = DpHsrcAuction::new(0.1).expect("valid epsilon");
+        let mut r_plain = rng::seeded(round_seed);
+        let mut r_resilient = rng::seeded(round_seed);
+        let plain = run_round(&instance, &types, &auction, &mut r_plain)
+            .expect("generated instances are feasible");
+        let report = run_round_resilient(
+            &instance,
+            &types,
+            &auction,
+            &FaultPlan::none(),
+            &ResilienceConfig::default(),
+            &mut r_resilient,
+        )
+        .expect("generated instances are feasible");
+        prop_assert_eq!(&report.round, &plain);
+        prop_assert!(report.backfill.is_empty());
+        prop_assert_eq!(report.backfill_attempts, 0);
+        prop_assert!(!report.degraded());
+        prop_assert_eq!(r_plain.gen::<u64>(), r_resilient.gen::<u64>());
+    }
+
+    /// Extreme dropout still terminates and degrades with typed
+    /// shortfalls rather than panicking — even with zero backfill budget.
+    #[test]
+    fn prop_heavy_dropout_degrades_gracefully(
+        instance_seed in 0u64..8,
+        round_seed in 0u64..500,
+        no_show in 0.7f64..1.0,
+        budget in 0usize..4,
+    ) {
+        let (instance, types) = generated(instance_seed);
+        let auction = DpHsrcAuction::new(0.1).expect("valid epsilon");
+        let config = ResilienceConfig { deadline: 60, max_backfill_rounds: budget };
+        let mut r = rng::seeded(round_seed);
+        let report = run_round_resilient(
+            &instance,
+            &types,
+            &auction,
+            &FaultPlan::no_show(no_show, round_seed ^ 0xdead),
+            &config,
+            &mut r,
+        )
+        .expect("generated instances are feasible");
+        prop_assert!(report.backfill_attempts <= budget);
+        for s in &report.shortfalls {
+            prop_assert!(s.achieved < s.required);
+        }
+        // Accuracy stays a well-defined fraction even with missing
+        // estimates.
+        let acc = report.round.accuracy();
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+}

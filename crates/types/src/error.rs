@@ -79,6 +79,28 @@ pub enum McsError {
         /// Maximum attainable coverage with all workers.
         attainable: f64,
     },
+    /// A winner (or candidate) set that was expected to satisfy a task's
+    /// covering constraint fell short — e.g. the surviving reports after
+    /// worker dropout, or a backfill candidate pool that cannot close a
+    /// residual requirement.
+    ///
+    /// Unlike [`McsError::Infeasible`] (the *full pool* cannot cover at
+    /// all), a shortfall is about a specific, possibly partial, coverage
+    /// state observed at runtime.
+    CoverageShortfall {
+        /// The task whose constraint is unmet.
+        task: TaskId,
+        /// Required coverage (`Q_j`, or the residual `Q'_j`).
+        required: f64,
+        /// Coverage actually achieved/attainable.
+        achieved: f64,
+    },
+    /// An aggregation path required at least one label for a task but the
+    /// delivered label set was empty there.
+    EmptyLabelSet {
+        /// The task with no labels.
+        task: TaskId,
+    },
     /// The worker pool can cover the tasks, but only at a price above the
     /// top of the candidate price grid, so the feasible price set is empty.
     NoFeasiblePrice {
@@ -151,6 +173,17 @@ impl fmt::Display for McsError {
                 f,
                 "task {task} needs coverage {required} but the full pool attains only {attainable}"
             ),
+            McsError::CoverageShortfall {
+                task,
+                required,
+                achieved,
+            } => write!(
+                f,
+                "task {task} requires coverage {required} but only {achieved} was achieved"
+            ),
+            McsError::EmptyLabelSet { task } => {
+                write!(f, "task {task} received no labels")
+            }
             McsError::NoFeasiblePrice {
                 required_price,
                 grid_max,
@@ -201,6 +234,21 @@ mod tests {
             message: "node budget exhausted".into(),
         };
         assert!(s.to_string().starts_with("exact solver failed"));
+    }
+
+    #[test]
+    fn shortfall_and_empty_label_variants_render() {
+        let e = McsError::CoverageShortfall {
+            task: TaskId(2),
+            required: 3.5,
+            achieved: 1.25,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("t2"));
+        assert!(msg.contains("3.5"));
+        assert!(msg.contains("1.25"));
+        let e = McsError::EmptyLabelSet { task: TaskId(7) };
+        assert!(e.to_string().contains("t7"));
     }
 
     #[test]
