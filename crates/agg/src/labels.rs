@@ -4,6 +4,7 @@ use std::fmt;
 use std::ops::Neg;
 
 use rand::Rng;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use mcs_types::{Bundle, SkillMatrix, TaskId, WorkerId};
 
@@ -69,6 +70,29 @@ impl Neg for Label {
     }
 }
 
+// Hand-written serde: the vendored derive does not support enums, and the
+// signed-integer encoding (`1` / `-1`) matches the paper's ±1 label model.
+impl Serialize for Label {
+    fn to_value(&self) -> Value {
+        match self {
+            Label::Pos => 1i64.to_value(),
+            Label::Neg => (-1i64).to_value(),
+        }
+    }
+}
+
+impl Deserialize for Label {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match i64::from_value(v)? {
+            1 => Ok(Label::Pos),
+            -1 => Ok(Label::Neg),
+            other => Err(DeError::custom(format!(
+                "label must be 1 or -1, got {other}"
+            ))),
+        }
+    }
+}
+
 impl fmt::Display for Label {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -79,7 +103,7 @@ impl fmt::Display for Label {
 }
 
 /// One reported label: worker `i` says task `j` is `label`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Observation {
     /// Reporting worker.
     pub worker: WorkerId,
@@ -102,7 +126,7 @@ pub struct Observation {
 /// assert_eq!(set.for_task(TaskId(1)).len(), 1);
 /// assert!(set.for_task(TaskId(0)).is_empty());
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct LabelSet {
     per_task: Vec<Vec<(WorkerId, Label)>>,
 }

@@ -55,7 +55,7 @@ fn bench_extreme_epsilon(c: &mut Criterion) {
     let schedule = build_schedule(&g.instance, SelectionRule::MarginalCoverage).expect("feasible");
     let mut group = c.benchmark_group("exponential_mechanism");
     for eps in [0.1f64, 1000.0] {
-        let mech = ExponentialMechanism::for_instance(eps, &g.instance);
+        let mech = ExponentialMechanism::for_instance(eps, &g.instance).expect("valid epsilon");
         group.bench_function(format!("log_domain_eps_{eps}"), |b| {
             b.iter(|| mech.pmf(schedule.clone()));
         });

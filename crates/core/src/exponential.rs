@@ -1,6 +1,6 @@
 //! The exponential mechanism over price schedules (Algorithm 1, line 16).
 
-use mcs_types::{Instance, Price};
+use mcs_types::{Instance, McsError, Price};
 
 use crate::schedule::{pmf_from_logits, PricePmf, PriceSchedule};
 
@@ -28,25 +28,58 @@ pub struct ExponentialMechanism {
 impl ExponentialMechanism {
     /// Creates the mechanism for a given ε and instance parameters.
     ///
+    /// # Errors
+    ///
+    /// * [`McsError::InvalidEpsilon`] — `epsilon` is not strictly positive
+    ///   and finite.
+    /// * [`McsError::DimensionMismatch`] — `num_workers` is zero.
+    pub fn new(epsilon: f64, num_workers: usize, cmax: Price) -> Result<Self, McsError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(McsError::InvalidEpsilon { value: epsilon });
+        }
+        if num_workers == 0 {
+            return Err(McsError::DimensionMismatch {
+                what: "exponential mechanism worker count",
+                expected: 1,
+                actual: 0,
+            });
+        }
+        Ok(ExponentialMechanism {
+            epsilon,
+            num_workers,
+            cmax,
+        })
+    }
+
+    /// Panicking alias of [`ExponentialMechanism::new`], kept for callers
+    /// that validated ε at a higher layer.
+    ///
     /// # Panics
     ///
     /// Panics if `epsilon` is not strictly positive and finite, or
     /// `num_workers` is zero.
-    pub fn new(epsilon: f64, num_workers: usize, cmax: Price) -> Self {
-        assert!(
-            epsilon.is_finite() && epsilon > 0.0,
-            "epsilon must be positive and finite"
-        );
-        assert!(num_workers > 0, "at least one worker is required");
-        ExponentialMechanism {
-            epsilon,
-            num_workers,
-            cmax,
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the fallible `ExponentialMechanism::new` and handle `McsError`"
+    )]
+    pub fn new_or_panic(epsilon: f64, num_workers: usize, cmax: Price) -> Self {
+        match Self::new(epsilon, num_workers, cmax) {
+            Ok(mech) => mech,
+            Err(McsError::InvalidEpsilon { .. }) => {
+                panic!("epsilon must be positive and finite")
+            }
+            Err(_) => panic!("at least one worker is required"),
         }
     }
 
     /// Convenience constructor reading `N` and `c_max` from an instance.
-    pub fn for_instance(epsilon: f64, instance: &Instance) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExponentialMechanism::new`]; instance validation already
+    /// guarantees at least one worker, so in practice only
+    /// [`McsError::InvalidEpsilon`] can surface.
+    pub fn for_instance(epsilon: f64, instance: &Instance) -> Result<Self, McsError> {
         Self::new(epsilon, instance.num_workers(), instance.cmax())
     }
 
@@ -99,7 +132,7 @@ mod tests {
     #[test]
     fn lower_payment_gets_higher_probability() {
         let s = schedule();
-        let mech = ExponentialMechanism::new(1.0, 3, Price::from_f64(20.0));
+        let mech = ExponentialMechanism::new(1.0, 3, Price::from_f64(20.0)).unwrap();
         let payments: Vec<Price> = s.total_payments();
         let pmf = mech.pmf(s);
         // Pair payments with probabilities; check strict monotonicity on
@@ -124,7 +157,7 @@ mod tests {
         let n = 3usize;
         let cmax = Price::from_f64(20.0);
         let eps = 0.7;
-        let mech = ExponentialMechanism::new(eps, n, cmax);
+        let mech = ExponentialMechanism::new(eps, n, cmax).unwrap();
         let payments = s.total_payments();
         let pmf = mech.pmf(s);
         let expected_log_ratio =
@@ -137,7 +170,7 @@ mod tests {
     fn tiny_epsilon_is_nearly_uniform() {
         let s = schedule();
         let len = s.len();
-        let mech = ExponentialMechanism::new(1e-9, 3, Price::from_f64(20.0));
+        let mech = ExponentialMechanism::new(1e-9, 3, Price::from_f64(20.0)).unwrap();
         let pmf = mech.pmf(s);
         for &p in pmf.probs() {
             assert!((p - 1.0 / len as f64).abs() < 1e-6);
@@ -154,21 +187,30 @@ mod tests {
             .min_by_key(|(_, &p)| p)
             .map(|(i, _)| i)
             .unwrap();
-        let mech = ExponentialMechanism::new(10_000.0, 3, Price::from_f64(20.0));
+        let mech = ExponentialMechanism::new(10_000.0, 3, Price::from_f64(20.0)).unwrap();
         let pmf = mech.pmf(s);
         assert!(pmf.probs()[best] > 0.999);
         assert!(pmf.probs().iter().all(|p| p.is_finite()));
     }
 
     #[test]
-    #[should_panic(expected = "epsilon must be positive")]
     fn zero_epsilon_rejected() {
-        let _ = ExponentialMechanism::new(0.0, 3, Price::from_f64(20.0));
+        let err = ExponentialMechanism::new(0.0, 3, Price::from_f64(20.0)).unwrap_err();
+        assert!(matches!(err, McsError::InvalidEpsilon { value } if value == 0.0));
+        let err = ExponentialMechanism::new(f64::NAN, 3, Price::from_f64(20.0)).unwrap_err();
+        assert!(matches!(err, McsError::InvalidEpsilon { .. }));
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
-        let _ = ExponentialMechanism::new(0.1, 0, Price::from_f64(20.0));
+        let err = ExponentialMechanism::new(0.1, 0, Price::from_f64(20.0)).unwrap_err();
+        assert!(matches!(err, McsError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn deprecated_alias_still_panics() {
+        let _ = ExponentialMechanism::new_or_panic(-1.0, 3, Price::from_f64(20.0));
     }
 }

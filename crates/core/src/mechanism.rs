@@ -86,7 +86,7 @@ pub trait ScheduledMechanism: Mechanism<Input = Instance, Output = AuctionOutcom
     /// Propagates [`ScheduledMechanism::schedule`] errors.
     fn pmf(&self, instance: &Instance) -> Result<PricePmf, McsError> {
         let schedule = self.schedule(instance)?;
-        Ok(ExponentialMechanism::for_instance(self.epsilon(), instance).pmf(schedule))
+        Ok(ExponentialMechanism::for_instance(self.epsilon(), instance)?.pmf(schedule))
     }
 
     /// The winner schedule for a *residual* covering problem: only
@@ -128,7 +128,7 @@ pub trait ScheduledMechanism: Mechanism<Input = Instance, Output = AuctionOutcom
         rng: &mut R,
     ) -> Result<AuctionOutcome, McsError> {
         let schedule = self.residual_schedule(instance, residual, eligible)?;
-        let pmf = ExponentialMechanism::for_instance(self.epsilon(), instance).pmf(schedule);
+        let pmf = ExponentialMechanism::for_instance(self.epsilon(), instance)?.pmf(schedule);
         Ok(pmf.sample(rng))
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use serde::{DeError, Deserialize, Serialize, Value};
+
 use mcs_types::{Price, TrueType, WorkerId};
 
 /// The result of one auction run: the single clearing price and the winner
@@ -83,6 +85,32 @@ impl AuctionOutcome {
             .iter()
             .enumerate()
             .all(|(i, t)| self.utility_of(WorkerId(i as u32), t) >= Price::ZERO)
+    }
+}
+
+// Serialization is hand-written (rather than derived) so deserialization
+// funnels through `AuctionOutcome::new` and the sorted/deduplicated winner
+// invariant survives arbitrary wire input.
+impl Serialize for AuctionOutcome {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("price".to_string(), self.price.to_value()),
+            ("winners".to_string(), self.winners.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for AuctionOutcome {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let price = Price::from_value(
+            v.get("price")
+                .ok_or_else(|| DeError::missing_field("price"))?,
+        )?;
+        let winners = Vec::<WorkerId>::from_value(
+            v.get("winners")
+                .ok_or_else(|| DeError::missing_field("winners"))?,
+        )?;
+        Ok(AuctionOutcome::new(price, winners))
     }
 }
 

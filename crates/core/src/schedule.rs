@@ -84,6 +84,15 @@ impl PriceSchedule {
         (0..self.len()).map(|i| self.total_payment(i)).collect()
     }
 
+    /// The outcome at the `idx`-th feasible price — the `(price, winners)`
+    /// pair a run would produce if the exponential mechanism drew `idx`.
+    ///
+    /// Lets callers that hold a shared (e.g. cached) schedule materialize
+    /// outcomes without re-running winner determination.
+    pub fn outcome(&self, idx: usize) -> AuctionOutcome {
+        AuctionOutcome::new(self.price(idx), self.winners(idx).to_vec())
+    }
+
     /// The number of *distinct* winner sets stored.
     #[inline]
     pub fn num_distinct_sets(&self) -> usize {
@@ -715,6 +724,19 @@ pub struct PricePmf {
 }
 
 impl PricePmf {
+    /// Number of feasible prices (same as `schedule().len()`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Returns `true` if the PMF has no support (never under construction
+    /// through [`build_schedule`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
     /// Pairs a schedule with already-normalized probabilities.
     ///
     /// # Panics
@@ -756,10 +778,7 @@ impl PricePmf {
                 break;
             }
         }
-        AuctionOutcome::new(
-            self.schedule.price(idx),
-            self.schedule.winners(idx).to_vec(),
-        )
+        self.schedule.outcome(idx)
     }
 
     /// The exact expected total payment `E[x · |S(x)|]` in currency units.

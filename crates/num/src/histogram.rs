@@ -83,6 +83,44 @@ impl Histogram {
             .collect()
     }
 
+    /// The smallest bin index at which the cumulative share of
+    /// observations reaches `q` (a quantile over the *bin index* axis).
+    ///
+    /// `q` is clamped to `[0, 1]`; `q = 0` returns the first non-empty
+    /// bin. Returns `None` when the histogram is empty. Callers that bin
+    /// a continuous quantity (e.g. latency buckets) map the index back to
+    /// the bucket's upper bound themselves.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcs_num::Histogram;
+    ///
+    /// let mut h = Histogram::new(4);
+    /// for bin in [0, 0, 1, 3] {
+    ///     h.record(bin);
+    /// }
+    /// assert_eq!(h.quantile(0.5), Some(0));
+    /// assert_eq!(h.quantile(0.75), Some(1));
+    /// assert_eq!(h.quantile(1.0), Some(3));
+    /// assert_eq!(Histogram::new(2).quantile(0.5), None);
+    /// ```
+    pub fn quantile(&self, q: f64) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(i);
+            }
+        }
+        // Unreachable while `total == Σ counts`, but stay total-order safe.
+        Some(self.counts.len().saturating_sub(1))
+    }
+
     /// Merges another histogram with the same bin count.
     ///
     /// # Panics
@@ -167,6 +205,17 @@ mod tests {
     fn merge_mismatched_panics() {
         let mut a = Histogram::new(2);
         a.merge(&Histogram::new(3));
+    }
+
+    #[test]
+    fn quantile_skips_empty_leading_bins() {
+        let mut h = Histogram::new(5);
+        h.record(2);
+        h.record(4);
+        assert_eq!(h.quantile(0.0), Some(2));
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(0.51), Some(4));
+        assert_eq!(h.quantile(2.0), Some(4)); // clamped
     }
 
     #[test]

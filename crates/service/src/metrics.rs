@@ -1,0 +1,202 @@
+//! Per-endpoint counters and latency histograms.
+//!
+//! Latencies are recorded in a geometric bucket histogram (ratio 1.25,
+//! 96 buckets, ~27 minutes of range at microsecond resolution) built on
+//! [`mcs_num::Histogram`]; quantiles are reported as the containing
+//! bucket's upper bound, so they overstate the truth by at most 25%.
+//! Exact maxima are tracked separately.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use mcs_num::Histogram;
+
+use crate::wire::{EndpointMetrics, LatencySummary, MetricsReport};
+
+/// The fixed endpoint set, in reporting order.
+pub const ENDPOINTS: [&str; 5] = [
+    "run_auction",
+    "query_pmf",
+    "run_resilient_round",
+    "health",
+    "metrics",
+];
+
+const BUCKETS: usize = 96;
+const RATIO: f64 = 1.25;
+
+/// Upper bound (µs) of bucket `i`: `ceil(1.25^i)`.
+fn bucket_bound_us(i: usize) -> u64 {
+    RATIO.powi(i as i32).ceil() as u64
+}
+
+/// The bucket containing a latency of `us` microseconds.
+fn bucket_for_us(us: u64) -> usize {
+    // Buckets are few enough that a scan beats getting the float log
+    // edge cases right.
+    for i in 0..BUCKETS {
+        if us <= bucket_bound_us(i) {
+            return i;
+        }
+    }
+    BUCKETS - 1
+}
+
+struct EndpointStats {
+    count: u64,
+    errors: u64,
+    batched: u64,
+    latency: Histogram,
+    max_us: u64,
+}
+
+impl EndpointStats {
+    fn new() -> Self {
+        EndpointStats {
+            count: 0,
+            errors: 0,
+            batched: 0,
+            latency: Histogram::new(BUCKETS),
+            max_us: 0,
+        }
+    }
+
+    fn summary(&self) -> Option<LatencySummary> {
+        let q = |p: f64| self.latency.quantile(p).map(bucket_bound_us);
+        Some(LatencySummary {
+            p50_us: q(0.50)?,
+            p95_us: q(0.95)?,
+            p99_us: q(0.99)?,
+            max_us: self.max_us,
+        })
+    }
+}
+
+/// Thread-safe metrics registry shared by every worker.
+pub struct MetricsRegistry {
+    stats: Mutex<Vec<EndpointStats>>,
+    rejected_busy: Mutex<u64>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry covering [`ENDPOINTS`].
+    pub fn new() -> Self {
+        MetricsRegistry {
+            stats: Mutex::new((0..ENDPOINTS.len()).map(|_| EndpointStats::new()).collect()),
+            rejected_busy: Mutex::new(0),
+        }
+    }
+
+    fn index(endpoint: &str) -> Option<usize> {
+        ENDPOINTS.iter().position(|e| *e == endpoint)
+    }
+
+    /// Records one answered request.
+    ///
+    /// `batched` marks requests served as part of a coalesced batch of
+    /// two or more; `errored` marks [`crate::Response::Error`] answers.
+    pub fn record(&self, endpoint: &str, latency: Duration, batched: bool, errored: bool) {
+        let Some(idx) = Self::index(endpoint) else {
+            return;
+        };
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut stats = self.stats.lock().expect("metrics lock poisoned");
+        let s = &mut stats[idx];
+        s.count += 1;
+        if errored {
+            s.errors += 1;
+        }
+        if batched {
+            s.batched += 1;
+        }
+        s.latency.record(bucket_for_us(us));
+        s.max_us = s.max_us.max(us);
+    }
+
+    /// Records one request rejected with `Busy` at the accept queue.
+    pub fn record_busy(&self) {
+        *self.rejected_busy.lock().expect("metrics lock poisoned") += 1;
+    }
+
+    /// Snapshots every endpoint into a wire-ready report.
+    ///
+    /// `cache_hits` / `cache_misses` come from the PMF cache, which keeps
+    /// its own counters.
+    pub fn report(&self, cache_hits: u64, cache_misses: u64) -> MetricsReport {
+        let stats = self.stats.lock().expect("metrics lock poisoned");
+        MetricsReport {
+            endpoints: ENDPOINTS
+                .iter()
+                .zip(stats.iter())
+                .map(|(name, s)| EndpointMetrics {
+                    endpoint: (*name).to_string(),
+                    count: s.count,
+                    errors: s.errors,
+                    batched: s.batched,
+                    latency: s.summary(),
+                })
+                .collect(),
+            cache_hits,
+            cache_misses,
+            rejected_busy: *self.rejected_busy.lock().expect("metrics lock poisoned"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_everything() {
+        let mut prev = 0;
+        for i in 0..BUCKETS {
+            let b = bucket_bound_us(i);
+            assert!(b >= prev);
+            prev = b;
+        }
+        assert_eq!(bucket_for_us(0), 0);
+        assert_eq!(bucket_for_us(1), 0);
+        // Far beyond the last bound: clamped into the final bucket.
+        assert_eq!(bucket_for_us(u64::MAX), BUCKETS - 1);
+        // ~27 minutes of range.
+        assert!(bucket_bound_us(BUCKETS - 1) > 1_000_000_000);
+    }
+
+    #[test]
+    fn record_and_report() {
+        let m = MetricsRegistry::new();
+        m.record("run_auction", Duration::from_micros(100), false, false);
+        m.record("run_auction", Duration::from_micros(200), true, true);
+        m.record_busy();
+        let report = m.report(3, 1);
+        assert_eq!(report.cache_hits, 3);
+        assert_eq!(report.cache_misses, 1);
+        assert_eq!(report.rejected_busy, 1);
+        let ra = &report.endpoints[0];
+        assert_eq!(ra.endpoint, "run_auction");
+        assert_eq!(ra.count, 2);
+        assert_eq!(ra.errors, 1);
+        assert_eq!(ra.batched, 1);
+        let lat = ra.latency.as_ref().expect("two samples recorded");
+        assert!(lat.p50_us >= 100);
+        assert_eq!(lat.max_us, 200);
+        // Untouched endpoints have no latency summary.
+        assert!(report.endpoints[3].latency.is_none());
+        assert_eq!(report.endpoints[3].count, 0);
+    }
+
+    #[test]
+    fn unknown_endpoint_is_ignored() {
+        let m = MetricsRegistry::new();
+        m.record("nope", Duration::from_micros(1), false, false);
+        let report = m.report(0, 0);
+        assert!(report.endpoints.iter().all(|e| e.count == 0));
+    }
+}

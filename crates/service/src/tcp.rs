@@ -1,0 +1,204 @@
+//! Line-delimited JSON over TCP: the service's network transport.
+//!
+//! One request per line, one response per line, both the externally
+//! tagged JSON encodings of [`Request`] / [`Response`]. The transport is
+//! a thin shell around the in-process [`Client`]: every connection gets a
+//! thread that parses lines, forwards them through `Client::call`, and
+//! writes the answer back — so batching, caching, backpressure, and
+//! draining all behave identically across transports. A full queue
+//! produces a `busy` *line*, never a stalled or reset connection.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::server::Client;
+use crate::wire::{Request, Response};
+
+/// How often blocked I/O loops re-check the stop flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// A TCP front-end serving a [`Client`]'s service on a local socket.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding or configuring the listener.
+    pub fn bind<A: ToSocketAddrs>(client: Client, addr: A) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("mcs-service-accept".to_string())
+            .spawn(move || {
+                let mut connections: Vec<JoinHandle<()>> = Vec::new();
+                while !stop_accept.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let client = client.clone();
+                            let stop_conn = Arc::clone(&stop_accept);
+                            if let Ok(handle) = std::thread::Builder::new()
+                                .name("mcs-service-conn".to_string())
+                                .spawn(move || serve_connection(stream, &client, &stop_conn))
+                            {
+                                connections.push(handle);
+                            }
+                        }
+                        Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for handle in connections {
+                    let _ = handle.join();
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(TcpServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins every connection thread.
+    /// In-flight requests still get their response line before the
+    /// connection closes.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_connection(stream: TcpStream, client: &Client, stop: &AtomicBool) {
+    // One small JSON line per response: without TCP_NODELAY, Nagle plus
+    // delayed ACKs adds tens of milliseconds to every round trip.
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client hung up.
+            Ok(_) => {
+                let response = match serde_json::from_str::<Request>(line.trim()) {
+                    Ok(request) => client.call(request),
+                    Err(err) => Response::Error {
+                        message: format!("malformed request: {err}"),
+                    },
+                };
+                if write_line(&mut writer, &response).is_err() {
+                    break;
+                }
+                line.clear();
+            }
+            // Timeout while idle (or mid-line): whatever was read so far
+            // stays in `line`; keep accumulating after the flag check.
+            Err(err)
+                if err.kind() == io::ErrorKind::WouldBlock
+                    || err.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn write_line<W: Write>(writer: &mut W, response: &Response) -> io::Result<()> {
+    let json = serde_json::to_string(response)
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+    writer.write_all(json.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// A blocking TCP client speaking the line protocol.
+///
+/// One request/response at a time per connection; open several clients
+/// for concurrency (the load generator does exactly that).
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpClient {
+    /// Connects to a running [`TcpServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(TcpClient {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and blocks for its response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on socket failures, a closed connection, or a
+    /// response line that does not parse.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        let json = serde_json::to_string(request)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        self.writer.write_all(json.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before a response arrived",
+            ));
+        }
+        serde_json::from_str::<Response>(line.trim())
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
+    }
+}

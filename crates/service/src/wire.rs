@@ -1,0 +1,429 @@
+//! The service wire protocol: request and response types.
+//!
+//! Both transports speak the same types. In-process callers hand a
+//! [`Request`] to [`crate::Client::call`] and get a [`Response`] back;
+//! the TCP transport ships the same values as one line of JSON per
+//! message (externally tagged on a `"type"` field).
+//!
+//! The enums' serde impls are hand-written because the vendored derive
+//! only handles structs; the encoding is the conventional externally
+//! tagged object, e.g. `{"type": "run_auction", "instance": …,
+//! "epsilon": 0.1, "seed": 7}`.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use mcs_auction::AuctionOutcome;
+use mcs_sim::faults::FaultPlan;
+use mcs_sim::platform::{DegradedRoundReport, ResilienceConfig};
+use mcs_types::{Instance, Price, TrueType};
+
+/// A request to the auction service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run one DP-hSRC auction: build (or fetch) the price schedule and
+    /// PMF for `(instance, epsilon)`, then sample a clearing price with
+    /// the seeded RNG. Identical `(instance, epsilon, seed)` triples give
+    /// identical outcomes whether the PMF came from the cache or a cold
+    /// build.
+    RunAuction {
+        /// The auction input (bids, skills, error bounds, price grid).
+        instance: Instance,
+        /// Privacy budget ε of the exponential mechanism.
+        epsilon: f64,
+        /// Seed of the price-draw RNG.
+        seed: u64,
+    },
+    /// Return the exact output distribution over feasible prices for
+    /// `(instance, epsilon)` without sampling.
+    QueryPmf {
+        /// The auction input.
+        instance: Instance,
+        /// Privacy budget ε.
+        epsilon: f64,
+    },
+    /// Run one fault-tolerant platform round (auction → faults →
+    /// backfill re-auctions → aggregation) and return the full report.
+    RunResilientRound {
+        /// The auction input.
+        instance: Instance,
+        /// True worker types (bundle + cost) used for labelling and
+        /// utility accounting.
+        types: Vec<TrueType>,
+        /// Privacy budget ε.
+        epsilon: f64,
+        /// The fault model to inject.
+        plan: FaultPlan,
+        /// Deadline and backfill knobs.
+        config: ResilienceConfig,
+        /// Seed of the round RNG.
+        seed: u64,
+    },
+    /// Liveness / readiness probe; answered without touching the cache.
+    Health,
+    /// Snapshot of per-endpoint counters and latency quantiles.
+    Metrics,
+}
+
+impl Request {
+    /// The stable endpoint name used in metrics and logs.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Request::RunAuction { .. } => "run_auction",
+            Request::QueryPmf { .. } => "query_pmf",
+            Request::RunResilientRound { .. } => "run_resilient_round",
+            Request::Health => "health",
+            Request::Metrics => "metrics",
+        }
+    }
+}
+
+/// A response from the auction service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The sampled auction outcome for a [`Request::RunAuction`].
+    Outcome(AuctionOutcome),
+    /// The exact price distribution for a [`Request::QueryPmf`].
+    Pmf(PmfSummary),
+    /// The round report for a [`Request::RunResilientRound`].
+    Round(Box<DegradedRoundReport>),
+    /// Service liveness snapshot.
+    Health(HealthReport),
+    /// Metrics snapshot.
+    Metrics(MetricsReport),
+    /// The bounded accept queue was full: the request was *not* accepted.
+    /// Retry after roughly the hinted number of milliseconds.
+    Busy {
+        /// Suggested client back-off before retrying.
+        retry_after_hint_ms: u64,
+    },
+    /// The service is draining and no longer accepts new requests.
+    ShuttingDown,
+    /// The request was accepted but failed (infeasible instance, invalid
+    /// ε, malformed wire input, …).
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// The exact exponential-mechanism output distribution, price by price.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PmfSummary {
+    /// Feasible candidate prices, ascending.
+    pub prices: Vec<Price>,
+    /// Probability of drawing each price; sums to 1.
+    pub probs: Vec<f64>,
+}
+
+/// Liveness snapshot returned by [`Request::Health`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Number of worker threads serving requests.
+    pub workers: usize,
+    /// Capacity of the bounded accept queue.
+    pub queue_capacity: usize,
+    /// Schedules currently resident in the PMF cache.
+    pub cache_entries: usize,
+    /// Maximum schedules the cache will hold.
+    pub cache_capacity: usize,
+    /// Whether the service is draining (shutdown requested).
+    pub draining: bool,
+}
+
+/// Latency quantiles of one endpoint, in microseconds.
+///
+/// Quantiles are bucket upper bounds from a geometric histogram
+/// (ratio 1.25), so each figure overstates the true quantile by at most
+/// 25%.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median, as the containing bucket's upper bound (µs).
+    pub p50_us: u64,
+    /// 95th percentile bucket upper bound (µs).
+    pub p95_us: u64,
+    /// 99th percentile bucket upper bound (µs).
+    pub p99_us: u64,
+    /// Exact maximum observed latency (µs).
+    pub max_us: u64,
+}
+
+/// Counters and latency for one endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointMetrics {
+    /// Endpoint name (see [`Request::endpoint`]).
+    pub endpoint: String,
+    /// Requests answered, including errored ones.
+    pub count: u64,
+    /// Requests that returned [`Response::Error`].
+    pub errors: u64,
+    /// Requests answered as part of a coalesced batch of two or more.
+    pub batched: u64,
+    /// Latency quantiles; `None` until the endpoint has served a request.
+    pub latency: Option<LatencySummary>,
+}
+
+/// Whole-service metrics snapshot returned by [`Request::Metrics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Per-endpoint counters, in a stable endpoint order.
+    pub endpoints: Vec<EndpointMetrics>,
+    /// PMF cache hits since start.
+    pub cache_hits: u64,
+    /// PMF cache misses (cold builds) since start.
+    pub cache_misses: u64,
+    /// Requests rejected with [`Response::Busy`] at the accept queue.
+    pub rejected_busy: u64,
+}
+
+fn obj(tag: &str, mut fields: Vec<(String, Value)>) -> Value {
+    let mut all = vec![("type".to_string(), Value::String(tag.to_string()))];
+    all.append(&mut fields);
+    Value::Object(all)
+}
+
+fn req_field<'v>(v: &'v Value, name: &'static str) -> Result<&'v Value, DeError> {
+    v.get(name).ok_or_else(|| DeError::missing_field(name))
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::RunAuction {
+                instance,
+                epsilon,
+                seed,
+            } => obj(
+                "run_auction",
+                vec![
+                    ("instance".to_string(), instance.to_value()),
+                    ("epsilon".to_string(), epsilon.to_value()),
+                    ("seed".to_string(), seed.to_value()),
+                ],
+            ),
+            Request::QueryPmf { instance, epsilon } => obj(
+                "query_pmf",
+                vec![
+                    ("instance".to_string(), instance.to_value()),
+                    ("epsilon".to_string(), epsilon.to_value()),
+                ],
+            ),
+            Request::RunResilientRound {
+                instance,
+                types,
+                epsilon,
+                plan,
+                config,
+                seed,
+            } => obj(
+                "run_resilient_round",
+                vec![
+                    ("instance".to_string(), instance.to_value()),
+                    ("types".to_string(), types.to_value()),
+                    ("epsilon".to_string(), epsilon.to_value()),
+                    ("plan".to_string(), plan.to_value()),
+                    ("config".to_string(), config.to_value()),
+                    ("seed".to_string(), seed.to_value()),
+                ],
+            ),
+            Request::Health => obj("health", Vec::new()),
+            Request::Metrics => obj("metrics", Vec::new()),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let tag = String::from_value(req_field(v, "type")?)?;
+        match tag.as_str() {
+            "run_auction" => Ok(Request::RunAuction {
+                instance: Instance::from_value(req_field(v, "instance")?)?,
+                epsilon: f64::from_value(req_field(v, "epsilon")?)?,
+                seed: u64::from_value(req_field(v, "seed")?)?,
+            }),
+            "query_pmf" => Ok(Request::QueryPmf {
+                instance: Instance::from_value(req_field(v, "instance")?)?,
+                epsilon: f64::from_value(req_field(v, "epsilon")?)?,
+            }),
+            "run_resilient_round" => Ok(Request::RunResilientRound {
+                instance: Instance::from_value(req_field(v, "instance")?)?,
+                types: Vec::<TrueType>::from_value(req_field(v, "types")?)?,
+                epsilon: f64::from_value(req_field(v, "epsilon")?)?,
+                plan: FaultPlan::from_value(req_field(v, "plan")?)?,
+                config: ResilienceConfig::from_value(req_field(v, "config")?)?,
+                seed: u64::from_value(req_field(v, "seed")?)?,
+            }),
+            "health" => Ok(Request::Health),
+            "metrics" => Ok(Request::Metrics),
+            other => Err(DeError::custom(format!("unknown request type `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        match self {
+            Response::Outcome(o) => obj("outcome", vec![("outcome".to_string(), o.to_value())]),
+            Response::Pmf(p) => obj("pmf", vec![("pmf".to_string(), p.to_value())]),
+            Response::Round(r) => obj("round", vec![("round".to_string(), r.to_value())]),
+            Response::Health(h) => obj("health", vec![("health".to_string(), h.to_value())]),
+            Response::Metrics(m) => obj("metrics", vec![("metrics".to_string(), m.to_value())]),
+            Response::Busy {
+                retry_after_hint_ms,
+            } => obj(
+                "busy",
+                vec![(
+                    "retry_after_hint_ms".to_string(),
+                    retry_after_hint_ms.to_value(),
+                )],
+            ),
+            Response::ShuttingDown => obj("shutting_down", Vec::new()),
+            Response::Error { message } => {
+                obj("error", vec![("message".to_string(), message.to_value())])
+            }
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let tag = String::from_value(req_field(v, "type")?)?;
+        match tag.as_str() {
+            "outcome" => Ok(Response::Outcome(AuctionOutcome::from_value(req_field(
+                v, "outcome",
+            )?)?)),
+            "pmf" => Ok(Response::Pmf(PmfSummary::from_value(req_field(v, "pmf")?)?)),
+            "round" => Ok(Response::Round(Box::new(DegradedRoundReport::from_value(
+                req_field(v, "round")?,
+            )?))),
+            "health" => Ok(Response::Health(HealthReport::from_value(req_field(
+                v, "health",
+            )?)?)),
+            "metrics" => Ok(Response::Metrics(MetricsReport::from_value(req_field(
+                v, "metrics",
+            )?)?)),
+            "busy" => Ok(Response::Busy {
+                retry_after_hint_ms: u64::from_value(req_field(v, "retry_after_hint_ms")?)?,
+            }),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error {
+                message: String::from_value(req_field(v, "message")?)?,
+            }),
+            other => Err(DeError::custom(format!("unknown response type `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_sim::Setting;
+    use mcs_types::{Price, WorkerId};
+
+    fn instance() -> Instance {
+        Setting::one(80).scaled_down(4).generate(3).instance
+    }
+
+    #[test]
+    fn request_variants_round_trip() {
+        let inst = instance();
+        let g = Setting::one(80).scaled_down(4).generate(3);
+        let requests = vec![
+            Request::RunAuction {
+                instance: inst.clone(),
+                epsilon: 0.1,
+                seed: 7,
+            },
+            Request::QueryPmf {
+                instance: inst.clone(),
+                epsilon: 0.5,
+            },
+            Request::RunResilientRound {
+                instance: inst,
+                types: g.types,
+                epsilon: 0.1,
+                plan: FaultPlan::no_show(0.2, 9),
+                config: ResilienceConfig::default(),
+                seed: 11,
+            },
+            Request::Health,
+            Request::Metrics,
+        ];
+        for req in requests {
+            let json = serde_json::to_string(&req).expect("serialize");
+            let back: Request = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_variants_round_trip() {
+        let responses = vec![
+            Response::Outcome(AuctionOutcome::new(
+                Price::from_f64(40.0),
+                vec![WorkerId(2), WorkerId(0)],
+            )),
+            Response::Pmf(PmfSummary {
+                prices: vec![Price::from_f64(10.0), Price::from_f64(20.0)],
+                probs: vec![0.25, 0.75],
+            }),
+            Response::Health(HealthReport {
+                workers: 2,
+                queue_capacity: 64,
+                cache_entries: 1,
+                cache_capacity: 32,
+                draining: false,
+            }),
+            Response::Metrics(MetricsReport {
+                endpoints: vec![EndpointMetrics {
+                    endpoint: "run_auction".to_string(),
+                    count: 3,
+                    errors: 1,
+                    batched: 2,
+                    latency: Some(LatencySummary {
+                        p50_us: 100,
+                        p95_us: 200,
+                        p99_us: 300,
+                        max_us: 280,
+                    }),
+                }],
+                cache_hits: 2,
+                cache_misses: 1,
+                rejected_busy: 4,
+            }),
+            Response::Busy {
+                retry_after_hint_ms: 10,
+            },
+            Response::ShuttingDown,
+            Response::Error {
+                message: "infeasible".to_string(),
+            },
+        ];
+        for resp in responses {
+            let json = serde_json::to_string(&resp).expect("serialize");
+            let back: Response = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(serde_json::from_str::<Request>(r#"{"type": "emit_tokens"}"#).is_err());
+        assert!(serde_json::from_str::<Response>(r#"{"type": "teapot"}"#).is_err());
+        assert!(serde_json::from_str::<Request>(r#"{"seed": 1}"#).is_err());
+    }
+
+    #[test]
+    fn endpoint_names_are_stable() {
+        assert_eq!(Request::Health.endpoint(), "health");
+        assert_eq!(Request::Metrics.endpoint(), "metrics");
+        let inst = instance();
+        assert_eq!(
+            Request::QueryPmf {
+                instance: inst,
+                epsilon: 0.1
+            }
+            .endpoint(),
+            "query_pmf"
+        );
+    }
+}

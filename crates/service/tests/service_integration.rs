@@ -1,0 +1,394 @@
+//! End-to-end service tests: mixed loopback traffic, backpressure,
+//! drain-on-shutdown, cache identity, and batching.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use mcs_service::{Request, Response, Service, ServiceConfig, TcpClient, TcpServer};
+use mcs_sim::faults::FaultPlan;
+use mcs_sim::platform::ResilienceConfig;
+use mcs_sim::Setting;
+use mcs_types::{Instance, TrueType};
+
+fn small(seed: u64) -> (Instance, Vec<TrueType>) {
+    let g = Setting::one(80).scaled_down(8).generate(seed);
+    (g.instance, g.types)
+}
+
+/// The acceptance workload: ≥5k mixed requests over loopback TCP from
+/// several concurrent connections; every request gets exactly one
+/// response and nothing panics, hangs, or resets.
+#[test]
+fn five_thousand_mixed_requests_over_loopback() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 1_300; // 5 200 total
+
+    let service = Service::start(ServiceConfig {
+        workers: 2,
+        queue_depth: 256,
+        ..ServiceConfig::default()
+    });
+    let tcp = TcpServer::bind(service.client(), "127.0.0.1:0").expect("bind loopback");
+    let addr = tcp.local_addr();
+
+    let answered = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let answered = Arc::clone(&answered);
+            thread::spawn(move || {
+                let mut conn = TcpClient::connect(addr).expect("connect");
+                // A handful of distinct instances so the cache is
+                // exercised in both directions.
+                let instances: Vec<(Instance, Vec<TrueType>)> =
+                    (0..4).map(|i| small(100 + i)).collect();
+                for i in 0..PER_CLIENT {
+                    let (instance, types) = &instances[i % instances.len()];
+                    let request = match i % 13 {
+                        0 => Request::Health,
+                        1 => Request::Metrics,
+                        2 if i % 650 == 2 => Request::RunResilientRound {
+                            instance: instance.clone(),
+                            types: types.clone(),
+                            epsilon: 0.1,
+                            plan: FaultPlan::no_show(0.2, i as u64),
+                            config: ResilienceConfig::default(),
+                            seed: i as u64,
+                        },
+                        3..=5 => Request::QueryPmf {
+                            instance: instance.clone(),
+                            epsilon: 0.1,
+                        },
+                        _ => Request::RunAuction {
+                            instance: instance.clone(),
+                            epsilon: 0.1,
+                            seed: (c * PER_CLIENT + i) as u64,
+                        },
+                    };
+                    let response = conn.call(&request).expect("every request is answered");
+                    match (&request, &response) {
+                        (Request::Health, Response::Health(_))
+                        | (Request::Metrics, Response::Metrics(_))
+                        | (Request::QueryPmf { .. }, Response::Pmf(_))
+                        | (Request::RunAuction { .. }, Response::Outcome(_))
+                        | (Request::RunResilientRound { .. }, Response::Round(_)) => {}
+                        (_, Response::Busy { .. }) => {
+                            panic!("queue_depth 256 should never report Busy here")
+                        }
+                        (req, resp) => panic!("unexpected answer {resp:?} for {req:?}"),
+                    }
+                    answered.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+    assert_eq!(
+        answered.load(Ordering::Relaxed),
+        (CLIENTS * PER_CLIENT) as u64
+    );
+
+    // The cache must have taken the bulk of the auction/PMF load: only a
+    // few distinct (instance, ε) keys ever existed.
+    let client = service.client();
+    let Response::Metrics(metrics) = client.call(Request::Metrics) else {
+        panic!("metrics request failed");
+    };
+    assert!(metrics.cache_hits > 1_000, "hits: {}", metrics.cache_hits);
+    assert!(
+        metrics.cache_misses < 50,
+        "misses: {}",
+        metrics.cache_misses
+    );
+    let total: u64 = metrics.endpoints.iter().map(|e| e.count).sum();
+    assert!(total >= (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(metrics.endpoints.iter().map(|e| e.errors).sum::<u64>(), 0);
+
+    tcp.shutdown();
+    service.shutdown();
+}
+
+/// An undersized queue answers typed `Busy` — it never hangs a caller or
+/// resets a connection — and everything accepted still completes.
+#[test]
+fn undersized_queue_reports_busy() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        queue_depth: 1,
+        batch_window: Duration::from_millis(0),
+        retry_after_hint_ms: 7,
+        ..ServiceConfig::default()
+    });
+    let client = service.client();
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 4;
+    let busy = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let client = client.clone();
+            let busy = Arc::clone(&busy);
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Distinct instances: every request is a cold build,
+                    // keeping the single worker busy enough to back up
+                    // the one-slot queue.
+                    let (instance, _) = small((t * PER_THREAD + i) as u64);
+                    match client.call(Request::RunAuction {
+                        instance,
+                        epsilon: 0.1,
+                        seed: i as u64,
+                    }) {
+                        Response::Outcome(_) => {
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Response::Busy {
+                            retry_after_hint_ms,
+                        } => {
+                            assert_eq!(retry_after_hint_ms, 7);
+                            busy.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no caller may hang or panic");
+    }
+    let busy = busy.load(Ordering::Relaxed);
+    let done = done.load(Ordering::Relaxed);
+    assert_eq!(busy + done, (THREADS * PER_THREAD) as u64);
+    assert!(
+        busy >= 1,
+        "an 8-way stampede on a 1-slot queue must shed load"
+    );
+    assert!(done >= 1, "accepted requests must still complete");
+
+    let Response::Metrics(metrics) = client.call(Request::Metrics) else {
+        panic!("metrics request failed");
+    };
+    assert_eq!(metrics.rejected_busy, busy);
+    service.shutdown();
+}
+
+/// Shutdown answers every accepted request before returning, and later
+/// calls get a typed `ShuttingDown`.
+#[test]
+fn shutdown_drains_accepted_requests() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        queue_depth: 64,
+        ..ServiceConfig::default()
+    });
+    let client = service.client();
+
+    const THREADS: usize = 12;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let client = client.clone();
+            thread::spawn(move || {
+                let (instance, _) = small(t as u64);
+                client.call(Request::RunAuction {
+                    instance,
+                    epsilon: 0.1,
+                    seed: t as u64,
+                })
+            })
+        })
+        .collect();
+    // Let the stampede enqueue, then pull the plug while work is queued.
+    thread::sleep(Duration::from_millis(20));
+    service.shutdown();
+
+    for h in handles {
+        match h.join().expect("caller thread panicked") {
+            // Accepted before the drain flag: must carry a real answer.
+            Response::Outcome(_) => {}
+            // Raced the flag or the queue: typed refusals, not hangs.
+            Response::ShuttingDown | Response::Busy { .. } => {}
+            other => panic!("dropped or mangled response: {other:?}"),
+        }
+    }
+    // The service is gone; the surviving client handle learns that.
+    assert_eq!(client.call(Request::Health), Response::ShuttingDown);
+}
+
+/// A cache-hit answer is byte-identical to the cold-path answer, for both
+/// the sampled auction and the exact PMF.
+#[test]
+fn cached_responses_are_byte_identical_to_cold() {
+    let (instance, _) = small(5);
+
+    // Cold reference: a cache-less service builds from scratch each time.
+    let uncached = Service::start(ServiceConfig {
+        cache_capacity: 0,
+        ..ServiceConfig::default()
+    });
+    let cold_client = uncached.client();
+
+    // Cached service: first call is the cold build, second call hits.
+    let cached = Service::start(ServiceConfig::default());
+    let warm_client = cached.client();
+
+    let auction_req = Request::RunAuction {
+        instance: instance.clone(),
+        epsilon: 0.1,
+        seed: 42,
+    };
+    let pmf_req = Request::QueryPmf {
+        instance,
+        epsilon: 0.1,
+    };
+
+    let cold_outcome = cold_client.call(auction_req.clone());
+    let cold_pmf = cold_client.call(pmf_req.clone());
+    let warm_first_outcome = warm_client.call(auction_req.clone());
+    let warm_first_pmf = warm_client.call(pmf_req.clone());
+    let warm_second_outcome = warm_client.call(auction_req);
+    let warm_second_pmf = warm_client.call(pmf_req);
+
+    // The warm service must actually have hit its cache by now.
+    let Response::Metrics(metrics) = warm_client.call(Request::Metrics) else {
+        panic!("metrics request failed");
+    };
+    assert!(metrics.cache_hits >= 1, "hits: {}", metrics.cache_hits);
+
+    let bytes = |r: &Response| serde_json::to_string(r).expect("serialize response");
+    assert_eq!(bytes(&cold_outcome), bytes(&warm_first_outcome));
+    assert_eq!(bytes(&cold_outcome), bytes(&warm_second_outcome));
+    assert_eq!(bytes(&cold_pmf), bytes(&warm_first_pmf));
+    assert_eq!(bytes(&cold_pmf), bytes(&warm_second_pmf));
+    assert!(matches!(cold_outcome, Response::Outcome(_)));
+    assert!(matches!(cold_pmf, Response::Pmf(_)));
+
+    uncached.shutdown();
+    cached.shutdown();
+}
+
+/// Concurrent same-instance requests coalesce into one schedule build.
+#[test]
+fn same_key_burst_coalesces_into_batches() {
+    // No cache, one worker: every *batch* is exactly one build, so the
+    // miss counter counts builds directly.
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        queue_depth: 64,
+        cache_capacity: 0,
+        batch_window: Duration::from_millis(100),
+        max_batch: 16,
+        ..ServiceConfig::default()
+    });
+    let client = service.client();
+
+    // Occupy the single worker so the burst piles up behind it.
+    let blocker = {
+        let client = client.clone();
+        thread::spawn(move || {
+            let (instance, types) = small(999);
+            client.call(Request::RunResilientRound {
+                instance,
+                types,
+                epsilon: 0.1,
+                plan: FaultPlan::no_show(0.3, 1),
+                config: ResilienceConfig::default(),
+                seed: 1,
+            })
+        })
+    };
+    thread::sleep(Duration::from_millis(10));
+
+    const BURST: usize = 6;
+    let (instance, _) = small(7);
+    let handles: Vec<_> = (0..BURST)
+        .map(|i| {
+            let client = client.clone();
+            let instance = instance.clone();
+            thread::spawn(move || {
+                client.call(Request::RunAuction {
+                    instance,
+                    epsilon: 0.1,
+                    seed: i as u64,
+                })
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(matches!(
+            h.join().expect("burst caller panicked"),
+            Response::Outcome(_)
+        ));
+    }
+    assert!(matches!(
+        blocker.join().expect("blocker panicked"),
+        Response::Round(_)
+    ));
+
+    let Response::Metrics(metrics) = client.call(Request::Metrics) else {
+        panic!("metrics request failed");
+    };
+    // Without coalescing (and with the cache off) the burst alone would
+    // cost BURST builds; batching must have merged most of them.
+    assert!(
+        metrics.cache_misses <= 1 + (BURST as u64) / 2,
+        "builds: {} for {} same-key requests",
+        metrics.cache_misses,
+        BURST
+    );
+    let batched: u64 = metrics.endpoints.iter().map(|e| e.batched).sum();
+    assert!(batched >= 2, "batched: {batched}");
+    service.shutdown();
+}
+
+/// Malformed TCP lines get an `error` line back; the connection stays up.
+#[test]
+fn malformed_tcp_line_answers_error_and_keeps_connection() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let service = Service::start(ServiceConfig::default());
+    let tcp = TcpServer::bind(service.client(), "127.0.0.1:0").expect("bind loopback");
+    let stream = std::net::TcpStream::connect(tcp.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    writer.write_all(b"this is not json\n").expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read error line");
+    let response: Response = serde_json::from_str(line.trim()).expect("parse error line");
+    assert!(matches!(response, Response::Error { .. }));
+
+    // Same connection still serves real requests afterwards.
+    let request = serde_json::to_string(&Request::Health).expect("serialize");
+    writer.write_all(request.as_bytes()).expect("write");
+    writer.write_all(b"\n").expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("read health line");
+    let response: Response = serde_json::from_str(line.trim()).expect("parse health line");
+    assert!(matches!(response, Response::Health(_)));
+
+    tcp.shutdown();
+    service.shutdown();
+}
+
+/// Infeasible or invalid inputs surface as typed `Error` responses.
+#[test]
+fn invalid_epsilon_is_a_typed_error() {
+    let service = Service::start(ServiceConfig::default());
+    let client = service.client();
+    let (instance, _) = small(3);
+    match client.call(Request::RunAuction {
+        instance,
+        epsilon: -1.0,
+        seed: 0,
+    }) {
+        Response::Error { message } => assert!(message.contains("epsilon"), "{message}"),
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    service.shutdown();
+}

@@ -103,7 +103,7 @@ pub fn tradeoff_sweep(
 
     let mut rows = Vec::with_capacity(epsilons.len());
     for &eps in epsilons {
-        let mech = ExponentialMechanism::for_instance(eps, instance);
+        let mech = ExponentialMechanism::for_instance(eps, instance)?;
         let base_pmf = mech.pmf(base_schedule.clone());
         let mut leakages = Vec::new();
         let mut log_ratios = Vec::new();

@@ -20,6 +20,7 @@
 //! leaves the main RNG stream byte-for-byte identical to a fault-free run.
 
 use rand::Rng;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use mcs_agg::{LabelSet, Observation};
 use mcs_num::rng;
@@ -42,7 +43,7 @@ use mcs_types::{Bundle, McsError, TaskId, WorkerId};
 /// assert!(!plan.is_empty());
 /// assert!(FaultPlan::none().is_empty());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Probability a worker submits nothing at all.
     pub no_show_rate: f64,
@@ -166,6 +167,63 @@ pub enum WorkerFate {
     },
 }
 
+// Hand-written serde (the vendored derive does not support enums):
+// externally tagged as `{"fate": "...", ...payload}`.
+impl Serialize for WorkerFate {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![(
+            "fate".to_string(),
+            Value::String(
+                match self {
+                    WorkerFate::Delivered => "delivered",
+                    WorkerFate::NoShow => "no_show",
+                    WorkerFate::Partial { .. } => "partial",
+                    WorkerFate::Straggler { .. } => "straggler",
+                    WorkerFate::Corrupted { .. } => "corrupted",
+                }
+                .to_string(),
+            ),
+        )];
+        match self {
+            WorkerFate::Partial { dropped } => {
+                fields.push(("dropped".to_string(), dropped.to_value()));
+            }
+            WorkerFate::Straggler { delay } => {
+                fields.push(("delay".to_string(), delay.to_value()));
+            }
+            WorkerFate::Corrupted { flipped } => {
+                fields.push(("flipped".to_string(), flipped.to_value()));
+            }
+            WorkerFate::Delivered | WorkerFate::NoShow => {}
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for WorkerFate {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let tag = String::from_value(
+            v.get("fate")
+                .ok_or_else(|| DeError::missing_field("fate"))?,
+        )?;
+        let field = |name: &'static str| v.get(name).ok_or_else(|| DeError::missing_field(name));
+        match tag.as_str() {
+            "delivered" => Ok(WorkerFate::Delivered),
+            "no_show" => Ok(WorkerFate::NoShow),
+            "partial" => Ok(WorkerFate::Partial {
+                dropped: Vec::<TaskId>::from_value(field("dropped")?)?,
+            }),
+            "straggler" => Ok(WorkerFate::Straggler {
+                delay: u32::from_value(field("delay")?)?,
+            }),
+            "corrupted" => Ok(WorkerFate::Corrupted {
+                flipped: Vec::<TaskId>::from_value(field("flipped")?)?,
+            }),
+            other => Err(DeError::custom(format!("unknown worker fate `{other}`"))),
+        }
+    }
+}
+
 impl WorkerFate {
     /// Whether the worker's *complete* bundle reached the platform within
     /// `deadline` ticks — the condition for being paid.
@@ -195,7 +253,7 @@ impl WorkerFate {
 /// (see [`crate::platform`]).
 ///
 /// [`DegradedRoundReport`]: crate::platform::DegradedRoundReport
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CoverageShortfall {
     /// The under-covered task.
     pub task: TaskId,

@@ -9,6 +9,7 @@
 //! that the error-bound constraints actually deliver `Pr[l̂ ≠ l] ≤ δ`.
 
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use mcs_agg::{
     achieved_coverage, generate_labels, weighted_aggregate, DawidSkene, Label, LabelSet,
@@ -23,7 +24,7 @@ use crate::faults::{
 };
 
 /// The report of one full platform round.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundReport {
     /// The auction outcome (clearing price + winners).
     pub outcome: AuctionOutcome,
@@ -458,7 +459,7 @@ mod campaign_tests {
 }
 
 /// Knobs of the fault-tolerant round engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResilienceConfig {
     /// Deadline budget in abstract platform ticks: a straggler arriving
     /// within this many ticks still counts as delivered (and paid).
@@ -479,7 +480,7 @@ impl Default for ResilienceConfig {
 
 /// One backfill re-auction: the residual outcome and what its recruits
 /// actually delivered.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BackfillRound {
     /// The residual auction's clearing price and recruits.
     pub outcome: AuctionOutcome,
@@ -490,7 +491,7 @@ pub struct BackfillRound {
 /// The report of a fault-tolerant platform round: what a [`RoundReport`]
 /// records, plus the fault trace, the backfill history, and the *achieved*
 /// (rather than promised) per-task error bounds.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DegradedRoundReport {
     /// The round viewed through the ordinary report lens. `labels`,
     /// `estimates` and `correct` reflect only what was actually delivered

@@ -1,0 +1,136 @@
+//! Serde round-trip coverage for the platform report types.
+//!
+//! These are the payloads the service layer ships over the wire, so every
+//! report produced by a real round must survive `to_string` → `from_str`
+//! bit-for-bit (modulo the usual f64-as-JSON caveat: the vendored encoder
+//! prints floats with full round-trip precision, so equality is exact).
+
+use mcs_auction::{AuctionOutcome, DpHsrcAuction, Mechanism};
+use mcs_num::rng;
+use mcs_sim::faults::{CoverageShortfall, FaultPlan, WorkerFate};
+use mcs_sim::platform::{
+    run_round, run_round_resilient, DegradedRoundReport, ResilienceConfig, RoundReport,
+};
+use mcs_sim::Setting;
+use mcs_types::{Instance, Price, TaskId, TrueType, WorkerId};
+
+fn small(seed: u64) -> (Instance, Vec<TrueType>) {
+    let g = Setting::one(80).scaled_down(4).generate(seed);
+    (g.instance, g.types)
+}
+
+#[test]
+fn auction_outcome_round_trips() {
+    let (inst, _) = small(7);
+    let auction = DpHsrcAuction::new(0.1).unwrap();
+    let mut r = rng::seeded(7);
+    let outcome = auction.run(&inst, &mut r).unwrap();
+    let json = serde_json::to_string(&outcome).unwrap();
+    let back: AuctionOutcome = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, outcome);
+}
+
+#[test]
+fn auction_outcome_wire_input_is_normalized() {
+    // Unsorted, duplicated winner ids on the wire must still come back as
+    // a canonical outcome: deserialization funnels through the constructor.
+    // Prices travel as integer tenths (`Price` is `#[serde(transparent)]`).
+    let json = r#"{"price": 400, "winners": [3, 1, 3]}"#;
+    let o: AuctionOutcome = serde_json::from_str(json).unwrap();
+    assert_eq!(o.winners(), &[WorkerId(1), WorkerId(3)]);
+    assert_eq!(o.price(), Price::from_f64(40.0));
+}
+
+#[test]
+fn round_report_round_trips() {
+    let (inst, types) = small(21);
+    let auction = DpHsrcAuction::new(0.1).unwrap();
+    let mut r = rng::seeded(11);
+    let report = run_round(&inst, &types, &auction, &mut r).unwrap();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: RoundReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+    assert_eq!(back.accuracy(), report.accuracy());
+}
+
+#[test]
+fn degraded_round_report_round_trips() {
+    // A faulty round exercises every report field: fates, backfill rounds,
+    // per-phase payments, achieved coverage/deltas, and any shortfalls.
+    let (inst, types) = small(42);
+    let auction = DpHsrcAuction::new(0.1).unwrap();
+    let mut r = rng::seeded(42);
+    let report = run_round_resilient(
+        &inst,
+        &types,
+        &auction,
+        &FaultPlan::no_show(0.3, 42),
+        &ResilienceConfig::default(),
+        &mut r,
+    )
+    .unwrap();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: DegradedRoundReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+}
+
+#[test]
+fn worker_fate_variants_round_trip() {
+    let fates = vec![
+        WorkerFate::Delivered,
+        WorkerFate::NoShow,
+        WorkerFate::Partial {
+            dropped: vec![TaskId(2), TaskId(5)],
+        },
+        WorkerFate::Straggler { delay: 17 },
+        WorkerFate::Corrupted {
+            flipped: vec![TaskId(0)],
+        },
+    ];
+    let json = serde_json::to_string(&fates).unwrap();
+    let back: Vec<WorkerFate> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, fates);
+}
+
+#[test]
+fn worker_fate_rejects_unknown_tag() {
+    let err = serde_json::from_str::<WorkerFate>(r#"{"fate": "vanished"}"#);
+    assert!(err.is_err());
+}
+
+#[test]
+fn fault_plan_and_config_round_trip() {
+    let plan = FaultPlan {
+        no_show_rate: 0.1,
+        partial_dropout_rate: 0.2,
+        dropout_fraction: 0.5,
+        straggler_rate: 0.3,
+        straggler_delay: (10, 90),
+        flip_rate: 0.05,
+        flip_fraction: 0.25,
+        seed: 77,
+    };
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: FaultPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, plan);
+
+    let config = ResilienceConfig {
+        deadline: 30,
+        max_backfill_rounds: 4,
+    };
+    let json = serde_json::to_string(&config).unwrap();
+    let back: ResilienceConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, config);
+}
+
+#[test]
+fn coverage_shortfall_round_trips() {
+    let s = CoverageShortfall {
+        task: TaskId(3),
+        required: 4.2,
+        achieved: 1.5,
+    };
+    let json = serde_json::to_string(&s).unwrap();
+    let back: CoverageShortfall = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, s);
+}

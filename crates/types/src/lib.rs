@@ -49,6 +49,7 @@
 
 mod bid;
 mod bundle;
+mod digest;
 mod error;
 mod id;
 mod instance;
@@ -57,6 +58,7 @@ mod skill;
 
 pub use bid::{Bid, BidProfile, TrueType};
 pub use bundle::Bundle;
+pub use digest::{Fnv1a, DIGEST_VERSION};
 pub use error::McsError;
 pub use id::{TaskId, WorkerId};
 pub use instance::{CoverageProblem, Instance, InstanceBuilder};

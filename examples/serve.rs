@@ -1,0 +1,93 @@
+//! Serve: run the auction daemon and talk to it over loopback TCP.
+//!
+//! ```text
+//! cargo run --example serve
+//! ```
+//!
+//! Starts an `mcs-service` daemon with a TCP front-end on an ephemeral
+//! loopback port, then plays both sides: a requester submits the same
+//! campaign twice (the second answer comes from the schedule cache and
+//! is byte-identical), queries the exact price PMF, and finally reads
+//! the service's own metrics before a draining shutdown.
+
+use mcs_service::{Request, Response, Service, ServiceConfig, TcpClient, TcpServer};
+use mcs_sim::Setting;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A Setting-I-proportioned campaign (scaled down so the demo is quick).
+    let instance = Setting::one(80).scaled_down(4).generate(42).instance;
+    let epsilon = 0.1;
+
+    // Start the daemon: 2 workers over a bounded queue, LRU schedule
+    // cache, and a TCP listener on an ephemeral loopback port. The same
+    // `Client` handle also works in-process, without the socket.
+    let service = Service::start(ServiceConfig::default());
+    let tcp = TcpServer::bind(service.client(), "127.0.0.1:0")?;
+    println!("serving on {}", tcp.local_addr());
+
+    let mut conn = TcpClient::connect(tcp.local_addr())?;
+
+    // Run the auction twice with the same sampling seed: the first call
+    // builds the price schedule, the second hits the cache — and returns
+    // the byte-identical outcome, because sampling depends only on the
+    // (deterministic) PMF and the caller's seed.
+    for attempt in ["cold ", "cached"] {
+        let response = conn.call(&Request::RunAuction {
+            instance: instance.clone(),
+            epsilon,
+            seed: 7,
+        })?;
+        let Response::Outcome(outcome) = response else {
+            return Err(format!("unexpected response: {response:?}").into());
+        };
+        println!(
+            "{attempt} auction: price {} with {} winners, total payment {}",
+            outcome.price(),
+            outcome.winners().len(),
+            outcome.total_payment()
+        );
+    }
+
+    // The exact output distribution, from the same cache entry.
+    let Response::Pmf(pmf) = conn.call(&Request::QueryPmf {
+        instance: instance.clone(),
+        epsilon,
+    })?
+    else {
+        return Err("expected a PMF summary".into());
+    };
+    let (i, p) = pmf
+        .probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty PMF");
+    println!(
+        "price PMF: {} candidate prices, mode {} (prob {:.3})",
+        pmf.prices.len(),
+        pmf.prices[i],
+        p
+    );
+
+    // What the service saw, from its own counters.
+    let Response::Metrics(metrics) = conn.call(&Request::Metrics)? else {
+        return Err("expected a metrics report".into());
+    };
+    println!(
+        "metrics: {} cache hits / {} misses, {} busy rejections",
+        metrics.cache_hits, metrics.cache_misses, metrics.rejected_busy
+    );
+    for endpoint in &metrics.endpoints {
+        if let Some(latency) = &endpoint.latency {
+            println!(
+                "  {:<18} {} requests, p50 {} µs",
+                endpoint.endpoint, endpoint.count, latency.p50_us
+            );
+        }
+    }
+
+    // Draining shutdown: everything accepted is answered first.
+    tcp.shutdown();
+    service.shutdown();
+    Ok(())
+}

@@ -150,17 +150,22 @@ fn write_escaped(s: &str, out: &mut String) {
 }
 
 fn write_number(n: Number, out: &mut String) {
+    use fmt::Write as _;
     match n {
-        Number::PosInt(u) => out.push_str(&u.to_string()),
-        Number::NegInt(i) => out.push_str(&i.to_string()),
+        Number::PosInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::NegInt(i) => {
+            let _ = write!(out, "{i}");
+        }
         // JSON has no NaN/Infinity literals; degrade to null like lenient
         // printers do rather than emit an unparseable document.
         Number::Float(f) if !f.is_finite() => out.push_str("null"),
         Number::Float(f) => {
-            let text = format!("{f}");
-            out.push_str(&text);
+            let start = out.len();
+            let _ = write!(out, "{f}");
             // Keep an explicit float marker so 1.0 does not print as "1".
-            if !text.contains(['.', 'e', 'E']) {
+            if !out[start..].contains(['.', 'e', 'E']) {
                 out.push_str(".0");
             }
         }
@@ -419,13 +424,20 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input came from &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty by peek");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Copy the whole run up to the next quote or escape in
+                    // one go (the input came from `&str`, so any such run
+                    // is valid UTF-8). Decoding char-by-char from the full
+                    // remaining input here made parsing quadratic.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
                 }
             }
         }
