@@ -87,9 +87,10 @@ impl Histogram {
     /// observations reaches `q` (a quantile over the *bin index* axis).
     ///
     /// `q` is clamped to `[0, 1]`; `q = 0` returns the first non-empty
-    /// bin. Returns `None` when the histogram is empty. Callers that bin
-    /// a continuous quantity (e.g. latency buckets) map the index back to
-    /// the bucket's upper bound themselves.
+    /// bin. Returns `None` when the histogram is empty or `q` is NaN (a
+    /// NaN would otherwise slip through the clamp and silently act like
+    /// `q = 0`). Callers that bin a continuous quantity (e.g. latency
+    /// buckets) map the index back to the bucket's upper bound themselves.
     ///
     /// # Examples
     ///
@@ -106,7 +107,10 @@ impl Histogram {
     /// assert_eq!(Histogram::new(2).quantile(0.5), None);
     /// ```
     pub fn quantile(&self, q: f64) -> Option<usize> {
-        if self.total == 0 {
+        // NaN propagates through `clamp` and the `.max(1.0)` below would
+        // then mask it into `target = 1` (i.e. behave like q = 0); reject
+        // it instead of answering a question that was never asked.
+        if self.total == 0 || q.is_nan() {
             return None;
         }
         let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;

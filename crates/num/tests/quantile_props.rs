@@ -1,0 +1,101 @@
+//! Property tests for `Histogram::quantile` edge cases: empty histograms,
+//! single samples, the q = 0 / q = 1 endpoints, NaN rejection, and
+//! monotonicity — the contract the service's latency quantiles and the
+//! verification harness's empirical-PMF comparisons both lean on.
+
+use mcs_num::Histogram;
+use proptest::prelude::*;
+
+fn histogram_from(bins: usize, observations: &[usize]) -> Histogram {
+    let mut h = Histogram::new(bins);
+    for &b in observations {
+        h.record(b % bins);
+    }
+    h
+}
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    for bins in [0usize, 1, 7] {
+        let h = Histogram::new(bins);
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), None, "bins {bins}, q {q}");
+        }
+    }
+}
+
+#[test]
+fn nan_is_rejected_even_when_populated() {
+    let mut h = Histogram::new(3);
+    h.record(1);
+    h.record(2);
+    assert_eq!(h.quantile(f64::NAN), None);
+    // But real quantiles still answer.
+    assert_eq!(h.quantile(0.0), Some(1));
+    assert_eq!(h.quantile(1.0), Some(2));
+}
+
+#[test]
+fn single_sample_answers_its_bin_for_every_q() {
+    let mut h = Histogram::new(5);
+    h.record(3);
+    for q in [0.0, 0.25, 0.5, 0.999, 1.0] {
+        assert_eq!(h.quantile(q), Some(3));
+    }
+    // Out-of-range q clamps rather than erroring.
+    assert_eq!(h.quantile(-0.5), Some(3));
+    assert_eq!(h.quantile(42.0), Some(3));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn endpoints_hit_first_and_last_nonempty_bins(
+        bins in 1usize..12,
+        observations in proptest::collection::vec(0usize..64, 1..40),
+    ) {
+        let h = histogram_from(bins, &observations);
+        let first = (0..h.bins()).find(|&i| h.count(i) > 0);
+        let last = (0..h.bins()).rev().find(|&i| h.count(i) > 0);
+        prop_assert_eq!(h.quantile(0.0), first);
+        prop_assert_eq!(h.quantile(1.0), last);
+        // Clamping agrees with the endpoints.
+        prop_assert_eq!(h.quantile(-3.0), first);
+        prop_assert_eq!(h.quantile(7.0), last);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_lands_on_nonempty_bins(
+        bins in 1usize..12,
+        observations in proptest::collection::vec(0usize..64, 1..40),
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+    ) {
+        let h = histogram_from(bins, &observations);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let at_lo = h.quantile(lo);
+        let at_hi = h.quantile(hi);
+        prop_assert!(at_lo.is_some() && at_hi.is_some());
+        prop_assert!(at_lo <= at_hi, "quantile({lo}) = {at_lo:?} > quantile({hi}) = {at_hi:?}");
+        // The answering bin always holds at least one observation.
+        for idx in [at_lo, at_hi].into_iter().flatten() {
+            prop_assert!(h.count(idx) > 0, "bin {idx} is empty");
+        }
+    }
+
+    #[test]
+    fn cumulative_mass_up_to_the_answer_reaches_q(
+        bins in 1usize..12,
+        observations in proptest::collection::vec(0usize..64, 1..40),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = histogram_from(bins, &observations);
+        let idx = h.quantile(q).expect("non-empty histogram");
+        let upto: u64 = (0..=idx).map(|i| h.count(i)).sum();
+        let before: u64 = (0..idx).map(|i| h.count(i)).sum();
+        let target = (q * h.total() as f64).ceil().max(1.0) as u64;
+        prop_assert!(upto >= target, "mass {upto} below target {target}");
+        prop_assert!(before < target, "an earlier bin already reached {target}");
+    }
+}

@@ -65,5 +65,6 @@ pub use metrics::{MetricsRegistry, ENDPOINTS};
 pub use server::{Client, Service, ServiceConfig};
 pub use tcp::{TcpClient, TcpServer};
 pub use wire::{
-    EndpointMetrics, HealthReport, LatencySummary, MetricsReport, PmfSummary, Request, Response,
+    decode_request, decode_response, EndpointMetrics, HealthReport, LatencySummary, MetricsReport,
+    PmfSummary, Request, Response, WireError,
 };

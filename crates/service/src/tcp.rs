@@ -16,7 +16,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::server::Client;
-use crate::wire::{Request, Response};
+use crate::wire::{decode_request, decode_response, Request, Response};
 
 /// How often blocked I/O loops re-check the stop flag.
 const POLL: Duration = Duration::from_millis(50);
@@ -121,7 +121,11 @@ fn serve_connection(stream: TcpStream, client: &Client, stop: &AtomicBool) {
         match reader.read_line(&mut line) {
             Ok(0) => break, // EOF: client hung up.
             Ok(_) => {
-                let response = match serde_json::from_str::<Request>(line.trim()) {
+                // The checked decode rejects non-finite numbers and
+                // duplicate keys before typed deserialization, so no
+                // request built from an unsound document reaches the
+                // service (or its digest-keyed cache).
+                let response = match decode_request(line.trim()) {
                     Ok(request) => client.call(request),
                     Err(err) => Response::Error {
                         message: format!("malformed request: {err}"),
@@ -198,7 +202,7 @@ impl TcpClient {
                 "connection closed before a response arrived",
             ));
         }
-        serde_json::from_str::<Response>(line.trim())
+        decode_response(line.trim())
             .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
     }
 }

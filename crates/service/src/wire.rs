@@ -10,7 +10,9 @@
 //! tagged object, e.g. `{"type": "run_auction", "instance": …,
 //! "epsilon": 0.1, "seed": 7}`.
 
-use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+use serde::{DeError, Deserialize, Number, Serialize, Value};
 
 use mcs_auction::AuctionOutcome;
 use mcs_sim::faults::FaultPlan;
@@ -173,6 +175,116 @@ pub struct MetricsReport {
     pub cache_misses: u64,
     /// Requests rejected with [`Response::Busy`] at the accept queue.
     pub rejected_busy: u64,
+}
+
+/// A typed wire-decoding failure.
+///
+/// The transport used to accept two classes of malformed input silently:
+/// non-finite floats (the grammar has no `Infinity`/`NaN` literals, but
+/// `1e999` overflows to `+inf` during parsing) and duplicate object keys
+/// (the value tree keeps every pair and lookups return the first, so a
+/// second `"epsilon"` was carried along unread). Both now fail decoding
+/// with a variant naming the offending path, before any typed
+/// deserialization runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The input is not syntactically valid JSON.
+    Syntax(String),
+    /// A number in the document is `inf`, `-inf`, or NaN.
+    NonFinite {
+        /// JSONPath-style location of the offending number.
+        path: String,
+    },
+    /// An object repeats a key.
+    DuplicateKey {
+        /// JSONPath-style location of the object holding the repeat.
+        path: String,
+        /// The repeated key.
+        key: String,
+    },
+    /// The JSON was valid and clean but did not match the target type.
+    Shape(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Syntax(msg) => write!(f, "invalid JSON: {msg}"),
+            WireError::NonFinite { path } => {
+                write!(f, "non-finite number at {path}")
+            }
+            WireError::DuplicateKey { path, key } => {
+                write!(f, "duplicate key `{key}` in object at {path}")
+            }
+            WireError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Rejects non-finite numbers and duplicate object keys anywhere in a
+/// parsed value tree, reporting the first offence with its path.
+fn validate_tree(v: &Value, path: &mut String) -> Result<(), WireError> {
+    match v {
+        Value::Number(Number::Float(f)) if !f.is_finite() => {
+            Err(WireError::NonFinite { path: path.clone() })
+        }
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let mark = path.len();
+                path.push_str(&format!("[{i}]"));
+                validate_tree(item, path)?;
+                path.truncate(mark);
+            }
+            Ok(())
+        }
+        Value::Object(fields) => {
+            for (i, (key, _)) in fields.iter().enumerate() {
+                if fields[..i].iter().any(|(earlier, _)| earlier == key) {
+                    return Err(WireError::DuplicateKey {
+                        path: path.clone(),
+                        key: key.clone(),
+                    });
+                }
+            }
+            for (key, value) in fields {
+                let mark = path.len();
+                path.push_str(&format!(".{key}"));
+                validate_tree(value, path)?;
+                path.truncate(mark);
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+fn decode_checked<T: Deserialize>(text: &str) -> Result<T, WireError> {
+    let value: Value = serde_json::from_str(text).map_err(|e| WireError::Syntax(e.to_string()))?;
+    let mut path = String::from("$");
+    validate_tree(&value, &mut path)?;
+    T::from_value(&value).map_err(|e| WireError::Shape(e.to_string()))
+}
+
+/// Decodes one request line, rejecting syntactically valid but unsound
+/// documents (non-finite numbers, duplicate keys) with typed errors.
+///
+/// # Errors
+///
+/// Returns the [`WireError`] variant describing the first problem found.
+pub fn decode_request(text: &str) -> Result<Request, WireError> {
+    decode_checked(text)
+}
+
+/// Decodes one response line under the same validation as
+/// [`decode_request`].
+///
+/// # Errors
+///
+/// Returns the [`WireError`] variant describing the first problem found.
+pub fn decode_response(text: &str) -> Result<Response, WireError> {
+    decode_checked(text)
 }
 
 fn obj(tag: &str, mut fields: Vec<(String, Value)>) -> Value {
@@ -410,6 +522,77 @@ mod tests {
         assert!(serde_json::from_str::<Request>(r#"{"type": "emit_tokens"}"#).is_err());
         assert!(serde_json::from_str::<Response>(r#"{"type": "teapot"}"#).is_err());
         assert!(serde_json::from_str::<Request>(r#"{"seed": 1}"#).is_err());
+    }
+
+    #[test]
+    fn checked_decode_accepts_clean_lines() {
+        let req = Request::RunAuction {
+            instance: instance(),
+            epsilon: 0.1,
+            seed: 7,
+        };
+        let json = serde_json::to_string(&req).expect("serialize");
+        assert_eq!(decode_request(&json).expect("decode"), req);
+        let resp = Response::Busy {
+            retry_after_hint_ms: 5,
+        };
+        let json = serde_json::to_string(&resp).expect("serialize");
+        assert_eq!(decode_response(&json).expect("decode"), resp);
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected_with_path() {
+        // `1e999` overflows to +inf in the parser; the unchecked decode
+        // path would happily build a Request carrying an infinite ε.
+        let line = r#"{"type": "query_pmf", "instance": null, "epsilon": 1e999}"#;
+        match decode_request(line) {
+            Err(WireError::NonFinite { path }) => assert_eq!(path, "$.epsilon"),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        // Nested occurrences are found and located too.
+        let line = r#"{"type": "error", "message": "x", "extra": [1.0, [-1e999]]}"#;
+        match decode_response(line) {
+            Err(WireError::NonFinite { path }) => assert_eq!(path, "$.extra[1][0]"),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_with_path() {
+        let line = r#"{"type": "health", "type": "metrics"}"#;
+        match decode_request(line) {
+            Err(WireError::DuplicateKey { path, key }) => {
+                assert_eq!(path, "$");
+                assert_eq!(key, "type");
+            }
+            other => panic!("expected DuplicateKey, got {other:?}"),
+        }
+        // A duplicate buried in a nested object is still caught, even
+        // though `Value::get` would silently resolve to the first value.
+        let line = r#"{"type": "run_auction", "instance": {"num_tasks": 1, "num_tasks": 2}, "epsilon": 0.1, "seed": 1}"#;
+        match decode_request(line) {
+            Err(WireError::DuplicateKey { path, key }) => {
+                assert_eq!(path, "$.instance");
+                assert_eq!(key, "num_tasks");
+            }
+            other => panic!("expected DuplicateKey, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_and_shape_errors_stay_typed() {
+        assert!(matches!(
+            decode_request("{not json"),
+            Err(WireError::Syntax(_))
+        ));
+        assert!(matches!(
+            decode_request(r#"{"type": "emit_tokens"}"#),
+            Err(WireError::Shape(_))
+        ));
+        assert!(matches!(
+            decode_response(r#"{"type": "busy"}"#),
+            Err(WireError::Shape(_))
+        ));
     }
 
     #[test]

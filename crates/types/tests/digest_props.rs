@@ -1,0 +1,185 @@
+//! Property tests for `Instance::digest`, the content key of the service's
+//! PMF cache: equal instances must digest equally (clone stability), and
+//! any single-field mutation must change the digest — otherwise the cache
+//! could serve a schedule computed for a different auction.
+
+use mcs_types::{Bid, Bundle, Instance, Price, SkillMatrix, TaskId, WorkerId};
+use proptest::prelude::*;
+
+/// Builds a small valid instance from raw generator draws.
+fn build_instance(
+    num_tasks: usize,
+    price_tenths: &[i64],
+    theta_millis: &[u64],
+    delta_centis: &[u64],
+) -> Instance {
+    let n = price_tenths.len();
+    let bids: Vec<Bid> = price_tenths
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            // Bundle derived from the worker index so every worker has a
+            // non-empty bundle within the task count.
+            let tasks: Vec<TaskId> = (0..num_tasks)
+                .filter(|j| (i + j) % 2 == 0 || num_tasks == 1 || *j == i % num_tasks)
+                .map(|j| TaskId(j as u32))
+                .collect();
+            let tasks = if tasks.is_empty() {
+                vec![TaskId(0)]
+            } else {
+                tasks
+            };
+            Bid::new(Bundle::new(tasks), Price::from_tenths(100 + t))
+        })
+        .collect();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..num_tasks)
+                .map(|j| {
+                    0.1 + 0.8 * ((theta_millis[(i + j) % theta_millis.len()] % 1000) as f64)
+                        / 1000.0
+                })
+                .collect()
+        })
+        .collect();
+    let deltas: Vec<f64> = (0..num_tasks)
+        .map(|j| 0.05 + 0.9 * ((delta_centis[j % delta_centis.len()] % 100) as f64) / 100.0)
+        .collect();
+    Instance::builder(num_tasks)
+        .bids(bids)
+        .skills(SkillMatrix::from_rows(rows).expect("thetas in range"))
+        .error_bounds(deltas)
+        .price_grid_f64(10.0, 30.0, 0.5)
+        .cost_range(Price::from_tenths(100), Price::from_tenths(300))
+        .build()
+        .expect("generated instance is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn digest_is_stable_under_clone(
+        num_tasks in 1usize..4,
+        prices in proptest::collection::vec(0i64..200, 1..6),
+        thetas in proptest::collection::vec(0u64..1000, 1..6),
+        deltas in proptest::collection::vec(0u64..100, 1..4),
+    ) {
+        let inst = build_instance(num_tasks, &prices, &thetas, &deltas);
+        let cloned = inst.clone();
+        prop_assert_eq!(inst.digest(), cloned.digest());
+        // Rebuilding from identical inputs digests identically too.
+        let rebuilt = build_instance(num_tasks, &prices, &thetas, &deltas);
+        prop_assert_eq!(inst.digest(), rebuilt.digest());
+    }
+
+    #[test]
+    fn single_bid_price_mutation_changes_digest(
+        num_tasks in 1usize..4,
+        prices in proptest::collection::vec(0i64..200, 2..6),
+        thetas in proptest::collection::vec(0u64..1000, 1..6),
+        victim in 0usize..6,
+    ) {
+        let inst = build_instance(num_tasks, &prices, &thetas, &[50]);
+        let w = WorkerId((victim % prices.len()) as u32);
+        let old = inst.bids().bid(w).clone();
+        let new_price = if old.price() == Price::from_tenths(300) {
+            Price::from_tenths(299)
+        } else {
+            old.price() + Price::from_tenths(1)
+        };
+        let nb = inst
+            .with_bid(w, Bid::new(old.bundle().clone(), new_price))
+            .expect("price stays in range");
+        prop_assert_ne!(inst.digest(), nb.digest());
+    }
+
+    #[test]
+    fn single_bundle_mutation_changes_digest(
+        num_tasks in 2usize..4,
+        prices in proptest::collection::vec(0i64..200, 2..6),
+        victim in 0usize..6,
+    ) {
+        let inst = build_instance(num_tasks, &prices, &[123, 457, 891], &[50]);
+        let w = WorkerId((victim % prices.len()) as u32);
+        let old = inst.bids().bid(w).clone();
+        // Pick a different non-empty bundle over the same tasks.
+        let current: Vec<TaskId> = old.bundle().iter().collect();
+        let replacement = if current.len() == num_tasks {
+            Bundle::new(current[..1].to_vec())
+        } else {
+            Bundle::new((0..num_tasks as u32).map(TaskId).collect())
+        };
+        prop_assert_ne!(&replacement, old.bundle());
+        let nb = inst
+            .with_bid(w, Bid::new(replacement, old.price()))
+            .expect("bundle stays in range");
+        prop_assert_ne!(inst.digest(), nb.digest());
+    }
+
+    #[test]
+    fn every_non_bid_field_is_digested(
+        num_tasks in 1usize..4,
+        prices in proptest::collection::vec(0i64..200, 1..6),
+        thetas in proptest::collection::vec(1u64..999, 1..6),
+        deltas in proptest::collection::vec(0u64..100, 1..4),
+    ) {
+        let inst = build_instance(num_tasks, &prices, &thetas, &deltas);
+        let base = inst.digest();
+        let bids: Vec<Bid> = inst.bids().iter().map(|(_, b)| b.clone()).collect();
+
+        // Mutate one skill entry.
+        let mut rows: Vec<Vec<f64>> = (0..inst.num_workers())
+            .map(|i| {
+                (0..num_tasks)
+                    .map(|j| inst.skills().theta(WorkerId(i as u32), TaskId(j as u32)))
+                    .collect()
+            })
+            .collect();
+        rows[0][0] = if rows[0][0] < 0.5 { rows[0][0] + 0.01 } else { rows[0][0] - 0.01 };
+        let skill_mutated = Instance::builder(num_tasks)
+            .bids(bids.clone())
+            .skills(SkillMatrix::from_rows(rows).expect("in range"))
+            .error_bounds(inst.deltas().to_vec())
+            .price_grid(inst.price_grid().clone())
+            .cost_range(inst.cmin(), inst.cmax())
+            .build()
+            .expect("valid");
+        prop_assert_ne!(base, skill_mutated.digest());
+
+        // Mutate one error bound.
+        let mut ds = inst.deltas().to_vec();
+        ds[0] = if ds[0] < 0.5 { ds[0] + 0.01 } else { ds[0] - 0.01 };
+        let delta_mutated = Instance::builder(num_tasks)
+            .bids(bids.clone())
+            .skills(inst.skills().clone())
+            .error_bounds(ds)
+            .price_grid(inst.price_grid().clone())
+            .cost_range(inst.cmin(), inst.cmax())
+            .build()
+            .expect("valid");
+        prop_assert_ne!(base, delta_mutated.digest());
+
+        // Shift the price grid.
+        let grid_mutated = Instance::builder(num_tasks)
+            .bids(bids.clone())
+            .skills(inst.skills().clone())
+            .error_bounds(inst.deltas().to_vec())
+            .price_grid_f64(10.0, 30.5, 0.5)
+            .cost_range(inst.cmin(), inst.cmax())
+            .build()
+            .expect("valid");
+        prop_assert_ne!(base, grid_mutated.digest());
+
+        // Widen the cost range (bids stay within it).
+        let cost_mutated = Instance::builder(num_tasks)
+            .bids(bids)
+            .skills(inst.skills().clone())
+            .error_bounds(inst.deltas().to_vec())
+            .price_grid(inst.price_grid().clone())
+            .cost_range(inst.cmin(), inst.cmax() + Price::from_tenths(1))
+            .build()
+            .expect("valid");
+        prop_assert_ne!(base, cost_mutated.digest());
+    }
+}

@@ -1,0 +1,165 @@
+//! Sweep the differential, DP, and truthfulness checkers over seeded
+//! structured instances.
+//!
+//! ```text
+//! verify_sweep [--iters N] [--seed S] [--dp-samples M]
+//! ```
+//!
+//! Exit status 0 means every invariant held: engine agreement, covering
+//! constraints, the `2βH_m` approximation bound, exact and statistical
+//! ε-DP, and the price-channel truthfulness bound. Any violation prints
+//! a minimized counterexample and exits 1.
+
+use std::process::ExitCode;
+
+use mcs_verify::differential::{check_instance, DiffStats};
+use mcs_verify::dp::{
+    exact_dp_check, statistical_dp_check, truthfulness_probe, ExactDpStats, StatisticalDpReport,
+    TruthfulnessStats,
+};
+use mcs_verify::gen::{generate, Shape};
+
+/// Privacy budgets cycled through the exact-DP and truthfulness checks.
+const EPSILONS: [f64; 3] = [0.1, 0.5, 2.0];
+/// Fixed (ε, shape, generator seed) configurations for the statistical
+/// check — three distinct budgets over three distinct structures.
+const STATISTICAL_CONFIGS: [(f64, Shape, u64); 3] = [
+    (0.2, Shape::Uniform, 101),
+    (0.5, Shape::TiedPrices, 202),
+    (1.0, Shape::SkewedSkills, 303),
+];
+/// Normal quantile for the Wilson intervals (two-sided ≈ 1e-4), chosen
+/// so a correct sampler essentially never trips the test by chance.
+const WILSON_Z: f64 = 3.89;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!("usage: verify_sweep [--iters N] [--seed S] [--dp-samples M]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut diff = DiffStats::default();
+    let mut exact = ExactDpStats::default();
+    let mut truth = TruthfulnessStats::default();
+    for i in 0..args.iters {
+        let shape = Shape::ALL[(i % Shape::ALL.len() as u64) as usize];
+        let seed = args.seed.wrapping_add(i);
+        let instance = generate(shape, seed);
+        match check_instance(shape, seed, &instance) {
+            Ok(stats) => diff.merge(&stats),
+            Err(report) => {
+                eprintln!("differential check failed:\n{report}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // Feasible instances feed the privacy checks on a stride so the
+        // sweep stays fast; every budget still gets exercised.
+        if shape != Shape::InfeasibleCoverage && i % 10 == 0 {
+            let epsilon = EPSILONS[(i / 10 % EPSILONS.len() as u64) as usize];
+            match exact_dp_check(&instance, epsilon, seed) {
+                Ok(stats) => exact.merge(&stats),
+                Err(message) => {
+                    eprintln!(
+                        "exact DP check failed (shape {}, seed {seed}, ε = {epsilon}): {message}",
+                        shape.name()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if shape != Shape::InfeasibleCoverage && i % 25 == 0 {
+            let epsilon = EPSILONS[(i / 25 % EPSILONS.len() as u64) as usize];
+            match truthfulness_probe(&instance, epsilon, seed) {
+                Ok(stats) => truth.merge(&stats),
+                Err(message) => {
+                    eprintln!("truthfulness probe failed (shape {}, seed {seed}, ε = {epsilon}): {message}", shape.name());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let mut statistical: Vec<StatisticalDpReport> = Vec::new();
+    for (epsilon, shape, seed) in STATISTICAL_CONFIGS {
+        let instance = generate(shape, seed);
+        match statistical_dp_check(&instance, epsilon, args.dp_samples, seed, WILSON_Z) {
+            Ok(report) => statistical.push(report),
+            Err(message) => {
+                eprintln!(
+                    "statistical DP check failed (shape {}, ε = {epsilon}): {message}",
+                    shape.name()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!(
+        "differential: {} instances ok, {} agreed-infeasible, {} ILP-checked, max ratio {:.3} (bound ≥ {:.3})",
+        diff.agreed_ok, diff.agreed_err, diff.ilp_checked, diff.max_ratio, diff.max_bound
+    );
+    println!(
+        "exact DP: {} neighbour pairs ok, {} support shifts, max log-ratio {:.4}",
+        exact.checked, exact.support_shifts, exact.max_log_ratio
+    );
+    println!(
+        "truthfulness: {} probes ok, {} support shifts, max price-channel gain {:.4} (bound {:.4}), strict gain {:.4} ({} above ε·Δc — documented Theorem 3 finding)",
+        truth.probes,
+        truth.support_shifts,
+        truth.max_price_channel_gain,
+        truth.price_channel_bound,
+        truth.max_strict_gain,
+        truth.strict_exceedances
+    );
+    println!(
+        "statistical DP ({} samples/profile, z = {WILSON_Z}):",
+        args.dp_samples
+    );
+    println!("  configured ε | empirical ε̂ | support | consistent");
+    for report in &statistical {
+        println!(
+            "  {:>12.2} | {:>12.4} | {:>7} | {}",
+            report.epsilon,
+            report.empirical_epsilon,
+            report.support,
+            if report.consistent { "yes" } else { "NO" }
+        );
+    }
+    println!("verify_sweep: all checks passed");
+    ExitCode::SUCCESS
+}
+
+struct Args {
+    iters: u64,
+    seed: u64,
+    dp_samples: u64,
+}
+
+impl Args {
+    fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args {
+            iters: 1000,
+            seed: 1,
+            dp_samples: 20_000,
+        };
+        while let Some(flag) = argv.next() {
+            let value = argv
+                .next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))?;
+            let parsed: u64 = value
+                .parse()
+                .map_err(|_| format!("{flag} expects an unsigned integer, got `{value}`"))?;
+            match flag.as_str() {
+                "--iters" => args.iters = parsed,
+                "--seed" => args.seed = parsed,
+                "--dp-samples" => args.dp_samples = parsed.max(100),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(args)
+    }
+}

@@ -1,0 +1,54 @@
+//! Fuzz the service wire decoder: corpus + seeded byte mutations.
+//!
+//! ```text
+//! wire_fuzz [--iters N] [--seed S]
+//! ```
+//!
+//! Exit status 0 means no decoder panic and no decode → encode → decode
+//! instability across the corpus and all `N` mutated inputs.
+
+use std::process::ExitCode;
+
+use mcs_verify::fuzz::run_fuzz;
+
+fn main() -> ExitCode {
+    let mut iters: u64 = 2000;
+    let mut seed: u64 = 1;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let Some(value) = argv.next() else {
+            eprintln!("flag {flag} needs a value");
+            eprintln!("usage: wire_fuzz [--iters N] [--seed S]");
+            return ExitCode::FAILURE;
+        };
+        let Ok(parsed) = value.parse::<u64>() else {
+            eprintln!("{flag} expects an unsigned integer, got `{value}`");
+            return ExitCode::FAILURE;
+        };
+        match flag.as_str() {
+            "--iters" => iters = parsed,
+            "--seed" => seed = parsed,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let outcome = run_fuzz(iters, seed);
+    println!(
+        "wire_fuzz: {} inputs ({} accepted, {} rejected), {} panics, {} round-trip failures",
+        outcome.executed,
+        outcome.accepted,
+        outcome.rejected,
+        outcome.panics,
+        outcome.roundtrip_failures
+    );
+    if outcome.clean() {
+        println!("wire_fuzz: decoder held on every input");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("wire_fuzz: decoder invariants violated (seed {seed})");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,258 @@
+//! Byte-level fuzzing of the service wire decoder.
+//!
+//! The TCP transport hands every received line to
+//! [`mcs_service::decode_request`] — a recursive-descent JSON parse, a
+//! soundness walk (finiteness, duplicate keys), and typed
+//! deserialization. This module drives that path with a seed corpus plus
+//! random byte mutations and asserts two properties:
+//!
+//! 1. **No panics** — arbitrary bytes must produce `Ok` or a typed
+//!    `WireError`, never an unwind (or worse, a stack overflow — the
+//!    parser's recursion depth is capped for exactly this reason).
+//! 2. **Round-trip stability** — any line the decoder *accepts* must
+//!    re-encode and decode to the identical encoding:
+//!    `encode(decode(x))` is a fixed point of `encode ∘ decode`.
+//!
+//! Mutations are deterministic in the seed, so a failing iteration
+//! number reproduces exactly.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use mcs_num::rng;
+use mcs_service::{decode_request, decode_response, Request};
+use mcs_sim::Setting;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Hand-written corpus lines compiled into the binary: valid requests
+/// and responses, near-misses (missing fields, unknown tags), and the
+/// pathologies the decoder must reject (duplicate keys, non-finite
+/// numbers, truncation, deep nesting).
+const SEED_CORPUS: &[&str] = &[
+    include_str!("../tests/corpus/health.json"),
+    include_str!("../tests/corpus/metrics.json"),
+    include_str!("../tests/corpus/query_pmf_missing_field.json"),
+    include_str!("../tests/corpus/dup_key.json"),
+    include_str!("../tests/corpus/nonfinite.json"),
+    include_str!("../tests/corpus/unknown_tag.json"),
+    include_str!("../tests/corpus/truncated.json"),
+    include_str!("../tests/corpus/busy_response.json"),
+    include_str!("../tests/corpus/error_response.json"),
+    include_str!("../tests/corpus/deep_nesting.json"),
+];
+
+/// Counters from one fuzz run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzOutcome {
+    /// Inputs executed (corpus + mutations).
+    pub executed: u64,
+    /// Inputs the request or response decoder accepted.
+    pub accepted: u64,
+    /// Inputs both decoders rejected with a typed error.
+    pub rejected: u64,
+    /// Inputs that made a decoder panic — always a bug.
+    pub panics: u64,
+    /// Accepted inputs whose decode → encode → decode round trip was
+    /// not a fixed point — always a bug.
+    pub roundtrip_failures: u64,
+}
+
+impl FuzzOutcome {
+    /// True when no invariant was violated.
+    pub fn clean(&self) -> bool {
+        self.panics == 0 && self.roundtrip_failures == 0
+    }
+}
+
+/// The full starting corpus: compiled seed lines plus runtime-encoded
+/// complex requests (real instances carry the deep nested structure —
+/// bids, skill rows, grids — that hand-written lines cannot cover).
+pub fn builtin_corpus() -> Vec<Vec<u8>> {
+    let mut corpus: Vec<Vec<u8>> = SEED_CORPUS
+        .iter()
+        .map(|s| s.trim_end().as_bytes().to_vec())
+        .collect();
+    for seed in [1u64, 2, 3] {
+        let instance = Setting::one(80).scaled_down(16).generate(seed).instance;
+        let requests = [
+            Request::RunAuction {
+                instance: instance.clone(),
+                epsilon: 0.1 * seed as f64,
+                seed,
+            },
+            Request::QueryPmf {
+                instance,
+                epsilon: 0.5,
+            },
+        ];
+        for request in requests {
+            let line = serde_json::to_string(&request).expect("requests always serialize");
+            corpus.push(line.into_bytes());
+        }
+    }
+    corpus
+}
+
+/// Runs the corpus plus `iters` seeded mutations through both decoders.
+///
+/// A panic inside the decoder is caught (with the panic hook silenced
+/// for the duration) and counted; it never aborts the run.
+pub fn run_fuzz(iters: u64, seed: u64) -> FuzzOutcome {
+    let corpus = builtin_corpus();
+    let mut outcome = FuzzOutcome::default();
+    let previous_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    for entry in &corpus {
+        execute(entry, &mut outcome);
+    }
+    let mut stream = rng::derived(seed, 0xF022);
+    for _ in 0..iters {
+        let mut bytes = corpus[stream.gen_range(0..corpus.len())].clone();
+        let rounds = stream.gen_range(1usize..=4);
+        for _ in 0..rounds {
+            mutate(&mut bytes, &corpus, &mut stream);
+        }
+        execute(&bytes, &mut outcome);
+    }
+    panic::set_hook(previous_hook);
+    outcome
+}
+
+/// Feeds one input through both decoders, updating the counters.
+fn execute(bytes: &[u8], outcome: &mut FuzzOutcome) {
+    // Production only ever sees UTF-8 (`read_line` enforces it), so
+    // mutated bytes go through a lossy conversion rather than being
+    // skipped — the replacement characters still stress the parser.
+    let text = String::from_utf8_lossy(bytes);
+    let line = text.trim();
+    outcome.executed += 1;
+    match panic::catch_unwind(AssertUnwindSafe(|| probe(line))) {
+        Err(_) => outcome.panics += 1,
+        Ok(Probe::Rejected) => outcome.rejected += 1,
+        Ok(Probe::Accepted) => outcome.accepted += 1,
+        Ok(Probe::Unstable) => {
+            outcome.accepted += 1;
+            outcome.roundtrip_failures += 1;
+        }
+    }
+}
+
+enum Probe {
+    Rejected,
+    Accepted,
+    Unstable,
+}
+
+/// Decodes a line as a request and as a response; any accepted decode
+/// must survive encode → decode with an identical re-encoding.
+fn probe(line: &str) -> Probe {
+    let mut any_accepted = false;
+    if let Ok(request) = decode_request(line) {
+        any_accepted = true;
+        let encoded = serde_json::to_string(&request).expect("accepted requests re-encode");
+        match decode_request(&encoded) {
+            Ok(again) => {
+                let twice = serde_json::to_string(&again).expect("accepted requests re-encode");
+                if twice != encoded {
+                    return Probe::Unstable;
+                }
+            }
+            Err(_) => return Probe::Unstable,
+        }
+    }
+    if let Ok(response) = decode_response(line) {
+        any_accepted = true;
+        let encoded = serde_json::to_string(&response).expect("accepted responses re-encode");
+        match decode_response(&encoded) {
+            Ok(again) => {
+                let twice = serde_json::to_string(&again).expect("accepted responses re-encode");
+                if twice != encoded {
+                    return Probe::Unstable;
+                }
+            }
+            Err(_) => return Probe::Unstable,
+        }
+    }
+    if any_accepted {
+        Probe::Accepted
+    } else {
+        Probe::Rejected
+    }
+}
+
+/// One random structural mutation of `bytes`.
+fn mutate(bytes: &mut Vec<u8>, corpus: &[Vec<u8>], rng: &mut ChaCha8Rng) {
+    match rng.gen_range(0u8..6) {
+        // Flip one byte.
+        0 if !bytes.is_empty() => {
+            let i = rng.gen_range(0..bytes.len());
+            bytes[i] ^= 1u8 << rng.gen_range(0u32..8);
+        }
+        // Truncate at a random point.
+        1 if !bytes.is_empty() => {
+            bytes.truncate(rng.gen_range(0..bytes.len()));
+        }
+        // Insert a structural character where it hurts.
+        2 => {
+            const STRUCTURAL: [u8; 10] =
+                [b'{', b'}', b'[', b']', b'"', b',', b':', b'-', b'e', b'0'];
+            let c = STRUCTURAL[rng.gen_range(0..STRUCTURAL.len())];
+            let i = rng.gen_range(0..=bytes.len());
+            bytes.insert(i, c);
+        }
+        // Splice a window from another corpus entry.
+        3 => {
+            let donor = &corpus[rng.gen_range(0..corpus.len())];
+            if !donor.is_empty() && !bytes.is_empty() {
+                let from = rng.gen_range(0..donor.len());
+                let len = rng.gen_range(1..=(donor.len() - from).min(32));
+                let at = rng.gen_range(0..bytes.len());
+                let end = (at + len).min(bytes.len());
+                bytes.splice(at..end, donor[from..from + len].iter().copied());
+            }
+        }
+        // Duplicate a slice in place (breeds duplicate keys).
+        4 if bytes.len() >= 2 => {
+            let from = rng.gen_range(0..bytes.len() - 1);
+            let len = rng.gen_range(1..=(bytes.len() - from).min(24));
+            let slice: Vec<u8> = bytes[from..from + len].to_vec();
+            let at = rng.gen_range(0..=bytes.len());
+            for (offset, b) in slice.into_iter().enumerate() {
+                bytes.insert(at + offset, b);
+            }
+        }
+        // Mangle a digit run into an overflow literal (→ infinity).
+        _ => {
+            if let Some(pos) = bytes.iter().position(u8::is_ascii_digit) {
+                let end = bytes[pos..]
+                    .iter()
+                    .position(|b| !b.is_ascii_digit())
+                    .map_or(bytes.len(), |o| pos + o);
+                bytes.splice(pos..end, b"1e999".iter().copied());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_alone_is_clean_and_exercises_both_paths() {
+        let outcome = run_fuzz(0, 0);
+        assert!(outcome.clean(), "{outcome:?}");
+        assert!(outcome.accepted >= 5, "valid corpus lines must decode");
+        assert!(outcome.rejected >= 5, "invalid corpus lines must reject");
+    }
+
+    #[test]
+    fn short_mutation_run_is_deterministic_and_panic_free() {
+        let a = run_fuzz(200, 7);
+        let b = run_fuzz(200, 7);
+        assert!(a.clean(), "{a:?}");
+        assert_eq!(a.executed, b.executed);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.rejected, b.rejected);
+    }
+}

@@ -1,0 +1,275 @@
+//! Structure-aware seeded instance generator shared by all checkers.
+//!
+//! Random *uniform* instances rarely hit the inputs that break auction
+//! code: near-duplicate bids that expose tie-breaking, bundles that make
+//! marginal coverage collapse to zero, skill matrices where one expert
+//! dominates, and coverage requirements that no winner set can satisfy.
+//! Each [`Shape`] targets one of those regimes while staying inside the
+//! builder's validity envelope, so every generated instance is a legal
+//! auction input — only its *structure* is adversarial.
+
+use mcs_num::rng;
+use mcs_types::{Bid, Bundle, Instance, Price, SkillMatrix, TaskId};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Cost range shared by every shape, in price tenths: [10.0, 20.0].
+const COST_MIN_TENTHS: i64 = 100;
+/// Upper end of the bid range, in tenths.
+const COST_MAX_TENTHS: i64 = 200;
+
+/// A structural regime for generated instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// Baseline: independent uniform costs, skills, and bundles.
+    Uniform,
+    /// A few expert workers (θ ≈ 0.95) among many near-random sensors
+    /// (θ ≈ 0.52, so per-task coverage weight ≈ 0.0016): greedy choices
+    /// concentrate on the experts, stressing the ratio bound.
+    SkewedSkills,
+    /// Many workers share one identical bundle and several singleton
+    /// bundles repeat, so marginal coverage hits zero mid-selection and
+    /// tie-breaking between interchangeable workers matters.
+    DegenerateBundles,
+    /// Costs drawn from three grid points only, producing heavy price
+    /// ties across workers and across grid prices.
+    TiedPrices,
+    /// Requirements set to 1.5× the attainable coverage on every task:
+    /// every engine must report the same infeasibility error.
+    InfeasibleCoverage,
+}
+
+impl Shape {
+    /// Every shape, in a fixed order (sweeps cycle through this).
+    pub const ALL: [Shape; 5] = [
+        Shape::Uniform,
+        Shape::SkewedSkills,
+        Shape::DegenerateBundles,
+        Shape::TiedPrices,
+        Shape::InfeasibleCoverage,
+    ];
+
+    /// Stable stream tag so each shape draws an independent RNG stream
+    /// from the same master seed.
+    fn stream(self) -> u64 {
+        match self {
+            Shape::Uniform => 0x5348_0000,
+            Shape::SkewedSkills => 0x5348_0001,
+            Shape::DegenerateBundles => 0x5348_0002,
+            Shape::TiedPrices => 0x5348_0003,
+            Shape::InfeasibleCoverage => 0x5348_0004,
+        }
+    }
+
+    /// Human-readable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Uniform => "uniform",
+            Shape::SkewedSkills => "skewed-skills",
+            Shape::DegenerateBundles => "degenerate-bundles",
+            Shape::TiedPrices => "tied-prices",
+            Shape::InfeasibleCoverage => "infeasible-coverage",
+        }
+    }
+}
+
+/// Generates one instance of the given shape, deterministically in
+/// `(shape, seed)`.
+///
+/// Instances are deliberately small (4–10 workers, 1–4 tasks) so the
+/// exact ILP stays cheap and counterexamples are readable.
+pub fn generate(shape: Shape, seed: u64) -> Instance {
+    let mut rng = rng::derived(seed, shape.stream());
+    let num_workers = rng.gen_range(4usize..=10);
+    let num_tasks = rng.gen_range(1usize..=4);
+
+    let bundles = gen_bundles(shape, num_workers, num_tasks, &mut rng);
+    let costs = gen_costs(shape, num_workers, &mut rng);
+    let thetas = gen_skills(shape, num_workers, num_tasks, &mut rng);
+
+    // Requirements are engineered relative to the attainable coverage
+    // A_j = Σ_w q_wj over workers whose bundle contains j, with
+    // q = (2θ−1)². Feasible shapes ask for a fraction of A_j; the
+    // infeasible shape asks for 1.5×. δ_j = exp(−Q_j / 2) inverts
+    // Q_j = 2·ln(1/δ_j).
+    let deltas: Vec<f64> = (0..num_tasks)
+        .map(|j| {
+            let attainable: f64 = (0..num_workers)
+                .filter(|&w| bundles[w].contains(TaskId(j as u32)))
+                .map(|w| {
+                    let q = 2.0 * thetas[w][j] - 1.0;
+                    q * q
+                })
+                .sum();
+            let factor = match shape {
+                Shape::InfeasibleCoverage => 1.5,
+                _ => rng.gen_range(0.3..0.9),
+            };
+            // Attainable coverage is strictly positive by construction
+            // (every task sits in at least one bundle and θ ≠ 0.5), so
+            // the requirement is positive and δ lands strictly inside
+            // (0, 1) as the builder demands.
+            let requirement = (factor * attainable).max(1e-4);
+            (-requirement / 2.0).exp().clamp(1e-12, 1.0 - 1e-12)
+        })
+        .collect();
+
+    let bids: Vec<Bid> = bundles
+        .into_iter()
+        .zip(costs)
+        .map(|(bundle, cost)| Bid::new(bundle, cost))
+        .collect();
+
+    Instance::builder(num_tasks)
+        .bids(bids)
+        .skills(SkillMatrix::from_rows(thetas).expect("thetas generated in (0, 1)"))
+        .error_bounds(deltas)
+        // The grid tops out above cmax so the highest-price candidate
+        // pool is always the full worker set.
+        .price_grid_f64(10.0, 22.0, 0.5)
+        .cost_range(
+            Price::from_tenths(COST_MIN_TENTHS),
+            Price::from_tenths(COST_MAX_TENTHS),
+        )
+        .build()
+        .expect("generated instance is valid by construction")
+}
+
+/// Bundles: every task appears in at least one bundle (task j is pinned
+/// to worker j mod N) so attainable coverage is positive everywhere.
+fn gen_bundles(
+    shape: Shape,
+    num_workers: usize,
+    num_tasks: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<Bundle> {
+    let mut bundles: Vec<Vec<TaskId>> = match shape {
+        Shape::DegenerateBundles => {
+            // One shared bundle for roughly half the pool, singletons
+            // (repeated) for the rest.
+            let shared: Vec<TaskId> = (0..num_tasks as u32).map(TaskId).collect();
+            (0..num_workers)
+                .map(|w| {
+                    if w % 2 == 0 {
+                        shared.clone()
+                    } else {
+                        vec![TaskId(rng.gen_range(0..num_tasks as u32))]
+                    }
+                })
+                .collect()
+        }
+        _ => (0..num_workers)
+            .map(|_| {
+                (0..num_tasks as u32)
+                    .filter(|_| rng.gen_bool(0.6))
+                    .map(TaskId)
+                    .collect()
+            })
+            .collect(),
+    };
+    for j in 0..num_tasks {
+        let anchor = j % num_workers;
+        let t = TaskId(j as u32);
+        if !bundles[anchor].contains(&t) {
+            bundles[anchor].push(t);
+        }
+    }
+    // A worker whose random subset came out empty still needs a legal
+    // (non-empty) bundle.
+    for (w, tasks) in bundles.iter_mut().enumerate() {
+        if tasks.is_empty() {
+            tasks.push(TaskId((w % num_tasks) as u32));
+        }
+    }
+    bundles.into_iter().map(Bundle::new).collect()
+}
+
+/// Costs on the tenth grid in [10.0, 20.0].
+fn gen_costs(shape: Shape, num_workers: usize, rng: &mut ChaCha8Rng) -> Vec<Price> {
+    (0..num_workers)
+        .map(|_| match shape {
+            Shape::TiedPrices => {
+                // Three grid points only → heavy ties.
+                let choices = [120, 150, 180];
+                Price::from_tenths(choices[rng.gen_range(0..choices.len())])
+            }
+            _ => Price::from_tenths(rng.gen_range(COST_MIN_TENTHS..=COST_MAX_TENTHS)),
+        })
+        .collect()
+}
+
+/// Skill matrices; θ is kept away from 0.5 so coverage weights never
+/// vanish exactly (the infeasible shape relies on A_j > 0 too).
+fn gen_skills(
+    shape: Shape,
+    num_workers: usize,
+    num_tasks: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<Vec<f64>> {
+    (0..num_workers)
+        .map(|w| {
+            (0..num_tasks)
+                .map(|_| match shape {
+                    Shape::SkewedSkills => {
+                        if w < 2 {
+                            rng.gen_range(0.93..0.97)
+                        } else {
+                            rng.gen_range(0.51..0.53)
+                        }
+                    }
+                    _ => rng.gen_range(0.55..0.95),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_seed_and_shape() {
+        for shape in Shape::ALL {
+            let a = generate(shape, 11);
+            let b = generate(shape, 11);
+            assert_eq!(a.digest(), b.digest(), "{}", shape.name());
+            let c = generate(shape, 12);
+            assert_ne!(a.digest(), c.digest(), "{}", shape.name());
+        }
+    }
+
+    #[test]
+    fn shapes_draw_independent_streams() {
+        let u = generate(Shape::Uniform, 5);
+        let t = generate(Shape::TiedPrices, 5);
+        assert_ne!(u.digest(), t.digest());
+    }
+
+    #[test]
+    fn feasible_shapes_are_feasible_and_infeasible_is_not() {
+        for seed in 0..30u64 {
+            for shape in Shape::ALL {
+                let inst = generate(shape, seed);
+                let cover = inst.coverage_problem();
+                let feasible = cover.check_feasible().is_ok();
+                match shape {
+                    Shape::InfeasibleCoverage => {
+                        assert!(!feasible, "seed {seed} should be infeasible")
+                    }
+                    _ => assert!(feasible, "seed {seed} {} should be feasible", shape.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tied_prices_actually_tie() {
+        let inst = generate(Shape::TiedPrices, 3);
+        let mut prices: Vec<Price> = inst.bids().iter().map(|(_, b)| b.price()).collect();
+        let n = prices.len();
+        prices.sort();
+        prices.dedup();
+        assert!(prices.len() < n, "expected at least one duplicate price");
+    }
+}

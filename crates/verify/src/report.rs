@@ -1,0 +1,84 @@
+//! Minimized counterexample reports.
+//!
+//! A failing check on an 8-worker instance is hard to debug; the same
+//! failure on the 3-worker core that remains after greedy minimization
+//! usually is not. Reports carry the minimized instance in a compact
+//! textual form that can be transcribed straight into a regression test.
+
+use std::fmt;
+
+use mcs_types::Instance;
+
+/// A reproducible description of one failed check.
+#[derive(Debug, Clone)]
+pub struct CounterexampleReport {
+    /// Generator shape that produced the original instance.
+    pub shape: &'static str,
+    /// Generator seed of the original instance.
+    pub seed: u64,
+    /// Which invariant failed (short identifier).
+    pub check: String,
+    /// The failure message from the check.
+    pub detail: String,
+    /// The minimized instance still exhibiting the failure.
+    pub instance: Instance,
+}
+
+impl fmt::Display for CounterexampleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "check `{}` failed on shape {} seed {}: {}",
+            self.check, self.shape, self.seed, self.detail
+        )?;
+        writeln!(
+            f,
+            "minimized instance ({} workers, {} tasks):",
+            self.instance.num_workers(),
+            self.instance.num_tasks()
+        )?;
+        write!(f, "{}", render_instance(&self.instance))
+    }
+}
+
+impl std::error::Error for CounterexampleReport {}
+
+/// Renders an instance compactly, one worker per line.
+pub fn render_instance(inst: &Instance) -> String {
+    use fmt::Write;
+
+    let mut out = String::new();
+    for (w, bid) in inst.bids().iter() {
+        let tasks: Vec<String> = bid.bundle().iter().map(|t| t.0.to_string()).collect();
+        let thetas: Vec<String> = (0..inst.num_tasks())
+            .map(|j| format!("{:.3}", inst.skills().theta(w, mcs_types::TaskId(j as u32))))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  w{}: bid {:.1} on {{{}}}  θ = [{}]",
+            w.0,
+            bid.price().as_f64(),
+            tasks.join(","),
+            thetas.join(", ")
+        );
+    }
+    let reqs: Vec<String> = inst
+        .coverage_problem()
+        .requirements()
+        .iter()
+        .map(|q| format!("{q:.4}"))
+        .collect();
+    let _ = writeln!(out, "  requirements Q' = [{}]", reqs.join(", "));
+    let grid = inst.price_grid();
+    let prices: Vec<f64> = grid.iter().map(|p| p.as_f64()).collect();
+    let _ = writeln!(
+        out,
+        "  grid [{:.1}, {:.1}] ({} prices), costs in [{:.1}, {:.1}]",
+        prices.first().copied().unwrap_or(f64::NAN),
+        prices.last().copied().unwrap_or(f64::NAN),
+        prices.len(),
+        inst.cmin().as_f64(),
+        inst.cmax().as_f64(),
+    );
+    out
+}

@@ -1,0 +1,49 @@
+//! Bounded differential sweep: every shape, many seeds, all invariants.
+//!
+//! The `verify_sweep` binary runs the full-scale version; this test
+//! keeps CI's `cargo test` fast while still covering each shape × seed
+//! lattice deterministically.
+
+use mcs_verify::differential::{check_instance, DiffStats};
+use mcs_verify::gen::{generate, Shape};
+
+#[test]
+fn differential_invariants_hold_across_shapes_and_seeds() {
+    let mut total = DiffStats::default();
+    for seed in 0..60u64 {
+        for shape in Shape::ALL {
+            let instance = generate(shape, seed);
+            let stats =
+                check_instance(shape, seed, &instance).unwrap_or_else(|report| panic!("{report}"));
+            total.merge(&stats);
+        }
+    }
+    // 60 seeds × 4 feasible shapes succeed, 60 infeasible ones agree on
+    // the error, and every feasible instance got its ILP ratio checked.
+    assert_eq!(total.agreed_ok, 240);
+    assert_eq!(total.agreed_err, 60);
+    assert_eq!(total.ilp_checked, 240);
+    assert!(
+        total.max_ratio <= total.max_bound + 1e-9,
+        "worst ratio {} above worst bound {}",
+        total.max_ratio,
+        total.max_bound
+    );
+}
+
+#[test]
+fn greedy_never_beats_the_proven_optimum() {
+    // The ratio is ≥ 1 by definition of optimality; a value below 1
+    // would mean the ILP "optimum" is not optimal (or the greedy winner
+    // set is infeasible and the covering check missed it).
+    let mut worst = f64::INFINITY;
+    for seed in 100..140u64 {
+        let instance = generate(Shape::Uniform, seed);
+        let stats = check_instance(Shape::Uniform, seed, &instance)
+            .unwrap_or_else(|report| panic!("{report}"));
+        if stats.ilp_checked > 0 {
+            worst = worst.min(stats.max_ratio);
+        }
+    }
+    assert!(worst >= 1.0, "greedy ratio {worst} below 1");
+}

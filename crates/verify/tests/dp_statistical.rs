@@ -1,0 +1,83 @@
+//! Deterministic statistical ε-DP checks for three (ε, instance-shape)
+//! configurations, plus exact-DP and truthfulness coverage on the same
+//! instances.
+//!
+//! Everything is seeded: the instances, the neighbour choices, and the
+//! sampling streams, so a failure here reproduces bit-for-bit.
+
+use mcs_verify::dp::{exact_dp_check, statistical_dp_check, truthfulness_probe};
+use mcs_verify::gen::{generate, Shape};
+
+/// Normal quantile for the Wilson intervals; two-sided tail ≈ 1e-4 per
+/// price, so a correct sampler essentially never trips by chance.
+const Z: f64 = 3.89;
+const SAMPLES: u64 = 20_000;
+
+#[test]
+fn statistical_dp_tight_epsilon_uniform() {
+    let instance = generate(Shape::Uniform, 101);
+    let report = statistical_dp_check(&instance, 0.2, SAMPLES, 101, Z)
+        .expect("sampled PMFs must be consistent with ε = 0.2");
+    assert!(report.consistent);
+    assert!(report.support > 0);
+    // The empirical ratio can exceed the *analytic* ε through sampling
+    // noise (that is what the Wilson test absorbs), but not by much at
+    // this sample size.
+    assert!(
+        report.empirical_epsilon < 1.0,
+        "empirical ε̂ = {} implausibly large for ε = 0.2",
+        report.empirical_epsilon
+    );
+}
+
+#[test]
+fn statistical_dp_mid_epsilon_tied_prices() {
+    let instance = generate(Shape::TiedPrices, 202);
+    let report = statistical_dp_check(&instance, 0.5, SAMPLES, 202, Z)
+        .expect("sampled PMFs must be consistent with ε = 0.5");
+    assert!(report.consistent);
+    assert!(report.support > 0);
+}
+
+#[test]
+fn statistical_dp_loose_epsilon_skewed_skills() {
+    let instance = generate(Shape::SkewedSkills, 303);
+    let report = statistical_dp_check(&instance, 1.0, SAMPLES, 303, Z)
+        .expect("sampled PMFs must be consistent with ε = 1.0");
+    assert!(report.consistent);
+    assert!(report.support > 0);
+}
+
+#[test]
+fn exact_dp_holds_on_every_feasible_shape() {
+    for (shape, seed) in [
+        (Shape::Uniform, 11u64),
+        (Shape::SkewedSkills, 12),
+        (Shape::DegenerateBundles, 13),
+        (Shape::TiedPrices, 14),
+    ] {
+        for epsilon in [0.1, 0.5, 2.0] {
+            let instance = generate(shape, seed);
+            let stats = exact_dp_check(&instance, epsilon, seed)
+                .unwrap_or_else(|m| panic!("{} ε={epsilon}: {m}", shape.name()));
+            assert!(stats.checked > 0, "{} checked nothing", shape.name());
+            assert!(stats.max_log_ratio <= epsilon + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn truthfulness_price_channel_bounded_on_every_feasible_shape() {
+    for (shape, seed) in [
+        (Shape::Uniform, 21u64),
+        (Shape::SkewedSkills, 22),
+        (Shape::DegenerateBundles, 23),
+        (Shape::TiedPrices, 24),
+    ] {
+        let instance = generate(shape, seed);
+        let stats = truthfulness_probe(&instance, 0.5, seed)
+            .unwrap_or_else(|m| panic!("{}: {m}", shape.name()));
+        assert!(stats.probes > 0, "{} probed nothing", shape.name());
+        assert!(stats.max_price_channel_gain <= stats.price_channel_bound + 1e-9);
+    }
+}

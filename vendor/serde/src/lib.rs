@@ -164,6 +164,21 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+// Identity impls so callers can parse or emit a raw data-model tree —
+// e.g. to validate a document (duplicate keys, non-finite numbers) before
+// committing to a typed decode.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())

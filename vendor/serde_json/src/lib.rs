@@ -110,6 +110,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut parser = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     parser.skip_ws();
     let value = parser.parse_value()?;
@@ -244,9 +245,16 @@ fn write_pretty(v: &Value, depth: usize, out: &mut String) {
     }
 }
 
+/// Maximum container nesting the parser accepts. The parser is recursive
+/// descent, so unbounded nesting (`[[[[…`) would overflow the stack — an
+/// abort, not a catchable error. 128 levels is far beyond any document the
+/// workspace produces.
+const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -322,12 +330,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_PARSE_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn parse_array(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -339,6 +357,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
@@ -348,10 +367,12 @@ impl<'a> Parser<'a> {
 
     fn parse_object(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(fields));
         }
         loop {
@@ -368,6 +389,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(fields));
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
@@ -556,5 +578,29 @@ mod tests {
         assert!(from_str::<bool>("{not json").is_err());
         assert!(from_str::<bool>("true false").is_err());
         assert!(from_str::<bool>("").is_err());
+    }
+
+    #[test]
+    fn nesting_at_limit_parses_and_beyond_errors() {
+        // Right at the limit: fine. The parser is recursive descent, so
+        // without the guard the over-limit case would overflow the stack
+        // (an abort), not return an error.
+        let ok = format!("{}{}", "[".repeat(128), "]".repeat(128));
+        assert!(from_str::<Value>(&ok).is_ok());
+        let too_deep = format!("{}{}", "[".repeat(129), "]".repeat(129));
+        assert!(from_str::<Value>(&too_deep).is_err());
+        // Way past the limit must error, not crash.
+        let way_deep = "[".repeat(100_000);
+        assert!(from_str::<Value>(&way_deep).is_err());
+        // Siblings do not accumulate depth.
+        let wide = format!("[{}]", vec!["[[]]"; 200].join(","));
+        assert!(from_str::<Value>(&wide).is_ok());
+    }
+
+    #[test]
+    fn value_identity_roundtrip() {
+        let v: Value = from_str(r#"{"a": [1, 2.5, null], "b": "x"}"#).unwrap();
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
     }
 }
