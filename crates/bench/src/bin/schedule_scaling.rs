@@ -1,0 +1,180 @@
+//! Dense-vs-sparse schedule-build scaling along the task-count axis.
+//!
+//! For each task count `K` on the axis, one deterministic large-sparse
+//! instance (bundles ≪ K, from `mcs-verify`'s sized generator) is
+//! scheduled three ways under [`SelectionRule::MarginalCoverage`]:
+//!
+//! * **dense** — materialize the dense `N×K` coverage matrix first
+//!   ([`build_schedule_dense`]), the pre-refactor data path;
+//! * **sparse** — the default CSR engine ([`build_schedule`]);
+//! * **incremental** — the CSR engine with the ascending price sweep
+//!   reusing residual state across intervals
+//!   ([`build_schedule_incremental`]).
+//!
+//! All three must produce observationally identical schedules (asserted
+//! here, exhaustively checked by `verify_sweep`); the point of the bench
+//! is the wall-clock gap, recorded into `BENCH_schedule.json`. The
+//! acceptance bar for the sparse core is a strict win over dense from
+//! `K = 2000` up.
+//!
+//! ```text
+//! usage: schedule_scaling [--seed N] [--out PATH] [--quick]
+//! ```
+//!
+//! `--quick` shrinks the axis and repetition count to a smoke-test size
+//! (used by CI; the checked-in JSON comes from a full run).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use mcs_auction::{
+    build_schedule, build_schedule_dense, build_schedule_incremental, PriceSchedule, SelectionRule,
+};
+use mcs_types::Instance;
+use mcs_verify::gen::large_sparse_sized;
+
+/// Task counts swept by a full run; chosen to straddle the `K = 2000`
+/// acceptance threshold and reach the generator's 10k ceiling.
+const FULL_AXIS: [usize; 6] = [500, 1000, 2000, 4000, 7000, 10_000];
+/// Smoke axis for `--quick` (small enough for debug CI runners).
+const QUICK_AXIS: [usize; 2] = [300, 600];
+
+#[derive(Debug, Serialize)]
+struct AxisPoint {
+    num_tasks: usize,
+    num_workers: usize,
+    /// Stored coverage entries; the dense path touches `workers × tasks`
+    /// cells instead.
+    nnz: usize,
+    dense_ms: f64,
+    sparse_ms: f64,
+    incremental_ms: f64,
+    /// dense / sparse build-time ratio (> 1 means the CSR core wins).
+    speedup_sparse: f64,
+    /// dense / incremental build-time ratio.
+    speedup_incremental: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchOutput {
+    bench: String,
+    rule: String,
+    seed: u64,
+    reps: usize,
+    quick: bool,
+    rows: Vec<AxisPoint>,
+}
+
+/// Best-of-`reps` wall-clock for one builder, in milliseconds.
+fn time_builder(
+    reps: usize,
+    build: impl Fn() -> Result<PriceSchedule, mcs_types::McsError>,
+) -> (PriceSchedule, f64) {
+    let mut best = f64::INFINITY;
+    let mut schedule = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let s = build().expect("generated instance is feasible");
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        schedule = Some(s);
+    }
+    (schedule.expect("reps >= 1"), best)
+}
+
+/// Observational schedule equality: same prices, same winner sets.
+fn assert_same(k: usize, name: &str, a: &PriceSchedule, b: &PriceSchedule) {
+    assert_eq!(a.prices(), b.prices(), "K={k}: {name} prices diverge");
+    for i in 0..a.len() {
+        assert_eq!(
+            a.winners(i),
+            b.winners(i),
+            "K={k}: {name} winners diverge at price index {i}"
+        );
+    }
+}
+
+fn measure(instance: &Instance, reps: usize) -> AxisPoint {
+    let rule = SelectionRule::MarginalCoverage;
+    let (dense, dense_ms) = time_builder(reps, || build_schedule_dense(instance, rule));
+    let (sparse, sparse_ms) = time_builder(reps, || build_schedule(instance, rule));
+    let (incremental, incremental_ms) =
+        time_builder(reps, || build_schedule_incremental(instance, rule));
+    let k = instance.num_tasks();
+    assert_same(k, "dense-vs-sparse", &dense, &sparse);
+    assert_same(k, "dense-vs-incremental", &dense, &incremental);
+    AxisPoint {
+        num_tasks: k,
+        num_workers: instance.num_workers(),
+        nnz: instance.sparse_coverage().nnz(),
+        dense_ms,
+        sparse_ms,
+        incremental_ms,
+        speedup_sparse: dense_ms / sparse_ms.max(1e-9),
+        speedup_incremental: dense_ms / incremental_ms.max(1e-9),
+    }
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("BENCH_schedule.json");
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().expect("--out needs a path"));
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                eprintln!("usage: schedule_scaling [--seed N] [--out PATH] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (axis, reps): (&[usize], usize) = if quick {
+        (&QUICK_AXIS, 1)
+    } else {
+        (&FULL_AXIS, 5)
+    };
+
+    println!("schedule_scaling: seed {seed}, reps {reps}, K axis {axis:?}");
+    println!("        K    N      nnz   dense ms  sparse ms    incr ms  speedup");
+    let mut rows = Vec::new();
+    for &k in axis {
+        let instance = large_sparse_sized(k, seed);
+        let row = measure(&instance, reps);
+        println!(
+            "  {:>7} {:>4} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>7.2}×",
+            row.num_tasks,
+            row.num_workers,
+            row.nnz,
+            row.dense_ms,
+            row.sparse_ms,
+            row.incremental_ms,
+            row.speedup_sparse
+        );
+        rows.push(row);
+    }
+
+    let output = BenchOutput {
+        bench: "schedule_scaling".to_string(),
+        rule: "MarginalCoverage".to_string(),
+        seed,
+        reps,
+        quick,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&output).expect("serialize bench output");
+    std::fs::write(&out, json + "\n").expect("write bench output");
+    println!("wrote {}", out.display());
+}

@@ -16,10 +16,9 @@
 
 use rand::Rng;
 
-use mcs_types::{Instance, McsError, Price, TaskId, WorkerId};
+use mcs_types::{CoverageView, Instance, McsError, Price, SparseCoverage, WorkerId};
 
 use crate::mechanism::Mechanism;
-use crate::schedule::sparse_rows_of;
 
 /// Residual coverage below this threshold counts as satisfied.
 const COVER_EPS: f64 = 1e-9;
@@ -71,21 +70,18 @@ impl CriticalOutcome {
 /// with positive marginal gain minimizing `ρ_i / gain_i(residual)`.
 fn best_candidate(
     instance: &Instance,
-    rows: &[Vec<(usize, f64)>],
+    cover: &SparseCoverage,
     used: &[bool],
     excluded: Option<WorkerId>,
     residual: &[f64],
 ) -> Option<(WorkerId, f64, f64)> {
     let mut best: Option<(WorkerId, f64, f64)> = None; // (worker, ratio, gain)
-    for i in 0..instance.num_workers() {
+    for (i, &is_used) in used.iter().enumerate() {
         let w = WorkerId(i as u32);
-        if used[i] || Some(w) == excluded {
+        if is_used || Some(w) == excluded {
             continue;
         }
-        let gain: f64 = rows[i]
-            .iter()
-            .map(|&(j, q)| q.min(residual[j].max(0.0)))
-            .sum();
+        let gain: f64 = cover.row(i).map(|(j, q)| q.min(residual[j].max(0.0))).sum();
         if gain <= COVER_EPS {
             continue;
         }
@@ -101,17 +97,10 @@ fn best_candidate(
     best
 }
 
-fn apply(rows: &[Vec<(usize, f64)>], w: WorkerId, residual: &mut [f64]) {
-    for &(j, q) in &rows[w.index()] {
+fn apply(cover: &SparseCoverage, w: WorkerId, residual: &mut [f64]) {
+    for (j, q) in cover.row(w.index()) {
         residual[j] = (residual[j] - q).max(0.0);
     }
-}
-
-fn requirements(instance: &Instance) -> Vec<f64> {
-    let cover = instance.coverage_problem();
-    (0..instance.num_tasks())
-        .map(|j| cover.requirement(TaskId(j as u32)))
-        .collect()
 }
 
 impl CriticalPaymentAuction {
@@ -158,10 +147,9 @@ impl CriticalPaymentAuction {
     /// # }
     /// ```
     pub fn run(&self, instance: &Instance) -> Result<CriticalOutcome, McsError> {
-        let cover = instance.coverage_problem();
+        let cover = instance.sparse_coverage();
         cover.check_feasible()?;
-        let rows = sparse_rows_of(&cover);
-        let reqs = requirements(instance);
+        let reqs = cover.requirements().to_vec();
         let n = instance.num_workers();
 
         // Greedy allocation.
@@ -169,18 +157,18 @@ impl CriticalPaymentAuction {
         let mut used = vec![false; n];
         let mut winners: Vec<WorkerId> = Vec::new();
         while residual.iter().any(|&r| r > COVER_EPS) {
-            let (w, _, _) = best_candidate(instance, &rows, &used, None, &residual)
+            let (w, _, _) = best_candidate(instance, &cover, &used, None, &residual)
                 .expect("feasibility was checked");
             used[w.index()] = true;
             winners.push(w);
-            apply(&rows, w, &mut residual);
+            apply(&cover, w, &mut residual);
         }
 
         // Critical payment per winner: rerun greedy without her and record
         // the best bid that would have kept her winning at some step.
         let mut payments = vec![Price::ZERO; n];
         for &w in &winners {
-            payments[w.index()] = self.critical_payment(instance, &rows, &reqs, w);
+            payments[w.index()] = self.critical_payment(instance, &cover, &reqs, w);
         }
 
         winners.sort_unstable();
@@ -193,7 +181,7 @@ impl CriticalPaymentAuction {
     fn critical_payment(
         &self,
         instance: &Instance,
-        rows: &[Vec<(usize, f64)>],
+        cover: &SparseCoverage,
         reqs: &[f64],
         winner: WorkerId,
     ) -> Price {
@@ -207,17 +195,17 @@ impl CriticalPaymentAuction {
             }
             // What the winner could bid to be picked at this step instead
             // of the best other candidate.
-            let own_gain: f64 = rows[winner.index()]
-                .iter()
-                .map(|&(j, q)| q.min(residual[j].max(0.0)))
+            let own_gain: f64 = cover
+                .row(winner.index())
+                .map(|(j, q)| q.min(residual[j].max(0.0)))
                 .sum();
-            match best_candidate(instance, rows, &used, Some(winner), &residual) {
+            match best_candidate(instance, cover, &used, Some(winner), &residual) {
                 Some((other, other_ratio, _)) => {
                     if own_gain > COVER_EPS {
                         critical = critical.max(own_gain * other_ratio);
                     }
                     used[other.index()] = true;
-                    apply(rows, other, &mut residual);
+                    apply(cover, other, &mut residual);
                 }
                 None => {
                     // Nobody else can make progress: the winner is pivotal
@@ -251,7 +239,7 @@ impl Mechanism for CriticalPaymentAuction {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcs_types::{Bid, Bundle, SkillMatrix};
+    use mcs_types::{Bid, Bundle, SkillMatrix, TaskId};
 
     fn single_task_instance(prices: &[f64], theta: f64, delta: f64) -> Instance {
         let bids: Vec<Bid> = prices

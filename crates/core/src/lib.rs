@@ -113,7 +113,8 @@ pub use optimal::OptimalError;
 pub use optimal::{OptimalMechanism, OptimalOutcome, PerPriceSolve};
 pub use outcome::AuctionOutcome;
 pub use schedule::{
-    build_residual_schedule, build_schedule, build_schedule_eager, build_schedule_naive,
-    build_schedule_serial, PricePmf, PriceSchedule, SelectionRule,
+    build_residual_schedule, build_schedule, build_schedule_dense, build_schedule_eager,
+    build_schedule_incremental, build_schedule_naive, build_schedule_serial, PricePmf,
+    PriceSchedule, SelectionRule,
 };
 pub use xor::{Award, XorBid, XorDpHsrcAuction, XorInstance, XorOutcome};

@@ -3,7 +3,7 @@
 use std::time::{Duration, Instant};
 
 use mcs_ilp::{BnbOptions, CoveringIlp, IlpStatus};
-use mcs_types::{Instance, McsError, Price, TaskId, WorkerId};
+use mcs_types::{CoverageView, Instance, McsError, Price, WorkerId};
 
 use crate::outcome::AuctionOutcome;
 use crate::schedule::workers_by_price;
@@ -102,21 +102,19 @@ impl OptimalMechanism {
     /// * [`McsError::Solver`] — the branch-and-bound stack failed.
     pub fn solve(&self, instance: &Instance) -> Result<OptimalOutcome, McsError> {
         let start = Instant::now();
-        let cover = instance.coverage_problem();
+        let cover = instance.sparse_coverage();
         cover.check_feasible()?;
         let sorted = workers_by_price(instance);
         let n = sorted.len();
         let k = cover.num_tasks();
-        let requirements: Vec<f64> = (0..k)
-            .map(|j| cover.requirement(TaskId(j as u32)))
-            .collect();
+        let requirements: Vec<f64> = cover.requirements().to_vec();
 
         // Minimal covering prefix (same walk as Algorithm 1).
         let mut running = vec![0.0f64; k];
         let mut first_cover = None;
         for (idx, &w) in sorted.iter().enumerate() {
-            for (j, r) in running.iter_mut().enumerate() {
-                *r += cover.q(w, TaskId(j as u32));
+            for (j, q) in cover.row(w.index()) {
+                running[j] += q;
             }
             if running
                 .iter()
@@ -166,9 +164,11 @@ impl OptimalMechanism {
             let candidate_price = prices[start_idx];
 
             let pool = &sorted[..=i];
-            let weights: Vec<Vec<f64>> =
-                pool.iter().map(|&w| cover.worker_row(w).to_vec()).collect();
-            let ilp = CoveringIlp::uniform_cost(weights, requirements.clone())
+            let rows: Vec<Vec<(usize, f64)>> = pool
+                .iter()
+                .map(|&w| cover.row(w.index()).collect())
+                .collect();
+            let ilp = CoveringIlp::uniform_cost_sparse(k, rows, requirements.clone())
                 .expect("validated instance data is non-negative");
             let result = ilp.solve(&bnb).map_err(|e| McsError::Solver {
                 message: e.to_string(),
@@ -232,7 +232,7 @@ pub type OptimalError = McsError;
 mod tests {
     use super::*;
     use crate::{BaselineAuction, DpHsrcAuction, ScheduledMechanism};
-    use mcs_types::{Bid, Bundle, SkillMatrix};
+    use mcs_types::{Bid, Bundle, SkillMatrix, TaskId};
 
     fn instance() -> Instance {
         let all = |t: &[u32]| Bundle::new(t.iter().copied().map(TaskId).collect());
@@ -288,7 +288,7 @@ mod tests {
         let dp = DpHsrcAuction::new(0.1).unwrap().schedule(&inst).unwrap();
         let base = BaselineAuction::new(0.1).unwrap().schedule(&inst).unwrap();
         for s in [&dp, &base] {
-            assert!(opt.total_payment() <= s.min_total_payment());
+            assert!(opt.total_payment() <= s.min_total_payment().unwrap());
         }
     }
 

@@ -1,10 +1,17 @@
 //! Per-price winner-set schedules (Algorithm 1, lines 1–15) and the exact
 //! price PMF of the exponential mechanism.
+//!
+//! All engines operate on the CSR [`SparseCoverage`] core: the covering
+//! problem is materialized once per schedule build — `O(nnz + K)` straight
+//! from the bundles, never through a dense `N×K` matrix — and every
+//! selector walks compressed rows with cached static totals. See the
+//! `mcs_types::coverage` module docs for the bit-exactness contract that
+//! makes the sparse and dense paths observationally identical.
 
 use rand::Rng;
 
 use mcs_num::{sample_logits, softmax_from_logits};
-use mcs_types::{CoverageProblem, Instance, McsError, Price, TaskId, WorkerId};
+use mcs_types::{CoverageView, Instance, McsError, Price, SparseCoverage, TaskId, WorkerId};
 
 use crate::outcome::AuctionOutcome;
 
@@ -99,16 +106,16 @@ impl PriceSchedule {
         self.sets.len()
     }
 
-    /// The smallest total payment over all feasible prices.
+    /// The smallest total payment over all feasible prices, or `None` for
+    /// an empty schedule.
     ///
-    /// Construction never yields an empty schedule; if one is produced
-    /// through future internal changes this returns [`Price::ZERO`] rather
-    /// than panicking.
-    pub fn min_total_payment(&self) -> Price {
-        (0..self.len())
-            .map(|i| self.total_payment(i))
-            .min()
-            .unwrap_or(Price::ZERO)
+    /// Construction never yields an empty schedule today; making the empty
+    /// case explicit (rather than a silent [`Price::ZERO`]) keeps callers
+    /// honest if future internal changes ever produce one — a zero minimum
+    /// reads as "the platform pays nothing", which is the wrong conclusion
+    /// to draw from "there are no feasible prices".
+    pub fn min_total_payment(&self) -> Option<Price> {
+        (0..self.len()).map(|i| self.total_payment(i)).min()
     }
 }
 
@@ -120,22 +127,6 @@ pub(crate) fn workers_by_price(instance: &Instance) -> Vec<WorkerId> {
         .collect();
     ids.sort_by_key(|&w| (instance.bids().bid(w).price(), w));
     ids
-}
-
-/// Sparse per-worker coverage rows: `(task index, q_ij)` for bundle tasks
-/// with non-zero weight.
-pub(crate) fn sparse_rows_of(cover: &CoverageProblem) -> Vec<Vec<(usize, f64)>> {
-    (0..cover.num_workers())
-        .map(|i| {
-            cover
-                .worker_row(WorkerId(i as u32))
-                .iter()
-                .enumerate()
-                .filter(|&(_, &q)| q > 0.0)
-                .map(|(j, &q)| (j, q))
-                .collect()
-        })
-        .collect()
 }
 
 /// A cached marginal-coverage bound for one candidate, ordered so that a
@@ -199,44 +190,50 @@ fn coverage_shortfall(residual: &[f64], requirements: &[f64]) -> McsError {
     }
 }
 
-/// Greedy winner selection among `candidates` (Algorithm 1, lines 8–13),
-/// evaluated lazily (CELF): each candidate's last-computed marginal
-/// coverage is kept in a max-heap and only the top entry is re-evaluated.
-/// Because the residual requirements only shrink, coverage gains are
-/// submodular — a stale cached gain is always an *upper bound* — so the
-/// popped candidate can be accepted as soon as its fresh gain still beats
-/// the next cached bound. Picks the exact winner sequence of the eager
-/// rescan ([`select_marginal_eager`]), tie-breaking included.
+/// The marginal coverage `Σ_j min(Q'_j, q_ij)` of one worker against a
+/// residual requirement vector. All selectors share this single
+/// implementation so gains are bit-for-bit comparable across engines:
+/// entries come in ascending task order and accumulation starts at `+0.0`.
+#[inline]
+fn marginal_gain(cover: &SparseCoverage, w: WorkerId, residual: &[f64]) -> f64 {
+    cover
+        .row(w.index())
+        .map(|(j, q)| q.min(residual[j].max(0.0)))
+        .sum()
+}
+
+/// Applies one accepted worker to the residual, decrementing the running
+/// deficit entry by entry (the same accumulation order every selector has
+/// always used, so termination thresholds are unchanged).
+#[inline]
+fn apply_winner(cover: &SparseCoverage, w: WorkerId, residual: &mut [f64], remaining: &mut f64) {
+    for (j, q) in cover.row(w.index()) {
+        let take = q.min(residual[j].max(0.0));
+        residual[j] -= take;
+        *remaining -= take;
+    }
+}
+
+/// The CELF loop behind [`select_marginal`], seeded with precomputed
+/// initial gains and returning winners in *selection order* (unsorted).
 ///
-/// # Errors
-///
-/// [`McsError::CoverageShortfall`] if the candidates cannot satisfy the
-/// requirements (callers normally establish feasibility first).
-fn select_marginal(
+/// Initial gains against the full requirement vector do not depend on the
+/// candidate prefix, which is what lets the ascending price sweep compute
+/// them once and warm-start this loop for every interval that diverges.
+fn celf_sequence(
     candidates: &[WorkerId],
-    rows: &[Vec<(usize, f64)>],
+    cover: &SparseCoverage,
+    init: &[f64],
     requirements: &[f64],
 ) -> Result<Vec<WorkerId>, McsError> {
     let mut residual = requirements.to_vec();
     let mut remaining: f64 = residual.iter().sum();
-    let mut winners = Vec::new();
+    let mut sequence = Vec::new();
 
-    // Identical per-row summation order to the eager rescan, so gains are
-    // bit-for-bit the floats the eager implementation compares.
-    let gain_of = |w: WorkerId, residual: &[f64]| -> f64 {
-        rows[w.index()]
-            .iter()
-            .map(|&(j, q)| q.min(residual[j].max(0.0)))
-            .sum()
-    };
-
-    let mut heap: std::collections::BinaryHeap<LazyGain> = candidates
+    let mut heap: std::collections::BinaryHeap<LazyGain> = init
         .iter()
         .enumerate()
-        .map(|(ci, &w)| LazyGain {
-            gain: gain_of(w, &residual),
-            ci,
-        })
+        .map(|(ci, &gain)| LazyGain { gain, ci })
         .filter(|e| e.gain > COVER_EPS)
         .collect();
 
@@ -245,7 +242,7 @@ fn select_marginal(
             return Err(coverage_shortfall(&residual, requirements));
         };
         let w = candidates[top.ci];
-        let fresh = gain_of(w, &residual);
+        let fresh = marginal_gain(cover, w, &residual);
         if fresh <= COVER_EPS {
             // The candidate's remaining contribution evaporated; gains
             // never grow, so she can be dropped for good.
@@ -265,13 +262,35 @@ fn select_marginal(
                 continue;
             }
         }
-        winners.push(w);
-        for &(j, q) in &rows[w.index()] {
-            let take = q.min(residual[j].max(0.0));
-            residual[j] -= take;
-            remaining -= take;
-        }
+        sequence.push(w);
+        apply_winner(cover, w, &mut residual, &mut remaining);
     }
+    Ok(sequence)
+}
+
+/// Greedy winner selection among `candidates` (Algorithm 1, lines 8–13),
+/// evaluated lazily (CELF): each candidate's last-computed marginal
+/// coverage is kept in a max-heap and only the top entry is re-evaluated.
+/// Because the residual requirements only shrink, coverage gains are
+/// submodular — a stale cached gain is always an *upper bound* — so the
+/// popped candidate can be accepted as soon as its fresh gain still beats
+/// the next cached bound. Picks the exact winner sequence of the eager
+/// rescan ([`select_marginal_eager`]), tie-breaking included.
+///
+/// # Errors
+///
+/// [`McsError::CoverageShortfall`] if the candidates cannot satisfy the
+/// requirements (callers normally establish feasibility first).
+fn select_marginal(
+    candidates: &[WorkerId],
+    cover: &SparseCoverage,
+    requirements: &[f64],
+) -> Result<Vec<WorkerId>, McsError> {
+    let init: Vec<f64> = candidates
+        .iter()
+        .map(|&w| marginal_gain(cover, w, requirements))
+        .collect();
+    let mut winners = celf_sequence(candidates, cover, &init, requirements)?;
     winners.sort_unstable();
     Ok(winners)
 }
@@ -282,7 +301,7 @@ fn select_marginal(
 /// speedups from.
 fn select_marginal_eager(
     candidates: &[WorkerId],
-    rows: &[Vec<(usize, f64)>],
+    cover: &SparseCoverage,
     requirements: &[f64],
 ) -> Result<Vec<WorkerId>, McsError> {
     let mut residual = requirements.to_vec();
@@ -295,10 +314,7 @@ fn select_marginal_eager(
             if used[ci] {
                 continue;
             }
-            let gain: f64 = rows[w.index()]
-                .iter()
-                .map(|&(j, q)| q.min(residual[j].max(0.0)))
-                .sum();
+            let gain = marginal_gain(cover, w, &residual);
             if gain <= COVER_EPS {
                 continue;
             }
@@ -314,28 +330,26 @@ fn select_marginal_eager(
         used[ci] = true;
         let w = candidates[ci];
         winners.push(w);
-        for &(j, q) in &rows[w.index()] {
-            let take = q.min(residual[j].max(0.0));
-            residual[j] -= take;
-            remaining -= take;
-        }
+        apply_winner(cover, w, &mut residual, &mut remaining);
     }
     winners.sort_unstable();
     Ok(winners)
 }
 
 /// Baseline winner selection: descending static score `Σ_j q_ij`, ties by
-/// worker id.
+/// worker id. Uses the totals cached at CSR build time instead of
+/// re-summing rows inside the sort comparator — `O(n log n)` comparisons
+/// over precomputed floats rather than `O(n log n · K)` row scans.
 fn select_static(
     candidates: &[WorkerId],
-    rows: &[Vec<(usize, f64)>],
+    cover: &SparseCoverage,
     requirements: &[f64],
 ) -> Result<Vec<WorkerId>, McsError> {
     let mut order: Vec<WorkerId> = candidates.to_vec();
-    let total = |w: WorkerId| -> f64 { rows[w.index()].iter().map(|&(_, q)| q).sum() };
     order.sort_by(|&a, &b| {
-        total(b)
-            .partial_cmp(&total(a))
+        cover
+            .total(b.index())
+            .partial_cmp(&cover.total(a.index()))
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
@@ -347,17 +361,99 @@ fn select_static(
             break;
         }
         winners.push(w);
-        for &(j, q) in &rows[w.index()] {
-            let take = q.min(residual[j].max(0.0));
-            residual[j] -= take;
-            remaining -= take;
-        }
+        apply_winner(cover, w, &mut residual, &mut remaining);
     }
     if remaining > COVER_EPS {
         return Err(coverage_shortfall(&residual, requirements));
     }
     winners.sort_unstable();
     Ok(winners)
+}
+
+/// Replays the previous interval's winner sequence against a grown
+/// candidate prefix and reports whether it survives unchanged.
+///
+/// The ascending sweep's key property: moving to a higher price interval
+/// only *appends* candidates (`sorted[prev_prefix..new_prefix]`). Each
+/// incumbent in `sequence` was the greedy argmax over the old prefix at a
+/// residual this replay reproduces bit-for-bit, and every newcomer has a
+/// larger candidate index than every incumbent, so newcomers lose exact
+/// ties. The greedy run over the new prefix therefore picks the identical
+/// sequence **iff** no newcomer's fresh gain *strictly* exceeds the
+/// incumbent's at some step — which is exactly what this checks.
+fn replay_confirms(
+    cover: &SparseCoverage,
+    requirements: &[f64],
+    newcomers: &[WorkerId],
+    sequence: &[WorkerId],
+) -> bool {
+    let mut residual = requirements.to_vec();
+    for &w in sequence {
+        let incumbent = marginal_gain(cover, w, &residual);
+        for &nw in newcomers {
+            if marginal_gain(cover, nw, &residual) > incumbent {
+                return false;
+            }
+        }
+        for (j, q) in cover.row(w.index()) {
+            residual[j] -= q.min(residual[j].max(0.0));
+        }
+    }
+    true
+}
+
+/// The ascending incremental price sweep: winner sets for a strictly
+/// increasing sequence of candidate prefixes, sharing state across
+/// adjacent intervals instead of selecting each one from scratch.
+///
+/// For [`SelectionRule::MarginalCoverage`] the sweep computes every
+/// candidate's initial gain (prefix-independent — the residual starts at
+/// the full requirements) exactly once, then walks intervals in ascending
+/// price order. Each interval first tries [`replay_confirms`]: when the
+/// newcomers never strictly beat an incumbent, the previous winner set is
+/// reused outright; otherwise the CELF loop restarts warm-seeded from the
+/// cached initial gains. In the common case — higher prices admitting
+/// expensive workers greedy never picks — an interval costs one replay
+/// (`O(|S| · nnz_newcomers)`) instead of a full selection.
+///
+/// [`SelectionRule::StaticTotal`] needs no residual sharing: with cached
+/// static totals each interval is already just a sort of the prefix.
+fn sweep_select(
+    rule: SelectionRule,
+    cover: &SparseCoverage,
+    requirements: &[f64],
+    sorted: &[WorkerId],
+    prefixes: &[usize],
+) -> Result<Vec<Vec<WorkerId>>, McsError> {
+    match rule {
+        SelectionRule::StaticTotal => prefixes
+            .iter()
+            .map(|&p| select_static(&sorted[..p], cover, requirements))
+            .collect(),
+        SelectionRule::MarginalCoverage => {
+            let init: Vec<f64> = sorted
+                .iter()
+                .map(|&w| marginal_gain(cover, w, requirements))
+                .collect();
+            let mut out = Vec::with_capacity(prefixes.len());
+            let mut prev_prefix = 0usize;
+            let mut sequence: Vec<WorkerId> = Vec::new();
+            for &prefix in prefixes {
+                let newcomers = &sorted[prev_prefix..prefix];
+                let unchanged =
+                    prev_prefix > 0 && replay_confirms(cover, requirements, newcomers, &sequence);
+                if !unchanged {
+                    sequence =
+                        celf_sequence(&sorted[..prefix], cover, &init[..prefix], requirements)?;
+                }
+                prev_prefix = prefix;
+                let mut winners = sequence.clone();
+                winners.sort_unstable();
+                out.push(winners);
+            }
+            Ok(out)
+        }
+    }
 }
 
 /// Builds the per-price winner schedule for an instance under a selection
@@ -397,6 +493,37 @@ pub fn build_schedule_eager(
     build_schedule_with(instance, rule, Engine::EagerRescan)
 }
 
+/// [`build_schedule`] driven by the ascending incremental price sweep:
+/// intervals are processed serially in price order, reusing the previous
+/// interval's winner sequence and the one-time initial-gain computation
+/// (see [`sweep_select`]). Produces the identical schedule as every other
+/// engine; it trades the parallel engine's interval fan-out for shared
+/// state, which wins when winner sets rarely change between intervals.
+pub fn build_schedule_incremental(
+    instance: &Instance,
+    rule: SelectionRule,
+) -> Result<PriceSchedule, McsError> {
+    build_schedule_with(instance, rule, Engine::IncrementalSweep)
+}
+
+/// [`build_schedule`] through the pre-CSR build path: materializes the
+/// dense `N×K` [`CoverageProblem`](mcs_types::CoverageProblem), runs the
+/// dense feasibility check, and converts rows to sparse afterwards — the
+/// exact work the engine did before the CSR core existed. Kept so the
+/// `schedule_scaling` bench can measure what the sparse build saves; the
+/// resulting schedule is identical.
+pub fn build_schedule_dense(
+    instance: &Instance,
+    rule: SelectionRule,
+) -> Result<PriceSchedule, McsError> {
+    let dense = instance.coverage_problem();
+    dense.check_feasible()?;
+    let cover = SparseCoverage::from_dense(&dense);
+    let requirements = cover.requirements().to_vec();
+    let all = workers_by_price(instance);
+    schedule_over(instance, rule, Engine::Lazy, &cover, &requirements, &all)
+}
+
 /// Which selector evaluates each price interval's winner set. All engines
 /// produce the identical schedule; they differ only in speed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -408,6 +535,8 @@ enum Engine {
     LazyParallel,
     /// Full rescan per selection round (the pre-lazy reference).
     EagerRescan,
+    /// Serial ascending sweep sharing residual state across intervals.
+    IncrementalSweep,
 }
 
 // Not derivable: the default depends on the `parallel` feature, and the
@@ -431,13 +560,13 @@ fn build_schedule_with(
     rule: SelectionRule,
     engine: Engine,
 ) -> Result<PriceSchedule, McsError> {
-    let cover = instance.coverage_problem();
+    // One CSR materialization straight from the bundles — O(nnz + K) —
+    // serves feasibility, the covering-prefix walk, and every selector.
+    let cover = instance.sparse_coverage();
     cover.check_feasible()?;
-    let requirements: Vec<f64> = (0..cover.num_tasks())
-        .map(|j| cover.requirement(TaskId(j as u32)))
-        .collect();
+    let requirements = cover.requirements().to_vec();
     let all = workers_by_price(instance);
-    schedule_over(instance, rule, engine, &requirements, &all)
+    schedule_over(instance, rule, engine, &cover, &requirements, &all)
 }
 
 /// Builds a per-price winner schedule for a *residual* covering problem:
@@ -484,38 +613,52 @@ pub fn build_residual_schedule(
             });
         }
     }
-    let cover = instance.coverage_problem();
+    let cover = instance.sparse_coverage();
+    // One pass over the eligible rows instead of K per-task column scans;
+    // per-task addition order matches the old dense sums, so shortfall
+    // payloads stay bit-identical.
+    let mut attainable = vec![0.0f64; instance.num_tasks()];
+    for &w in eligible {
+        for (j, q) in cover.row(w.index()) {
+            attainable[j] += q;
+        }
+    }
     for (j, &need) in requirements.iter().enumerate() {
         if need <= COVER_EPS {
             continue;
         }
-        let task = TaskId(j as u32);
-        let attainable: f64 = eligible.iter().map(|&w| cover.q(w, task)).sum();
-        if attainable < need - COVER_EPS {
+        if attainable[j] < need - COVER_EPS {
             return Err(McsError::CoverageShortfall {
-                task,
+                task: TaskId(j as u32),
                 required: need,
-                achieved: attainable,
+                achieved: attainable[j],
             });
         }
     }
     let mut sorted = eligible.to_vec();
     sorted.sort_by_key(|&w| (instance.bids().bid(w).price(), w));
     sorted.dedup();
-    schedule_over(instance, rule, Engine::default(), requirements, &sorted)
+    schedule_over(
+        instance,
+        rule,
+        Engine::default(),
+        &cover,
+        requirements,
+        &sorted,
+    )
 }
 
 /// The shared schedule engine: Algorithm 1 over an arbitrary (possibly
-/// residual) requirement vector and a price-sorted candidate pool.
+/// residual) requirement vector and a price-sorted candidate pool, against
+/// a prebuilt CSR covering problem.
 fn schedule_over(
     instance: &Instance,
     rule: SelectionRule,
     engine: Engine,
+    cover: &SparseCoverage,
     raw_requirements: &[f64],
     sorted: &[WorkerId],
 ) -> Result<PriceSchedule, McsError> {
-    let cover = instance.coverage_problem();
-    let rows = sparse_rows_of(&cover);
     let n = sorted.len();
     let k = cover.num_tasks();
     let requirements: Vec<f64> = raw_requirements.iter().map(|r| r.max(0.0)).collect();
@@ -538,7 +681,7 @@ fn schedule_over(
     let mut deficit: f64 = requirements.iter().sum();
     let mut first_cover: Option<usize> = None;
     for (idx, &w) in sorted.iter().enumerate() {
-        for &(j, q) in &rows[w.index()] {
+        for (j, q) in cover.row(w.index()) {
             let need = (requirements[j] - running[j]).max(0.0);
             running[j] += q;
             deficit -= q.min(need);
@@ -575,7 +718,9 @@ fn schedule_over(
     // Walk the bidding-price intervals [ρ_i, ρ_{i+1}) and record which
     // grid prices each interval owns. Intervals are independent of one
     // another — each one's winner set depends only on its candidate
-    // prefix — which is what makes the fan-out below safe.
+    // prefix — which is what makes the fan-out below safe. (The
+    // incremental sweep instead *exploits* their ordering: prefixes only
+    // grow with price, so adjacent intervals share selection state.)
     struct Interval {
         /// First grid-price index owned by this interval.
         start: usize,
@@ -614,23 +759,28 @@ fn schedule_over(
         let candidates = &sorted[..iv.prefix];
         match (rule, engine) {
             (SelectionRule::MarginalCoverage, Engine::EagerRescan) => {
-                select_marginal_eager(candidates, &rows, &requirements)
+                select_marginal_eager(candidates, cover, &requirements)
             }
             (SelectionRule::MarginalCoverage, _) => {
-                select_marginal(candidates, &rows, &requirements)
+                select_marginal(candidates, cover, &requirements)
             }
-            (SelectionRule::StaticTotal, _) => select_static(candidates, &rows, &requirements),
+            (SelectionRule::StaticTotal, _) => select_static(candidates, cover, &requirements),
         }
     };
-    let selected: Vec<Result<Vec<WorkerId>, McsError>> = match engine {
-        #[cfg(feature = "parallel")]
-        Engine::LazyParallel => {
-            use rayon::prelude::*;
-            intervals.par_iter().map(select).collect()
-        }
-        _ => intervals.iter().map(select).collect(),
+    let winner_sets: Vec<Vec<WorkerId>> = if engine == Engine::IncrementalSweep {
+        let prefixes: Vec<usize> = intervals.iter().map(|iv| iv.prefix).collect();
+        sweep_select(rule, cover, &requirements, sorted, &prefixes)?
+    } else {
+        let selected: Vec<Result<Vec<WorkerId>, McsError>> = match engine {
+            #[cfg(feature = "parallel")]
+            Engine::LazyParallel => {
+                use rayon::prelude::*;
+                intervals.par_iter().map(select).collect()
+            }
+            _ => intervals.iter().map(select).collect(),
+        };
+        selected.into_iter().collect::<Result<_, _>>()?
     };
-    let winner_sets: Vec<Vec<WorkerId>> = selected.into_iter().collect::<Result<_, _>>()?;
 
     let mut set_of = vec![usize::MAX; prices.len()];
     let mut sets: Vec<Vec<WorkerId>> = Vec::with_capacity(winner_sets.len());
@@ -655,20 +805,18 @@ fn schedule_over(
 /// Reference implementation that recomputes the winner set independently
 /// for every grid price — `O(|P| · N · K · |S|)`, used only to validate the
 /// interval-compressed schedule and in the ablation bench. Deliberately
-/// shares *no* machinery with the optimized engine: it drives the eager
-/// full-rescan selector, so the equivalence proptests pin the lazy engine
-/// against genuinely independent code.
+/// shares *no* machinery with the optimized engine beyond the selectors it
+/// is pinned against: it materializes the dense covering problem and
+/// converts it, rather than trusting the direct CSR build.
 pub fn build_schedule_naive(
     instance: &Instance,
     rule: SelectionRule,
 ) -> Result<PriceSchedule, McsError> {
-    let cover = instance.coverage_problem();
-    cover.check_feasible()?;
-    let rows = sparse_rows_of(&cover);
+    let dense = instance.coverage_problem();
+    dense.check_feasible()?;
+    let cover = SparseCoverage::from_dense(&dense);
     let sorted = workers_by_price(instance);
-    let requirements: Vec<f64> = (0..cover.num_tasks())
-        .map(|j| cover.requirement(TaskId(j as u32)))
-        .collect();
+    let requirements = dense.requirements().to_vec();
 
     let mut prices = Vec::new();
     let mut set_of = Vec::new();
@@ -682,7 +830,7 @@ pub fn build_schedule_naive(
         // Feasible at this price?
         let mut residual = requirements.clone();
         for &w in &candidates {
-            for &(j, q) in &rows[w.index()] {
+            for (j, q) in cover.row(w.index()) {
                 residual[j] -= q;
             }
         }
@@ -691,9 +839,9 @@ pub fn build_schedule_naive(
         }
         let winners = match rule {
             SelectionRule::MarginalCoverage => {
-                select_marginal_eager(&candidates, &rows, &requirements)?
+                select_marginal_eager(&candidates, &cover, &requirements)?
             }
-            SelectionRule::StaticTotal => select_static(&candidates, &rows, &requirements)?,
+            SelectionRule::StaticTotal => select_static(&candidates, &cover, &requirements)?,
         };
         let idx = sets.iter().position(|s| *s == winners).unwrap_or_else(|| {
             sets.push(winners);
@@ -853,6 +1001,12 @@ mod tests {
             .unwrap()
     }
 
+    /// A CSR cover for selector-level tests that address workers 0..n by
+    /// raw row index.
+    fn cover_of(rows: Vec<Vec<(usize, f64)>>, req: &[f64]) -> SparseCoverage {
+        SparseCoverage::from_rows(req.len(), rows, req.to_vec()).unwrap()
+    }
+
     #[test]
     fn schedule_covers_all_feasible_prices() {
         let s = build_schedule(&instance(), SelectionRule::MarginalCoverage).unwrap();
@@ -949,12 +1103,16 @@ mod tests {
         // Three workers on one task, requirement 1.0:
         // w0 q=0.64, w1 q=0.49, w2 q=0.36 — greedy takes w0 then w1.
         let candidates = vec![WorkerId(0), WorkerId(1), WorkerId(2)];
-        let rows = vec![
-            vec![(0usize, 0.64)],
-            vec![(0usize, 0.49)],
-            vec![(0usize, 0.36)],
-        ];
-        let winners = select_marginal(&candidates, &rows, &[1.0]).unwrap();
+        let req = [1.0];
+        let cover = cover_of(
+            vec![
+                vec![(0usize, 0.64)],
+                vec![(0usize, 0.49)],
+                vec![(0usize, 0.36)],
+            ],
+            &req,
+        );
+        let winners = select_marginal(&candidates, &cover, &req).unwrap();
         assert_eq!(winners, vec![WorkerId(0), WorkerId(1)]);
     }
 
@@ -968,15 +1126,18 @@ mod tests {
         // rule starts with w1, whose surplus on task 0 is wasted, and ends
         // with all three.
         let candidates = vec![WorkerId(0), WorkerId(1), WorkerId(2)];
-        let rows = vec![
-            vec![(0usize, 1.0)],
-            vec![(0usize, 1.5)],
-            vec![(1usize, 0.6)],
-        ];
         let req = [1.0, 0.5];
-        let marginal = select_marginal(&candidates, &rows, &req).unwrap();
+        let cover = cover_of(
+            vec![
+                vec![(0usize, 1.0)],
+                vec![(0usize, 1.5)],
+                vec![(1usize, 0.6)],
+            ],
+            &req,
+        );
+        let marginal = select_marginal(&candidates, &cover, &req).unwrap();
         assert_eq!(marginal, vec![WorkerId(0), WorkerId(2)]);
-        let static_sel = select_static(&candidates, &rows, &req).unwrap();
+        let static_sel = select_static(&candidates, &cover, &req).unwrap();
         assert_eq!(static_sel, vec![WorkerId(0), WorkerId(1), WorkerId(2)]);
     }
 
@@ -1018,9 +1179,10 @@ mod tests {
         ];
         for (rows, req) in cases {
             let candidates: Vec<WorkerId> = (0..rows.len()).map(|i| WorkerId(i as u32)).collect();
+            let cover = cover_of(rows.clone(), &req);
             assert_eq!(
-                select_marginal(&candidates, &rows, &req),
-                select_marginal_eager(&candidates, &rows, &req),
+                select_marginal(&candidates, &cover, &req),
+                select_marginal_eager(&candidates, &cover, &req),
                 "rows {rows:?} req {req:?}"
             );
         }
@@ -1031,13 +1193,17 @@ mod tests {
         // Candidate order is the tie-break, not worker id: feed candidates
         // in reverse-id order and check the first listed one wins the tie.
         let candidates = vec![WorkerId(2), WorkerId(0), WorkerId(1)];
-        let rows = vec![
-            vec![(0usize, 0.5)],
-            vec![(0usize, 0.5)],
-            vec![(0usize, 0.5)],
-        ];
-        let lazy = select_marginal(&candidates, &rows, &[0.9]).unwrap();
-        let eager = select_marginal_eager(&candidates, &rows, &[0.9]).unwrap();
+        let req = [0.9];
+        let cover = cover_of(
+            vec![
+                vec![(0usize, 0.5)],
+                vec![(0usize, 0.5)],
+                vec![(0usize, 0.5)],
+            ],
+            &req,
+        );
+        let lazy = select_marginal(&candidates, &cover, &req).unwrap();
+        let eager = select_marginal_eager(&candidates, &cover, &req).unwrap();
         assert_eq!(lazy, eager);
         // Two winners cover 0.9; the tie-break picks candidates[0] = w2
         // and candidates[1] = w0 (output is id-sorted).
@@ -1049,12 +1215,12 @@ mod tests {
         // One weak worker against an uncoverable requirement: every
         // selector reports the typed shortfall.
         let candidates = vec![WorkerId(0)];
-        let rows = vec![vec![(0usize, 0.3)]];
         let req = [1.0];
+        let cover = cover_of(vec![vec![(0usize, 0.3)]], &req);
         for result in [
-            select_marginal(&candidates, &rows, &req),
-            select_marginal_eager(&candidates, &rows, &req),
-            select_static(&candidates, &rows, &req),
+            select_marginal(&candidates, &cover, &req),
+            select_marginal_eager(&candidates, &cover, &req),
+            select_static(&candidates, &cover, &req),
         ] {
             match result {
                 Err(McsError::CoverageShortfall {
@@ -1068,6 +1234,56 @@ mod tests {
                 }
                 other => panic!("expected CoverageShortfall, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn sweep_matches_per_interval_selection_across_prefixes() {
+        // Prefix 3's newcomer is too weak to divert the incumbents (replay
+        // confirms); prefix 4's newcomer strictly dominates every step and
+        // forces the warm-started re-selection. Both paths must agree with
+        // selecting each prefix from scratch.
+        let req = vec![1.0, 0.2];
+        let rows = vec![
+            vec![(0usize, 0.6)],
+            vec![(0usize, 0.6), (1usize, 0.2)],
+            vec![(1usize, 0.5)],
+            vec![(0usize, 1.0), (1usize, 1.0)],
+        ];
+        let cover = cover_of(rows, &req);
+        let sorted: Vec<WorkerId> = (0..4u32).map(WorkerId).collect();
+        let prefixes = [2usize, 3, 4];
+        for rule in [SelectionRule::MarginalCoverage, SelectionRule::StaticTotal] {
+            let swept = sweep_select(rule, &cover, &req, &sorted, &prefixes).unwrap();
+            for (k, &p) in prefixes.iter().enumerate() {
+                let scratch = match rule {
+                    SelectionRule::MarginalCoverage => {
+                        select_marginal(&sorted[..p], &cover, &req).unwrap()
+                    }
+                    SelectionRule::StaticTotal => {
+                        select_static(&sorted[..p], &cover, &req).unwrap()
+                    }
+                };
+                assert_eq!(swept[k], scratch, "rule {rule:?} prefix {p}");
+            }
+            // The dominant newcomer at prefix 4 really does change the
+            // marginal winner set, so the divergent path was exercised.
+            if rule == SelectionRule::MarginalCoverage {
+                assert_ne!(swept[1], swept[2]);
+                assert_eq!(swept[2], vec![WorkerId(3)]);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_engine_matches_all_others() {
+        let inst = instance();
+        for rule in [SelectionRule::MarginalCoverage, SelectionRule::StaticTotal] {
+            let incremental = build_schedule_incremental(&inst, rule).unwrap();
+            assert_eq!(incremental, build_schedule(&inst, rule).unwrap());
+            assert_eq!(incremental, build_schedule_eager(&inst, rule).unwrap());
+            assert_eq!(incremental, build_schedule_naive(&inst, rule).unwrap());
+            assert_eq!(incremental, build_schedule_dense(&inst, rule).unwrap());
         }
     }
 
@@ -1167,9 +1383,25 @@ mod tests {
             let default = build_schedule(&inst, rule).unwrap();
             let serial = build_schedule_serial(&inst, rule).unwrap();
             let eager = build_schedule_eager(&inst, rule).unwrap();
+            let incremental = build_schedule_incremental(&inst, rule).unwrap();
             assert_eq!(default, serial);
             assert_eq!(default, eager);
+            assert_eq!(default, incremental);
         }
+    }
+
+    #[test]
+    fn min_total_payment_is_none_only_when_empty() {
+        let inst = instance();
+        let s = build_schedule(&inst, SelectionRule::MarginalCoverage).unwrap();
+        // Four winners at every price; the cheapest feasible price is 18.
+        assert_eq!(s.min_total_payment(), Some(Price::from_f64(72.0)));
+        let empty = PriceSchedule {
+            prices: Vec::new(),
+            set_of: Vec::new(),
+            sets: Vec::new(),
+        };
+        assert_eq!(empty.min_total_payment(), None);
     }
 
     #[test]

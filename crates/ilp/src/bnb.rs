@@ -192,18 +192,25 @@ pub(crate) fn solve_branch_and_bound(
         let mut residual = ilp.requirements().to_vec();
         for i in 0..n {
             if node.assignment[i] == 1 {
-                for (r, w) in residual.iter_mut().zip(ilp.weights_of(i)) {
-                    *r = (*r - w).max(0.0);
+                for (j, w) in ilp.row_entries(i) {
+                    residual[j] = (residual[j] - w).max(0.0);
                 }
             }
         }
 
         // Quick feasibility: can the free variables still cover the
-        // residual requirements?
-        let coverable = (0..ilp.num_constraints()).all(|j| {
-            let total: f64 = free.iter().map(|&i| ilp.weights_of(i)[j]).sum();
-            total >= residual[j] - 1e-9
-        });
+        // residual requirements? One pass over the free rows keeps the
+        // per-column addition order of the old dense column scan.
+        let mut free_totals = vec![0.0f64; ilp.num_constraints()];
+        for &i in &free {
+            for (j, w) in ilp.row_entries(i) {
+                free_totals[j] += w;
+            }
+        }
+        let coverable = free_totals
+            .iter()
+            .zip(&residual)
+            .all(|(&total, &r)| total >= r - 1e-9);
         if !coverable {
             continue;
         }
@@ -214,7 +221,7 @@ pub(crate) fn solve_branch_and_bound(
         let mut lp = LinearProgram::minimize(obj);
         for (j, &req) in residual.iter().enumerate() {
             if req > 1e-12 {
-                let row: Vec<f64> = free.iter().map(|&i| ilp.weights_of(i)[j]).collect();
+                let row: Vec<f64> = free.iter().map(|&i| ilp.weight(i, j)).collect();
                 lp = lp.geq(row, req);
             }
         }
@@ -246,8 +253,8 @@ pub(crate) fn solve_branch_and_bound(
             for (fi, &i) in free.iter().enumerate() {
                 if solution.value(fi) >= 0.5 {
                     selected.push(i);
-                    for (r, w) in res.iter_mut().zip(ilp.weights_of(i)) {
-                        *r = (*r - w).max(0.0);
+                    for (j, w) in ilp.row_entries(i) {
+                        res[j] = (res[j] - w).max(0.0);
                     }
                 }
             }
@@ -264,12 +271,7 @@ pub(crate) fn solve_branch_and_bound(
                         .iter()
                         .enumerate()
                         .map(|(pos, &i)| {
-                            let gain: f64 = ilp
-                                .weights_of(i)
-                                .iter()
-                                .zip(&res)
-                                .map(|(&w, &r)| w.min(r))
-                                .sum();
+                            let gain: f64 = ilp.row_entries(i).map(|(j, w)| w.min(res[j])).sum();
                             (pos, i, gain / ilp.costs()[i].max(1e-12))
                         })
                         .filter(|&(_, _, score)| score > 1e-12)
@@ -277,8 +279,8 @@ pub(crate) fn solve_branch_and_bound(
                     let Some((pos, i, _)) = best else { break };
                     remaining.swap_remove(pos);
                     selected.push(i);
-                    for (r, w) in res.iter_mut().zip(ilp.weights_of(i)) {
-                        *r = (*r - w).max(0.0);
+                    for (j, w) in ilp.row_entries(i) {
+                        res[j] = (res[j] - w).max(0.0);
                     }
                 }
             }

@@ -1,27 +1,43 @@
 //! Covering-ILP problem representation, greedy heuristic, and an
 //! exhaustive reference solver.
+//!
+//! The constraint matrix is stored in compressed-sparse-row form: the TPM
+//! instances the solver sees come from single-minded workers, so each
+//! variable touches only its bundle's constraints and a dense `n×k` matrix
+//! would make every residual update, feasibility pre-check, and repair
+//! pass `O(n·k)` instead of `O(nnz)`. Dense construction stays available
+//! (and is how the hand-written tests build problems); all accumulations
+//! over rows skip only exact zeros, which is bit-identical to including
+//! them.
 
 use crate::bnb::{solve_branch_and_bound, BnbOptions, IlpResult, Selection};
 use crate::IlpError;
 
 /// A 0/1 covering integer program.
 ///
-/// `weights[i][j]` is variable `i`'s contribution to constraint `j`;
+/// Variable `i`'s contribution to constraint `j` is `weight(i, j)`;
 /// selecting a set `S` of variables is feasible when
-/// `Σ_{i∈S} weights[i][j] ≥ requirements[j]` for every `j`. The objective
+/// `Σ_{i∈S} weight(i, j) ≥ requirements[j]` for every `j`. The objective
 /// is `Σ_{i∈S} costs[i]`, with unit costs the common case (the TPM problem
 /// minimizes winner-set cardinality).
 ///
 /// All data must be non-negative and finite.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoveringIlp {
-    weights: Vec<Vec<f64>>,
+    num_constraints: usize,
+    /// Row `i`'s entries live at `cols/vals[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<usize>,
+    /// Constraint indices, ascending within each row.
+    cols: Vec<u32>,
+    /// Weights parallel to `cols`; strictly positive (zeros are dropped).
+    vals: Vec<f64>,
     requirements: Vec<f64>,
     costs: Vec<f64>,
 }
 
 impl CoveringIlp {
-    /// Builds a covering ILP with explicit per-variable costs.
+    /// Builds a covering ILP from dense weight rows with explicit
+    /// per-variable costs.
     ///
     /// # Errors
     ///
@@ -58,24 +74,26 @@ impl CoveringIlp {
                 }
             }
         }
-        for &r in &requirements {
-            if !r.is_finite() || r < 0.0 {
-                return Err(IlpError::InvalidCoefficient {
-                    location: "requirements",
-                    value: r,
-                });
+        Self::validate_rhs(&requirements, &costs)?;
+        let n = weights.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        offsets.push(0);
+        for row in &weights {
+            for (j, &w) in row.iter().enumerate() {
+                if w > 0.0 {
+                    cols.push(j as u32);
+                    vals.push(w);
+                }
             }
-        }
-        for &c in &costs {
-            if !c.is_finite() || c < 0.0 {
-                return Err(IlpError::InvalidCoefficient {
-                    location: "costs",
-                    value: c,
-                });
-            }
+            offsets.push(cols.len());
         }
         Ok(CoveringIlp {
-            weights,
+            num_constraints: k,
+            offsets,
+            cols,
+            vals,
             requirements,
             costs,
         })
@@ -92,22 +110,172 @@ impl CoveringIlp {
         Self::new(weights, requirements, vec![1.0; n])
     }
 
+    /// Builds a covering ILP directly from sparse `(constraint, weight)`
+    /// rows, never materializing the dense matrix — `O(nnz)` construction
+    /// for the large-`K` instances the schedule engines hand over.
+    ///
+    /// Entries within a row may arrive unordered; zero weights are
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// * [`IlpError::DimensionMismatch`] — the cost vector length differs
+    ///   from the row count, or an entry references a constraint index
+    ///   `≥ num_constraints` (reported with `expected = num_constraints`,
+    ///   `actual = index`).
+    /// * [`IlpError::DuplicateEntry`] — a row lists the same constraint
+    ///   twice.
+    /// * [`IlpError::InvalidCoefficient`] — negative or non-finite data.
+    pub fn from_sparse_rows(
+        num_constraints: usize,
+        rows: Vec<Vec<(usize, f64)>>,
+        requirements: Vec<f64>,
+        costs: Vec<f64>,
+    ) -> Result<Self, IlpError> {
+        if requirements.len() != num_constraints {
+            return Err(IlpError::DimensionMismatch {
+                variable: 0,
+                expected: num_constraints,
+                actual: requirements.len(),
+            });
+        }
+        if costs.len() != rows.len() {
+            return Err(IlpError::DimensionMismatch {
+                variable: 0,
+                expected: rows.len(),
+                actual: costs.len(),
+            });
+        }
+        Self::validate_rhs(&requirements, &costs)?;
+        let n = rows.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut cols: Vec<u32> = Vec::new();
+        let mut vals = Vec::new();
+        offsets.push(0);
+        for (i, mut row) in rows.into_iter().enumerate() {
+            row.sort_unstable_by_key(|&(j, _)| j);
+            let mut prev: Option<usize> = None;
+            for (j, w) in row {
+                if j >= num_constraints {
+                    return Err(IlpError::DimensionMismatch {
+                        variable: i,
+                        expected: num_constraints,
+                        actual: j,
+                    });
+                }
+                if prev == Some(j) {
+                    return Err(IlpError::DuplicateEntry {
+                        variable: i,
+                        constraint: j,
+                    });
+                }
+                prev = Some(j);
+                if !w.is_finite() || w < 0.0 {
+                    return Err(IlpError::InvalidCoefficient {
+                        location: "weights",
+                        value: w,
+                    });
+                }
+                if w > 0.0 {
+                    cols.push(j as u32);
+                    vals.push(w);
+                }
+            }
+            offsets.push(cols.len());
+        }
+        Ok(CoveringIlp {
+            num_constraints,
+            offsets,
+            cols,
+            vals,
+            requirements,
+            costs,
+        })
+    }
+
+    /// [`CoveringIlp::from_sparse_rows`] with unit costs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CoveringIlp::from_sparse_rows`].
+    pub fn uniform_cost_sparse(
+        num_constraints: usize,
+        rows: Vec<Vec<(usize, f64)>>,
+        requirements: Vec<f64>,
+    ) -> Result<Self, IlpError> {
+        let n = rows.len();
+        Self::from_sparse_rows(num_constraints, rows, requirements, vec![1.0; n])
+    }
+
+    fn validate_rhs(requirements: &[f64], costs: &[f64]) -> Result<(), IlpError> {
+        for &r in requirements {
+            if !r.is_finite() || r < 0.0 {
+                return Err(IlpError::InvalidCoefficient {
+                    location: "requirements",
+                    value: r,
+                });
+            }
+        }
+        for &c in costs {
+            if !c.is_finite() || c < 0.0 {
+                return Err(IlpError::InvalidCoefficient {
+                    location: "costs",
+                    value: c,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Number of 0/1 variables.
     #[inline]
     pub fn num_vars(&self) -> usize {
-        self.weights.len()
+        self.offsets.len() - 1
     }
 
     /// Number of covering constraints.
     #[inline]
     pub fn num_constraints(&self) -> usize {
-        self.requirements.len()
+        self.num_constraints
     }
 
-    /// Variable `i`'s weight row.
+    /// Number of stored (non-zero) weights.
     #[inline]
-    pub fn weights_of(&self, var: usize) -> &[f64] {
-        &self.weights[var]
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Variable `i`'s non-zero `(constraint, weight)` entries, ascending
+    /// by constraint, without allocating.
+    #[inline]
+    pub fn row_entries(&self, var: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.offsets[var];
+        let hi = self.offsets[var + 1];
+        self.cols[lo..hi]
+            .iter()
+            .zip(&self.vals[lo..hi])
+            .map(|(&j, &w)| (j as usize, w))
+    }
+
+    /// Variable `i`'s weight on constraint `j` (zero if not stored).
+    #[inline]
+    pub fn weight(&self, var: usize, constraint: usize) -> f64 {
+        let lo = self.offsets[var];
+        let hi = self.offsets[var + 1];
+        match self.cols[lo..hi].binary_search(&(constraint as u32)) {
+            Ok(pos) => self.vals[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Variable `i`'s weight row, materialized densely (diagnostics and
+    /// tests; hot paths iterate [`CoveringIlp::row_entries`]).
+    pub fn weights_of(&self, var: usize) -> Vec<f64> {
+        let mut row = vec![0.0; self.num_constraints];
+        for (j, w) in self.row_entries(var) {
+            row[j] = w;
+        }
+        row
     }
 
     /// The requirement vector.
@@ -132,8 +300,8 @@ impl CoveringIlp {
     pub fn is_feasible(&self, selected: &[usize]) -> bool {
         let mut residual = self.requirements.clone();
         for &i in selected {
-            for (r, w) in residual.iter_mut().zip(&self.weights[i]) {
-                *r -= w;
+            for (j, w) in self.row_entries(i) {
+                residual[j] -= w;
             }
         }
         residual.iter().all(|&r| r <= 1e-9)
@@ -141,12 +309,19 @@ impl CoveringIlp {
 
     /// Whether selecting *all* variables satisfies every constraint — the
     /// necessary and sufficient feasibility condition for covering
-    /// programs.
+    /// programs. One pass over the stored entries; per-constraint addition
+    /// order matches a dense column scan, so the totals are bit-identical.
     pub fn is_feasible_at_all(&self) -> bool {
-        (0..self.num_constraints()).all(|j| {
-            let total: f64 = self.weights.iter().map(|row| row[j]).sum();
-            total >= self.requirements[j] - 1e-9
-        })
+        let mut totals = vec![0.0f64; self.num_constraints];
+        for i in 0..self.num_vars() {
+            for (j, w) in self.row_entries(i) {
+                totals[j] += w;
+            }
+        }
+        totals
+            .iter()
+            .zip(&self.requirements)
+            .all(|(&t, &r)| t >= r - 1e-9)
     }
 
     /// Solves exactly by branch-and-bound.
@@ -198,10 +373,8 @@ pub fn greedy_cover(ilp: &CoveringIlp) -> Option<Vec<usize>> {
                 continue;
             }
             let gain: f64 = ilp
-                .weights_of(i)
-                .iter()
-                .zip(&residual)
-                .map(|(&w, &r)| w.min(r.max(0.0)))
+                .row_entries(i)
+                .map(|(j, w)| w.min(residual[j].max(0.0)))
                 .sum();
             if gain <= 1e-12 {
                 continue;
@@ -215,8 +388,8 @@ pub fn greedy_cover(ilp: &CoveringIlp) -> Option<Vec<usize>> {
         let (i, _) = best?;
         used[i] = true;
         selected.push(i);
-        for (r, w) in residual.iter_mut().zip(ilp.weights_of(i)) {
-            *r -= w;
+        for (j, w) in ilp.row_entries(i) {
+            residual[j] -= w;
         }
     }
     Some(selected)
@@ -273,6 +446,42 @@ mod tests {
         assert!(CoveringIlp::uniform_cost(vec![vec![1.0]], vec![f64::NAN]).is_err());
         assert!(CoveringIlp::new(vec![vec![1.0]], vec![1.0], vec![1.0, 2.0]).is_err());
         assert!(CoveringIlp::new(vec![vec![1.0]], vec![1.0], vec![-0.5]).is_err());
+    }
+
+    #[test]
+    fn sparse_construction_matches_dense() {
+        let dense = tiny();
+        let sparse = CoveringIlp::uniform_cost_sparse(
+            2,
+            vec![vec![(0, 0.7)], vec![(1, 0.7)], vec![(1, 0.5), (0, 0.5)]],
+            vec![0.6, 0.6],
+        )
+        .unwrap();
+        assert_eq!(dense, sparse);
+        assert_eq!(sparse.nnz(), 4);
+        assert_eq!(sparse.weights_of(2), vec![0.5, 0.5]);
+        assert_eq!(sparse.weight(0, 0), 0.7);
+        assert_eq!(sparse.weight(0, 1), 0.0);
+    }
+
+    #[test]
+    fn sparse_construction_validates() {
+        assert!(matches!(
+            CoveringIlp::uniform_cost_sparse(1, vec![vec![(3, 0.5)]], vec![1.0]),
+            Err(IlpError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            CoveringIlp::uniform_cost_sparse(2, vec![vec![(0, 0.5), (0, 0.7)]], vec![1.0, 1.0]),
+            Err(IlpError::DuplicateEntry { .. })
+        ));
+        assert!(matches!(
+            CoveringIlp::uniform_cost_sparse(1, vec![vec![(0, -0.5)]], vec![1.0]),
+            Err(IlpError::InvalidCoefficient { .. })
+        ));
+        assert!(matches!(
+            CoveringIlp::uniform_cost_sparse(2, vec![], vec![1.0]),
+            Err(IlpError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

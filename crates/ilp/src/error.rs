@@ -29,6 +29,13 @@ pub enum IlpError {
         /// The offending value.
         value: f64,
     },
+    /// A sparse weight row listed the same constraint column twice.
+    DuplicateEntry {
+        /// Index of the offending variable.
+        variable: usize,
+        /// The constraint column that appeared more than once.
+        constraint: usize,
+    },
     /// The LP relaxation solver failed (iteration limit or malformed data).
     Lp(LpError),
 }
@@ -47,6 +54,13 @@ impl fmt::Display for IlpError {
             IlpError::InvalidCoefficient { location, value } => {
                 write!(f, "invalid coefficient {value} in {location}")
             }
+            IlpError::DuplicateEntry {
+                variable,
+                constraint,
+            } => write!(
+                f,
+                "variable {variable} lists constraint {constraint} more than once"
+            ),
             IlpError::Lp(e) => write!(f, "lp relaxation failed: {e}"),
         }
     }

@@ -3,8 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 use mcs_auction::{DpHsrcAuction, OptimalMechanism, ScheduledMechanism};
+use mcs_types::CoverageView;
 use mcs_types::McsError;
-use mcs_types::{TaskId, WorkerId};
 
 use crate::output::TableRow;
 use crate::Setting;
@@ -95,20 +95,19 @@ pub fn approx_ratio_experiment(
     let opt = optimal.solve(instance)?;
     let optimal_payment = opt.total_payment().as_f64();
 
-    let cover = instance.coverage_problem();
+    let cover = instance.sparse_coverage();
     let beta = cover.beta();
-    // Δq: the smallest positive coverage weight acts as the unit measure.
+    // Δq: the smallest positive coverage weight acts as the unit measure;
+    // the CSR rows store exactly the positive weights.
     let mut delta_q = f64::INFINITY;
     for i in 0..cover.num_workers() {
-        for &q in cover.worker_row(WorkerId(i as u32)) {
+        for (_, q) in cover.row(i) {
             if q > 1e-12 && q < delta_q {
                 delta_q = q;
             }
         }
     }
-    let total_q: f64 = (0..cover.num_tasks())
-        .map(|j| cover.requirement(TaskId(j as u32)))
-        .sum();
+    let total_q: f64 = cover.requirements().iter().sum();
     let m = if delta_q.is_finite() {
         total_q / delta_q
     } else {

@@ -4,8 +4,8 @@
 use serde::{Deserialize, Serialize};
 
 use mcs_auction::{build_schedule, OptimalMechanism, SelectionRule};
+use mcs_types::CoverageView;
 use mcs_types::McsError;
-use mcs_types::{TaskId, WorkerId};
 
 use crate::experiments::approx::harmonic;
 use crate::output::TableRow;
@@ -100,20 +100,19 @@ pub fn lemma2_experiment(
         });
     }
 
-    // The analytic constants of Lemma 2.
-    let cover = instance.coverage_problem();
+    // The analytic constants of Lemma 2, from the CSR coverage view: β
+    // folds the cached per-worker totals and Δq scans only stored entries.
+    let cover = instance.sparse_coverage();
     let beta = cover.beta();
     let mut delta_q = f64::INFINITY;
     for i in 0..cover.num_workers() {
-        for &q in cover.worker_row(WorkerId(i as u32)) {
+        for (_, q) in cover.row(i) {
             if q > 1e-12 && q < delta_q {
                 delta_q = q;
             }
         }
     }
-    let total_q: f64 = (0..cover.num_tasks())
-        .map(|j| cover.requirement(TaskId(j as u32)))
-        .sum();
+    let total_q: f64 = cover.requirements().iter().sum();
     let m = if delta_q.is_finite() {
         total_q / delta_q
     } else {

@@ -15,7 +15,9 @@ use mcs_agg::{
     achieved_coverage, generate_labels, weighted_aggregate, DawidSkene, Label, LabelSet,
     Observation,
 };
-use mcs_types::{Bundle, Instance, McsError, Price, SkillMatrix, TaskId, TrueType, WorkerId};
+use mcs_types::{
+    Bundle, CoverageView, Instance, McsError, Price, SkillMatrix, TaskId, TrueType, WorkerId,
+};
 
 use mcs_auction::{AuctionOutcome, DpHsrcAuction, Mechanism, ScheduledMechanism};
 
@@ -578,7 +580,7 @@ where
     R: Rng + ?Sized,
 {
     let injector = FaultInjector::new(plan.clone())?;
-    let cover = instance.coverage_problem();
+    let cover = instance.sparse_coverage();
     let num_tasks = instance.num_tasks();
 
     // Phase 0: the primary round, consuming `rng` exactly as `run_round`.
@@ -764,7 +766,7 @@ mod resilient_tests {
             assert!((delta_hat - (-c / 2.0).exp()).abs() < 1e-12);
         }
         // Every shortfall names a genuinely under-covered task.
-        let cover = inst.coverage_problem();
+        let cover = inst.sparse_coverage();
         for s in &report.shortfalls {
             assert!(s.achieved < cover.requirement(s.task));
         }

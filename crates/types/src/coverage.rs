@@ -1,0 +1,589 @@
+//! Layout-independent views of the covering problem, and the CSR core.
+//!
+//! The paper's workers are single-minded: each bids one bundle
+//! `Γ_i ⊆ T`, and `q_ij = (2θ_ij − 1)²` is zero outside it. A dense
+//! `N×K` matrix therefore wastes `O(N·K)` space and — worse — `O(N·K)`
+//! time in every greedy pass, restriction, and feasibility check. This
+//! module provides
+//!
+//! * [`CoverageView`] — the read interface both layouts share, so
+//!   mechanisms, solvers, and verifiers are layout-agnostic; and
+//! * [`SparseCoverage`] — compressed sparse rows with per-worker prefix
+//!   offsets, `(task, q)` entry arrays, and *cached* per-worker static
+//!   totals, making all core operations `O(nnz)` instead of `O(N·K)`.
+//!
+//! # Exact-equivalence contract
+//!
+//! [`SparseCoverage`] stores exactly the entries a dense
+//! [`CoverageProblem`](crate::CoverageProblem) row holds with `q > 0.0`,
+//! in the same ascending task order. Every accumulation the engines
+//! perform over these rows (gains, totals, residual subtraction,
+//! feasibility sums) starts from `+0.0` and only ever adds non-negative
+//! terms, and IEEE-754 addition of `+0.0` to a non-negative value is the
+//! identity — so skipping the zero entries yields *bit-identical* floats,
+//! not merely approximately equal ones. The differential harness in
+//! `mcs-verify` asserts this observational equivalence continuously.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CoverageProblem, McsError, TaskId, WorkerId};
+
+/// Tolerance below which residual coverage counts as satisfied — the same
+/// constant the schedule engines use.
+const COVER_EPS: f64 = 1e-9;
+
+/// A read-only, layout-independent view of a covering problem `(q, Q)`.
+///
+/// Implemented by the dense [`CoverageProblem`] and the CSR
+/// [`SparseCoverage`]; consumers written against this trait work with
+/// either layout. Provided methods define the *semantics* once; layouts
+/// override them only with bit-identical faster paths.
+pub trait CoverageView {
+    /// Number of workers (rows).
+    fn num_workers(&self) -> usize;
+
+    /// Number of tasks (covering constraints).
+    fn num_tasks(&self) -> usize;
+
+    /// Worker `i`'s contribution to task `j` (zero outside her bundle).
+    fn q(&self, worker: WorkerId, task: TaskId) -> f64;
+
+    /// Required coverage `Q_j` for a task.
+    fn requirement(&self, task: TaskId) -> f64;
+
+    /// All requirements `Q`.
+    fn requirements(&self) -> &[f64];
+
+    /// Total contribution `Σ_j q_ij` of a worker across all tasks — the
+    /// static score used by the Baseline auction and the `β` of Lemma 2.
+    fn worker_total(&self, worker: WorkerId) -> f64;
+
+    /// Worker `i`'s non-zero `(task index, q_ij)` entries, ascending by
+    /// task — materialized; [`SparseCoverage::row`] iterates without
+    /// allocating.
+    fn sparse_row(&self, worker: WorkerId) -> Vec<(usize, f64)>;
+
+    /// The constant `β = max_i Σ_j q_ij` of Lemma 2.
+    fn beta(&self) -> f64 {
+        (0..self.num_workers())
+            .map(|i| self.worker_total(WorkerId(i as u32)))
+            .fold(0.0, f64::max)
+    }
+
+    /// Checks whether a subset of workers satisfies every covering
+    /// constraint, with a small tolerance for float accumulation.
+    fn is_satisfied_by<I>(&self, workers: I) -> bool
+    where
+        I: IntoIterator<Item = WorkerId>,
+        Self: Sized,
+    {
+        let mut coverage = vec![0.0f64; self.num_tasks()];
+        for w in workers {
+            for (j, q) in self.sparse_row(w) {
+                coverage[j] += q;
+            }
+        }
+        coverage
+            .iter()
+            .zip(self.requirements())
+            .all(|(c, r)| *c >= *r - COVER_EPS)
+    }
+
+    /// Maximum attainable coverage of task `j` using every worker.
+    fn max_attainable(&self, task: TaskId) -> f64 {
+        (0..self.num_workers())
+            .map(|i| self.q(WorkerId(i as u32), task))
+            .sum()
+    }
+
+    /// Verifies the full pool can satisfy every constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McsError::Infeasible`] naming the first uncoverable task.
+    fn check_feasible(&self) -> Result<(), McsError> {
+        for j in 0..self.num_tasks() {
+            let t = TaskId(j as u32);
+            let attainable = self.max_attainable(t);
+            if attainable < self.requirement(t) - COVER_EPS {
+                return Err(McsError::Infeasible {
+                    task: t,
+                    required: self.requirement(t),
+                    attainable,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl CoverageView for CoverageProblem {
+    #[inline]
+    fn num_workers(&self) -> usize {
+        CoverageProblem::num_workers(self)
+    }
+
+    #[inline]
+    fn num_tasks(&self) -> usize {
+        CoverageProblem::num_tasks(self)
+    }
+
+    #[inline]
+    fn q(&self, worker: WorkerId, task: TaskId) -> f64 {
+        CoverageProblem::q(self, worker, task)
+    }
+
+    #[inline]
+    fn requirement(&self, task: TaskId) -> f64 {
+        CoverageProblem::requirement(self, task)
+    }
+
+    #[inline]
+    fn requirements(&self) -> &[f64] {
+        CoverageProblem::requirements(self)
+    }
+
+    #[inline]
+    fn worker_total(&self, worker: WorkerId) -> f64 {
+        CoverageProblem::worker_total(self, worker)
+    }
+
+    fn sparse_row(&self, worker: WorkerId) -> Vec<(usize, f64)> {
+        self.worker_row(worker)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &q)| q > 0.0)
+            .map(|(j, &q)| (j, q))
+            .collect()
+    }
+}
+
+/// The covering problem in compressed-sparse-row form.
+///
+/// Row `i`'s non-zero entries live at `tasks[offsets[i]..offsets[i+1]]`
+/// (ascending task indices) with weights in the parallel `weights` range;
+/// `totals[i]` caches `Σ_j q_ij` so static-score ordering and `β` never
+/// re-sum rows, and `requirements[j]` holds `Q_j`.
+///
+/// Build one with [`Instance::sparse_coverage`](crate::Instance::sparse_coverage)
+/// (directly from bundles, `O(nnz + K)`), [`SparseCoverage::from_dense`],
+/// or [`SparseCoverage::from_rows`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseCoverage {
+    num_workers: usize,
+    num_tasks: usize,
+    offsets: Vec<usize>,
+    tasks: Vec<u32>,
+    weights: Vec<f64>,
+    totals: Vec<f64>,
+    requirements: Vec<f64>,
+}
+
+impl SparseCoverage {
+    /// Assembles a CSR problem from already-validated parts. Internal:
+    /// public construction goes through the checked constructors.
+    pub(crate) fn from_parts(
+        num_workers: usize,
+        num_tasks: usize,
+        offsets: Vec<usize>,
+        tasks: Vec<u32>,
+        weights: Vec<f64>,
+        totals: Vec<f64>,
+        requirements: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), num_workers + 1);
+        debug_assert_eq!(tasks.len(), weights.len());
+        debug_assert_eq!(totals.len(), num_workers);
+        debug_assert_eq!(requirements.len(), num_tasks);
+        SparseCoverage {
+            num_workers,
+            num_tasks,
+            offsets,
+            tasks,
+            weights,
+            totals,
+            requirements,
+        }
+    }
+
+    /// Builds a CSR problem from per-worker `(task, q)` rows.
+    ///
+    /// Entries within each row may arrive unordered; zero-weight entries
+    /// are dropped (canonical form, see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// * [`McsError::DimensionMismatch`] — `requirements.len()` is not
+    ///   `num_tasks`.
+    /// * [`McsError::BundleOutOfRange`] — a row references a task index
+    ///   `≥ num_tasks`.
+    /// * [`McsError::InvalidSkill`] — a weight is negative or not finite.
+    pub fn from_rows(
+        num_tasks: usize,
+        rows: Vec<Vec<(usize, f64)>>,
+        requirements: Vec<f64>,
+    ) -> Result<Self, McsError> {
+        if requirements.len() != num_tasks {
+            return Err(McsError::DimensionMismatch {
+                what: "requirement vector",
+                expected: num_tasks,
+                actual: requirements.len(),
+            });
+        }
+        let num_workers = rows.len();
+        let mut offsets = Vec::with_capacity(num_workers + 1);
+        let mut tasks: Vec<u32> = Vec::new();
+        let mut weights = Vec::new();
+        let mut totals = Vec::with_capacity(num_workers);
+        offsets.push(0);
+        for (i, mut row) in rows.into_iter().enumerate() {
+            row.sort_unstable_by_key(|&(j, _)| j);
+            let mut total = 0.0;
+            for (j, q) in row {
+                if j >= num_tasks {
+                    return Err(McsError::BundleOutOfRange {
+                        worker: WorkerId(i as u32),
+                        num_tasks,
+                    });
+                }
+                if !q.is_finite() || q < 0.0 {
+                    return Err(McsError::InvalidSkill {
+                        worker: WorkerId(i as u32),
+                        task: TaskId(j as u32),
+                        value: q,
+                    });
+                }
+                if q > 0.0 {
+                    tasks.push(j as u32);
+                    weights.push(q);
+                    total += q;
+                }
+            }
+            totals.push(total);
+            offsets.push(tasks.len());
+        }
+        Ok(SparseCoverage {
+            num_workers,
+            num_tasks,
+            offsets,
+            tasks,
+            weights,
+            totals,
+            requirements,
+        })
+    }
+
+    /// Converts a dense problem, keeping exactly the `q > 0.0` cells.
+    pub fn from_dense(cover: &CoverageProblem) -> Self {
+        let n = CoverageProblem::num_workers(cover);
+        let k = CoverageProblem::num_tasks(cover);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut tasks = Vec::new();
+        let mut weights = Vec::new();
+        let mut totals = Vec::with_capacity(n);
+        offsets.push(0);
+        for i in 0..n {
+            let mut total = 0.0;
+            for (j, &q) in cover.worker_row(WorkerId(i as u32)).iter().enumerate() {
+                if q > 0.0 {
+                    tasks.push(j as u32);
+                    weights.push(q);
+                    total += q;
+                }
+            }
+            totals.push(total);
+            offsets.push(tasks.len());
+        }
+        SparseCoverage {
+            num_workers: n,
+            num_tasks: k,
+            offsets,
+            tasks,
+            weights,
+            totals,
+            requirements: cover.requirements().to_vec(),
+        }
+    }
+
+    /// Number of stored (non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Iterates worker `i`'s `(task index, q_ij)` entries, ascending by
+    /// task, without allocating. Indexing is by raw row index to match the
+    /// engines' candidate bookkeeping.
+    #[inline]
+    pub fn row(&self, worker: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.offsets[worker];
+        let hi = self.offsets[worker + 1];
+        self.tasks[lo..hi]
+            .iter()
+            .zip(&self.weights[lo..hi])
+            .map(|(&j, &q)| (j as usize, q))
+    }
+
+    /// Number of non-zero entries in worker `i`'s row.
+    #[inline]
+    pub fn row_len(&self, worker: usize) -> usize {
+        self.offsets[worker + 1] - self.offsets[worker]
+    }
+
+    /// The cached static total `Σ_j q_ij` by raw row index.
+    #[inline]
+    pub fn total(&self, worker: usize) -> f64 {
+        self.totals[worker]
+    }
+
+    /// Restricts the problem to a subset of workers (e.g. those with
+    /// `ρ_i ≤ p`), preserving original worker ids via the returned mapping.
+    ///
+    /// Copies only the subset's non-zero entries — `O(Σ row_len)` rather
+    /// than the dense path's `O(|workers| · K)` row deep-copies.
+    pub fn restrict_to(&self, workers: &[WorkerId]) -> (SparseCoverage, Vec<WorkerId>) {
+        let mut offsets = Vec::with_capacity(workers.len() + 1);
+        let mut tasks = Vec::new();
+        let mut weights = Vec::new();
+        let mut totals = Vec::with_capacity(workers.len());
+        offsets.push(0);
+        for &w in workers {
+            let lo = self.offsets[w.index()];
+            let hi = self.offsets[w.index() + 1];
+            tasks.extend_from_slice(&self.tasks[lo..hi]);
+            weights.extend_from_slice(&self.weights[lo..hi]);
+            totals.push(self.totals[w.index()]);
+            offsets.push(tasks.len());
+        }
+        (
+            SparseCoverage {
+                num_workers: workers.len(),
+                num_tasks: self.num_tasks,
+                offsets,
+                tasks,
+                weights,
+                totals,
+                requirements: self.requirements.clone(),
+            },
+            workers.to_vec(),
+        )
+    }
+
+    /// Materializes the equivalent dense problem (tests and the dense
+    /// baseline bench; never on hot paths).
+    pub fn to_dense(&self) -> CoverageProblem {
+        let mut q = vec![0.0; self.num_workers * self.num_tasks];
+        for i in 0..self.num_workers {
+            for (j, w) in self.row(i) {
+                q[i * self.num_tasks + j] = w;
+            }
+        }
+        CoverageProblem::from_raw(
+            self.num_workers,
+            self.num_tasks,
+            q,
+            self.requirements.clone(),
+        )
+        .expect("CSR invariants imply valid dense dimensions")
+    }
+}
+
+impl CoverageView for SparseCoverage {
+    #[inline]
+    fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    #[inline]
+    fn num_tasks(&self) -> usize {
+        self.num_tasks
+    }
+
+    fn q(&self, worker: WorkerId, task: TaskId) -> f64 {
+        let lo = self.offsets[worker.index()];
+        let hi = self.offsets[worker.index() + 1];
+        match self.tasks[lo..hi].binary_search(&task.0) {
+            Ok(pos) => self.weights[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    #[inline]
+    fn requirement(&self, task: TaskId) -> f64 {
+        self.requirements[task.index()]
+    }
+
+    #[inline]
+    fn requirements(&self) -> &[f64] {
+        &self.requirements
+    }
+
+    #[inline]
+    fn worker_total(&self, worker: WorkerId) -> f64 {
+        self.totals[worker.index()]
+    }
+
+    fn sparse_row(&self, worker: WorkerId) -> Vec<(usize, f64)> {
+        self.row(worker.index()).collect()
+    }
+
+    #[inline]
+    fn beta(&self) -> f64 {
+        self.totals.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// One pass over all entries instead of `K` column scans. Per-column
+    /// addition order equals the dense column scan's worker order, so the
+    /// sums — and any [`McsError::Infeasible`] payload — are bit-identical.
+    fn check_feasible(&self) -> Result<(), McsError> {
+        let mut attainable = vec![0.0f64; self.num_tasks];
+        for i in 0..self.num_workers {
+            for (j, q) in self.row(i) {
+                attainable[j] += q;
+            }
+        }
+        for (j, (&got, &need)) in attainable.iter().zip(&self.requirements).enumerate() {
+            if got < need - COVER_EPS {
+                return Err(McsError::Infeasible {
+                    task: TaskId(j as u32),
+                    required: need,
+                    attainable: got,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dense_fixture() -> CoverageProblem {
+        CoverageProblem::from_raw(3, 2, vec![0.64, 0.0, 0.0, 0.81, 0.36, 0.25], vec![0.9, 0.8])
+            .unwrap()
+    }
+
+    #[test]
+    fn from_dense_keeps_structure_and_totals() {
+        let dense = dense_fixture();
+        let sparse = SparseCoverage::from_dense(&dense);
+        assert_eq!(sparse.nnz(), 4);
+        assert_eq!(sparse.row(0).collect::<Vec<_>>(), vec![(0, 0.64)]);
+        assert_eq!(sparse.row(1).collect::<Vec<_>>(), vec![(1, 0.81)]);
+        assert_eq!(
+            sparse.row(2).collect::<Vec<_>>(),
+            vec![(0, 0.36), (1, 0.25)]
+        );
+        for w in 0..3u32 {
+            let w = WorkerId(w);
+            assert_eq!(
+                CoverageView::worker_total(&sparse, w),
+                dense.worker_total(w)
+            );
+            for t in 0..2u32 {
+                let t = TaskId(t);
+                assert_eq!(CoverageView::q(&sparse, w, t), dense.q(w, t));
+            }
+        }
+        assert_eq!(CoverageView::beta(&sparse), CoverageView::beta(&dense));
+        assert_eq!(sparse.to_dense(), dense);
+    }
+
+    #[test]
+    fn view_semantics_match_across_layouts() {
+        let dense = dense_fixture();
+        let sparse = SparseCoverage::from_dense(&dense);
+        let all = [WorkerId(0), WorkerId(1), WorkerId(2)];
+        assert_eq!(
+            CoverageView::is_satisfied_by(&sparse, all),
+            dense.is_satisfied_by(all)
+        );
+        assert_eq!(
+            CoverageView::check_feasible(&sparse),
+            dense.check_feasible()
+        );
+        for t in 0..2u32 {
+            assert_eq!(
+                CoverageView::max_attainable(&sparse, TaskId(t)),
+                dense.max_attainable(TaskId(t))
+            );
+        }
+    }
+
+    #[test]
+    fn from_rows_validates_and_canonicalizes() {
+        // Unordered entries get sorted; zero weights dropped.
+        let s = SparseCoverage::from_rows(
+            3,
+            vec![vec![(2, 0.5), (0, 0.25), (1, 0.0)]],
+            vec![0.1, 0.1, 0.1],
+        )
+        .unwrap();
+        assert_eq!(s.row(0).collect::<Vec<_>>(), vec![(0, 0.25), (2, 0.5)]);
+        assert_eq!(s.nnz(), 2);
+        assert!(matches!(
+            SparseCoverage::from_rows(1, vec![vec![(3, 0.5)]], vec![0.1]),
+            Err(McsError::BundleOutOfRange { .. })
+        ));
+        assert!(matches!(
+            SparseCoverage::from_rows(1, vec![vec![(0, -0.5)]], vec![0.1]),
+            Err(McsError::InvalidSkill { .. })
+        ));
+        assert!(matches!(
+            SparseCoverage::from_rows(1, vec![], vec![0.1, 0.2]),
+            Err(McsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn restrict_to_copies_only_selected_rows() {
+        let sparse = SparseCoverage::from_dense(&dense_fixture());
+        let (sub, map) = sparse.restrict_to(&[WorkerId(2), WorkerId(0)]);
+        assert_eq!(map, vec![WorkerId(2), WorkerId(0)]);
+        assert_eq!(CoverageView::num_workers(&sub), 2);
+        assert_eq!(sub.row(0).collect::<Vec<_>>(), vec![(0, 0.36), (1, 0.25)]);
+        assert_eq!(sub.row(1).collect::<Vec<_>>(), vec![(0, 0.64)]);
+        assert_eq!(sub.total(0), sparse.total(2));
+        assert_eq!(sub.requirements(), sparse.requirements());
+    }
+
+    #[test]
+    fn infeasible_error_matches_dense() {
+        let dense =
+            CoverageProblem::from_raw(2, 2, vec![0.5, 0.0, 0.25, 0.0], vec![0.5, 1.0]).unwrap();
+        let sparse = SparseCoverage::from_dense(&dense);
+        assert_eq!(
+            dense.check_feasible(),
+            CoverageView::check_feasible(&sparse)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dense_and_sparse_views_agree(
+            q in proptest::collection::vec(0.0f64..1.0, 12..13),
+            mask in proptest::collection::vec(0usize..2, 12..13),
+            req in proptest::collection::vec(0.0f64..2.0, 4..5),
+        ) {
+            // Mask roughly half the cells to exactly 0.0 so the sparse
+            // layout actually skips entries.
+            let q: Vec<f64> = q.iter().zip(&mask).map(|(&v, &m)| if m == 0 { 0.0 } else { v }).collect();
+            let dense = CoverageProblem::from_raw(3, 4, q, req).unwrap();
+            let sparse = SparseCoverage::from_dense(&dense);
+            for w in 0..3u32 {
+                let w = WorkerId(w);
+                // Bit-identical, not approximately equal.
+                prop_assert_eq!(
+                    CoverageView::worker_total(&sparse, w).to_bits(),
+                    dense.worker_total(w).to_bits()
+                );
+                prop_assert_eq!(CoverageView::sparse_row(&dense, w), sparse.sparse_row(w));
+            }
+            prop_assert_eq!(CoverageView::beta(&sparse).to_bits(), dense.beta().to_bits());
+            prop_assert_eq!(CoverageView::check_feasible(&sparse), dense.check_feasible());
+            prop_assert_eq!(sparse.to_dense(), dense);
+        }
+    }
+}

@@ -147,10 +147,13 @@ impl Instance {
         h.tag(field::SKILLS);
         h.write_usize(self.skills().num_workers());
         h.write_usize(self.skills().num_tasks());
+        // The *logical* matrix is hashed cell by cell, so a dense and a
+        // CSR construction of equal matrices digest byte-identically —
+        // which is what keeps the service PmfCache and request-batching
+        // keys stable across layouts.
         for i in 0..self.skills().num_workers() {
-            for &theta in self.skills().worker_row(crate::WorkerId(i as u32)) {
-                h.write_f64(theta);
-            }
+            self.skills()
+                .for_each_theta(crate::WorkerId(i as u32), |theta| h.write_f64(theta));
         }
 
         h.tag(field::DELTAS);

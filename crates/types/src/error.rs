@@ -18,6 +18,13 @@ pub enum McsError {
         /// The offending value.
         value: f64,
     },
+    /// A sparse skill entry listed the same `(worker, task)` cell twice.
+    DuplicateSkillEntry {
+        /// Worker (row) of the repeated cell.
+        worker: WorkerId,
+        /// Task (column) of the repeated cell.
+        task: TaskId,
+    },
     /// A per-task error bound `δ_j` was outside the open interval `(0, 1)`.
     InvalidErrorBound {
         /// The task whose bound is invalid.
@@ -137,6 +144,10 @@ impl fmt::Display for McsError {
             } => write!(
                 f,
                 "skill level theta[{worker}][{task}] = {value} is outside [0, 1]"
+            ),
+            McsError::DuplicateSkillEntry { worker, task } => write!(
+                f,
+                "sparse skill entry theta[{worker}][{task}] was listed more than once"
             ),
             McsError::InvalidErrorBound { task, value } => write!(
                 f,

@@ -2,7 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Bid, BidProfile, McsError, Price, PriceGrid, SkillMatrix, TaskId, WorkerId};
+use crate::{
+    Bid, BidProfile, McsError, Price, PriceGrid, SkillMatrix, SparseCoverage, TaskId, WorkerId,
+};
 
 /// A complete, validated input to the hSRC auction.
 ///
@@ -135,6 +137,47 @@ impl Instance {
             q,
             requirements,
         }
+    }
+
+    /// Derives the covering problem directly in CSR form, in
+    /// `O(nnz + K)` — no dense `N×K` matrix is ever materialized.
+    ///
+    /// Stores exactly the cells [`Instance::coverage_problem`] would hold
+    /// with `q > 0.0`, in the same ascending task order, so every
+    /// accumulation the engines perform over it is bit-identical to the
+    /// dense path (see the `coverage` module docs for the argument).
+    pub fn sparse_coverage(&self) -> SparseCoverage {
+        let n = self.num_workers();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut tasks = Vec::new();
+        let mut weights = Vec::new();
+        let mut totals = Vec::with_capacity(n);
+        offsets.push(0);
+        for (wid, bid) in self.bids.iter() {
+            let mut total = 0.0;
+            // Bundles iterate sorted and deduplicated, so rows come out in
+            // ascending task order with no repeated cells.
+            for t in bid.bundle().iter() {
+                let q = self.skills.q(wid, t);
+                if q > 0.0 {
+                    tasks.push(t.0);
+                    weights.push(q);
+                    total += q;
+                }
+            }
+            totals.push(total);
+            offsets.push(tasks.len());
+        }
+        let requirements = self.deltas.iter().map(|&d| 2.0 * (1.0 / d).ln()).collect();
+        SparseCoverage::from_parts(
+            n,
+            self.num_tasks,
+            offsets,
+            tasks,
+            weights,
+            totals,
+            requirements,
+        )
     }
 
     /// Returns a neighbouring instance that differs only in `worker`'s bid.

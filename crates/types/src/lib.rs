@@ -49,6 +49,7 @@
 
 mod bid;
 mod bundle;
+mod coverage;
 mod digest;
 mod error;
 mod id;
@@ -58,9 +59,10 @@ mod skill;
 
 pub use bid::{Bid, BidProfile, TrueType};
 pub use bundle::Bundle;
+pub use coverage::{CoverageView, SparseCoverage};
 pub use digest::{Fnv1a, DIGEST_VERSION};
 pub use error::McsError;
 pub use id::{TaskId, WorkerId};
 pub use instance::{CoverageProblem, Instance, InstanceBuilder};
 pub use price::{Price, PriceGrid};
-pub use skill::SkillMatrix;
+pub use skill::{SkillMatrix, DEFAULT_THETA};

@@ -2,13 +2,18 @@
 //! structured instances.
 //!
 //! ```text
-//! verify_sweep [--iters N] [--seed S] [--dp-samples M]
+//! verify_sweep [--iters N] [--seed S] [--dp-samples M] [--shape NAME]
 //! ```
 //!
 //! Exit status 0 means every invariant held: engine agreement, covering
 //! constraints, the `2βH_m` approximation bound, exact and statistical
 //! ε-DP, and the price-channel truthfulness bound. Any violation prints
 //! a minimized counterexample and exits 1.
+//!
+//! `--shape` pins every iteration to one generator shape (by its
+//! [`Shape::name`], e.g. `large-sparse`) instead of cycling through all
+//! of them; the fixed-configuration statistical DP section is skipped in
+//! that mode since its shapes are hard-coded.
 
 use std::process::ExitCode;
 
@@ -37,7 +42,7 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(message) => {
             eprintln!("{message}");
-            eprintln!("usage: verify_sweep [--iters N] [--seed S] [--dp-samples M]");
+            eprintln!("usage: verify_sweep [--iters N] [--seed S] [--dp-samples M] [--shape NAME]");
             return ExitCode::FAILURE;
         }
     };
@@ -46,7 +51,9 @@ fn main() -> ExitCode {
     let mut exact = ExactDpStats::default();
     let mut truth = TruthfulnessStats::default();
     for i in 0..args.iters {
-        let shape = Shape::ALL[(i % Shape::ALL.len() as u64) as usize];
+        let shape = args
+            .shape
+            .unwrap_or(Shape::ALL[(i % Shape::ALL.len() as u64) as usize]);
         let seed = args.seed.wrapping_add(i);
         let instance = generate(shape, seed);
         match check_instance(shape, seed, &instance) {
@@ -84,7 +91,12 @@ fn main() -> ExitCode {
     }
 
     let mut statistical: Vec<StatisticalDpReport> = Vec::new();
-    for (epsilon, shape, seed) in STATISTICAL_CONFIGS {
+    let statistical_configs: &[(f64, Shape, u64)] = if args.shape.is_some() {
+        &[] // pinned-shape runs target the differential/DP loop only
+    } else {
+        &STATISTICAL_CONFIGS
+    };
+    for &(epsilon, shape, seed) in statistical_configs {
         let instance = generate(shape, seed);
         match statistical_dp_check(&instance, epsilon, args.dp_samples, seed, WILSON_Z) {
             Ok(report) => statistical.push(report),
@@ -137,6 +149,7 @@ struct Args {
     iters: u64,
     seed: u64,
     dp_samples: u64,
+    shape: Option<Shape>,
 }
 
 impl Args {
@@ -145,11 +158,19 @@ impl Args {
             iters: 1000,
             seed: 1,
             dp_samples: 20_000,
+            shape: None,
         };
         while let Some(flag) = argv.next() {
             let value = argv
                 .next()
                 .ok_or_else(|| format!("flag {flag} needs a value"))?;
+            if flag == "--shape" {
+                args.shape = Some(Shape::by_name(&value).ok_or_else(|| {
+                    let known: Vec<&str> = Shape::ALL.iter().map(|s| s.name()).collect();
+                    format!("unknown shape `{value}`; known: {}", known.join(", "))
+                })?);
+                continue;
+            }
             let parsed: u64 = value
                 .parse()
                 .map_err(|_| format!("{flag} expects an unsigned integer, got `{value}`"))?;

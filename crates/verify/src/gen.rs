@@ -37,11 +37,29 @@ pub enum Shape {
     /// Requirements set to 1.5× the attainable coverage on every task:
     /// every engine must report the same infeasibility error.
     InfeasibleCoverage,
+    /// Scaling regime: thousands of tasks but bundles of only a few
+    /// percent of them, so the CSR coverage core is exercised where the
+    /// dense path would thrash (`nnz ≪ N·K`). Every task is assigned to
+    /// 2–3 workers, keeping the instance feasible by construction.
+    LargeSparse,
 }
 
 impl Shape {
     /// Every shape, in a fixed order (sweeps cycle through this).
-    pub const ALL: [Shape; 5] = [
+    pub const ALL: [Shape; 6] = [
+        Shape::Uniform,
+        Shape::SkewedSkills,
+        Shape::DegenerateBundles,
+        Shape::TiedPrices,
+        Shape::InfeasibleCoverage,
+        Shape::LargeSparse,
+    ];
+
+    /// The small structural shapes (everything but [`Shape::LargeSparse`]):
+    /// debug-mode unit tests iterate these densely and cover the scaling
+    /// shape with dedicated few-seed smoke tests, because a full
+    /// large-sparse instance is ~1000× the work of a small one.
+    pub const SMALL: [Shape; 5] = [
         Shape::Uniform,
         Shape::SkewedSkills,
         Shape::DegenerateBundles,
@@ -58,6 +76,7 @@ impl Shape {
             Shape::DegenerateBundles => 0x5348_0002,
             Shape::TiedPrices => 0x5348_0003,
             Shape::InfeasibleCoverage => 0x5348_0004,
+            Shape::LargeSparse => 0x5348_0005,
         }
     }
 
@@ -69,17 +88,30 @@ impl Shape {
             Shape::DegenerateBundles => "degenerate-bundles",
             Shape::TiedPrices => "tied-prices",
             Shape::InfeasibleCoverage => "infeasible-coverage",
+            Shape::LargeSparse => "large-sparse",
         }
+    }
+
+    /// Parses a [`Shape::name`] back into the shape (CLI flag support).
+    pub fn by_name(name: &str) -> Option<Shape> {
+        Shape::ALL.into_iter().find(|s| s.name() == name)
     }
 }
 
 /// Generates one instance of the given shape, deterministically in
 /// `(shape, seed)`.
 ///
-/// Instances are deliberately small (4–10 workers, 1–4 tasks) so the
-/// exact ILP stays cheap and counterexamples are readable.
+/// Instances of the small shapes are deliberately tiny (4–10 workers,
+/// 1–4 tasks) so the exact ILP stays cheap and counterexamples are
+/// readable; [`Shape::LargeSparse`] instead draws 1 000–10 000 tasks to
+/// exercise the CSR coverage path at scale (the ILP ratio check skips
+/// these — see the differential module).
 pub fn generate(shape: Shape, seed: u64) -> Instance {
     let mut rng = rng::derived(seed, shape.stream());
+    if shape == Shape::LargeSparse {
+        let num_tasks = rng.gen_range(1_000usize..=10_000);
+        return large_sparse_with(num_tasks, &mut rng);
+    }
     let num_workers = rng.gen_range(4usize..=10);
     let num_tasks = rng.gen_range(1usize..=4);
 
@@ -126,6 +158,88 @@ pub fn generate(shape: Shape, seed: u64) -> Instance {
         .error_bounds(deltas)
         // The grid tops out above cmax so the highest-price candidate
         // pool is always the full worker set.
+        .price_grid_f64(10.0, 22.0, 0.5)
+        .cost_range(
+            Price::from_tenths(COST_MIN_TENTHS),
+            Price::from_tenths(COST_MAX_TENTHS),
+        )
+        .build()
+        .expect("generated instance is valid by construction")
+}
+
+/// A [`Shape::LargeSparse`] instance with an explicit task count,
+/// deterministic in `(num_tasks, seed)`.
+///
+/// Shared with the `schedule_scaling` bench (which sweeps `num_tasks`
+/// along a fixed axis) and with debug-mode smoke tests (which pick a
+/// small `num_tasks` to stay fast). The stream is salted so sized
+/// instances never collide with the sweep's own `generate` stream.
+pub fn large_sparse_sized(num_tasks: usize, seed: u64) -> Instance {
+    let mut rng = rng::derived(seed, Shape::LargeSparse.stream() ^ 0x00B7);
+    large_sparse_with(num_tasks, &mut rng)
+}
+
+/// Builds the large-sparse instance body: task-major bundle assignment
+/// (each task lands in 2–3 distinct bundles, so feasibility and positive
+/// attainable coverage hold by construction) with sparse skills only on
+/// bundle cells.
+fn large_sparse_with(num_tasks: usize, rng: &mut ChaCha8Rng) -> Instance {
+    use mcs_types::WorkerId;
+
+    let num_workers = rng.gen_range(16usize..=32);
+    let mut bundles: Vec<Vec<TaskId>> = vec![Vec::new(); num_workers];
+    for j in 0..num_tasks {
+        let copies = rng.gen_range(2usize..=3);
+        let start = rng.gen_range(0..num_workers);
+        // Strides of 7 are distinct mod any N in 16..=32, so the copies
+        // always land on different workers.
+        for c in 0..copies {
+            bundles[(start + c * 7) % num_workers].push(TaskId(j as u32));
+        }
+    }
+    // A worker left without tasks still needs a legal bundle.
+    for (w, tasks) in bundles.iter_mut().enumerate() {
+        if tasks.is_empty() {
+            tasks.push(TaskId((w % num_tasks) as u32));
+        }
+    }
+
+    // Sparse skills: θ only on bundle cells, kept away from 0.5 so
+    // coverage weights never vanish. Attainable coverage accumulates in
+    // the same pass for the requirement engineering below.
+    let mut attainable = vec![0.0f64; num_tasks];
+    let mut entries: Vec<(WorkerId, TaskId, f64)> = Vec::new();
+    for (w, tasks) in bundles.iter().enumerate() {
+        for &t in tasks {
+            let theta = rng.gen_range(0.55..0.95);
+            let q = 2.0 * theta - 1.0;
+            attainable[t.0 as usize] += q * q;
+            entries.push((WorkerId(w as u32), t, theta));
+        }
+    }
+    let skills = SkillMatrix::from_sparse(num_workers, num_tasks, entries)
+        .expect("sparse entries generated in range");
+
+    let deltas: Vec<f64> = attainable
+        .iter()
+        .map(|&a| {
+            let requirement = (rng.gen_range(0.3f64..0.9) * a).max(1e-4);
+            (-requirement / 2.0).exp().clamp(1e-12, 1.0 - 1e-12)
+        })
+        .collect();
+
+    let bids: Vec<Bid> = bundles
+        .into_iter()
+        .map(|tasks| {
+            let cost = Price::from_tenths(rng.gen_range(COST_MIN_TENTHS..=COST_MAX_TENTHS));
+            Bid::new(Bundle::new(tasks), cost)
+        })
+        .collect();
+
+    Instance::builder(num_tasks)
+        .bids(bids)
+        .skills(skills)
+        .error_bounds(deltas)
         .price_grid_f64(10.0, 22.0, 0.5)
         .cost_range(
             Price::from_tenths(COST_MIN_TENTHS),
@@ -249,7 +363,7 @@ mod tests {
     #[test]
     fn feasible_shapes_are_feasible_and_infeasible_is_not() {
         for seed in 0..30u64 {
-            for shape in Shape::ALL {
+            for shape in Shape::SMALL {
                 let inst = generate(shape, seed);
                 let cover = inst.coverage_problem();
                 let feasible = cover.check_feasible().is_ok();
@@ -261,6 +375,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn large_sparse_is_feasible_and_actually_sparse() {
+        use mcs_types::CoverageView;
+        for seed in 0..3u64 {
+            let inst = generate(Shape::LargeSparse, seed);
+            assert!(inst.num_tasks() >= 1_000, "seed {seed}");
+            let cover = inst.sparse_coverage();
+            cover.check_feasible().unwrap_or_else(|e| {
+                panic!("seed {seed} should be feasible: {e}");
+            });
+            // Bundles stay a small fraction of the task set: the whole
+            // point of the shape is nnz ≪ N·K.
+            let dense_cells = cover.num_workers() * cover.num_tasks();
+            assert!(
+                cover.nnz() * 4 < dense_cells,
+                "seed {seed}: nnz {} vs dense {}",
+                cover.nnz(),
+                dense_cells
+            );
+        }
+    }
+
+    #[test]
+    fn sized_large_sparse_is_deterministic_and_obeys_its_size() {
+        let a = large_sparse_sized(1_500, 7);
+        let b = large_sparse_sized(1_500, 7);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.num_tasks(), 1_500);
+        assert_ne!(a.digest(), large_sparse_sized(1_500, 8).digest());
+        assert_ne!(a.digest(), large_sparse_sized(2_000, 7).digest());
+    }
+
+    #[test]
+    fn shape_names_round_trip() {
+        for shape in Shape::ALL {
+            assert_eq!(Shape::by_name(shape.name()), Some(shape));
+        }
+        assert_eq!(Shape::by_name("no-such-shape"), None);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use mcs_verify::gen::{generate, Shape};
 fn differential_invariants_hold_across_shapes_and_seeds() {
     let mut total = DiffStats::default();
     for seed in 0..60u64 {
-        for shape in Shape::ALL {
+        for shape in Shape::SMALL {
             let instance = generate(shape, seed);
             let stats =
                 check_instance(shape, seed, &instance).unwrap_or_else(|report| panic!("{report}"));
@@ -29,6 +29,23 @@ fn differential_invariants_hold_across_shapes_and_seeds() {
         total.max_ratio,
         total.max_bound
     );
+}
+
+#[test]
+fn large_sparse_invariants_hold_on_sized_instances() {
+    // The full-size large-sparse shape runs in the release-mode
+    // `verify_sweep`; here a smaller sized variant keeps debug CI fast
+    // while still driving all five engines over CSR-heavy instances.
+    let mut total = DiffStats::default();
+    for seed in 0..4u64 {
+        let instance = mcs_verify::gen::large_sparse_sized(1_200, seed);
+        let stats = check_instance(Shape::LargeSparse, seed, &instance)
+            .unwrap_or_else(|report| panic!("{report}"));
+        total.merge(&stats);
+    }
+    assert_eq!(total.agreed_ok, 4);
+    // Above the task-count gate the ILP sanity check never runs.
+    assert_eq!(total.ilp_checked, 0);
 }
 
 #[test]

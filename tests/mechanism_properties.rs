@@ -172,7 +172,7 @@ fn epsilon_limits_are_correct() {
         .unwrap()
         .schedule(&g.instance)
         .unwrap();
-    let min_payment = schedule.min_total_payment().as_f64();
+    let min_payment = schedule.min_total_payment().unwrap().as_f64();
     let uniform_mean: f64 = schedule
         .total_payments()
         .iter()

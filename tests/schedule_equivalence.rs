@@ -11,13 +11,52 @@
 use proptest::prelude::*;
 
 use dp_mcs::auction::{
-    build_schedule, build_schedule_eager, build_schedule_naive, build_schedule_serial,
-    SelectionRule,
+    build_schedule, build_schedule_eager, build_schedule_incremental, build_schedule_naive,
+    build_schedule_serial, SelectionRule,
 };
-use dp_mcs::Setting;
+use dp_mcs::types::{CoverageView, SparseCoverage, DEFAULT_THETA};
+use dp_mcs::{
+    Bid, DpHsrcAuction, Instance, ScheduledMechanism, Setting, SkillMatrix, TaskId, WorkerId,
+};
 
 fn small_setting(workers: usize) -> Setting {
     Setting::one(workers.max(8) * 4).scaled_down(4)
+}
+
+/// Rebuilds `instance` twice with logically identical skills: once from
+/// dense rows, once from sparse `(worker, task, θ)` entries with the
+/// `DEFAULT_THETA` cells omitted. Everything else is shared.
+fn dense_and_sparse_built(instance: &Instance) -> (Instance, Instance) {
+    let bids: Vec<Bid> = instance.bids().iter().map(|(_, b)| b.clone()).collect();
+    let rows: Vec<Vec<f64>> = (0..instance.num_workers())
+        .map(|w| instance.skills().worker_row(WorkerId(w as u32)))
+        .collect();
+    let entries: Vec<(WorkerId, TaskId, f64)> = rows
+        .iter()
+        .enumerate()
+        .flat_map(|(w, row)| {
+            row.iter()
+                .enumerate()
+                .filter(|&(_, &theta)| theta != DEFAULT_THETA)
+                .map(move |(t, &theta)| (WorkerId(w as u32), TaskId(t as u32), theta))
+        })
+        .collect();
+    let build = |skills: SkillMatrix| {
+        Instance::builder(instance.num_tasks())
+            .bids(bids.clone())
+            .skills(skills)
+            .error_bounds(instance.deltas().to_vec())
+            .price_grid(instance.price_grid().clone())
+            .cost_range(instance.cmin(), instance.cmax())
+            .build()
+            .expect("rebuilding a valid instance stays valid")
+    };
+    let dense = build(SkillMatrix::from_rows(rows.clone()).expect("valid rows"));
+    let sparse = build(
+        SkillMatrix::from_sparse(instance.num_workers(), instance.num_tasks(), entries)
+            .expect("valid entries"),
+    );
+    (dense, sparse)
 }
 
 proptest! {
@@ -73,5 +112,67 @@ proptest! {
         let eager = build_schedule_eager(&g.instance, rule).expect("coverable");
         prop_assert_eq!(&default, &serial);
         prop_assert_eq!(&default, &eager);
+        // The incremental price sweep reuses residual state across
+        // adjacent intervals; it may compress intervals identically, so
+        // full struct equality must hold here too.
+        let incremental = build_schedule_incremental(&g.instance, rule).expect("coverable");
+        prop_assert_eq!(&default, &incremental);
+    }
+
+    /// An instance whose skills were built densely and one whose skills
+    /// were built from CSR entries are *the same instance*: byte-identical
+    /// digest (so the service's `PmfCache` and batching keys coincide) and
+    /// identical auction pipeline outputs — prices, winner sets, and the
+    /// exponential-mechanism PMF, bit for bit.
+    #[test]
+    fn dense_and_sparse_built_instances_are_indistinguishable(
+        seed in 0u64..1000,
+        workers in 8usize..24,
+    ) {
+        let g = small_setting(workers).generate(seed);
+        let (dense, sparse) = dense_and_sparse_built(&g.instance);
+        prop_assert_eq!(dense.digest(), sparse.digest(), "digest divergence");
+        prop_assert_eq!(g.instance.digest(), sparse.digest(), "rebuild changed the digest");
+
+        let auction = DpHsrcAuction::new(0.5).expect("valid epsilon");
+        let sd = auction.schedule(&dense).expect("coverable");
+        let ss = auction.schedule(&sparse).expect("coverable");
+        prop_assert_eq!(&sd, &ss);
+
+        let pd = auction.pmf(&dense).expect("coverable");
+        let ps = auction.pmf(&sparse).expect("coverable");
+        prop_assert_eq!(pd.probs(), ps.probs(), "PMF divergence");
+    }
+
+    /// `SparseCoverage::restrict_to` commutes with the dense restriction:
+    /// restricting the CSR view and sparsifying the restricted dense view
+    /// land on the same object, with the same worker mapping, and the sub
+    /// view's rows are exactly the selected originals.
+    #[test]
+    fn sparse_restrict_to_round_trips(
+        seed in 0u64..1000,
+        workers in 8usize..24,
+        parity in 0u32..2,
+    ) {
+        let g = small_setting(workers).generate(seed);
+        let sparse = g.instance.sparse_coverage();
+        let dense = g.instance.coverage_problem();
+        let mut subset: Vec<WorkerId> = (0..g.instance.num_workers() as u32)
+            .filter(|w| w % 2 == parity)
+            .map(WorkerId)
+            .collect();
+        if subset.is_empty() {
+            subset.push(WorkerId(0));
+        }
+        let (sub_sparse, map_sparse) = sparse.restrict_to(&subset);
+        let (sub_dense, map_dense) = dense.restrict_to(&subset);
+        prop_assert_eq!(&map_sparse, &map_dense);
+        prop_assert_eq!(&SparseCoverage::from_dense(&sub_dense), &sub_sparse);
+        prop_assert_eq!(sub_sparse.requirements(), sparse.requirements());
+        for (sub_row, &orig) in map_sparse.iter().enumerate() {
+            let got: Vec<(usize, f64)> = sub_sparse.row(sub_row).collect();
+            let want: Vec<(usize, f64)> = sparse.row(orig.index()).collect();
+            prop_assert_eq!(got, want, "row mismatch for original worker {}", orig.0);
+        }
     }
 }
