@@ -10,8 +10,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mcs_auction::{
-    build_schedule, build_schedule_naive, DpHsrcAuction, ExponentialMechanism, ScheduledMechanism,
-    SelectionRule,
+    DpHsrcAuction, ExponentialMechanism, ScheduleEngine, ScheduledMechanism, SelectionRule,
+    Strategy,
 };
 use mcs_num::rng;
 use mcs_sim::experiments::sampled_payment_stats;
@@ -22,11 +22,18 @@ fn bench_compression(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_compression");
     group.sample_size(10);
     group.bench_function("compressed_intervals", |b| {
-        b.iter(|| build_schedule(&g.instance, SelectionRule::MarginalCoverage).expect("feasible"));
+        b.iter(|| {
+            ScheduleEngine::new(SelectionRule::MarginalCoverage)
+                .build(&g.instance)
+                .expect("feasible")
+        });
     });
     group.bench_function("naive_per_price", |b| {
         b.iter(|| {
-            build_schedule_naive(&g.instance, SelectionRule::MarginalCoverage).expect("feasible")
+            ScheduleEngine::new(SelectionRule::MarginalCoverage)
+                .strategy(Strategy::Naive)
+                .build(&g.instance)
+                .expect("feasible")
         });
     });
     group.finish();
@@ -52,7 +59,9 @@ fn bench_pmf_vs_sampling(c: &mut Criterion) {
 
 fn bench_extreme_epsilon(c: &mut Criterion) {
     let g = Setting::one(100).generate(13);
-    let schedule = build_schedule(&g.instance, SelectionRule::MarginalCoverage).expect("feasible");
+    let schedule = ScheduleEngine::new(SelectionRule::MarginalCoverage)
+        .build(&g.instance)
+        .expect("feasible");
     let mut group = c.benchmark_group("exponential_mechanism");
     for eps in [0.1f64, 1000.0] {
         let mech = ExponentialMechanism::for_instance(eps, &g.instance).expect("valid epsilon");

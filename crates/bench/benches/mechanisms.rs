@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use mcs_auction::{build_schedule, OptimalMechanism, SelectionRule};
+use mcs_auction::{OptimalMechanism, ScheduleEngine, SelectionRule};
 use mcs_sim::Setting;
 
 fn bench_schedules(c: &mut Criterion) {
@@ -12,10 +12,18 @@ fn bench_schedules(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_construction");
     group.sample_size(20);
     group.bench_function("dp_hsrc_marginal", |b| {
-        b.iter(|| build_schedule(&g.instance, SelectionRule::MarginalCoverage).expect("feasible"));
+        b.iter(|| {
+            ScheduleEngine::new(SelectionRule::MarginalCoverage)
+                .build(&g.instance)
+                .expect("feasible")
+        });
     });
     group.bench_function("baseline_static", |b| {
-        b.iter(|| build_schedule(&g.instance, SelectionRule::StaticTotal).expect("feasible"));
+        b.iter(|| {
+            ScheduleEngine::new(SelectionRule::StaticTotal)
+                .build(&g.instance)
+                .expect("feasible")
+        });
     });
     group.finish();
 }

@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use mcs_auction::{build_schedule, build_schedule_eager, build_schedule_serial, SelectionRule};
+use mcs_auction::{ScheduleEngine, SelectionRule, Strategy};
 use mcs_sim::Setting;
 use mcs_types::Instance;
 
@@ -37,18 +37,28 @@ fn bench_engines(c: &mut Criterion) {
     for (n, inst) in &instances {
         group.bench_with_input(BenchmarkId::new("eager_rescan", n), inst, |b, inst| {
             b.iter(|| {
-                build_schedule_eager(inst, SelectionRule::MarginalCoverage).expect("feasible")
+                ScheduleEngine::new(SelectionRule::MarginalCoverage)
+                    .strategy(Strategy::Eager)
+                    .build(inst)
+                    .expect("feasible")
             });
         });
         group.bench_with_input(BenchmarkId::new("lazy_serial", n), inst, |b, inst| {
             b.iter(|| {
-                build_schedule_serial(inst, SelectionRule::MarginalCoverage).expect("feasible")
+                ScheduleEngine::new(SelectionRule::MarginalCoverage)
+                    .strategy(Strategy::Lazy)
+                    .build(inst)
+                    .expect("feasible")
             });
         });
         // Default engine: lazy, and additionally fans intervals out over
         // rayon when built with `--features parallel`.
         group.bench_with_input(BenchmarkId::new("default", n), inst, |b, inst| {
-            b.iter(|| build_schedule(inst, SelectionRule::MarginalCoverage).expect("feasible"));
+            b.iter(|| {
+                ScheduleEngine::new(SelectionRule::MarginalCoverage)
+                    .build(inst)
+                    .expect("feasible")
+            });
         });
     }
     group.finish();

@@ -1,45 +1,69 @@
-//! Dense-vs-sparse schedule-build scaling along the task-count axis.
+//! Schedule-build scaling along both instance axes.
 //!
-//! For each task count `K` on the axis, one deterministic large-sparse
-//! instance (bundles ≪ K, from `mcs-verify`'s sized generator) is
-//! scheduled three ways under [`SelectionRule::MarginalCoverage`]:
+//! **Task axis (`K`):** for each task count on the axis, one
+//! deterministic large-sparse instance (bundles ≪ K, from `mcs-verify`'s
+//! sized generator) is scheduled three ways under
+//! [`SelectionRule::MarginalCoverage`]:
 //!
 //! * **dense** — materialize the dense `N×K` coverage matrix first
-//!   ([`build_schedule_dense`]), the pre-refactor data path;
-//! * **sparse** — the default CSR engine ([`build_schedule`]);
+//!   ([`Strategy::Dense`]), the pre-refactor data path;
+//! * **sparse** — the default CSR engine ([`Strategy::Auto`]);
 //! * **incremental** — the CSR engine with the ascending price sweep
-//!   reusing residual state across intervals
-//!   ([`build_schedule_incremental`]).
+//!   reusing residual state across intervals ([`Strategy::Incremental`]).
 //!
-//! All three must produce observationally identical schedules (asserted
-//! here, exhaustively checked by `verify_sweep`); the point of the bench
-//! is the wall-clock gap, recorded into `BENCH_schedule.json`. The
-//! acceptance bar for the sparse core is a strict win over dense from
-//! `K = 2000` up.
+//! **Worker axis (`N`):** for each worker count, one deterministic
+//! many-workers instance (`K = N/100` tasks, bundles of 2–4) is
+//! scheduled with every scalable strategy:
+//!
+//! * **lazy** — the serial CELF engine ([`Strategy::Lazy`]), the best
+//!   pre-indexed baseline on this axis;
+//! * **incremental** — the ascending sweep with winner replay
+//!   ([`Strategy::Incremental`]); skipped above
+//!   [`INCREMENTAL_N_LIMIT`] workers, where replaying incumbent winners
+//!   against the newcomer pool dominates the build;
+//! * **indexed** — the candidate index running every price interval's
+//!   greedy selection in lockstep over one walk of the global
+//!   gain-rank order ([`Strategy::Indexed`]).
+//!
+//! All engines on an axis point must produce observationally identical
+//! schedules (asserted here, exhaustively checked by `verify_sweep`);
+//! the point of the bench is the wall-clock gap, recorded into
+//! `BENCH_schedule.json`. The acceptance bars: the sparse core wins over
+//! dense from `K = 2000` up, and the indexed engine completes the
+//! `N = 10⁶` point in single-digit seconds. (The original ≥5× indexed
+//! target from `N = 100_000` up was not reached — the recorded run
+//! shows 3.5–4.8×; see EXPERIMENTS.md.)
 //!
 //! ```text
 //! usage: schedule_scaling [--seed N] [--out PATH] [--quick]
 //! ```
 //!
-//! `--quick` shrinks the axis and repetition count to a smoke-test size
-//! (used by CI; the checked-in JSON comes from a full run).
+//! `--quick` shrinks both axes and the repetition count to a smoke-test
+//! size (used by CI; the checked-in JSON comes from a full run).
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use serde::Serialize;
 
-use mcs_auction::{
-    build_schedule, build_schedule_dense, build_schedule_incremental, PriceSchedule, SelectionRule,
-};
+use mcs_auction::{PriceSchedule, ScheduleEngine, SelectionRule, Strategy};
 use mcs_types::Instance;
-use mcs_verify::gen::large_sparse_sized;
+use mcs_verify::gen::{large_sparse_sized, many_workers_sized};
 
 /// Task counts swept by a full run; chosen to straddle the `K = 2000`
 /// acceptance threshold and reach the generator's 10k ceiling.
 const FULL_AXIS: [usize; 6] = [500, 1000, 2000, 4000, 7000, 10_000];
 /// Smoke axis for `--quick` (small enough for debug CI runners).
 const QUICK_AXIS: [usize; 2] = [300, 600];
+/// Worker counts swept by a full run; straddles the `N = 100_000`
+/// acceptance threshold and ends at the million-worker headline point.
+const FULL_N_AXIS: [usize; 5] = [10_000, 30_000, 100_000, 300_000, 1_000_000];
+/// Smoke worker axis for `--quick`.
+const QUICK_N_AXIS: [usize; 1] = [10_000];
+/// The incremental sweep replays every incumbent winner against each
+/// interval's newcomers; past this pool size that quadratic-ish work
+/// dominates and the engine leaves the comparison.
+const INCREMENTAL_N_LIMIT: usize = 100_000;
 
 #[derive(Debug, Serialize)]
 struct AxisPoint {
@@ -58,6 +82,20 @@ struct AxisPoint {
 }
 
 #[derive(Debug, Serialize)]
+struct WorkerAxisPoint {
+    num_workers: usize,
+    num_tasks: usize,
+    nnz: usize,
+    lazy_ms: f64,
+    /// `None` above [`INCREMENTAL_N_LIMIT`] workers.
+    incremental_ms: Option<f64>,
+    indexed_ms: f64,
+    /// Best pre-indexed engine / indexed build-time ratio (> 1 means the
+    /// candidate-index engine wins).
+    speedup_indexed: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchOutput {
     bench: String,
     rule: String,
@@ -65,6 +103,7 @@ struct BenchOutput {
     reps: usize,
     quick: bool,
     rows: Vec<AxisPoint>,
+    worker_rows: Vec<WorkerAxisPoint>,
 }
 
 /// Best-of-`reps` wall-clock for one builder, in milliseconds.
@@ -83,24 +122,32 @@ fn time_builder(
     (schedule.expect("reps >= 1"), best)
 }
 
+fn build_with(
+    instance: &Instance,
+    strategy: Strategy,
+) -> Result<PriceSchedule, mcs_types::McsError> {
+    ScheduleEngine::new(SelectionRule::MarginalCoverage)
+        .strategy(strategy)
+        .build(instance)
+}
+
 /// Observational schedule equality: same prices, same winner sets.
-fn assert_same(k: usize, name: &str, a: &PriceSchedule, b: &PriceSchedule) {
-    assert_eq!(a.prices(), b.prices(), "K={k}: {name} prices diverge");
+fn assert_same(size: usize, name: &str, a: &PriceSchedule, b: &PriceSchedule) {
+    assert_eq!(a.prices(), b.prices(), "size={size}: {name} prices diverge");
     for i in 0..a.len() {
         assert_eq!(
             a.winners(i),
             b.winners(i),
-            "K={k}: {name} winners diverge at price index {i}"
+            "size={size}: {name} winners diverge at price index {i}"
         );
     }
 }
 
 fn measure(instance: &Instance, reps: usize) -> AxisPoint {
-    let rule = SelectionRule::MarginalCoverage;
-    let (dense, dense_ms) = time_builder(reps, || build_schedule_dense(instance, rule));
-    let (sparse, sparse_ms) = time_builder(reps, || build_schedule(instance, rule));
+    let (dense, dense_ms) = time_builder(reps, || build_with(instance, Strategy::Dense));
+    let (sparse, sparse_ms) = time_builder(reps, || build_with(instance, Strategy::Auto));
     let (incremental, incremental_ms) =
-        time_builder(reps, || build_schedule_incremental(instance, rule));
+        time_builder(reps, || build_with(instance, Strategy::Incremental));
     let k = instance.num_tasks();
     assert_same(k, "dense-vs-sparse", &dense, &sparse);
     assert_same(k, "dense-vs-incremental", &dense, &incremental);
@@ -113,6 +160,30 @@ fn measure(instance: &Instance, reps: usize) -> AxisPoint {
         incremental_ms,
         speedup_sparse: dense_ms / sparse_ms.max(1e-9),
         speedup_incremental: dense_ms / incremental_ms.max(1e-9),
+    }
+}
+
+fn measure_workers(instance: &Instance, reps: usize) -> WorkerAxisPoint {
+    let n = instance.num_workers();
+    let (lazy, lazy_ms) = time_builder(reps, || build_with(instance, Strategy::Lazy));
+    let incremental_ms = if n <= INCREMENTAL_N_LIMIT {
+        let (incremental, ms) = time_builder(reps, || build_with(instance, Strategy::Incremental));
+        assert_same(n, "lazy-vs-incremental", &lazy, &incremental);
+        Some(ms)
+    } else {
+        None
+    };
+    let (indexed, indexed_ms) = time_builder(reps, || build_with(instance, Strategy::Indexed));
+    assert_same(n, "lazy-vs-indexed", &lazy, &indexed);
+    let best_existing = incremental_ms.map_or(lazy_ms, |ms| ms.min(lazy_ms));
+    WorkerAxisPoint {
+        num_workers: n,
+        num_tasks: instance.num_tasks(),
+        nnz: instance.sparse_coverage().nnz(),
+        lazy_ms,
+        incremental_ms,
+        indexed_ms,
+        speedup_indexed: best_existing / indexed_ms.max(1e-9),
     }
 }
 
@@ -141,10 +212,10 @@ fn main() {
         }
     }
 
-    let (axis, reps): (&[usize], usize) = if quick {
-        (&QUICK_AXIS, 1)
+    let (axis, n_axis, reps): (&[usize], &[usize], usize) = if quick {
+        (&QUICK_AXIS, &QUICK_N_AXIS, 1)
     } else {
-        (&FULL_AXIS, 5)
+        (&FULL_AXIS, &FULL_N_AXIS, 5)
     };
 
     println!("schedule_scaling: seed {seed}, reps {reps}, K axis {axis:?}");
@@ -166,6 +237,29 @@ fn main() {
         rows.push(row);
     }
 
+    println!("worker axis: N axis {n_axis:?}");
+    println!("        N      K      nnz    lazy ms    incr ms indexed ms  speedup");
+    let mut worker_rows = Vec::new();
+    for &n in n_axis {
+        // Big pools amortize timing noise on their own; one repetition
+        // keeps the headline point affordable.
+        let point_reps = if n >= 300_000 { 1 } else { reps };
+        let instance = many_workers_sized(n, seed);
+        let row = measure_workers(&instance, point_reps);
+        println!(
+            "  {:>7} {:>6} {:>8} {:>10.3} {:>10} {:>10.3} {:>7.2}×",
+            row.num_workers,
+            row.num_tasks,
+            row.nnz,
+            row.lazy_ms,
+            row.incremental_ms
+                .map_or("—".to_string(), |ms| format!("{ms:.3}")),
+            row.indexed_ms,
+            row.speedup_indexed
+        );
+        worker_rows.push(row);
+    }
+
     let output = BenchOutput {
         bench: "schedule_scaling".to_string(),
         rule: "MarginalCoverage".to_string(),
@@ -173,6 +267,7 @@ fn main() {
         reps,
         quick,
         rows,
+        worker_rows,
     };
     let json = serde_json::to_string_pretty(&output).expect("serialize bench output");
     std::fs::write(&out, json + "\n").expect("write bench output");

@@ -1,0 +1,310 @@
+//! The unified schedule-engine API: one builder, enumerable strategies.
+//!
+//! Historically every winner-determination engine was its own free
+//! function (`build_schedule`, `build_schedule_eager`, …), which made the
+//! engine choice a *function name* — impossible to put in a config file,
+//! cycle through in the differential checker, or thread through the
+//! service without one code path per engine. [`ScheduleEngine`] replaces
+//! the whole family: a [`SelectionRule`] plus a [`Strategy`] (plain data,
+//! `Strategy::ALL`-enumerable) plus an optional price-grid
+//! [`Coarsening`] knob, built fluently:
+//!
+//! ```
+//! use mcs_auction::{ScheduleEngine, SelectionRule, Strategy};
+//! # use mcs_types::{Bid, Bundle, Instance, Price, SkillMatrix, TaskId};
+//! # fn main() -> Result<(), mcs_types::McsError> {
+//! # let instance = Instance::builder(1)
+//! #     .bids(vec![
+//! #         Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(10.0)),
+//! #         Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(11.0)),
+//! #         Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(12.0)),
+//! #     ])
+//! #     .skills(SkillMatrix::from_rows(vec![vec![0.9]; 3])?)
+//! #     .uniform_error_bound(0.4)
+//! #     .price_grid_f64(10.0, 20.0, 0.5)
+//! #     .cost_range(Price::from_f64(10.0), Price::from_f64(20.0))
+//! #     .build()?;
+//! let schedule = ScheduleEngine::new(SelectionRule::MarginalCoverage)
+//!     .strategy(Strategy::Indexed)
+//!     .build(&instance)?;
+//! assert!(!schedule.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! All strategies produce the identical schedule (with coarsening off);
+//! they differ only in cost. [`Strategy::Indexed`] is the worker-axis
+//! engine: a per-price [`CandidateIndex`](mcs_types::CandidateIndex),
+//! one-time initial gains, and a lazily re-evaluated challenger heap make
+//! its per-interval cost nearly independent of the worker count `N` —
+//! the engine of choice from `N ≈ 10⁴` up (see DESIGN.md §5f).
+
+use mcs_types::{Instance, McsError, WorkerId};
+
+use crate::schedule::{build_dispatch, build_residual_dispatch, PriceSchedule, SelectionRule};
+
+/// Which engine evaluates the per-interval winner sets.
+///
+/// Every strategy yields the identical [`PriceSchedule`] when
+/// [`Coarsening::Off`] — the differential checker enforces this — so the
+/// choice is purely a cost model:
+///
+/// | Strategy | Cost profile |
+/// |----------|--------------|
+/// | [`Auto`](Strategy::Auto) | [`Lazy`](Strategy::Lazy), fanned over rayon with the `parallel` feature |
+/// | [`Lazy`](Strategy::Lazy) | CELF heap per interval; init gains recomputed per interval |
+/// | [`Eager`](Strategy::Eager) | full candidate rescan per selection round (reference) |
+/// | [`Incremental`](Strategy::Incremental) | ascending sweep, previous winners replayed against newcomers |
+/// | [`Dense`](Strategy::Dense) | materializes the dense `N×K` matrix first (pre-CSR data path) |
+/// | [`Naive`](Strategy::Naive) | recomputes every grid price independently (reference) |
+/// | [`Indexed`](Strategy::Indexed) | price-bucketed candidate index + one-time gains + lazy challenger heap |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// The default: lazy CELF, parallel over intervals when the
+    /// `parallel` feature is enabled.
+    Auto,
+    /// CELF lazy evaluation, always serial over intervals.
+    Lazy,
+    /// Full rescan per selection round — the pre-lazy reference.
+    Eager,
+    /// Serial ascending sweep sharing residual state across intervals.
+    Incremental,
+    /// The pre-CSR data path: dense `N×K` materialization, then sparse.
+    Dense,
+    /// Per-grid-price recomputation — the interval-compression reference.
+    Naive,
+    /// The worker-axis engine: candidate index, one-time initial gains,
+    /// lazy challenger-heap replays (see DESIGN.md §5f).
+    Indexed,
+}
+
+impl Strategy {
+    /// Every strategy, in a fixed order (checkers cycle through this).
+    pub const ALL: [Strategy; 7] = [
+        Strategy::Auto,
+        Strategy::Lazy,
+        Strategy::Eager,
+        Strategy::Incremental,
+        Strategy::Dense,
+        Strategy::Naive,
+        Strategy::Indexed,
+    ];
+
+    /// The strategies whose cost stays polynomial in `nnz` rather than in
+    /// `N·K` or `N²K` — the only ones safe to run on instances with tens
+    /// of thousands of workers or tasks.
+    pub const SCALABLE: [Strategy; 4] = [
+        Strategy::Auto,
+        Strategy::Lazy,
+        Strategy::Incremental,
+        Strategy::Indexed,
+    ];
+
+    /// Stable lowercase name (config files, CLI flags, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Auto => "auto",
+            Strategy::Lazy => "lazy",
+            Strategy::Eager => "eager",
+            Strategy::Incremental => "incremental",
+            Strategy::Dense => "dense",
+            Strategy::Naive => "naive",
+            Strategy::Indexed => "indexed",
+        }
+    }
+
+    /// Parses a [`Strategy::name`] back into the strategy.
+    pub fn by_name(name: &str) -> Option<Strategy> {
+        Strategy::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+/// The price-grid coarsening knob.
+///
+/// With `Stride(c)`, only every `c`-th bidding-price interval (plus
+/// always the first and the last) runs winner selection; each skipped
+/// interval reuses the winner set `S(r)` of the nearest evaluated price
+/// `r` at or below it. The resulting schedule is **feasible everywhere**
+/// (winners bidding at most `r` also bid at most `p ≥ r`) and
+/// **bit-identical to the exact schedule at every evaluated price**, and
+/// its payments obey the documented bound
+///
+/// ```text
+/// R_coarse(p) = p·|S(r)| = (p/r)·R_exact(r) ≤ (1 + λ)·R_exact(r),
+/// ```
+///
+/// where `λ = max (p − r)/r` over the skipped grid prices — so
+/// `min_total_payment` of the coarse schedule equals the minimum of the
+/// *exact* payments over the evaluated prices, never below the exact
+/// minimum. There is deliberately **no** pointwise guarantee against the
+/// exact winner set at a *skipped* price: greedy cardinality is not
+/// monotone in the candidate pool, so `|S(p)|` may be smaller or larger
+/// than `|S(r)|` (DESIGN.md §5f spells this out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Coarsening {
+    /// Evaluate every interval — the exact schedule.
+    Off,
+    /// Evaluate every `c`-th interval (plus the first and last);
+    /// `Stride(0)` and `Stride(1)` are equivalent to [`Coarsening::Off`].
+    Stride(usize),
+}
+
+impl Coarsening {
+    /// The effective stride: `1` means every interval is evaluated.
+    #[inline]
+    pub fn stride(self) -> usize {
+        match self {
+            Coarsening::Off => 1,
+            Coarsening::Stride(c) => c.max(1),
+        }
+    }
+
+    /// Whether this knob actually skips intervals.
+    #[inline]
+    pub fn is_active(self) -> bool {
+        self.stride() > 1
+    }
+}
+
+/// The unified builder for per-price winner schedules (Algorithm 1,
+/// lines 1–15) — see the [module docs](self) for the full picture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleEngine {
+    rule: SelectionRule,
+    strategy: Strategy,
+    coarsening: Coarsening,
+}
+
+impl ScheduleEngine {
+    /// An engine with the given selection rule, [`Strategy::Auto`], and
+    /// coarsening off.
+    pub fn new(rule: SelectionRule) -> ScheduleEngine {
+        ScheduleEngine {
+            rule,
+            strategy: Strategy::Auto,
+            coarsening: Coarsening::Off,
+        }
+    }
+
+    /// Selects the winner-determination strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> ScheduleEngine {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the price-grid coarsening knob. Ignored by
+    /// [`Strategy::Naive`], which has no interval structure to coarsen.
+    #[must_use]
+    pub fn coarsening(mut self, coarsening: Coarsening) -> ScheduleEngine {
+        self.coarsening = coarsening;
+        self
+    }
+
+    /// The configured selection rule.
+    #[inline]
+    pub fn rule(&self) -> SelectionRule {
+        self.rule
+    }
+
+    /// The configured strategy.
+    #[inline]
+    pub fn configured_strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The configured coarsening knob.
+    #[inline]
+    pub fn configured_coarsening(&self) -> Coarsening {
+        self.coarsening
+    }
+
+    /// Builds the per-price winner schedule for a full instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`McsError::Infeasible`] — even the full pool cannot satisfy some
+    ///   task's error-bound constraint.
+    /// * [`McsError::NoFeasiblePrice`] — coverage is possible but only
+    ///   above the top of the price grid.
+    pub fn build(&self, instance: &Instance) -> Result<PriceSchedule, McsError> {
+        build_dispatch(instance, self.rule, self.strategy, self.coarsening.stride())
+    }
+
+    /// Builds the schedule for a *residual* covering problem: only
+    /// `eligible` workers may win and each task needs only the leftover
+    /// coverage `requirements[j]` (non-positive entries mean already
+    /// satisfied).
+    ///
+    /// The residual problem is always materialized sparsely, so
+    /// [`Strategy::Dense`] falls back to [`Strategy::Auto`] and
+    /// [`Strategy::Naive`] to [`Strategy::Eager`] here.
+    ///
+    /// # Errors
+    ///
+    /// * [`McsError::DimensionMismatch`] — `requirements` is not one entry
+    ///   per task.
+    /// * [`McsError::WorkerOutOfRange`] — an eligible id is out of range.
+    /// * [`McsError::CoverageShortfall`] — the eligible pool cannot close
+    ///   some task's residual requirement.
+    /// * [`McsError::NoFeasiblePrice`] — the eligible pool covers, but
+    ///   only at a price above the top of the grid.
+    pub fn build_residual(
+        &self,
+        instance: &Instance,
+        requirements: &[f64],
+        eligible: &[WorkerId],
+    ) -> Result<PriceSchedule, McsError> {
+        build_residual_dispatch(
+            instance,
+            self.rule,
+            self.strategy,
+            self.coarsening.stride(),
+            requirements,
+            eligible,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for strategy in Strategy::ALL {
+            assert_eq!(Strategy::by_name(strategy.name()), Some(strategy));
+        }
+        assert_eq!(Strategy::by_name("no-such-strategy"), None);
+    }
+
+    #[test]
+    fn scalable_strategies_are_a_subset() {
+        for s in Strategy::SCALABLE {
+            assert!(Strategy::ALL.contains(&s));
+        }
+        assert!(!Strategy::SCALABLE.contains(&Strategy::Dense));
+        assert!(!Strategy::SCALABLE.contains(&Strategy::Naive));
+        assert!(!Strategy::SCALABLE.contains(&Strategy::Eager));
+    }
+
+    #[test]
+    fn coarsening_stride_normalizes() {
+        assert_eq!(Coarsening::Off.stride(), 1);
+        assert_eq!(Coarsening::Stride(0).stride(), 1);
+        assert_eq!(Coarsening::Stride(1).stride(), 1);
+        assert_eq!(Coarsening::Stride(4).stride(), 4);
+        assert!(!Coarsening::Stride(1).is_active());
+        assert!(Coarsening::Stride(2).is_active());
+    }
+
+    #[test]
+    fn builder_accessors_reflect_configuration() {
+        let engine = ScheduleEngine::new(SelectionRule::StaticTotal)
+            .strategy(Strategy::Indexed)
+            .coarsening(Coarsening::Stride(3));
+        assert_eq!(engine.rule(), SelectionRule::StaticTotal);
+        assert_eq!(engine.configured_strategy(), Strategy::Indexed);
+        assert_eq!(engine.configured_coarsening(), Coarsening::Stride(3));
+    }
+}

@@ -51,27 +51,6 @@ impl ExponentialMechanism {
         })
     }
 
-    /// Panicking alias of [`ExponentialMechanism::new`], kept for callers
-    /// that validated ε at a higher layer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `epsilon` is not strictly positive and finite, or
-    /// `num_workers` is zero.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the fallible `ExponentialMechanism::new` and handle `McsError`"
-    )]
-    pub fn new_or_panic(epsilon: f64, num_workers: usize, cmax: Price) -> Self {
-        match Self::new(epsilon, num_workers, cmax) {
-            Ok(mech) => mech,
-            Err(McsError::InvalidEpsilon { .. }) => {
-                panic!("epsilon must be positive and finite")
-            }
-            Err(_) => panic!("at least one worker is required"),
-        }
-    }
-
     /// Convenience constructor reading `N` and `c_max` from an instance.
     ///
     /// # Errors
@@ -109,7 +88,8 @@ impl ExponentialMechanism {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schedule::{build_schedule, SelectionRule};
+    use crate::engine::ScheduleEngine;
+    use crate::schedule::SelectionRule;
     use mcs_types::{Bid, Bundle, SkillMatrix, TaskId};
 
     fn schedule() -> PriceSchedule {
@@ -126,7 +106,9 @@ mod tests {
             .cost_range(Price::from_f64(10.0), Price::from_f64(20.0))
             .build()
             .unwrap();
-        build_schedule(&inst, SelectionRule::MarginalCoverage).unwrap()
+        ScheduleEngine::new(SelectionRule::MarginalCoverage)
+            .build(&inst)
+            .unwrap()
     }
 
     #[test]
@@ -205,12 +187,5 @@ mod tests {
     fn zero_workers_rejected() {
         let err = ExponentialMechanism::new(0.1, 0, Price::from_f64(20.0)).unwrap_err();
         assert!(matches!(err, McsError::DimensionMismatch { .. }));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "epsilon must be positive")]
-    fn deprecated_alias_still_panics() {
-        let _ = ExponentialMechanism::new_or_panic(-1.0, 3, Price::from_f64(20.0));
     }
 }

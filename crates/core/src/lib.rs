@@ -94,6 +94,7 @@
 mod baseline;
 mod critical;
 mod dp_hsrc;
+mod engine;
 mod exponential;
 mod mechanism;
 mod optimal;
@@ -106,15 +107,19 @@ pub mod xor;
 pub use baseline::BaselineAuction;
 pub use critical::{CriticalOutcome, CriticalPaymentAuction};
 pub use dp_hsrc::DpHsrcAuction;
+pub use engine::{Coarsening, ScheduleEngine, Strategy};
 pub use exponential::ExponentialMechanism;
 pub use mechanism::{Mechanism, ScheduledMechanism};
-#[allow(deprecated)]
-pub use optimal::OptimalError;
 pub use optimal::{OptimalMechanism, OptimalOutcome, PerPriceSolve};
 pub use outcome::AuctionOutcome;
+// The deprecated one-release shims for the pre-`ScheduleEngine` API stay
+// re-exported so downstream callers keep compiling (with a warning) for
+// one release.
+#[allow(deprecated)]
 pub use schedule::{
     build_residual_schedule, build_schedule, build_schedule_dense, build_schedule_eager,
-    build_schedule_incremental, build_schedule_naive, build_schedule_serial, PricePmf,
-    PriceSchedule, SelectionRule,
+    build_schedule_incremental, build_schedule_indexed, build_schedule_naive,
+    build_schedule_serial,
 };
+pub use schedule::{PricePmf, PriceSchedule, SelectionRule};
 pub use xor::{Award, XorBid, XorDpHsrcAuction, XorInstance, XorOutcome};

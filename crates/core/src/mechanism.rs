@@ -19,11 +19,10 @@ use rand::Rng;
 
 use mcs_types::{Instance, McsError, WorkerId};
 
+use crate::engine::ScheduleEngine;
 use crate::exponential::ExponentialMechanism;
 use crate::outcome::AuctionOutcome;
-use crate::schedule::{
-    build_residual_schedule, build_schedule, PricePmf, PriceSchedule, SelectionRule,
-};
+use crate::schedule::{PricePmf, PriceSchedule, SelectionRule};
 
 /// An auction mechanism: a (possibly randomized) map from an input profile
 /// to an outcome.
@@ -65,6 +64,19 @@ pub trait ScheduledMechanism: Mechanism<Input = Instance, Output = AuctionOutcom
     /// The privacy budget ε scaling the exponential mechanism.
     fn epsilon(&self) -> f64;
 
+    /// The schedule engine this mechanism builds winner schedules with.
+    ///
+    /// Defaults to `ScheduleEngine::new(self.selection_rule())` — the
+    /// auto strategy with coarsening off. Mechanisms that carry an engine
+    /// configuration (e.g. [`DpHsrcAuction::with_strategy`]) override
+    /// this, and both [`ScheduledMechanism::schedule`] and
+    /// [`ScheduledMechanism::residual_schedule`] pick the override up.
+    ///
+    /// [`DpHsrcAuction::with_strategy`]: crate::DpHsrcAuction::with_strategy
+    fn engine(&self) -> ScheduleEngine {
+        ScheduleEngine::new(self.selection_rule())
+    }
+
     /// The winner schedule over all feasible candidate prices
     /// (Algorithm 1, lines 1–15).
     ///
@@ -75,7 +87,7 @@ pub trait ScheduledMechanism: Mechanism<Input = Instance, Output = AuctionOutcom
     /// * [`McsError::NoFeasiblePrice`] — coverage is possible but only
     ///   above the top of the price grid.
     fn schedule(&self, instance: &Instance) -> Result<PriceSchedule, McsError> {
-        build_schedule(instance, self.selection_rule())
+        self.engine().build(instance)
     }
 
     /// The mechanism's exact output distribution over feasible prices
@@ -96,7 +108,7 @@ pub trait ScheduledMechanism: Mechanism<Input = Instance, Output = AuctionOutcom
     ///
     /// # Errors
     ///
-    /// Propagates [`build_residual_schedule`] errors — most notably
+    /// Propagates [`ScheduleEngine::build_residual`] errors — most notably
     /// [`McsError::CoverageShortfall`] when the eligible pool cannot close
     /// some residual requirement.
     fn residual_schedule(
@@ -105,7 +117,7 @@ pub trait ScheduledMechanism: Mechanism<Input = Instance, Output = AuctionOutcom
         residual: &[f64],
         eligible: &[WorkerId],
     ) -> Result<PriceSchedule, McsError> {
-        build_residual_schedule(instance, self.selection_rule(), residual, eligible)
+        self.engine().build_residual(instance, residual, eligible)
     }
 
     /// Runs a **backfill re-auction**: samples one outcome for the residual

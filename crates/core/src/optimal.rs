@@ -219,15 +219,6 @@ impl OptimalMechanism {
     }
 }
 
-/// Former dedicated error type of the optimal mechanism, now folded into
-/// the workspace-wide [`McsError`] (instance problems surface as their
-/// original variants; solver failures as [`McsError::Solver`]).
-#[deprecated(
-    since = "0.2.0",
-    note = "use McsError — solver failures are McsError::Solver"
-)]
-pub type OptimalError = McsError;
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,8 +11,11 @@
 use rand::Rng;
 
 use mcs_num::{sample_logits, softmax_from_logits};
-use mcs_types::{CoverageView, Instance, McsError, Price, SparseCoverage, TaskId, WorkerId};
+use mcs_types::{
+    CandidateIndex, CoverageView, Instance, McsError, Price, SparseCoverage, TaskId, WorkerId,
+};
 
+use crate::engine::Strategy;
 use crate::outcome::AuctionOutcome;
 
 /// Residual coverage below this threshold counts as satisfied.
@@ -456,6 +459,597 @@ fn sweep_select(
     }
 }
 
+/// Interval-lane width of the lockstep sweep: the per-candidate winner
+/// mask is one `u64`, and the per-candidate gain scratch lives on the
+/// stack. Wider interval lists run in chunks of this many lanes.
+const LOCKSTEP_LANES: usize = 64;
+
+/// The candidate index behind `Strategy::Indexed`'s marginal-coverage
+/// sweep (DESIGN.md §5f): all candidates ordered by descending initial
+/// gain, with every per-candidate input (worker id, price rank, initial
+/// gain, coverage row) copied into flat arrays in that order.
+///
+/// [`celf_sequence`] costs `O(prefix)` heap traffic *per interval* just to
+/// discover that most of the prefix is already covered, and at
+/// N = 10⁵–10⁶ workers essentially every interval diverges (a fresh batch
+/// of i.i.d. newcomers beats some incumbent with probability approaching
+/// one), so that churn dominates the whole sweep. [`RankedCelf::lockstep`]
+/// instead runs every interval's greedy selection simultaneously over one
+/// cursor walk of the rank order: a candidate is admitted once, evaluated
+/// against all interval residuals in one coverage-row fetch, and dropped
+/// on the spot from every lane where it evaluates to exact dust. Only
+/// candidates still carrying coverage somewhere ever enter the shared
+/// working heap, keyed by fresh gains rather than stale initial bounds.
+struct RankedCelf {
+    /// Worker id by rank position.
+    widx: Vec<WorkerId>,
+    /// Price-order candidate index by rank position; the prefix filter
+    /// and the argmax tie-break both speak price order.
+    ci: Vec<u32>,
+    /// Initial gain (against the full requirements) by rank position,
+    /// descending; ties ordered by ascending price rank.
+    init: Vec<f64>,
+    /// Coverage rows copied into rank order: `row_off[r]..row_off[r+1]`
+    /// spans the `(row_task, row_q)` pairs of rank position `r`, in the
+    /// original CSR entry order (gain sums and residual updates must
+    /// accumulate in the exact order every other selector uses).
+    row_off: Vec<u32>,
+    row_task: Vec<u32>,
+    row_q: Vec<f64>,
+}
+
+/// A working-heap entry for [`RankedCelf`]: a gain bound plus both
+/// addresses of its candidate. Ordered exactly like [`LazyGain`] — by
+/// gain, ties to the earlier *price-order* candidate — so acceptance
+/// decisions match [`celf_sequence`] bit for bit.
+#[derive(Debug, Clone, Copy)]
+struct RankedGain {
+    gain: f64,
+    ci: u32,
+    /// Rank position, resolving the candidate's row in the flat arrays.
+    r: u32,
+}
+
+impl PartialEq for RankedGain {
+    fn eq(&self, other: &Self) -> bool {
+        self.ci == other.ci && self.gain.total_cmp(&other.gain).is_eq()
+    }
+}
+
+impl Eq for RankedGain {}
+
+impl PartialOrd for RankedGain {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankedGain {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.ci.cmp(&self.ci))
+    }
+}
+
+/// Max-priority pool of bound entries, split at a moving gain threshold
+/// `tau`: entries at or above it live in an exact binary heap, the far
+/// larger remainder in an unordered parked vector. The frontier of
+/// outstanding bounds only moves down over a lockstep run, so most
+/// entries are pushed once below `tau` (a `Vec` append instead of an
+/// `O(log n)` sift over a multi-megabyte heap) and are touched again only
+/// if the frontier actually reaches them; the hot heap stays small enough
+/// to be cache-resident.
+///
+/// The split is exact, not approximate: parked entries all have gains
+/// strictly below every active entry's (pushes compare against the
+/// current `tau`, which only decreases, and refills promote everything at
+/// or above the new `tau`), so the active top is the true maximum under
+/// the full [`RankedGain`] order whenever the pool is non-empty.
+struct BoundPool {
+    active: std::collections::BinaryHeap<RankedGain>,
+    parked: Vec<RankedGain>,
+    tau: f64,
+}
+
+impl BoundPool {
+    fn new() -> Self {
+        Self {
+            active: std::collections::BinaryHeap::new(),
+            parked: Vec::new(),
+            tau: f64::INFINITY,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, e: RankedGain) {
+        if e.gain >= self.tau {
+            self.active.push(e);
+        } else {
+            self.parked.push(e);
+        }
+    }
+
+    /// Promotes parked entries once the active heap drains: the new
+    /// threshold halves from the parked maximum (all keys are positive),
+    /// so a run performs at most `log2(max_gain / COVER_EPS)` refills,
+    /// each a single linear pass over the parked vector.
+    fn refill(&mut self) {
+        if !self.active.is_empty() || self.parked.is_empty() {
+            return;
+        }
+        let m = self
+            .parked
+            .iter()
+            .map(|e| e.gain)
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.tau = m * 0.5;
+        let mut promoted = Vec::new();
+        let tau = self.tau;
+        self.parked.retain(|e| {
+            if e.gain >= tau {
+                promoted.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        self.active = std::collections::BinaryHeap::from(promoted);
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<RankedGain> {
+        self.refill();
+        self.active.peek().copied()
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<RankedGain> {
+        self.refill();
+        self.active.pop()
+    }
+}
+
+impl RankedCelf {
+    /// Builds the rank order and the permuted flat arrays: one sort plus
+    /// one pass over the coverage rows, paid once per schedule build and
+    /// amortized across every price interval.
+    fn new(cover: &SparseCoverage, sorted: &[WorkerId], init_by_ci: &[f64]) -> Self {
+        // Sorting 4-byte indices moves a quarter of the bytes that
+        // (gain, index) pairs would; at a million candidates the swap
+        // traffic outweighs the indirect key reads. The order is total
+        // (ties fall to the candidate index), so unstable sorting is
+        // deterministic.
+        let n = init_by_ci.len();
+        let mut rank: Vec<u32> = (0..n as u32).collect();
+        rank.sort_unstable_by(|&a, &b| {
+            init_by_ci[b as usize]
+                .total_cmp(&init_by_ci[a as usize])
+                .then(a.cmp(&b))
+        });
+        let mut this = RankedCelf {
+            widx: Vec::with_capacity(n),
+            ci: Vec::with_capacity(n),
+            init: Vec::with_capacity(n),
+            row_off: Vec::with_capacity(n + 1),
+            row_task: Vec::with_capacity(cover.nnz()),
+            row_q: Vec::with_capacity(cover.nnz()),
+        };
+        this.row_off.push(0);
+        for &ci in &rank {
+            let w = sorted[ci as usize];
+            this.widx.push(w);
+            this.ci.push(ci);
+            this.init.push(init_by_ci[ci as usize]);
+            for (j, q) in cover.row(w.index()) {
+                this.row_task.push(j as u32);
+                this.row_q.push(q);
+            }
+            this.row_off.push(this.row_task.len() as u32);
+        }
+        this
+    }
+
+    /// Fresh marginal gains of rank position `r` against every interval
+    /// lane in `lo..m` — per lane, the same terms in the same accumulation
+    /// order as [`marginal_gain`], so each lane's sum is bit-identical to
+    /// a standalone evaluation against that interval's residual. Tasks
+    /// saturated to *exactly* zero in every lane (`rmax[j] == 0`, the
+    /// common end state: the final `take` subtracts the whole slot) are
+    /// skipped — their term is exactly `0.0` in every lane, so the sums
+    /// keep their bits.
+    #[inline]
+    fn gains_lanes(
+        &self,
+        r: usize,
+        lo: usize,
+        m: usize,
+        residual: &[f64],
+        rmax: &[f64],
+        gains: &mut [f64; LOCKSTEP_LANES],
+    ) {
+        gains[lo..m].fill(0.0);
+        let (s, e) = (self.row_off[r] as usize, self.row_off[r + 1] as usize);
+        for (&j, &q) in self.row_task[s..e].iter().zip(&self.row_q[s..e]) {
+            let j = j as usize;
+            if rmax[j] <= 0.0 {
+                continue;
+            }
+            let lanes = &residual[j * m..j * m + m];
+            for (g, &l) in gains[lo..m].iter_mut().zip(&lanes[lo..m]) {
+                *g += q.min(l.max(0.0));
+            }
+        }
+    }
+
+    /// Upper-bounds rank position `r`'s gain in *every* lane at once using
+    /// the per-task lane maxima: `q.min(rmax[j]) ≥ q.min(residual_i[j])`
+    /// pointwise, so a bound at or below the dust threshold proves the
+    /// candidate is exact dust in all lanes without touching the lane
+    /// matrix.
+    #[inline]
+    fn gain_ceiling(&self, r: usize, rmax: &[f64]) -> f64 {
+        let (s, e) = (self.row_off[r] as usize, self.row_off[r + 1] as usize);
+        self.row_task[s..e]
+            .iter()
+            .zip(&self.row_q[s..e])
+            .map(|(&j, &q)| q.min(rmax[j as usize]))
+            .sum()
+    }
+
+    /// Applies rank position `r` as a winner in interval lane `i` — the
+    /// same updates in the same order as [`apply_winner`].
+    #[inline]
+    fn apply_lane(&self, r: usize, i: usize, m: usize, residual: &mut [f64], remaining: &mut f64) {
+        let (s, e) = (self.row_off[r] as usize, self.row_off[r + 1] as usize);
+        for (&j, &q) in self.row_task[s..e].iter().zip(&self.row_q[s..e]) {
+            let slot = &mut residual[j as usize * m + i];
+            let take = q.min(slot.max(0.0));
+            *slot -= take;
+            *remaining -= take;
+        }
+    }
+
+    /// Greedy selection over *every* prefix at once; returns one winner
+    /// sequence per prefix, each in selection order (unsorted) and
+    /// bit-identical to [`celf_sequence`] over that prefix. `prefixes`
+    /// must be strictly ascending; when a prefix cannot cover, the error
+    /// is the one the ascending per-prefix sweep would hit first (prefix
+    /// feasibility is monotone, so that is the smallest uncovered prefix).
+    ///
+    /// Running the intervals in lockstep is what makes the indexed engine
+    /// scale on the worker axis: the per-interval greedy runs share one
+    /// pass over the rank order, so the heap traffic that a from-scratch
+    /// selection pays per interval — `Θ(prefix)` pops just to rediscover
+    /// that most of the pool is dust — is paid once for the whole sweep.
+    /// Correctness needs no coordination between intervals: each one's
+    /// residual lane evolves exactly as its standalone greedy run would,
+    /// because both implement the same argmax rule (largest fresh gain,
+    /// ties to the earlier price-order candidate, dust at `COVER_EPS`)
+    /// and only the accepted sequence is observable.
+    fn lockstep(
+        &self,
+        prefixes: &[usize],
+        requirements: &[f64],
+    ) -> Result<Vec<Vec<WorkerId>>, McsError> {
+        // The per-candidate winner mask is one machine word; wider interval
+        // lists run in 64-lane chunks (the chunks share nothing, so this
+        // only splits the rank-order pass).
+        let mut out = Vec::with_capacity(prefixes.len());
+        for chunk in prefixes.chunks(LOCKSTEP_LANES) {
+            out.append(&mut self.lockstep_chunk(chunk, requirements)?);
+        }
+        Ok(out)
+    }
+
+    fn lockstep_chunk(
+        &self,
+        prefixes: &[usize],
+        requirements: &[f64],
+    ) -> Result<Vec<Vec<WorkerId>>, McsError> {
+        let m = prefixes.len();
+        debug_assert!(!prefixes.is_empty() && m <= LOCKSTEP_LANES);
+        debug_assert!(prefixes.windows(2).all(|w| w[0] < w[1]));
+        let n = self.widx.len();
+        let k = requirements.len();
+        let last = prefixes[m - 1] as u32;
+        // Task-major residual lanes: `residual[j * m + i]` is task `j`'s
+        // outstanding requirement in interval `i`, so one coverage-row
+        // fetch evaluates (or applies) a candidate against adjacent lanes.
+        let mut residual = vec![0.0f64; k * m];
+        for j in 0..k {
+            residual[j * m..(j + 1) * m].fill(requirements[j]);
+        }
+        let total: f64 = requirements.iter().sum();
+        let mut remaining = vec![total; m];
+        let mut sequences: Vec<Vec<WorkerId>> = vec![Vec::new(); m];
+        // Per-interval incumbent argmax: an *exact* gain against that
+        // interval's current residual. The residual only changes when the
+        // interval accepts, which clears the slot, so a held best never
+        // goes stale.
+        let mut best: Vec<Option<RankedGain>> = vec![None; m];
+        let mut done = vec![false; m];
+        let mut live = m;
+        for i in 0..m {
+            if remaining[i] <= COVER_EPS {
+                done[i] = true;
+                live -= 1;
+            }
+        }
+        // Bit `i` set: the rank-`r` candidate already won interval `i`
+        // (a candidate can win several intervals; each pays it its own
+        // evaluation).
+        let mut selected = vec![0u64; n];
+        // Evaluated-and-still-live candidates. An entry's key is the max
+        // of the candidate's last fresh gains over the intervals where it
+        // is neither winner nor incumbent best — gains never grow, so the
+        // key upper-bounds the candidate in every interval it must still
+        // compete in. Each candidate has at most one *authoritative* entry
+        // (key recorded in `live_bound`); re-pushes strand the older entry
+        // in the pool, and a popped key that disagrees with `live_bound`
+        // identifies such a stray, dropped without re-evaluation — its
+        // lanes are covered by the newer entry, whose key was taken as a
+        // max over at least the same lanes.
+        let mut aux = BoundPool::new();
+        let mut live_bound = vec![f64::NEG_INFINITY; n];
+        // A (lazily stale-high) upper bound on the largest live incumbent,
+        // by the same order: raised at every promotion, recomputed exactly
+        // whenever the incumbents are scanned. Lets the hot loop skip the
+        // per-lane acceptance scan while no incumbent can possibly
+        // dominate the outstanding bound.
+        let mut cap: Option<RankedGain> = None;
+        // Per-task residual maximum across lanes, clamped at zero. It only
+        // shrinks (acceptances refresh the touched tasks), so the ceiling
+        // it yields in [`gain_ceiling`] stays a valid all-lane upper bound
+        // for the rest of the run; most pops late in the sweep bound out
+        // as dust here at `O(row)` cost instead of `O(row × lanes)`.
+        let mut rmax: Vec<f64> = requirements.iter().map(|&q| q.max(0.0)).collect();
+        let mut cursor = 0usize;
+        let mut gains = [0.0f64; LOCKSTEP_LANES];
+        while live > 0 {
+            while cursor < n && self.ci[cursor] >= last {
+                cursor += 1;
+            }
+            let head = if cursor < n && self.init[cursor] > COVER_EPS {
+                Some(RankedGain {
+                    gain: self.init[cursor],
+                    ci: self.ci[cursor],
+                    r: cursor as u32,
+                })
+            } else {
+                // Descending rank order: once the head is dust the whole
+                // unadmitted tail is — same filter as `celf_sequence`.
+                cursor = n;
+                None
+            };
+            // The largest outstanding bound across *all* intervals: the
+            // working pool's top vs the rank head (initial gains; later
+            // rank entries are smaller still).
+            let bound = match (aux.peek(), head) {
+                (Some(a), Some(h)) => Some(if a > h { (a, true) } else { (h, false) }),
+                (Some(a), None) => Some((a, true)),
+                (None, Some(h)) => Some((h, false)),
+                (None, None) => None,
+            };
+            // Accept every incumbent that dominates the global bound. The
+            // global bound over-approximates each interval's own (it may
+            // be carried by another interval's gain), so acceptance can
+            // only be delayed, never wrong; `RankedGain`'s order ties to
+            // the earlier price-order candidate, matching the eager
+            // argmax.
+            let scan = match (cap, bound) {
+                (Some(c), Some((t, _))) => c >= t,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if scan {
+                let mut accepted = false;
+                let mut rest: Option<RankedGain> = None;
+                for i in 0..m {
+                    if done[i] {
+                        continue;
+                    }
+                    let Some(b) = best[i] else { continue };
+                    let dominates = match bound {
+                        Some((t, _)) => b >= t,
+                        None => true,
+                    };
+                    if !dominates {
+                        rest = Some(match rest {
+                            Some(c) if c >= b => c,
+                            _ => b,
+                        });
+                        continue;
+                    }
+                    best[i] = None;
+                    let r = b.r as usize;
+                    selected[r] |= 1u64 << i;
+                    sequences[i].push(self.widx[r]);
+                    self.apply_lane(r, i, m, &mut residual, &mut remaining[i]);
+                    let (s, e) = (self.row_off[r] as usize, self.row_off[r + 1] as usize);
+                    for &j in &self.row_task[s..e] {
+                        let j = j as usize;
+                        rmax[j] = residual[j * m..j * m + m]
+                            .iter()
+                            .fold(0.0f64, |a, &b| a.max(b));
+                    }
+                    if remaining[i] <= COVER_EPS {
+                        done[i] = true;
+                        live -= 1;
+                    }
+                    accepted = true;
+                }
+                cap = rest;
+                if accepted {
+                    continue;
+                }
+            }
+            let Some((t, from_aux)) = bound else {
+                // Pool exhausted with uncovered intervals and no incumbent
+                // left: report the smallest uncovered prefix, whose lane
+                // is bit-identical to its standalone run's residual.
+                let i = (0..m).find(|&i| !done[i]).expect("live > 0");
+                let lane: Vec<f64> = (0..k).map(|j| residual[j * m + i]).collect();
+                return Err(coverage_shortfall(&lane, requirements));
+            };
+            let r = t.r as usize;
+            if from_aux {
+                aux.pop();
+                if t.gain != live_bound[r] {
+                    // A stray superseded by a newer entry for the same
+                    // candidate; that entry's key bounds every lane this
+                    // one did.
+                    continue;
+                }
+                live_bound[r] = f64::NEG_INFINITY;
+            } else {
+                cursor += 1;
+            }
+            if self.gain_ceiling(r, &rmax) <= COVER_EPS {
+                // Exact dust in every lane at once: each lane's gain is
+                // pointwise below the ceiling, so the full evaluation
+                // would `continue` everywhere without a push. Incumbent
+                // slots the candidate still holds keep their exact gains.
+                continue;
+            }
+            // The candidate competes exactly in the intervals whose prefix
+            // extends past its price rank.
+            let lo = prefixes.partition_point(|&p| p <= t.ci as usize);
+            self.gains_lanes(r, lo, m, &residual, &rmax, &mut gains);
+            let mut back = f64::NEG_INFINITY;
+            for i in lo..m {
+                if done[i] || selected[r] & (1u64 << i) != 0 {
+                    continue;
+                }
+                if let Some(b) = best[i] {
+                    if b.r == t.r {
+                        // Already this interval's incumbent; its cached
+                        // gain is still exact.
+                        continue;
+                    }
+                }
+                let g = gains[i];
+                if g <= COVER_EPS {
+                    // Exact dust in this interval — saturated tasks yield
+                    // exactly zero and gains never grow, so the candidate
+                    // is gone from this lane for good.
+                    continue;
+                }
+                let cand = RankedGain {
+                    gain: g,
+                    ci: t.ci,
+                    r: t.r,
+                };
+                match best[i] {
+                    Some(b) if b > cand => back = back.max(g),
+                    prev => {
+                        // New incumbent. A displaced best re-enters the
+                        // pool under its own (exact, hence valid) bound —
+                        // unless its authoritative entry already covers
+                        // this lane with a key at least as large.
+                        if let Some(b) = prev {
+                            let br = b.r as usize;
+                            if b.gain > live_bound[br] {
+                                live_bound[br] = b.gain;
+                                aux.push(b);
+                            }
+                        }
+                        best[i] = Some(cand);
+                        cap = Some(match cap {
+                            Some(c) if c >= cand => c,
+                            _ => cand,
+                        });
+                    }
+                }
+            }
+            if back > COVER_EPS {
+                live_bound[r] = back;
+                aux.push(RankedGain {
+                    gain: back,
+                    ci: t.ci,
+                    r: t.r,
+                });
+            }
+        }
+        Ok(sequences)
+    }
+}
+
+/// The worker-axis sweep behind `Strategy::Indexed`: one global
+/// preprocessing pass over the candidates, then per-interval work that is
+/// nearly independent of the prefix length.
+///
+/// For [`SelectionRule::MarginalCoverage`] the [`RankedCelf`] index runs
+/// all intervals' greedy selections in lockstep over a single walk of the
+/// global gain-rank order, so the `Θ(prefix)` candidate churn is paid
+/// once per sweep instead of once per interval. For
+/// [`SelectionRule::StaticTotal`] the candidates are sorted by the
+/// static-total comparator *once*; each prefix's candidate order is that
+/// global order filtered to prefix members, eliminating the per-interval
+/// `O(prefix log prefix)` sort.
+fn indexed_sweep(
+    rule: SelectionRule,
+    cover: &SparseCoverage,
+    requirements: &[f64],
+    sorted: &[WorkerId],
+    prefixes: &[usize],
+) -> Result<Vec<Vec<WorkerId>>, McsError> {
+    match rule {
+        SelectionRule::StaticTotal => {
+            let mut static_order: Vec<WorkerId> = sorted.to_vec();
+            // The exact `select_static` comparator, so the filtered order
+            // equals each prefix's own sort (the comparator is a total
+            // order: ties fall to worker id).
+            static_order.sort_by(|&a, &b| {
+                cover
+                    .total(b.index())
+                    .partial_cmp(&cover.total(a.index()))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            let mut price_rank = vec![usize::MAX; cover.num_workers()];
+            for (i, &w) in sorted.iter().enumerate() {
+                price_rank[w.index()] = i;
+            }
+            prefixes
+                .iter()
+                .map(|&prefix| {
+                    let mut residual = requirements.to_vec();
+                    let mut remaining: f64 = residual.iter().sum();
+                    let mut winners = Vec::new();
+                    for &w in &static_order {
+                        if remaining <= COVER_EPS {
+                            break;
+                        }
+                        if price_rank[w.index()] >= prefix {
+                            continue;
+                        }
+                        winners.push(w);
+                        apply_winner(cover, w, &mut residual, &mut remaining);
+                    }
+                    if remaining > COVER_EPS {
+                        return Err(coverage_shortfall(&residual, requirements));
+                    }
+                    winners.sort_unstable();
+                    Ok(winners)
+                })
+                .collect()
+        }
+        SelectionRule::MarginalCoverage => {
+            let init: Vec<f64> = sorted
+                .iter()
+                .map(|&w| marginal_gain(cover, w, requirements))
+                .collect();
+            let celf = RankedCelf::new(cover, sorted, &init);
+            let mut out = celf.lockstep(prefixes, requirements)?;
+            for winners in &mut out {
+                winners.sort_unstable();
+            }
+            Ok(out)
+        }
+    }
+}
+
 /// Builds the per-price winner schedule for an instance under a selection
 /// rule (Algorithm 1, lines 1–15).
 ///
@@ -469,59 +1063,73 @@ fn sweep_select(
 ///   task's error-bound constraint.
 /// * [`McsError::NoFeasiblePrice`] — coverage is possible but only above
 ///   the top of the price grid.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `ScheduleEngine::new(rule).build(&instance)`"
+)]
 pub fn build_schedule(instance: &Instance, rule: SelectionRule) -> Result<PriceSchedule, McsError> {
-    build_schedule_with(instance, rule, Engine::default())
+    build_dispatch(instance, rule, Strategy::Auto, 1)
 }
 
 /// Always-serial variant of [`build_schedule`], regardless of the
-/// `parallel` feature. Useful for benchmarking the parallel dispatch
-/// against a fixed serial baseline within one binary.
+/// `parallel` feature.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `ScheduleEngine::new(rule).strategy(Strategy::Lazy).build(&instance)`"
+)]
 pub fn build_schedule_serial(
     instance: &Instance,
     rule: SelectionRule,
 ) -> Result<PriceSchedule, McsError> {
-    build_schedule_with(instance, rule, Engine::Lazy)
+    build_dispatch(instance, rule, Strategy::Lazy, 1)
 }
 
-/// [`build_schedule`] driven by the pre-lazy full-rescan selector. Kept as
-/// the reference the CELF engine is validated and benchmarked against; its
-/// output is identical, only slower.
+/// [`build_schedule`] driven by the pre-lazy full-rescan selector.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `ScheduleEngine::new(rule).strategy(Strategy::Eager).build(&instance)`"
+)]
 pub fn build_schedule_eager(
     instance: &Instance,
     rule: SelectionRule,
 ) -> Result<PriceSchedule, McsError> {
-    build_schedule_with(instance, rule, Engine::EagerRescan)
+    build_dispatch(instance, rule, Strategy::Eager, 1)
 }
 
-/// [`build_schedule`] driven by the ascending incremental price sweep:
-/// intervals are processed serially in price order, reusing the previous
-/// interval's winner sequence and the one-time initial-gain computation
-/// (see [`sweep_select`]). Produces the identical schedule as every other
-/// engine; it trades the parallel engine's interval fan-out for shared
-/// state, which wins when winner sets rarely change between intervals.
+/// [`build_schedule`] driven by the ascending incremental price sweep.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `ScheduleEngine::new(rule).strategy(Strategy::Incremental).build(&instance)`"
+)]
 pub fn build_schedule_incremental(
     instance: &Instance,
     rule: SelectionRule,
 ) -> Result<PriceSchedule, McsError> {
-    build_schedule_with(instance, rule, Engine::IncrementalSweep)
+    build_dispatch(instance, rule, Strategy::Incremental, 1)
 }
 
-/// [`build_schedule`] through the pre-CSR build path: materializes the
-/// dense `N×K` [`CoverageProblem`](mcs_types::CoverageProblem), runs the
-/// dense feasibility check, and converts rows to sparse afterwards — the
-/// exact work the engine did before the CSR core existed. Kept so the
-/// `schedule_scaling` bench can measure what the sparse build saves; the
-/// resulting schedule is identical.
+/// [`build_schedule`] through the pre-CSR dense build path.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `ScheduleEngine::new(rule).strategy(Strategy::Dense).build(&instance)`"
+)]
 pub fn build_schedule_dense(
     instance: &Instance,
     rule: SelectionRule,
 ) -> Result<PriceSchedule, McsError> {
-    let dense = instance.coverage_problem();
-    dense.check_feasible()?;
-    let cover = SparseCoverage::from_dense(&dense);
-    let requirements = cover.requirements().to_vec();
-    let all = workers_by_price(instance);
-    schedule_over(instance, rule, Engine::Lazy, &cover, &requirements, &all)
+    build_dispatch(instance, rule, Strategy::Dense, 1)
+}
+
+/// [`build_schedule`] through the worker-axis candidate-index engine.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `ScheduleEngine::new(rule).strategy(Strategy::Indexed).build(&instance)`"
+)]
+pub fn build_schedule_indexed(
+    instance: &Instance,
+    rule: SelectionRule,
+) -> Result<PriceSchedule, McsError> {
+    build_dispatch(instance, rule, Strategy::Indexed, 1)
 }
 
 /// Which selector evaluates each price interval's winner set. All engines
@@ -537,6 +1145,9 @@ enum Engine {
     EagerRescan,
     /// Serial ascending sweep sharing residual state across intervals.
     IncrementalSweep,
+    /// The worker-axis sweep: candidate index, one-time gains, ranked CELF
+    /// and challenger-heap replays (see [`indexed_sweep`]).
+    Indexed,
 }
 
 // Not derivable: the default depends on the `parallel` feature, and the
@@ -555,18 +1166,94 @@ impl Default for Engine {
     }
 }
 
-fn build_schedule_with(
+/// Maps the public [`Strategy`] onto the interval-level [`Engine`] for the
+/// strategies that share the sparse data path.
+fn engine_of(strategy: Strategy) -> Engine {
+    match strategy {
+        Strategy::Auto => Engine::default(),
+        Strategy::Lazy => Engine::Lazy,
+        Strategy::Eager => Engine::EagerRescan,
+        Strategy::Incremental => Engine::IncrementalSweep,
+        Strategy::Indexed => Engine::Indexed,
+        // Dense and Naive have dedicated data paths in `build_dispatch`;
+        // on the residual path they fall back (documented on
+        // `ScheduleEngine::build_residual`).
+        Strategy::Dense => Engine::default(),
+        Strategy::Naive => Engine::EagerRescan,
+    }
+}
+
+/// The full-instance entry point behind [`crate::ScheduleEngine::build`]:
+/// picks the data path for the strategy and threads the coarsening stride
+/// through to the interval walk.
+pub(crate) fn build_dispatch(
     instance: &Instance,
     rule: SelectionRule,
-    engine: Engine,
+    strategy: Strategy,
+    stride: usize,
 ) -> Result<PriceSchedule, McsError> {
-    // One CSR materialization straight from the bundles — O(nnz + K) —
-    // serves feasibility, the covering-prefix walk, and every selector.
-    let cover = instance.sparse_coverage();
-    cover.check_feasible()?;
-    let requirements = cover.requirements().to_vec();
-    let all = workers_by_price(instance);
-    schedule_over(instance, rule, engine, &cover, &requirements, &all)
+    match strategy {
+        // The naive reference has no interval structure: it recomputes
+        // every grid price independently, so the coarsening stride does
+        // not apply to it.
+        Strategy::Naive => build_naive_inner(instance, rule),
+        Strategy::Dense => {
+            // The pre-CSR build path: materialize the dense `N×K`
+            // problem, run the dense feasibility check, convert after.
+            let dense = instance.coverage_problem();
+            dense.check_feasible()?;
+            let cover = SparseCoverage::from_dense(&dense);
+            let requirements = cover.requirements().to_vec();
+            let all = workers_by_price(instance);
+            schedule_over(
+                instance,
+                rule,
+                Engine::Lazy,
+                &cover,
+                &requirements,
+                &all,
+                stride,
+            )
+        }
+        Strategy::Indexed => {
+            let cover = instance.sparse_coverage();
+            cover.check_feasible()?;
+            let requirements = cover.requirements().to_vec();
+            // The candidate index *is* the canonical (price, id) order,
+            // bucketed so ascending prefixes are whole-bucket extensions.
+            let prices: Vec<i64> = (0..instance.num_workers())
+                .map(|i| instance.bids().bid(WorkerId(i as u32)).price().tenths())
+                .collect();
+            let index = CandidateIndex::from_tenths(&prices);
+            schedule_over(
+                instance,
+                rule,
+                Engine::Indexed,
+                &cover,
+                &requirements,
+                index.order(),
+                stride,
+            )
+        }
+        _ => {
+            // One CSR materialization straight from the bundles —
+            // O(nnz + K) — serves feasibility, the covering-prefix walk,
+            // and every selector.
+            let cover = instance.sparse_coverage();
+            cover.check_feasible()?;
+            let requirements = cover.requirements().to_vec();
+            let all = workers_by_price(instance);
+            schedule_over(
+                instance,
+                rule,
+                engine_of(strategy),
+                &cover,
+                &requirements,
+                &all,
+                stride,
+            )
+        }
+    }
 }
 
 /// Builds a per-price winner schedule for a *residual* covering problem:
@@ -592,9 +1279,27 @@ fn build_schedule_with(
 ///   task's residual requirement.
 /// * [`McsError::NoFeasiblePrice`] — the eligible pool covers, but only at
 ///   a price above the top of the grid.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `ScheduleEngine::new(rule).build_residual(&instance, requirements, eligible)`"
+)]
 pub fn build_residual_schedule(
     instance: &Instance,
     rule: SelectionRule,
+    requirements: &[f64],
+    eligible: &[WorkerId],
+) -> Result<PriceSchedule, McsError> {
+    build_residual_dispatch(instance, rule, Strategy::Auto, 1, requirements, eligible)
+}
+
+/// The residual entry point behind [`crate::ScheduleEngine::build_residual`]:
+/// validates the inputs, establishes pool feasibility, and runs the
+/// interval walk over the eligible workers only.
+pub(crate) fn build_residual_dispatch(
+    instance: &Instance,
+    rule: SelectionRule,
+    strategy: Strategy,
+    stride: usize,
     requirements: &[f64],
     eligible: &[WorkerId],
 ) -> Result<PriceSchedule, McsError> {
@@ -641,16 +1346,26 @@ pub fn build_residual_schedule(
     schedule_over(
         instance,
         rule,
-        Engine::default(),
+        engine_of(strategy),
         &cover,
         requirements,
         &sorted,
+        stride,
     )
 }
 
 /// The shared schedule engine: Algorithm 1 over an arbitrary (possibly
 /// residual) requirement vector and a price-sorted candidate pool, against
 /// a prebuilt CSR covering problem.
+///
+/// `stride` is the price-grid coarsening knob (`1` = exact): with stride
+/// `c`, winner selection runs only on every `c`-th bidding-price interval
+/// plus always the last one; each skipped interval reuses the winner set
+/// of the nearest evaluated interval below it. Evaluated intervals are
+/// bit-identical to the exact schedule, skipped ones inherit a set that
+/// stays feasible (its workers bid at most the evaluated interval's
+/// prices, hence at most the skipped interval's too) — see the
+/// approximation bound documented on [`crate::Coarsening`].
 fn schedule_over(
     instance: &Instance,
     rule: SelectionRule,
@@ -658,6 +1373,7 @@ fn schedule_over(
     cover: &SparseCoverage,
     raw_requirements: &[f64],
     sorted: &[WorkerId],
+    stride: usize,
 ) -> Result<PriceSchedule, McsError> {
     let n = sorted.len();
     let k = cover.num_tasks();
@@ -755,6 +1471,28 @@ fn schedule_over(
         }
     }
 
+    // Price-grid coarsening: the subset of intervals that actually run
+    // winner selection. Stride 1 evaluates everything (the exact
+    // schedule); larger strides keep every `stride`-th interval plus
+    // always the last, and each skipped interval inherits the winner set
+    // of the nearest evaluated interval below it.
+    let stride = stride.max(1);
+    let evaluated: Vec<usize> = (0..intervals.len())
+        .filter(|&i| i % stride == 0 || i + 1 == intervals.len())
+        .collect();
+    // `backing[i]` = position in `evaluated` of the interval whose winner
+    // set interval `i` uses (itself when evaluated).
+    let mut backing = vec![0usize; intervals.len()];
+    {
+        let mut e = 0usize;
+        for (i, b) in backing.iter_mut().enumerate() {
+            if e + 1 < evaluated.len() && evaluated[e + 1] <= i {
+                e += 1;
+            }
+            *b = e;
+        }
+    }
+
     let select = |iv: &Interval| -> Result<Vec<WorkerId>, McsError> {
         let candidates = &sorted[..iv.prefix];
         match (rule, engine) {
@@ -767,27 +1505,35 @@ fn schedule_over(
             (SelectionRule::StaticTotal, _) => select_static(candidates, cover, &requirements),
         }
     };
-    let winner_sets: Vec<Vec<WorkerId>> = if engine == Engine::IncrementalSweep {
-        let prefixes: Vec<usize> = intervals.iter().map(|iv| iv.prefix).collect();
-        sweep_select(rule, cover, &requirements, sorted, &prefixes)?
-    } else {
-        let selected: Vec<Result<Vec<WorkerId>, McsError>> = match engine {
-            #[cfg(feature = "parallel")]
-            Engine::LazyParallel => {
-                use rayon::prelude::*;
-                intervals.par_iter().map(select).collect()
-            }
-            _ => intervals.iter().map(select).collect(),
-        };
-        selected.into_iter().collect::<Result<_, _>>()?
+    let winner_sets: Vec<Vec<WorkerId>> = match engine {
+        Engine::IncrementalSweep => {
+            let prefixes: Vec<usize> = evaluated.iter().map(|&i| intervals[i].prefix).collect();
+            sweep_select(rule, cover, &requirements, sorted, &prefixes)?
+        }
+        Engine::Indexed => {
+            let prefixes: Vec<usize> = evaluated.iter().map(|&i| intervals[i].prefix).collect();
+            indexed_sweep(rule, cover, &requirements, sorted, &prefixes)?
+        }
+        _ => {
+            let selected: Vec<Result<Vec<WorkerId>, McsError>> = match engine {
+                #[cfg(feature = "parallel")]
+                Engine::LazyParallel => {
+                    use rayon::prelude::*;
+                    evaluated
+                        .par_iter()
+                        .map(|&i| select(&intervals[i]))
+                        .collect()
+                }
+                _ => evaluated.iter().map(|&i| select(&intervals[i])).collect(),
+            };
+            selected.into_iter().collect::<Result<_, _>>()?
+        }
     };
 
     let mut set_of = vec![usize::MAX; prices.len()];
-    let mut sets: Vec<Vec<WorkerId>> = Vec::with_capacity(winner_sets.len());
-    for (iv, winners) in intervals.iter().zip(winner_sets) {
-        sets.push(winners);
+    for (i, iv) in intervals.iter().enumerate() {
         for s in set_of.iter_mut().take(iv.end).skip(iv.start) {
-            *s = sets.len() - 1;
+            *s = backing[i];
         }
     }
     debug_assert!(
@@ -798,20 +1544,29 @@ fn schedule_over(
     Ok(PriceSchedule {
         prices,
         set_of,
-        sets,
+        sets: winner_sets,
     })
 }
 
 /// Reference implementation that recomputes the winner set independently
 /// for every grid price — `O(|P| · N · K · |S|)`, used only to validate the
-/// interval-compressed schedule and in the ablation bench. Deliberately
-/// shares *no* machinery with the optimized engine beyond the selectors it
-/// is pinned against: it materializes the dense covering problem and
-/// converts it, rather than trusting the direct CSR build.
+/// interval-compressed schedule and in the ablation bench.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `ScheduleEngine::new(rule).strategy(Strategy::Naive).build(&instance)`"
+)]
 pub fn build_schedule_naive(
     instance: &Instance,
     rule: SelectionRule,
 ) -> Result<PriceSchedule, McsError> {
+    build_naive_inner(instance, rule)
+}
+
+/// The naive per-grid-price reference behind [`Strategy::Naive`].
+/// Deliberately shares *no* machinery with the optimized engine beyond the
+/// selectors it is pinned against: it materializes the dense covering
+/// problem and converts it, rather than trusting the direct CSR build.
+fn build_naive_inner(instance: &Instance, rule: SelectionRule) -> Result<PriceSchedule, McsError> {
     let dense = instance.coverage_problem();
     dense.check_feasible()?;
     let cover = SparseCoverage::from_dense(&dense);
@@ -965,7 +1720,17 @@ pub(crate) fn pmf_from_logits(schedule: PriceSchedule, logits: &[f64]) -> PriceP
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{Coarsening, ScheduleEngine};
     use mcs_types::{Bid, Bundle, SkillMatrix};
+
+    /// Test shorthand for the unified engine.
+    fn build(
+        inst: &Instance,
+        rule: SelectionRule,
+        strategy: Strategy,
+    ) -> Result<PriceSchedule, McsError> {
+        ScheduleEngine::new(rule).strategy(strategy).build(inst)
+    }
 
     /// Four workers / two tasks instance used across the tests.
     ///
@@ -1009,7 +1774,7 @@ mod tests {
 
     #[test]
     fn schedule_covers_all_feasible_prices() {
-        let s = build_schedule(&instance(), SelectionRule::MarginalCoverage).unwrap();
+        let s = build(&instance(), SelectionRule::MarginalCoverage, Strategy::Auto).unwrap();
         // Coverage per task needs ≈1.833. Task 0: w1 (0.64) + w0 (0.64) +
         // w3 (0.64) = 1.92 → needs all three of workers {0,1,3}; task 1:
         // w0 (0.64) + w2 (0.81) + w3 (0.64) = 2.09. The cheapest covering
@@ -1025,7 +1790,7 @@ mod tests {
 
     #[test]
     fn winner_sets_monotone_price_needs_everyone_here() {
-        let s = build_schedule(&instance(), SelectionRule::MarginalCoverage).unwrap();
+        let s = build(&instance(), SelectionRule::MarginalCoverage, Strategy::Auto).unwrap();
         // In this tight instance every covering set needs workers 0,1,2,3.
         for i in 0..s.len() {
             assert_eq!(
@@ -1050,7 +1815,7 @@ mod tests {
             .build()
             .unwrap();
         assert!(matches!(
-            build_schedule(&inst, SelectionRule::MarginalCoverage),
+            build(&inst, SelectionRule::MarginalCoverage, Strategy::Auto),
             Err(McsError::Infeasible { .. })
         ));
     }
@@ -1071,7 +1836,7 @@ mod tests {
             .build()
             .unwrap();
         assert!(matches!(
-            build_schedule(&inst, SelectionRule::MarginalCoverage),
+            build(&inst, SelectionRule::MarginalCoverage, Strategy::Auto),
             Err(McsError::NoFeasiblePrice { .. })
         ));
     }
@@ -1079,8 +1844,8 @@ mod tests {
     #[test]
     fn compressed_matches_naive_marginal() {
         let inst = instance();
-        let fast = build_schedule(&inst, SelectionRule::MarginalCoverage).unwrap();
-        let naive = build_schedule_naive(&inst, SelectionRule::MarginalCoverage).unwrap();
+        let fast = build(&inst, SelectionRule::MarginalCoverage, Strategy::Auto).unwrap();
+        let naive = build(&inst, SelectionRule::MarginalCoverage, Strategy::Naive).unwrap();
         assert_eq!(fast.prices(), naive.prices());
         for i in 0..fast.len() {
             assert_eq!(fast.winners(i), naive.winners(i), "price {}", fast.price(i));
@@ -1090,8 +1855,8 @@ mod tests {
     #[test]
     fn compressed_matches_naive_static() {
         let inst = instance();
-        let fast = build_schedule(&inst, SelectionRule::StaticTotal).unwrap();
-        let naive = build_schedule_naive(&inst, SelectionRule::StaticTotal).unwrap();
+        let fast = build(&inst, SelectionRule::StaticTotal, Strategy::Auto).unwrap();
+        let naive = build(&inst, SelectionRule::StaticTotal, Strategy::Naive).unwrap();
         assert_eq!(fast.prices(), naive.prices());
         for i in 0..fast.len() {
             assert_eq!(fast.winners(i), naive.winners(i));
@@ -1276,14 +2041,23 @@ mod tests {
     }
 
     #[test]
-    fn incremental_engine_matches_all_others() {
+    fn every_strategy_agrees_on_the_reference_instance() {
         let inst = instance();
         for rule in [SelectionRule::MarginalCoverage, SelectionRule::StaticTotal] {
-            let incremental = build_schedule_incremental(&inst, rule).unwrap();
-            assert_eq!(incremental, build_schedule(&inst, rule).unwrap());
-            assert_eq!(incremental, build_schedule_eager(&inst, rule).unwrap());
-            assert_eq!(incremental, build_schedule_naive(&inst, rule).unwrap());
-            assert_eq!(incremental, build_schedule_dense(&inst, rule).unwrap());
+            let reference = build(&inst, rule, Strategy::Auto).unwrap();
+            for strategy in Strategy::ALL {
+                let s = build(&inst, rule, strategy).unwrap();
+                // The naive reference rebuilds `set_of` from scratch, so
+                // compare observationally rather than structurally.
+                assert_eq!(s.prices(), reference.prices(), "{rule:?}/{strategy:?}");
+                for i in 0..s.len() {
+                    assert_eq!(
+                        s.winners(i),
+                        reference.winners(i),
+                        "{rule:?}/{strategy:?}/{i}"
+                    );
+                }
+            }
         }
     }
 
@@ -1300,9 +2074,9 @@ mod tests {
             })
             .collect();
         let eligible = vec![WorkerId(2), WorkerId(3)];
-        let s =
-            build_residual_schedule(&inst, SelectionRule::MarginalCoverage, &residual, &eligible)
-                .unwrap();
+        let s = ScheduleEngine::new(SelectionRule::MarginalCoverage)
+            .build_residual(&inst, &residual, &eligible)
+            .unwrap();
         assert!(!s.is_empty());
         for i in 0..s.len() {
             // Winners come only from the eligible pool and close the
@@ -1324,13 +2098,9 @@ mod tests {
     fn residual_schedule_with_satisfied_requirements_is_empty_sets() {
         let inst = instance();
         let residual = vec![0.0; inst.num_tasks()];
-        let s = build_residual_schedule(
-            &inst,
-            SelectionRule::MarginalCoverage,
-            &residual,
-            &[WorkerId(0)],
-        )
-        .unwrap();
+        let s = ScheduleEngine::new(SelectionRule::MarginalCoverage)
+            .build_residual(&inst, &residual, &[WorkerId(0)])
+            .unwrap();
         assert_eq!(s.len(), inst.price_grid().len());
         for i in 0..s.len() {
             assert!(s.winners(i).is_empty());
@@ -1347,53 +2117,106 @@ mod tests {
             .collect();
         // Worker 1 alone (task 0 only, q = 0.64) cannot close full
         // requirements on both tasks.
-        let err = build_residual_schedule(
-            &inst,
-            SelectionRule::MarginalCoverage,
-            &residual,
-            &[WorkerId(1)],
-        )
-        .unwrap_err();
+        let err = ScheduleEngine::new(SelectionRule::MarginalCoverage)
+            .build_residual(&inst, &residual, &[WorkerId(1)])
+            .unwrap_err();
         assert!(matches!(err, McsError::CoverageShortfall { .. }));
     }
 
     #[test]
     fn residual_schedule_validates_inputs() {
         let inst = instance();
+        let engine = ScheduleEngine::new(SelectionRule::MarginalCoverage);
         assert!(matches!(
-            build_residual_schedule(&inst, SelectionRule::MarginalCoverage, &[1.0], &[]),
+            engine.build_residual(&inst, &[1.0], &[]),
             Err(McsError::DimensionMismatch { .. })
         ));
         let residual = vec![0.0; inst.num_tasks()];
         assert!(matches!(
-            build_residual_schedule(
-                &inst,
-                SelectionRule::MarginalCoverage,
-                &residual,
-                &[WorkerId(99)],
-            ),
+            engine.build_residual(&inst, &residual, &[WorkerId(99)]),
             Err(McsError::WorkerOutOfRange { .. })
         ));
     }
 
     #[test]
-    fn serial_and_default_engines_agree() {
+    fn residual_strategies_agree_over_a_partial_pool() {
+        let inst = instance();
+        let cover = inst.coverage_problem();
+        let residual: Vec<f64> = (0..inst.num_tasks())
+            .map(|j| {
+                let t = TaskId(j as u32);
+                cover.requirement(t) - cover.q(WorkerId(0), t)
+            })
+            .collect();
+        let eligible = vec![WorkerId(1), WorkerId(2), WorkerId(3)];
+        for rule in [SelectionRule::MarginalCoverage, SelectionRule::StaticTotal] {
+            let reference = ScheduleEngine::new(rule)
+                .build_residual(&inst, &residual, &eligible)
+                .unwrap();
+            for strategy in Strategy::ALL {
+                let s = ScheduleEngine::new(rule)
+                    .strategy(strategy)
+                    .build_residual(&inst, &residual, &eligible)
+                    .unwrap();
+                assert_eq!(s.prices(), reference.prices(), "{rule:?}/{strategy:?}");
+                for i in 0..s.len() {
+                    assert_eq!(
+                        s.winners(i),
+                        reference.winners(i),
+                        "{rule:?}/{strategy:?}/{i}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The one-release compatibility guarantee: every deprecated shim
+    /// still produces the engine's output.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_engine() {
         let inst = instance();
         for rule in [SelectionRule::MarginalCoverage, SelectionRule::StaticTotal] {
-            let default = build_schedule(&inst, rule).unwrap();
-            let serial = build_schedule_serial(&inst, rule).unwrap();
-            let eager = build_schedule_eager(&inst, rule).unwrap();
-            let incremental = build_schedule_incremental(&inst, rule).unwrap();
-            assert_eq!(default, serial);
-            assert_eq!(default, eager);
-            assert_eq!(default, incremental);
+            let engine = build(&inst, rule, Strategy::Auto).unwrap();
+            assert_eq!(engine, build_schedule(&inst, rule).unwrap());
+            assert_eq!(
+                build(&inst, rule, Strategy::Lazy).unwrap(),
+                build_schedule_serial(&inst, rule).unwrap()
+            );
+            assert_eq!(
+                build(&inst, rule, Strategy::Eager).unwrap(),
+                build_schedule_eager(&inst, rule).unwrap()
+            );
+            assert_eq!(
+                build(&inst, rule, Strategy::Incremental).unwrap(),
+                build_schedule_incremental(&inst, rule).unwrap()
+            );
+            assert_eq!(
+                build(&inst, rule, Strategy::Dense).unwrap(),
+                build_schedule_dense(&inst, rule).unwrap()
+            );
+            assert_eq!(
+                build(&inst, rule, Strategy::Naive).unwrap(),
+                build_schedule_naive(&inst, rule).unwrap()
+            );
+            assert_eq!(
+                build(&inst, rule, Strategy::Indexed).unwrap(),
+                build_schedule_indexed(&inst, rule).unwrap()
+            );
+            let residual = vec![0.0; inst.num_tasks()];
+            assert_eq!(
+                ScheduleEngine::new(rule)
+                    .build_residual(&inst, &residual, &[WorkerId(0)])
+                    .unwrap(),
+                build_residual_schedule(&inst, rule, &residual, &[WorkerId(0)]).unwrap()
+            );
         }
     }
 
     #[test]
     fn min_total_payment_is_none_only_when_empty() {
         let inst = instance();
-        let s = build_schedule(&inst, SelectionRule::MarginalCoverage).unwrap();
+        let s = build(&inst, SelectionRule::MarginalCoverage, Strategy::Auto).unwrap();
         // Four winners at every price; the cheapest feasible price is 18.
         assert_eq!(s.min_total_payment(), Some(Price::from_f64(72.0)));
         let empty = PriceSchedule {
@@ -1407,7 +2230,7 @@ mod tests {
     #[test]
     fn pmf_sums_to_one_and_samples_in_support() {
         let inst = instance();
-        let s = build_schedule(&inst, SelectionRule::MarginalCoverage).unwrap();
+        let s = build(&inst, SelectionRule::MarginalCoverage, Strategy::Auto).unwrap();
         let n = s.len();
         let logits: Vec<f64> = (0..n).map(|i| -(i as f64)).collect();
         let pmf = pmf_from_logits(s, &logits);
@@ -1423,7 +2246,7 @@ mod tests {
     #[test]
     fn pmf_expected_payment_matches_hand_computation() {
         let inst = instance();
-        let s = build_schedule(&inst, SelectionRule::MarginalCoverage).unwrap();
+        let s = build(&inst, SelectionRule::MarginalCoverage, Strategy::Auto).unwrap();
         let n = s.len();
         let probs = vec![1.0 / n as f64; n];
         let payments: Vec<f64> = (0..n).map(|i| s.total_payment(i).as_f64()).collect();
@@ -1437,7 +2260,7 @@ mod tests {
     #[should_panic(expected = "sum to 1")]
     fn pmf_rejects_unnormalized() {
         let inst = instance();
-        let s = build_schedule(&inst, SelectionRule::MarginalCoverage).unwrap();
+        let s = build(&inst, SelectionRule::MarginalCoverage, Strategy::Auto).unwrap();
         let n = s.len();
         let _ = PricePmf::new(s, vec![0.9 / n as f64; n]);
     }
@@ -1450,5 +2273,207 @@ mod tests {
             order,
             vec![WorkerId(1), WorkerId(0), WorkerId(2), WorkerId(3)]
         );
+    }
+
+    /// Per-case `(worker rows, requirements)` in `(task, quality)` form.
+    type TieCase = (Vec<Vec<(usize, f64)>>, Vec<f64>);
+
+    /// The adversarial selector cases: exact ties, staleness, evaporating
+    /// contributions, repeated magnitudes.
+    fn tie_pattern_cases() -> Vec<TieCase> {
+        vec![
+            (vec![vec![(0, 0.5)]; 4], vec![1.2]),
+            (
+                vec![
+                    vec![(0, 0.9), (1, 0.9)],
+                    vec![(0, 0.8)],
+                    vec![(1, 0.8)],
+                    vec![(0, 0.3), (1, 0.3)],
+                ],
+                vec![1.0, 1.0],
+            ),
+            (
+                vec![vec![(0, 1.0)], vec![(0, 0.4)], vec![(1, 0.7)]],
+                vec![1.0, 0.5],
+            ),
+            (
+                vec![
+                    vec![(0, 0.25), (1, 0.25), (2, 0.25)],
+                    vec![(0, 0.25), (2, 0.5)],
+                    vec![(1, 0.75)],
+                    vec![(2, 0.25)],
+                    vec![(0, 0.5), (1, 0.25)],
+                ],
+                vec![0.75, 1.0, 0.75],
+            ),
+        ]
+    }
+
+    #[test]
+    fn lockstep_matches_celf_sequence_on_every_prefix() {
+        for (rows, req) in tie_pattern_cases() {
+            let sorted: Vec<WorkerId> = (0..rows.len()).map(|i| WorkerId(i as u32)).collect();
+            let cover = cover_of(rows.clone(), &req);
+            let init: Vec<f64> = sorted
+                .iter()
+                .map(|&w| marginal_gain(&cover, w, &req))
+                .collect();
+            let celf = RankedCelf::new(&cover, &sorted, &init);
+            // Single-lane runs: selection *order* must match too, not
+            // just the set.
+            for prefix in 1..=sorted.len() {
+                let ranked = celf
+                    .lockstep(&[prefix], &req)
+                    .map(|mut seqs| seqs.pop().expect("one prefix in, one sequence out"));
+                let reference = celf_sequence(&sorted[..prefix], &cover, &init[..prefix], &req);
+                assert_eq!(
+                    ranked, reference,
+                    "rows {rows:?} req {req:?} prefix {prefix}"
+                );
+            }
+            // All prefixes in lockstep must agree with the per-prefix
+            // reference as a whole, including which prefix errors first.
+            let all: Vec<usize> = (1..=sorted.len()).collect();
+            let expected: Result<Vec<Vec<WorkerId>>, McsError> = all
+                .iter()
+                .map(|&p| celf_sequence(&sorted[..p], &cover, &init[..p], &req))
+                .collect();
+            assert_eq!(
+                celf.lockstep(&all, &req),
+                expected,
+                "rows {rows:?} req {req:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lockstep_chunks_past_the_lane_limit() {
+        // 130 near-identical single-task workers, prefixes 61..=130: more
+        // prefixes than the 64-lane winner mask holds, all feasible, with
+        // exact gain ties everywhere — the chunk seam must not change any
+        // sequence.
+        let n = 130usize;
+        let req = vec![1.0];
+        let rows: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|i| vec![(0usize, 0.03 + 0.002 * (i % 5) as f64)])
+            .collect();
+        let cover = cover_of(rows, &req);
+        let sorted: Vec<WorkerId> = (0..n as u32).map(WorkerId).collect();
+        let init: Vec<f64> = sorted
+            .iter()
+            .map(|&w| marginal_gain(&cover, w, &req))
+            .collect();
+        let celf = RankedCelf::new(&cover, &sorted, &init);
+        let all: Vec<usize> = (61..=n).collect();
+        assert!(all.len() > LOCKSTEP_LANES);
+        let expected: Result<Vec<Vec<WorkerId>>, McsError> = all
+            .iter()
+            .map(|&p| celf_sequence(&sorted[..p], &cover, &init[..p], &req))
+            .collect();
+        assert_eq!(celf.lockstep(&all, &req), expected);
+    }
+
+    #[test]
+    fn indexed_sweep_matches_sweep_select_across_prefixes() {
+        // Same fixture as the incremental-sweep test: prefix 3 confirms,
+        // prefix 4 diverges, so both indexed paths get exercised.
+        let req = vec![1.0, 0.2];
+        let rows = vec![
+            vec![(0usize, 0.6)],
+            vec![(0usize, 0.6), (1usize, 0.2)],
+            vec![(1usize, 0.5)],
+            vec![(0usize, 1.0), (1usize, 1.0)],
+        ];
+        let cover = cover_of(rows, &req);
+        let sorted: Vec<WorkerId> = (0..4u32).map(WorkerId).collect();
+        let prefixes = [2usize, 3, 4];
+        for rule in [SelectionRule::MarginalCoverage, SelectionRule::StaticTotal] {
+            let indexed = indexed_sweep(rule, &cover, &req, &sorted, &prefixes).unwrap();
+            let swept = sweep_select(rule, &cover, &req, &sorted, &prefixes).unwrap();
+            assert_eq!(indexed, swept, "rule {rule:?}");
+        }
+    }
+
+    /// Six identical single-task workers at distinct prices: four
+    /// bidding-price intervals hold grid prices, so coarsening has
+    /// something to skip.
+    fn staircase_instance() -> Instance {
+        let bids: Vec<Bid> = [10.0, 12.0, 14.0, 16.0, 18.0, 20.0]
+            .iter()
+            .map(|&p| Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(p)))
+            .collect();
+        let skills = SkillMatrix::from_rows(vec![vec![0.9]; 6]).unwrap();
+        Instance::builder(1)
+            .bids(bids)
+            .skills(skills)
+            .uniform_error_bound(0.4)
+            .price_grid_f64(10.0, 20.0, 0.5)
+            .cost_range(Price::from_f64(10.0), Price::from_f64(20.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn coarsening_off_and_stride_one_are_the_exact_schedule() {
+        let inst = staircase_instance();
+        for rule in [SelectionRule::MarginalCoverage, SelectionRule::StaticTotal] {
+            let exact = build(&inst, rule, Strategy::Indexed).unwrap();
+            for coarsening in [
+                Coarsening::Off,
+                Coarsening::Stride(0),
+                Coarsening::Stride(1),
+            ] {
+                let s = ScheduleEngine::new(rule)
+                    .strategy(Strategy::Indexed)
+                    .coarsening(coarsening)
+                    .build(&inst)
+                    .unwrap();
+                assert_eq!(s, exact, "{rule:?}/{coarsening:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn coarsened_schedule_respects_the_documented_bound() {
+        let inst = staircase_instance();
+        let cover = inst.coverage_problem();
+        for rule in [SelectionRule::MarginalCoverage, SelectionRule::StaticTotal] {
+            let exact = build(&inst, rule, Strategy::Auto).unwrap();
+            for stride in [2usize, 3, 10] {
+                for strategy in [Strategy::Auto, Strategy::Incremental, Strategy::Indexed] {
+                    let coarse = ScheduleEngine::new(rule)
+                        .strategy(strategy)
+                        .coarsening(Coarsening::Stride(stride))
+                        .build(&inst)
+                        .unwrap();
+                    // Same feasible price set, fewer distinct winner sets.
+                    assert_eq!(coarse.prices(), exact.prices());
+                    assert!(coarse.num_distinct_sets() <= exact.num_distinct_sets());
+                    // First and last intervals are always evaluated.
+                    assert_eq!(coarse.winners(0), exact.winners(0));
+                    assert_eq!(
+                        coarse.winners(coarse.len() - 1),
+                        exact.winners(exact.len() - 1)
+                    );
+                    for i in 0..coarse.len() {
+                        // Every winner set is feasible and price-feasible.
+                        assert!(cover.is_satisfied_by(coarse.winners(i).iter().copied()));
+                        for &w in coarse.winners(i) {
+                            assert!(inst.bids().bid(w).price() <= coarse.price(i));
+                        }
+                        // Each set is the *exact* set of some evaluated
+                        // price at or below this one — the reuse bound
+                        // R_coarse(p) = (p/r)·R_exact(r).
+                        assert!(
+                            (0..=i).any(|j| coarse.winners(i) == exact.winners(j)),
+                            "{rule:?}/{strategy:?} stride {stride} price {}",
+                            coarse.price(i)
+                        );
+                    }
+                    // The coarse minimum never undercuts the exact one.
+                    assert!(coarse.min_total_payment() >= exact.min_total_payment());
+                }
+            }
+        }
     }
 }

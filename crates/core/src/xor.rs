@@ -502,7 +502,8 @@ mod tests {
     fn single_minded_special_case_matches_dp_hsrc_cardinalities() {
         // When every XOR bid has exactly one option, the award sets match
         // the single-minded greedy's winner sets.
-        use crate::schedule::{build_schedule, SelectionRule};
+        use crate::engine::ScheduleEngine;
+        use crate::schedule::SelectionRule;
         use mcs_types::Instance;
 
         let bids = vec![
@@ -526,7 +527,9 @@ mod tests {
             .cost_range(Price::from_f64(10.0), Price::from_f64(20.0))
             .build()
             .unwrap();
-        let schedule = build_schedule(&single, SelectionRule::MarginalCoverage).unwrap();
+        let schedule = ScheduleEngine::new(SelectionRule::MarginalCoverage)
+            .build(&single)
+            .unwrap();
 
         let xor = XorInstance::new(
             2,

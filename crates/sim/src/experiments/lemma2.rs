@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mcs_auction::{build_schedule, OptimalMechanism, SelectionRule};
+use mcs_auction::{OptimalMechanism, ScheduleEngine, SelectionRule};
 use mcs_types::CoverageView;
 use mcs_types::McsError;
 
@@ -79,7 +79,7 @@ pub fn lemma2_experiment(
 ) -> Result<Lemma2Report, McsError> {
     let generated = setting.generate(seed);
     let instance = &generated.instance;
-    let schedule = build_schedule(instance, SelectionRule::MarginalCoverage)?;
+    let schedule = ScheduleEngine::new(SelectionRule::MarginalCoverage).build(instance)?;
     let opt = optimal.solve(instance)?;
 
     let mut rows = Vec::new();

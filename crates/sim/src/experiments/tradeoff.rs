@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mcs_auction::{build_schedule, privacy, ExponentialMechanism, SelectionRule};
+use mcs_auction::{privacy, ExponentialMechanism, ScheduleEngine, SelectionRule};
 use mcs_num::rng;
 use mcs_types::McsError;
 
@@ -73,7 +73,7 @@ pub fn tradeoff_sweep(
 ) -> Result<Vec<TradeoffRow>, McsError> {
     let generated = setting.generate(seed);
     let instance = &generated.instance;
-    let base_schedule = build_schedule(instance, SelectionRule::MarginalCoverage)?;
+    let base_schedule = ScheduleEngine::new(SelectionRule::MarginalCoverage).build(instance)?;
 
     // Neighbour instances and their (ε-independent) schedules. Half the
     // neighbours resample a random worker's bid (average case); half push
@@ -95,7 +95,7 @@ pub fn tradeoff_sweep(
             let w = random_worker(instance, &mut r);
             resample_neighbour(instance, setting, w, &mut r)?
         };
-        match build_schedule(&nb, SelectionRule::MarginalCoverage) {
+        match ScheduleEngine::new(SelectionRule::MarginalCoverage).build(&nb) {
             Ok(schedule) => neighbour_schedules.push(schedule),
             Err(_) => infeasible_neighbours += 1,
         }

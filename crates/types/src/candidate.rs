@@ -1,0 +1,162 @@
+//! Per-price candidate indexing for the ascending price sweep.
+//!
+//! Algorithm 1 evaluates one winner set per bidding-price interval, and
+//! the candidate pool at price `p` is exactly the workers bidding at most
+//! `p`. The [`CandidateIndex`] materializes that structure once: workers
+//! sorted by `(bid price, id)` — the canonical candidate order every
+//! schedule engine uses — bucketed by distinct bid price, so the sweep at
+//! a higher price only has to *introduce* the newly admitted bucket(s)
+//! instead of re-deriving the pool from scratch. On million-worker
+//! instances this turns the per-interval candidate bookkeeping into a
+//! pair of slice lookups.
+
+use crate::WorkerId;
+
+/// Workers bucketed by ascending bid price.
+///
+/// The global [`order`](CandidateIndex::order) is sorted by
+/// `(price, worker id)` ascending — identical to the candidate order of
+/// the per-price greedy — and `bucket b` holds the contiguous run of
+/// workers bidding exactly [`price_of_bucket(b)`]
+/// (tenths). Every candidate prefix of the ascending sweep is therefore a
+/// prefix of `order`, and the *newcomers* between two prices are the
+/// concatenation of whole buckets.
+///
+/// [`price_of_bucket(b)`]: CandidateIndex::price_of_bucket
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateIndex {
+    /// Worker ids sorted by `(bid price, id)`.
+    order: Vec<WorkerId>,
+    /// `bucket_offsets[b]..bucket_offsets[b + 1]` indexes `order` for
+    /// bucket `b`; one trailing entry equal to `order.len()`.
+    bucket_offsets: Vec<usize>,
+    /// Distinct bid prices in tenths, ascending, one per bucket.
+    bucket_prices: Vec<i64>,
+}
+
+impl CandidateIndex {
+    /// Builds the index from per-worker bid prices in tenths
+    /// (`prices_tenths[i]` belongs to worker `i`).
+    pub fn from_tenths(prices_tenths: &[i64]) -> CandidateIndex {
+        let mut order: Vec<WorkerId> = (0..prices_tenths.len())
+            .map(|i| WorkerId(i as u32))
+            .collect();
+        order.sort_by_key(|&w| (prices_tenths[w.index()], w));
+
+        let mut bucket_offsets = Vec::new();
+        let mut bucket_prices = Vec::new();
+        for (pos, &w) in order.iter().enumerate() {
+            let p = prices_tenths[w.index()];
+            if bucket_prices.last() != Some(&p) {
+                bucket_prices.push(p);
+                bucket_offsets.push(pos);
+            }
+        }
+        bucket_offsets.push(order.len());
+        CandidateIndex {
+            order,
+            bucket_offsets,
+            bucket_prices,
+        }
+    }
+
+    /// The canonical candidate order: ascending `(bid price, id)`.
+    #[inline]
+    pub fn order(&self) -> &[WorkerId] {
+        &self.order
+    }
+
+    /// Number of indexed workers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the index is empty (no workers).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Number of distinct bid prices.
+    #[inline]
+    pub fn num_buckets(&self) -> usize {
+        self.bucket_prices.len()
+    }
+
+    /// The workers bidding exactly the `b`-th distinct price.
+    #[inline]
+    pub fn bucket(&self, b: usize) -> &[WorkerId] {
+        &self.order[self.bucket_offsets[b]..self.bucket_offsets[b + 1]]
+    }
+
+    /// The `b`-th distinct bid price, in tenths.
+    #[inline]
+    pub fn price_of_bucket(&self, b: usize) -> i64 {
+        self.bucket_prices[b]
+    }
+
+    /// Length of the candidate prefix admitted at `price_tenths`: the
+    /// number of workers bidding at most that price.
+    pub fn prefix_len(&self, price_tenths: i64) -> usize {
+        // First bucket strictly above the price bounds the prefix.
+        let b = self.bucket_prices.partition_point(|&p| p <= price_tenths);
+        self.bucket_offsets[b]
+    }
+
+    /// The candidate pool at `price_tenths`: every worker bidding at most
+    /// that price, in canonical order.
+    #[inline]
+    pub fn admitted_at(&self, price_tenths: i64) -> &[WorkerId] {
+        &self.order[..self.prefix_len(price_tenths)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_price_then_id() {
+        let idx = CandidateIndex::from_tenths(&[150, 120, 150, 100]);
+        assert_eq!(
+            idx.order(),
+            &[WorkerId(3), WorkerId(1), WorkerId(0), WorkerId(2)]
+        );
+        assert_eq!(idx.num_buckets(), 3);
+        assert_eq!(idx.price_of_bucket(0), 100);
+        assert_eq!(idx.bucket(2), &[WorkerId(0), WorkerId(2)]);
+    }
+
+    #[test]
+    fn prefixes_cover_whole_buckets() {
+        let idx = CandidateIndex::from_tenths(&[150, 120, 150, 100]);
+        assert_eq!(idx.prefix_len(99), 0);
+        assert_eq!(idx.prefix_len(100), 1);
+        assert_eq!(idx.prefix_len(120), 2);
+        assert_eq!(idx.prefix_len(149), 2);
+        assert_eq!(idx.prefix_len(150), 4);
+        assert_eq!(idx.prefix_len(1_000), 4);
+        assert_eq!(idx.admitted_at(120), &[WorkerId(3), WorkerId(1)]);
+    }
+
+    #[test]
+    fn empty_index_is_well_formed() {
+        let idx = CandidateIndex::from_tenths(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.num_buckets(), 0);
+        assert_eq!(idx.prefix_len(100), 0);
+        assert!(idx.admitted_at(100).is_empty());
+    }
+
+    #[test]
+    fn all_ties_form_one_bucket() {
+        let idx = CandidateIndex::from_tenths(&[130, 130, 130]);
+        assert_eq!(idx.num_buckets(), 1);
+        assert_eq!(
+            idx.bucket(0),
+            &[WorkerId(0), WorkerId(1), WorkerId(2)],
+            "ties fall back to ascending id"
+        );
+    }
+}

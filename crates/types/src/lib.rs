@@ -49,6 +49,7 @@
 
 mod bid;
 mod bundle;
+mod candidate;
 mod coverage;
 mod digest;
 mod error;
@@ -59,6 +60,7 @@ mod skill;
 
 pub use bid::{Bid, BidProfile, TrueType};
 pub use bundle::Bundle;
+pub use candidate::CandidateIndex;
 pub use coverage::{CoverageView, SparseCoverage};
 pub use digest::{Fnv1a, DIGEST_VERSION};
 pub use error::McsError;

@@ -64,8 +64,12 @@ fn main() -> ExitCode {
             }
         }
         // Feasible instances feed the privacy checks on a stride so the
-        // sweep stays fast; every budget still gets exercised.
-        if shape != Shape::InfeasibleCoverage && i % 10 == 0 {
+        // sweep stays fast; every budget still gets exercised. The
+        // many-workers shape is differential-only: the DP checks
+        // enumerate per-worker neighbour instances, which is quadratic
+        // in a 10⁴⁺ pool.
+        let dp_eligible = shape != Shape::InfeasibleCoverage && shape != Shape::ManyWorkers;
+        if dp_eligible && i % 10 == 0 {
             let epsilon = EPSILONS[(i / 10 % EPSILONS.len() as u64) as usize];
             match exact_dp_check(&instance, epsilon, seed) {
                 Ok(stats) => exact.merge(&stats),
@@ -78,7 +82,7 @@ fn main() -> ExitCode {
                 }
             }
         }
-        if shape != Shape::InfeasibleCoverage && i % 25 == 0 {
+        if dp_eligible && i % 25 == 0 {
             let epsilon = EPSILONS[(i / 25 % EPSILONS.len() as u64) as usize];
             match truthfulness_probe(&instance, epsilon, seed) {
                 Ok(stats) => truth.merge(&stats),

@@ -1,30 +1,35 @@
-//! Differential testing of the five schedule engines against each other
+//! Differential testing of every schedule strategy against the others
 //! and against the exact ILP optimum.
 //!
-//! The engines share an *intended* contract — identical winner sequences
-//! at every grid price, tie-breaking included — but share as little code
-//! as their implementations allow (the naive reference recomputes every
-//! price independently; the incremental engine sweeps ascending price
-//! intervals reusing residual state). This module asserts, per instance:
+//! The strategies share an *intended* contract — identical winner
+//! sequences at every grid price, tie-breaking included — but share as
+//! little code as their implementations allow (the naive reference
+//! recomputes every price independently; the incremental engine sweeps
+//! ascending price intervals reusing residual state; the indexed engine
+//! walks one global rank order with challenger replay). Because the
+//! engines are now enumerable data ([`Strategy::ALL`]) rather than a
+//! hand-maintained list of function names, a strategy added to the core
+//! crate is compared here automatically. This module asserts, per
+//! instance:
 //!
-//! 1. **Engine agreement** — default, serial-lazy, eager, naive, and
-//!    incremental-sweep engines produce equal [`PriceSchedule`]s under
-//!    both selection rules, or all fail with the same error kind.
+//! 1. **Engine agreement** — every [`Strategy`] produces equal
+//!    [`PriceSchedule`]s under both selection rules, or all fail with the
+//!    same error kind. Above [`SCALABLE_ONLY_ABOVE`] workers only
+//!    [`Strategy::SCALABLE`] runs: the eager/naive/dense references are
+//!    quadratic (or dense) in the pool and would dominate the sweep.
 //! 2. **Covering invariants** — every winner set satisfies
 //!    `Σ q_ij ≥ Q'_j` on all tasks, every winner's bid is at or below
 //!    the posted price, and prices ascend along the schedule.
 //! 3. **Approximation ratio** — at the top grid price (where the
 //!    candidate pool is the full worker set) the greedy cardinality is
 //!    within the paper's `2βH_m` factor of the exact ILP optimum, and
-//!    never below it. Skipped above [`RATIO_TASK_LIMIT`] tasks so the
-//!    large-sparse shape never drives the dense simplex/branch-and-bound.
+//!    never below it. Skipped above [`RATIO_TASK_LIMIT`] tasks (or
+//!    [`RATIO_WORKER_LIMIT`] workers) so the scaling shapes never drive
+//!    the dense simplex/branch-and-bound.
 //!
 //! Failures shrink through [`minimize`] before being reported.
 
-use mcs_auction::{
-    build_schedule, build_schedule_eager, build_schedule_incremental, build_schedule_naive,
-    build_schedule_serial, PriceSchedule, SelectionRule,
-};
+use mcs_auction::{PriceSchedule, ScheduleEngine, SelectionRule, Strategy};
 use mcs_ilp::{solve_exhaustive, BnbOptions, CoveringIlp, IlpStatus};
 use mcs_sim::experiments::harmonic;
 use mcs_types::{Bid, Bundle, CoverageView, Instance, McsError, SkillMatrix, TaskId, WorkerId};
@@ -39,6 +44,17 @@ const EXHAUSTIVE_LIMIT: usize = 12;
 /// carries one row per unmet task, so a large-sparse instance would turn
 /// the sanity check into the bottleneck the sparse core exists to avoid.
 const RATIO_TASK_LIMIT: usize = 64;
+/// Worker counts above this skip the ILP ratio check: branch-and-bound
+/// over thousands of binary variables would never close the gap.
+const RATIO_WORKER_LIMIT: usize = 256;
+/// Worker counts above this restrict the agreement check to
+/// [`Strategy::SCALABLE`]: the eager/naive rescans are quadratic in the
+/// pool and the dense path materializes `N × K` cells, so on the
+/// many-workers shape they would be the bottleneck, not the subject.
+const SCALABLE_ONLY_ABOVE: usize = 256;
+/// Worker counts above this skip the one-at-a-time shrinking pass, which
+/// is quadratic in the pool size; the unshrunk instance is reported.
+const MINIMIZE_WORKER_LIMIT: usize = 512;
 /// Slack for floating-point comparisons on coverage and ratios.
 const TOL: f64 = 1e-9;
 
@@ -97,14 +113,21 @@ pub fn check_instance(
 
 /// Returns `(check, detail)` for the first violated invariant, if any.
 fn failure(instance: &Instance) -> Option<(String, String)> {
+    let strategies: &[Strategy] = if instance.num_workers() > SCALABLE_ONLY_ABOVE {
+        &Strategy::SCALABLE
+    } else {
+        &Strategy::ALL
+    };
     for rule in [SelectionRule::MarginalCoverage, SelectionRule::StaticTotal] {
-        let results: Vec<(&str, Result<PriceSchedule, McsError>)> = vec![
-            ("default", build_schedule(instance, rule)),
-            ("serial", build_schedule_serial(instance, rule)),
-            ("eager", build_schedule_eager(instance, rule)),
-            ("naive", build_schedule_naive(instance, rule)),
-            ("incremental", build_schedule_incremental(instance, rule)),
-        ];
+        let results: Vec<(&str, Result<PriceSchedule, McsError>)> = strategies
+            .iter()
+            .map(|&s| {
+                (
+                    s.name(),
+                    ScheduleEngine::new(rule).strategy(s).build(instance),
+                )
+            })
+            .collect();
         if let Some(f) = engine_disagreement(rule, &results) {
             return Some(f);
         }
@@ -219,7 +242,10 @@ fn ilp_ratio_violation(instance: &Instance, schedule: &PriceSchedule) -> Option<
 /// price, or `None` when the ratio check does not apply (no schedule
 /// entries, or the ILP could not prove optimality).
 fn ratio_data(instance: &Instance, schedule: &PriceSchedule) -> Option<(usize, usize, f64)> {
-    if schedule.is_empty() || instance.num_tasks() > RATIO_TASK_LIMIT {
+    if schedule.is_empty()
+        || instance.num_tasks() > RATIO_TASK_LIMIT
+        || instance.num_workers() > RATIO_WORKER_LIMIT
+    {
         return None;
     }
     // The generator's grid tops out above cmax, so at the last schedule
@@ -265,7 +291,7 @@ fn ratio_data(instance: &Instance, schedule: &PriceSchedule) -> Option<(usize, u
 /// Statistics for an instance that passed all checks.
 fn stats_for(instance: &Instance) -> DiffStats {
     let mut stats = DiffStats::default();
-    match build_schedule(instance, SelectionRule::MarginalCoverage) {
+    match ScheduleEngine::new(SelectionRule::MarginalCoverage).build(instance) {
         Err(_) => stats.agreed_err = 1,
         Ok(schedule) => {
             stats.agreed_ok = 1;
@@ -311,6 +337,9 @@ fn summarize(result: &Result<PriceSchedule, McsError>) -> String {
 /// the named check keeps failing, until no single removal preserves the
 /// failure.
 pub fn minimize(mut instance: Instance, check: &str) -> Instance {
+    if instance.num_workers() > MINIMIZE_WORKER_LIMIT {
+        return instance;
+    }
     let still_fails = |inst: &Instance| failure(inst).map(|(c, _)| c == check).unwrap_or(false);
     loop {
         let mut shrunk = false;
@@ -458,12 +487,27 @@ mod tests {
     #[test]
     fn large_sparse_smoke_passes_without_ilp() {
         // Debug-mode smoke: sized instances keep the per-engine cost down
-        // while still exercising the five-engine agreement (including the
-        // incremental sweep) on CSR-heavy inputs. The task count sits
-        // above RATIO_TASK_LIMIT so the ILP ratio check must skip.
+        // while still exercising every strategy's agreement (including
+        // the incremental sweep and the indexed engine) on CSR-heavy
+        // inputs. The task count sits above RATIO_TASK_LIMIT so the ILP
+        // ratio check must skip.
         for seed in 0..2u64 {
             let inst = crate::gen::large_sparse_sized(800, seed);
             let stats = check_instance(Shape::LargeSparse, seed, &inst)
+                .unwrap_or_else(|report| panic!("{report}"));
+            assert_eq!(stats.agreed_ok, 1);
+            assert_eq!(stats.ilp_checked, 0, "ratio check should be gated off");
+        }
+    }
+
+    #[test]
+    fn many_workers_smoke_compares_scalable_strategies() {
+        // The pool sits above SCALABLE_ONLY_ABOVE, so only the scalable
+        // strategies (lazy, incremental, indexed, auto) are compared,
+        // and above RATIO_WORKER_LIMIT so the ILP is gated off.
+        for seed in 0..2u64 {
+            let inst = crate::gen::many_workers_sized(2_000, seed);
+            let stats = check_instance(Shape::ManyWorkers, seed, &inst)
                 .unwrap_or_else(|report| panic!("{report}"));
             assert_eq!(stats.agreed_ok, 1);
             assert_eq!(stats.ilp_checked, 0, "ratio check should be gated off");

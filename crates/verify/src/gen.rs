@@ -42,23 +42,31 @@ pub enum Shape {
     /// dense path would thrash (`nnz ≪ N·K`). Every task is assigned to
     /// 2–3 workers, keeping the instance feasible by construction.
     LargeSparse,
+    /// Scaling regime on the *worker* axis: tens of thousands of workers
+    /// over `N / 100` tasks, bundles of 2–4 tasks each. The candidate
+    /// pool at every price dwarfs the winner set, which is exactly the
+    /// regime the indexed engine's rank order and challenger replay are
+    /// built for.
+    ManyWorkers,
 }
 
 impl Shape {
     /// Every shape, in a fixed order (sweeps cycle through this).
-    pub const ALL: [Shape; 6] = [
+    pub const ALL: [Shape; 7] = [
         Shape::Uniform,
         Shape::SkewedSkills,
         Shape::DegenerateBundles,
         Shape::TiedPrices,
         Shape::InfeasibleCoverage,
         Shape::LargeSparse,
+        Shape::ManyWorkers,
     ];
 
-    /// The small structural shapes (everything but [`Shape::LargeSparse`]):
-    /// debug-mode unit tests iterate these densely and cover the scaling
-    /// shape with dedicated few-seed smoke tests, because a full
-    /// large-sparse instance is ~1000× the work of a small one.
+    /// The small structural shapes (everything but the two scaling shapes
+    /// [`Shape::LargeSparse`] and [`Shape::ManyWorkers`]): debug-mode unit
+    /// tests iterate these densely and cover the scaling shapes with
+    /// dedicated few-seed smoke tests, because a full scaling instance is
+    /// ~1000× the work of a small one.
     pub const SMALL: [Shape; 5] = [
         Shape::Uniform,
         Shape::SkewedSkills,
@@ -77,6 +85,7 @@ impl Shape {
             Shape::TiedPrices => 0x5348_0003,
             Shape::InfeasibleCoverage => 0x5348_0004,
             Shape::LargeSparse => 0x5348_0005,
+            Shape::ManyWorkers => 0x5348_0006,
         }
     }
 
@@ -89,6 +98,7 @@ impl Shape {
             Shape::TiedPrices => "tied-prices",
             Shape::InfeasibleCoverage => "infeasible-coverage",
             Shape::LargeSparse => "large-sparse",
+            Shape::ManyWorkers => "many-workers",
         }
     }
 
@@ -103,14 +113,19 @@ impl Shape {
 ///
 /// Instances of the small shapes are deliberately tiny (4–10 workers,
 /// 1–4 tasks) so the exact ILP stays cheap and counterexamples are
-/// readable; [`Shape::LargeSparse`] instead draws 1 000–10 000 tasks to
-/// exercise the CSR coverage path at scale (the ILP ratio check skips
-/// these — see the differential module).
+/// readable; [`Shape::LargeSparse`] instead draws 1 000–10 000 tasks and
+/// [`Shape::ManyWorkers`] 10 000–50 000 workers to exercise the CSR
+/// coverage path at scale on each axis (the ILP ratio check skips both —
+/// see the differential module).
 pub fn generate(shape: Shape, seed: u64) -> Instance {
     let mut rng = rng::derived(seed, shape.stream());
     if shape == Shape::LargeSparse {
         let num_tasks = rng.gen_range(1_000usize..=10_000);
         return large_sparse_with(num_tasks, &mut rng);
+    }
+    if shape == Shape::ManyWorkers {
+        let num_workers = rng.gen_range(10_000usize..=50_000);
+        return many_workers_with(num_workers, &mut rng);
     }
     let num_workers = rng.gen_range(4usize..=10);
     let num_tasks = rng.gen_range(1usize..=4);
@@ -233,6 +248,75 @@ fn large_sparse_with(num_tasks: usize, rng: &mut ChaCha8Rng) -> Instance {
         .map(|tasks| {
             let cost = Price::from_tenths(rng.gen_range(COST_MIN_TENTHS..=COST_MAX_TENTHS));
             Bid::new(Bundle::new(tasks), cost)
+        })
+        .collect();
+
+    Instance::builder(num_tasks)
+        .bids(bids)
+        .skills(skills)
+        .error_bounds(deltas)
+        .price_grid_f64(10.0, 22.0, 0.5)
+        .cost_range(
+            Price::from_tenths(COST_MIN_TENTHS),
+            Price::from_tenths(COST_MAX_TENTHS),
+        )
+        .build()
+        .expect("generated instance is valid by construction")
+}
+
+/// A [`Shape::ManyWorkers`] instance with an explicit worker count,
+/// deterministic in `(num_workers, seed)`.
+///
+/// Shared with the `schedule_scaling` bench (which sweeps `num_workers`
+/// up to 10⁶) and with debug-mode smoke tests (which pick a small pool
+/// to stay fast). The stream is salted so sized instances never collide
+/// with the sweep's own `generate` stream.
+pub fn many_workers_sized(num_workers: usize, seed: u64) -> Instance {
+    let mut rng = rng::derived(seed, Shape::ManyWorkers.stream() ^ 0x00B7);
+    many_workers_with(num_workers, &mut rng)
+}
+
+/// Builds the many-workers instance body: `N / 100` tasks (at least 50),
+/// each worker anchored to task `w mod K` plus 1–3 random extras. Every
+/// task therefore sits in ~`N / K ≈ 100` bundles, so requirements of
+/// only a couple of coverage units leave the winner set a sliver of the
+/// candidate pool — the worker-axis scaling regime.
+fn many_workers_with(num_workers: usize, rng: &mut ChaCha8Rng) -> Instance {
+    use mcs_types::WorkerId;
+
+    let num_tasks = (num_workers / 100).max(50);
+    let mut attainable = vec![0.0f64; num_tasks];
+    let mut entries: Vec<(WorkerId, TaskId, f64)> = Vec::with_capacity(num_workers * 3);
+    let mut bids: Vec<Bid> = Vec::with_capacity(num_workers);
+    for w in 0..num_workers {
+        let mut tasks = vec![TaskId((w % num_tasks) as u32)];
+        for _ in 0..rng.gen_range(1usize..=3) {
+            let t = TaskId(rng.gen_range(0..num_tasks as u32));
+            if !tasks.contains(&t) {
+                tasks.push(t);
+            }
+        }
+        for &t in &tasks {
+            let theta = rng.gen_range(0.55..0.95);
+            let q = 2.0 * theta - 1.0;
+            attainable[t.0 as usize] += q * q;
+            entries.push((WorkerId(w as u32), t, theta));
+        }
+        let cost = Price::from_tenths(rng.gen_range(COST_MIN_TENTHS..=COST_MAX_TENTHS));
+        bids.push(Bid::new(Bundle::new(tasks), cost));
+    }
+    let skills = SkillMatrix::from_sparse(num_workers, num_tasks, entries)
+        .expect("sparse entries generated in range");
+
+    // Requirements are a couple of coverage units, far below the huge
+    // attainable totals, so winner sets stay small while the candidate
+    // pool grows with N. The 0.8×attainable cap keeps tiny sized
+    // instances feasible by construction.
+    let deltas: Vec<f64> = attainable
+        .iter()
+        .map(|&a| {
+            let requirement = rng.gen_range(0.8f64..1.6).min(0.8 * a).max(1e-4);
+            (-requirement / 2.0).exp().clamp(1e-12, 1.0 - 1e-12)
         })
         .collect();
 
@@ -407,6 +491,32 @@ mod tests {
         assert_eq!(a.num_tasks(), 1_500);
         assert_ne!(a.digest(), large_sparse_sized(1_500, 8).digest());
         assert_ne!(a.digest(), large_sparse_sized(2_000, 7).digest());
+    }
+
+    #[test]
+    fn many_workers_is_feasible_and_worker_heavy() {
+        use mcs_types::CoverageView;
+        let inst = generate(Shape::ManyWorkers, 0);
+        assert!(inst.num_workers() >= 10_000);
+        assert_eq!(inst.num_tasks(), (inst.num_workers() / 100).max(50));
+        let cover = inst.sparse_coverage();
+        cover
+            .check_feasible()
+            .unwrap_or_else(|e| panic!("should be feasible: {e}"));
+        // Bundles are a handful of tasks, nowhere near the task count.
+        let dense_cells = cover.num_workers() * cover.num_tasks();
+        assert!(cover.nnz() * 4 < dense_cells);
+    }
+
+    #[test]
+    fn sized_many_workers_is_deterministic_and_obeys_its_size() {
+        let a = many_workers_sized(2_000, 7);
+        let b = many_workers_sized(2_000, 7);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.num_workers(), 2_000);
+        assert_eq!(a.num_tasks(), 50);
+        assert_ne!(a.digest(), many_workers_sized(2_000, 8).digest());
+        assert_ne!(a.digest(), many_workers_sized(3_000, 7).digest());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use dp_mcs::auction::{build_schedule, privacy, CriticalPaymentAuction, SelectionRule};
+use dp_mcs::auction::{privacy, CriticalPaymentAuction, ScheduleEngine, SelectionRule};
 use dp_mcs::num::rng;
 use dp_mcs::sim::neighbour::{random_worker, resample_neighbour};
 use dp_mcs::{DpHsrcAuction, ScheduledMechanism, Setting};
@@ -25,7 +25,8 @@ proptest! {
     fn schedule_invariants(seed in 0u64..500, workers in 8usize..28) {
         let s = small_setting(workers);
         let g = s.generate(seed);
-        let schedule = build_schedule(&g.instance, SelectionRule::MarginalCoverage)
+        let schedule = ScheduleEngine::new(SelectionRule::MarginalCoverage)
+            .build(&g.instance)
             .expect("generated instances are coverable");
         let cover = g.instance.coverage_problem();
         prop_assert!(!schedule.is_empty());

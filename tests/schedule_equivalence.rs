@@ -1,26 +1,49 @@
-//! Property-based equivalence of the lazy-greedy (CELF) schedule engine
-//! against the naive full-rescan reference.
+//! Property-based equivalence of every schedule strategy against the
+//! naive full-rescan reference.
 //!
-//! The lazy engine caches stale marginal-coverage upper bounds in a heap
-//! and only re-evaluates the top candidate; submodularity makes that safe,
-//! but the *exact* winner sequence (including float tie-breaking) must
-//! still match the eager reference winner-for-winner — the privacy and
-//! payment analyses quantify over the schedule, so any divergence is a
-//! correctness bug, not a performance trade-off.
+//! The fast engines cache stale marginal-coverage upper bounds (the CELF
+//! heap, the indexed engine's global rank order) and reuse residual state
+//! across price intervals; submodularity makes that safe, but the *exact*
+//! winner sequence (including float tie-breaking) must still match the
+//! reference winner-for-winner — the privacy and payment analyses
+//! quantify over the schedule, so any divergence is a correctness bug,
+//! not a performance trade-off. Coarsening is the one knob that is
+//! *allowed* to change the schedule, and its proptest pins exactly how
+//! far: reused winner sets come from cheaper evaluated prices, so the
+//! minimum total payment never drops below the exact schedule's.
 
 use proptest::prelude::*;
 
-use dp_mcs::auction::{
-    build_schedule, build_schedule_eager, build_schedule_incremental, build_schedule_naive,
-    build_schedule_serial, SelectionRule,
-};
 use dp_mcs::types::{CoverageView, SparseCoverage, DEFAULT_THETA};
 use dp_mcs::{
-    Bid, DpHsrcAuction, Instance, ScheduledMechanism, Setting, SkillMatrix, TaskId, WorkerId,
+    Bid, Coarsening, DpHsrcAuction, Instance, PriceSchedule, ScheduleEngine, ScheduledMechanism,
+    SelectionRule, Setting, SkillMatrix, Strategy, TaskId, WorkerId,
 };
+use mcs_verify::gen::{self, Shape};
 
 fn small_setting(workers: usize) -> Setting {
     Setting::one(workers.max(8) * 4).scaled_down(4)
+}
+
+/// Builds with one strategy, coarsening off.
+fn build(instance: &Instance, rule: SelectionRule, strategy: Strategy) -> PriceSchedule {
+    ScheduleEngine::new(rule)
+        .strategy(strategy)
+        .build(instance)
+        .expect("generated instances are coverable")
+}
+
+/// `(price, winners)` pairs must match even when interval compression
+/// differs (the naive reference compresses after the fact).
+fn assert_observationally_equal(a: &PriceSchedule, b: &PriceSchedule, context: &str) {
+    assert_eq!(a.prices(), b.prices(), "{context}: price divergence");
+    for i in 0..a.len() {
+        assert_eq!(
+            a.winners(i),
+            b.winners(i),
+            "{context}: winner divergence at price index {i}"
+        );
+    }
 }
 
 /// Rebuilds `instance` twice with logically identical skills: once from
@@ -77,26 +100,20 @@ proptest! {
             SelectionRule::StaticTotal
         };
         let g = small_setting(workers).generate(seed);
-        let fast = build_schedule(&g.instance, rule)
-            .expect("generated instances are coverable");
-        let naive = build_schedule_naive(&g.instance, rule)
-            .expect("generated instances are coverable");
-        prop_assert_eq!(fast.prices(), naive.prices());
-        for i in 0..fast.len() {
-            prop_assert_eq!(
-                fast.winners(i),
-                naive.winners(i),
-                "winner divergence at price index {}",
-                i
-            );
-        }
+        let fast = build(&g.instance, rule, Strategy::Auto);
+        let naive = build(&g.instance, rule, Strategy::Naive);
+        assert_observationally_equal(&fast, &naive, "default vs naive");
     }
 
-    /// The serial lazy engine and the eager full-rescan engine agree with
-    /// the default engine winner-for-winner, so the `parallel` feature and
-    /// the CELF cache are both behaviour-preserving.
+    /// Every strategy agrees with the default engine winner-for-winner,
+    /// so the `parallel` feature, the CELF cache, the incremental sweep's
+    /// residual reuse, and the indexed engine's rank order are all
+    /// behaviour-preserving. The interval-based strategies share the
+    /// assembly layer, so they must match as full structs (identical
+    /// interval compression); the naive reference compresses after the
+    /// fact and is held to observational equality.
     #[test]
-    fn all_engines_agree(
+    fn all_strategies_agree(
         seed in 0u64..1000,
         workers in 8usize..32,
         marginal in 0u8..2,
@@ -107,16 +124,105 @@ proptest! {
             SelectionRule::StaticTotal
         };
         let g = small_setting(workers).generate(seed);
-        let default = build_schedule(&g.instance, rule).expect("coverable");
-        let serial = build_schedule_serial(&g.instance, rule).expect("coverable");
-        let eager = build_schedule_eager(&g.instance, rule).expect("coverable");
-        prop_assert_eq!(&default, &serial);
-        prop_assert_eq!(&default, &eager);
-        // The incremental price sweep reuses residual state across
-        // adjacent intervals; it may compress intervals identically, so
-        // full struct equality must hold here too.
-        let incremental = build_schedule_incremental(&g.instance, rule).expect("coverable");
-        prop_assert_eq!(&default, &incremental);
+        let default = build(&g.instance, rule, Strategy::Auto);
+        for strategy in Strategy::ALL {
+            let other = build(&g.instance, rule, strategy);
+            if strategy == Strategy::Naive {
+                assert_observationally_equal(&default, &other, strategy.name());
+            } else {
+                prop_assert_eq!(&default, &other, "strategy {}", strategy.name());
+            }
+        }
+    }
+
+    /// The indexed engine with coarsening off is byte-identical to the
+    /// dense reference on *every* generator shape — the adversarial
+    /// structural regimes (ties, degenerate bundles, skewed skills,
+    /// infeasibility) as well as both scaling shapes at reduced size.
+    #[test]
+    fn indexed_matches_dense_reference_across_shapes(
+        seed in 0u64..200,
+        shape_idx in 0usize..Shape::ALL.len(),
+        marginal in 0u8..2,
+    ) {
+        let rule = if marginal == 1 {
+            SelectionRule::MarginalCoverage
+        } else {
+            SelectionRule::StaticTotal
+        };
+        let shape = Shape::ALL[shape_idx];
+        // The scaling shapes are sized down so the dense reference stays
+        // cheap; the small shapes run at their native size.
+        let instance = match shape {
+            Shape::LargeSparse => gen::large_sparse_sized(200, seed),
+            Shape::ManyWorkers => gen::many_workers_sized(500, seed),
+            _ => gen::generate(shape, seed),
+        };
+        let indexed = ScheduleEngine::new(rule)
+            .strategy(Strategy::Indexed)
+            .build(&instance);
+        let dense = ScheduleEngine::new(rule)
+            .strategy(Strategy::Dense)
+            .build(&instance);
+        match (indexed, dense) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(&a, &b, "shape {}", shape.name()),
+            (Err(a), Err(b)) => prop_assert_eq!(
+                std::mem::discriminant(&a),
+                std::mem::discriminant(&b),
+                "shape {}: {a} vs {b}",
+                shape.name()
+            ),
+            (a, b) => prop_assert!(
+                false,
+                "shape {}: indexed {:?} but dense {:?}",
+                shape.name(),
+                a.map(|s| s.len()),
+                b.map(|s| s.len())
+            ),
+        }
+    }
+
+    /// Price-grid coarsening keeps the documented guarantees: the price
+    /// axis is unchanged, every winner set is feasible and price-feasible,
+    /// each coarse set is the exact winner set of some evaluated price at
+    /// or below its own, and — the headline bound — the minimum total
+    /// payment over the schedule never drops below the exact schedule's
+    /// (the exponential mechanism's mode never looks cheaper than it is).
+    #[test]
+    fn coarsening_respects_the_payment_bound(
+        seed in 0u64..500,
+        workers in 8usize..32,
+        stride in 2usize..10,
+        marginal in 0u8..2,
+    ) {
+        let rule = if marginal == 1 {
+            SelectionRule::MarginalCoverage
+        } else {
+            SelectionRule::StaticTotal
+        };
+        let g = small_setting(workers).generate(seed);
+        let exact = build(&g.instance, rule, Strategy::Indexed);
+        let coarse = ScheduleEngine::new(rule)
+            .strategy(Strategy::Indexed)
+            .coarsening(Coarsening::Stride(stride))
+            .build(&g.instance)
+            .expect("coverable");
+        prop_assert_eq!(exact.prices(), coarse.prices());
+        let cover = g.instance.sparse_coverage();
+        for i in 0..coarse.len() {
+            let winners = coarse.winners(i);
+            prop_assert!(cover.is_satisfied_by(winners.iter().copied()));
+            let price = coarse.price(i);
+            for &w in winners {
+                prop_assert!(g.instance.bids().bid(w).price() <= price);
+            }
+            prop_assert!(
+                (0..=i).any(|j| exact.winners(j) == winners),
+                "coarse set at index {} is not an exact set from below",
+                i
+            );
+        }
+        prop_assert!(coarse.min_total_payment() >= exact.min_total_payment());
     }
 
     /// An instance whose skills were built densely and one whose skills

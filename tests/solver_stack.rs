@@ -2,7 +2,7 @@
 //! layer: branch-and-bound vs exhaustive search on real TPM instances, and
 //! the compressed schedule vs the naive per-price reference.
 
-use dp_mcs::auction::{build_schedule, build_schedule_naive, SelectionRule};
+use dp_mcs::auction::{ScheduleEngine, SelectionRule, Strategy};
 use dp_mcs::ilp::{solve_exhaustive, BnbOptions, CoveringIlp};
 use dp_mcs::{Setting, TaskId, WorkerId};
 
@@ -56,8 +56,11 @@ fn compressed_schedule_equals_naive_reference_on_generated_instances() {
     for seed in [11u64, 12] {
         let g = s.generate(seed);
         for rule in [SelectionRule::MarginalCoverage, SelectionRule::StaticTotal] {
-            let fast = build_schedule(&g.instance, rule).unwrap();
-            let naive = build_schedule_naive(&g.instance, rule).unwrap();
+            let fast = ScheduleEngine::new(rule).build(&g.instance).unwrap();
+            let naive = ScheduleEngine::new(rule)
+                .strategy(Strategy::Naive)
+                .build(&g.instance)
+                .unwrap();
             assert_eq!(fast.prices(), naive.prices(), "seed {seed} {rule:?}");
             for i in 0..fast.len() {
                 assert_eq!(
@@ -78,7 +81,9 @@ fn greedy_winner_sets_never_smaller_than_optimal() {
     let mut s = Setting::one(80).scaled_down(6);
     s.num_workers = 16;
     let g = s.generate(5);
-    let schedule = build_schedule(&g.instance, SelectionRule::MarginalCoverage).unwrap();
+    let schedule = ScheduleEngine::new(SelectionRule::MarginalCoverage)
+        .build(&g.instance)
+        .unwrap();
     let opt = OptimalMechanism::new().solve(&g.instance).unwrap();
     // The optimal mechanism reports per-interval cardinalities; each
     // corresponds to the first grid price of the interval.

@@ -2,7 +2,7 @@
 //! single-minded mechanism on generated workloads.
 
 use dp_mcs::auction::xor::{XorBid, XorDpHsrcAuction, XorInstance};
-use dp_mcs::auction::{build_schedule, SelectionRule};
+use dp_mcs::auction::{ScheduleEngine, SelectionRule};
 use dp_mcs::num::rng;
 use dp_mcs::Mechanism;
 use dp_mcs::{Bid, Bundle, Price, Setting, TaskId, WorkerId};
@@ -45,7 +45,9 @@ fn with_package_options_grid(instance: &dp_mcs::Instance, grid: dp_mcs::PriceGri
 #[test]
 fn single_option_xor_matches_single_minded_winners() {
     let g = Setting::one(80).scaled_down(4).generate(71);
-    let schedule = build_schedule(&g.instance, SelectionRule::MarginalCoverage).unwrap();
+    let schedule = ScheduleEngine::new(SelectionRule::MarginalCoverage)
+        .build(&g.instance)
+        .unwrap();
     let xor = XorInstance::new(
         g.instance.num_tasks(),
         g.instance
@@ -83,7 +85,9 @@ fn package_options_keep_single_minded_prices_feasible() {
     // grid to the single-minded support's cheapest price and the XOR
     // auction must still clear.
     let g = Setting::one(80).scaled_down(4).generate(72);
-    let schedule = build_schedule(&g.instance, SelectionRule::MarginalCoverage).unwrap();
+    let schedule = ScheduleEngine::new(SelectionRule::MarginalCoverage)
+        .build(&g.instance)
+        .unwrap();
     let first = *schedule.prices().first().unwrap();
     let narrow = dp_mcs::PriceGrid::new(first, first, Price::from_f64(0.1)).unwrap();
     let xor = with_package_options_grid(&g.instance, narrow);
