@@ -55,15 +55,29 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod cache;
+mod envelope;
+mod ledger;
 mod metrics;
 mod server;
 mod tcp;
+mod wal;
 mod wire;
 
 pub use cache::{CacheKey, PmfCache};
+pub use envelope::{decode_public_key, signing_bytes, BidEnvelope, EnvelopeError};
+pub use ledger::{
+    recover_from_bytes, system_now_ms, AbortReason, AdmittedBid, CommitReceipt, DurabilityConfig,
+    DurableLedger, FsyncPolicy, Ledger, PaymentRecord, RecoveryReport, RosterEntry, RoundError,
+    RoundSpec, RoundState, RoundStatusView, WalEvent,
+};
 pub use metrics::{MetricsRegistry, ENDPOINTS};
 pub use server::{Client, Service, ServiceConfig};
-pub use tcp::{TcpClient, TcpServer};
+pub use tcp::{RetryPolicy, TcpClient, TcpServer};
+pub use wal::{
+    crc32, encode_frame, read_snapshot, scan_bytes, write_snapshot, CrashPlan, Frame, TailDefect,
+    WalError, WalOpenMode, WalScan, WalWriter, FRAME_HEADER_LEN, MAX_FRAME_LEN, SNAPSHOT_FILE,
+    WAL_FILE, WAL_HEADER_LEN,
+};
 pub use wire::{
     decode_request, decode_response, EndpointMetrics, HealthReport, LatencySummary, MetricsReport,
     PmfSummary, Request, Response, WireError,

@@ -13,13 +13,19 @@ use mcs_num::Histogram;
 
 use crate::wire::{EndpointMetrics, LatencySummary, MetricsReport};
 
-/// The fixed endpoint set, in reporting order.
-pub const ENDPOINTS: [&str; 5] = [
+/// The fixed endpoint set, in reporting order. New endpoints append;
+/// existing indices stay stable.
+pub const ENDPOINTS: [&str; 10] = [
     "run_auction",
     "query_pmf",
     "run_resilient_round",
     "health",
     "metrics",
+    "open_round",
+    "submit_bid",
+    "commit_round",
+    "abort_round",
+    "round_status",
 ];
 
 const BUCKETS: usize = 96;
@@ -76,6 +82,7 @@ impl EndpointStats {
 pub struct MetricsRegistry {
     stats: Mutex<Vec<EndpointStats>>,
     rejected_busy: Mutex<u64>,
+    envelope_rejections: Mutex<u64>,
 }
 
 impl Default for MetricsRegistry {
@@ -90,6 +97,7 @@ impl MetricsRegistry {
         MetricsRegistry {
             stats: Mutex::new((0..ENDPOINTS.len()).map(|_| EndpointStats::new()).collect()),
             rejected_busy: Mutex::new(0),
+            envelope_rejections: Mutex::new(0),
         }
     }
 
@@ -124,11 +132,33 @@ impl MetricsRegistry {
         *self.rejected_busy.lock().expect("metrics lock poisoned") += 1;
     }
 
+    /// Records one bid envelope refused at admission (forged, replayed,
+    /// expired, unknown worker, …).
+    pub fn record_envelope_rejection(&self) {
+        *self
+            .envelope_rejections
+            .lock()
+            .expect("metrics lock poisoned") += 1;
+    }
+
     /// Snapshots every endpoint into a wire-ready report.
     ///
     /// `cache_hits` / `cache_misses` come from the PMF cache, which keeps
-    /// its own counters.
+    /// its own counters; `wal_frames` / `wal_fsyncs` from the durable
+    /// ledger (0 when durability is disabled).
     pub fn report(&self, cache_hits: u64, cache_misses: u64) -> MetricsReport {
+        self.report_with_wal(cache_hits, cache_misses, 0, 0)
+    }
+
+    /// [`MetricsRegistry::report`] with the durable ledger's WAL
+    /// counters filled in.
+    pub fn report_with_wal(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        wal_frames: u64,
+        wal_fsyncs: u64,
+    ) -> MetricsReport {
         let stats = self.stats.lock().expect("metrics lock poisoned");
         MetricsReport {
             endpoints: ENDPOINTS
@@ -145,6 +175,12 @@ impl MetricsRegistry {
             cache_hits,
             cache_misses,
             rejected_busy: *self.rejected_busy.lock().expect("metrics lock poisoned"),
+            wal_frames,
+            wal_fsyncs,
+            envelope_rejections: *self
+                .envelope_rejections
+                .lock()
+                .expect("metrics lock poisoned"),
         }
     }
 }

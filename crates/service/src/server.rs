@@ -35,7 +35,9 @@ use mcs_sim::platform::run_round_resilient;
 use mcs_types::McsError;
 
 use crate::cache::{CacheKey, PmfCache};
+use crate::ledger::{system_now_ms, DurabilityConfig, DurableLedger, RoundError};
 use crate::metrics::MetricsRegistry;
+use crate::wal::WalError;
 use crate::wire::{HealthReport, PmfSummary, Request, Response};
 
 /// Tuning knobs of a [`Service`].
@@ -60,6 +62,11 @@ pub struct ServiceConfig {
     /// deployments facing very large worker pools set
     /// [`Strategy::Indexed`] here.
     pub strategy: Strategy,
+    /// Durable round state. `Some` opens (and recovers) a write-ahead
+    /// log in the given directory and enables the round-lifecycle
+    /// endpoints; `None` (the default) keeps the service stateless and
+    /// answers those endpoints with [`Response::Error`].
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +79,7 @@ impl Default for ServiceConfig {
             cache_capacity: 32,
             retry_after_hint_ms: 10,
             strategy: Strategy::Auto,
+            durability: None,
         }
     }
 }
@@ -87,6 +95,10 @@ struct Shared {
     metrics: MetricsRegistry,
     config: ServiceConfig,
     draining: AtomicBool,
+    /// Durable round state, present when [`ServiceConfig::durability`]
+    /// is set. The mutex serialises the WAL append → fsync → apply
+    /// sequence so frames hit the log in LSN order.
+    durable: Option<Mutex<DurableLedger>>,
 }
 
 /// An in-process handle for talking to a running [`Service`].
@@ -159,13 +171,34 @@ pub struct Service {
 
 impl Service {
     /// Starts the dispatcher and worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ServiceConfig::durability`] is set and opening or
+    /// recovering the write-ahead log fails; use [`Service::try_start`]
+    /// to handle that as a typed error.
     pub fn start(config: ServiceConfig) -> Self {
+        Self::try_start(config).expect("open durable round log")
+    }
+
+    /// [`Service::start`], surfacing WAL open/recovery failures.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError`] if [`ServiceConfig::durability`] is set and the log
+    /// directory cannot be opened, read, or recovered.
+    pub fn try_start(config: ServiceConfig) -> Result<Self, WalError> {
+        let durable = match &config.durability {
+            Some(durability) => Some(Mutex::new(DurableLedger::open(durability)?)),
+            None => None,
+        };
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             cache: PmfCache::new(config.cache_capacity),
             metrics: MetricsRegistry::new(),
             config: config.clone(),
             draining: AtomicBool::new(false),
+            durable,
         });
         let gate = Arc::new(Mutex::new(()));
         let (accept_tx, accept_rx) = sync_channel::<Job>(config.queue_depth.max(1));
@@ -191,13 +224,24 @@ impl Service {
                 .expect("spawn dispatcher thread")
         };
 
-        Service {
+        Ok(Service {
             shared,
             gate,
             accept_tx: Some(accept_tx),
             dispatcher: Some(dispatcher),
             workers: worker_handles,
-        }
+        })
+    }
+
+    /// What recovery found while opening the durable log, if durability
+    /// is enabled.
+    pub fn recovery(&self) -> Option<crate::ledger::RecoveryReport> {
+        self.shared.durable.as_ref().map(|d| {
+            d.lock()
+                .expect("durable ledger poisoned")
+                .recovery()
+                .clone()
+        })
     }
 
     /// A new in-process client handle.
@@ -364,6 +408,63 @@ fn error_response(err: &McsError) -> Response {
     }
 }
 
+/// Maps a durable-round refusal to its wire answer, counting envelope
+/// rejections (forged, replayed, expired, …) in the metrics.
+fn rejection(shared: &Shared, err: &RoundError) -> Response {
+    if matches!(err, RoundError::Envelope(_)) {
+        shared.metrics.record_envelope_rejection();
+    }
+    Response::Rejected {
+        code: err.code().to_string(),
+        detail: err.to_string(),
+    }
+}
+
+/// Answers one durable-round request, or [`Response::Error`] when the
+/// service was started without a durability directory.
+fn answer_durable(shared: &Shared, request: &Request) -> Response {
+    let Some(durable) = shared.durable.as_ref() else {
+        return Response::Error {
+            message: "durability is not enabled on this service".to_string(),
+        };
+    };
+    let mut ledger = durable.lock().expect("durable ledger poisoned");
+    match request {
+        Request::OpenRound { spec } => match ledger.open_round(spec.clone()) {
+            Ok(lsn) => Response::Opened {
+                round_id: spec.round_id,
+                lsn,
+            },
+            Err(err) => rejection(shared, &err),
+        },
+        Request::SubmitBid { envelope } => match ledger.submit_bid(envelope, system_now_ms()) {
+            Ok(lsn) => Response::BidAccepted {
+                round_id: envelope.round_id,
+                lsn,
+            },
+            Err(err) => rejection(shared, &err),
+        },
+        Request::CommitRound { round_id, seed } => match ledger.commit_round(*round_id, *seed) {
+            Ok(receipt) => Response::Committed(Box::new(receipt)),
+            Err(err) => rejection(shared, &err),
+        },
+        Request::AbortRound { round_id } => match ledger.abort_round(*round_id) {
+            Ok(lsn) => Response::Aborted {
+                round_id: *round_id,
+                lsn,
+            },
+            Err(err) => rejection(shared, &err),
+        },
+        Request::RoundStatus { round_id } => match ledger.round_status(*round_id) {
+            Some(view) => Response::RoundStatus(view),
+            None => rejection(shared, &RoundError::UnknownRound(*round_id)),
+        },
+        _ => Response::Error {
+            message: "internal: mis-routed request".to_string(),
+        },
+    }
+}
+
 fn answer_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     let Some(first) = batch.first() else {
         return;
@@ -427,18 +528,51 @@ fn answer_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
                     }
                 }
             },
-            Request::Health => Response::Health(HealthReport {
-                workers: shared.config.workers.max(1),
-                queue_capacity: shared.config.queue_depth.max(1),
-                cache_entries: shared.cache.len(),
-                cache_capacity: shared.cache.capacity(),
-                draining: shared.draining.load(Ordering::SeqCst),
-            }),
-            Request::Metrics => Response::Metrics(
-                shared
-                    .metrics
-                    .report(shared.cache.hits(), shared.cache.misses()),
-            ),
+            Request::Health => {
+                let (recovered_rounds, last_synced_lsn, wal_size_bytes) = shared
+                    .durable
+                    .as_ref()
+                    .map(|d| {
+                        let ledger = d.lock().expect("durable ledger poisoned");
+                        (
+                            ledger.recovery().recovered_rounds,
+                            ledger.synced_lsn(),
+                            ledger.wal_size_bytes(),
+                        )
+                    })
+                    .unwrap_or((0, 0, 0));
+                Response::Health(HealthReport {
+                    workers: shared.config.workers.max(1),
+                    queue_capacity: shared.config.queue_depth.max(1),
+                    cache_entries: shared.cache.len(),
+                    cache_capacity: shared.cache.capacity(),
+                    draining: shared.draining.load(Ordering::SeqCst),
+                    recovered_rounds,
+                    last_synced_lsn,
+                    wal_size_bytes,
+                })
+            }
+            Request::Metrics => {
+                let (wal_frames, wal_fsyncs) = shared
+                    .durable
+                    .as_ref()
+                    .map(|d| {
+                        let ledger = d.lock().expect("durable ledger poisoned");
+                        (ledger.wal_frames(), ledger.wal_fsyncs())
+                    })
+                    .unwrap_or((0, 0));
+                Response::Metrics(shared.metrics.report_with_wal(
+                    shared.cache.hits(),
+                    shared.cache.misses(),
+                    wal_frames,
+                    wal_fsyncs,
+                ))
+            }
+            Request::OpenRound { .. }
+            | Request::SubmitBid { .. }
+            | Request::CommitRound { .. }
+            | Request::AbortRound { .. }
+            | Request::RoundStatus { .. } => answer_durable(shared, &job.request),
             _ => Response::Error {
                 message: "internal: mis-routed request".to_string(),
             },

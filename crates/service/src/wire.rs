@@ -19,6 +19,9 @@ use mcs_sim::faults::FaultPlan;
 use mcs_sim::platform::{DegradedRoundReport, ResilienceConfig};
 use mcs_types::{Instance, Price, TrueType};
 
+use crate::envelope::BidEnvelope;
+use crate::ledger::{CommitReceipt, RoundSpec, RoundStatusView};
+
 /// A request to the auction service.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -64,6 +67,38 @@ pub enum Request {
     Health,
     /// Snapshot of per-endpoint counters and latency quantiles.
     Metrics,
+    /// Open a durable round: the spec is validated, written to the WAL,
+    /// and survives restarts. Requires the service to be started with a
+    /// durability directory.
+    OpenRound {
+        /// The round specification (roster, grid, ε, …).
+        spec: RoundSpec,
+    },
+    /// Submit one signed bid to a durable round. The envelope's
+    /// signature, expiry, and nonce are verified before the bid is
+    /// admitted, and the admission is on the WAL before the ack.
+    SubmitBid {
+        /// The signed envelope.
+        envelope: BidEnvelope,
+    },
+    /// Run and durably commit a durable round's auction. Idempotent:
+    /// committing a settled round replays the recorded receipt.
+    CommitRound {
+        /// The round to commit.
+        round_id: u64,
+        /// Seed of the price draw.
+        seed: u64,
+    },
+    /// Abort an open durable round.
+    AbortRound {
+        /// The round to abort.
+        round_id: u64,
+    },
+    /// The current phase and totals of a durable round.
+    RoundStatus {
+        /// The round to inspect.
+        round_id: u64,
+    },
 }
 
 impl Request {
@@ -75,6 +110,11 @@ impl Request {
             Request::RunResilientRound { .. } => "run_resilient_round",
             Request::Health => "health",
             Request::Metrics => "metrics",
+            Request::OpenRound { .. } => "open_round",
+            Request::SubmitBid { .. } => "submit_bid",
+            Request::CommitRound { .. } => "commit_round",
+            Request::AbortRound { .. } => "abort_round",
+            Request::RoundStatus { .. } => "round_status",
         }
     }
 }
@@ -106,6 +146,39 @@ pub enum Response {
         /// Human-readable failure description.
         message: String,
     },
+    /// A durable round was opened; its spec is on stable storage.
+    Opened {
+        /// The opened round.
+        round_id: u64,
+        /// LSN of the `RoundOpened` frame.
+        lsn: u64,
+    },
+    /// A signed bid passed every admission check and is on the WAL.
+    BidAccepted {
+        /// The admitting round.
+        round_id: u64,
+        /// LSN of the `BidAdmitted` frame.
+        lsn: u64,
+    },
+    /// A durable round committed (or replayed its recorded commit).
+    Committed(Box<CommitReceipt>),
+    /// A durable round was aborted on request.
+    Aborted {
+        /// The aborted round.
+        round_id: u64,
+        /// LSN of the `RoundAborted` frame.
+        lsn: u64,
+    },
+    /// The phase and totals of a durable round.
+    RoundStatus(RoundStatusView),
+    /// A durable-round request was refused with a typed reason.
+    Rejected {
+        /// Stable snake_case code (see [`crate::RoundError::code`]),
+        /// e.g. `"bad_signature"`, `"replayed_nonce"`, `"expired"`.
+        code: String,
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 /// The exact exponential-mechanism output distribution, price by price.
@@ -130,6 +203,15 @@ pub struct HealthReport {
     pub cache_capacity: usize,
     /// Whether the service is draining (shutdown requested).
     pub draining: bool,
+    /// Rounds that were live (open or committed) when the durable ledger
+    /// last recovered; 0 when durability is disabled.
+    pub recovered_rounds: u64,
+    /// Highest WAL LSN known to be on stable storage; 0 when durability
+    /// is disabled.
+    pub last_synced_lsn: u64,
+    /// Current size of `wal.log` in bytes; 0 when durability is
+    /// disabled.
+    pub wal_size_bytes: u64,
 }
 
 /// Latency quantiles of one endpoint, in microseconds.
@@ -175,6 +257,13 @@ pub struct MetricsReport {
     pub cache_misses: u64,
     /// Requests rejected with [`Response::Busy`] at the accept queue.
     pub rejected_busy: u64,
+    /// WAL frames appended since the durable ledger opened.
+    pub wal_frames: u64,
+    /// WAL fsyncs since the durable ledger opened.
+    pub wal_fsyncs: u64,
+    /// Bid envelopes refused at admission (any [`Response::Rejected`]
+    /// with an envelope-class code).
+    pub envelope_rejections: u64,
 }
 
 /// A typed wire-decoding failure.
@@ -339,6 +428,28 @@ impl Serialize for Request {
             ),
             Request::Health => obj("health", Vec::new()),
             Request::Metrics => obj("metrics", Vec::new()),
+            Request::OpenRound { spec } => {
+                obj("open_round", vec![("spec".to_string(), spec.to_value())])
+            }
+            Request::SubmitBid { envelope } => obj(
+                "submit_bid",
+                vec![("envelope".to_string(), envelope.to_value())],
+            ),
+            Request::CommitRound { round_id, seed } => obj(
+                "commit_round",
+                vec![
+                    ("round_id".to_string(), round_id.to_value()),
+                    ("seed".to_string(), seed.to_value()),
+                ],
+            ),
+            Request::AbortRound { round_id } => obj(
+                "abort_round",
+                vec![("round_id".to_string(), round_id.to_value())],
+            ),
+            Request::RoundStatus { round_id } => obj(
+                "round_status",
+                vec![("round_id".to_string(), round_id.to_value())],
+            ),
         }
     }
 }
@@ -366,6 +477,22 @@ impl Deserialize for Request {
             }),
             "health" => Ok(Request::Health),
             "metrics" => Ok(Request::Metrics),
+            "open_round" => Ok(Request::OpenRound {
+                spec: RoundSpec::from_value(req_field(v, "spec")?)?,
+            }),
+            "submit_bid" => Ok(Request::SubmitBid {
+                envelope: BidEnvelope::from_value(req_field(v, "envelope")?)?,
+            }),
+            "commit_round" => Ok(Request::CommitRound {
+                round_id: u64::from_value(req_field(v, "round_id")?)?,
+                seed: u64::from_value(req_field(v, "seed")?)?,
+            }),
+            "abort_round" => Ok(Request::AbortRound {
+                round_id: u64::from_value(req_field(v, "round_id")?)?,
+            }),
+            "round_status" => Ok(Request::RoundStatus {
+                round_id: u64::from_value(req_field(v, "round_id")?)?,
+            }),
             other => Err(DeError::custom(format!("unknown request type `{other}`"))),
         }
     }
@@ -392,6 +519,42 @@ impl Serialize for Response {
             Response::Error { message } => {
                 obj("error", vec![("message".to_string(), message.to_value())])
             }
+            Response::Opened { round_id, lsn } => obj(
+                "opened",
+                vec![
+                    ("round_id".to_string(), round_id.to_value()),
+                    ("lsn".to_string(), lsn.to_value()),
+                ],
+            ),
+            Response::BidAccepted { round_id, lsn } => obj(
+                "bid_accepted",
+                vec![
+                    ("round_id".to_string(), round_id.to_value()),
+                    ("lsn".to_string(), lsn.to_value()),
+                ],
+            ),
+            Response::Committed(receipt) => obj(
+                "committed",
+                vec![("receipt".to_string(), receipt.to_value())],
+            ),
+            Response::Aborted { round_id, lsn } => obj(
+                "aborted",
+                vec![
+                    ("round_id".to_string(), round_id.to_value()),
+                    ("lsn".to_string(), lsn.to_value()),
+                ],
+            ),
+            Response::RoundStatus(view) => obj(
+                "round_status",
+                vec![("status".to_string(), view.to_value())],
+            ),
+            Response::Rejected { code, detail } => obj(
+                "rejected",
+                vec![
+                    ("code".to_string(), code.to_value()),
+                    ("detail".to_string(), detail.to_value()),
+                ],
+            ),
         }
     }
 }
@@ -420,6 +583,28 @@ impl Deserialize for Response {
             "error" => Ok(Response::Error {
                 message: String::from_value(req_field(v, "message")?)?,
             }),
+            "opened" => Ok(Response::Opened {
+                round_id: u64::from_value(req_field(v, "round_id")?)?,
+                lsn: u64::from_value(req_field(v, "lsn")?)?,
+            }),
+            "bid_accepted" => Ok(Response::BidAccepted {
+                round_id: u64::from_value(req_field(v, "round_id")?)?,
+                lsn: u64::from_value(req_field(v, "lsn")?)?,
+            }),
+            "committed" => Ok(Response::Committed(Box::new(CommitReceipt::from_value(
+                req_field(v, "receipt")?,
+            )?))),
+            "aborted" => Ok(Response::Aborted {
+                round_id: u64::from_value(req_field(v, "round_id")?)?,
+                lsn: u64::from_value(req_field(v, "lsn")?)?,
+            }),
+            "round_status" => Ok(Response::RoundStatus(RoundStatusView::from_value(
+                req_field(v, "status")?,
+            )?)),
+            "rejected" => Ok(Response::Rejected {
+                code: String::from_value(req_field(v, "code")?)?,
+                detail: String::from_value(req_field(v, "detail")?)?,
+            }),
             other => Err(DeError::custom(format!("unknown response type `{other}`"))),
         }
     }
@@ -428,11 +613,42 @@ impl Deserialize for Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ledger::{PaymentRecord, RosterEntry};
     use mcs_sim::Setting;
-    use mcs_types::{Price, WorkerId};
+    use mcs_types::{Bid, Bundle, Price, TaskId, WorkerId};
 
     fn instance() -> Instance {
         Setting::one(80).scaled_down(4).generate(3).instance
+    }
+
+    fn round_spec() -> RoundSpec {
+        RoundSpec {
+            round_id: 17,
+            num_tasks: 2,
+            error_bounds: vec![0.4, 0.3],
+            price_min: Price::from_f64(1.0),
+            price_max: Price::from_f64(9.0),
+            price_step: Price::from_f64(0.5),
+            cost_min: Price::from_f64(1.0),
+            cost_max: Price::from_f64(9.0),
+            epsilon: 0.25,
+            roster: vec![RosterEntry {
+                worker: WorkerId(0),
+                public_key: "ab".repeat(32),
+                skills: vec![0.5, 0.6],
+            }],
+        }
+    }
+
+    fn bid_envelope() -> BidEnvelope {
+        BidEnvelope {
+            round_id: 17,
+            worker: WorkerId(0),
+            bid: Bid::new(Bundle::new(vec![TaskId(1)]), Price::from_f64(2.5)),
+            nonce: 42,
+            expires_at_ms: 99_000,
+            signature: "cd".repeat(64),
+        }
     }
 
     #[test]
@@ -459,6 +675,16 @@ mod tests {
             },
             Request::Health,
             Request::Metrics,
+            Request::OpenRound { spec: round_spec() },
+            Request::SubmitBid {
+                envelope: bid_envelope(),
+            },
+            Request::CommitRound {
+                round_id: 17,
+                seed: 3,
+            },
+            Request::AbortRound { round_id: 17 },
+            Request::RoundStatus { round_id: 17 },
         ];
         for req in requests {
             let json = serde_json::to_string(&req).expect("serialize");
@@ -484,6 +710,9 @@ mod tests {
                 cache_entries: 1,
                 cache_capacity: 32,
                 draining: false,
+                recovered_rounds: 3,
+                last_synced_lsn: 41,
+                wal_size_bytes: 2048,
             }),
             Response::Metrics(MetricsReport {
                 endpoints: vec![EndpointMetrics {
@@ -501,6 +730,9 @@ mod tests {
                 cache_hits: 2,
                 cache_misses: 1,
                 rejected_busy: 4,
+                wal_frames: 12,
+                wal_fsyncs: 9,
+                envelope_rejections: 5,
             }),
             Response::Busy {
                 retry_after_hint_ms: 10,
@@ -508,6 +740,46 @@ mod tests {
             Response::ShuttingDown,
             Response::Error {
                 message: "infeasible".to_string(),
+            },
+            Response::Opened {
+                round_id: 17,
+                lsn: 1,
+            },
+            Response::BidAccepted {
+                round_id: 17,
+                lsn: 2,
+            },
+            Response::Committed(Box::new(CommitReceipt {
+                round_id: 17,
+                price: Price::from_f64(4.0),
+                winners: vec![WorkerId(0), WorkerId(2)],
+                payments: vec![
+                    PaymentRecord {
+                        worker: WorkerId(0),
+                        amount: Price::from_f64(4.0),
+                    },
+                    PaymentRecord {
+                        worker: WorkerId(2),
+                        amount: Price::from_f64(4.0),
+                    },
+                ],
+                lsn: 6,
+                already_committed: false,
+            })),
+            Response::Aborted {
+                round_id: 18,
+                lsn: 7,
+            },
+            Response::RoundStatus(RoundStatusView {
+                round_id: 17,
+                phase: "settled".to_string(),
+                bids_admitted: 3,
+                winners: vec![WorkerId(0)],
+                total_paid: Price::from_f64(4.0),
+            }),
+            Response::Rejected {
+                code: "bad_signature".to_string(),
+                detail: "signature rejected: verification failed".to_string(),
             },
         ];
         for resp in responses {

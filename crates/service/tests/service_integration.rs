@@ -436,3 +436,253 @@ fn indexed_strategy_service_matches_default() {
     default_service.shutdown();
     indexed_service.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Durable rounds over TCP
+
+mod durable {
+    use super::*;
+    use std::path::PathBuf;
+
+    use ed25519::{hex_encode, SigningKey};
+    use mcs_service::{BidEnvelope, DurabilityConfig, RosterEntry, RoundSpec};
+    use mcs_types::{Bid, Bundle, Price, TaskId, WorkerId};
+
+    fn key_for(worker: u32) -> SigningKey {
+        let mut seed = [0u8; 32];
+        seed[..4].copy_from_slice(&worker.to_le_bytes());
+        seed[31] = 0x1C;
+        SigningKey::from_seed(seed)
+    }
+
+    fn spec(round_id: u64) -> RoundSpec {
+        RoundSpec {
+            round_id,
+            num_tasks: 2,
+            error_bounds: vec![0.8, 0.8],
+            price_min: Price::from_f64(1.0),
+            price_max: Price::from_f64(10.0),
+            price_step: Price::from_f64(1.0),
+            cost_min: Price::from_f64(1.0),
+            cost_max: Price::from_f64(10.0),
+            epsilon: 0.5,
+            roster: (0..2)
+                .map(|w| RosterEntry {
+                    worker: WorkerId(w),
+                    public_key: hex_encode(&key_for(w).verifying_key().to_bytes()),
+                    skills: vec![0.9, 0.9],
+                })
+                .collect(),
+        }
+    }
+
+    fn envelope(round_id: u64, worker: u32, nonce: u64) -> BidEnvelope {
+        let bid = Bid::new(
+            Bundle::new(vec![TaskId(0), TaskId(1)]),
+            Price::from_f64(2.0 + f64::from(worker)),
+        );
+        BidEnvelope::sign(
+            round_id,
+            WorkerId(worker),
+            bid,
+            nonce,
+            u64::MAX,
+            &key_for(worker),
+        )
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mcs-service-durable-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_config(dir: &std::path::Path) -> ServiceConfig {
+        ServiceConfig {
+            workers: 1,
+            durability: Some(DurabilityConfig::new(dir.to_path_buf())),
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// The full durable lifecycle over loopback TCP: open, signed bids,
+    /// typed rejections for forged and replayed envelopes, idempotent
+    /// commit, WAL-aware health/metrics — then a restart that recovers
+    /// the settled round and aborts the in-flight one.
+    #[test]
+    fn durable_rounds_over_tcp_with_restart_recovery() {
+        let dir = temp_dir("tcp");
+        let service = Service::start(durable_config(&dir));
+        let tcp = TcpServer::bind(service.client(), "127.0.0.1:0").expect("bind loopback");
+        let mut conn = TcpClient::connect(tcp.local_addr()).expect("connect");
+
+        let opened = conn
+            .call(&Request::OpenRound { spec: spec(1) })
+            .expect("answered");
+        assert!(
+            matches!(opened, Response::Opened { round_id: 1, .. }),
+            "{opened:?}"
+        );
+
+        let response = conn
+            .call(&Request::SubmitBid {
+                envelope: envelope(1, 0, 100),
+            })
+            .expect("answered");
+        assert!(
+            matches!(response, Response::BidAccepted { round_id: 1, .. }),
+            "{response:?}"
+        );
+
+        // A replayed envelope: valid signature, reused nonce.
+        let response = conn
+            .call(&Request::SubmitBid {
+                envelope: envelope(1, 0, 100),
+            })
+            .expect("answered");
+        let Response::Rejected { code, .. } = response else {
+            panic!("replayed envelope must be rejected, got {response:?}");
+        };
+        assert_eq!(code, "replayed_nonce");
+
+        // A forged envelope: signed fields mutated after signing.
+        let mut forged = envelope(1, 1, 555);
+        forged.nonce = 556;
+        let response = conn
+            .call(&Request::SubmitBid { envelope: forged })
+            .expect("answered");
+        let Response::Rejected { code, .. } = response else {
+            panic!("forged envelope must be rejected, got {response:?}");
+        };
+        assert_eq!(code, "bad_signature");
+
+        let response = conn
+            .call(&Request::SubmitBid {
+                envelope: envelope(1, 1, 101),
+            })
+            .expect("answered");
+        assert!(
+            matches!(response, Response::BidAccepted { round_id: 1, .. }),
+            "{response:?}"
+        );
+
+        let committed = conn
+            .call(&Request::CommitRound {
+                round_id: 1,
+                seed: 7,
+            })
+            .expect("answered");
+        let Response::Committed(receipt) = committed else {
+            panic!("expected a receipt, got {committed:?}");
+        };
+        assert!(!receipt.winners.is_empty());
+        assert!(!receipt.already_committed);
+        let expected_paid =
+            Price::from_tenths(receipt.price.tenths() * receipt.winners.len() as i64);
+
+        // Committing again is an idempotent replay, seed ignored.
+        let again = conn
+            .call(&Request::CommitRound {
+                round_id: 1,
+                seed: 999,
+            })
+            .expect("answered");
+        let Response::Committed(replay) = again else {
+            panic!("expected a replayed receipt, got {again:?}");
+        };
+        assert!(replay.already_committed);
+        assert_eq!(replay.price, receipt.price);
+        assert_eq!(replay.winners, receipt.winners);
+
+        // A second round left open across the restart.
+        let opened = conn
+            .call(&Request::OpenRound { spec: spec(2) })
+            .expect("answered");
+        assert!(matches!(opened, Response::Opened { round_id: 2, .. }));
+        let response = conn
+            .call(&Request::SubmitBid {
+                envelope: envelope(2, 1, 777),
+            })
+            .expect("answered");
+        assert!(matches!(
+            response,
+            Response::BidAccepted { round_id: 2, .. }
+        ));
+
+        let Ok(Response::Metrics(metrics)) = conn.call(&Request::Metrics) else {
+            panic!("metrics request failed");
+        };
+        assert_eq!(metrics.envelope_rejections, 2);
+        assert!(metrics.wal_frames > 0);
+        assert!(metrics.wal_fsyncs > 0);
+
+        let Ok(Response::Health(health)) = conn.call(&Request::Health) else {
+            panic!("health request failed");
+        };
+        assert!(health.last_synced_lsn > 0);
+        assert!(health.wal_size_bytes > 0);
+
+        tcp.shutdown();
+        service.shutdown();
+
+        // Restart on the same directory: the settled round survives in
+        // full, the in-flight one is aborted, and health reports what
+        // recovery did.
+        let service = Service::start(durable_config(&dir));
+        let recovery = service.recovery().expect("durability enabled");
+        assert_eq!(recovery.recovered_rounds, 1, "round 2 was live at shutdown");
+        assert_eq!(recovery.aborted_in_flight, 1);
+        let tcp = TcpServer::bind(service.client(), "127.0.0.1:0").expect("rebind");
+        let mut conn = TcpClient::connect(tcp.local_addr()).expect("reconnect");
+
+        let Ok(Response::Health(health)) = conn.call(&Request::Health) else {
+            panic!("health request failed");
+        };
+        assert_eq!(health.recovered_rounds, 1);
+        assert!(health.last_synced_lsn > 0);
+
+        let Ok(Response::RoundStatus(settled)) = conn.call(&Request::RoundStatus { round_id: 1 })
+        else {
+            panic!("round 1 status failed");
+        };
+        assert_eq!(settled.phase, "settled");
+        assert_eq!(settled.total_paid, expected_paid);
+
+        let Ok(Response::RoundStatus(aborted)) = conn.call(&Request::RoundStatus { round_id: 2 })
+        else {
+            panic!("round 2 status failed");
+        };
+        assert_eq!(aborted.phase, "aborted");
+        assert_eq!(aborted.total_paid, Price::ZERO);
+
+        // Bidding into the aborted round is a typed refusal.
+        let response = conn
+            .call(&Request::SubmitBid {
+                envelope: envelope(2, 0, 888),
+            })
+            .expect("answered");
+        assert!(
+            matches!(response, Response::Rejected { ref code, .. } if code == "round_closed"),
+            "{response:?}"
+        );
+
+        tcp.shutdown();
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Without a durability directory the round endpoints answer a plain
+    /// typed error instead of panicking or hanging.
+    #[test]
+    fn round_endpoints_without_durability_are_typed_errors() {
+        let service = Service::start(ServiceConfig::default());
+        let client = service.client();
+        let response = client.call(Request::OpenRound { spec: spec(1) });
+        assert!(matches!(response, Response::Error { .. }), "{response:?}");
+        service.shutdown();
+    }
+}

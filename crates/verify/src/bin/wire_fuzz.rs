@@ -1,33 +1,48 @@
-//! Fuzz the service wire decoder: corpus + seeded byte mutations.
+//! Fuzz the service's byte-facing decoders: corpus + seeded mutations.
 //!
 //! ```text
-//! wire_fuzz [--iters N] [--seed S]
+//! wire_fuzz [--target wire|wal] [--iters N] [--seed S]
 //! ```
 //!
-//! Exit status 0 means no decoder panic and no decode → encode → decode
-//! instability across the corpus and all `N` mutated inputs.
+//! `--target wire` (the default) drives the JSON wire decoder;
+//! `--target wal` drives the WAL crash-recovery reader. Exit status 0
+//! means no panic and no stability invariant violated across the corpus
+//! and all `N` mutated inputs.
 
 use std::process::ExitCode;
 
-use mcs_verify::fuzz::run_fuzz;
+use mcs_verify::fuzz::{run_fuzz, run_wal_fuzz};
 
 fn main() -> ExitCode {
     let mut iters: u64 = 2000;
     let mut seed: u64 = 1;
+    let mut target = String::from("wire");
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let Some(value) = argv.next() else {
             eprintln!("flag {flag} needs a value");
-            eprintln!("usage: wire_fuzz [--iters N] [--seed S]");
-            return ExitCode::FAILURE;
-        };
-        let Ok(parsed) = value.parse::<u64>() else {
-            eprintln!("{flag} expects an unsigned integer, got `{value}`");
+            eprintln!("usage: wire_fuzz [--target wire|wal] [--iters N] [--seed S]");
             return ExitCode::FAILURE;
         };
         match flag.as_str() {
-            "--iters" => iters = parsed,
-            "--seed" => seed = parsed,
+            "--target" => match value.as_str() {
+                "wire" | "wal" => target = value,
+                other => {
+                    eprintln!("--target expects `wire` or `wal`, got `{other}`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--iters" | "--seed" => {
+                let Ok(parsed) = value.parse::<u64>() else {
+                    eprintln!("{flag} expects an unsigned integer, got `{value}`");
+                    return ExitCode::FAILURE;
+                };
+                if flag == "--iters" {
+                    iters = parsed;
+                } else {
+                    seed = parsed;
+                }
+            }
             other => {
                 eprintln!("unknown flag `{other}`");
                 return ExitCode::FAILURE;
@@ -35,20 +50,34 @@ fn main() -> ExitCode {
         }
     }
 
-    let outcome = run_fuzz(iters, seed);
-    println!(
-        "wire_fuzz: {} inputs ({} accepted, {} rejected), {} panics, {} round-trip failures",
-        outcome.executed,
-        outcome.accepted,
-        outcome.rejected,
-        outcome.panics,
-        outcome.roundtrip_failures
-    );
-    if outcome.clean() {
-        println!("wire_fuzz: decoder held on every input");
+    let clean = if target == "wal" {
+        let outcome = run_wal_fuzz(iters, seed);
+        println!(
+            "wire_fuzz[wal]: {} images ({} recovered, {} rejected), {} panics, {} unstable",
+            outcome.executed,
+            outcome.recovered,
+            outcome.rejected,
+            outcome.panics,
+            outcome.instability
+        );
+        outcome.clean()
+    } else {
+        let outcome = run_fuzz(iters, seed);
+        println!(
+            "wire_fuzz[wire]: {} inputs ({} accepted, {} rejected), {} panics, {} round-trip failures",
+            outcome.executed,
+            outcome.accepted,
+            outcome.rejected,
+            outcome.panics,
+            outcome.roundtrip_failures
+        );
+        outcome.clean()
+    };
+    if clean {
+        println!("wire_fuzz: {target} decoder held on every input");
         ExitCode::SUCCESS
     } else {
-        eprintln!("wire_fuzz: decoder invariants violated (seed {seed})");
+        eprintln!("wire_fuzz: {target} decoder invariants violated (seed {seed})");
         ExitCode::FAILURE
     }
 }

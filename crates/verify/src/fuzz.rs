@@ -1,10 +1,10 @@
-//! Byte-level fuzzing of the service wire decoder.
+//! Byte-level fuzzing of the service wire decoder and the WAL reader.
 //!
 //! The TCP transport hands every received line to
 //! [`mcs_service::decode_request`] — a recursive-descent JSON parse, a
 //! soundness walk (finiteness, duplicate keys), and typed
-//! deserialization. This module drives that path with a seed corpus plus
-//! random byte mutations and asserts two properties:
+//! deserialization. [`run_fuzz`] drives that path with a seed corpus
+//! plus random byte mutations and asserts two properties:
 //!
 //! 1. **No panics** — arbitrary bytes must produce `Ok` or a typed
 //!    `WireError`, never an unwind (or worse, a stack overflow — the
@@ -13,14 +13,24 @@
 //!    re-encode and decode to the identical encoding:
 //!    `encode(decode(x))` is a fixed point of `encode ∘ decode`.
 //!
+//! [`run_wal_fuzz`] does the same to the crash-recovery path: arbitrary
+//! WAL images go through [`mcs_service::recover_from_bytes`], which must
+//! never panic, must be deterministic, and must hand back a valid prefix
+//! that re-scans as a clean fixed point.
+//!
 //! Mutations are deterministic in the seed, so a failing iteration
 //! number reproduces exactly.
 
 use std::panic::{self, AssertUnwindSafe};
 
+use ed25519::{hex_encode, SigningKey};
 use mcs_num::rng;
-use mcs_service::{decode_request, decode_response, Request};
+use mcs_service::{
+    decode_request, decode_response, encode_frame, recover_from_bytes, scan_bytes, BidEnvelope,
+    Request, RosterEntry, RoundSpec, WalEvent, WAL_HEADER_LEN,
+};
 use mcs_sim::Setting;
+use mcs_types::{Bid, Bundle, Price, TaskId, WorkerId};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -234,6 +244,270 @@ fn mutate(bytes: &mut Vec<u8>, corpus: &[Vec<u8>], rng: &mut ChaCha8Rng) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// WAL-image fuzzing
+
+/// Checked-in WAL images compiled into the binary: a frozen valid log,
+/// bare header, torn tail, checksum damage, wrong magic, an oversized
+/// length field, and a non-monotonic LSN.
+const WAL_SEED_CORPUS: &[&[u8]] = &[
+    include_bytes!("../tests/corpus/wal_valid.bin"),
+    include_bytes!("../tests/corpus/wal_header_only.bin"),
+    include_bytes!("../tests/corpus/wal_torn_tail.bin"),
+    include_bytes!("../tests/corpus/wal_bad_crc.bin"),
+    include_bytes!("../tests/corpus/wal_bad_magic.bin"),
+    include_bytes!("../tests/corpus/wal_oversized_len.bin"),
+    include_bytes!("../tests/corpus/wal_dup_lsn.bin"),
+];
+
+/// Counters from one WAL fuzz run.
+#[derive(Debug, Clone, Default)]
+pub struct WalFuzzOutcome {
+    /// Images executed (corpus + mutations).
+    pub executed: u64,
+    /// Images the recovery path accepted (possibly with a torn tail).
+    pub recovered: u64,
+    /// Images rejected with a typed [`mcs_service::WalError`].
+    pub rejected: u64,
+    /// Images that made recovery panic — always a bug.
+    pub panics: u64,
+    /// Accepted images whose recovery was non-deterministic or whose
+    /// valid prefix failed to re-scan as a clean fixed point — always a
+    /// bug.
+    pub instability: u64,
+}
+
+impl WalFuzzOutcome {
+    /// True when no invariant was violated.
+    pub fn clean(&self) -> bool {
+        self.panics == 0 && self.instability == 0
+    }
+}
+
+/// Builds a deterministic valid WAL image: two rounds of signed bids,
+/// one committed-paid-settled, one aborted. This is the live-format twin
+/// of the frozen `wal_valid.bin` (which pins the *historical* layout).
+pub fn build_wal_image() -> Vec<u8> {
+    let key_for = |worker: u32| {
+        let mut seed = [0u8; 32];
+        seed[..4].copy_from_slice(&worker.to_le_bytes());
+        seed[31] = 0xF2;
+        SigningKey::from_seed(seed)
+    };
+    let spec = |round_id: u64| RoundSpec {
+        round_id,
+        num_tasks: 2,
+        error_bounds: vec![0.8, 0.8],
+        price_min: Price::from_f64(1.0),
+        price_max: Price::from_f64(10.0),
+        price_step: Price::from_f64(1.0),
+        cost_min: Price::from_f64(1.0),
+        cost_max: Price::from_f64(10.0),
+        epsilon: 0.5,
+        roster: (0..2)
+            .map(|w| RosterEntry {
+                worker: WorkerId(w),
+                public_key: hex_encode(&key_for(w).verifying_key().to_bytes()),
+                skills: vec![0.9, 0.9],
+            })
+            .collect(),
+    };
+    let mut events = Vec::new();
+    for round_id in [1u64, 2] {
+        events.push(WalEvent::RoundOpened {
+            spec: spec(round_id),
+        });
+        for worker in 0..2u32 {
+            let bid = Bid::new(
+                Bundle::new(vec![TaskId(0), TaskId(1)]),
+                Price::from_f64(2.0 + f64::from(worker)),
+            );
+            let nonce = round_id * 10 + u64::from(worker);
+            let envelope = BidEnvelope::sign(
+                round_id,
+                WorkerId(worker),
+                bid.clone(),
+                nonce,
+                u64::MAX,
+                &key_for(worker),
+            );
+            events.push(WalEvent::BidAdmitted {
+                round_id,
+                worker: WorkerId(worker),
+                nonce,
+                expires_at_ms: u64::MAX,
+                bid,
+                signature: envelope.signature_bytes().expect("signed envelope"),
+            });
+        }
+    }
+    events.push(WalEvent::AuctionCommitted {
+        round_id: 1,
+        seed: 7,
+        price: Price::from_f64(4.0),
+        winners: vec![WorkerId(0), WorkerId(1)],
+    });
+    for worker in 0..2u32 {
+        events.push(WalEvent::PaymentIssued {
+            round_id: 1,
+            worker: WorkerId(worker),
+            amount: Price::from_f64(4.0),
+        });
+    }
+    events.push(WalEvent::RoundSettled { round_id: 1 });
+    events.push(WalEvent::RoundAborted {
+        round_id: 2,
+        reason: mcs_service::AbortReason::Requested,
+    });
+
+    let mut image = Vec::new();
+    image.extend_from_slice(b"MCSWAL01");
+    image.extend_from_slice(&1u64.to_le_bytes());
+    for (i, event) in events.iter().enumerate() {
+        image.extend_from_slice(&encode_frame(1 + i as u64, &event.encode()));
+    }
+    image
+}
+
+/// The full WAL starting corpus: checked-in images plus the live-format
+/// golden image.
+pub fn wal_builtin_corpus() -> Vec<Vec<u8>> {
+    let mut corpus: Vec<Vec<u8>> = WAL_SEED_CORPUS.iter().map(|b| b.to_vec()).collect();
+    corpus.push(build_wal_image());
+    corpus
+}
+
+/// Runs the WAL corpus plus `iters` seeded mutations through the
+/// recovery path.
+///
+/// A panic inside recovery is caught (with the panic hook silenced for
+/// the duration) and counted; it never aborts the run.
+pub fn run_wal_fuzz(iters: u64, seed: u64) -> WalFuzzOutcome {
+    let corpus = wal_builtin_corpus();
+    let mut outcome = WalFuzzOutcome::default();
+    let previous_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    for entry in &corpus {
+        wal_execute(entry, &mut outcome);
+    }
+    let mut stream = rng::derived(seed, 0x3A1F);
+    for _ in 0..iters {
+        let mut bytes = corpus[stream.gen_range(0..corpus.len())].clone();
+        let rounds = stream.gen_range(1usize..=4);
+        for _ in 0..rounds {
+            wal_mutate(&mut bytes, &corpus, &mut stream);
+        }
+        wal_execute(&bytes, &mut outcome);
+    }
+    panic::set_hook(previous_hook);
+    outcome
+}
+
+/// Feeds one image through recovery twice, updating the counters.
+fn wal_execute(bytes: &[u8], outcome: &mut WalFuzzOutcome) {
+    outcome.executed += 1;
+    let result = panic::catch_unwind(AssertUnwindSafe(|| wal_probe(bytes)));
+    match result {
+        Err(_) => outcome.panics += 1,
+        Ok(WalProbe::Rejected) => outcome.rejected += 1,
+        Ok(WalProbe::Recovered) => outcome.recovered += 1,
+        Ok(WalProbe::Unstable) => {
+            outcome.recovered += 1;
+            outcome.instability += 1;
+        }
+    }
+}
+
+enum WalProbe {
+    Rejected,
+    Recovered,
+    Unstable,
+}
+
+/// Recovery must be deterministic, and the valid prefix it reports must
+/// re-scan cleanly to the identical frame sequence (fixed point).
+fn wal_probe(bytes: &[u8]) -> WalProbe {
+    let first = recover_from_bytes(bytes);
+    let second = recover_from_bytes(bytes);
+    match (first, second) {
+        (Err(_), Err(_)) => WalProbe::Rejected,
+        (Ok((ledger_a, scan_a)), Ok((ledger_b, scan_b))) => {
+            if ledger_a != ledger_b || scan_a != scan_b {
+                return WalProbe::Unstable;
+            }
+            let prefix = &bytes[..scan_a.valid_len as usize];
+            match scan_bytes(prefix) {
+                Ok(rescan) if rescan.defect.is_none() && rescan.frames == scan_a.frames => {
+                    WalProbe::Recovered
+                }
+                _ => WalProbe::Unstable,
+            }
+        }
+        _ => WalProbe::Unstable,
+    }
+}
+
+/// One random structural mutation of a WAL image.
+fn wal_mutate(bytes: &mut Vec<u8>, corpus: &[Vec<u8>], rng: &mut ChaCha8Rng) {
+    let header = WAL_HEADER_LEN as usize;
+    match rng.gen_range(0u8..7) {
+        // Flip one bit anywhere (header, length, CRC, LSN, payload).
+        0 if !bytes.is_empty() => {
+            let i = rng.gen_range(0..bytes.len());
+            bytes[i] ^= 1u8 << rng.gen_range(0u32..8);
+        }
+        // Truncate at a random point (torn tail).
+        1 if !bytes.is_empty() => {
+            bytes.truncate(rng.gen_range(0..bytes.len()));
+        }
+        // Mangle 4 bytes into a huge little-endian value — lands on a
+        // length field often enough to probe the oversized-frame guard.
+        2 if bytes.len() > header + 4 => {
+            let i = rng.gen_range(header..bytes.len() - 4);
+            let v: u32 = rng.gen_range(mcs_service::MAX_FRAME_LEN..u32::MAX);
+            bytes[i..i + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        // Duplicate a window in place (breeds repeated / non-monotonic
+        // LSNs and shifted frame starts).
+        3 if bytes.len() >= 2 => {
+            let from = rng.gen_range(0..bytes.len() - 1);
+            let len = rng.gen_range(1..=(bytes.len() - from).min(64));
+            let slice: Vec<u8> = bytes[from..from + len].to_vec();
+            let at = rng.gen_range(0..=bytes.len());
+            for (offset, b) in slice.into_iter().enumerate() {
+                bytes.insert(at + offset, b);
+            }
+        }
+        // Splice a window from another corpus image.
+        4 => {
+            let donor = &corpus[rng.gen_range(0..corpus.len())];
+            if !donor.is_empty() && !bytes.is_empty() {
+                let from = rng.gen_range(0..donor.len());
+                let len = rng.gen_range(1..=(donor.len() - from).min(64));
+                let at = rng.gen_range(0..bytes.len());
+                let end = (at + len).min(bytes.len());
+                bytes.splice(at..end, donor[from..from + len].iter().copied());
+            }
+        }
+        // Append random junk (trailing garbage after a clean log).
+        5 => {
+            let extra = rng.gen_range(1usize..32);
+            for _ in 0..extra {
+                bytes.push(rng.gen_range(0u16..256) as u8);
+            }
+        }
+        // Zero a range (simulates sparse-file holes after a crash).
+        _ if !bytes.is_empty() => {
+            let from = rng.gen_range(0..bytes.len());
+            let len = rng.gen_range(1..=(bytes.len() - from).min(48));
+            for b in &mut bytes[from..from + len] {
+                *b = 0;
+            }
+        }
+        _ => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,5 +528,32 @@ mod tests {
         assert_eq!(a.executed, b.executed);
         assert_eq!(a.accepted, b.accepted);
         assert_eq!(a.rejected, b.rejected);
+    }
+
+    #[test]
+    fn wal_corpus_alone_is_clean_and_exercises_both_paths() {
+        let outcome = run_wal_fuzz(0, 0);
+        assert!(outcome.clean(), "{outcome:?}");
+        assert!(outcome.recovered >= 2, "valid/torn images must recover");
+        assert!(outcome.rejected >= 1, "bad-magic image must reject");
+    }
+
+    #[test]
+    fn short_wal_mutation_run_is_deterministic_and_panic_free() {
+        let a = run_wal_fuzz(200, 7);
+        let b = run_wal_fuzz(200, 7);
+        assert!(a.clean(), "{a:?}");
+        assert_eq!(a.executed, b.executed);
+        assert_eq!(a.recovered, b.recovered);
+        assert_eq!(a.rejected, b.rejected);
+    }
+
+    #[test]
+    fn live_wal_image_is_valid_and_deterministic() {
+        let image = build_wal_image();
+        assert_eq!(image, build_wal_image());
+        let (ledger, scan) = recover_from_bytes(&image).expect("golden image recovers");
+        assert!(scan.defect.is_none());
+        assert_eq!(ledger.total_rounds(), 2);
     }
 }

@@ -1,0 +1,115 @@
+//! Smoke coverage for the WAL-image fuzzer, plus the (ignored) corpus
+//! regenerator that produced the checked-in `tests/corpus/wal_*.bin`
+//! files.
+
+use mcs_verify::fuzz::{build_wal_image, run_wal_fuzz, wal_builtin_corpus};
+
+/// A short seeded run violates no recovery invariant. CI runs the long
+/// version through `wire_fuzz --target wal --iters 2000`.
+#[test]
+fn wal_fuzz_short_run_is_clean() {
+    let outcome = run_wal_fuzz(300, 42);
+    assert!(outcome.clean(), "{outcome:?}");
+    assert_eq!(outcome.executed, 300 + wal_builtin_corpus().len() as u64);
+    assert!(outcome.recovered > 0);
+    assert!(outcome.rejected > 0);
+}
+
+/// Every checked-in corpus file is a real WAL-shaped image, not a stale
+/// placeholder: the valid one recovers, the damaged ones exercise the
+/// exact defect their name claims.
+#[test]
+fn checked_in_corpus_matches_the_live_format() {
+    use mcs_service::{recover_from_bytes, TailDefect, WalError};
+
+    let corpus = wal_builtin_corpus();
+    // Index order mirrors WAL_SEED_CORPUS in src/fuzz.rs.
+    let (valid, header_only, torn, bad_crc, bad_magic, oversized, dup_lsn) = (
+        &corpus[0], &corpus[1], &corpus[2], &corpus[3], &corpus[4], &corpus[5], &corpus[6],
+    );
+
+    let (ledger, scan) = recover_from_bytes(valid).expect("frozen valid image recovers");
+    assert!(scan.defect.is_none());
+    assert_eq!(ledger.total_rounds(), 2);
+    let full_frames = scan.frames.len();
+
+    let (_, scan) = recover_from_bytes(header_only).expect("bare header recovers");
+    assert!(scan.frames.is_empty() && scan.defect.is_none());
+
+    let (_, scan) = recover_from_bytes(torn).expect("torn tail recovers");
+    assert!(matches!(scan.defect, Some(TailDefect::Torn { .. })));
+
+    let (_, scan) = recover_from_bytes(bad_crc).expect("crc damage recovers");
+    assert!(matches!(scan.defect, Some(TailDefect::BadChecksum { .. })));
+    assert!(scan.frames.len() < full_frames);
+
+    assert!(matches!(
+        recover_from_bytes(bad_magic),
+        Err(WalError::BadMagic)
+    ));
+
+    let (_, scan) = recover_from_bytes(oversized).expect("oversized length recovers");
+    assert!(matches!(
+        scan.defect,
+        Some(TailDefect::OversizedFrame { .. })
+    ));
+
+    let (_, scan) = recover_from_bytes(dup_lsn).expect("duplicate lsn recovers");
+    assert!(matches!(
+        scan.defect,
+        Some(TailDefect::NonMonotonicLsn { .. })
+    ));
+}
+
+/// Regenerates the checked-in corpus from the live format. Run manually
+/// after an intentional format change:
+///
+/// ```text
+/// cargo test -p mcs-verify --test wal_fuzz_smoke -- --ignored regenerate
+/// ```
+#[test]
+#[ignore = "writes into tests/corpus; run by hand after a format change"]
+fn regenerate_wal_corpus() {
+    use mcs_service::{scan_bytes, WAL_HEADER_LEN};
+    use std::path::Path;
+
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let golden = build_wal_image();
+    let scan = scan_bytes(&golden).expect("golden image scans");
+    assert!(scan.frames.len() >= 3);
+
+    std::fs::write(dir.join("wal_valid.bin"), &golden).expect("write valid");
+    std::fs::write(
+        dir.join("wal_header_only.bin"),
+        &golden[..WAL_HEADER_LEN as usize],
+    )
+    .expect("write header-only");
+
+    // Torn tail: cut the last frame in half.
+    let last_start = scan.boundaries[scan.boundaries.len() - 2] as usize;
+    let torn_at = last_start + (golden.len() - last_start) / 2;
+    std::fs::write(dir.join("wal_torn_tail.bin"), &golden[..torn_at]).expect("write torn");
+
+    // CRC damage: flip one payload byte of the middle frame.
+    let mut bad_crc = golden.clone();
+    let mid_start = scan.boundaries[scan.boundaries.len() / 2] as usize;
+    bad_crc[mid_start + 20] ^= 0x40;
+    std::fs::write(dir.join("wal_bad_crc.bin"), &bad_crc).expect("write bad crc");
+
+    // Wrong magic.
+    let mut bad_magic = golden.clone();
+    bad_magic[..8].copy_from_slice(b"NOTAWAL!");
+    std::fs::write(dir.join("wal_bad_magic.bin"), &bad_magic).expect("write bad magic");
+
+    // Oversized length field on the second frame.
+    let mut oversized = golden.clone();
+    let second_start = scan.boundaries[1] as usize;
+    oversized[second_start..second_start + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(dir.join("wal_oversized_len.bin"), &oversized).expect("write oversized");
+
+    // Non-monotonic LSN: repeat the first frame verbatim after itself.
+    let first_end = scan.boundaries[1] as usize;
+    let mut dup = golden[..first_end].to_vec();
+    dup.extend_from_slice(&golden[WAL_HEADER_LEN as usize..first_end]);
+    std::fs::write(dir.join("wal_dup_lsn.bin"), &dup).expect("write dup lsn");
+}

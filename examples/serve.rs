@@ -7,11 +7,19 @@
 //! Starts an `mcs-service` daemon with a TCP front-end on an ephemeral
 //! loopback port, then plays both sides: a requester submits the same
 //! campaign twice (the second answer comes from the schedule cache and
-//! is byte-identical), queries the exact price PMF, and finally reads
-//! the service's own metrics before a draining shutdown.
+//! is byte-identical), queries the exact price PMF, and reads the
+//! service's own metrics before a draining shutdown. A second act
+//! demonstrates the durable round log: signed bid envelopes, a committed
+//! round, a deliberately orphaned one, and the restart that recovers
+//! both from the write-ahead log.
 
-use mcs_service::{Request, Response, Service, ServiceConfig, TcpClient, TcpServer};
+use ed25519::{hex_encode, SigningKey};
+use mcs_service::{
+    BidEnvelope, DurabilityConfig, Request, Response, RosterEntry, RoundSpec, Service,
+    ServiceConfig, TcpClient, TcpServer,
+};
 use mcs_sim::Setting;
+use mcs_types::{Bid, Bundle, Price, TaskId, WorkerId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A Setting-I-proportioned campaign (scaled down so the demo is quick).
@@ -89,5 +97,129 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Draining shutdown: everything accepted is answered first.
     tcp.shutdown();
     service.shutdown();
+
+    durable_rounds()
+}
+
+/// Act two: the durable round lifecycle, crash included.
+fn durable_rounds() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("mcs-serve-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let key_for = |worker: u32| {
+        let mut seed = [0u8; 32];
+        seed[..4].copy_from_slice(&worker.to_le_bytes());
+        seed[31] = 0xD0;
+        SigningKey::from_seed(seed)
+    };
+    let spec = |round_id: u64| RoundSpec {
+        round_id,
+        num_tasks: 3,
+        error_bounds: vec![0.8, 0.8, 0.8],
+        price_min: Price::from_f64(1.0),
+        price_max: Price::from_f64(30.0),
+        price_step: Price::from_f64(1.0),
+        cost_min: Price::from_f64(1.0),
+        cost_max: Price::from_f64(30.0),
+        epsilon: 0.5,
+        roster: (0..3)
+            .map(|w| RosterEntry {
+                worker: WorkerId(w),
+                public_key: hex_encode(&key_for(w).verifying_key().to_bytes()),
+                skills: vec![0.9, 0.9, 0.9],
+            })
+            .collect(),
+    };
+    let config = || ServiceConfig {
+        durability: Some(DurabilityConfig::new(dir.clone())),
+        ..ServiceConfig::default()
+    };
+
+    println!(
+        "\n--- durable rounds (write-ahead log in {}) ---",
+        dir.display()
+    );
+    let service = Service::start(config());
+    let tcp = TcpServer::bind(service.client(), "127.0.0.1:0")?;
+    let mut conn = TcpClient::connect(tcp.local_addr())?;
+
+    // Round 1: open, collect signed bid envelopes, commit.
+    conn.call(&Request::OpenRound { spec: spec(1) })?;
+    // A forged envelope (fields mutated after signing) is refused and
+    // counted, never logged.
+    let mut forged = BidEnvelope::sign(
+        1,
+        WorkerId(0),
+        Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(2.0)),
+        99,
+        u64::MAX,
+        &key_for(0),
+    );
+    forged.nonce = 100;
+    if let Response::Rejected { code, .. } = conn.call(&Request::SubmitBid { envelope: forged })? {
+        println!("forged envelope rejected: {code}");
+    }
+    for worker in 0..3u32 {
+        let bid = Bid::new(
+            Bundle::new(vec![TaskId(worker % 3), TaskId((worker + 1) % 3)]),
+            Price::from_f64(2.0 + f64::from(worker)),
+        );
+        let envelope = BidEnvelope::sign(
+            1,
+            WorkerId(worker),
+            bid,
+            u64::from(worker) + 1,
+            u64::MAX,
+            &key_for(worker),
+        );
+        let response = conn.call(&Request::SubmitBid { envelope })?;
+        let Response::BidAccepted { lsn, .. } = response else {
+            return Err(format!("bid refused: {response:?}").into());
+        };
+        println!("worker {worker} bid admitted (fsync'd as lsn {lsn})");
+    }
+    let Response::Committed(receipt) = conn.call(&Request::CommitRound {
+        round_id: 1,
+        seed: 7,
+    })?
+    else {
+        return Err("commit failed".into());
+    };
+    println!(
+        "round 1 committed: price {}, {} winners paid (commit point lsn {})",
+        receipt.price,
+        receipt.winners.len(),
+        receipt.lsn
+    );
+
+    // Round 2 is opened and then abandoned: the "crash".
+    conn.call(&Request::OpenRound { spec: spec(2) })?;
+    tcp.shutdown();
+    service.shutdown();
+
+    // Restart: recovery replays the log, settles what was committed,
+    // and aborts what was in flight.
+    let service = Service::start(config());
+    let tcp = TcpServer::bind(service.client(), "127.0.0.1:0")?;
+    let mut conn = TcpClient::connect(tcp.local_addr())?;
+    let Response::Health(health) = conn.call(&Request::Health)? else {
+        return Err("health failed".into());
+    };
+    println!(
+        "recovered: {} live round(s) found, last synced lsn {}, wal {} bytes",
+        health.recovered_rounds, health.last_synced_lsn, health.wal_size_bytes
+    );
+    for round_id in [1u64, 2] {
+        let Response::RoundStatus(status) = conn.call(&Request::RoundStatus { round_id })? else {
+            return Err("status failed".into());
+        };
+        println!(
+            "round {round_id}: {} (total paid {})",
+            status.phase, status.total_paid
+        );
+    }
+
+    tcp.shutdown();
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

@@ -1,0 +1,204 @@
+//! The twisted Edwards curve −x² + y² = 1 + d·x²y² over GF(2^255 − 19),
+//! in extended homogeneous coordinates (X : Y : Z : T), XY = TZ.
+//!
+//! Only the unified addition law is implemented (doubling is `add(p, p)`)
+//! — one formula, no sign-convention pitfalls, and completeness on this
+//! curve means no exceptional cases to special-case.
+
+use std::sync::OnceLock;
+
+use crate::field::{self, Fe};
+
+/// A curve point in extended coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+struct Consts {
+    d: Fe,
+    d2: Fe,
+    sqrt_m1: Fe,
+    base: Point,
+}
+
+fn consts() -> &'static Consts {
+    static CONSTS: OnceLock<Consts> = OnceLock::new();
+    CONSTS.get_or_init(|| {
+        // d = −121665 / 121666.
+        let d = field::mul(
+            &field::neg(&field::from_u64(121665)),
+            &field::invert(&field::from_u64(121666)),
+        );
+        let d2 = field::add(&d, &d);
+        let sqrt_m1 = field::pow(&field::from_u64(2), &field::P_MINUS_1_OVER_4);
+        // The standard base point: y = 4/5, x positive — its canonical
+        // compressed encoding is 0x58 followed by 31 × 0x66.
+        let mut encoded = [0x66u8; 32];
+        encoded[0] = 0x58;
+        let base =
+            decompress_with(&encoded, &d, &sqrt_m1).expect("the ed25519 base point decompresses");
+        Consts {
+            d,
+            d2,
+            sqrt_m1,
+            base,
+        }
+    })
+}
+
+impl Point {
+    /// The neutral element (0, 1).
+    pub fn identity() -> Point {
+        Point {
+            x: field::ZERO,
+            y: field::ONE,
+            z: field::ONE,
+            t: field::ZERO,
+        }
+    }
+
+    /// The standard base point B.
+    pub fn base() -> Point {
+        consts().base
+    }
+
+    /// Unified point addition (RFC 8032 §5.1.4; complete on this curve).
+    pub fn add(&self, other: &Point) -> Point {
+        let a = field::mul(
+            &field::sub(&self.y, &self.x),
+            &field::sub(&other.y, &other.x),
+        );
+        let b = field::mul(
+            &field::add(&self.y, &self.x),
+            &field::add(&other.y, &other.x),
+        );
+        let c = field::mul(&field::mul(&self.t, &consts().d2), &other.t);
+        let zz = field::mul(&self.z, &other.z);
+        let d = field::add(&zz, &zz);
+        let e = field::sub(&b, &a);
+        let f = field::sub(&d, &c);
+        let g = field::add(&d, &c);
+        let h = field::add(&b, &a);
+        Point {
+            x: field::mul(&e, &f),
+            y: field::mul(&g, &h),
+            z: field::mul(&f, &g),
+            t: field::mul(&e, &h),
+        }
+    }
+
+    /// Scalar multiplication by a little-endian 32-byte scalar
+    /// (double-and-add, not constant time — see the crate caveat).
+    pub fn mul_scalar(&self, scalar_le: &[u8; 32]) -> Point {
+        let mut acc = Point::identity();
+        for bit in (0..256).rev() {
+            acc = acc.add(&acc);
+            if (scalar_le[bit / 8] >> (bit % 8)) & 1 == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Canonical compressed encoding: y with the sign of x in bit 255.
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = field::invert(&self.z);
+        let x = field::mul(&self.x, &zinv);
+        let y = field::mul(&self.y, &zinv);
+        let mut out = field::to_bytes(&y);
+        if field::is_negative(&x) {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Strict decompression per RFC 8032 §5.1.3. Rejects non-canonical
+    /// y, non-residues, and the x = 0 / sign = 1 encoding.
+    pub fn decompress(bytes: &[u8; 32]) -> Option<Point> {
+        let c = consts();
+        decompress_with(bytes, &c.d, &c.sqrt_m1)
+    }
+}
+
+fn decompress_with(bytes: &[u8; 32], d: &Fe, sqrt_m1: &Fe) -> Option<Point> {
+    let sign = bytes[31] >> 7;
+    let mut y_bytes = *bytes;
+    y_bytes[31] &= 0x7f;
+    let y = field::from_bytes(&y_bytes)?;
+    let yy = field::square(&y);
+    // x² = (y² − 1) / (d·y² + 1). The denominator is never zero because
+    // −1/d is a non-residue.
+    let u = field::sub(&yy, &field::ONE);
+    let v = field::add(&field::mul(d, &yy), &field::ONE);
+    let candidate = field::mul(&u, &field::invert(&v));
+    let mut x = field::pow(&candidate, &field::P_PLUS_3_OVER_8);
+    let xx = field::square(&x);
+    if xx != candidate {
+        if xx == field::neg(&candidate) {
+            x = field::mul(&x, sqrt_m1);
+        } else {
+            return None;
+        }
+    }
+    if field::is_zero(&x) && sign == 1 {
+        return None;
+    }
+    if u8::from(field::is_negative(&x)) != sign {
+        x = field::neg(&x);
+    }
+    Some(Point {
+        t: field::mul(&x, &y),
+        x,
+        y,
+        z: field::ONE,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_point_round_trips_through_compression() {
+        let b = Point::base();
+        let enc = b.compress();
+        assert_eq!(enc[0], 0x58);
+        assert!(enc[1..].iter().all(|&x| x == 0x66));
+        let back = Point::decompress(&enc).expect("decompress");
+        assert_eq!(back.compress(), enc);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let b = Point::base();
+        assert_eq!(b.add(&Point::identity()).compress(), b.compress());
+    }
+
+    #[test]
+    fn scalar_arithmetic_is_consistent() {
+        // 2B + 3B == 5B.
+        let mut two = [0u8; 32];
+        let mut three = [0u8; 32];
+        let mut five = [0u8; 32];
+        two[0] = 2;
+        three[0] = 3;
+        five[0] = 5;
+        let b = Point::base();
+        let lhs = b.mul_scalar(&two).add(&b.mul_scalar(&three));
+        assert_eq!(lhs.compress(), b.mul_scalar(&five).compress());
+    }
+
+    #[test]
+    fn order_annihilates_the_base_point() {
+        let mut l_bytes = [0u8; 32];
+        for (i, limb) in crate::scalar::L.iter().enumerate() {
+            l_bytes[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        let p = Point::base().mul_scalar(&l_bytes);
+        assert_eq!(p.compress(), Point::identity().compress());
+    }
+}

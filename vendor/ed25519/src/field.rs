@@ -1,0 +1,231 @@
+//! Arithmetic in GF(2^255 − 19).
+//!
+//! Elements are four little-endian 64-bit limbs kept fully reduced
+//! (`< p`) between operations. Multiplication reduces a 512-bit
+//! schoolbook product with the identity `2^256 ≡ 38 (mod p)`.
+//!
+//! This code favours obviousness over speed and is **not constant
+//! time**; see the crate-level caveat.
+
+/// A field element, little-endian limbs, always `< p`.
+pub type Fe = [u64; 4];
+
+/// p = 2^255 − 19.
+pub const P: Fe = [
+    0xffff_ffff_ffff_ffed,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+];
+
+/// p − 2, little-endian bytes (inversion exponent, Fermat).
+pub const P_MINUS_2: [u8; 32] = exponent_bytes(0xeb, 0x7f);
+/// (p + 3) / 8 = 2^252 − 2, little-endian bytes (square-root candidate).
+pub const P_PLUS_3_OVER_8: [u8; 32] = exponent_bytes(0xfe, 0x0f);
+/// (p − 1) / 4 = 2^253 − 5, little-endian bytes (yields √−1 from 2).
+pub const P_MINUS_1_OVER_4: [u8; 32] = exponent_bytes(0xfb, 0x1f);
+
+/// Bytes `[first, 0xff × 30, last]` — the shape all three exponents share.
+const fn exponent_bytes(first: u8, last: u8) -> [u8; 32] {
+    let mut b = [0xffu8; 32];
+    b[0] = first;
+    b[31] = last;
+    b
+}
+
+pub const ZERO: Fe = [0; 4];
+pub const ONE: Fe = [1, 0, 0, 0];
+
+fn geq(a: &Fe, b: &Fe) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// `a - b` assuming `a >= b` (raw limb subtraction).
+fn sub_raw(a: &Fe, b: &Fe) -> Fe {
+    let mut out = ZERO;
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let t = i128::from(a[i]) - i128::from(b[i]) - i128::from(borrow);
+        out[i] = t as u64;
+        borrow = u64::from(t < 0);
+    }
+    debug_assert_eq!(borrow, 0);
+    out
+}
+
+fn reduce_once(a: &mut Fe) {
+    if geq(a, &P) {
+        *a = sub_raw(a, &P);
+    }
+}
+
+/// `a + b (mod p)`. Inputs reduced, so the raw sum fits 256 bits.
+pub fn add(a: &Fe, b: &Fe) -> Fe {
+    let mut out = ZERO;
+    let mut carry = 0u64;
+    for i in 0..4 {
+        let t = u128::from(a[i]) + u128::from(b[i]) + u128::from(carry);
+        out[i] = t as u64;
+        carry = (t >> 64) as u64;
+    }
+    debug_assert_eq!(carry, 0);
+    reduce_once(&mut out);
+    out
+}
+
+/// `a − b (mod p)` via `a + (p − b)`.
+pub fn sub(a: &Fe, b: &Fe) -> Fe {
+    add(a, &sub_raw(&P, b))
+}
+
+/// `−a (mod p)`.
+pub fn neg(a: &Fe) -> Fe {
+    sub(&ZERO, a)
+}
+
+/// Adds a small value in place; returns the carry out of limb 3.
+fn add_small(a: &mut Fe, v: u64) -> u64 {
+    let mut carry = u128::from(v);
+    for limb in a.iter_mut() {
+        if carry == 0 {
+            break;
+        }
+        let t = u128::from(*limb) + carry;
+        *limb = t as u64;
+        carry = t >> 64;
+    }
+    carry as u64
+}
+
+/// Reduces a 512-bit schoolbook product modulo p.
+fn reduce_wide(t: &[u64; 8]) -> Fe {
+    // Fold the high 256 bits down: 2^256 ≡ 38.
+    let mut out = ZERO;
+    let mut carry: u128 = 0;
+    for i in 0..4 {
+        let v = u128::from(t[i]) + u128::from(t[4 + i]) * 38 + carry;
+        out[i] = v as u64;
+        carry = v >> 64;
+    }
+    // carry < 38·2^64 / 2^64 + 1, i.e. tiny; fold again (twice at most —
+    // a second wrap leaves the value far below p).
+    let mut extra = (carry as u64).wrapping_mul(38);
+    loop {
+        let wrapped = add_small(&mut out, extra);
+        if wrapped == 0 {
+            break;
+        }
+        extra = 38;
+    }
+    reduce_once(&mut out);
+    reduce_once(&mut out);
+    out
+}
+
+/// `a · b (mod p)`.
+pub fn mul(a: &Fe, b: &Fe) -> Fe {
+    let mut t = [0u64; 8];
+    for i in 0..4 {
+        let mut carry: u128 = 0;
+        for j in 0..4 {
+            let v = u128::from(t[i + j]) + u128::from(a[i]) * u128::from(b[j]) + carry;
+            t[i + j] = v as u64;
+            carry = v >> 64;
+        }
+        t[i + 4] = carry as u64;
+    }
+    reduce_wide(&t)
+}
+
+/// `a² (mod p)`.
+pub fn square(a: &Fe) -> Fe {
+    mul(a, a)
+}
+
+/// `a^e (mod p)` for a little-endian byte exponent.
+pub fn pow(a: &Fe, exponent_le: &[u8; 32]) -> Fe {
+    let mut acc = ONE;
+    for bit in (0..256).rev() {
+        acc = square(&acc);
+        if (exponent_le[bit / 8] >> (bit % 8)) & 1 == 1 {
+            acc = mul(&acc, a);
+        }
+    }
+    acc
+}
+
+/// `a⁻¹ (mod p)`; returns zero for zero.
+pub fn invert(a: &Fe) -> Fe {
+    pow(a, &P_MINUS_2)
+}
+
+pub fn is_zero(a: &Fe) -> bool {
+    *a == ZERO
+}
+
+/// The low bit of the canonical representative (the RFC 8032 "sign").
+pub fn is_negative(a: &Fe) -> bool {
+    a[0] & 1 == 1
+}
+
+pub fn from_u64(v: u64) -> Fe {
+    [v, 0, 0, 0]
+}
+
+/// Canonical little-endian encoding.
+pub fn to_bytes(a: &Fe) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for i in 0..4 {
+        out[i * 8..i * 8 + 8].copy_from_slice(&a[i].to_le_bytes());
+    }
+    out
+}
+
+/// Strict decoding: rejects non-canonical encodings (`>= p`).
+pub fn from_bytes(bytes: &[u8; 32]) -> Option<Fe> {
+    let mut out = ZERO;
+    for i in 0..4 {
+        out[i] = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8-byte chunk"));
+    }
+    if geq(&out, &P) {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inversion_round_trips() {
+        let a = from_u64(1234567);
+        assert_eq!(mul(&a, &invert(&a)), ONE);
+    }
+
+    #[test]
+    fn sub_then_add_round_trips() {
+        let a = from_u64(3);
+        let b = from_u64(u64::MAX);
+        assert_eq!(add(&sub(&a, &b), &b), a);
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let sqrt_m1 = pow(&from_u64(2), &P_MINUS_1_OVER_4);
+        assert_eq!(square(&sqrt_m1), neg(&ONE));
+    }
+
+    #[test]
+    fn encoding_round_trips_and_rejects_p() {
+        let a = sub(&ZERO, &from_u64(19)); // p − 19
+        assert_eq!(from_bytes(&to_bytes(&a)), Some(a));
+        assert_eq!(from_bytes(&to_bytes(&P)), None);
+    }
+}

@@ -1,0 +1,330 @@
+//! Offline vendored stand-in for the `ed25519-dalek` API surface this
+//! workspace needs: RFC 8032 Ed25519 signing and verification, pure
+//! Rust, no dependencies.
+//!
+//! The service layer signs bid envelopes with this crate; see
+//! `vendor/README.md` for why external crates are vendored.
+//!
+//! # Scope and caveats
+//!
+//! * Arithmetic is straightforward bignum code, **not constant time**
+//!   and roughly two orders of magnitude slower than an optimised
+//!   implementation (~1 ms per verification in release builds). For the
+//!   auction service — tens of bids per round — that is ample; nothing
+//!   here should be lifted into a system handling adversarially timed
+//!   traffic against long-lived secret keys without replacing it with a
+//!   hardened implementation.
+//! * Verification is *cofactorless* (`[S]B == R + [k]A`, the historical
+//!   convention) and strict about malleability: non-canonical `S`
+//!   (`S ≥ ℓ`) and non-canonical point encodings are rejected.
+//!
+//! # Example
+//!
+//! ```
+//! use ed25519::{Signature, SigningKey, VerifyingKey};
+//!
+//! let key = SigningKey::from_seed([7u8; 32]);
+//! let sig = key.sign(b"pay worker 3 exactly 41.5");
+//! let public = VerifyingKey::from_bytes(&key.verifying_key().to_bytes()).unwrap();
+//! assert!(public.verify(b"pay worker 3 exactly 41.5", &sig).is_ok());
+//! assert!(public.verify(b"pay worker 3 exactly 99.9", &sig).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod edwards;
+mod field;
+mod scalar;
+mod sha512;
+
+use std::fmt;
+
+use edwards::Point;
+pub use sha512::{sha512_parts, Sha512};
+
+/// Why a signature or key failed to parse or verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignatureError {
+    /// The 32-byte public key is not a canonical curve point.
+    InvalidPublicKey,
+    /// The `R` half of the signature is not a canonical curve point.
+    InvalidPointEncoding,
+    /// The `S` half of the signature is ≥ the group order ℓ.
+    NonCanonicalScalar,
+    /// The verification equation `[S]B == R + [k]A` does not hold.
+    VerificationFailed,
+}
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureError::InvalidPublicKey => write!(f, "public key is not a valid curve point"),
+            SignatureError::InvalidPointEncoding => {
+                write!(f, "signature R is not a valid curve point")
+            }
+            SignatureError::NonCanonicalScalar => {
+                write!(f, "signature S is not canonical (≥ group order)")
+            }
+            SignatureError::VerificationFailed => write!(f, "signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// A detached Ed25519 signature: `R ‖ S`, 64 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature([u8; 64]);
+
+impl Signature {
+    /// Wraps raw signature bytes (validity is checked at verify time).
+    pub fn from_bytes(bytes: &[u8; 64]) -> Signature {
+        Signature(*bytes)
+    }
+
+    /// The raw 64 bytes.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        self.0
+    }
+}
+
+/// An Ed25519 public key.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyingKey {
+    compressed: [u8; 32],
+    point: Point,
+}
+
+// Equality of the canonical compressed encodings; the cached
+// decompressed point is derived and carries no extra information.
+impl PartialEq for VerifyingKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.compressed == other.compressed
+    }
+}
+
+impl Eq for VerifyingKey {}
+
+impl VerifyingKey {
+    /// Parses a compressed public key, rejecting non-canonical encodings.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<VerifyingKey, SignatureError> {
+        let point = Point::decompress(bytes).ok_or(SignatureError::InvalidPublicKey)?;
+        Ok(VerifyingKey {
+            compressed: *bytes,
+            point,
+        })
+    }
+
+    /// The compressed 32-byte encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.compressed
+    }
+
+    /// Verifies a detached signature over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SignatureError`] variant naming the first check that
+    /// failed (point decoding, scalar canonicity, or the curve equation).
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
+        let sig = signature.0;
+        let r_bytes: [u8; 32] = sig[..32].try_into().expect("32-byte half");
+        let s_bytes: [u8; 32] = sig[32..].try_into().expect("32-byte half");
+        let r = Point::decompress(&r_bytes).ok_or(SignatureError::InvalidPointEncoding)?;
+        if !scalar::is_canonical(&s_bytes) {
+            return Err(SignatureError::NonCanonicalScalar);
+        }
+        let k = scalar::reduce_wide(&sha512_parts(&[&r_bytes, &self.compressed, message]));
+        let lhs = Point::base().mul_scalar(&s_bytes);
+        let rhs = r.add(&self.point.mul_scalar(&k));
+        if lhs.compress() == rhs.compress() {
+            Ok(())
+        } else {
+            Err(SignatureError::VerificationFailed)
+        }
+    }
+}
+
+/// An Ed25519 private key, held as the 32-byte RFC 8032 seed.
+#[derive(Clone)]
+pub struct SigningKey {
+    scalar: [u8; 32],
+    prefix: [u8; 32],
+    public: VerifyingKey,
+}
+
+impl SigningKey {
+    /// Derives the key pair from a 32-byte seed (RFC 8032 §5.1.5).
+    pub fn from_seed(seed: [u8; 32]) -> SigningKey {
+        let h = sha512_parts(&[&seed]);
+        let mut scalar: [u8; 32] = h[..32].try_into().expect("32-byte half");
+        scalar[0] &= 248;
+        scalar[31] &= 127;
+        scalar[31] |= 64;
+        let prefix: [u8; 32] = h[32..].try_into().expect("32-byte half");
+        let compressed = Point::base().mul_scalar(&scalar).compress();
+        let public = VerifyingKey::from_bytes(&compressed)
+            .expect("a generated public key always decompresses");
+        SigningKey {
+            scalar,
+            prefix,
+            public,
+        }
+    }
+
+    /// The matching public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// Signs `message` (RFC 8032 §5.1.6).
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let r = scalar::reduce_wide(&sha512_parts(&[&self.prefix, message]));
+        let r_point = Point::base().mul_scalar(&r).compress();
+        let k = scalar::reduce_wide(&sha512_parts(&[&r_point, &self.public.compressed, message]));
+        let s = scalar::mul_add(&k, &self.scalar, &r);
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&r_point);
+        out[32..].copy_from_slice(&s);
+        Signature(out)
+    }
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print secret material.
+        write!(f, "SigningKey({:02x?}…)", &self.public.compressed[..4])
+    }
+}
+
+/// Lowercase hex encoding (used for keys and signatures on the wire).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Strict lowercase/uppercase hex decoding; `None` on odd length or
+/// non-hex characters.
+pub fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits: Option<Vec<u8>> = text
+        .bytes()
+        .map(|b| match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        })
+        .collect();
+    let digits = digits?;
+    Some(digits.chunks_exact(2).map(|p| (p[0] << 4) | p[1]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode32(hex: &str) -> [u8; 32] {
+        hex_decode(hex).unwrap().try_into().unwrap()
+    }
+
+    struct Vector {
+        seed: &'static str,
+        public: &'static str,
+        message: &'static str,
+        signature: &'static str,
+    }
+
+    /// RFC 8032 §7.1, TEST 1–3.
+    const VECTORS: [Vector; 3] = [
+        Vector {
+            seed: "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+            public: "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+            message: "",
+            signature: "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e065224901555fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b",
+        },
+        Vector {
+            seed: "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+            public: "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+            message: "72",
+            signature: "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00",
+        },
+        Vector {
+            seed: "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+            public: "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+            message: "af82",
+            signature: "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a",
+        },
+    ];
+
+    #[test]
+    fn rfc8032_vectors_sign_and_verify() {
+        for (i, v) in VECTORS.iter().enumerate() {
+            let key = SigningKey::from_seed(decode32(v.seed));
+            assert_eq!(
+                hex_encode(&key.verifying_key().to_bytes()),
+                v.public,
+                "public key mismatch in vector {i}"
+            );
+            let message = hex_decode(v.message).unwrap();
+            let sig = key.sign(&message);
+            assert_eq!(
+                hex_encode(&sig.to_bytes()),
+                v.signature,
+                "signature mismatch in vector {i}"
+            );
+            key.verifying_key()
+                .verify(&message, &sig)
+                .unwrap_or_else(|e| panic!("vector {i} failed to verify: {e}"));
+        }
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let key = SigningKey::from_seed([3u8; 32]);
+        let sig = key.sign(b"round 9, bid 41.5");
+        let public = key.verifying_key();
+        assert!(public.verify(b"round 9, bid 41.6", &sig).is_err());
+        let mut bad = sig.to_bytes();
+        bad[5] ^= 1;
+        assert!(public
+            .verify(b"round 9, bid 41.5", &Signature::from_bytes(&bad))
+            .is_err());
+        let other = SigningKey::from_seed([4u8; 32]);
+        assert!(other
+            .verifying_key()
+            .verify(b"round 9, bid 41.5", &sig)
+            .is_err());
+    }
+
+    #[test]
+    fn non_canonical_s_is_rejected() {
+        let key = SigningKey::from_seed([5u8; 32]);
+        let sig = key.sign(b"msg");
+        let mut forged = sig.to_bytes();
+        // Set S to ℓ (canonical bound): must be rejected before the
+        // verification equation is even consulted.
+        for (i, limb) in crate::scalar::L.iter().enumerate() {
+            forged[32 + i * 8..32 + i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        assert_eq!(
+            key.verifying_key()
+                .verify(b"msg", &Signature::from_bytes(&forged)),
+            Err(SignatureError::NonCanonicalScalar)
+        );
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        assert_eq!(hex_encode(&[0x00, 0xab, 0x5f]), "00ab5f");
+        assert_eq!(hex_decode("00AB5f"), Some(vec![0x00, 0xab, 0x5f]));
+        assert_eq!(hex_decode("0g"), None);
+        assert_eq!(hex_decode("abc"), None);
+    }
+}

@@ -1,0 +1,146 @@
+//! Arithmetic modulo the Ed25519 group order
+//! ℓ = 2^252 + 27742317777372353535851937790883648493.
+//!
+//! Reduction uses bit-serial long division — a few thousand word
+//! operations, which is irrelevant next to the curve arithmetic and
+//! trivially correct.
+
+/// ℓ, little-endian limbs.
+pub const L: [u64; 4] = [
+    0x5812_631a_5cf5_d3ed,
+    0x14de_f9de_a2f7_9cd6,
+    0x0000_0000_0000_0000,
+    0x1000_0000_0000_0000,
+];
+
+fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+fn sub_raw(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let t = i128::from(a[i]) - i128::from(b[i]) - i128::from(borrow);
+        out[i] = t as u64;
+        borrow = u64::from(t < 0);
+    }
+    debug_assert_eq!(borrow, 0);
+    out
+}
+
+/// Reduces an arbitrary little-endian limb string modulo ℓ.
+fn reduce_limbs(limbs: &[u64]) -> [u64; 4] {
+    let mut r = [0u64; 4];
+    for bit in (0..limbs.len() * 64).rev() {
+        // r = 2r + bit; r < ℓ < 2^253 so the shift cannot overflow.
+        let mut carry = (limbs[bit / 64] >> (bit % 64)) & 1;
+        for limb in r.iter_mut() {
+            let t = (u128::from(*limb) << 1) | u128::from(carry);
+            *limb = t as u64;
+            carry = (t >> 64) as u64;
+        }
+        debug_assert_eq!(carry, 0);
+        if geq(&r, &L) {
+            r = sub_raw(&r, &L);
+        }
+    }
+    r
+}
+
+fn limbs_from_bytes(bytes: &[u8]) -> Vec<u64> {
+    debug_assert_eq!(bytes.len() % 8, 0);
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+fn bytes_from_limbs(limbs: &[u64; 4]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for i in 0..4 {
+        out[i * 8..i * 8 + 8].copy_from_slice(&limbs[i].to_le_bytes());
+    }
+    out
+}
+
+/// Reduces a 64-byte little-endian value modulo ℓ (the hash-to-scalar
+/// step of RFC 8032).
+pub fn reduce_wide(bytes: &[u8; 64]) -> [u8; 32] {
+    bytes_from_limbs(&reduce_limbs(&limbs_from_bytes(bytes)))
+}
+
+/// `(a·b + c) mod ℓ` over 32-byte little-endian scalars.
+pub fn mul_add(a: &[u8; 32], b: &[u8; 32], c: &[u8; 32]) -> [u8; 32] {
+    let (a, b, c) = (
+        limbs_from_bytes(a),
+        limbs_from_bytes(b),
+        limbs_from_bytes(c),
+    );
+    let mut t = [0u64; 9];
+    for i in 0..4 {
+        let mut carry: u128 = 0;
+        for j in 0..4 {
+            let v = u128::from(t[i + j]) + u128::from(a[i]) * u128::from(b[j]) + carry;
+            t[i + j] = v as u64;
+            carry = v >> 64;
+        }
+        t[i + 4] = carry as u64;
+    }
+    let mut carry: u128 = 0;
+    for (i, limb) in t.iter_mut().enumerate() {
+        let v = u128::from(*limb) + u128::from(c.get(i).copied().unwrap_or(0)) + carry;
+        *limb = v as u64;
+        carry = v >> 64;
+    }
+    debug_assert_eq!(carry, 0);
+    bytes_from_limbs(&reduce_limbs(&t))
+}
+
+/// Whether a 32-byte scalar is canonical (`< ℓ`) — the standard
+/// malleability check on the `S` half of a signature.
+pub fn is_canonical(bytes: &[u8; 32]) -> bool {
+    let limbs = limbs_from_bytes(bytes);
+    !geq(&[limbs[0], limbs[1], limbs[2], limbs[3]], &L)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_of_l_is_zero() {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&bytes_from_limbs(&L));
+        assert_eq!(reduce_wide(&wide), [0u8; 32]);
+        assert!(!is_canonical(&bytes_from_limbs(&L)));
+    }
+
+    #[test]
+    fn small_values_pass_through() {
+        let mut wide = [0u8; 64];
+        wide[0] = 42;
+        let r = reduce_wide(&wide);
+        assert_eq!(r[0], 42);
+        assert!(r[1..].iter().all(|&b| b == 0));
+        assert!(is_canonical(&r));
+    }
+
+    #[test]
+    fn mul_add_matches_a_hand_example() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        let mut c = [0u8; 32];
+        a[0] = 7;
+        b[0] = 9;
+        c[0] = 5;
+        let r = mul_add(&a, &b, &c);
+        assert_eq!(r[0], 68);
+        assert!(r[1..].iter().all(|&x| x == 0));
+    }
+}
