@@ -100,6 +100,7 @@ mod mechanism;
 mod optimal;
 mod outcome;
 pub mod privacy;
+pub mod replay;
 mod schedule;
 pub mod utility;
 pub mod xor;
@@ -112,14 +113,6 @@ pub use exponential::ExponentialMechanism;
 pub use mechanism::{Mechanism, ScheduledMechanism};
 pub use optimal::{OptimalMechanism, OptimalOutcome, PerPriceSolve};
 pub use outcome::AuctionOutcome;
-// The deprecated one-release shims for the pre-`ScheduleEngine` API stay
-// re-exported so downstream callers keep compiling (with a warning) for
-// one release.
-#[allow(deprecated)]
-pub use schedule::{
-    build_residual_schedule, build_schedule, build_schedule_dense, build_schedule_eager,
-    build_schedule_incremental, build_schedule_indexed, build_schedule_naive,
-    build_schedule_serial,
-};
+pub use replay::{OnlinePricer, Quote, ReplayStats};
 pub use schedule::{PricePmf, PriceSchedule, SelectionRule};
 pub use xor::{Award, XorBid, XorDpHsrcAuction, XorInstance, XorOutcome};

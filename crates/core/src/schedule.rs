@@ -19,7 +19,7 @@ use crate::engine::Strategy;
 use crate::outcome::AuctionOutcome;
 
 /// Residual coverage below this threshold counts as satisfied.
-const COVER_EPS: f64 = 1e-9;
+pub(crate) const COVER_EPS: f64 = 1e-9;
 
 /// Which winner-selection rule fills each price's winner set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -198,7 +198,7 @@ fn coverage_shortfall(residual: &[f64], requirements: &[f64]) -> McsError {
 /// implementation so gains are bit-for-bit comparable across engines:
 /// entries come in ascending task order and accumulation starts at `+0.0`.
 #[inline]
-fn marginal_gain(cover: &SparseCoverage, w: WorkerId, residual: &[f64]) -> f64 {
+pub(crate) fn marginal_gain(cover: &SparseCoverage, w: WorkerId, residual: &[f64]) -> f64 {
     cover
         .row(w.index())
         .map(|(j, q)| q.min(residual[j].max(0.0)))
@@ -209,7 +209,12 @@ fn marginal_gain(cover: &SparseCoverage, w: WorkerId, residual: &[f64]) -> f64 {
 /// deficit entry by entry (the same accumulation order every selector has
 /// always used, so termination thresholds are unchanged).
 #[inline]
-fn apply_winner(cover: &SparseCoverage, w: WorkerId, residual: &mut [f64], remaining: &mut f64) {
+pub(crate) fn apply_winner(
+    cover: &SparseCoverage,
+    w: WorkerId,
+    residual: &mut [f64],
+    remaining: &mut f64,
+) {
     for (j, q) in cover.row(w.index()) {
         let take = q.min(residual[j].max(0.0));
         residual[j] -= take;
@@ -223,7 +228,7 @@ fn apply_winner(cover: &SparseCoverage, w: WorkerId, residual: &mut [f64], remai
 /// Initial gains against the full requirement vector do not depend on the
 /// candidate prefix, which is what lets the ascending price sweep compute
 /// them once and warm-start this loop for every interval that diverges.
-fn celf_sequence(
+pub(crate) fn celf_sequence(
     candidates: &[WorkerId],
     cover: &SparseCoverage,
     init: &[f64],
@@ -1050,88 +1055,6 @@ fn indexed_sweep(
     }
 }
 
-/// Builds the per-price winner schedule for an instance under a selection
-/// rule (Algorithm 1, lines 1–15).
-///
-/// The feasible price set is the suffix of the instance's grid at or above
-/// the cheapest covering prefix of workers; the winner set is recomputed
-/// once per bidding-price interval that contains at least one grid price.
-///
-/// # Errors
-///
-/// * [`McsError::Infeasible`] — even the full pool cannot satisfy some
-///   task's error-bound constraint.
-/// * [`McsError::NoFeasiblePrice`] — coverage is possible but only above
-///   the top of the price grid.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `ScheduleEngine::new(rule).build(&instance)`"
-)]
-pub fn build_schedule(instance: &Instance, rule: SelectionRule) -> Result<PriceSchedule, McsError> {
-    build_dispatch(instance, rule, Strategy::Auto, 1)
-}
-
-/// Always-serial variant of [`build_schedule`], regardless of the
-/// `parallel` feature.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `ScheduleEngine::new(rule).strategy(Strategy::Lazy).build(&instance)`"
-)]
-pub fn build_schedule_serial(
-    instance: &Instance,
-    rule: SelectionRule,
-) -> Result<PriceSchedule, McsError> {
-    build_dispatch(instance, rule, Strategy::Lazy, 1)
-}
-
-/// [`build_schedule`] driven by the pre-lazy full-rescan selector.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `ScheduleEngine::new(rule).strategy(Strategy::Eager).build(&instance)`"
-)]
-pub fn build_schedule_eager(
-    instance: &Instance,
-    rule: SelectionRule,
-) -> Result<PriceSchedule, McsError> {
-    build_dispatch(instance, rule, Strategy::Eager, 1)
-}
-
-/// [`build_schedule`] driven by the ascending incremental price sweep.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `ScheduleEngine::new(rule).strategy(Strategy::Incremental).build(&instance)`"
-)]
-pub fn build_schedule_incremental(
-    instance: &Instance,
-    rule: SelectionRule,
-) -> Result<PriceSchedule, McsError> {
-    build_dispatch(instance, rule, Strategy::Incremental, 1)
-}
-
-/// [`build_schedule`] through the pre-CSR dense build path.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `ScheduleEngine::new(rule).strategy(Strategy::Dense).build(&instance)`"
-)]
-pub fn build_schedule_dense(
-    instance: &Instance,
-    rule: SelectionRule,
-) -> Result<PriceSchedule, McsError> {
-    build_dispatch(instance, rule, Strategy::Dense, 1)
-}
-
-/// [`build_schedule`] through the worker-axis candidate-index engine.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `ScheduleEngine::new(rule).strategy(Strategy::Indexed).build(&instance)`"
-)]
-pub fn build_schedule_indexed(
-    instance: &Instance,
-    rule: SelectionRule,
-) -> Result<PriceSchedule, McsError> {
-    build_dispatch(instance, rule, Strategy::Indexed, 1)
-}
-
 /// Which selector evaluates each price interval's winner set. All engines
 /// produce the identical schedule; they differ only in speed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1254,42 +1177,6 @@ pub(crate) fn build_dispatch(
             )
         }
     }
-}
-
-/// Builds a per-price winner schedule for a *residual* covering problem:
-/// only `eligible` workers may win, and each task needs only the leftover
-/// coverage `requirements[j]` (non-positive entries mean already
-/// satisfied).
-///
-/// This is the re-auction primitive behind fault-tolerant platform rounds:
-/// after some winners fail to deliver, the platform re-runs Algorithm 1
-/// over the losers' standing bids against the residual constraints
-/// `Q'_j = Q_j − Σ_delivered q_ij`.
-///
-/// If every requirement is already satisfied the schedule covers the whole
-/// price grid with an empty winner set (recruiting nobody is feasible at
-/// any price).
-///
-/// # Errors
-///
-/// * [`McsError::DimensionMismatch`] — `requirements` is not one entry per
-///   task.
-/// * [`McsError::WorkerOutOfRange`] — an eligible id is out of range.
-/// * [`McsError::CoverageShortfall`] — the eligible pool cannot close some
-///   task's residual requirement.
-/// * [`McsError::NoFeasiblePrice`] — the eligible pool covers, but only at
-///   a price above the top of the grid.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `ScheduleEngine::new(rule).build_residual(&instance, requirements, eligible)`"
-)]
-pub fn build_residual_schedule(
-    instance: &Instance,
-    rule: SelectionRule,
-    requirements: &[f64],
-    eligible: &[WorkerId],
-) -> Result<PriceSchedule, McsError> {
-    build_residual_dispatch(instance, rule, Strategy::Auto, 1, requirements, eligible)
 }
 
 /// The residual entry point behind [`crate::ScheduleEngine::build_residual`]:
@@ -1548,20 +1435,6 @@ fn schedule_over(
     })
 }
 
-/// Reference implementation that recomputes the winner set independently
-/// for every grid price — `O(|P| · N · K · |S|)`, used only to validate the
-/// interval-compressed schedule and in the ablation bench.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `ScheduleEngine::new(rule).strategy(Strategy::Naive).build(&instance)`"
-)]
-pub fn build_schedule_naive(
-    instance: &Instance,
-    rule: SelectionRule,
-) -> Result<PriceSchedule, McsError> {
-    build_naive_inner(instance, rule)
-}
-
 /// The naive per-grid-price reference behind [`Strategy::Naive`].
 /// Deliberately shares *no* machinery with the optimized engine beyond the
 /// selectors it is pinned against: it materializes the dense covering
@@ -1633,8 +1506,8 @@ impl PricePmf {
         self.probs.len()
     }
 
-    /// Returns `true` if the PMF has no support (never under construction
-    /// through [`build_schedule`]).
+    /// Returns `true` if the PMF has no support (never when built through
+    /// [`crate::ScheduleEngine`]).
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.probs.is_empty()
@@ -2167,49 +2040,6 @@ mod tests {
                     );
                 }
             }
-        }
-    }
-
-    /// The one-release compatibility guarantee: every deprecated shim
-    /// still produces the engine's output.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_engine() {
-        let inst = instance();
-        for rule in [SelectionRule::MarginalCoverage, SelectionRule::StaticTotal] {
-            let engine = build(&inst, rule, Strategy::Auto).unwrap();
-            assert_eq!(engine, build_schedule(&inst, rule).unwrap());
-            assert_eq!(
-                build(&inst, rule, Strategy::Lazy).unwrap(),
-                build_schedule_serial(&inst, rule).unwrap()
-            );
-            assert_eq!(
-                build(&inst, rule, Strategy::Eager).unwrap(),
-                build_schedule_eager(&inst, rule).unwrap()
-            );
-            assert_eq!(
-                build(&inst, rule, Strategy::Incremental).unwrap(),
-                build_schedule_incremental(&inst, rule).unwrap()
-            );
-            assert_eq!(
-                build(&inst, rule, Strategy::Dense).unwrap(),
-                build_schedule_dense(&inst, rule).unwrap()
-            );
-            assert_eq!(
-                build(&inst, rule, Strategy::Naive).unwrap(),
-                build_schedule_naive(&inst, rule).unwrap()
-            );
-            assert_eq!(
-                build(&inst, rule, Strategy::Indexed).unwrap(),
-                build_schedule_indexed(&inst, rule).unwrap()
-            );
-            let residual = vec![0.0; inst.num_tasks()];
-            assert_eq!(
-                ScheduleEngine::new(rule)
-                    .build_residual(&inst, &residual, &[WorkerId(0)])
-                    .unwrap(),
-                build_residual_schedule(&inst, rule, &residual, &[WorkerId(0)]).unwrap()
-            );
         }
     }
 

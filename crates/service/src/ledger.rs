@@ -45,6 +45,7 @@ use mcs_num::rng;
 use mcs_types::{Bid, Bundle, Instance, Price, PriceGrid, SkillMatrix, TaskId, WorkerId};
 
 use crate::envelope::{decode_public_key, BidEnvelope, EnvelopeError};
+use crate::stream::{StreamDecision, StreamReceipt, StreamSession, StreamSpec, StreamStatusView};
 use crate::wal::{self, WalError, WalOpenMode, WalWriter, WAL_FILE};
 
 // ---------------------------------------------------------------------------
@@ -145,7 +146,7 @@ impl RoundSpec {
         Ok(())
     }
 
-    fn roster_entry(&self, worker: WorkerId) -> Option<&RosterEntry> {
+    pub(crate) fn roster_entry(&self, worker: WorkerId) -> Option<&RosterEntry> {
         self.roster.iter().find(|e| e.worker == worker)
     }
 }
@@ -217,6 +218,46 @@ pub enum WalEvent {
         /// The settled round.
         round_id: u64,
     },
+    /// A streaming session was opened under `spec`. Streams share the
+    /// round id namespace.
+    StreamOpened {
+        /// The stream's full specification.
+        spec: StreamSpec,
+    },
+    /// One stream arrival was decided. The recorded `(accepted, payment)`
+    /// pair is an audit check: replay recomputes the decision from the
+    /// deterministic session fold and refuses the log on a mismatch.
+    StreamArrival {
+        /// The stream deciding the arrival.
+        round_id: u64,
+        /// The arriving worker.
+        worker: WorkerId,
+        /// The envelope nonce (kept for the replay window).
+        nonce: u64,
+        /// The envelope expiry (Unix ms).
+        expires_at_ms: u64,
+        /// The bid itself.
+        bid: Bid,
+        /// The verified ed25519 signature (audit trail).
+        signature: [u8; 64],
+        /// Whether the worker was admitted.
+        accepted: bool,
+        /// The posted-price payment made (zero when rejected). An
+        /// accepted arrival's frame is fsync'd before the ack — it is the
+        /// payment's commit point.
+        payment: Price,
+    },
+    /// The stream closed normally; its accepted set is final.
+    StreamClosed {
+        /// The closed stream.
+        round_id: u64,
+    },
+    /// The stream was aborted on request. Posted-price payments already
+    /// made stand — an abort only stops further arrivals.
+    StreamAborted {
+        /// The aborted stream.
+        round_id: u64,
+    },
 }
 
 const TAG_ROUND_OPENED: u8 = 1;
@@ -225,6 +266,10 @@ const TAG_AUCTION_COMMITTED: u8 = 3;
 const TAG_PAYMENT_ISSUED: u8 = 4;
 const TAG_ROUND_ABORTED: u8 = 5;
 const TAG_ROUND_SETTLED: u8 = 6;
+const TAG_STREAM_OPENED: u8 = 7;
+const TAG_STREAM_ARRIVAL: u8 = 8;
+const TAG_STREAM_CLOSED: u8 = 9;
+const TAG_STREAM_ABORTED: u8 = 10;
 
 struct Reader<'a> {
     bytes: &'a [u8],
@@ -353,6 +398,45 @@ impl WalEvent {
                 out.push(TAG_ROUND_SETTLED);
                 out.extend_from_slice(&round_id.to_le_bytes());
             }
+            WalEvent::StreamOpened { spec } => {
+                out.push(TAG_STREAM_OPENED);
+                let json = serde_json::to_string(spec).expect("spec serializes");
+                out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+                out.extend_from_slice(json.as_bytes());
+            }
+            WalEvent::StreamArrival {
+                round_id,
+                worker,
+                nonce,
+                expires_at_ms,
+                bid,
+                signature,
+                accepted,
+                payment,
+            } => {
+                out.push(TAG_STREAM_ARRIVAL);
+                out.extend_from_slice(&round_id.to_le_bytes());
+                out.extend_from_slice(&worker.0.to_le_bytes());
+                out.extend_from_slice(&nonce.to_le_bytes());
+                out.extend_from_slice(&expires_at_ms.to_le_bytes());
+                out.extend_from_slice(&bid.price().tenths().to_le_bytes());
+                let tasks = bid.bundle().as_slice();
+                out.extend_from_slice(&(tasks.len() as u32).to_le_bytes());
+                for task in tasks {
+                    out.extend_from_slice(&task.0.to_le_bytes());
+                }
+                out.extend_from_slice(signature);
+                out.push(u8::from(*accepted));
+                out.extend_from_slice(&payment.tenths().to_le_bytes());
+            }
+            WalEvent::StreamClosed { round_id } => {
+                out.push(TAG_STREAM_CLOSED);
+                out.extend_from_slice(&round_id.to_le_bytes());
+            }
+            WalEvent::StreamAborted { round_id } => {
+                out.push(TAG_STREAM_ABORTED);
+                out.extend_from_slice(&round_id.to_le_bytes());
+            }
         }
         out
     }
@@ -433,6 +517,48 @@ impl WalEvent {
                 WalEvent::RoundAborted { round_id, reason }
             }
             TAG_ROUND_SETTLED => WalEvent::RoundSettled { round_id: r.u64()? },
+            TAG_STREAM_OPENED => {
+                let len = r.u32()? as usize;
+                let json = std::str::from_utf8(r.take(len)?)
+                    .map_err(|e| format!("stream spec is not UTF-8: {e}"))?;
+                let spec: StreamSpec = serde_json::from_str(json)
+                    .map_err(|e| format!("stream spec does not parse: {e}"))?;
+                WalEvent::StreamOpened { spec }
+            }
+            TAG_STREAM_ARRIVAL => {
+                let round_id = r.u64()?;
+                let worker = WorkerId(r.u32()?);
+                let nonce = r.u64()?;
+                let expires_at_ms = r.u64()?;
+                let price = Price::from_tenths(r.i64()?);
+                let task_count = r.u32()? as usize;
+                if task_count > bytes.len() {
+                    return Err(format!("bundle claims {task_count} tasks"));
+                }
+                let mut tasks = Vec::with_capacity(task_count);
+                for _ in 0..task_count {
+                    tasks.push(TaskId(r.u32()?));
+                }
+                let signature: [u8; 64] = r.take(64)?.try_into().expect("64 bytes");
+                let accepted = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(format!("bad accepted flag {other}")),
+                };
+                let payment = Price::from_tenths(r.i64()?);
+                WalEvent::StreamArrival {
+                    round_id,
+                    worker,
+                    nonce,
+                    expires_at_ms,
+                    bid: Bid::new(Bundle::new(tasks), price),
+                    signature,
+                    accepted,
+                    payment,
+                }
+            }
+            TAG_STREAM_CLOSED => WalEvent::StreamClosed { round_id: r.u64()? },
+            TAG_STREAM_ABORTED => WalEvent::StreamAborted { round_id: r.u64()? },
             other => return Err(format!("unknown event tag {other}")),
         };
         r.finish()?;
@@ -651,12 +777,18 @@ impl RoundState {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Ledger {
     rounds: BTreeMap<u64, RoundState>,
+    streams: BTreeMap<u64, StreamSession>,
 }
 
 impl Ledger {
     /// A round's state, if the round exists.
     pub fn round(&self, round_id: u64) -> Option<&RoundState> {
         self.rounds.get(&round_id)
+    }
+
+    /// A stream's session, if the stream exists.
+    pub fn stream(&self, round_id: u64) -> Option<&StreamSession> {
+        self.streams.get(&round_id)
     }
 
     /// Rounds that are open or committed-but-unsettled.
@@ -667,9 +799,19 @@ impl Ledger {
             .count()
     }
 
+    /// Streams still accepting arrivals.
+    pub fn live_streams(&self) -> usize {
+        self.streams.values().filter(|s| s.is_streaming()).count()
+    }
+
     /// Total rounds ever seen (any phase).
     pub fn total_rounds(&self) -> usize {
         self.rounds.len()
+    }
+
+    /// Total streams ever seen (any phase).
+    pub fn total_streams(&self) -> usize {
+        self.streams.len()
     }
 
     fn sequence_error(lsn: u64, detail: String) -> WalError {
@@ -686,7 +828,9 @@ impl Ledger {
         let err = |detail: String| Err(Self::sequence_error(lsn, detail));
         match event {
             WalEvent::RoundOpened { spec } => {
-                if self.rounds.contains_key(&spec.round_id) {
+                if self.rounds.contains_key(&spec.round_id)
+                    || self.streams.contains_key(&spec.round_id)
+                {
                     return err(format!("round {} reopened", spec.round_id));
                 }
                 self.rounds.insert(
@@ -815,6 +959,71 @@ impl Ledger {
                     receipt,
                 };
             }
+            WalEvent::StreamOpened { spec } => {
+                let id = spec.round.round_id;
+                if self.rounds.contains_key(&id) || self.streams.contains_key(&id) {
+                    return err(format!("stream {id} reopened"));
+                }
+                self.streams.insert(id, StreamSession::new(spec.clone()));
+            }
+            WalEvent::StreamArrival {
+                round_id,
+                worker,
+                nonce,
+                expires_at_ms,
+                bid,
+                signature,
+                accepted,
+                payment,
+            } => {
+                let Some(stream) = self.streams.get(round_id) else {
+                    return err(format!("arrival for unknown stream {round_id}"));
+                };
+                stream
+                    .check_admissible(*worker, *nonce)
+                    .map_err(|e| Self::sequence_error(lsn, format!("stream arrival: {e}")))?;
+                // Replay the deterministic decision and hold the log to it:
+                // a frame that disagrees with the fold is corruption (or
+                // tampering), not state.
+                let decision = stream
+                    .evaluate(*worker, bid)
+                    .map_err(|e| Self::sequence_error(lsn, format!("stream arrival: {e}")))?;
+                if decision.accepted != *accepted || decision.payment != *payment {
+                    return err(format!(
+                        "stream {round_id} arrival of worker {} replays as \
+                         (accepted={}, payment={}) but the log recorded \
+                         (accepted={accepted}, payment={payment})",
+                        worker.0, decision.accepted, decision.payment,
+                    ));
+                }
+                self.streams
+                    .get_mut(round_id)
+                    .expect("stream fetched above")
+                    .apply_arrival(
+                        *worker,
+                        *nonce,
+                        *expires_at_ms,
+                        bid.clone(),
+                        *signature,
+                        &decision,
+                    );
+            }
+            WalEvent::StreamClosed { round_id } => {
+                let Some(stream) = self.streams.get_mut(round_id) else {
+                    return err(format!("close of unknown stream {round_id}"));
+                };
+                stream
+                    .close()
+                    .map_err(|e| Self::sequence_error(lsn, format!("stream close: {e}")))?;
+            }
+            WalEvent::StreamAborted { round_id } => {
+                let Some(stream) = self.streams.get_mut(round_id) else {
+                    return err(format!("abort of unknown stream {round_id}"));
+                };
+                stream
+                    .abort()
+                    .map_err(|e| Self::sequence_error(lsn, format!("stream abort: {e}")))?;
+            }
         }
         Ok(())
     }
@@ -882,6 +1091,30 @@ impl Ledger {
                         reason: *reason,
                     });
                 }
+            }
+        }
+        for (&round_id, stream) in &self.streams {
+            out.push(WalEvent::StreamOpened {
+                spec: stream.spec().clone(),
+            });
+            for (worker, nonce, expires_at_ms, bid, signature, accepted, payment) in
+                stream.arrival_events()
+            {
+                out.push(WalEvent::StreamArrival {
+                    round_id,
+                    worker,
+                    nonce,
+                    expires_at_ms,
+                    bid,
+                    signature,
+                    accepted,
+                    payment,
+                });
+            }
+            match stream.phase_name() {
+                "streaming" => {}
+                "closed" => out.push(WalEvent::StreamClosed { round_id }),
+                _ => out.push(WalEvent::StreamAborted { round_id }),
             }
         }
         out
@@ -977,6 +1210,11 @@ pub struct RecoveryReport {
     pub aborted_in_flight: u64,
     /// Missing payments recovery issued for committed rounds.
     pub completed_payments: u64,
+    /// Streaming sessions found live and resumed in place. Unlike open
+    /// rounds, a stream is *not* aborted on recovery: every decided
+    /// arrival was acked (accepted ones fsync'd), so the session fold
+    /// reconstructs the exact pre-crash state and keeps streaming.
+    pub resumed_streams: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -1069,6 +1307,7 @@ impl DurableLedger {
             ledger.apply(&event, lsn)?;
         }
         report.aborted_in_flight = open.len() as u64;
+        report.resumed_streams = ledger.live_streams() as u64;
         wal.sync()?;
 
         Ok(DurableLedger {
@@ -1148,7 +1387,9 @@ impl DurableLedger {
     /// wrapped [`WalError`].
     pub fn open_round(&mut self, spec: RoundSpec) -> Result<u64, RoundError> {
         spec.validate()?;
-        if self.ledger.rounds.contains_key(&spec.round_id) {
+        if self.ledger.rounds.contains_key(&spec.round_id)
+            || self.ledger.streams.contains_key(&spec.round_id)
+        {
             return Err(RoundError::DuplicateRound(spec.round_id));
         }
         let event = WalEvent::RoundOpened { spec };
@@ -1320,6 +1561,144 @@ impl DurableLedger {
     /// The wire view of one round.
     pub fn round_status(&self, round_id: u64) -> Option<RoundStatusView> {
         self.ledger.round(round_id).map(RoundState::view)
+    }
+
+    /// Opens a streaming session. Streams share the round id namespace,
+    /// so the id must be unused by rounds and streams alike.
+    ///
+    /// # Errors
+    ///
+    /// [`RoundError::InvalidSpec`], [`RoundError::DuplicateRound`], or a
+    /// wrapped [`WalError`].
+    pub fn open_stream(&mut self, spec: StreamSpec) -> Result<u64, RoundError> {
+        spec.validate()?;
+        let id = spec.round.round_id;
+        if self.ledger.rounds.contains_key(&id) || self.ledger.streams.contains_key(&id) {
+            return Err(RoundError::DuplicateRound(id));
+        }
+        let event = WalEvent::StreamOpened { spec };
+        let lsn = self.wal.append(&event.encode())?;
+        self.sync_if(false)?;
+        self.ledger.apply(&event, lsn)?;
+        Ok(lsn)
+    }
+
+    /// Decides one stream arrival: admission checks (phase, roster, nonce
+    /// replay window, one arrival per worker), envelope expiry and
+    /// ed25519 signature, then the stage-sampling posted-price decision.
+    /// An *accepted* arrival's frame is fsync'd before the ack — posting
+    /// the payment obligation is the commit point; rejections follow the
+    /// configured fsync policy.
+    ///
+    /// # Errors
+    ///
+    /// [`RoundError::Envelope`] for admission failures,
+    /// [`RoundError::UnknownRound`] / [`RoundError::RoundClosed`] for bad
+    /// targeting, [`RoundError::Infeasible`] when the bid cannot form an
+    /// instance, or a wrapped [`WalError`].
+    pub fn stream_arrival(
+        &mut self,
+        envelope: &BidEnvelope,
+        now_ms: u64,
+    ) -> Result<(StreamDecision, u64), RoundError> {
+        let stream = self
+            .ledger
+            .streams
+            .get(&envelope.round_id)
+            .ok_or(RoundError::UnknownRound(envelope.round_id))?;
+        stream.check_admissible(envelope.worker, envelope.nonce)?;
+        let entry =
+            stream
+                .spec()
+                .round
+                .roster_entry(envelope.worker)
+                .ok_or(RoundError::Envelope(EnvelopeError::UnknownWorker(
+                    envelope.worker,
+                )))?;
+        let key = decode_public_key(&entry.public_key)?;
+        envelope.verify(&key, now_ms)?;
+        let decision = stream.evaluate(envelope.worker, &envelope.bid)?;
+        let event = WalEvent::StreamArrival {
+            round_id: envelope.round_id,
+            worker: envelope.worker,
+            nonce: envelope.nonce,
+            expires_at_ms: envelope.expires_at_ms,
+            bid: envelope.bid.clone(),
+            signature: envelope.signature_bytes()?,
+            accepted: decision.accepted,
+            payment: decision.payment,
+        };
+        let lsn = self.wal.append(&event.encode())?;
+        self.sync_if(decision.accepted)?;
+        self.ledger.apply(&event, lsn)?;
+        Ok((decision, lsn))
+    }
+
+    /// Closes a stream, finalising its accepted set. Closing an
+    /// already-closed stream is idempotent — the recorded result comes
+    /// back with `already_closed = true`.
+    ///
+    /// # Errors
+    ///
+    /// [`RoundError::UnknownRound`], [`RoundError::RoundClosed`] (for an
+    /// aborted stream), or a wrapped [`WalError`].
+    pub fn close_stream(&mut self, round_id: u64) -> Result<StreamReceipt, RoundError> {
+        let stream = self
+            .ledger
+            .streams
+            .get(&round_id)
+            .ok_or(RoundError::UnknownRound(round_id))?;
+        if stream.is_closed() {
+            return Ok(stream.receipt(self.wal.synced_lsn(), true));
+        }
+        if !stream.is_streaming() {
+            return Err(RoundError::RoundClosed {
+                round_id,
+                phase: stream.phase_name().to_string(),
+            });
+        }
+        let event = WalEvent::StreamClosed { round_id };
+        let lsn = self.wal.append(&event.encode())?;
+        self.sync_if(true)?;
+        self.ledger.apply(&event, lsn)?;
+        self.maybe_snapshot()?;
+        Ok(self
+            .ledger
+            .streams
+            .get(&round_id)
+            .expect("stream closed above")
+            .receipt(lsn, false))
+    }
+
+    /// Aborts a streaming session on request. Payments already made
+    /// stand; the abort only stops further arrivals.
+    ///
+    /// # Errors
+    ///
+    /// [`RoundError::UnknownRound`], [`RoundError::RoundClosed`], or a
+    /// wrapped [`WalError`].
+    pub fn abort_stream(&mut self, round_id: u64) -> Result<u64, RoundError> {
+        let stream = self
+            .ledger
+            .streams
+            .get(&round_id)
+            .ok_or(RoundError::UnknownRound(round_id))?;
+        if !stream.is_streaming() {
+            return Err(RoundError::RoundClosed {
+                round_id,
+                phase: stream.phase_name().to_string(),
+            });
+        }
+        let event = WalEvent::StreamAborted { round_id };
+        let lsn = self.wal.append(&event.encode())?;
+        self.sync_if(true)?;
+        self.ledger.apply(&event, lsn)?;
+        Ok(lsn)
+    }
+
+    /// The wire view of one stream.
+    pub fn stream_status(&self, round_id: u64) -> Option<StreamStatusView> {
+        self.ledger.stream(round_id).map(StreamSession::view)
     }
 
     /// What recovery found and did when this ledger opened.
@@ -1508,6 +1887,14 @@ mod tests {
         )
     }
 
+    fn stream_spec(round_id: u64, workers: u32, sample_target: usize) -> StreamSpec {
+        StreamSpec {
+            round: spec(round_id, workers),
+            sample_target,
+            seed: 11,
+        }
+    }
+
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "mcs-ledger-test-{tag}-{}-{:?}",
@@ -1549,6 +1936,21 @@ mod tests {
                 reason: AbortReason::RecoveredInFlight,
             },
             WalEvent::RoundSettled { round_id: 4 },
+            WalEvent::StreamOpened {
+                spec: stream_spec(6, 4, 2),
+            },
+            WalEvent::StreamArrival {
+                round_id: 6,
+                worker: WorkerId(3),
+                nonce: 17,
+                expires_at_ms: 654_321,
+                bid: Bid::new(Bundle::new(vec![TaskId(1)]), Price::from_f64(4.0)),
+                signature: [9u8; 64],
+                accepted: true,
+                payment: Price::from_f64(6.0),
+            },
+            WalEvent::StreamClosed { round_id: 6 },
+            WalEvent::StreamAborted { round_id: 7 },
         ];
         for event in events {
             let bytes = event.encode();
@@ -1754,6 +2156,180 @@ mod tests {
             ledger.apply(&pay, 4),
             Err(WalError::InvalidSequence { lsn: 4, .. })
         ));
+    }
+
+    #[test]
+    fn streams_resume_across_restart_with_the_same_posted_price() {
+        let dir = temp_dir("stream-resume");
+        let config = DurabilityConfig::new(&dir);
+        let (posted, decided) = {
+            let mut durable = DurableLedger::open(&config).expect("open");
+            durable
+                .open_stream(stream_spec(1, 10, 3))
+                .expect("open stream");
+            // Three observed arrivals, then two live decisions.
+            for w in 0..5u32 {
+                durable
+                    .stream_arrival(&envelope(1, w, 100 + u64::from(w)), 0)
+                    .expect("arrival");
+            }
+            let view = durable.stream_status(1).expect("status");
+            assert_eq!(view.phase, "streaming");
+            assert_eq!(view.arrivals, 5);
+            (view.posted_price.expect("threshold learned"), view.accepted)
+            // Dropped without closing: the "crash".
+        };
+        let mut durable = DurableLedger::open(&config).expect("reopen");
+        assert_eq!(durable.recovery().resumed_streams, 1);
+        assert_eq!(durable.recovery().aborted_in_flight, 0);
+        let view = durable.stream_status(1).expect("status");
+        assert_eq!(view.phase, "streaming", "streams resume, not abort");
+        assert_eq!(view.arrivals, 5);
+        assert_eq!(view.posted_price, Some(posted));
+        assert_eq!(view.accepted, decided);
+        // The session keeps deciding arrivals at the same posted price.
+        for w in 5..10u32 {
+            durable
+                .stream_arrival(&envelope(1, w, 100 + u64::from(w)), 0)
+                .expect("post-recovery arrival");
+        }
+        let receipt = durable.close_stream(1).expect("close");
+        assert_eq!(receipt.arrivals, 10);
+        assert_eq!(receipt.posted_price, Some(posted));
+        assert!(!receipt.already_closed);
+        assert_eq!(
+            receipt.total_paid.tenths(),
+            posted.tenths() * receipt.accepted.len() as i64
+        );
+        // Idempotent re-close replays the recorded result.
+        let again = durable.close_stream(1).expect("re-close");
+        assert!(again.already_closed);
+        assert_eq!(again.accepted, receipt.accepted);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_arrivals_are_checked_like_bids() {
+        let dir = temp_dir("stream-checks");
+        let mut durable = DurableLedger::open(&DurabilityConfig::new(&dir)).expect("open");
+        durable
+            .open_stream(stream_spec(1, 4, 1))
+            .expect("open stream");
+        assert!(matches!(
+            durable.stream_arrival(&envelope(9, 0, 1), 0),
+            Err(RoundError::UnknownRound(9))
+        ));
+        let good = envelope(1, 0, 1);
+        durable.stream_arrival(&good, 0).expect("arrival");
+        assert!(matches!(
+            durable.stream_arrival(&good, 0),
+            Err(RoundError::Envelope(EnvelopeError::ReplayedNonce { .. }))
+        ));
+        assert!(matches!(
+            durable.stream_arrival(&envelope(1, 0, 2), 0),
+            Err(RoundError::Envelope(EnvelopeError::DuplicateBid(WorkerId(
+                0
+            ))))
+        ));
+        // Forged: worker 2's envelope relabelled as worker 1.
+        let mut forged = envelope(1, 2, 3);
+        forged.worker = WorkerId(1);
+        assert!(matches!(
+            durable.stream_arrival(&forged, 0),
+            Err(RoundError::Envelope(EnvelopeError::BadSignature(_)))
+        ));
+        assert!(matches!(
+            durable.stream_arrival(&envelope(1, 1, 4), u64::MAX),
+            Err(RoundError::Envelope(EnvelopeError::Expired { .. }))
+        ));
+        durable.abort_stream(1).expect("abort");
+        assert!(matches!(
+            durable.stream_arrival(&envelope(1, 1, 5), 0),
+            Err(RoundError::RoundClosed { .. })
+        ));
+        assert!(matches!(
+            durable.close_stream(1),
+            Err(RoundError::RoundClosed { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rounds_and_streams_share_the_id_namespace() {
+        let dir = temp_dir("stream-ids");
+        let mut durable = DurableLedger::open(&DurabilityConfig::new(&dir)).expect("open");
+        durable.open_round(spec(1, 2)).expect("round 1");
+        assert!(matches!(
+            durable.open_stream(stream_spec(1, 4, 1)),
+            Err(RoundError::DuplicateRound(1))
+        ));
+        durable.open_stream(stream_spec(2, 4, 1)).expect("stream 2");
+        assert!(matches!(
+            durable.open_round(spec(2, 2)),
+            Err(RoundError::DuplicateRound(2))
+        ));
+        assert!(matches!(
+            durable.open_stream(stream_spec(2, 4, 1)),
+            Err(RoundError::DuplicateRound(2))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_state_survives_snapshot_rotation() {
+        let dir = temp_dir("stream-rotate");
+        let mut config = DurabilityConfig::new(&dir);
+        config.snapshot_every = 4;
+        let mut durable = DurableLedger::open(&config).expect("open");
+        durable
+            .open_stream(stream_spec(1, 8, 2))
+            .expect("open stream");
+        for w in 0..8u32 {
+            durable
+                .stream_arrival(&envelope(1, w, u64::from(w) + 1), 0)
+                .expect("arrival");
+        }
+        let receipt = durable.close_stream(1).expect("close");
+        // The close crossed snapshot_every, so a rotation happened.
+        assert!(wal::read_snapshot(&dir).expect("snapshot").is_some());
+        drop(durable);
+        let durable = DurableLedger::open(&config).expect("reopen");
+        assert!(durable.recovery().snapshot_lsn.is_some());
+        let view = durable.stream_status(1).expect("status");
+        assert_eq!(view.phase, "closed");
+        assert_eq!(view.accepted, receipt.accepted);
+        assert_eq!(view.total_paid, receipt.total_paid);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_arrival_frames_are_refused_on_replay() {
+        let mut ledger = Ledger::default();
+        ledger
+            .apply(
+                &WalEvent::StreamOpened {
+                    spec: stream_spec(1, 4, 1),
+                },
+                1,
+            )
+            .expect("open");
+        // A log claiming a sample-phase arrival was accepted (and paid)
+        // contradicts the deterministic fold and must be rejected.
+        let forged = WalEvent::StreamArrival {
+            round_id: 1,
+            worker: WorkerId(0),
+            nonce: 1,
+            expires_at_ms: 1_000_000,
+            bid: Bid::new(Bundle::new(vec![TaskId(0)]), Price::from_f64(2.0)),
+            signature: [0u8; 64],
+            accepted: true,
+            payment: Price::from_f64(2.0),
+        };
+        assert!(matches!(
+            ledger.apply(&forged, 2),
+            Err(WalError::InvalidSequence { lsn: 2, .. })
+        ));
+        let _ = &ledger;
     }
 
     #[test]

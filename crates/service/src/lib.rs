@@ -59,6 +59,7 @@ mod envelope;
 mod ledger;
 mod metrics;
 mod server;
+mod stream;
 mod tcp;
 mod wal;
 mod wire;
@@ -72,6 +73,7 @@ pub use ledger::{
 };
 pub use metrics::{MetricsRegistry, ENDPOINTS};
 pub use server::{Client, Service, ServiceConfig};
+pub use stream::{StreamDecision, StreamReceipt, StreamSession, StreamSpec, StreamStatusView};
 pub use tcp::{RetryPolicy, TcpClient, TcpServer};
 pub use wal::{
     crc32, encode_frame, read_snapshot, scan_bytes, write_snapshot, CrashPlan, Frame, TailDefect,

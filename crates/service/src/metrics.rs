@@ -15,7 +15,7 @@ use crate::wire::{EndpointMetrics, LatencySummary, MetricsReport};
 
 /// The fixed endpoint set, in reporting order. New endpoints append;
 /// existing indices stay stable.
-pub const ENDPOINTS: [&str; 10] = [
+pub const ENDPOINTS: [&str; 13] = [
     "run_auction",
     "query_pmf",
     "run_resilient_round",
@@ -26,6 +26,9 @@ pub const ENDPOINTS: [&str; 10] = [
     "commit_round",
     "abort_round",
     "round_status",
+    "open_stream",
+    "arrive",
+    "close_stream",
 ];
 
 const BUCKETS: usize = 96;
@@ -52,6 +55,7 @@ struct EndpointStats {
     count: u64,
     errors: u64,
     batched: u64,
+    busy: u64,
     latency: Histogram,
     max_us: u64,
 }
@@ -62,6 +66,7 @@ impl EndpointStats {
             count: 0,
             errors: 0,
             batched: 0,
+            busy: 0,
             latency: Histogram::new(BUCKETS),
             max_us: 0,
         }
@@ -127,9 +132,14 @@ impl MetricsRegistry {
         s.max_us = s.max_us.max(us);
     }
 
-    /// Records one request rejected with `Busy` at the accept queue.
-    pub fn record_busy(&self) {
+    /// Records one attempt rejected with `Busy` at the accept queue.
+    /// Counted both globally and against the target endpoint, so retry
+    /// storms show up where they land.
+    pub fn record_busy(&self, endpoint: &str) {
         *self.rejected_busy.lock().expect("metrics lock poisoned") += 1;
+        if let Some(idx) = Self::index(endpoint) {
+            self.stats.lock().expect("metrics lock poisoned")[idx].busy += 1;
+        }
     }
 
     /// Records one bid envelope refused at admission (forged, replayed,
@@ -169,6 +179,7 @@ impl MetricsRegistry {
                     count: s.count,
                     errors: s.errors,
                     batched: s.batched,
+                    busy: s.busy,
                     latency: s.summary(),
                 })
                 .collect(),
@@ -210,16 +221,28 @@ mod tests {
         let m = MetricsRegistry::new();
         m.record("run_auction", Duration::from_micros(100), false, false);
         m.record("run_auction", Duration::from_micros(200), true, true);
-        m.record_busy();
+        m.record_busy("run_auction");
+        m.record_busy("run_auction");
+        m.record_busy("arrive");
         let report = m.report(3, 1);
         assert_eq!(report.cache_hits, 3);
         assert_eq!(report.cache_misses, 1);
-        assert_eq!(report.rejected_busy, 1);
+        assert_eq!(report.rejected_busy, 3);
         let ra = &report.endpoints[0];
         assert_eq!(ra.endpoint, "run_auction");
         assert_eq!(ra.count, 2);
         assert_eq!(ra.errors, 1);
         assert_eq!(ra.batched, 1);
+        assert_eq!(ra.busy, 2, "per-endpoint busy attempts are attributed");
+        let arrive = report
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint == "arrive")
+            .expect("arrive endpoint listed");
+        assert_eq!(arrive.busy, 1);
+        // An unknown endpoint still bumps the global counter.
+        m.record_busy("nope");
+        assert_eq!(m.report(0, 0).rejected_busy, 4);
         let lat = ra.latency.as_ref().expect("two samples recorded");
         assert!(lat.p50_us >= 100);
         assert_eq!(lat.max_us, 200);

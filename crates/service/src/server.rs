@@ -136,8 +136,8 @@ impl Client {
             }
             match self.accept_tx.try_send(job) {
                 Ok(()) => {}
-                Err(TrySendError::Full(_)) => {
-                    self.shared.metrics.record_busy();
+                Err(TrySendError::Full(job)) => {
+                    self.shared.metrics.record_busy(job.request.endpoint());
                     return Response::Busy {
                         retry_after_hint_ms: self.shared.config.retry_after_hint_ms,
                     };
@@ -457,7 +457,36 @@ fn answer_durable(shared: &Shared, request: &Request) -> Response {
         },
         Request::RoundStatus { round_id } => match ledger.round_status(*round_id) {
             Some(view) => Response::RoundStatus(view),
-            None => rejection(shared, &RoundError::UnknownRound(*round_id)),
+            // Streams share the id namespace; a status probe for a
+            // streaming id answers with the stream view.
+            None => match ledger.stream_status(*round_id) {
+                Some(view) => Response::StreamStatus(view),
+                None => rejection(shared, &RoundError::UnknownRound(*round_id)),
+            },
+        },
+        Request::OpenStream { spec } => match ledger.open_stream(spec.clone()) {
+            Ok(lsn) => Response::StreamOpened {
+                round_id: spec.round.round_id,
+                lsn,
+                sample_target: spec.sample_target,
+            },
+            Err(err) => rejection(shared, &err),
+        },
+        Request::Arrive { envelope } => match ledger.stream_arrival(envelope, system_now_ms()) {
+            Ok((decision, lsn)) => Response::ArrivalDecided {
+                round_id: envelope.round_id,
+                worker: envelope.worker,
+                accepted: decision.accepted,
+                payment: decision.payment,
+                reason: decision.reason.to_string(),
+                posted_price: decision.posted_price,
+                lsn,
+            },
+            Err(err) => rejection(shared, &err),
+        },
+        Request::CloseStream { round_id } => match ledger.close_stream(*round_id) {
+            Ok(receipt) => Response::StreamClosed(Box::new(receipt)),
+            Err(err) => rejection(shared, &err),
         },
         _ => Response::Error {
             message: "internal: mis-routed request".to_string(),
@@ -572,7 +601,10 @@ fn answer_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
             | Request::SubmitBid { .. }
             | Request::CommitRound { .. }
             | Request::AbortRound { .. }
-            | Request::RoundStatus { .. } => answer_durable(shared, &job.request),
+            | Request::RoundStatus { .. }
+            | Request::OpenStream { .. }
+            | Request::Arrive { .. }
+            | Request::CloseStream { .. } => answer_durable(shared, &job.request),
             _ => Response::Error {
                 message: "internal: mis-routed request".to_string(),
             },

@@ -17,10 +17,11 @@ use serde::{DeError, Deserialize, Number, Serialize, Value};
 use mcs_auction::AuctionOutcome;
 use mcs_sim::faults::FaultPlan;
 use mcs_sim::platform::{DegradedRoundReport, ResilienceConfig};
-use mcs_types::{Instance, Price, TrueType};
+use mcs_types::{Instance, Price, TrueType, WorkerId};
 
 use crate::envelope::BidEnvelope;
 use crate::ledger::{CommitReceipt, RoundSpec, RoundStatusView};
+use crate::stream::{StreamReceipt, StreamSpec, StreamStatusView};
 
 /// A request to the auction service.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,9 +95,32 @@ pub enum Request {
         /// The round to abort.
         round_id: u64,
     },
-    /// The current phase and totals of a durable round.
+    /// The current phase and totals of a durable round (or stream —
+    /// streams share the id namespace and answer with
+    /// [`Response::StreamStatus`]).
     RoundStatus {
         /// The round to inspect.
+        round_id: u64,
+    },
+    /// Open a long-lived streaming session: arrivals are decided one by
+    /// one at a posted price learned from the first `sample_target` of
+    /// them. The session lives on the WAL and *resumes* (rather than
+    /// aborts) after a crash.
+    OpenStream {
+        /// The stream specification (round spec + sample size + seed).
+        spec: StreamSpec,
+    },
+    /// Submit one signed arrival to a streaming session. The response
+    /// carries the immediate, irrevocable admit/reject decision; an
+    /// accepted arrival's payment is on the WAL before the ack.
+    Arrive {
+        /// The signed envelope.
+        envelope: BidEnvelope,
+    },
+    /// Close a streaming session, finalising its accepted set.
+    /// Idempotent: re-closing replays the recorded receipt.
+    CloseStream {
+        /// The stream to close.
         round_id: u64,
     },
 }
@@ -115,6 +139,9 @@ impl Request {
             Request::CommitRound { .. } => "commit_round",
             Request::AbortRound { .. } => "abort_round",
             Request::RoundStatus { .. } => "round_status",
+            Request::OpenStream { .. } => "open_stream",
+            Request::Arrive { .. } => "arrive",
+            Request::CloseStream { .. } => "close_stream",
         }
     }
 }
@@ -179,6 +206,37 @@ pub enum Response {
         /// Human-readable detail.
         detail: String,
     },
+    /// A streaming session was opened; its spec is on stable storage.
+    StreamOpened {
+        /// The opened stream.
+        round_id: u64,
+        /// LSN of the `StreamOpened` frame.
+        lsn: u64,
+        /// Arrivals that will be observed before the price is posted.
+        sample_target: usize,
+    },
+    /// One stream arrival was decided.
+    ArrivalDecided {
+        /// The deciding stream.
+        round_id: u64,
+        /// The arriving worker.
+        worker: WorkerId,
+        /// Whether the worker was admitted (and paid).
+        accepted: bool,
+        /// The payment made (zero when rejected).
+        payment: Price,
+        /// Stable snake_case decision reason (see
+        /// [`crate::StreamDecision::reason`]).
+        reason: String,
+        /// The posted price, once the sample completed.
+        posted_price: Option<Price>,
+        /// LSN of the `StreamArrival` frame.
+        lsn: u64,
+    },
+    /// A streaming session closed (or replayed its recorded close).
+    StreamClosed(Box<StreamReceipt>),
+    /// The phase and totals of a streaming session.
+    StreamStatus(StreamStatusView),
 }
 
 /// The exact exponential-mechanism output distribution, price by price.
@@ -242,6 +300,12 @@ pub struct EndpointMetrics {
     pub errors: u64,
     /// Requests answered as part of a coalesced batch of two or more.
     pub batched: u64,
+    /// Attempts aimed at this endpoint that were turned away with
+    /// [`Response::Busy`] at the accept queue. Every attempt counts —
+    /// a client that retries its full [`crate::RetryPolicy`] budget
+    /// shows up here once per attempt, so the counter exposes retry
+    /// pressure per endpoint, not just unique requests.
+    pub busy: u64,
     /// Latency quantiles; `None` until the endpoint has served a request.
     pub latency: Option<LatencySummary>,
 }
@@ -450,6 +514,17 @@ impl Serialize for Request {
                 "round_status",
                 vec![("round_id".to_string(), round_id.to_value())],
             ),
+            Request::OpenStream { spec } => {
+                obj("open_stream", vec![("spec".to_string(), spec.to_value())])
+            }
+            Request::Arrive { envelope } => obj(
+                "arrive",
+                vec![("envelope".to_string(), envelope.to_value())],
+            ),
+            Request::CloseStream { round_id } => obj(
+                "close_stream",
+                vec![("round_id".to_string(), round_id.to_value())],
+            ),
         }
     }
 }
@@ -491,6 +566,15 @@ impl Deserialize for Request {
                 round_id: u64::from_value(req_field(v, "round_id")?)?,
             }),
             "round_status" => Ok(Request::RoundStatus {
+                round_id: u64::from_value(req_field(v, "round_id")?)?,
+            }),
+            "open_stream" => Ok(Request::OpenStream {
+                spec: StreamSpec::from_value(req_field(v, "spec")?)?,
+            }),
+            "arrive" => Ok(Request::Arrive {
+                envelope: BidEnvelope::from_value(req_field(v, "envelope")?)?,
+            }),
+            "close_stream" => Ok(Request::CloseStream {
                 round_id: u64::from_value(req_field(v, "round_id")?)?,
             }),
             other => Err(DeError::custom(format!("unknown request type `{other}`"))),
@@ -555,6 +639,46 @@ impl Serialize for Response {
                     ("detail".to_string(), detail.to_value()),
                 ],
             ),
+            Response::StreamOpened {
+                round_id,
+                lsn,
+                sample_target,
+            } => obj(
+                "stream_opened",
+                vec![
+                    ("round_id".to_string(), round_id.to_value()),
+                    ("lsn".to_string(), lsn.to_value()),
+                    ("sample_target".to_string(), sample_target.to_value()),
+                ],
+            ),
+            Response::ArrivalDecided {
+                round_id,
+                worker,
+                accepted,
+                payment,
+                reason,
+                posted_price,
+                lsn,
+            } => obj(
+                "arrival_decided",
+                vec![
+                    ("round_id".to_string(), round_id.to_value()),
+                    ("worker".to_string(), worker.to_value()),
+                    ("accepted".to_string(), accepted.to_value()),
+                    ("payment".to_string(), payment.to_value()),
+                    ("reason".to_string(), reason.to_value()),
+                    ("posted_price".to_string(), posted_price.to_value()),
+                    ("lsn".to_string(), lsn.to_value()),
+                ],
+            ),
+            Response::StreamClosed(receipt) => obj(
+                "stream_closed",
+                vec![("receipt".to_string(), receipt.to_value())],
+            ),
+            Response::StreamStatus(view) => obj(
+                "stream_status",
+                vec![("status".to_string(), view.to_value())],
+            ),
         }
     }
 }
@@ -605,6 +729,26 @@ impl Deserialize for Response {
                 code: String::from_value(req_field(v, "code")?)?,
                 detail: String::from_value(req_field(v, "detail")?)?,
             }),
+            "stream_opened" => Ok(Response::StreamOpened {
+                round_id: u64::from_value(req_field(v, "round_id")?)?,
+                lsn: u64::from_value(req_field(v, "lsn")?)?,
+                sample_target: usize::from_value(req_field(v, "sample_target")?)?,
+            }),
+            "arrival_decided" => Ok(Response::ArrivalDecided {
+                round_id: u64::from_value(req_field(v, "round_id")?)?,
+                worker: WorkerId::from_value(req_field(v, "worker")?)?,
+                accepted: bool::from_value(req_field(v, "accepted")?)?,
+                payment: Price::from_value(req_field(v, "payment")?)?,
+                reason: String::from_value(req_field(v, "reason")?)?,
+                posted_price: Option::<Price>::from_value(req_field(v, "posted_price")?)?,
+                lsn: u64::from_value(req_field(v, "lsn")?)?,
+            }),
+            "stream_closed" => Ok(Response::StreamClosed(Box::new(StreamReceipt::from_value(
+                req_field(v, "receipt")?,
+            )?))),
+            "stream_status" => Ok(Response::StreamStatus(StreamStatusView::from_value(
+                req_field(v, "status")?,
+            )?)),
             other => Err(DeError::custom(format!("unknown response type `{other}`"))),
         }
     }
@@ -685,6 +829,17 @@ mod tests {
             },
             Request::AbortRound { round_id: 17 },
             Request::RoundStatus { round_id: 17 },
+            Request::OpenStream {
+                spec: StreamSpec {
+                    round: round_spec(),
+                    sample_target: 3,
+                    seed: 9,
+                },
+            },
+            Request::Arrive {
+                envelope: bid_envelope(),
+            },
+            Request::CloseStream { round_id: 17 },
         ];
         for req in requests {
             let json = serde_json::to_string(&req).expect("serialize");
@@ -720,6 +875,7 @@ mod tests {
                     count: 3,
                     errors: 1,
                     batched: 2,
+                    busy: 7,
                     latency: Some(LatencySummary {
                         p50_us: 100,
                         p95_us: 200,
@@ -781,6 +937,49 @@ mod tests {
                 code: "bad_signature".to_string(),
                 detail: "signature rejected: verification failed".to_string(),
             },
+            Response::StreamOpened {
+                round_id: 21,
+                lsn: 1,
+                sample_target: 3,
+            },
+            Response::ArrivalDecided {
+                round_id: 21,
+                worker: WorkerId(4),
+                accepted: true,
+                payment: Price::from_f64(6.0),
+                reason: "accepted".to_string(),
+                posted_price: Some(Price::from_f64(6.0)),
+                lsn: 5,
+            },
+            Response::ArrivalDecided {
+                round_id: 21,
+                worker: WorkerId(5),
+                accepted: false,
+                payment: Price::ZERO,
+                reason: "sample_observed".to_string(),
+                posted_price: None,
+                lsn: 6,
+            },
+            Response::StreamClosed(Box::new(StreamReceipt {
+                round_id: 21,
+                arrivals: 9,
+                accepted: vec![WorkerId(2), WorkerId(4)],
+                posted_price: Some(Price::from_f64(6.0)),
+                total_paid: Price::from_f64(12.0),
+                covered: true,
+                lsn: 11,
+                already_closed: false,
+            })),
+            Response::StreamStatus(StreamStatusView {
+                round_id: 21,
+                phase: "streaming".to_string(),
+                arrivals: 4,
+                sample_target: 3,
+                accepted: vec![WorkerId(2)],
+                posted_price: Some(Price::from_f64(6.0)),
+                total_paid: Price::from_f64(6.0),
+                covered: false,
+            }),
         ];
         for resp in responses {
             let json = serde_json::to_string(&resp).expect("serialize");

@@ -1,0 +1,105 @@
+//! Retry-accounting regression tests for [`TcpClient`]: an exhausted
+//! [`RetryPolicy`] must surface the *last typed* `Busy` answer — hint
+//! intact — never a generic error, and `busy_retries()` must count
+//! exactly the attempts the budget paid for.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use mcs_service::{Request, Response, RetryPolicy, TcpClient};
+
+/// A server that answers every request line with `busy`, counting the
+/// lines it saw. Returns the address and the shared line counter.
+fn always_busy_server(hint_ms: u64) -> (std::net::SocketAddr, Arc<AtomicU64>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let seen = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&seen);
+    thread::spawn(move || {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut writer = stream;
+        let busy = serde_json::to_string(&Response::Busy {
+            retry_after_hint_ms: hint_ms,
+        })
+        .expect("serialize busy");
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+            counter.fetch_add(1, Ordering::SeqCst);
+            if writer
+                .write_all(format!("{busy}\n").as_bytes())
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                return;
+            }
+        }
+    });
+    (addr, seen)
+}
+
+/// The whole retry budget is spent, and what comes back is the typed
+/// `Busy` with its hint — the caller can keep backing off on its own
+/// instead of treating the overload as an I/O failure.
+#[test]
+fn exhausted_retry_budget_surfaces_the_last_typed_busy() {
+    let (addr, seen) = always_busy_server(7);
+    let policy = RetryPolicy {
+        max_retries: 3,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(2),
+    };
+    let mut client = TcpClient::connect_with(addr, policy).expect("connect");
+
+    let response = client.call(&Request::Health).expect("typed, not an error");
+    assert_eq!(
+        response,
+        Response::Busy {
+            retry_after_hint_ms: 7
+        },
+        "the final busy answer is surfaced as-is, hint intact"
+    );
+    assert_eq!(
+        client.busy_retries(),
+        3,
+        "every retry the budget paid for is accounted"
+    );
+    assert_eq!(
+        seen.load(Ordering::SeqCst),
+        4,
+        "one initial attempt plus max_retries retries hit the wire"
+    );
+
+    // A second call on the same connection keeps accumulating.
+    let response = client.call(&Request::Health).expect("typed, not an error");
+    assert!(matches!(response, Response::Busy { .. }));
+    assert_eq!(client.busy_retries(), 6);
+}
+
+/// `RetryPolicy::none()` surfaces the very first busy raw: no sleeps, no
+/// hidden attempts, a zero retry counter.
+#[test]
+fn none_policy_never_retries() {
+    let (addr, seen) = always_busy_server(11);
+    let mut client = TcpClient::connect_with(addr, RetryPolicy::none()).expect("connect");
+    let response = client.call(&Request::Health).expect("typed, not an error");
+    assert_eq!(
+        response,
+        Response::Busy {
+            retry_after_hint_ms: 11
+        }
+    );
+    assert_eq!(client.busy_retries(), 0);
+    assert_eq!(seen.load(Ordering::SeqCst), 1);
+}

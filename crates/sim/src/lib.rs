@@ -10,6 +10,10 @@
 //!   [`experiments::approx_ratio_experiment`] (Theorem 6 check).
 //! * [`neighbour`] — neighbouring-bid-profile generators for the privacy
 //!   experiments.
+//! * [`online`] — streaming online auctions: seeded arrival/departure
+//!   timelines, the OMG-style stage-sampling threshold mechanism and the
+//!   greedy pay-as-bid baseline, with competitive-ratio accounting
+//!   against the offline `ScheduleEngine` optimum.
 //! * [`adversary`] — the optimal honest-but-curious attacker
 //!   (likelihood-ratio inference over repeated rounds) and its DP
 //!   composition bound.
@@ -52,6 +56,7 @@ pub mod experiments;
 pub mod faults;
 pub mod io;
 pub mod neighbour;
+pub mod online;
 pub mod output;
 pub mod platform;
 mod settings;

@@ -1,0 +1,217 @@
+//! Seeded arrival/departure timelines over an [`Instance`]'s worker pool.
+//!
+//! The offline auction assumes every bid is on the table before selection.
+//! Streaming rounds instead see workers *arrive* over a discrete horizon
+//! and *depart* after a bounded stay; the platform must decide admission
+//! and payment while the worker is present. [`ArrivalTimeline`] is the
+//! deterministic workload: given an [`Instance`] and a seed it fixes, for
+//! every worker, an arrival tick drawn uniformly over the horizon and a
+//! geometric-tailed stay, then orders arrivals by tick with a seeded
+//! permutation breaking same-tick ties. The [`ArrivalTimeline::degenerate`]
+//! constructor is the verification anchor: everyone present at `t = 0`
+//! with no departures, which must reduce any reasonable online mechanism
+//! to its offline counterpart.
+
+use mcs_num::rng;
+use mcs_types::{Instance, WorkerId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Derivation stream for timeline randomness, disjoint from the mechanism
+/// and instance-generation streams.
+const STREAM_TIMELINE: u64 = 0x4F4E_4C54; // "ONLT"
+
+/// Parameters of the seeded arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelineConfig {
+    /// Number of discrete ticks arrivals are spread over (uniformly).
+    /// Lower horizons mean denser arrival bursts; `0` is clamped to `1`.
+    pub horizon: u64,
+    /// Mean of the exponential stay length in ticks (clamped to ≥ 1).
+    pub mean_stay: f64,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        TimelineConfig {
+            horizon: 1_000,
+            mean_stay: 250.0,
+        }
+    }
+}
+
+impl TimelineConfig {
+    /// Arrival density in workers per tick for an `n`-worker pool.
+    pub fn density(&self, num_workers: usize) -> f64 {
+        num_workers as f64 / self.horizon.max(1) as f64
+    }
+}
+
+/// One worker's presence window: arrives at `at`, must be decided before
+/// `departs` (exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// The arriving worker.
+    pub worker: WorkerId,
+    /// Arrival tick.
+    pub at: u64,
+    /// Departure tick; the decision deadline.
+    pub departs: u64,
+}
+
+/// A complete, deterministic arrival schedule over an instance's workers,
+/// sorted by arrival tick (same-tick ties broken by a seeded permutation).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivalTimeline {
+    arrivals: Vec<Arrival>,
+    horizon: u64,
+}
+
+impl ArrivalTimeline {
+    /// Generates a seeded timeline: every worker of `instance` arrives
+    /// exactly once, uniformly over `config.horizon`, staying an
+    /// exponential number of ticks with mean `config.mean_stay`.
+    pub fn generate(instance: &Instance, config: &TimelineConfig, seed: u64) -> ArrivalTimeline {
+        let mut r = rng::derived(seed, STREAM_TIMELINE);
+        let horizon = config.horizon.max(1);
+        let mean_stay = config.mean_stay.max(1.0);
+        let mut keyed: Vec<(u64, u64, Arrival)> = (0..instance.num_workers())
+            .map(|i| {
+                let worker = WorkerId(i as u32);
+                let at = r.gen_range(0..horizon);
+                let u: f64 = r.gen_range(0.0..1.0);
+                let stay = (-mean_stay * (1.0 - u).ln()).ceil().max(1.0) as u64;
+                let tiebreak: u64 = r.gen();
+                (
+                    at,
+                    tiebreak,
+                    Arrival {
+                        worker,
+                        at,
+                        departs: at.saturating_add(stay),
+                    },
+                )
+            })
+            .collect();
+        keyed.sort_by_key(|&(at, tiebreak, a)| (at, tiebreak, a.worker));
+        ArrivalTimeline {
+            arrivals: keyed.into_iter().map(|(_, _, a)| a).collect(),
+            horizon,
+        }
+    }
+
+    /// The degenerate timeline: every worker present at `t = 0` in worker-id
+    /// order with no departures. Online mechanisms run in lookahead mode over
+    /// this timeline must reproduce the offline round exactly — the
+    /// differential anchor `mcs-verify` checks.
+    pub fn degenerate(instance: &Instance) -> ArrivalTimeline {
+        ArrivalTimeline {
+            arrivals: (0..instance.num_workers())
+                .map(|i| Arrival {
+                    worker: WorkerId(i as u32),
+                    at: 0,
+                    departs: u64::MAX,
+                })
+                .collect(),
+            horizon: 1,
+        }
+    }
+
+    /// A timeline over an explicit arrival order, everyone at `t = 0` with
+    /// no departures — the hook the truthfulness proptests use to quantify
+    /// over arbitrary arrival permutations.
+    pub fn from_order(order: &[WorkerId]) -> ArrivalTimeline {
+        ArrivalTimeline {
+            arrivals: order
+                .iter()
+                .map(|&worker| Arrival {
+                    worker,
+                    at: 0,
+                    departs: u64::MAX,
+                })
+                .collect(),
+            horizon: 1,
+        }
+    }
+
+    /// The arrivals in decision order.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The generation horizon in ticks.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Realised arrival density in workers per tick.
+    pub fn density(&self) -> f64 {
+        self.arrivals.len() as f64 / self.horizon.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_types::{Bid, Bundle, Price, SkillMatrix, TaskId};
+
+    fn tiny_instance(n: usize) -> Instance {
+        let bids: Vec<Bid> = (0..n)
+            .map(|i| {
+                Bid::new(
+                    Bundle::new(vec![TaskId(0)]),
+                    Price::from_f64(10.0 + i as f64),
+                )
+            })
+            .collect();
+        let skills = SkillMatrix::from_rows(vec![vec![0.9]; n]).unwrap();
+        Instance::builder(1)
+            .bids(bids)
+            .skills(skills)
+            .uniform_error_bound(0.4)
+            .price_grid_f64(10.0, 30.0, 0.5)
+            .cost_range(Price::from_f64(10.0), Price::from_f64(30.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_complete() {
+        let instance = tiny_instance(16);
+        let config = TimelineConfig::default();
+        let a = ArrivalTimeline::generate(&instance, &config, 7);
+        let b = ArrivalTimeline::generate(&instance, &config, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        let mut seen: Vec<u32> = a.arrivals().iter().map(|x| x.worker.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..16).collect::<Vec<_>>());
+        assert!(a.arrivals().windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.arrivals().iter().all(|x| x.departs > x.at));
+        let c = ArrivalTimeline::generate(&instance, &config, 8);
+        assert_ne!(a, c, "different seeds should permute the timeline");
+    }
+
+    #[test]
+    fn degenerate_timeline_is_everyone_at_zero() {
+        let instance = tiny_instance(5);
+        let t = ArrivalTimeline::degenerate(&instance);
+        assert_eq!(t.len(), 5);
+        assert!(t
+            .arrivals()
+            .iter()
+            .all(|a| a.at == 0 && a.departs == u64::MAX));
+        let ids: Vec<u32> = t.arrivals().iter().map(|a| a.worker.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -23,6 +23,7 @@ use mcs_verify::dp::{
     TruthfulnessStats,
 };
 use mcs_verify::gen::{generate, Shape};
+use mcs_verify::online::{online_check, OnlineStats};
 
 /// Privacy budgets cycled through the exact-DP and truthfulness checks.
 const EPSILONS: [f64; 3] = [0.1, 0.5, 2.0];
@@ -50,6 +51,7 @@ fn main() -> ExitCode {
     let mut diff = DiffStats::default();
     let mut exact = ExactDpStats::default();
     let mut truth = TruthfulnessStats::default();
+    let mut online = OnlineStats::default();
     for i in 0..args.iters {
         let shape = args
             .shape
@@ -76,6 +78,25 @@ fn main() -> ExitCode {
                 Err(message) => {
                     eprintln!(
                         "exact DP check failed (shape {}, seed {seed}, ε = {epsilon}): {message}",
+                        shape.name()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        // The online checks run on every online-arrivals instance and on
+        // a stride of the small feasible shapes (the scaling shapes are
+        // excluded: a from-scratch residual build per arrival over 10⁴⁺
+        // workers would dominate the sweep).
+        let online_eligible = shape == Shape::OnlineArrivals
+            || (dp_eligible && shape != Shape::LargeSparse && i % 5 == 0);
+        if online_eligible {
+            let epsilon = EPSILONS[(i % EPSILONS.len() as u64) as usize];
+            match online_check(&instance, epsilon, seed) {
+                Ok(stats) => online.merge(&stats),
+                Err(message) => {
+                    eprintln!(
+                        "online check failed (shape {}, seed {seed}, ε = {epsilon}): {message}",
                         shape.name()
                     );
                     return ExitCode::FAILURE;
@@ -130,6 +151,17 @@ fn main() -> ExitCode {
         truth.price_channel_bound,
         truth.max_strict_gain,
         truth.strict_exceedances
+    );
+    println!(
+        "online: {} degenerate reductions byte-identical ({} agreed-infeasible), {} replay arrivals agreed, {} posted-price pairs ok ({} support shifts, max log-ratio {:.4}), {} covered rounds (max competitive ratio {:.3})",
+        online.degenerate_ok,
+        online.degenerate_err,
+        online.replay_arrivals,
+        online.dp_pairs,
+        online.dp_support_shifts,
+        online.max_log_ratio,
+        online.covered_rounds,
+        online.max_competitive_ratio
     );
     println!(
         "statistical DP ({} samples/profile, z = {WILSON_Z}):",

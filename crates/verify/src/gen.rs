@@ -48,11 +48,17 @@ pub enum Shape {
     /// regime the indexed engine's rank order and challenger replay are
     /// built for.
     ManyWorkers,
+    /// Streaming regime: a mid-sized redundant pool (12–20 workers over
+    /// 1–4 tasks, requirements at 30–60% of attainable) so an online
+    /// mechanism's 25% observation sample can usually cover on its own —
+    /// the shape the online differential and posted-price DP checks run
+    /// against.
+    OnlineArrivals,
 }
 
 impl Shape {
     /// Every shape, in a fixed order (sweeps cycle through this).
-    pub const ALL: [Shape; 7] = [
+    pub const ALL: [Shape; 8] = [
         Shape::Uniform,
         Shape::SkewedSkills,
         Shape::DegenerateBundles,
@@ -60,6 +66,7 @@ impl Shape {
         Shape::InfeasibleCoverage,
         Shape::LargeSparse,
         Shape::ManyWorkers,
+        Shape::OnlineArrivals,
     ];
 
     /// The small structural shapes (everything but the two scaling shapes
@@ -86,6 +93,7 @@ impl Shape {
             Shape::InfeasibleCoverage => 0x5348_0004,
             Shape::LargeSparse => 0x5348_0005,
             Shape::ManyWorkers => 0x5348_0006,
+            Shape::OnlineArrivals => 0x5348_0007,
         }
     }
 
@@ -99,6 +107,7 @@ impl Shape {
             Shape::InfeasibleCoverage => "infeasible-coverage",
             Shape::LargeSparse => "large-sparse",
             Shape::ManyWorkers => "many-workers",
+            Shape::OnlineArrivals => "online-arrivals",
         }
     }
 
@@ -127,7 +136,13 @@ pub fn generate(shape: Shape, seed: u64) -> Instance {
         let num_workers = rng.gen_range(10_000usize..=50_000);
         return many_workers_with(num_workers, &mut rng);
     }
-    let num_workers = rng.gen_range(4usize..=10);
+    let num_workers = if shape == Shape::OnlineArrivals {
+        // Enough redundancy that a 25% observation prefix can usually
+        // cover the requirements by itself.
+        rng.gen_range(12usize..=20)
+    } else {
+        rng.gen_range(4usize..=10)
+    };
     let num_tasks = rng.gen_range(1usize..=4);
 
     let bundles = gen_bundles(shape, num_workers, num_tasks, &mut rng);
@@ -150,6 +165,7 @@ pub fn generate(shape: Shape, seed: u64) -> Instance {
                 .sum();
             let factor = match shape {
                 Shape::InfeasibleCoverage => 1.5,
+                Shape::OnlineArrivals => rng.gen_range(0.3..0.6),
                 _ => rng.gen_range(0.3..0.9),
             };
             // Attainable coverage is strictly positive by construction

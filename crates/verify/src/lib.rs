@@ -13,6 +13,11 @@
 //!   on the analytic PMFs) and statistically (sampled PMFs compared with
 //!   Wilson confidence bounds), and a misreport sweep probes the
 //!   truthfulness guarantee of Theorem 3.
+//! * [`online`] — the streaming online auction must reduce to the
+//!   offline round on degenerate timelines (byte-identically), its
+//!   incremental hindsight pricer must agree with from-scratch residual
+//!   builds at every arrival, and its posted-price channel must satisfy
+//!   the exact ε-DP log-ratio bound.
 //! * [`fuzz`] — the service wire decoder must never panic on arbitrary
 //!   bytes, and every accepted document must survive a
 //!   decode → encode → decode round trip unchanged.
@@ -34,4 +39,5 @@ pub mod differential;
 pub mod dp;
 pub mod fuzz;
 pub mod gen;
+pub mod online;
 pub mod report;

@@ -1,0 +1,351 @@
+//! Differential and privacy verification of the streaming online auction.
+//!
+//! Three claims tie `mcs-sim`'s online subsystem to the offline stack,
+//! and each is checked here per instance:
+//!
+//! 1. **Degenerate reduction** — on the degenerate timeline (everyone
+//!    present at `t = 0`, no departures, threshold learned from the whole
+//!    pool) the stage-sampling mechanism in lookahead mode must admit
+//!    *byte-identically* the offline engine's cheapest-feasible winner
+//!    set, under every arrival permutation tried. On an infeasible
+//!    instance both sides must fail.
+//! 2. **Replay agreement** — the incremental hindsight pricer
+//!    ([`mcs_auction::OnlinePricer`], PR 5's warm-started replay) must
+//!    produce, at every arrival, the same quote and the same admission
+//!    decision as a from-scratch `build_residual` of the arrived pool.
+//! 3. **Posted-price ε-DP** — with [`StageThreshold::epsilon`] set, the
+//!    posted price is drawn from the exponential-mechanism PMF over the
+//!    *sample* schedule. For neighbouring bid profiles of sample workers
+//!    the analytic PMFs must satisfy the `ε` log-ratio bound, exactly as
+//!    the offline price channel does (support shifts are counted, not
+//!    failed, mirroring [`crate::dp::exact_dp_check`]).
+
+use mcs_auction::{privacy, ExponentialMechanism, ScheduleEngine, SelectionRule};
+use mcs_num::rng;
+use mcs_sim::online::{
+    ArrivalTimeline, OnlineMechanism, PricingPath, StageThreshold, TimelineConfig,
+};
+use mcs_types::{Bid, CoverageView, Instance, Price, WorkerId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Slack for floating-point comparisons against analytic bounds.
+const TOL: f64 = 1e-9;
+/// Arrival permutations tried per degenerate-reduction check.
+const PERMUTATIONS: usize = 3;
+/// Sample workers probed per posted-price DP check.
+const DP_WORKERS: usize = 3;
+/// Observation prefix used by every checked mechanism configuration.
+const SAMPLE_FRACTION: f64 = 0.25;
+
+/// Aggregate statistics over a sweep of online checks.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    /// Instances whose degenerate reduction matched byte-for-byte.
+    pub degenerate_ok: u64,
+    /// Infeasible instances where online and offline agreed to fail.
+    pub degenerate_err: u64,
+    /// Arrivals where the incremental and from-scratch quotes agreed.
+    pub replay_arrivals: u64,
+    /// Neighbour pairs whose posted-price log-ratio was checked.
+    pub dp_pairs: u64,
+    /// Neighbour pairs whose sample-schedule support shifted.
+    pub dp_support_shifts: u64,
+    /// Largest observed posted-price log-probability ratio.
+    pub max_log_ratio: f64,
+    /// Rounds that fully covered online (competitive ratio defined).
+    pub covered_rounds: u64,
+    /// Largest observed online/offline competitive ratio.
+    pub max_competitive_ratio: f64,
+}
+
+impl OnlineStats {
+    /// Folds another batch of statistics into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        self.degenerate_ok += other.degenerate_ok;
+        self.degenerate_err += other.degenerate_err;
+        self.replay_arrivals += other.replay_arrivals;
+        self.dp_pairs += other.dp_pairs;
+        self.dp_support_shifts += other.dp_support_shifts;
+        self.max_log_ratio = self.max_log_ratio.max(other.max_log_ratio);
+        self.covered_rounds += other.covered_rounds;
+        self.max_competitive_ratio = self.max_competitive_ratio.max(other.max_competitive_ratio);
+    }
+}
+
+/// Runs every online check on one instance.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn online_check(instance: &Instance, epsilon: f64, seed: u64) -> Result<OnlineStats, String> {
+    let mut stats = OnlineStats::default();
+    degenerate_reduction(instance, seed, &mut stats)?;
+    let offline = ScheduleEngine::new(SelectionRule::MarginalCoverage).build(instance);
+    if offline.is_err() {
+        // Infeasible pool: the degenerate check above already verified
+        // online agrees; the streaming and DP checks need coverage.
+        return Ok(stats);
+    }
+    replay_agreement(instance, seed, &mut stats)?;
+    posted_price_dp(instance, epsilon, seed, &mut stats)?;
+    Ok(stats)
+}
+
+/// Check 1: the degenerate timeline reproduces the offline round
+/// byte-identically, for [`PERMUTATIONS`] shuffled arrival orders (plus
+/// the canonical worker-id order).
+fn degenerate_reduction(
+    instance: &Instance,
+    seed: u64,
+    stats: &mut OnlineStats,
+) -> Result<(), String> {
+    let offline = ScheduleEngine::new(SelectionRule::MarginalCoverage).build(instance);
+    let mech = StageThreshold::new().lookahead(true);
+    let mut order: Vec<WorkerId> = (0..instance.num_workers() as u32).map(WorkerId).collect();
+    let mut shuffler = rng::derived(seed, 0x4F4E_0001);
+    for round in 0..=PERMUTATIONS {
+        if round > 0 {
+            order.shuffle(&mut shuffler);
+        }
+        let timeline = if round == 0 {
+            ArrivalTimeline::degenerate(instance)
+        } else {
+            ArrivalTimeline::from_order(&order)
+        };
+        let report = mech.run(instance, &timeline, seed);
+        match (&offline, report) {
+            (Ok(schedule), Ok(report)) => {
+                let threshold = report
+                    .threshold
+                    .ok_or_else(|| "lookahead report lost its threshold".to_string())?;
+                let online = serde_json::to_string(&mcs_auction::AuctionOutcome::new(
+                    threshold.price,
+                    report.accepted.clone(),
+                ))
+                .map_err(|e| format!("encode online outcome: {e}"))?;
+                let offline_bytes = serde_json::to_string(&mcs_auction::AuctionOutcome::new(
+                    schedule.price(0),
+                    schedule.winners(0).to_vec(),
+                ))
+                .map_err(|e| format!("encode offline outcome: {e}"))?;
+                if online != offline_bytes {
+                    return Err(format!(
+                        "degenerate reduction diverged (permutation {round}): \
+                         online {online} vs offline {offline_bytes}"
+                    ));
+                }
+                if report.total_payment != schedule.total_payment(0) {
+                    return Err(format!(
+                        "degenerate reduction: online paid {} but offline bar is {}",
+                        report.total_payment,
+                        schedule.total_payment(0)
+                    ));
+                }
+                stats.degenerate_ok += 1;
+            }
+            (Err(_), Err(_)) => stats.degenerate_err += 1,
+            (Ok(_), Err(e)) => {
+                return Err(format!(
+                    "offline covers but the lookahead online round failed: {e:?}"
+                ))
+            }
+            (Err(e), Ok(_)) => {
+                return Err(format!(
+                    "offline is infeasible ({e:?}) but the lookahead online round succeeded"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check 2: incremental and from-scratch hindsight pricing agree on
+/// every arrival's quote and on every admission decision.
+fn replay_agreement(instance: &Instance, seed: u64, stats: &mut OnlineStats) -> Result<(), String> {
+    let timeline = ArrivalTimeline::generate(instance, &TimelineConfig::default(), seed);
+    let base = StageThreshold::new().sample_fraction(SAMPLE_FRACTION);
+    let incremental = base
+        .pricing(PricingPath::Incremental)
+        .run(instance, &timeline, seed)
+        .map_err(|e| format!("incremental online round failed: {e:?}"))?;
+    let scratch = base
+        .pricing(PricingPath::FromScratch)
+        .run(instance, &timeline, seed)
+        .map_err(|e| format!("from-scratch online round failed: {e:?}"))?;
+    for (a, b) in incremental.decisions.iter().zip(&scratch.decisions) {
+        if a.hindsight != b.hindsight {
+            return Err(format!(
+                "hindsight quote diverged at worker w{}: incremental {:?} vs scratch {:?}",
+                a.worker.0, a.hindsight, b.hindsight
+            ));
+        }
+        if a.decision != b.decision {
+            return Err(format!(
+                "admission decision diverged at worker w{}: {:?} vs {:?}",
+                a.worker.0, a.decision, b.decision
+            ));
+        }
+        stats.replay_arrivals += 1;
+    }
+    if incremental.accepted != scratch.accepted
+        || incremental.total_payment != scratch.total_payment
+    {
+        return Err("round totals diverged between pricing paths".to_string());
+    }
+    if incremental.covered {
+        stats.covered_rounds += 1;
+        if let Some(ratio) = incremental.competitive_ratio {
+            stats.max_competitive_ratio = stats.max_competitive_ratio.max(ratio);
+        }
+    }
+    Ok(())
+}
+
+/// Check 3: the posted-price channel is ε-DP in the sample bids — the
+/// exponential-mechanism PMF over the sample schedule respects the
+/// log-ratio bound across neighbouring profiles of sample workers.
+fn posted_price_dp(
+    instance: &Instance,
+    epsilon: f64,
+    seed: u64,
+    stats: &mut OnlineStats,
+) -> Result<(), String> {
+    let timeline = ArrivalTimeline::generate(instance, &TimelineConfig::default(), seed);
+    let n = timeline.len();
+    let cover = instance.sparse_coverage();
+    let requirements = cover.requirements().to_vec();
+    let engine = ScheduleEngine::new(SelectionRule::MarginalCoverage);
+    // The ε-DP bound holds for the price lottery over *whatever* observed
+    // prefix the threshold is learned from, so when the mechanism's default
+    // sample cannot cover (it then has no lottery — a deterministic
+    // permissive fallback), escalate the prefix until one builds. The full
+    // pool always does: `online_check` verified offline feasibility first.
+    let mut built = None;
+    for fraction in [SAMPLE_FRACTION, 2.0 * SAMPLE_FRACTION, 1.0] {
+        let sample_size = ((fraction * n as f64).ceil() as usize).min(n);
+        let pool: Vec<WorkerId> = timeline.arrivals()[..sample_size]
+            .iter()
+            .map(|a| a.worker)
+            .collect();
+        if let Ok(schedule) = engine.build_residual(instance, &requirements, &pool) {
+            built = Some((pool, schedule));
+            break;
+        }
+    }
+    let Some((sample_pool, schedule)) = built else {
+        return Err("full arrived pool failed to cover a feasible instance".to_string());
+    };
+    let mechanism = ExponentialMechanism::for_instance(epsilon, instance)
+        .map_err(|e| format!("bad epsilon {epsilon}: {e:?}"))?;
+    let truthful = mechanism.pmf(schedule);
+
+    let mut stream = rng::derived(seed, 0x4F4E_0002);
+    for &worker in sample_pool.iter().take(DP_WORKERS) {
+        let current = instance.bids().bid(worker);
+        let lo = instance.cmin().tenths();
+        let hi = instance.cmax().tenths();
+        let now = current.price().tenths();
+        // Cost extremes stress the channel but usually shift the sample
+        // schedule's feasible-price support (recorded, compared only when
+        // possible); the ±1-tenth nudges almost never do, so they supply
+        // genuinely comparable neighbouring lotteries.
+        let mut picks = vec![
+            lo,
+            hi,
+            (now - 1).max(lo),
+            (now + 1).min(hi),
+            stream.gen_range(lo..=hi),
+        ];
+        picks.sort_unstable();
+        picks.dedup();
+        picks.retain(|&t| t != now);
+        for tenths in picks {
+            let bid = Bid::new(current.bundle().clone(), Price::from_tenths(tenths));
+            let neighbour = instance
+                .with_bid(worker, bid)
+                .map_err(|e| format!("neighbour rejected: {e:?}"))?;
+            let Ok(other_schedule) = engine.build_residual(&neighbour, &requirements, &sample_pool)
+            else {
+                stats.dp_support_shifts += 1;
+                continue;
+            };
+            let other_mechanism = ExponentialMechanism::for_instance(epsilon, &neighbour)
+                .map_err(|e| format!("bad epsilon {epsilon}: {e:?}"))?;
+            let other = other_mechanism.pmf(other_schedule);
+            match privacy::dp_log_ratio(&truthful, &other) {
+                None => stats.dp_support_shifts += 1,
+                Some(ratio) => {
+                    stats.dp_pairs += 1;
+                    stats.max_log_ratio = stats.max_log_ratio.max(ratio);
+                    if ratio > epsilon + TOL {
+                        return Err(format!(
+                            "posted-price channel: worker w{} log-ratio {ratio:.6} \
+                             exceeds ε = {epsilon}",
+                            worker.0
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, Shape};
+
+    #[test]
+    fn online_arrivals_shape_passes_all_checks() {
+        for seed in 0..10u64 {
+            let inst = generate(Shape::OnlineArrivals, seed);
+            let stats =
+                online_check(&inst, 0.5, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(stats.degenerate_ok >= 1, "seed {seed}");
+            assert!(stats.replay_arrivals > 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn structural_shapes_pass_the_online_checks_too() {
+        for shape in [Shape::Uniform, Shape::TiedPrices, Shape::DegenerateBundles] {
+            for seed in 0..5u64 {
+                let inst = generate(shape, seed);
+                online_check(&inst, 0.5, seed)
+                    .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", shape.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_instances_agree_to_fail() {
+        let inst = generate(Shape::InfeasibleCoverage, 2);
+        let stats = online_check(&inst, 0.5, 2).expect("agreement on failure");
+        assert_eq!(stats.degenerate_ok, 0);
+        assert!(stats.degenerate_err >= 1);
+        assert_eq!(stats.replay_arrivals, 0, "no streaming on infeasible pools");
+    }
+
+    #[test]
+    fn posted_price_dp_sees_real_pairs_on_the_online_shape() {
+        // Perturbing a sample worker's bid to a cost extreme often shifts
+        // the sample schedule's feasible-price support (recorded, not a
+        // failure), so scan enough seeds that genuine comparable pairs show
+        // up alongside the shifts.
+        let mut pairs = 0;
+        let mut shifts = 0;
+        for seed in 0..40u64 {
+            let inst = generate(Shape::OnlineArrivals, seed);
+            let stats = online_check(&inst, 0.5, seed).expect("checks pass");
+            pairs += stats.dp_pairs;
+            shifts += stats.dp_support_shifts;
+            assert!(stats.max_log_ratio <= 0.5 + 1e-9);
+        }
+        assert!(
+            pairs > 0,
+            "DP check never compared a real pair across 40 seeds ({shifts} support shifts)"
+        );
+    }
+}

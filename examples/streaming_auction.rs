@@ -1,0 +1,92 @@
+//! Competitive ratio of the streaming stage-threshold mechanism.
+//!
+//! Sweeps the online auction over the paper's three evaluation shapes,
+//! three arrival densities (workers per tick — lower horizons pack the
+//! same pool into denser bursts) and three observation-prefix fractions,
+//! averaging the competitive ratio `payment_online / payment_offline`
+//! over seeded rounds. Rounds where the admitted set fails to cover (the
+//! sample ate too much of the pool, or the posted price was unlucky) are
+//! reported in the `cover` column instead of being silently dropped.
+//!
+//! The table this prints is the source of the EXPERIMENTS.md
+//! "Streaming auctions" section.
+//!
+//! ```text
+//! cargo run --release --example streaming_auction
+//! ```
+
+use dp_mcs::sim::online::{ArrivalTimeline, OnlineMechanism, StageThreshold, TimelineConfig};
+use dp_mcs::Setting;
+
+fn main() {
+    let rounds = 20u64;
+    let shapes: [(&str, Setting); 3] = [
+        ("one(80)", Setting::one(80).scaled_down(2)),
+        ("two(40)", Setting::two(40).scaled_down(2)),
+        ("three(80)", Setting::three(80).scaled_down(2)),
+    ];
+    let horizons = [2_000u64, 500, 100];
+    let fractions = [0.15f64, 0.25, 0.40];
+
+    println!(
+        "{:<10} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7}",
+        "shape", "horizon", "density", "prefix", "ratio", "cover", "greedy"
+    );
+    for (name, setting) in &shapes {
+        for &horizon in &horizons {
+            for &fraction in &fractions {
+                let config = TimelineConfig {
+                    horizon,
+                    mean_stay: horizon as f64 / 4.0,
+                };
+                let mut ratio_sum = 0.0;
+                let mut ratio_n = 0u64;
+                let mut covered = 0u64;
+                let mut greedy_sum = 0.0;
+                let mut greedy_n = 0u64;
+                let mut density = 0.0;
+                for seed in 0..rounds {
+                    let instance = setting.generate(1_000 + seed).instance;
+                    let timeline = ArrivalTimeline::generate(&instance, &config, seed);
+                    density = config.density(instance.num_workers());
+                    let report = StageThreshold::new()
+                        .sample_fraction(fraction)
+                        .epsilon(0.5)
+                        .run(&instance, &timeline, seed)
+                        .expect("online round failed");
+                    if report.covered {
+                        covered += 1;
+                    }
+                    if let Some(r) = report.competitive_ratio {
+                        ratio_sum += r;
+                        ratio_n += 1;
+                    }
+                    let greedy = dp_mcs::sim::online::GreedyBaseline::new()
+                        .run(&instance, &timeline, seed)
+                        .expect("greedy round failed");
+                    if let Some(r) = greedy.competitive_ratio {
+                        greedy_sum += r;
+                        greedy_n += 1;
+                    }
+                }
+                let mean = |sum: f64, n: u64| {
+                    if n == 0 {
+                        f64::NAN
+                    } else {
+                        sum / n as f64
+                    }
+                };
+                println!(
+                    "{:<10} {:>8} {:>8.2} {:>6.0}% {:>7.2} {:>6.0}% {:>7.2}",
+                    name,
+                    horizon,
+                    density,
+                    fraction * 100.0,
+                    mean(ratio_sum, ratio_n),
+                    100.0 * covered as f64 / rounds as f64,
+                    mean(greedy_sum, greedy_n),
+                );
+            }
+        }
+    }
+}
