@@ -17,7 +17,7 @@ use serde::{DeError, Deserialize, Number, Serialize, Value};
 use mcs_auction::AuctionOutcome;
 use mcs_sim::faults::FaultPlan;
 use mcs_sim::platform::{DegradedRoundReport, ResilienceConfig};
-use mcs_types::{Instance, Price, TrueType, WorkerId};
+use mcs_types::{Instance, McsError, Price, TrueType, WorkerId};
 
 use crate::envelope::BidEnvelope;
 use crate::ledger::{CommitReceipt, RoundSpec, RoundStatusView};
@@ -357,6 +357,29 @@ pub enum WireError {
     },
     /// The JSON was valid and clean but did not match the target type.
     Shape(String),
+    /// An embedded completion model carries a probability `p_ij` outside
+    /// the half-open interval `(0, 1]`.
+    ///
+    /// Wire decoding bypasses [`Instance`]'s builder, so the builder's
+    /// model validation is re-run here: a request that smuggles `p = 0`
+    /// (a task that can never complete) or `p > 1` must fail typed at the
+    /// transport, not panic deep inside the schedule engine.
+    InvalidProbability {
+        /// Worker of the offending entry.
+        worker: u32,
+        /// Task of the offending entry.
+        task: u32,
+        /// The offending value.
+        value: f64,
+    },
+    /// An embedded completion model carries a per-task shortfall bound
+    /// `gamma_j` outside the open interval `(0, 1)`.
+    InvalidShortfallBound {
+        /// The task whose bound is invalid.
+        task: u32,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -370,6 +393,18 @@ impl fmt::Display for WireError {
                 write!(f, "duplicate key `{key}` in object at {path}")
             }
             WireError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+            WireError::InvalidProbability {
+                worker,
+                task,
+                value,
+            } => write!(
+                f,
+                "completion probability p[{worker}][{task}] = {value} is outside (0, 1]"
+            ),
+            WireError::InvalidShortfallBound { task, value } => write!(
+                f,
+                "shortfall bound gamma[{task}] = {value} is outside the open interval (0, 1)"
+            ),
         }
     }
 }
@@ -420,14 +455,50 @@ fn decode_checked<T: Deserialize>(text: &str) -> Result<T, WireError> {
     T::from_value(&value).map_err(|e| WireError::Shape(e.to_string()))
 }
 
+/// Re-runs the completion-model validation the [`Instance`] builder would
+/// have performed, mapping the typed model errors onto wire errors.
+///
+/// Everything else about a decoded instance is structurally enforced by
+/// the grammar, but completion probabilities and shortfall bounds are
+/// plain floats whose legal ranges the type system cannot see.
+fn validate_completion(instance: &Instance) -> Result<(), WireError> {
+    instance
+        .completion()
+        .validate(instance.num_workers(), instance.num_tasks())
+        .map_err(|e| match e {
+            McsError::InvalidCompletionProb {
+                worker,
+                task,
+                value,
+            } => WireError::InvalidProbability {
+                worker: worker.0,
+                task: task.0,
+                value,
+            },
+            McsError::InvalidShortfallBound { task, value } => WireError::InvalidShortfallBound {
+                task: task.0,
+                value,
+            },
+            other => WireError::Shape(other.to_string()),
+        })
+}
+
 /// Decodes one request line, rejecting syntactically valid but unsound
-/// documents (non-finite numbers, duplicate keys) with typed errors.
+/// documents (non-finite numbers, duplicate keys, out-of-range completion
+/// probabilities) with typed errors.
 ///
 /// # Errors
 ///
 /// Returns the [`WireError`] variant describing the first problem found.
 pub fn decode_request(text: &str) -> Result<Request, WireError> {
-    decode_checked(text)
+    let request: Request = decode_checked(text)?;
+    match &request {
+        Request::RunAuction { instance, .. }
+        | Request::QueryPmf { instance, .. }
+        | Request::RunResilientRound { instance, .. } => validate_completion(instance)?,
+        _ => {}
+    }
+    Ok(request)
 }
 
 /// Decodes one response line under the same validation as
@@ -845,6 +916,74 @@ mod tests {
             let json = serde_json::to_string(&req).expect("serialize");
             let back: Request = serde_json::from_str(&json).expect("deserialize");
             assert_eq!(back, req);
+        }
+    }
+
+    /// An uncertain instance whose probability (`2^-7`) and shortfall
+    /// bound (`2^-10`) render to digit strings that appear nowhere else in
+    /// the encoded document, so tests can corrupt exactly one field by
+    /// textual substitution.
+    fn uncertain_instance() -> Instance {
+        let inst = instance();
+        let rows = (0..inst.num_workers())
+            .map(|_| vec![(TaskId(0), 0.0078125)])
+            .collect();
+        let model = mcs_types::CompletionModel::Bernoulli(mcs_types::BernoulliCompletion::new(
+            rows,
+            vec![0.0009765625; inst.num_tasks()],
+        ));
+        inst.with_completion(model)
+            .expect("in-range completion model")
+    }
+
+    #[test]
+    fn uncertain_request_round_trips() {
+        let req = Request::QueryPmf {
+            instance: uncertain_instance(),
+            epsilon: 0.1,
+        };
+        let json = serde_json::to_string(&req).expect("serialize");
+        assert_eq!(decode_request(&json).expect("decode"), req);
+    }
+
+    #[test]
+    fn out_of_range_probability_is_rejected_typed() {
+        let req = Request::QueryPmf {
+            instance: uncertain_instance(),
+            epsilon: 0.1,
+        };
+        let json = serde_json::to_string(&req).expect("serialize");
+        for (bad, expect) in [("2.0078125", 2.0078125), ("0.0", 0.0), ("-0.5", -0.5)] {
+            let line = json.replace("0.0078125", bad);
+            match decode_request(&line) {
+                Err(WireError::InvalidProbability {
+                    worker,
+                    task,
+                    value,
+                }) => {
+                    assert_eq!((worker, task), (0, 0));
+                    assert_eq!(value, expect);
+                }
+                other => panic!("p = {bad} must fail typed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_shortfall_bound_is_rejected_typed() {
+        let req = Request::RunAuction {
+            instance: uncertain_instance(),
+            epsilon: 0.1,
+            seed: 7,
+        };
+        let json = serde_json::to_string(&req).expect("serialize");
+        let line = json.replace("0.0009765625", "1.0009765625");
+        match decode_request(&line) {
+            Err(WireError::InvalidShortfallBound { task, value }) => {
+                assert_eq!(task, 0);
+                assert_eq!(value, 1.0009765625);
+            }
+            other => panic!("gamma > 1 must fail typed, got {other:?}"),
         }
     }
 

@@ -24,7 +24,7 @@ use serde::{DeError, Deserialize, Serialize, Value};
 
 use mcs_agg::{LabelSet, Observation};
 use mcs_num::rng;
-use mcs_types::{Bundle, McsError, TaskId, WorkerId};
+use mcs_types::{Bundle, CompletionModel, McsError, TaskId, WorkerId};
 
 /// A reproducible description of the faults to inject into a round.
 ///
@@ -408,6 +408,129 @@ pub fn achieved_delta(coverage: f64) -> f64 {
     (-coverage.max(0.0) / 2.0).exp()
 }
 
+/// Salt XORed into the plan seed for completion draws, so Bernoulli
+/// task-completion sampling and fault-fate sampling come from disjoint
+/// RNG streams even for the same `(phase, worker)`.
+const COMPLETION_STREAM: u64 = 0x434F_4D50_4C45_5445; // "COMPLETE"
+
+/// Samples Bernoulli task completions for an uncertain
+/// [`CompletionModel`] and folds the sampled non-completions into worker
+/// fates.
+///
+/// Under [`CompletionModel::Deterministic`] — or a Bernoulli model with
+/// every `p = 1` — this is a no-op that draws nothing, so the resilient
+/// round stays byte-identical to its pre-uncertainty behaviour. Draws are
+/// keyed by `(seed ^ COMPLETION_STREAM, phase, worker)`, mirroring
+/// [`FaultInjector::fate_of`]: independent of iteration order, of the
+/// round's main RNG, and of the fault draws themselves.
+#[derive(Debug, Clone)]
+pub struct CompletionSampler<'a> {
+    model: &'a CompletionModel,
+    seed: u64,
+}
+
+impl<'a> CompletionSampler<'a> {
+    /// Wraps a completion model and the round's fault seed.
+    pub fn new(model: &'a CompletionModel, seed: u64) -> Self {
+        CompletionSampler { model, seed }
+    }
+
+    /// The tasks of `bundle` worker `worker` fails to complete in `phase`
+    /// (ascending task order). Only entries with `p < 1` consume
+    /// randomness, so adding certain tasks never shifts draws.
+    pub fn failed_tasks(&self, phase: u32, worker: WorkerId, bundle: &Bundle) -> Vec<TaskId> {
+        if !self.model.is_uncertain() {
+            return Vec::new();
+        }
+        let uncertain: Vec<(TaskId, f64)> = bundle
+            .iter()
+            .filter_map(|t| {
+                let p = self.model.p(worker, t);
+                (p < 1.0).then_some((t, p))
+            })
+            .collect();
+        if uncertain.is_empty() {
+            return Vec::new();
+        }
+        let salt = ((phase as u64) << 32) | worker.0 as u64;
+        let mut r = rng::derived(self.seed ^ COMPLETION_STREAM, salt);
+        uncertain
+            .into_iter()
+            .filter(|&(_, p)| !r.gen_bool(p))
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Merges sampled non-completions into already-drawn fates for a whole
+    /// assignment: a worker's failed tasks count exactly like dropped
+    /// tasks — a no-show where the whole bundle fails.
+    ///
+    /// Precedence: a failed task supersedes whatever else would have
+    /// happened to it, so `Delivered`/on-time `Straggler`/`Corrupted`
+    /// fates demote to [`WorkerFate::Partial`] over the surviving tasks
+    /// (corruption flips on survivors are not re-modelled — the failed
+    /// tasks simply never produce a label), and a `Partial` union that
+    /// covers the bundle becomes [`WorkerFate::NoShow`]. `NoShow` and
+    /// past-deadline stragglers deliver nothing either way and are left
+    /// untouched.
+    pub fn apply(
+        &self,
+        phase: u32,
+        assignment: &[(WorkerId, Bundle)],
+        fates: Vec<(WorkerId, WorkerFate)>,
+        deadline: u32,
+    ) -> Vec<(WorkerId, WorkerFate)> {
+        if !self.model.is_uncertain() {
+            return fates;
+        }
+        fates
+            .into_iter()
+            .map(|(w, fate)| {
+                let Some((_, bundle)) = assignment.iter().find(|(aw, _)| *aw == w) else {
+                    return (w, fate);
+                };
+                let failed = self.failed_tasks(phase, w, bundle);
+                (w, merge_non_completions(fate, failed, bundle, deadline))
+            })
+            .collect()
+    }
+}
+
+fn merge_non_completions(
+    fate: WorkerFate,
+    failed: Vec<TaskId>,
+    bundle: &Bundle,
+    deadline: u32,
+) -> WorkerFate {
+    if failed.is_empty() {
+        return fate;
+    }
+    match fate {
+        WorkerFate::NoShow => WorkerFate::NoShow,
+        WorkerFate::Straggler { delay } if delay > deadline => WorkerFate::Straggler { delay },
+        WorkerFate::Partial { mut dropped } => {
+            for t in failed {
+                if !dropped.contains(&t) {
+                    dropped.push(t);
+                }
+            }
+            dropped.sort_unstable_by_key(|t| t.0);
+            if dropped.len() == bundle.len() {
+                WorkerFate::NoShow
+            } else {
+                WorkerFate::Partial { dropped }
+            }
+        }
+        WorkerFate::Delivered | WorkerFate::Straggler { .. } | WorkerFate::Corrupted { .. } => {
+            if failed.len() == bundle.len() {
+                WorkerFate::NoShow
+            } else {
+                WorkerFate::Partial { dropped: failed }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,5 +687,106 @@ mod tests {
         };
         let e: McsError = s.into();
         assert!(matches!(e, McsError::CoverageShortfall { .. }));
+    }
+
+    fn uncertain_model(p: f64) -> CompletionModel {
+        CompletionModel::Bernoulli(mcs_types::BernoulliCompletion::new(
+            vec![vec![(TaskId(0), p), (TaskId(1), p)]],
+            vec![0.1, 0.1],
+        ))
+    }
+
+    #[test]
+    fn deterministic_sampler_draws_nothing_and_keeps_fates() {
+        let model = CompletionModel::Deterministic;
+        let sampler = CompletionSampler::new(&model, 7);
+        let bundle = Bundle::new(vec![TaskId(0), TaskId(1)]);
+        assert!(sampler.failed_tasks(0, WorkerId(0), &bundle).is_empty());
+        let fates = vec![(WorkerId(0), WorkerFate::Delivered)];
+        let assignment = vec![(WorkerId(0), bundle)];
+        assert_eq!(
+            sampler.apply(0, &assignment, fates.clone(), 10),
+            fates,
+            "deterministic apply is the identity"
+        );
+        // All-ones Bernoulli is equally inert.
+        let unit = uncertain_model(0.3).with_unit_probabilities();
+        let sampler = CompletionSampler::new(&unit, 7);
+        let bundle = Bundle::new(vec![TaskId(0), TaskId(1)]);
+        assert!(sampler.failed_tasks(0, WorkerId(0), &bundle).is_empty());
+    }
+
+    #[test]
+    fn completion_draws_are_reproducible_and_phase_keyed() {
+        let model = uncertain_model(0.5);
+        let sampler = CompletionSampler::new(&model, 42);
+        let bundle = Bundle::new(vec![TaskId(0), TaskId(1)]);
+        let a = sampler.failed_tasks(0, WorkerId(0), &bundle);
+        let b = sampler.failed_tasks(0, WorkerId(0), &bundle);
+        assert_eq!(a, b, "same (seed, phase, worker) must redraw identically");
+        // Across many phases a p = 0.5 pair must fail at least once and
+        // succeed at least once.
+        let outcomes: Vec<usize> = (0..64)
+            .map(|ph| sampler.failed_tasks(ph, WorkerId(0), &bundle).len())
+            .collect();
+        assert!(outcomes.iter().any(|&n| n > 0));
+        assert!(outcomes.contains(&0));
+    }
+
+    #[test]
+    fn merge_counts_full_bundle_failure_as_no_show() {
+        let model = uncertain_model(1e-9);
+        let sampler = CompletionSampler::new(&model, 3);
+        let bundle = Bundle::new(vec![TaskId(0), TaskId(1)]);
+        let assignment = vec![(WorkerId(0), bundle.clone())];
+        // p ≈ 0 ⇒ both tasks fail; every delivering fate demotes to NoShow.
+        for fate in [
+            WorkerFate::Delivered,
+            WorkerFate::Straggler { delay: 1 },
+            WorkerFate::Corrupted {
+                flipped: vec![TaskId(0)],
+            },
+            WorkerFate::Partial {
+                dropped: vec![TaskId(1)],
+            },
+        ] {
+            let merged = sampler.apply(0, &assignment, vec![(WorkerId(0), fate)], 10);
+            assert_eq!(merged, vec![(WorkerId(0), WorkerFate::NoShow)]);
+        }
+        // No-shows and late stragglers deliver nothing either way.
+        let late = WorkerFate::Straggler { delay: 99 };
+        let merged = sampler.apply(0, &assignment, vec![(WorkerId(0), late.clone())], 10);
+        assert_eq!(merged, vec![(WorkerId(0), late)]);
+    }
+
+    #[test]
+    fn merge_partial_failure_drops_only_failed_tasks() {
+        // Only task 0 is uncertain (and nearly always fails); task 1 is
+        // certain and must survive as a Partial.
+        let model = CompletionModel::Bernoulli(mcs_types::BernoulliCompletion::new(
+            vec![vec![(TaskId(0), 1e-9)]],
+            vec![0.1, 0.1],
+        ));
+        let sampler = CompletionSampler::new(&model, 5);
+        let bundle = Bundle::new(vec![TaskId(0), TaskId(1)]);
+        let assignment = vec![(WorkerId(0), bundle)];
+        let merged = sampler.apply(
+            0,
+            &assignment,
+            vec![(WorkerId(0), WorkerFate::Delivered)],
+            10,
+        );
+        assert_eq!(
+            merged,
+            vec![(
+                WorkerId(0),
+                WorkerFate::Partial {
+                    dropped: vec![TaskId(0)]
+                }
+            )]
+        );
+        // A partial worker is not paid — sampled non-completions gate
+        // payment exactly like dropouts.
+        assert!(!merged[0].1.delivered_in_full(10));
     }
 }

@@ -22,7 +22,8 @@ use mcs_types::{
 use mcs_auction::{AuctionOutcome, DpHsrcAuction, Mechanism, ScheduledMechanism};
 
 use crate::faults::{
-    achieved_delta, filter_labels, CoverageShortfall, FaultInjector, FaultPlan, WorkerFate,
+    achieved_delta, filter_labels, CompletionSampler, CoverageShortfall, FaultInjector, FaultPlan,
+    WorkerFate,
 };
 
 /// The report of one full platform round.
@@ -580,6 +581,7 @@ where
     R: Rng + ?Sized,
 {
     let injector = FaultInjector::new(plan.clone())?;
+    let completions = CompletionSampler::new(instance.completion(), plan.seed);
     let cover = instance.sparse_coverage();
     let num_tasks = instance.num_tasks();
 
@@ -593,7 +595,17 @@ where
     let truth: Vec<Label> = (0..num_tasks).map(|_| Label::random(rng)).collect();
     let ideal = generate_labels(instance.skills(), &truth, &assignment, rng);
 
-    let fates = injector.fates_for(0, &assignment);
+    // Uncertain tasks fail like dropouts: sampled non-completions are
+    // folded into the fates before labels are filtered, so coverage
+    // accounting, payment gating, and the degradation report all see them
+    // exactly as they see no-shows. Deterministic instances skip this
+    // (and draw nothing), keeping the pre-uncertainty byte-identity.
+    let fates = completions.apply(
+        0,
+        &assignment,
+        injector.fates_for(0, &assignment),
+        config.deadline,
+    );
     let mut delivered = filter_labels(&ideal, &fates, config.deadline);
 
     let mut paid: Vec<(WorkerId, Price)> = fates
@@ -635,7 +647,12 @@ where
             .map(|&w| (w, instance.bids().bid(w).bundle().clone()))
             .collect();
         let bf_labels = generate_labels(instance.skills(), &truth, &bf_assignment, rng);
-        let bf_fates = injector.fates_for(backfill_attempts as u32, &bf_assignment);
+        let bf_fates = completions.apply(
+            backfill_attempts as u32,
+            &bf_assignment,
+            injector.fates_for(backfill_attempts as u32, &bf_assignment),
+            config.deadline,
+        );
         for obs in filter_labels(&bf_labels, &bf_fates, config.deadline).iter() {
             delivered.push(obs);
         }

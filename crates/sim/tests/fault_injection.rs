@@ -189,3 +189,190 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&acc));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Uncertain tasks: sampled non-completions must flow through the same
+// fate/payment/coverage accounting as injected dropouts.
+// ---------------------------------------------------------------------------
+
+use mcs_sim::faults::WorkerFate;
+use mcs_types::{BernoulliCompletion, CompletionModel};
+
+/// Attach a Bernoulli completion model (uniform probability `p`) to a
+/// generated instance, deriving each task's shortfall budget `gamma_j` from
+/// its pool headroom so the inflated quota `R_j` stays attainable:
+/// with `M_j = 0.97 * p * A_j - Q_j` the Chernoff quota at
+/// `L = M^2 / (2 (M + Q))` exactly exhausts the discounted pool, so
+/// `L_j = 0.9 * L_max` leaves a safety margin.
+fn uncertain_twin(instance: &Instance, p: f64) -> Instance {
+    let sparse = instance.sparse_coverage();
+    let mut pool = vec![0.0f64; instance.num_tasks()];
+    for w in 0..instance.num_workers() {
+        for (t, q) in sparse.row(w) {
+            pool[t] += q;
+        }
+    }
+    let cover = instance.coverage_problem();
+    let gammas: Vec<f64> = (0..instance.num_tasks())
+        .map(|j| {
+            let q = cover.requirement(TaskId(j as u32));
+            let m = 0.97 * p * pool[j] - q;
+            assert!(m > 0.0, "task {j} has no headroom for quota inflation");
+            let l = 0.9 * m * m / (2.0 * (m + q));
+            (-l).exp().clamp(1e-6, 1.0 - 1e-6)
+        })
+        .collect();
+    let rows = (0..instance.num_workers())
+        .map(|_| {
+            (0..instance.num_tasks())
+                .map(|j| (TaskId(j as u32), p))
+                .collect()
+        })
+        .collect();
+    let model = CompletionModel::Bernoulli(BernoulliCompletion::new(rows, gammas));
+    instance
+        .with_completion(model)
+        .expect("uniform completion model is valid")
+}
+
+/// Seeded end-to-end check: with no injected faults at all, uncertain tasks
+/// alone demote fates, withhold payment, and appear in the shortfall report
+/// exactly like no-shows would.
+#[test]
+fn sampled_non_completions_count_like_no_shows() {
+    let g = Setting::one(80).generate(0);
+    let (instance, types) = (g.instance, g.types);
+    let uncertain = uncertain_twin(&instance, 0.93);
+    let auction = DpHsrcAuction::new(0.1).expect("valid epsilon");
+    let plan = FaultPlan {
+        seed: 11,
+        ..FaultPlan::none()
+    };
+    let config = ResilienceConfig::default();
+
+    let mut r = rng::seeded(5);
+    let report = run_round_resilient(&uncertain, &types, &auction, &plan, &config, &mut r)
+        .expect("headroom-derived gammas keep the instance feasible");
+
+    // Every generic invariant holds against the *inflated* requirements.
+    check_report(&uncertain, &types, &report);
+
+    // The pinned seed samples real failures, and none of those workers is
+    // paid for phase 0.
+    let failed: Vec<WorkerId> = report
+        .fates
+        .iter()
+        .filter(|(_, f)| !f.delivered_in_full(config.deadline))
+        .map(|(w, _)| *w)
+        .collect();
+    assert!(
+        !failed.is_empty(),
+        "pinned seed must sample at least one non-completion"
+    );
+    let phase0_paid: Vec<WorkerId> = report
+        .paid
+        .iter()
+        .filter(|(_, price)| *price == report.round.outcome.price())
+        .map(|(w, _)| *w)
+        .collect();
+    for w in &failed {
+        assert!(
+            !phase0_paid.contains(w),
+            "worker {w} failed a task but was paid for phase 0"
+        );
+    }
+
+    // Labels from failed tasks never reach aggregation: a NoShow worker
+    // contributes nothing, a Partial worker nothing for its dropped tasks.
+    for (w, fate) in &report.fates {
+        match fate {
+            WorkerFate::NoShow => {
+                assert!(
+                    report.round.labels.iter().all(|obs| obs.worker != *w),
+                    "no-show worker {w} left labels behind"
+                );
+            }
+            WorkerFate::Partial { dropped } => {
+                for t in dropped {
+                    assert!(
+                        report
+                            .round
+                            .labels
+                            .for_task(*t)
+                            .iter()
+                            .all(|(lw, _)| lw != w),
+                        "worker {w} labelled dropped task {t}"
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Strict aggregation over the surviving labels: every task that kept at
+    // least one label gets the same verdict the report shows; a task
+    // stripped bare is a typed EmptyLabelSet fault, not a panic.
+    match mcs_agg::weighted_aggregate_strict(
+        &report.round.labels,
+        uncertain.skills(),
+        uncertain.num_tasks(),
+    ) {
+        Ok(verdicts) => {
+            for (v, estimate) in verdicts.iter().zip(&report.round.estimates) {
+                assert_eq!(Some(*v), *estimate);
+            }
+        }
+        Err(mcs_types::McsError::EmptyLabelSet { task }) => {
+            assert!(report.round.labels.for_task(task).is_empty());
+        }
+        Err(e) => panic!("unexpected aggregation error: {e}"),
+    }
+
+    // The deterministic twin under the same seeds sees no failures at all —
+    // the demotions above are entirely the completion sampler's doing.
+    let mut r = rng::seeded(5);
+    let det = run_round_resilient(&instance, &types, &auction, &plan, &config, &mut r)
+        .expect("generated instances are feasible");
+    assert!(det
+        .fates
+        .iter()
+        .all(|(_, f)| f.delivered_in_full(config.deadline)));
+    assert!(!det.degraded());
+    assert_eq!(det.backfill_attempts, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Uncertain instances through the resilient engine: the whole report
+    /// invariant suite (payments, utilities, achieved coverage against the
+    /// inflated quotas, shortfall typing) holds for arbitrary completion
+    /// draws, with and without injected faults on top.
+    #[test]
+    fn prop_uncertain_rounds_are_sound(
+        instance_seed in 0u64..4,
+        round_seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        no_show in 0.0f64..0.2,
+    ) {
+        let g = Setting::one(80).generate(instance_seed);
+        let uncertain = uncertain_twin(&g.instance, 0.93);
+        let auction = DpHsrcAuction::new(0.1).expect("valid epsilon");
+        let plan = FaultPlan {
+            no_show_rate: no_show,
+            seed: fault_seed,
+            ..FaultPlan::none()
+        };
+        let mut r = rng::seeded(round_seed);
+        let report = run_round_resilient(
+            &uncertain,
+            &g.types,
+            &auction,
+            &plan,
+            &ResilienceConfig::default(),
+            &mut r,
+        )
+        .expect("headroom-derived gammas keep the instance feasible");
+        check_report(&uncertain, &g.types, &report);
+    }
+}

@@ -26,7 +26,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{CoverageProblem, McsError, TaskId, WorkerId};
+use crate::{CoverageProblem, McsError, TaskId, UncertainCoverage, WorkerId};
 
 /// Tolerance below which residual coverage counts as satisfied — the same
 /// constant the schedule engines use.
@@ -115,6 +115,36 @@ pub trait CoverageView {
         }
         Ok(())
     }
+
+    /// Whether this problem was derived under an uncertain completion
+    /// model — i.e. stored weights are effective `p_ij · q_ij` and
+    /// requirements are chance-constrained quotas `R_j`.
+    fn is_uncertain(&self) -> bool {
+        false
+    }
+
+    /// Completion probability `p_ij` of the entry behind `q(worker, task)`
+    /// (`1.0` for certain problems and for entries without an override).
+    fn completion_prob(&self, worker: WorkerId, task: TaskId) -> f64 {
+        let _ = (worker, task);
+        1.0
+    }
+
+    /// The original deterministic requirement `Q_j = 2 ln(1/δ_j)`.
+    ///
+    /// Equals [`CoverageView::requirement`] for certain problems; under
+    /// an uncertain model `requirement` returns the inflated quota `R_j`
+    /// and this returns the `Q_j` the Monte Carlo verifier checks realized
+    /// coverage against.
+    fn base_requirement(&self, task: TaskId) -> f64 {
+        self.requirement(task)
+    }
+
+    /// The chance-constraint shortfall bound `γ_j`, when one exists.
+    fn shortfall_bound(&self, task: TaskId) -> Option<f64> {
+        let _ = task;
+        None
+    }
 }
 
 impl CoverageView for CoverageProblem {
@@ -177,11 +207,19 @@ pub struct SparseCoverage {
     weights: Vec<f64>,
     totals: Vec<f64>,
     requirements: Vec<f64>,
+    /// Present only when the owning instance's completion model is
+    /// effectively uncertain (some stored `p < 1`); `weights` are then
+    /// `p_ij · q_ij` and `requirements` the chance quotas `R_j`. Kept
+    /// `None` in the degenerate all-`p = 1` case so the problem — and its
+    /// `PartialEq`/serde forms — stay identical to the deterministic one.
+    #[serde(default)]
+    uncertainty: Option<UncertainCoverage>,
 }
 
 impl SparseCoverage {
     /// Assembles a CSR problem from already-validated parts. Internal:
     /// public construction goes through the checked constructors.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         num_workers: usize,
         num_tasks: usize,
@@ -190,11 +228,15 @@ impl SparseCoverage {
         weights: Vec<f64>,
         totals: Vec<f64>,
         requirements: Vec<f64>,
+        uncertainty: Option<UncertainCoverage>,
     ) -> Self {
         debug_assert_eq!(offsets.len(), num_workers + 1);
         debug_assert_eq!(tasks.len(), weights.len());
         debug_assert_eq!(totals.len(), num_workers);
         debug_assert_eq!(requirements.len(), num_tasks);
+        if let Some(u) = &uncertainty {
+            debug_assert_eq!(u.probs().len(), weights.len());
+        }
         SparseCoverage {
             num_workers,
             num_tasks,
@@ -203,6 +245,7 @@ impl SparseCoverage {
             weights,
             totals,
             requirements,
+            uncertainty,
         }
     }
 
@@ -270,6 +313,7 @@ impl SparseCoverage {
             weights,
             totals,
             requirements,
+            uncertainty: None,
         })
     }
 
@@ -302,6 +346,7 @@ impl SparseCoverage {
             weights,
             totals,
             requirements: cover.requirements().to_vec(),
+            uncertainty: None,
         }
     }
 
@@ -346,6 +391,7 @@ impl SparseCoverage {
         let mut tasks = Vec::new();
         let mut weights = Vec::new();
         let mut totals = Vec::with_capacity(workers.len());
+        let mut ranges = Vec::with_capacity(workers.len());
         offsets.push(0);
         for &w in workers {
             let lo = self.offsets[w.index()];
@@ -353,6 +399,7 @@ impl SparseCoverage {
             tasks.extend_from_slice(&self.tasks[lo..hi]);
             weights.extend_from_slice(&self.weights[lo..hi]);
             totals.push(self.totals[w.index()]);
+            ranges.push((lo, hi));
             offsets.push(tasks.len());
         }
         (
@@ -364,13 +411,19 @@ impl SparseCoverage {
                 weights,
                 totals,
                 requirements: self.requirements.clone(),
+                uncertainty: self
+                    .uncertainty
+                    .as_ref()
+                    .map(|u| u.restrict_entries(&ranges)),
             },
             workers.to_vec(),
         )
     }
 
     /// Materializes the equivalent dense problem (tests and the dense
-    /// baseline bench; never on hot paths).
+    /// baseline bench; never on hot paths). Effective weights and quotas
+    /// are already baked into the numbers; the uncertainty *metadata* is
+    /// not carried — the dense layout stays the plain engine reference.
     pub fn to_dense(&self) -> CoverageProblem {
         let mut q = vec![0.0; self.num_workers * self.num_tasks];
         for i in 0..self.num_workers {
@@ -430,6 +483,34 @@ impl CoverageView for SparseCoverage {
     #[inline]
     fn beta(&self) -> f64 {
         self.totals.iter().copied().fold(0.0, f64::max)
+    }
+
+    #[inline]
+    fn is_uncertain(&self) -> bool {
+        self.uncertainty.is_some()
+    }
+
+    fn completion_prob(&self, worker: WorkerId, task: TaskId) -> f64 {
+        let Some(u) = &self.uncertainty else {
+            return 1.0;
+        };
+        let lo = self.offsets[worker.index()];
+        let hi = self.offsets[worker.index() + 1];
+        match self.tasks[lo..hi].binary_search(&task.0) {
+            Ok(pos) => u.probs()[lo + pos],
+            Err(_) => 1.0,
+        }
+    }
+
+    fn base_requirement(&self, task: TaskId) -> f64 {
+        match &self.uncertainty {
+            Some(u) => u.base_requirements()[task.index()],
+            None => self.requirements[task.index()],
+        }
+    }
+
+    fn shortfall_bound(&self, task: TaskId) -> Option<f64> {
+        self.uncertainty.as_ref().map(|u| u.gammas()[task.index()])
     }
 
     /// One pass over all entries instead of `K` column scans. Per-column

@@ -112,6 +112,9 @@ mod field {
     pub const DELTAS: u8 = 0x04;
     pub const PRICE_GRID: u8 = 0x05;
     pub const COST_RANGE: u8 = 0x06;
+    /// Written only when the completion model is effectively uncertain
+    /// (some stored `p < 1`); see [`Instance::digest`](crate::Instance::digest).
+    pub const COMPLETION: u8 = 0x07;
 }
 
 impl Instance {
@@ -170,6 +173,31 @@ impl Instance {
         h.tag(field::COST_RANGE);
         h.write_i64(self.cmin().tenths());
         h.write_i64(self.cmax().tenths());
+
+        // Canonicalization, not an omission: a completion model with every
+        // stored p = 1 (or no model at all) yields provably the same
+        // effective covering problem — hence the same schedules and PMFs —
+        // as Deterministic, so both digest identically and may share cache
+        // entries. Any p < 1 makes the model (probabilities and shortfall
+        // bounds) part of what the mechanisms compute over, so it is mixed
+        // in.
+        if let crate::CompletionModel::Bernoulli(b) = self.completion() {
+            if self.completion().is_uncertain() {
+                h.tag(field::COMPLETION);
+                h.write_usize(b.rows().len());
+                for row in b.rows() {
+                    h.write_usize(row.len());
+                    for &(t, p) in row {
+                        h.write_u32(t.0);
+                        h.write_f64(p);
+                    }
+                }
+                h.write_usize(b.gammas().len());
+                for &g in b.gammas() {
+                    h.write_f64(g);
+                }
+            }
+        }
 
         h.finish()
     }
@@ -325,6 +353,37 @@ mod tests {
             .build()
             .unwrap();
         assert_ne!(base().digest(), range.digest());
+    }
+
+    #[test]
+    fn completion_model_digest_canonicalization() {
+        use crate::{BernoulliCompletion, CompletionModel};
+        let inst = base();
+        // All-ones Bernoulli is provably equivalent to Deterministic, so it
+        // digests identically (shared PmfCache entries are sound).
+        let unit = inst
+            .with_completion(CompletionModel::Bernoulli(BernoulliCompletion::new(
+                vec![vec![(TaskId(0), 1.0)], vec![(TaskId(1), 1.0)]],
+                vec![0.1, 0.2],
+            )))
+            .unwrap();
+        assert_eq!(inst.digest(), unit.digest());
+        // Any p < 1 is read by the mechanisms and must change the digest.
+        let uncertain = inst
+            .with_completion(CompletionModel::Bernoulli(BernoulliCompletion::new(
+                vec![vec![(TaskId(0), 0.9)], vec![]],
+                vec![0.1, 0.2],
+            )))
+            .unwrap();
+        assert_ne!(inst.digest(), uncertain.digest());
+        // ... and so must the shortfall bounds, once uncertain.
+        let tighter = inst
+            .with_completion(CompletionModel::Bernoulli(BernoulliCompletion::new(
+                vec![vec![(TaskId(0), 0.9)], vec![]],
+                vec![0.05, 0.2],
+            )))
+            .unwrap();
+        assert_ne!(uncertain.digest(), tighter.digest());
     }
 
     #[test]

@@ -126,6 +126,33 @@ pub enum McsError {
         /// The offending value.
         value: f64,
     },
+    /// A completion probability `p_ij` was outside the half-open interval
+    /// `(0, 1]` (zero-probability entries must simply be omitted from the
+    /// bundle).
+    InvalidCompletionProb {
+        /// Worker of the offending entry.
+        worker: WorkerId,
+        /// Task of the offending entry.
+        task: TaskId,
+        /// The offending value.
+        value: f64,
+    },
+    /// A chance-constraint shortfall bound `γ_j` was outside the open
+    /// interval `(0, 1)`.
+    InvalidShortfallBound {
+        /// The task whose bound is invalid.
+        task: TaskId,
+        /// The offending value.
+        value: f64,
+    },
+    /// A completion model listed the same `(worker, task)` probability
+    /// twice.
+    DuplicateCompletionEntry {
+        /// Worker of the repeated entry.
+        worker: WorkerId,
+        /// Task of the repeated entry.
+        task: TaskId,
+    },
     /// An exact-solver backend failed (ILP stack errors surface here so the
     /// whole workspace shares one error type).
     Solver {
@@ -208,6 +235,22 @@ impl fmt::Display for McsError {
             McsError::InvalidEpsilon { value } => {
                 write!(f, "privacy budget epsilon = {value} must be positive and finite")
             }
+            McsError::InvalidCompletionProb {
+                worker,
+                task,
+                value,
+            } => write!(
+                f,
+                "completion probability p[{worker}][{task}] = {value} is outside (0, 1]"
+            ),
+            McsError::InvalidShortfallBound { task, value } => write!(
+                f,
+                "shortfall bound gamma[{task}] = {value} is outside the open interval (0, 1)"
+            ),
+            McsError::DuplicateCompletionEntry { worker, task } => write!(
+                f,
+                "completion probability p[{worker}][{task}] was listed more than once"
+            ),
             McsError::Solver { message } => {
                 write!(f, "exact solver failed: {message}")
             }
@@ -260,6 +303,27 @@ mod tests {
         assert!(msg.contains("1.25"));
         let e = McsError::EmptyLabelSet { task: TaskId(7) };
         assert!(e.to_string().contains("t7"));
+    }
+
+    #[test]
+    fn completion_variants_render() {
+        let e = McsError::InvalidCompletionProb {
+            worker: WorkerId(1),
+            task: TaskId(2),
+            value: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("w1") && msg.contains("t2") && msg.contains("1.5"));
+        let e = McsError::InvalidShortfallBound {
+            task: TaskId(0),
+            value: 0.0,
+        };
+        assert!(e.to_string().contains("gamma[t0]"));
+        let e = McsError::DuplicateCompletionEntry {
+            worker: WorkerId(3),
+            task: TaskId(4),
+        };
+        assert!(e.to_string().contains("more than once"));
     }
 
     #[test]

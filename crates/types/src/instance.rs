@@ -3,7 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    Bid, BidProfile, McsError, Price, PriceGrid, SkillMatrix, SparseCoverage, TaskId, WorkerId,
+    chance_quota, Bid, BidProfile, CompletionModel, McsError, Price, PriceGrid, SkillMatrix,
+    SparseCoverage, TaskId, UncertainCoverage, WorkerId,
 };
 
 /// A complete, validated input to the hSRC auction.
@@ -47,6 +48,10 @@ pub struct Instance {
     price_grid: PriceGrid,
     cmin: Price,
     cmax: Price,
+    /// Task-completion model; defaults to [`CompletionModel::Deterministic`]
+    /// (instances serialized before this field existed decode as such).
+    #[serde(default)]
+    completion: CompletionModel,
 }
 
 impl Instance {
@@ -59,6 +64,7 @@ impl Instance {
             deltas: None,
             price_grid: None,
             cost_range: None,
+            completion: None,
         }
     }
 
@@ -117,20 +123,59 @@ impl Instance {
         self.cmax - self.cmin
     }
 
+    /// The task-completion model.
+    #[inline]
+    pub fn completion(&self) -> &CompletionModel {
+        &self.completion
+    }
+
+    /// Returns a copy of this instance with a different completion model.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as the builder's — see [`CompletionModel::validate`].
+    pub fn with_completion(&self, completion: CompletionModel) -> Result<Instance, McsError> {
+        completion.validate(self.num_workers(), self.num_tasks)?;
+        Ok(Instance {
+            completion,
+            ..self.clone()
+        })
+    }
+
     /// Derives the covering problem `(q, Q)` of the TPM formulation.
     ///
     /// `q_ij = (2θ_ij − 1)²` where task `j` is in worker `i`'s bundle and 0
     /// elsewhere; `Q_j = 2 ln(1/δ_j)`.
+    ///
+    /// Under an uncertain [`CompletionModel`] this is the *effective*
+    /// problem: weights become `p_ij · q_ij` and any task with an incident
+    /// `p < 1` entry gets the chance quota [`chance_quota`]`(Q_j, γ_j)`
+    /// instead of `Q_j`. Entries with `p = 1` and certain tasks keep the
+    /// verbatim deterministic expressions, so the all-`p = 1` case is
+    /// bit-identical to [`CompletionModel::Deterministic`].
     pub fn coverage_problem(&self) -> CoverageProblem {
         let n = self.num_workers();
         let k = self.num_tasks;
+        let uncertain_model = self.completion.is_uncertain();
+        let mut task_uncertain = vec![false; k];
         let mut q = vec![0.0; n * k];
         for (wid, bid) in self.bids.iter() {
             for t in bid.bundle().iter() {
-                q[wid.index() * k + t.index()] = self.skills.q(wid, t);
+                let raw = self.skills.q(wid, t);
+                let p = if uncertain_model {
+                    self.completion.p(wid, t)
+                } else {
+                    1.0
+                };
+                q[wid.index() * k + t.index()] = if p < 1.0 && raw > 0.0 {
+                    task_uncertain[t.index()] = true;
+                    p * raw
+                } else {
+                    raw
+                };
             }
         }
-        let requirements = self.deltas.iter().map(|&d| 2.0 * (1.0 / d).ln()).collect();
+        let requirements = self.effective_requirements(&task_uncertain);
         CoverageProblem {
             num_workers: n,
             num_tasks: k,
@@ -148,9 +193,12 @@ impl Instance {
     /// dense path (see the `coverage` module docs for the argument).
     pub fn sparse_coverage(&self) -> SparseCoverage {
         let n = self.num_workers();
+        let uncertain_model = self.completion.is_uncertain();
+        let mut task_uncertain = vec![false; self.num_tasks];
         let mut offsets = Vec::with_capacity(n + 1);
         let mut tasks = Vec::new();
         let mut weights = Vec::new();
+        let mut probs = Vec::new();
         let mut totals = Vec::with_capacity(n);
         offsets.push(0);
         for (wid, bid) in self.bids.iter() {
@@ -158,17 +206,40 @@ impl Instance {
             // Bundles iterate sorted and deduplicated, so rows come out in
             // ascending task order with no repeated cells.
             for t in bid.bundle().iter() {
-                let q = self.skills.q(wid, t);
-                if q > 0.0 {
+                let raw = self.skills.q(wid, t);
+                if raw > 0.0 {
+                    let p = if uncertain_model {
+                        self.completion.p(wid, t)
+                    } else {
+                        1.0
+                    };
+                    let q = if p < 1.0 {
+                        task_uncertain[t.index()] = true;
+                        p * raw
+                    } else {
+                        raw
+                    };
                     tasks.push(t.0);
                     weights.push(q);
+                    if uncertain_model {
+                        probs.push(p);
+                    }
                     total += q;
                 }
             }
             totals.push(total);
             offsets.push(tasks.len());
         }
-        let requirements = self.deltas.iter().map(|&d| 2.0 * (1.0 / d).ln()).collect();
+        let requirements = self.effective_requirements(&task_uncertain);
+        let uncertainty = if uncertain_model {
+            let base = self.deltas.iter().map(|&d| 2.0 * (1.0 / d).ln()).collect();
+            let gammas = (0..self.num_tasks)
+                .map(|j| self.completion.gamma(TaskId(j as u32)).unwrap_or(1.0))
+                .collect();
+            Some(UncertainCoverage::from_parts(probs, base, gammas))
+        } else {
+            None
+        };
         SparseCoverage::from_parts(
             n,
             self.num_tasks,
@@ -177,7 +248,30 @@ impl Instance {
             weights,
             totals,
             requirements,
+            uncertainty,
         )
+    }
+
+    /// `Q_j = 2 ln(1/δ_j)` for certain tasks, the Chernoff chance quota
+    /// `R_j = `[`chance_quota`]`(Q_j, γ_j)` for tasks flagged as having an
+    /// incident `p < 1` entry. The certain branch is the verbatim
+    /// deterministic expression — the key to the `p = 1` bit-identity.
+    fn effective_requirements(&self, task_uncertain: &[bool]) -> Vec<f64> {
+        self.deltas
+            .iter()
+            .enumerate()
+            .map(|(j, &d)| {
+                let base = 2.0 * (1.0 / d).ln();
+                if task_uncertain[j] {
+                    match self.completion.gamma(TaskId(j as u32)) {
+                        Some(g) => chance_quota(base, g),
+                        None => base,
+                    }
+                } else {
+                    base
+                }
+            })
+            .collect()
     }
 
     /// Returns a neighbouring instance that differs only in `worker`'s bid.
@@ -392,6 +486,7 @@ pub struct InstanceBuilder {
     deltas: Option<Vec<f64>>,
     price_grid: Option<PriceGrid>,
     cost_range: Option<(Price, Price)>,
+    completion: Option<CompletionModel>,
 }
 
 impl InstanceBuilder {
@@ -445,6 +540,13 @@ impl InstanceBuilder {
         self
     }
 
+    /// Sets the task-completion model (defaults to
+    /// [`CompletionModel::Deterministic`]).
+    pub fn completion(mut self, model: CompletionModel) -> Self {
+        self.completion = Some(model);
+        self
+    }
+
     /// Validates all fields and produces the instance.
     ///
     /// # Errors
@@ -457,6 +559,10 @@ impl InstanceBuilder {
     /// * [`McsError::InvalidErrorBound`] — some `δ_j ∉ (0, 1)`.
     /// * [`McsError::InvalidCostRange`] — `c_max < c_min` or a bid price
     ///   outside `[c_min, c_max]`.
+    /// * [`McsError::InvalidCompletionProb`] /
+    ///   [`McsError::InvalidShortfallBound`] /
+    ///   [`McsError::DuplicateCompletionEntry`] — an invalid completion
+    ///   model (see [`CompletionModel::validate`]).
     pub fn build(self) -> Result<Instance, McsError> {
         let bids = self.bids.ok_or(McsError::MissingField { field: "bids" })?;
         let skills = self
@@ -519,6 +625,9 @@ impl InstanceBuilder {
             }
         }
 
+        let completion = self.completion.unwrap_or_default();
+        completion.validate(bids.len(), self.num_tasks)?;
+
         Ok(Instance {
             num_tasks: self.num_tasks,
             bids,
@@ -527,6 +636,7 @@ impl InstanceBuilder {
             price_grid,
             cmin,
             cmax,
+            completion,
         })
     }
 }
@@ -665,6 +775,76 @@ mod tests {
     }
 
     #[test]
+    fn uncertain_completion_scales_weights_and_inflates_quota() {
+        use crate::{BernoulliCompletion, CoverageView};
+        let det = valid_builder().build().unwrap();
+        let model = CompletionModel::Bernoulli(BernoulliCompletion::new(
+            vec![vec![(TaskId(0), 0.5)], vec![]],
+            vec![0.1, 0.2],
+        ));
+        let inst = valid_builder().completion(model).build().unwrap();
+        let cover = inst.coverage_problem();
+        let sparse = inst.sparse_coverage();
+        // q(0,0) = (2·0.9 − 1)² = 0.64, scaled by p = 0.5.
+        assert!((cover.q(WorkerId(0), TaskId(0)) - 0.32).abs() < 1e-12);
+        // Entries without an override keep the exact deterministic bits.
+        assert_eq!(
+            cover.q(WorkerId(1), TaskId(1)).to_bits(),
+            det.coverage_problem().q(WorkerId(1), TaskId(1)).to_bits()
+        );
+        // Task 0 (incident p < 1) gets the chance quota; task 1 stays at
+        // the verbatim 2 ln(1/δ) bits.
+        let q0 = 2.0 * (1.0f64 / 0.15).ln();
+        assert_eq!(
+            cover.requirement(TaskId(0)).to_bits(),
+            chance_quota(q0, 0.1).to_bits()
+        );
+        assert!(cover.requirement(TaskId(0)) > q0);
+        assert_eq!(cover.requirement(TaskId(1)).to_bits(), q0.to_bits());
+        // The CSR problem carries the chance-constraint metadata.
+        assert!(CoverageView::is_uncertain(&sparse));
+        assert_eq!(sparse.completion_prob(WorkerId(0), TaskId(0)), 0.5);
+        assert_eq!(sparse.completion_prob(WorkerId(1), TaskId(1)), 1.0);
+        assert_eq!(sparse.base_requirement(TaskId(0)).to_bits(), q0.to_bits());
+        assert_eq!(sparse.shortfall_bound(TaskId(0)), Some(0.1));
+        assert_eq!(sparse.shortfall_bound(TaskId(1)), Some(0.2));
+        // Dense and sparse derive the same effective numbers.
+        assert_eq!(sparse.to_dense(), cover);
+        // Metadata survives worker restriction, staying entry-aligned.
+        let (sub, _) = sparse.restrict_to(&[WorkerId(0)]);
+        assert_eq!(sub.completion_prob(WorkerId(0), TaskId(0)), 0.5);
+    }
+
+    #[test]
+    fn unit_probability_bernoulli_is_bit_identical_to_deterministic() {
+        use crate::BernoulliCompletion;
+        let det = valid_builder().build().unwrap();
+        let model = CompletionModel::Bernoulli(BernoulliCompletion::new(
+            vec![vec![(TaskId(0), 1.0)], vec![(TaskId(1), 1.0)]],
+            vec![0.1, 0.2],
+        ));
+        let unit = valid_builder().completion(model).build().unwrap();
+        assert_eq!(det.coverage_problem(), unit.coverage_problem());
+        assert_eq!(det.sparse_coverage(), unit.sparse_coverage());
+        assert!(!crate::CoverageView::is_uncertain(&unit.sparse_coverage()));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_completion() {
+        use crate::BernoulliCompletion;
+        let bad = CompletionModel::Bernoulli(BernoulliCompletion::new(
+            vec![vec![(TaskId(0), 1.5)], vec![]],
+            vec![0.1, 0.2],
+        ));
+        let err = valid_builder().completion(bad).build().unwrap_err();
+        assert!(matches!(err, McsError::InvalidCompletionProb { .. }));
+        let wrong_rows =
+            CompletionModel::Bernoulli(BernoulliCompletion::new(vec![vec![]], vec![0.1, 0.2]));
+        let err = valid_builder().completion(wrong_rows).build().unwrap_err();
+        assert!(matches!(err, McsError::DimensionMismatch { .. }));
+    }
+
+    #[test]
     fn serde_roundtrip_preserves_instance() {
         let inst = valid_builder().build().unwrap();
         let json = serde_json::to_string(&inst).unwrap();
@@ -672,6 +852,17 @@ mod tests {
         assert_eq!(inst, back);
         // Derived structures match too.
         assert_eq!(inst.coverage_problem(), back.coverage_problem());
+        // Uncertain instances round-trip with their completion model.
+        let uncertain = inst
+            .with_completion(CompletionModel::Bernoulli(crate::BernoulliCompletion::new(
+                vec![vec![(TaskId(0), 0.7)], vec![]],
+                vec![0.1, 0.1],
+            )))
+            .unwrap();
+        let json = serde_json::to_string(&uncertain).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(uncertain, back);
+        assert_eq!(uncertain.sparse_coverage(), back.sparse_coverage());
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`Instance`] — a complete auction input: bids, skills, per-task error
 //!   bounds `δ_j`, candidate price grid `P`, and the cost range
 //!   `[c_min, c_max]`.
+//! * [`CompletionModel`] — deterministic or Bernoulli task completion;
+//!   the Bernoulli case turns coverage requirements into chance
+//!   constraints `Pr[shortfall for task j] ≤ γ_j` via [`chance_quota`].
 //!
 //! # Examples
 //!
@@ -50,6 +53,7 @@
 mod bid;
 mod bundle;
 mod candidate;
+mod completion;
 mod coverage;
 mod digest;
 mod error;
@@ -61,6 +65,9 @@ mod skill;
 pub use bid::{Bid, BidProfile, TrueType};
 pub use bundle::Bundle;
 pub use candidate::CandidateIndex;
+pub use completion::{
+    chance_quota, chernoff_shortfall_bound, BernoulliCompletion, CompletionModel, UncertainCoverage,
+};
 pub use coverage::{CoverageView, SparseCoverage};
 pub use digest::{Fnv1a, DIGEST_VERSION};
 pub use error::McsError;

@@ -2,13 +2,17 @@
 //! structured instances.
 //!
 //! ```text
-//! verify_sweep [--iters N] [--seed S] [--dp-samples M] [--shape NAME]
+//! verify_sweep [--iters N] [--seed S] [--dp-samples M] [--mc-samples M]
+//!              [--shape NAME]
 //! ```
 //!
 //! Exit status 0 means every invariant held: engine agreement, covering
 //! constraints, the `2βH_m` approximation bound, exact and statistical
-//! ε-DP, and the price-channel truthfulness bound. Any violation prints
-//! a minimized counterexample and exits 1.
+//! ε-DP, the price-channel truthfulness bound, and — on uncertain-tasks
+//! instances — the Monte Carlo chance-constraint check (empirical
+//! shortfall within every `γ_j` at the Wilson fence) plus the `p = 1`
+//! degenerate reduction across every strategy. Any violation prints a
+//! minimized counterexample and exits 1.
 //!
 //! `--shape` pins every iteration to one generator shape (by its
 //! [`Shape::name`], e.g. `large-sparse`) instead of cycling through all
@@ -17,6 +21,7 @@
 
 use std::process::ExitCode;
 
+use mcs_verify::chance::{self, ChanceStats};
 use mcs_verify::differential::{check_instance, DiffStats};
 use mcs_verify::dp::{
     exact_dp_check, statistical_dp_check, truthfulness_probe, ExactDpStats, StatisticalDpReport,
@@ -43,7 +48,9 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(message) => {
             eprintln!("{message}");
-            eprintln!("usage: verify_sweep [--iters N] [--seed S] [--dp-samples M] [--shape NAME]");
+            eprintln!(
+                "usage: verify_sweep [--iters N] [--seed S] [--dp-samples M] [--mc-samples M] [--shape NAME]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -52,6 +59,7 @@ fn main() -> ExitCode {
     let mut exact = ExactDpStats::default();
     let mut truth = TruthfulnessStats::default();
     let mut online = OnlineStats::default();
+    let mut chance_stats = ChanceStats::default();
     for i in 0..args.iters {
         let shape = args
             .shape
@@ -101,6 +109,22 @@ fn main() -> ExitCode {
                     );
                     return ExitCode::FAILURE;
                 }
+            }
+        }
+        // Every uncertain-tasks instance gets the Monte Carlo shortfall
+        // check and the p = 1 degenerate reduction on top of the
+        // differential suite.
+        if shape == Shape::UncertainTasks {
+            match chance::check_instance(shape, seed, &instance, args.mc_samples, WILSON_Z) {
+                Ok(stats) => chance_stats.merge(&stats),
+                Err(report) => {
+                    eprintln!("Monte Carlo chance-constraint check failed:\n{report}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Err(report) = chance::check_unit_reduction(shape, seed, &instance) {
+                eprintln!("unit-probability reduction check failed:\n{report}");
+                return ExitCode::FAILURE;
             }
         }
         if dp_eligible && i % 25 == 0 {
@@ -164,6 +188,10 @@ fn main() -> ExitCode {
         online.max_competitive_ratio
     );
     println!(
+        "chance-constraint: {} instances MC-checked ({} samples each, z = {WILSON_Z}), max shortfall/γ {:.3}, max analytic bound {:.4}",
+        chance_stats.checked, chance_stats.samples, chance_stats.max_rate_ratio, chance_stats.max_analytic_bound
+    );
+    println!(
         "statistical DP ({} samples/profile, z = {WILSON_Z}):",
         args.dp_samples
     );
@@ -185,6 +213,7 @@ struct Args {
     iters: u64,
     seed: u64,
     dp_samples: u64,
+    mc_samples: u64,
     shape: Option<Shape>,
 }
 
@@ -194,6 +223,7 @@ impl Args {
             iters: 1000,
             seed: 1,
             dp_samples: 20_000,
+            mc_samples: 10_000,
             shape: None,
         };
         while let Some(flag) = argv.next() {
@@ -214,6 +244,7 @@ impl Args {
                 "--iters" => args.iters = parsed,
                 "--seed" => args.seed = parsed,
                 "--dp-samples" => args.dp_samples = parsed.max(100),
+                "--mc-samples" => args.mc_samples = parsed.max(100),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }

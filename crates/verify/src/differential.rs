@@ -389,15 +389,15 @@ fn without_worker(instance: &Instance, drop: usize) -> Option<Instance> {
     if bids.is_empty() {
         return None;
     }
-    let rows: Vec<Vec<f64>> = (0..instance.num_workers())
+    let kept: Vec<WorkerId> = (0..instance.num_workers())
         .filter(|&w| w != drop)
-        .map(|w| {
+        .map(|w| WorkerId(w as u32))
+        .collect();
+    let rows: Vec<Vec<f64>> = kept
+        .iter()
+        .map(|&w| {
             (0..instance.num_tasks())
-                .map(|j| {
-                    instance
-                        .skills()
-                        .theta(WorkerId(w as u32), TaskId(j as u32))
-                })
+                .map(|j| instance.skills().theta(w, TaskId(j as u32)))
                 .collect()
         })
         .collect();
@@ -407,6 +407,7 @@ fn without_worker(instance: &Instance, drop: usize) -> Option<Instance> {
         .error_bounds(instance.deltas().to_vec())
         .price_grid(instance.price_grid().clone())
         .cost_range(instance.cmin(), instance.cmax())
+        .completion(instance.completion().restrict_to_workers(&kept))
         .build()
         .ok()
 }
@@ -425,6 +426,7 @@ fn without_task(instance: &Instance, drop: usize) -> Option<Instance> {
     };
     let mut bids = Vec::new();
     let mut rows = Vec::new();
+    let mut kept = Vec::new();
     for (w, bid) in instance.bids().iter() {
         let tasks: Vec<TaskId> = bid
             .bundle()
@@ -435,6 +437,7 @@ fn without_task(instance: &Instance, drop: usize) -> Option<Instance> {
         if tasks.is_empty() {
             continue; // worker only sensed the dropped task
         }
+        kept.push(w);
         bids.push(Bid::new(Bundle::new(tasks), bid.price()));
         rows.push(
             (0..instance.num_tasks())
@@ -453,12 +456,19 @@ fn without_task(instance: &Instance, drop: usize) -> Option<Instance> {
         .filter(|(j, _)| *j != drop)
         .map(|(_, d)| *d)
         .collect();
+    // The completion model shrinks along both axes: worker rows are
+    // restricted *before* task ids shift so the original indices line up.
+    let completion = instance
+        .completion()
+        .restrict_to_workers(&kept)
+        .without_task(TaskId(drop as u32));
     Instance::builder(instance.num_tasks() - 1)
         .bids(bids)
         .skills(SkillMatrix::from_rows(rows).ok()?)
         .error_bounds(deltas)
         .price_grid(instance.price_grid().clone())
         .cost_range(instance.cmin(), instance.cmax())
+        .completion(completion)
         .build()
         .ok()
 }

@@ -49,6 +49,8 @@ const SEED_CORPUS: &[&str] = &[
     include_str!("../tests/corpus/busy_response.json"),
     include_str!("../tests/corpus/error_response.json"),
     include_str!("../tests/corpus/deep_nesting.json"),
+    include_str!("../tests/corpus/uncertain_request.json"),
+    include_str!("../tests/corpus/bad_probability.json"),
 ];
 
 /// Counters from one fuzz run.
@@ -99,6 +101,19 @@ pub fn builtin_corpus() -> Vec<Vec<u8>> {
             let line = serde_json::to_string(&request).expect("requests always serialize");
             corpus.push(line.into_bytes());
         }
+    }
+    // Chance-constrained instances carry the `completion` block — the
+    // Bernoulli probability rows and per-task shortfall budgets whose
+    // range checks the decoder must enforce. Mutations of these lines
+    // breed out-of-range probabilities and budgets organically.
+    for seed in [1u64, 2] {
+        let instance = crate::gen::generate(crate::gen::Shape::UncertainTasks, seed);
+        let request = Request::QueryPmf {
+            instance,
+            epsilon: 0.25,
+        };
+        let line = serde_json::to_string(&request).expect("requests always serialize");
+        corpus.push(line.into_bytes());
     }
     corpus
 }
@@ -518,6 +533,29 @@ mod tests {
         assert!(outcome.clean(), "{outcome:?}");
         assert!(outcome.accepted >= 5, "valid corpus lines must decode");
         assert!(outcome.rejected >= 5, "invalid corpus lines must reject");
+    }
+
+    #[test]
+    fn uncertain_corpus_line_decodes_and_bad_probability_rejects_typed() {
+        let valid = include_str!("../tests/corpus/uncertain_request.json");
+        let request = decode_request(valid.trim()).expect("uncertain corpus line decodes");
+        let Request::QueryPmf { instance, .. } = request else {
+            panic!("uncertain corpus line is a QueryPmf request");
+        };
+        assert!(instance.completion().is_uncertain());
+
+        let bad = include_str!("../tests/corpus/bad_probability.json");
+        match decode_request(bad.trim()) {
+            Err(mcs_service::WireError::InvalidProbability {
+                worker,
+                task,
+                value,
+            }) => {
+                assert_eq!((worker, task), (0, 0));
+                assert!(value > 1.0, "corrupted probability is {value}");
+            }
+            other => panic!("expected typed probability rejection, got {other:?}"),
+        }
     }
 
     #[test]

@@ -54,11 +54,18 @@ pub enum Shape {
     /// the shape the online differential and posted-price DP checks run
     /// against.
     OnlineArrivals,
+    /// Chance-constrained regime: every bundle cell carries a Bernoulli
+    /// completion probability `p ∈ [0.6, 0.95]`, and each task's shortfall
+    /// budget `γ_j` is engineered by inverting the Chernoff quota so the
+    /// inflated requirement stays below 85% of the *discounted* pool
+    /// `Σ p·q` — feasible under uncertainty by construction, with real
+    /// headroom for the Monte Carlo shortfall checker to exercise.
+    UncertainTasks,
 }
 
 impl Shape {
     /// Every shape, in a fixed order (sweeps cycle through this).
-    pub const ALL: [Shape; 8] = [
+    pub const ALL: [Shape; 9] = [
         Shape::Uniform,
         Shape::SkewedSkills,
         Shape::DegenerateBundles,
@@ -67,19 +74,24 @@ impl Shape {
         Shape::LargeSparse,
         Shape::ManyWorkers,
         Shape::OnlineArrivals,
+        Shape::UncertainTasks,
     ];
 
-    /// The small structural shapes (everything but the two scaling shapes
-    /// [`Shape::LargeSparse`] and [`Shape::ManyWorkers`]): debug-mode unit
+    /// The small structural shapes (everything but the scaling shapes
+    /// [`Shape::LargeSparse`] / [`Shape::ManyWorkers`] and the
+    /// streaming-specific [`Shape::OnlineArrivals`]): debug-mode unit
     /// tests iterate these densely and cover the scaling shapes with
     /// dedicated few-seed smoke tests, because a full scaling instance is
-    /// ~1000× the work of a small one.
-    pub const SMALL: [Shape; 5] = [
+    /// ~1000× the work of a small one. [`Shape::UncertainTasks`] rides
+    /// along so every engine differential also runs against inflated
+    /// chance-constrained quotas.
+    pub const SMALL: [Shape; 6] = [
         Shape::Uniform,
         Shape::SkewedSkills,
         Shape::DegenerateBundles,
         Shape::TiedPrices,
         Shape::InfeasibleCoverage,
+        Shape::UncertainTasks,
     ];
 
     /// Stable stream tag so each shape draws an independent RNG stream
@@ -94,6 +106,7 @@ impl Shape {
             Shape::LargeSparse => 0x5348_0005,
             Shape::ManyWorkers => 0x5348_0006,
             Shape::OnlineArrivals => 0x5348_0007,
+            Shape::UncertainTasks => 0x5348_0008,
         }
     }
 
@@ -108,6 +121,7 @@ impl Shape {
             Shape::LargeSparse => "large-sparse",
             Shape::ManyWorkers => "many-workers",
             Shape::OnlineArrivals => "online-arrivals",
+            Shape::UncertainTasks => "uncertain-tasks",
         }
     }
 
@@ -135,6 +149,9 @@ pub fn generate(shape: Shape, seed: u64) -> Instance {
     if shape == Shape::ManyWorkers {
         let num_workers = rng.gen_range(10_000usize..=50_000);
         return many_workers_with(num_workers, &mut rng);
+    }
+    if shape == Shape::UncertainTasks {
+        return uncertain_tasks_with(&mut rng);
     }
     let num_workers = if shape == Shape::OnlineArrivals {
         // Enough redundancy that a 25% observation prefix can usually
@@ -349,6 +366,90 @@ fn many_workers_with(num_workers: usize, rng: &mut ChaCha8Rng) -> Instance {
         .expect("generated instance is valid by construction")
 }
 
+/// Builds the uncertain-tasks instance body: a redundant mid-sized pool
+/// (10–16 workers over 2–4 tasks, θ ∈ [0.8, 0.95] so q ∈ [0.36, 0.81])
+/// with a Bernoulli completion probability `p ∈ [0.6, 0.95]` on every
+/// bundle cell.
+///
+/// Requirements are engineered against the *discounted* pool
+/// `A'_j = Σ p·q` the chance-constrained transformation will actually
+/// see: the base quota is `Q_j ∈ [0.1, 0.4]·A'_j`, and the shortfall
+/// budget `γ_j = exp(−L_j)` takes the smaller of a drawn target in
+/// `[0.02, 0.2]` and 95% of the largest `L` that keeps the inflated
+/// quota `R_j = Q_j + L + √(L² + 2·L·Q_j)` below `0.85·A'_j`
+/// (`L_max = M² / (2·(M + Q))` with `M = 0.85·A'_j − Q_j`, the exact
+/// inverse of the quota formula). Feasibility under uncertainty
+/// therefore holds by construction with ≥ 15% pool headroom, so winner
+/// sets stay a strict subset and the Monte Carlo checker has real
+/// shortfall probability mass to measure.
+fn uncertain_tasks_with(rng: &mut ChaCha8Rng) -> Instance {
+    use mcs_types::{BernoulliCompletion, CompletionModel};
+
+    let num_workers = rng.gen_range(10usize..=16);
+    let num_tasks = rng.gen_range(2usize..=4);
+    let bundles = gen_bundles(Shape::UncertainTasks, num_workers, num_tasks, rng);
+    let costs = gen_costs(Shape::UncertainTasks, num_workers, rng);
+    // High-signal sensors keep the discounted pool comfortably above the
+    // quotas engineered below even after the worst-case 0.6 discount.
+    let thetas: Vec<Vec<f64>> = (0..num_workers)
+        .map(|_| (0..num_tasks).map(|_| rng.gen_range(0.8..0.95)).collect())
+        .collect();
+
+    // Completion probabilities on bundle cells only, accumulating the
+    // discounted pool A'_j = Σ p·q in the same pass.
+    let mut discounted = vec![0.0f64; num_tasks];
+    let rows: Vec<Vec<(TaskId, f64)>> = bundles
+        .iter()
+        .enumerate()
+        .map(|(w, bundle)| {
+            bundle
+                .iter()
+                .map(|t| {
+                    let p = rng.gen_range(0.6..0.95);
+                    let q = 2.0 * thetas[w][t.0 as usize] - 1.0;
+                    discounted[t.0 as usize] += p * q * q;
+                    (t, p)
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut gammas = Vec::with_capacity(num_tasks);
+    let mut deltas = Vec::with_capacity(num_tasks);
+    for &a in &discounted {
+        let q = rng.gen_range(0.1f64..0.4) * a;
+        // Q ≤ 0.4·A' keeps M ≥ 0.45·A' strictly positive.
+        let m = 0.85 * a - q;
+        let l_max = m * m / (2.0 * (m + q));
+        let l = (-(rng.gen_range(0.02f64..0.2)).ln()).min(0.95 * l_max);
+        // No tighter-than-derived clamp here: forcing γ *down* would push
+        // L past L_max and break feasibility by construction.
+        gammas.push((-l).exp().clamp(1e-6, 1.0 - 1e-6));
+        deltas.push((-q / 2.0).exp().clamp(1e-12, 1.0 - 1e-12));
+    }
+
+    let bids: Vec<Bid> = bundles
+        .into_iter()
+        .zip(costs)
+        .map(|(bundle, cost)| Bid::new(bundle, cost))
+        .collect();
+
+    Instance::builder(num_tasks)
+        .bids(bids)
+        .skills(SkillMatrix::from_rows(thetas).expect("thetas generated in (0, 1)"))
+        .error_bounds(deltas)
+        .price_grid_f64(10.0, 22.0, 0.5)
+        .cost_range(
+            Price::from_tenths(COST_MIN_TENTHS),
+            Price::from_tenths(COST_MAX_TENTHS),
+        )
+        .completion(CompletionModel::Bernoulli(BernoulliCompletion::new(
+            rows, gammas,
+        )))
+        .build()
+        .expect("uncertain instance is valid by construction")
+}
+
 /// Bundles: every task appears in at least one bundle (task j is pinned
 /// to worker j mod N) so attainable coverage is positive everywhere.
 fn gen_bundles(
@@ -533,6 +634,30 @@ mod tests {
         assert_eq!(a.num_tasks(), 50);
         assert_ne!(a.digest(), many_workers_sized(2_000, 8).digest());
         assert_ne!(a.digest(), many_workers_sized(3_000, 7).digest());
+    }
+
+    #[test]
+    fn uncertain_tasks_are_uncertain_and_feasible() {
+        use mcs_types::CoverageView;
+        for seed in 0..30u64 {
+            let inst = generate(Shape::UncertainTasks, seed);
+            assert!(inst.completion().is_uncertain(), "seed {seed}");
+            let cover = inst.sparse_coverage();
+            cover
+                .check_feasible()
+                .unwrap_or_else(|e| panic!("seed {seed} should be feasible when inflated: {e}"));
+            for j in 0..inst.num_tasks() {
+                let t = TaskId(j as u32);
+                assert!(
+                    cover.requirement(t) > cover.base_requirement(t),
+                    "seed {seed} task {j}: quota not inflated"
+                );
+                let gamma = cover
+                    .shortfall_bound(t)
+                    .expect("uncertain task carries a shortfall bound");
+                assert!((0.0..1.0).contains(&gamma), "seed {seed} task {j}");
+            }
+        }
     }
 
     #[test]

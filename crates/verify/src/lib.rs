@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod chance;
 pub mod differential;
 pub mod dp;
 pub mod fuzz;

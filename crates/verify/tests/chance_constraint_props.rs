@@ -1,0 +1,173 @@
+//! Property-based tests of the chance-constrained coverage layer.
+//!
+//! The Chernoff quota `R = Q + L + √(L² + 2LQ)` (with `L = ln(1/γ)`)
+//! must behave like a robustness knob: strictly above the base quota,
+//! monotone in both the base quota and the shortfall budget, and an
+//! exact inverse of the analytic shortfall bound. On whole instances,
+//! per-entry completion probabilities must act monotonically on the
+//! effective coverage weights, and the `p = 1` degenerate model must be
+//! observationally identical to the deterministic path for **every**
+//! strategy — the invariant that lets all prior digests, payments, and
+//! cache keys survive the uncertain layer unchanged.
+
+use proptest::prelude::*;
+
+use mcs_types::{
+    chance_quota, chernoff_shortfall_bound, BernoulliCompletion, CompletionModel, CoverageView,
+    TaskId,
+};
+use mcs_verify::chance::check_unit_reduction;
+use mcs_verify::gen::{generate, Shape};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Tightening the budget (smaller γ) never shrinks the quota, and
+    /// the quota always sits strictly above the base requirement.
+    #[test]
+    fn quota_is_monotone_in_gamma(
+        base in 1e-3f64..20.0,
+        g_lo in 1e-6f64..0.9,
+        bump in 1e-6f64..0.09,
+    ) {
+        let g_hi = g_lo + bump;
+        let tight = chance_quota(base, g_lo);
+        let loose = chance_quota(base, g_hi);
+        prop_assert!(tight >= loose, "tight {tight} < loose {loose}");
+        prop_assert!(loose > base, "quota {loose} must exceed base {base}");
+    }
+
+    /// A larger base quota never shrinks the inflated quota, and the
+    /// inflation term `R − Q` itself never shrinks either (the absolute
+    /// headroom the winners must buy grows with the quota).
+    #[test]
+    fn quota_is_monotone_in_base(
+        base in 1e-3f64..20.0,
+        bump in 1e-6f64..10.0,
+        gamma in 1e-6f64..0.999,
+    ) {
+        let small = chance_quota(base, gamma);
+        let large = chance_quota(base + bump, gamma);
+        prop_assert!(large >= small);
+        prop_assert!(large - (base + bump) >= small - base - 1e-9);
+    }
+
+    /// The quota is the exact inverse of the analytic Chernoff bound:
+    /// covering exactly `R` discounted units yields shortfall
+    /// probability bound exactly γ.
+    #[test]
+    fn quota_inverts_the_shortfall_bound(
+        base in 1e-3f64..20.0,
+        gamma in 1e-4f64..0.999,
+    ) {
+        let r = chance_quota(base, gamma);
+        let back = chernoff_shortfall_bound(r, base);
+        prop_assert!((back - gamma).abs() < 1e-9, "γ {gamma} round-tripped to {back}");
+    }
+
+    /// Raising every completion probability toward 1 raises every
+    /// effective coverage weight and never raises any requirement: more
+    /// reliable workers make the chance-constrained problem easier,
+    /// entrywise.
+    #[test]
+    fn effective_problem_is_monotone_in_p(seed in 0u64..50, t in 0.1f64..1.0) {
+        let inst = generate(Shape::UncertainTasks, seed);
+        let CompletionModel::Bernoulli(b) = inst.completion() else {
+            panic!("uncertain-tasks instances carry a Bernoulli model");
+        };
+        // p' = p + t·(1 − p) ∈ [p, 1): pointwise at least as reliable.
+        let raised: Vec<Vec<(TaskId, f64)>> = b
+            .rows()
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&(task, p)| (task, (p + t * (1.0 - p)).min(1.0 - 1e-9)))
+                    .collect()
+            })
+            .collect();
+        let raised_model = CompletionModel::Bernoulli(BernoulliCompletion::new(
+            raised,
+            b.gammas().to_vec(),
+        ));
+        let easier = inst.with_completion(raised_model).expect("raised model is valid");
+
+        let before = inst.sparse_coverage();
+        let after = easier.sparse_coverage();
+        for w in 0..before.num_workers() {
+            for ((t_a, q_a), (t_b, q_b)) in before.row(w).zip(after.row(w)) {
+                prop_assert_eq!(t_a, t_b);
+                prop_assert!(q_b >= q_a - 1e-12, "worker {w} task {t_a}: {q_b} < {q_a}");
+            }
+        }
+        for j in 0..inst.num_tasks() {
+            let task = TaskId(j as u32);
+            prop_assert!(after.requirement(task) <= before.requirement(task) + 1e-12);
+        }
+    }
+
+    /// The degenerate reduction, property-swept: for any feasible shape
+    /// and seed, rewriting all probabilities to 1 and dropping the model
+    /// entirely are observationally identical across every strategy and
+    /// selection rule (schedules, payments, digests).
+    #[test]
+    fn unit_probabilities_reduce_to_deterministic(
+        shape_idx in 0usize..Shape::SMALL.len(),
+        seed in 0u64..200,
+    ) {
+        let shape = Shape::SMALL[shape_idx];
+        let inst = generate(shape, seed);
+        if let Err(report) = check_unit_reduction(shape, seed, &inst) {
+            prop_assert!(false, "{report}");
+        }
+    }
+}
+
+/// Pinned regression: tightening every task's shortfall budget never
+/// makes the cheapest schedule entry cheaper.
+///
+/// The ladder interpolates in log-space toward the generated budget,
+/// `γ_j(t) = γ_j^t` for `t ∈ {0.2, 0.4, 0.6, 0.8, 1.0}` — i.e.
+/// `L_j(t) = t·L_j`, so every rung stays within the generator's
+/// feasibility headroom and `t = 1` recovers the instance verbatim.
+/// Greedy winner sets are not monotone in the requirements as a theorem,
+/// so this pins 40 seeds that were observed monotone; a regression here
+/// means the engine started buying robustness for free (or charging for
+/// nothing), either of which deserves a close look.
+#[test]
+fn tightening_gamma_never_decreases_min_total_payment() {
+    use mcs_auction::{ScheduleEngine, SelectionRule};
+
+    const LADDER: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+    for seed in 0..40u64 {
+        let inst = generate(Shape::UncertainTasks, seed);
+        let CompletionModel::Bernoulli(b) = inst.completion() else {
+            panic!("uncertain-tasks instances carry a Bernoulli model");
+        };
+        let mut prev = None;
+        for t in LADDER {
+            let gammas: Vec<f64> = b
+                .gammas()
+                .iter()
+                .map(|g| g.powf(t).clamp(1e-9, 1.0 - 1e-9))
+                .collect();
+            let model =
+                CompletionModel::Bernoulli(BernoulliCompletion::new(b.rows().to_vec(), gammas));
+            let rung = inst
+                .with_completion(model)
+                .expect("rescaled model is valid");
+            let schedule = ScheduleEngine::new(SelectionRule::MarginalCoverage)
+                .build(&rung)
+                .unwrap_or_else(|e| panic!("seed {seed} t {t}: ladder rung infeasible: {e}"));
+            let payment = schedule
+                .min_total_payment()
+                .expect("feasible schedules are non-empty");
+            if let Some(prev) = prev {
+                assert!(
+                    payment >= prev,
+                    "seed {seed} t {t}: tightening gamma lowered the premium {prev:?} -> {payment:?}"
+                );
+            }
+            prev = Some(payment);
+        }
+    }
+}

@@ -18,11 +18,12 @@ fn differential_invariants_hold_across_shapes_and_seeds() {
             total.merge(&stats);
         }
     }
-    // 60 seeds × 4 feasible shapes succeed, 60 infeasible ones agree on
-    // the error, and every feasible instance got its ILP ratio checked.
-    assert_eq!(total.agreed_ok, 240);
+    // 60 seeds × 5 feasible shapes succeed (uncertain-tasks runs on its
+    // chance-inflated quotas), 60 infeasible ones agree on the error,
+    // and every feasible instance got its ILP ratio checked.
+    assert_eq!(total.agreed_ok, 300);
     assert_eq!(total.agreed_err, 60);
-    assert_eq!(total.ilp_checked, 240);
+    assert_eq!(total.ilp_checked, 300);
     assert!(
         total.max_ratio <= total.max_bound + 1e-9,
         "worst ratio {} above worst bound {}",

@@ -72,6 +72,6 @@ pub use mcs_auction::{
 };
 pub use mcs_sim::Setting;
 pub use mcs_types::{
-    Bid, BidProfile, Bundle, Instance, McsError, Price, PriceGrid, SkillMatrix, TaskId, TrueType,
-    WorkerId,
+    Bid, BidProfile, Bundle, CompletionModel, Instance, McsError, Price, PriceGrid, SkillMatrix,
+    TaskId, TrueType, WorkerId,
 };
