@@ -8,6 +8,7 @@
 
 use mcs_types::WorkerId;
 
+use crate::estimate::{EstimateError, EstimateSource, SkillEstimate};
 use crate::labels::{Label, LabelSet};
 
 /// Configuration for the EM fit.
@@ -41,6 +42,8 @@ pub struct DawidSkeneFit {
     pub accuracies: Vec<f64>,
     /// Posterior probability that each task's true label is `+1`.
     pub posterior_pos: Vec<f64>,
+    /// Number of observations each worker contributed to the fit.
+    pub observations: Vec<u64>,
     /// Iterations actually run.
     pub iterations: usize,
     /// Whether the tolerance was reached before the iteration cap.
@@ -59,6 +62,34 @@ impl DawidSkeneFit {
     /// Estimated accuracy of one worker.
     pub fn accuracy(&self, worker: WorkerId) -> f64 {
         self.accuracies[worker.index()]
+    }
+
+    /// Typed estimate of one worker: the EM accuracy plus the evidence
+    /// behind it, in the shared [`SkillEstimate`] shape.
+    ///
+    /// # Errors
+    ///
+    /// * [`EstimateError::WorkerOutOfRange`] — `worker` is outside the
+    ///   fitted pool.
+    /// * [`EstimateError::NoObservations`] — the worker contributed no
+    ///   labels; her `0.5` is the prior, not an estimate.
+    pub fn estimate(&self, worker: WorkerId) -> Result<SkillEstimate, EstimateError> {
+        let i = worker.index();
+        if i >= self.accuracies.len() {
+            return Err(EstimateError::WorkerOutOfRange {
+                worker,
+                num_workers: self.accuracies.len(),
+            });
+        }
+        let n = self.observations.get(i).copied().unwrap_or(0);
+        if n == 0 {
+            return Err(EstimateError::NoObservations { worker });
+        }
+        Ok(SkillEstimate::new(
+            self.accuracies[i],
+            n as f64,
+            EstimateSource::Em,
+        ))
     }
 }
 
@@ -86,6 +117,12 @@ impl DawidSkene {
             })
             .collect();
         let mut accuracies = vec![0.5; num_workers];
+        let mut observations = vec![0u64; num_workers];
+        for obs in labels.iter() {
+            let w = obs.worker.index();
+            assert!(w < num_workers, "observation references unknown worker");
+            observations[w] += 1;
+        }
         let mut iterations = 0;
         let mut converged = false;
 
@@ -147,6 +184,7 @@ impl DawidSkene {
         DawidSkeneFit {
             accuracies,
             posterior_pos,
+            observations,
             iterations,
             converged,
         }
@@ -201,6 +239,22 @@ mod tests {
         .collect();
         let fit = DawidSkene::default().fit(&labels, 2);
         assert_eq!(fit.accuracies[1], 0.5);
+        assert_eq!(fit.observations, vec![1, 0]);
+        // The typed accessor refuses to dress the prior up as an estimate.
+        assert!(matches!(
+            fit.estimate(WorkerId(1)),
+            Err(crate::EstimateError::NoObservations {
+                worker: WorkerId(1)
+            })
+        ));
+        assert!(matches!(
+            fit.estimate(WorkerId(7)),
+            Err(crate::EstimateError::WorkerOutOfRange { num_workers: 2, .. })
+        ));
+        let est = fit.estimate(WorkerId(0)).unwrap();
+        assert_eq!(est.observations, 1.0);
+        assert_eq!(est.source, crate::EstimateSource::Em);
+        assert_eq!(est.accuracy, fit.accuracies[0]);
     }
 
     #[test]

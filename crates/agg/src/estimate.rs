@@ -1,0 +1,155 @@
+//! The common currency of skill estimation.
+//!
+//! The platform has two ways of learning a worker's accuracy θ — the
+//! unsupervised Dawid–Skene EM ([`crate::DawidSkene`]) and supervised
+//! gold-task scoring ([`crate::estimate_skills_from_gold`]) — and before
+//! this module they returned incompatible shapes (a bare `f64` vs a full
+//! [`SkillMatrix`](mcs_types::SkillMatrix)). [`SkillEstimate`] is the
+//! shared result type both paths now speak: an accuracy plus how much
+//! evidence backs it, so downstream consumers (the campaign skill tracker,
+//! reputation gating) can weigh estimates instead of trusting them
+//! blindly.
+
+use std::fmt;
+
+use mcs_types::WorkerId;
+
+/// Where a [`SkillEstimate`]'s accuracy came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateSource {
+    /// Unsupervised Dawid–Skene EM over redundant labels.
+    Em,
+    /// Supervised scoring on gold (known-answer) tasks.
+    Gold,
+    /// A confidence-weighted blend of EM and gold evidence.
+    Blended,
+}
+
+/// One worker's estimated accuracy, with the evidence behind it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkillEstimate {
+    /// Estimated probability of reporting the true label.
+    pub accuracy: f64,
+    /// Effective number of observations backing the estimate. For EM this
+    /// is the (possibly forgetting-discounted) label count; for gold tasks
+    /// the number of gold answers.
+    pub observations: f64,
+    /// Evidence weight in `[0, 1)`: `n / (n + 2)`, the share a Laplace
+    /// posterior puts on the data rather than the uniform prior. Zero
+    /// observations ⇒ zero confidence.
+    pub confidence: f64,
+    /// Which estimation path produced the accuracy.
+    pub source: EstimateSource,
+}
+
+impl SkillEstimate {
+    /// Builds an estimate, deriving confidence from the observation count.
+    pub fn new(accuracy: f64, observations: f64, source: EstimateSource) -> Self {
+        let n = observations.max(0.0);
+        SkillEstimate {
+            accuracy,
+            observations: n,
+            confidence: n / (n + 2.0),
+            source,
+        }
+    }
+
+    /// Confidence-weighted blend of two estimates (e.g. EM ⊕ gold). The
+    /// result's observation mass is the sum of the inputs'.
+    pub fn blend(&self, other: &SkillEstimate) -> SkillEstimate {
+        let total = self.observations + other.observations;
+        if total <= 0.0 {
+            return SkillEstimate::new(
+                0.5 * (self.accuracy + other.accuracy),
+                0.0,
+                EstimateSource::Blended,
+            );
+        }
+        let accuracy =
+            (self.accuracy * self.observations + other.accuracy * other.observations) / total;
+        SkillEstimate::new(accuracy, total, EstimateSource::Blended)
+    }
+}
+
+/// Typed failure of a per-worker estimate query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The worker produced no observations on the relevant channel, so no
+    /// estimate beyond the uninformative prior exists.
+    NoObservations {
+        /// The silent worker.
+        worker: WorkerId,
+    },
+    /// The worker id is outside the fitted pool.
+    WorkerOutOfRange {
+        /// The out-of-range worker.
+        worker: WorkerId,
+        /// Number of workers the fit covers.
+        num_workers: usize,
+    },
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::NoObservations { worker } => {
+                write!(f, "worker {worker} has no observations to estimate from")
+            }
+            EstimateError::WorkerOutOfRange {
+                worker,
+                num_workers,
+            } => write!(
+                f,
+                "worker {worker} is outside the fitted pool of {num_workers}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_grows_with_evidence() {
+        let none = SkillEstimate::new(0.5, 0.0, EstimateSource::Em);
+        let some = SkillEstimate::new(0.8, 10.0, EstimateSource::Em);
+        assert_eq!(none.confidence, 0.0);
+        assert!((some.confidence - 10.0 / 12.0).abs() < 1e-12);
+        assert!(some.confidence > none.confidence);
+    }
+
+    #[test]
+    fn blend_is_observation_weighted() {
+        let em = SkillEstimate::new(0.9, 30.0, EstimateSource::Em);
+        let gold = SkillEstimate::new(0.6, 10.0, EstimateSource::Gold);
+        let b = em.blend(&gold);
+        assert_eq!(b.source, EstimateSource::Blended);
+        assert!((b.accuracy - (0.9 * 30.0 + 0.6 * 10.0) / 40.0).abs() < 1e-12);
+        assert_eq!(b.observations, 40.0);
+    }
+
+    #[test]
+    fn blend_of_empty_estimates_stays_prior() {
+        let a = SkillEstimate::new(0.5, 0.0, EstimateSource::Em);
+        let b = SkillEstimate::new(0.5, 0.0, EstimateSource::Gold);
+        let c = a.blend(&b);
+        assert_eq!(c.accuracy, 0.5);
+        assert_eq!(c.confidence, 0.0);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = EstimateError::NoObservations {
+            worker: WorkerId(3),
+        };
+        assert!(e.to_string().contains("no observations"));
+        let e = EstimateError::WorkerOutOfRange {
+            worker: WorkerId(9),
+            num_workers: 4,
+        };
+        assert!(e.to_string().contains("outside"));
+    }
+}

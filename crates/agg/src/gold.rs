@@ -2,6 +2,7 @@
 
 use mcs_types::{McsError, SkillMatrix, TaskId, WorkerId};
 
+use crate::estimate::{EstimateError, EstimateSource, SkillEstimate};
 use crate::labels::{Label, LabelSet};
 
 /// Estimates a per-worker, per-task skill matrix from labels on gold tasks.
@@ -76,6 +77,45 @@ pub fn estimate_skills_from_gold(
         })
         .collect();
     SkillMatrix::from_rows(rows)
+}
+
+/// Typed per-worker gold estimate in the shared [`SkillEstimate`] shape:
+/// the Laplace-smoothed accuracy `(correct + 1) / (answered + 2)` with the
+/// answered-count as its evidence.
+///
+/// This is the same number [`estimate_skills_from_gold`] spreads across a
+/// full matrix row, but queryable per worker and honest about silence —
+/// a worker who answered no gold tasks gets a typed error instead of a
+/// smuggled-in `0.5`.
+///
+/// # Errors
+///
+/// [`EstimateError::NoObservations`] when the worker answered no gold
+/// tasks.
+pub fn gold_skill_estimate(
+    gold_labels: &LabelSet,
+    gold_truth: &[Label],
+    worker: WorkerId,
+) -> Result<SkillEstimate, EstimateError> {
+    let mut correct = 0u64;
+    let mut answered = 0u64;
+    for obs in gold_labels.iter() {
+        if obs.worker == worker && obs.task.index() < gold_truth.len() {
+            answered += 1;
+            if obs.label == gold_truth[obs.task.index()] {
+                correct += 1;
+            }
+        }
+    }
+    if answered == 0 {
+        return Err(EstimateError::NoObservations { worker });
+    }
+    let accuracy = (correct as f64 + 1.0) / (answered as f64 + 2.0);
+    Ok(SkillEstimate::new(
+        accuracy,
+        answered as f64,
+        EstimateSource::Gold,
+    ))
 }
 
 /// Empirical accuracy of one worker on gold tasks, without smoothing.
@@ -175,5 +215,30 @@ mod tests {
     fn raw_accuracy_none_when_silent() {
         let labels = LabelSet::new(1);
         assert_eq!(raw_gold_accuracy(&labels, &[Label::Pos], WorkerId(0)), None);
+    }
+
+    #[test]
+    fn gold_estimate_matches_matrix_path() {
+        let mut labels = LabelSet::new(2);
+        labels.push(Observation {
+            worker: WorkerId(0),
+            task: TaskId(0),
+            label: Label::Pos,
+        });
+        labels.push(Observation {
+            worker: WorkerId(0),
+            task: TaskId(1),
+            label: Label::Pos,
+        });
+        let truth = vec![Label::Pos, Label::Neg];
+        let est = gold_skill_estimate(&labels, &truth, WorkerId(0)).unwrap();
+        let matrix = estimate_skills_from_gold(&labels, &truth, 1, 1).unwrap();
+        assert_eq!(est.accuracy, matrix.theta(WorkerId(0), TaskId(0)));
+        assert_eq!(est.observations, 2.0);
+        assert_eq!(est.source, crate::EstimateSource::Gold);
+        assert!(matches!(
+            gold_skill_estimate(&labels, &truth, WorkerId(1)),
+            Err(crate::EstimateError::NoObservations { .. })
+        ));
     }
 }

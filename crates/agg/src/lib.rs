@@ -62,16 +62,20 @@
 mod em;
 mod em_asymmetric;
 mod error_bound;
+mod estimate;
 mod gold;
 mod labels;
+mod tracker;
 mod truth_discovery;
 mod weighted;
 
 pub use em::{DawidSkene, DawidSkeneFit};
 pub use em_asymmetric::{AsymmetricDawidSkene, AsymmetricFit};
 pub use error_bound::{empirical_error_rate, lemma1_threshold, ErrorRateReport};
-pub use gold::{estimate_skills_from_gold, raw_gold_accuracy};
+pub use estimate::{EstimateError, EstimateSource, SkillEstimate};
+pub use gold::{estimate_skills_from_gold, gold_skill_estimate, raw_gold_accuracy};
 pub use labels::{generate_labels, Label, LabelSet, Observation};
+pub use tracker::{RefitInfo, SkillTracker, TrackerConfig};
 pub use truth_discovery::{TruthDiscovery, TruthDiscoveryFit};
 pub use weighted::{
     achieved_coverage, majority_vote, weighted_aggregate, weighted_aggregate_strict,

@@ -42,6 +42,7 @@ use serde::{Deserialize, Serialize};
 
 use mcs_auction::{DpHsrcAuction, ScheduledMechanism};
 use mcs_num::rng;
+use mcs_sim::campaign::RoundPhase as LifecyclePhase;
 use mcs_types::{Bid, Bundle, Instance, Price, PriceGrid, SkillMatrix, TaskId, WorkerId};
 
 use crate::envelope::{decode_public_key, BidEnvelope, EnvelopeError};
@@ -720,13 +721,26 @@ enum Phase {
 }
 
 impl Phase {
-    fn name(&self) -> &'static str {
+    /// Projects the payload-carrying variant onto the shared round
+    /// lifecycle. All legality questions (wire names, which transitions
+    /// the fold may take) are answered by that machine, so the ledger
+    /// cannot drift from the simulator's definition of a round.
+    fn lifecycle(&self) -> LifecyclePhase {
         match self {
-            Phase::Open => "open",
-            Phase::Committed { .. } => "committed",
-            Phase::Settled { .. } => "settled",
-            Phase::Aborted { .. } => "aborted",
+            Phase::Open => LifecyclePhase::Open,
+            Phase::Committed { .. } => LifecyclePhase::Committed,
+            Phase::Settled { .. } => LifecyclePhase::Settled,
+            Phase::Aborted { .. } => LifecyclePhase::Aborted,
         }
+    }
+
+    fn name(&self) -> &'static str {
+        self.lifecycle().name()
+    }
+
+    /// Whether the shared lifecycle admits the transition `self → to`.
+    fn may_advance_to(&self, to: LifecyclePhase) -> bool {
+        self.lifecycle().can_advance_to(to)
     }
 }
 
@@ -883,7 +897,7 @@ impl Ledger {
                 let Some(round) = self.rounds.get_mut(round_id) else {
                     return err(format!("commit of unknown round {round_id}"));
                 };
-                if !matches!(round.phase, Phase::Open) {
+                if !round.phase.may_advance_to(LifecyclePhase::Committed) {
                     return err(format!("commit of {} round {round_id}", round.phase.name()));
                 }
                 round.phase = Phase::Committed {
@@ -919,7 +933,9 @@ impl Ledger {
                 let Some(round) = self.rounds.get_mut(round_id) else {
                     return err(format!("abort of unknown round {round_id}"));
                 };
-                if !matches!(round.phase, Phase::Open) {
+                // The shared machine rules out aborting a committed round:
+                // its payments are already durable.
+                if !round.phase.may_advance_to(LifecyclePhase::Aborted) {
                     return err(format!("abort of {} round {round_id}", round.phase.name()));
                 }
                 round.phase = Phase::Aborted { reason: *reason };
@@ -928,6 +944,12 @@ impl Ledger {
                 let Some(round) = self.rounds.get_mut(round_id) else {
                     return err(format!("settle of unknown round {round_id}"));
                 };
+                // `Settled` is reachable only from `Committed` in the
+                // shared lifecycle, so the guard and the payload
+                // destructure are one check.
+                if !round.phase.may_advance_to(LifecyclePhase::Settled) {
+                    return err(format!("settle of {} round {round_id}", round.phase.name()));
+                }
                 let Phase::Committed {
                     seed,
                     price,

@@ -31,6 +31,8 @@ use mcs_auction::{ExponentialMechanism, ScheduleEngine, SelectionRule};
 use mcs_num::rng;
 use mcs_types::{Bid, CoverageView, Instance, McsError, Price, PriceGrid, SkillMatrix, WorkerId};
 
+use mcs_sim::campaign::{RoundPhase, RoundState};
+
 use crate::envelope::EnvelopeError;
 use crate::ledger::{RoundError, RoundSpec};
 
@@ -78,27 +80,6 @@ impl StreamSpec {
             )));
         }
         Ok(())
-    }
-}
-
-/// Where a session is in its lifecycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StreamPhase {
-    /// Accepting arrivals.
-    Streaming,
-    /// Closed normally; the accepted set is final.
-    Closed,
-    /// Aborted on request; payments already made stand.
-    Aborted,
-}
-
-impl StreamPhase {
-    fn name(self) -> &'static str {
-        match self {
-            StreamPhase::Streaming => "streaming",
-            StreamPhase::Closed => "closed",
-            StreamPhase::Aborted => "aborted",
-        }
     }
 }
 
@@ -209,7 +190,9 @@ pub struct StreamSession {
     remaining: f64,
     total_requirement: f64,
     paid_tenths: i64,
-    phase: StreamPhase,
+    /// The shared round lifecycle, in its streaming column
+    /// (`Streaming → Closed | Aborted`).
+    lifecycle: RoundState,
 }
 
 /// A one-worker instance carrying the round's task model, so the shared
@@ -254,7 +237,7 @@ impl StreamSession {
             remaining: 0.0,
             total_requirement: 0.0,
             paid_tenths: 0,
-            phase: StreamPhase::Streaming,
+            lifecycle: RoundState::streaming(),
         }
     }
 
@@ -265,12 +248,12 @@ impl StreamSession {
 
     /// The stream's lifecycle phase name.
     pub fn phase_name(&self) -> &'static str {
-        self.phase.name()
+        self.lifecycle.phase().name()
     }
 
     /// Whether the session still accepts arrivals.
     pub fn is_streaming(&self) -> bool {
-        self.phase == StreamPhase::Streaming
+        self.lifecycle.phase() == RoundPhase::Streaming
     }
 
     /// The posted price, once the observation prefix completed.
@@ -292,10 +275,10 @@ impl StreamSession {
     ///
     /// [`RoundError::RoundClosed`] or a typed [`RoundError::Envelope`].
     pub fn check_admissible(&self, worker: WorkerId, nonce: u64) -> Result<(), RoundError> {
-        if self.phase != StreamPhase::Streaming {
+        if !self.is_streaming() {
             return Err(RoundError::RoundClosed {
                 round_id: self.spec.round.round_id,
-                phase: self.phase.name().to_string(),
+                phase: self.phase_name().to_string(),
             });
         }
         if self.spec.round.roster_entry(worker).is_none() {
@@ -486,13 +469,12 @@ impl StreamSession {
     ///
     /// [`RoundError::RoundClosed`] unless the session is streaming.
     pub(crate) fn close(&mut self) -> Result<(), RoundError> {
-        if self.phase != StreamPhase::Streaming {
+        if self.lifecycle.advance(RoundPhase::Closed).is_err() {
             return Err(RoundError::RoundClosed {
                 round_id: self.spec.round.round_id,
-                phase: self.phase.name().to_string(),
+                phase: self.phase_name().to_string(),
             });
         }
-        self.phase = StreamPhase::Closed;
         Ok(())
     }
 
@@ -503,19 +485,18 @@ impl StreamSession {
     ///
     /// [`RoundError::RoundClosed`] unless the session is streaming.
     pub(crate) fn abort(&mut self) -> Result<(), RoundError> {
-        if self.phase != StreamPhase::Streaming {
+        if self.lifecycle.advance(RoundPhase::Aborted).is_err() {
             return Err(RoundError::RoundClosed {
                 round_id: self.spec.round.round_id,
-                phase: self.phase.name().to_string(),
+                phase: self.phase_name().to_string(),
             });
         }
-        self.phase = StreamPhase::Aborted;
         Ok(())
     }
 
     /// Whether the session is already closed (for idempotent re-close).
     pub(crate) fn is_closed(&self) -> bool {
-        self.phase == StreamPhase::Closed
+        self.lifecycle.phase() == RoundPhase::Closed
     }
 
     fn accepted_workers(&self) -> Vec<WorkerId> {
@@ -551,7 +532,7 @@ impl StreamSession {
     pub fn view(&self) -> StreamStatusView {
         StreamStatusView {
             round_id: self.spec.round.round_id,
-            phase: self.phase.name().to_string(),
+            phase: self.phase_name().to_string(),
             arrivals: self.arrivals.len(),
             sample_target: self.spec.sample_target,
             accepted: self.accepted_workers(),

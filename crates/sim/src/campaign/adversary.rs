@@ -1,0 +1,400 @@
+//! Worker-side attack strategies for multi-round campaigns.
+//!
+//! Three coordinated-misbehaviour patterns from the crowdsensing
+//! literature, each parameterized per *group* of colluding workers:
+//!
+//! * **Sleepers** — behave honestly for a warm-up window, building skill
+//!   estimates and reputation, then flip every label they submit. The
+//!   attack on learned `θ̂`: the platform's record is maximally wrong at
+//!   the moment the flip happens.
+//! * **Correlated label-flip rings** — every member flips the *same*
+//!   per-round task subset, so the flipped labels corroborate each other
+//!   and majority-style aggregation cannot average the ring away.
+//! * **Bid-collusion rings** — members inflate their asks by a common
+//!   markup, trying to drag the exponential mechanism's clearing price up.
+//!
+//! All adversarial randomness comes from derived streams keyed off
+//! [`AdversaryPlan::seed`] (the same discipline as [`crate::faults`]):
+//! the main RNG is never touched, so a benign plan leaves every platform
+//! draw byte-identical to an adversary-free run.
+
+use mcs_agg::{Label, LabelSet, Observation};
+use mcs_num::rng;
+use mcs_types::{Bid, Instance, McsError, Price, WorkerId};
+use rand::Rng;
+
+/// Derivation stream of campaign adversaries ("CADV").
+const ADVERSARY_STREAM: u64 = 0x4341_4456;
+
+/// What one colluding group does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdversaryStrategy {
+    /// Honest for `honest_rounds` rounds (0-indexed: the flip starts in
+    /// round `honest_rounds`), then every member flips every label.
+    Sleeper {
+        /// Rounds of honest warm-up before the turn.
+        honest_rounds: usize,
+    },
+    /// From round zero, all members flip the same per-round task subset;
+    /// each task enters the subset with probability `flip_prob` (drawn
+    /// once per group per round, shared by every member — that is the
+    /// correlation).
+    LabelFlipRing {
+        /// Per-task probability of entering the round's flip set.
+        flip_prob: f64,
+    },
+    /// Members inflate their asks by `markup` (a bid of `b` becomes
+    /// `b · (1 + markup)`, clamped to the instance's `c_max`).
+    BidCollusionRing {
+        /// Fractional ask inflation, e.g. `0.3` for +30%.
+        markup: f64,
+    },
+}
+
+/// One colluding group: who, and what they do.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversaryGroup {
+    /// The colluding workers.
+    pub members: Vec<WorkerId>,
+    /// Their shared strategy.
+    pub strategy: AdversaryStrategy,
+}
+
+/// The campaign's full adversary population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversaryPlan {
+    /// The colluding groups (a worker should appear in at most one).
+    pub groups: Vec<AdversaryGroup>,
+    /// Seed of every adversarial derived stream.
+    pub seed: u64,
+}
+
+impl AdversaryPlan {
+    /// The benign plan: no adversaries at all.
+    pub fn none() -> AdversaryPlan {
+        AdversaryPlan {
+            groups: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// Whether the plan contains no adversaries.
+    pub fn is_benign(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Every adversarial worker, across all groups.
+    pub fn members(&self) -> Vec<WorkerId> {
+        let mut all: Vec<WorkerId> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.members.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Structural validation against a worker pool of size `num_workers`.
+    ///
+    /// # Errors
+    ///
+    /// [`McsError::WorkerOutOfRange`] for a member outside the pool,
+    /// [`McsError::Solver`] for an invalid strategy parameter.
+    pub fn validate(&self, num_workers: usize) -> Result<(), McsError> {
+        for group in &self.groups {
+            for &w in &group.members {
+                if w.index() >= num_workers {
+                    return Err(McsError::WorkerOutOfRange {
+                        worker: w,
+                        num_workers,
+                    });
+                }
+            }
+            match group.strategy {
+                AdversaryStrategy::Sleeper { .. } => {}
+                AdversaryStrategy::LabelFlipRing { flip_prob } => {
+                    if !(flip_prob.is_finite() && (0.0..=1.0).contains(&flip_prob)) {
+                        return Err(McsError::Solver {
+                            message: format!("flip_prob {flip_prob} outside [0, 1]"),
+                        });
+                    }
+                }
+                AdversaryStrategy::BidCollusionRing { markup } => {
+                    if !(markup.is_finite() && markup >= 0.0) {
+                        return Err(McsError::Solver {
+                            message: format!("markup {markup} negative or non-finite"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies bid tampering for `round`: collusion-ring members' asks are
+    /// inflated in the returned copy. `None` when no bid changes (so the
+    /// benign path never clones the instance).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Instance::with_bid`] validation errors.
+    pub fn tamper_bids(
+        &self,
+        round: usize,
+        instance: &Instance,
+    ) -> Result<Option<Instance>, McsError> {
+        let _ = round; // rings collude every round; the hook is per-round
+        let mut tampered: Option<Instance> = None;
+        for group in &self.groups {
+            let AdversaryStrategy::BidCollusionRing { markup } = group.strategy else {
+                continue;
+            };
+            for &w in &group.members {
+                let base = tampered.as_ref().unwrap_or(instance);
+                let bid = base.bids().bid(w);
+                let inflated =
+                    Price::from_f64(bid.price().as_f64() * (1.0 + markup)).min(base.cmax());
+                if inflated == bid.price() {
+                    continue;
+                }
+                let next = base.with_bid(w, Bid::new(bid.bundle().clone(), inflated))?;
+                tampered = Some(next);
+            }
+        }
+        Ok(tampered)
+    }
+
+    /// Applies label tampering for `round` to freshly generated labels:
+    /// woken sleepers flip everything they submitted; flip rings flip the
+    /// round's correlated task subset. Returns the number of labels
+    /// flipped (zero leaves `labels` untouched).
+    pub fn tamper_labels(&self, round: usize, labels: &mut LabelSet) -> usize {
+        if self.is_benign() {
+            return 0;
+        }
+        // Per (group, round) flip decision, shared across members.
+        let mut flip_all: Vec<WorkerId> = Vec::new();
+        let mut flip_tasks: Vec<(WorkerId, Vec<bool>)> = Vec::new();
+        for (gi, group) in self.groups.iter().enumerate() {
+            match group.strategy {
+                AdversaryStrategy::Sleeper { honest_rounds } => {
+                    if round >= honest_rounds {
+                        flip_all.extend(group.members.iter().copied());
+                    }
+                }
+                AdversaryStrategy::LabelFlipRing { flip_prob } => {
+                    let salt = ((gi as u64) << 32) | round as u64;
+                    let mut r = rng::derived(self.seed ^ ADVERSARY_STREAM, salt);
+                    let subset: Vec<bool> = (0..labels.num_tasks())
+                        .map(|_| r.gen_bool(flip_prob))
+                        .collect();
+                    for &w in &group.members {
+                        flip_tasks.push((w, subset.clone()));
+                    }
+                }
+                AdversaryStrategy::BidCollusionRing { .. } => {}
+            }
+        }
+        if flip_all.is_empty() && flip_tasks.is_empty() {
+            return 0;
+        }
+        let mut flipped = 0usize;
+        let mut rebuilt = LabelSet::new(labels.num_tasks());
+        for obs in labels.iter() {
+            let mut label = obs.label;
+            let flips = flip_all.contains(&obs.worker)
+                || flip_tasks
+                    .iter()
+                    .any(|(w, subset)| *w == obs.worker && subset[obs.task.index()]);
+            if flips {
+                label = flip(label);
+                flipped += 1;
+            }
+            rebuilt.push(Observation {
+                worker: obs.worker,
+                task: obs.task,
+                label,
+            });
+        }
+        if flipped > 0 {
+            *labels = rebuilt;
+        }
+        flipped
+    }
+}
+
+fn flip(label: Label) -> Label {
+    match label {
+        Label::Pos => Label::Neg,
+        Label::Neg => Label::Pos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_types::TaskId;
+
+    fn labels_for(workers: &[u32], num_tasks: usize) -> LabelSet {
+        let mut set = LabelSet::new(num_tasks);
+        for &w in workers {
+            for t in 0..num_tasks as u32 {
+                set.push(Observation {
+                    worker: WorkerId(w),
+                    task: TaskId(t),
+                    label: Label::Pos,
+                });
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn benign_plan_is_a_no_op() {
+        let plan = AdversaryPlan::none();
+        assert!(plan.is_benign());
+        let mut labels = labels_for(&[0, 1], 3);
+        let before = labels.clone();
+        assert_eq!(plan.tamper_labels(0, &mut labels), 0);
+        assert_eq!(labels, before);
+    }
+
+    #[test]
+    fn sleeper_is_honest_then_flips_everything() {
+        let plan = AdversaryPlan {
+            groups: vec![AdversaryGroup {
+                members: vec![WorkerId(1)],
+                strategy: AdversaryStrategy::Sleeper { honest_rounds: 2 },
+            }],
+            seed: 9,
+        };
+        for round in 0..2 {
+            let mut labels = labels_for(&[0, 1], 3);
+            assert_eq!(plan.tamper_labels(round, &mut labels), 0, "round {round}");
+        }
+        let mut labels = labels_for(&[0, 1], 3);
+        assert_eq!(plan.tamper_labels(2, &mut labels), 3);
+        for obs in labels.iter() {
+            let expected = if obs.worker == WorkerId(1) {
+                Label::Neg
+            } else {
+                Label::Pos
+            };
+            assert_eq!(obs.label, expected);
+        }
+    }
+
+    #[test]
+    fn flip_ring_members_flip_the_same_tasks() {
+        let plan = AdversaryPlan {
+            groups: vec![AdversaryGroup {
+                members: vec![WorkerId(0), WorkerId(1)],
+                strategy: AdversaryStrategy::LabelFlipRing { flip_prob: 0.5 },
+            }],
+            seed: 4,
+        };
+        // Find a round where the subset is non-trivial, then check the
+        // two members flipped identical task sets (the correlation).
+        for round in 0..16 {
+            let mut labels = labels_for(&[0, 1], 8);
+            let flipped = plan.tamper_labels(round, &mut labels);
+            assert_eq!(flipped % 2, 0, "both members flip together");
+            let mut per_worker: [Vec<TaskId>; 2] = [Vec::new(), Vec::new()];
+            for obs in labels.iter() {
+                if obs.label == Label::Neg {
+                    per_worker[obs.worker.index()].push(obs.task);
+                }
+            }
+            assert_eq!(per_worker[0], per_worker[1], "round {round}");
+        }
+        // Determinism: the same round always flips the same subset.
+        let mut a = labels_for(&[0, 1], 8);
+        let mut b = labels_for(&[0, 1], 8);
+        plan.tamper_labels(3, &mut a);
+        plan.tamper_labels(3, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collusion_ring_inflates_and_clamps_bids() {
+        let g = crate::Setting::one(80).scaled_down(4).generate(2);
+        let plan = AdversaryPlan {
+            groups: vec![AdversaryGroup {
+                members: vec![WorkerId(0), WorkerId(3)],
+                strategy: AdversaryStrategy::BidCollusionRing { markup: 0.4 },
+            }],
+            seed: 1,
+        };
+        let tampered = plan.tamper_bids(0, &g.instance).unwrap().unwrap();
+        for w in [WorkerId(0), WorkerId(3)] {
+            let before = g.instance.bids().bid(w).price();
+            let after = tampered.bids().bid(w).price();
+            let want = Price::from_f64(before.as_f64() * 1.4).min(g.instance.cmax());
+            assert_eq!(after, want);
+            assert!(after >= before);
+        }
+        // Non-members untouched.
+        assert_eq!(
+            tampered.bids().bid(WorkerId(1)),
+            g.instance.bids().bid(WorkerId(1))
+        );
+        // Zero markup is a no-op.
+        let noop = AdversaryPlan {
+            groups: vec![AdversaryGroup {
+                members: vec![WorkerId(0)],
+                strategy: AdversaryStrategy::BidCollusionRing { markup: 0.0 },
+            }],
+            seed: 1,
+        };
+        assert!(noop.tamper_bids(0, &g.instance).unwrap().is_none());
+    }
+
+    #[test]
+    fn validation_catches_bad_members_and_parameters() {
+        let plan = AdversaryPlan {
+            groups: vec![AdversaryGroup {
+                members: vec![WorkerId(99)],
+                strategy: AdversaryStrategy::Sleeper { honest_rounds: 1 },
+            }],
+            seed: 0,
+        };
+        assert!(matches!(
+            plan.validate(4),
+            Err(McsError::WorkerOutOfRange { .. })
+        ));
+        let plan = AdversaryPlan {
+            groups: vec![AdversaryGroup {
+                members: vec![WorkerId(0)],
+                strategy: AdversaryStrategy::LabelFlipRing { flip_prob: 1.5 },
+            }],
+            seed: 0,
+        };
+        assert!(plan.validate(4).is_err());
+        let plan = AdversaryPlan {
+            groups: vec![AdversaryGroup {
+                members: vec![WorkerId(0)],
+                strategy: AdversaryStrategy::BidCollusionRing { markup: -0.5 },
+            }],
+            seed: 0,
+        };
+        assert!(plan.validate(4).is_err());
+        assert_eq!(
+            AdversaryPlan {
+                groups: vec![
+                    AdversaryGroup {
+                        members: vec![WorkerId(2), WorkerId(0)],
+                        strategy: AdversaryStrategy::Sleeper { honest_rounds: 0 },
+                    },
+                    AdversaryGroup {
+                        members: vec![WorkerId(2)],
+                        strategy: AdversaryStrategy::LabelFlipRing { flip_prob: 0.1 },
+                    },
+                ],
+                seed: 0,
+            }
+            .members(),
+            vec![WorkerId(0), WorkerId(2)]
+        );
+    }
+}

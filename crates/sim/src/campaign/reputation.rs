@@ -1,0 +1,325 @@
+//! Reputation scores gating the admitted-worker set.
+//!
+//! The platform cannot see worker intent, only behaviour. Two observable
+//! signals feed the score: *agreement* — how often a worker's labels match
+//! the platform's own aggregated estimate on the tasks she reported — and
+//! *reliability* — no-shows, failed deliveries and rejected bid envelopes.
+//! Both are things a deployed MCS platform actually has; neither requires
+//! ground truth.
+//!
+//! Scores move by exponential smoothing, so a worker who behaves honestly
+//! for a while and then turns (the sleeper pattern) decays toward the ban
+//! threshold within a few rounds instead of coasting on her history.
+
+use mcs_agg::{Label, LabelSet};
+use mcs_types::{McsError, WorkerId};
+
+/// Knobs of the reputation gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReputationConfig {
+    /// Every worker starts here (a mild benefit of the doubt).
+    pub initial: f64,
+    /// Exponential-smoothing retention `λ`: after a round with agreement
+    /// signal `s`, `score ← λ·score + (1−λ)·s`. Smaller values react
+    /// faster to turns; larger values forgive isolated bad rounds.
+    pub smoothing: f64,
+    /// Flat score deduction per reliability event (no-show, failed
+    /// delivery, rejected envelope).
+    pub event_penalty: f64,
+    /// Workers whose score falls below this are excluded from the
+    /// admitted set.
+    pub ban_threshold: f64,
+    /// Rounds of observation before the gate engages (everyone is
+    /// admitted during the grace period, scores accrue normally).
+    pub grace_rounds: usize,
+}
+
+impl Default for ReputationConfig {
+    fn default() -> Self {
+        ReputationConfig {
+            initial: 0.7,
+            smoothing: 0.55,
+            event_penalty: 0.15,
+            ban_threshold: 0.45,
+            grace_rounds: 2,
+        }
+    }
+}
+
+impl ReputationConfig {
+    /// Structural validation.
+    ///
+    /// # Errors
+    ///
+    /// [`McsError::Solver`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), McsError> {
+        if !(self.initial.is_finite() && (0.0..=1.0).contains(&self.initial)) {
+            return Err(McsError::Solver {
+                message: format!("reputation initial {} outside [0, 1]", self.initial),
+            });
+        }
+        if !(self.smoothing.is_finite() && (0.0..1.0).contains(&self.smoothing)) {
+            return Err(McsError::Solver {
+                message: format!("reputation smoothing {} outside [0, 1)", self.smoothing),
+            });
+        }
+        if !(self.event_penalty.is_finite() && self.event_penalty >= 0.0) {
+            return Err(McsError::Solver {
+                message: format!("reputation event penalty {} negative", self.event_penalty),
+            });
+        }
+        if !(self.ban_threshold.is_finite() && (0.0..=1.0).contains(&self.ban_threshold)) {
+            return Err(McsError::Solver {
+                message: format!(
+                    "reputation ban threshold {} outside [0, 1]",
+                    self.ban_threshold
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A reliability event a worker can be penalized for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReputationEvent {
+    /// The worker never showed up for an assignment.
+    NoShow,
+    /// The worker showed up and delivered nothing usable.
+    FailedDelivery,
+    /// The worker's signed bid envelope was rejected at admission.
+    EnvelopeRejected,
+}
+
+/// The per-worker reputation ledger of one campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReputationBook {
+    config: ReputationConfig,
+    scores: Vec<f64>,
+    /// Round-major snapshots of `scores`, taken after each observed round.
+    trajectories: Vec<Vec<f64>>,
+}
+
+impl ReputationBook {
+    /// Opens a book over `num_workers` workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReputationConfig::validate`].
+    pub fn new(num_workers: usize, config: ReputationConfig) -> Result<ReputationBook, McsError> {
+        config.validate()?;
+        Ok(ReputationBook {
+            config,
+            scores: vec![config.initial; num_workers],
+            trajectories: Vec::new(),
+        })
+    }
+
+    /// The configuration the book was opened with.
+    pub fn config(&self) -> &ReputationConfig {
+        &self.config
+    }
+
+    /// Current score per worker.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Round-major score snapshots, one per observed round.
+    pub fn trajectories(&self) -> &[Vec<f64>] {
+        &self.trajectories
+    }
+
+    /// Rounds observed so far.
+    pub fn rounds_observed(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Folds one round of labels into the scores: each participating
+    /// worker's signal is her agreement rate with the platform's
+    /// aggregated `estimates` over the tasks she reported (tasks without
+    /// an estimate are skipped). Workers who reported nothing this round
+    /// keep their score. Ends the round with a trajectory snapshot.
+    pub fn observe_round(&mut self, labels: &LabelSet, estimates: &[Option<Label>]) {
+        let n = self.scores.len();
+        let mut agree = vec![0u64; n];
+        let mut seen = vec![0u64; n];
+        for obs in labels.iter() {
+            let w = obs.worker.index();
+            if w >= n {
+                continue;
+            }
+            let Some(Some(est)) = estimates.get(obs.task.index()) else {
+                continue;
+            };
+            seen[w] += 1;
+            if obs.label == *est {
+                agree[w] += 1;
+            }
+        }
+        let lambda = self.config.smoothing;
+        for w in 0..n {
+            if seen[w] > 0 {
+                let signal = agree[w] as f64 / seen[w] as f64;
+                self.scores[w] = lambda * self.scores[w] + (1.0 - lambda) * signal;
+            }
+        }
+        self.trajectories.push(self.scores.clone());
+    }
+
+    /// Applies a flat reliability penalty (clamped at zero).
+    pub fn penalize(&mut self, worker: WorkerId, event: ReputationEvent) {
+        let _ = event; // every event currently costs the same flat penalty
+        if let Some(s) = self.scores.get_mut(worker.index()) {
+            *s = (*s - self.config.event_penalty).max(0.0);
+        }
+    }
+
+    /// Whether the gate is active yet (past the grace period).
+    pub fn gating(&self) -> bool {
+        self.rounds_observed() >= self.config.grace_rounds
+    }
+
+    /// The admitted-worker set: everyone during the grace period, then
+    /// every worker at or above the ban threshold. Always ascending.
+    pub fn admitted(&self) -> Vec<WorkerId> {
+        if !self.gating() {
+            return (0..self.scores.len() as u32).map(WorkerId).collect();
+        }
+        self.scores
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s >= self.config.ban_threshold)
+            .map(|(i, _)| WorkerId(i as u32))
+            .collect()
+    }
+
+    /// Workers currently below the ban threshold (empty during grace).
+    pub fn banned(&self) -> Vec<WorkerId> {
+        if !self.gating() {
+            return Vec::new();
+        }
+        self.scores
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s < self.config.ban_threshold)
+            .map(|(i, _)| WorkerId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_agg::Observation;
+    use mcs_types::TaskId;
+
+    fn round(labels: &[(u32, u32, Label)], num_tasks: usize) -> LabelSet {
+        let mut set = LabelSet::new(num_tasks);
+        for &(w, t, l) in labels {
+            set.push(Observation {
+                worker: WorkerId(w),
+                task: TaskId(t),
+                label: l,
+            });
+        }
+        set
+    }
+
+    #[test]
+    fn disagreement_sinks_a_score_agreement_lifts_it() {
+        let mut book = ReputationBook::new(2, ReputationConfig::default()).unwrap();
+        let estimates = vec![Some(Label::Pos), Some(Label::Pos)];
+        for _ in 0..6 {
+            let labels = round(
+                &[
+                    (0, 0, Label::Pos),
+                    (0, 1, Label::Pos),
+                    (1, 0, Label::Neg),
+                    (1, 1, Label::Neg),
+                ],
+                2,
+            );
+            book.observe_round(&labels, &estimates);
+        }
+        assert!(book.scores()[0] > 0.9);
+        assert!(book.scores()[1] < 0.2);
+        assert_eq!(book.admitted(), vec![WorkerId(0)]);
+        assert_eq!(book.banned(), vec![WorkerId(1)]);
+        assert_eq!(book.trajectories().len(), 6);
+    }
+
+    #[test]
+    fn grace_period_admits_everyone() {
+        let mut book = ReputationBook::new(2, ReputationConfig::default()).unwrap();
+        let labels = round(&[(1, 0, Label::Neg)], 1);
+        book.observe_round(&labels, &[Some(Label::Pos)]);
+        // One round observed, grace is two: still everyone.
+        assert!(!book.gating());
+        assert_eq!(book.admitted(), vec![WorkerId(0), WorkerId(1)]);
+        assert!(book.banned().is_empty());
+    }
+
+    #[test]
+    fn silent_workers_keep_their_score() {
+        let mut book = ReputationBook::new(2, ReputationConfig::default()).unwrap();
+        let labels = round(&[(0, 0, Label::Pos)], 1);
+        book.observe_round(&labels, &[Some(Label::Pos)]);
+        assert_eq!(book.scores()[1], ReputationConfig::default().initial);
+    }
+
+    #[test]
+    fn penalties_accumulate_and_clamp() {
+        let mut book = ReputationBook::new(1, ReputationConfig::default()).unwrap();
+        for _ in 0..20 {
+            book.penalize(WorkerId(0), ReputationEvent::NoShow);
+        }
+        assert_eq!(book.scores()[0], 0.0);
+        // Out-of-range ids are ignored, not panicked on.
+        book.penalize(WorkerId(9), ReputationEvent::EnvelopeRejected);
+    }
+
+    #[test]
+    fn sleeper_decay_crosses_the_threshold() {
+        // A worker with a perfect early record turns; smoothing must pull
+        // her under the ban threshold within a handful of rounds.
+        let config = ReputationConfig::default();
+        let mut book = ReputationBook::new(1, config).unwrap();
+        let estimates = vec![Some(Label::Pos)];
+        for _ in 0..4 {
+            book.observe_round(&round(&[(0, 0, Label::Pos)], 1), &estimates);
+        }
+        assert!(book.scores()[0] > 0.9);
+        let mut rounds_to_ban = 0;
+        while book.admitted().contains(&WorkerId(0)) {
+            book.observe_round(&round(&[(0, 0, Label::Neg)], 1), &estimates);
+            rounds_to_ban += 1;
+            assert!(rounds_to_ban < 10, "sleeper never got banned");
+        }
+        assert!(rounds_to_ban <= 3, "took {rounds_to_ban} rounds to ban");
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        for bad in [
+            ReputationConfig {
+                smoothing: 1.0,
+                ..Default::default()
+            },
+            ReputationConfig {
+                initial: 1.5,
+                ..Default::default()
+            },
+            ReputationConfig {
+                event_penalty: -0.1,
+                ..Default::default()
+            },
+            ReputationConfig {
+                ban_threshold: f64::NAN,
+                ..Default::default()
+            },
+        ] {
+            assert!(ReputationBook::new(1, bad).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -149,6 +149,12 @@ pub enum WorkerFate {
     Delivered,
     /// Nothing was submitted.
     NoShow,
+    /// The worker *did* show up — the platform saw an attempt — but every
+    /// task in the bundle failed (sampled non-completion), so nothing was
+    /// delivered. Payment and coverage treat this exactly like
+    /// [`WorkerFate::NoShow`]; reputation does not: absence and failure
+    /// are different signals about a worker.
+    ShowedButFailed,
     /// The listed bundle tasks were never labelled; the rest arrived on
     /// time.
     Partial {
@@ -177,6 +183,7 @@ impl Serialize for WorkerFate {
                 match self {
                     WorkerFate::Delivered => "delivered",
                     WorkerFate::NoShow => "no_show",
+                    WorkerFate::ShowedButFailed => "showed_but_failed",
                     WorkerFate::Partial { .. } => "partial",
                     WorkerFate::Straggler { .. } => "straggler",
                     WorkerFate::Corrupted { .. } => "corrupted",
@@ -194,7 +201,7 @@ impl Serialize for WorkerFate {
             WorkerFate::Corrupted { flipped } => {
                 fields.push(("flipped".to_string(), flipped.to_value()));
             }
-            WorkerFate::Delivered | WorkerFate::NoShow => {}
+            WorkerFate::Delivered | WorkerFate::NoShow | WorkerFate::ShowedButFailed => {}
         }
         Value::Object(fields)
     }
@@ -210,6 +217,7 @@ impl Deserialize for WorkerFate {
         match tag.as_str() {
             "delivered" => Ok(WorkerFate::Delivered),
             "no_show" => Ok(WorkerFate::NoShow),
+            "showed_but_failed" => Ok(WorkerFate::ShowedButFailed),
             "partial" => Ok(WorkerFate::Partial {
                 dropped: Vec::<TaskId>::from_value(field("dropped")?)?,
             }),
@@ -234,17 +242,71 @@ impl WorkerFate {
         match self {
             WorkerFate::Delivered | WorkerFate::Corrupted { .. } => true,
             WorkerFate::Straggler { delay } => *delay <= deadline,
-            WorkerFate::NoShow | WorkerFate::Partial { .. } => false,
+            WorkerFate::NoShow | WorkerFate::ShowedButFailed | WorkerFate::Partial { .. } => false,
         }
     }
 
     /// Whether any of the worker's labels reached the platform in time.
     pub fn delivered_anything(&self, deadline: u32) -> bool {
         match self {
-            WorkerFate::NoShow => false,
+            WorkerFate::NoShow | WorkerFate::ShowedButFailed => false,
             WorkerFate::Partial { dropped: _ } => true,
             _ => self.delivered_in_full(deadline),
         }
+    }
+
+    /// Whether the worker participated at all — delivered, attempted, or
+    /// failed *while trying*. Only [`WorkerFate::NoShow`] is `false`: the
+    /// distinction reputation systems care about.
+    pub fn showed_up(&self) -> bool {
+        !matches!(self, WorkerFate::NoShow)
+    }
+}
+
+/// Per-fate tally of one phase's assignment — the accounting shape
+/// reputation and degradation reports consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FateCounts {
+    /// Full on-time deliveries.
+    pub delivered: usize,
+    /// Workers who never showed.
+    pub no_show: usize,
+    /// Workers who showed but whose whole bundle failed.
+    pub showed_but_failed: usize,
+    /// Partial deliveries.
+    pub partial: usize,
+    /// Stragglers (any delay).
+    pub straggler: usize,
+    /// Corrupted-but-complete submissions.
+    pub corrupted: usize,
+}
+
+impl FateCounts {
+    /// Tallies a fate slice.
+    pub fn tally(fates: &[(WorkerId, WorkerFate)]) -> FateCounts {
+        let mut c = FateCounts::default();
+        for (_, f) in fates {
+            match f {
+                WorkerFate::Delivered => c.delivered += 1,
+                WorkerFate::NoShow => c.no_show += 1,
+                WorkerFate::ShowedButFailed => c.showed_but_failed += 1,
+                WorkerFate::Partial { .. } => c.partial += 1,
+                WorkerFate::Straggler { .. } => c.straggler += 1,
+                WorkerFate::Corrupted { .. } => c.corrupted += 1,
+            }
+        }
+        c
+    }
+
+    /// Adds another tally into this one (e.g. a backfill phase's fates on
+    /// top of the primary round's).
+    pub fn absorb(&mut self, other: &FateCounts) {
+        self.delivered += other.delivered;
+        self.no_show += other.no_show;
+        self.showed_but_failed += other.showed_but_failed;
+        self.partial += other.partial;
+        self.straggler += other.straggler;
+        self.corrupted += other.corrupted;
     }
 }
 
@@ -381,7 +443,7 @@ pub fn filter_labels(
     for obs in labels.iter() {
         let kept = match fate_of(obs.worker) {
             None | Some(WorkerFate::Delivered) => Some(obs.label),
-            Some(WorkerFate::NoShow) => None,
+            Some(WorkerFate::NoShow) | Some(WorkerFate::ShowedButFailed) => None,
             Some(WorkerFate::Straggler { delay }) => (*delay <= deadline).then_some(obs.label),
             Some(WorkerFate::Partial { dropped }) => {
                 (!dropped.contains(&obs.task)).then_some(obs.label)
@@ -463,16 +525,20 @@ impl<'a> CompletionSampler<'a> {
 
     /// Merges sampled non-completions into already-drawn fates for a whole
     /// assignment: a worker's failed tasks count exactly like dropped
-    /// tasks — a no-show where the whole bundle fails.
+    /// tasks — [`WorkerFate::ShowedButFailed`] where the whole bundle
+    /// fails.
     ///
     /// Precedence: a failed task supersedes whatever else would have
     /// happened to it, so `Delivered`/on-time `Straggler`/`Corrupted`
     /// fates demote to [`WorkerFate::Partial`] over the surviving tasks
     /// (corruption flips on survivors are not re-modelled — the failed
-    /// tasks simply never produce a label), and a `Partial` union that
-    /// covers the bundle becomes [`WorkerFate::NoShow`]. `NoShow` and
-    /// past-deadline stragglers deliver nothing either way and are left
-    /// untouched.
+    /// tasks simply never produce a label), and a full-bundle failure —
+    /// directly or as a `Partial` union covering the bundle — becomes
+    /// [`WorkerFate::ShowedButFailed`]: the worker participated, unlike a
+    /// [`WorkerFate::NoShow`], even though nothing arrived. Payment and
+    /// coverage accounting are identical for the two; reputation is not.
+    /// `NoShow` and past-deadline stragglers deliver nothing either way
+    /// and are left untouched.
     pub fn apply(
         &self,
         phase: u32,
@@ -507,6 +573,7 @@ fn merge_non_completions(
     }
     match fate {
         WorkerFate::NoShow => WorkerFate::NoShow,
+        WorkerFate::ShowedButFailed => WorkerFate::ShowedButFailed,
         WorkerFate::Straggler { delay } if delay > deadline => WorkerFate::Straggler { delay },
         WorkerFate::Partial { mut dropped } => {
             for t in failed {
@@ -516,14 +583,14 @@ fn merge_non_completions(
             }
             dropped.sort_unstable_by_key(|t| t.0);
             if dropped.len() == bundle.len() {
-                WorkerFate::NoShow
+                WorkerFate::ShowedButFailed
             } else {
                 WorkerFate::Partial { dropped }
             }
         }
         WorkerFate::Delivered | WorkerFate::Straggler { .. } | WorkerFate::Corrupted { .. } => {
             if failed.len() == bundle.len() {
-                WorkerFate::NoShow
+                WorkerFate::ShowedButFailed
             } else {
                 WorkerFate::Partial { dropped: failed }
             }
@@ -734,12 +801,13 @@ mod tests {
     }
 
     #[test]
-    fn merge_counts_full_bundle_failure_as_no_show() {
+    fn merge_counts_full_bundle_failure_as_showed_but_failed() {
         let model = uncertain_model(1e-9);
         let sampler = CompletionSampler::new(&model, 3);
         let bundle = Bundle::new(vec![TaskId(0), TaskId(1)]);
         let assignment = vec![(WorkerId(0), bundle.clone())];
-        // p ≈ 0 ⇒ both tasks fail; every delivering fate demotes to NoShow.
+        // p ≈ 0 ⇒ both tasks fail; every delivering fate demotes to
+        // ShowedButFailed — the worker tried, nothing arrived.
         for fate in [
             WorkerFate::Delivered,
             WorkerFate::Straggler { delay: 1 },
@@ -751,12 +819,45 @@ mod tests {
             },
         ] {
             let merged = sampler.apply(0, &assignment, vec![(WorkerId(0), fate)], 10);
-            assert_eq!(merged, vec![(WorkerId(0), WorkerFate::NoShow)]);
+            assert_eq!(merged, vec![(WorkerId(0), WorkerFate::ShowedButFailed)]);
+            // Payment/coverage accounting is NoShow-identical…
+            assert!(!merged[0].1.delivered_in_full(10));
+            assert!(!merged[0].1.delivered_anything(10));
+            // …but participation is not.
+            assert!(merged[0].1.showed_up());
         }
-        // No-shows and late stragglers deliver nothing either way.
+        // A genuine no-show stays a no-show: absence is not failure.
+        let merged = sampler.apply(0, &assignment, vec![(WorkerId(0), WorkerFate::NoShow)], 10);
+        assert_eq!(merged, vec![(WorkerId(0), WorkerFate::NoShow)]);
+        assert!(!merged[0].1.showed_up());
+        // Late stragglers deliver nothing either way and keep their fate.
         let late = WorkerFate::Straggler { delay: 99 };
         let merged = sampler.apply(0, &assignment, vec![(WorkerId(0), late.clone())], 10);
         assert_eq!(merged, vec![(WorkerId(0), late)]);
+    }
+
+    #[test]
+    fn fate_counts_distinguish_absence_from_failure() {
+        let fates = vec![
+            (WorkerId(0), WorkerFate::Delivered),
+            (WorkerId(1), WorkerFate::NoShow),
+            (WorkerId(2), WorkerFate::ShowedButFailed),
+            (
+                WorkerId(3),
+                WorkerFate::Partial {
+                    dropped: vec![TaskId(0)],
+                },
+            ),
+            (WorkerId(4), WorkerFate::Straggler { delay: 3 }),
+            (WorkerId(5), WorkerFate::ShowedButFailed),
+        ];
+        let counts = FateCounts::tally(&fates);
+        assert_eq!(counts.no_show, 1);
+        assert_eq!(counts.showed_but_failed, 2);
+        assert_eq!(counts.delivered, 1);
+        assert_eq!(counts.partial, 1);
+        assert_eq!(counts.straggler, 1);
+        assert_eq!(counts.corrupted, 0);
     }
 
     #[test]

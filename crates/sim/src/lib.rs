@@ -52,6 +52,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod adversary;
+pub mod campaign;
 pub mod experiments;
 pub mod faults;
 pub mod io;

@@ -13,17 +13,15 @@ use serde::{Deserialize, Serialize};
 
 use mcs_agg::{
     achieved_coverage, generate_labels, weighted_aggregate, DawidSkene, Label, LabelSet,
-    Observation,
 };
-use mcs_types::{
-    Bundle, CoverageView, Instance, McsError, Price, SkillMatrix, TaskId, TrueType, WorkerId,
-};
+use mcs_types::{Bundle, CoverageView, Instance, McsError, Price, TaskId, TrueType, WorkerId};
 
 use mcs_auction::{AuctionOutcome, DpHsrcAuction, Mechanism, ScheduledMechanism};
 
+use crate::campaign::{run_campaign, CampaignSpec, RoundPhase, RoundState, SkillSource};
 use crate::faults::{
-    achieved_delta, filter_labels, CompletionSampler, CoverageShortfall, FaultInjector, FaultPlan,
-    WorkerFate,
+    achieved_delta, filter_labels, CompletionSampler, CoverageShortfall, FateCounts, FaultInjector,
+    FaultPlan, WorkerFate,
 };
 
 /// The report of one full platform round.
@@ -87,7 +85,17 @@ where
     M: Mechanism<Input = Instance, Output = AuctionOutcome>,
     R: Rng + ?Sized,
 {
-    let outcome = mechanism.run(instance, rng)?;
+    let mut lifecycle = RoundState::batch();
+    let outcome = match mechanism.run(instance, rng) {
+        Ok(o) => o,
+        Err(e) => {
+            let _ = lifecycle.advance(RoundPhase::Aborted);
+            return Err(e);
+        }
+    };
+    lifecycle
+        .advance(RoundPhase::Committed)
+        .expect("open rounds commit");
 
     // Winners execute the bundles they bid.
     let assignment: Vec<(WorkerId, Bundle)> = outcome
@@ -110,6 +118,9 @@ where
     let utilities: Vec<Price> = (0..instance.num_workers())
         .map(|i| outcome.utility_of(WorkerId(i as u32), &types[i]))
         .collect();
+    lifecycle
+        .advance(RoundPhase::Settled)
+        .expect("committed rounds settle");
 
     Ok(RoundReport {
         outcome,
@@ -285,112 +296,57 @@ impl Campaign {
         types: &[TrueType],
         rng: &mut R,
     ) -> Result<CampaignReport, McsError> {
-        let mut rounds = Vec::with_capacity(self.rounds);
-        let mut total_spend = Price::ZERO;
-        let mut all_labels = LabelSet::new(instance.num_tasks());
-        let mut current = instance.clone();
-        let mut fallback_rounds = 0usize;
-
-        for _ in 0..self.rounds {
-            // Run the round on the platform's current belief; labels are
-            // generated inside run_round from `current`'s skills, so for
-            // label generation we always use the true-skill instance and
-            // only swap skills for the auction itself.
-            let auction = DpHsrcAuction::new(self.epsilon)?;
-            let outcome = match auction.run(&current, rng) {
-                Ok(o) => o,
-                // The estimate may undershoot true skills and make the
-                // instance look uncoverable; fall back to the true skills.
-                Err(_) if self.reestimate_skills => {
-                    fallback_rounds += 1;
-                    current = instance.clone();
-                    auction.run(&current, rng)?
-                }
-                Err(e) => return Err(e),
-            };
-
-            let assignment: Vec<(WorkerId, Bundle)> = outcome
-                .winners()
-                .iter()
-                .map(|&w| (w, instance.bids().bid(w).bundle().clone()))
-                .collect();
-            let truth: Vec<Label> = (0..instance.num_tasks())
-                .map(|_| Label::random(rng))
-                .collect();
-            // True skills generate the labels, whatever the platform
-            // believes.
-            let labels = generate_labels(instance.skills(), &truth, &assignment, rng);
-            for obs in labels.iter() {
-                all_labels.push(Observation { ..obs });
-            }
-            let estimates = weighted_aggregate(&labels, current.skills(), instance.num_tasks());
-            let correct: Vec<bool> = estimates
-                .iter()
-                .zip(&truth)
-                .map(|(e, t)| *e == Some(*t))
-                .collect();
-            let round_paid = outcome.total_payment();
-            total_spend += round_paid;
-            let utilities: Vec<Price> = (0..instance.num_workers())
-                .map(|i| outcome.utility_of(WorkerId(i as u32), &types[i]))
-                .collect();
-            rounds.push(RoundReport {
-                outcome,
-                truth,
-                labels,
-                estimates,
-                correct,
-                total_paid: round_paid,
-                utilities,
-            });
-
-            if self.reestimate_skills {
-                let fit = DawidSkene::default().fit(&all_labels, instance.num_workers());
-                let estimated: Vec<Vec<f64>> = fit
-                    .accuracies
-                    .iter()
-                    .map(|&a| vec![a; instance.num_tasks()])
-                    .collect();
-                let skills =
-                    SkillMatrix::from_rows(estimated).expect("EM accuracies are clamped to (0, 1)");
-                current = Instance::builder(instance.num_tasks())
-                    .bid_profile(instance.bids().clone())
-                    .skills(skills)
-                    .error_bounds(instance.deltas().to_vec())
-                    .price_grid(instance.price_grid().clone())
-                    .cost_range(instance.cmin(), instance.cmax())
-                    .build()
-                    .expect("estimate swap preserves validity");
-            }
-        }
-
-        let mean_accuracy = if rounds.is_empty() {
-            1.0
-        } else {
-            rounds.iter().map(RoundReport::accuracy).sum::<f64>() / rounds.len() as f64
+        let mechanism = match DpHsrcAuction::new(self.epsilon) {
+            Ok(m) => m,
+            // The pre-refactor loop built the auction inside each round,
+            // so a zero-round campaign never validated ε at all; keep
+            // that observable behaviour.
+            Err(_) if self.rounds == 0 => return Ok(self.empty_report(instance)),
+            Err(e) => return Err(e),
         };
+        let spec = CampaignSpec {
+            rounds: self.rounds,
+            skills: if self.reestimate_skills {
+                SkillSource::RefitEachRound
+            } else {
+                SkillSource::Known
+            },
+            ..CampaignSpec::benign(self.rounds)
+        };
+        let outcome = run_campaign(&spec, &mechanism, instance, types, rng)?;
+        Ok(CampaignReport {
+            rounds: outcome.rounds,
+            total_spend: outcome.total_spend,
+            mean_accuracy: outcome.mean_accuracy,
+            final_skill_error: outcome.final_skill_error,
+            fallback_rounds: outcome.fallback_rounds,
+        })
+    }
+
+    /// The report of a campaign with no rounds, with the legacy closing
+    /// refit (a Dawid–Skene fit over zero observations) when
+    /// re-estimating.
+    fn empty_report(&self, instance: &Instance) -> CampaignReport {
         let final_skill_error = self.reestimate_skills.then(|| {
+            let all_labels = LabelSet::new(instance.num_tasks());
             let fit = DawidSkene::default().fit(&all_labels, instance.num_workers());
             let mut err = 0.0;
             for i in 0..instance.num_workers() {
                 let w = WorkerId(i as u32);
                 let true_mean: f64 = instance.skills().worker_row(w).iter().sum::<f64>()
                     / instance.num_tasks() as f64;
-                // EM identifies accuracies up to global label flip; fold
-                // the symmetric solution.
                 let est = fit.accuracies[i];
                 err += (est - true_mean).abs().min((1.0 - est - true_mean).abs());
             }
             err / instance.num_workers() as f64
         });
-
-        Ok(CampaignReport {
-            rounds,
-            total_spend,
-            mean_accuracy,
+        CampaignReport {
+            rounds: Vec::new(),
+            total_spend: Price::ZERO,
+            mean_accuracy: 1.0,
             final_skill_error,
-            fallback_rounds,
-        })
+            fallback_rounds: 0,
+        }
     }
 }
 
@@ -526,6 +482,30 @@ impl DegradedRoundReport {
     /// Whether the round ended with any task under-covered.
     pub fn degraded(&self) -> bool {
         !self.shortfalls.is_empty()
+    }
+
+    /// Tally of worker fates across the primary round *and* every backfill
+    /// phase, keeping "never showed" ([`WorkerFate::NoShow`]) separate from
+    /// "showed and failed" ([`WorkerFate::ShowedButFailed`]). Reputation
+    /// systems treat the two very differently even though payment and
+    /// coverage accounting do not.
+    pub fn fate_counts(&self) -> FateCounts {
+        let mut counts = FateCounts::tally(&self.fates);
+        for bf in &self.backfill {
+            counts.absorb(&FateCounts::tally(&bf.fates));
+        }
+        counts
+    }
+
+    /// Workers (across all phases) who never showed up at all.
+    pub fn no_shows(&self) -> usize {
+        self.fate_counts().no_show
+    }
+
+    /// Workers (across all phases) who showed up but delivered nothing
+    /// usable.
+    pub fn showed_but_failed(&self) -> usize {
+        self.fate_counts().showed_but_failed
     }
 }
 
@@ -845,6 +825,58 @@ mod resilient_tests {
             let _ = j;
             assert!(report.achieved_deltas[s.task.index()] > 0.0);
         }
+    }
+
+    #[test]
+    fn fate_counts_span_primary_and_backfill_phases() {
+        // Pin the accounting: "never showed" and "showed but failed" are
+        // tallied separately, and backfill phases are absorbed into the
+        // same tally as the primary round.
+        let round = RoundReport {
+            outcome: AuctionOutcome::new(Price::ZERO, vec![]),
+            truth: vec![],
+            labels: LabelSet::new(0),
+            estimates: vec![],
+            correct: vec![],
+            total_paid: Price::ZERO,
+            utilities: vec![],
+        };
+        let report = DegradedRoundReport {
+            round,
+            fates: vec![
+                (WorkerId(0), WorkerFate::Delivered),
+                (WorkerId(1), WorkerFate::NoShow),
+                (WorkerId(2), WorkerFate::ShowedButFailed),
+                (
+                    WorkerId(3),
+                    WorkerFate::Partial {
+                        dropped: vec![TaskId(0)],
+                    },
+                ),
+            ],
+            backfill: vec![BackfillRound {
+                outcome: AuctionOutcome::new(Price::ZERO, vec![]),
+                fates: vec![
+                    (WorkerId(4), WorkerFate::Delivered),
+                    (WorkerId(5), WorkerFate::ShowedButFailed),
+                    (WorkerId(6), WorkerFate::NoShow),
+                ],
+            }],
+            backfill_attempts: 1,
+            paid: vec![],
+            achieved_coverage: vec![],
+            achieved_deltas: vec![],
+            shortfalls: vec![],
+        };
+        let counts = report.fate_counts();
+        assert_eq!(counts.delivered, 2);
+        assert_eq!(counts.no_show, 2);
+        assert_eq!(counts.showed_but_failed, 2);
+        assert_eq!(counts.partial, 1);
+        assert_eq!(counts.straggler, 0);
+        assert_eq!(counts.corrupted, 0);
+        assert_eq!(report.no_shows(), 2);
+        assert_eq!(report.showed_but_failed(), 2);
     }
 
     #[test]

@@ -269,6 +269,13 @@ fn sampled_non_completions_count_like_no_shows() {
         !failed.is_empty(),
         "pinned seed must sample at least one non-completion"
     );
+    // Completion-sampled failures are workers who *showed up* and failed:
+    // with no injected absences in the plan, no fate may read as NoShow.
+    assert!(
+        report.fates.iter().all(|(_, f)| f.showed_up()),
+        "completion sampling must not masquerade as absence: {:?}",
+        report.fates
+    );
     let phase0_paid: Vec<WorkerId> = report
         .paid
         .iter()
@@ -286,10 +293,10 @@ fn sampled_non_completions_count_like_no_shows() {
     // contributes nothing, a Partial worker nothing for its dropped tasks.
     for (w, fate) in &report.fates {
         match fate {
-            WorkerFate::NoShow => {
+            WorkerFate::NoShow | WorkerFate::ShowedButFailed => {
                 assert!(
                     report.round.labels.iter().all(|obs| obs.worker != *w),
-                    "no-show worker {w} left labels behind"
+                    "worker {w} delivered nothing but left labels behind"
                 );
             }
             WorkerFate::Partial { dropped } => {

@@ -79,6 +79,7 @@ fn worker_fate_variants_round_trip() {
     let fates = vec![
         WorkerFate::Delivered,
         WorkerFate::NoShow,
+        WorkerFate::ShowedButFailed,
         WorkerFate::Partial {
             dropped: vec![TaskId(2), TaskId(5)],
         },

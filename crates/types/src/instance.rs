@@ -306,6 +306,48 @@ impl Instance {
             ..self.clone()
         })
     }
+
+    /// Restricts the instance to an admitted subset of workers (e.g. those
+    /// passing a reputation gate), preserving original ids via the returned
+    /// mapping: new [`WorkerId`] `k` is old `workers[k]`.
+    ///
+    /// Bids, skill rows and the completion model keep only the selected
+    /// rows; tasks, error bounds, price grid and cost range are shared —
+    /// the instance-level companion of [`CoverageProblem::restrict_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McsError::WorkerOutOfRange`] if any id is outside the
+    /// pool, plus any builder validation error (e.g. an empty `workers`
+    /// slice produces an instance with no bids).
+    pub fn restrict_to_workers(
+        &self,
+        workers: &[WorkerId],
+    ) -> Result<(Instance, Vec<WorkerId>), McsError> {
+        for &w in workers {
+            if w.index() >= self.num_workers() {
+                return Err(McsError::WorkerOutOfRange {
+                    worker: w,
+                    num_workers: self.num_workers(),
+                });
+            }
+        }
+        let bids: Vec<Bid> = workers.iter().map(|&w| self.bids.bid(w).clone()).collect();
+        let rows: Vec<Vec<f64>> = workers
+            .iter()
+            .map(|&w| self.skills.worker_row(w).to_vec())
+            .collect();
+        let completion = self.completion.restrict_to_workers(workers);
+        let restricted = Instance::builder(self.num_tasks)
+            .bids(bids)
+            .skills(SkillMatrix::from_rows(rows)?)
+            .error_bounds(self.deltas.clone())
+            .price_grid(self.price_grid.clone())
+            .cost_range(self.cmin, self.cmax)
+            .completion(completion)
+            .build()?;
+        Ok((restricted, workers.to_vec()))
+    }
 }
 
 /// The covering program extracted from an instance: the constraint data of
@@ -772,6 +814,38 @@ mod tests {
         assert_eq!(map, vec![WorkerId(2), WorkerId(0)]);
         assert_eq!(sub.worker_row(WorkerId(0)), &[0.5, 0.6]);
         assert_eq!(sub.worker_row(WorkerId(1)), &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn instance_restriction_remaps_rows_and_shares_task_data() {
+        let inst = valid_builder().build().unwrap();
+        let (sub, map) = inst
+            .restrict_to_workers(&[WorkerId(1), WorkerId(0)])
+            .unwrap();
+        assert_eq!(sub.num_workers(), 2);
+        assert_eq!(map, vec![WorkerId(1), WorkerId(0)]);
+        // New row 0 is old worker 1, bid and skills alike.
+        assert_eq!(sub.bids().bid(WorkerId(0)), inst.bids().bid(WorkerId(1)));
+        assert_eq!(
+            sub.skills().worker_row(WorkerId(0)),
+            inst.skills().worker_row(WorkerId(1))
+        );
+        assert_eq!(sub.deltas(), inst.deltas());
+        assert_eq!(sub.price_grid(), inst.price_grid());
+        assert_eq!(sub.cmin(), inst.cmin());
+        assert_eq!(sub.cmax(), inst.cmax());
+        // A strict subset drops the excluded worker's row entirely.
+        let (only_one, _) = inst.restrict_to_workers(&[WorkerId(0)]).unwrap();
+        assert_eq!(only_one.num_workers(), 1);
+        assert_eq!(
+            only_one.bids().bid(WorkerId(0)),
+            inst.bids().bid(WorkerId(0))
+        );
+        // Out-of-range ids are typed errors.
+        assert!(matches!(
+            inst.restrict_to_workers(&[WorkerId(9)]),
+            Err(McsError::WorkerOutOfRange { .. })
+        ));
     }
 
     #[test]

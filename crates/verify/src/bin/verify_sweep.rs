@@ -11,8 +11,11 @@
 //! ε-DP, the price-channel truthfulness bound, and — on uncertain-tasks
 //! instances — the Monte Carlo chance-constraint check (empirical
 //! shortfall within every `γ_j` at the Wilson fence) plus the `p = 1`
-//! degenerate reduction across every strategy. Any violation prints a
-//! minimized counterexample and exits 1.
+//! degenerate reduction across every strategy, and — on
+//! adversarial-campaign instances — the multi-round lifecycle
+//! differential against the legacy campaign loop plus an audited
+//! adversarial campaign with zero price-channel ε violations. Any
+//! violation prints a minimized counterexample and exits 1.
 //!
 //! `--shape` pins every iteration to one generator shape (by its
 //! [`Shape::name`], e.g. `large-sparse`) instead of cycling through all
@@ -21,6 +24,7 @@
 
 use std::process::ExitCode;
 
+use mcs_verify::campaign::{self, CampaignStats};
 use mcs_verify::chance::{self, ChanceStats};
 use mcs_verify::differential::{check_instance, DiffStats};
 use mcs_verify::dp::{
@@ -60,6 +64,7 @@ fn main() -> ExitCode {
     let mut truth = TruthfulnessStats::default();
     let mut online = OnlineStats::default();
     let mut chance_stats = ChanceStats::default();
+    let mut campaign_stats = CampaignStats::default();
     for i in 0..args.iters {
         let shape = args
             .shape
@@ -127,6 +132,19 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        // Every adversarial-campaign instance gets the multi-round
+        // differential (lifecycle engine vs the legacy oracle, known and
+        // re-estimated skills) plus one audited adversarial campaign.
+        if shape == Shape::AdversarialCampaign {
+            let epsilon = EPSILONS[(i % EPSILONS.len() as u64) as usize];
+            match campaign::check_campaign(&instance, epsilon, seed) {
+                Ok(stats) => campaign_stats.merge(&stats),
+                Err(message) => {
+                    eprintln!("campaign check failed (seed {seed}, ε = {epsilon}): {message}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         if dp_eligible && i % 25 == 0 {
             let epsilon = EPSILONS[(i / 25 % EPSILONS.len() as u64) as usize];
             match truthfulness_probe(&instance, epsilon, seed) {
@@ -190,6 +208,17 @@ fn main() -> ExitCode {
     println!(
         "chance-constraint: {} instances MC-checked ({} samples each, z = {WILSON_Z}), max shortfall/γ {:.3}, max analytic bound {:.4}",
         chance_stats.checked, chance_stats.samples, chance_stats.max_rate_ratio, chance_stats.max_analytic_bound
+    );
+    println!(
+        "campaign: {} benign campaigns byte-identical to the legacy loop ({} rounds, {} fallbacks), {} audited adversarial campaigns ok ({} neighbour pairs, {} support shifts, max log-ratio {:.4}, {} bans)",
+        campaign_stats.equivalence_pairs,
+        campaign_stats.rounds_compared,
+        campaign_stats.fallback_rounds,
+        campaign_stats.audited_campaigns,
+        campaign_stats.audit_neighbours,
+        campaign_stats.audit_support_shifts,
+        campaign_stats.max_audit_log_ratio,
+        campaign_stats.banned_workers
     );
     println!(
         "statistical DP ({} samples/profile, z = {WILSON_Z}):",

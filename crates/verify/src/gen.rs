@@ -61,11 +61,18 @@ pub enum Shape {
     /// `Σ p·q` — feasible under uncertainty by construction, with real
     /// headroom for the Monte Carlo shortfall checker to exercise.
     UncertainTasks,
+    /// Campaign regime: a redundant mid-sized pool (12–20 workers over
+    /// 1–4 tasks, requirements at 30–60% of attainable, same body as
+    /// [`Shape::OnlineArrivals`] on its own stream) so a multi-round
+    /// campaign's reputation gate can ban colluding workers and the
+    /// survivors usually still cover — the shape the campaign
+    /// differential and ε-DP price-channel audit run against.
+    AdversarialCampaign,
 }
 
 impl Shape {
     /// Every shape, in a fixed order (sweeps cycle through this).
-    pub const ALL: [Shape; 9] = [
+    pub const ALL: [Shape; 10] = [
         Shape::Uniform,
         Shape::SkewedSkills,
         Shape::DegenerateBundles,
@@ -75,11 +82,13 @@ impl Shape {
         Shape::ManyWorkers,
         Shape::OnlineArrivals,
         Shape::UncertainTasks,
+        Shape::AdversarialCampaign,
     ];
 
     /// The small structural shapes (everything but the scaling shapes
-    /// [`Shape::LargeSparse`] / [`Shape::ManyWorkers`] and the
-    /// streaming-specific [`Shape::OnlineArrivals`]): debug-mode unit
+    /// [`Shape::LargeSparse`] / [`Shape::ManyWorkers`] and the mid-sized
+    /// regime-specific [`Shape::OnlineArrivals`] /
+    /// [`Shape::AdversarialCampaign`]): debug-mode unit
     /// tests iterate these densely and cover the scaling shapes with
     /// dedicated few-seed smoke tests, because a full scaling instance is
     /// ~1000× the work of a small one. [`Shape::UncertainTasks`] rides
@@ -107,6 +116,7 @@ impl Shape {
             Shape::ManyWorkers => 0x5348_0006,
             Shape::OnlineArrivals => 0x5348_0007,
             Shape::UncertainTasks => 0x5348_0008,
+            Shape::AdversarialCampaign => 0x5348_0009,
         }
     }
 
@@ -122,6 +132,7 @@ impl Shape {
             Shape::ManyWorkers => "many-workers",
             Shape::OnlineArrivals => "online-arrivals",
             Shape::UncertainTasks => "uncertain-tasks",
+            Shape::AdversarialCampaign => "adversarial-campaign",
         }
     }
 
@@ -153,9 +164,10 @@ pub fn generate(shape: Shape, seed: u64) -> Instance {
     if shape == Shape::UncertainTasks {
         return uncertain_tasks_with(&mut rng);
     }
-    let num_workers = if shape == Shape::OnlineArrivals {
-        // Enough redundancy that a 25% observation prefix can usually
-        // cover the requirements by itself.
+    let num_workers = if matches!(shape, Shape::OnlineArrivals | Shape::AdversarialCampaign) {
+        // Enough redundancy that a 25% observation prefix (online) or a
+        // reputation-gated sub-pool (campaign) can usually cover the
+        // requirements by itself.
         rng.gen_range(12usize..=20)
     } else {
         rng.gen_range(4usize..=10)
@@ -182,7 +194,7 @@ pub fn generate(shape: Shape, seed: u64) -> Instance {
                 .sum();
             let factor = match shape {
                 Shape::InfeasibleCoverage => 1.5,
-                Shape::OnlineArrivals => rng.gen_range(0.3..0.6),
+                Shape::OnlineArrivals | Shape::AdversarialCampaign => rng.gen_range(0.3..0.6),
                 _ => rng.gen_range(0.3..0.9),
             };
             // Attainable coverage is strictly positive by construction
@@ -657,6 +669,21 @@ mod tests {
                     .expect("uncertain task carries a shortfall bound");
                 assert!((0.0..1.0).contains(&gamma), "seed {seed} task {j}");
             }
+        }
+    }
+
+    #[test]
+    fn adversarial_campaign_pool_is_mid_sized_and_feasible() {
+        for seed in 0..20u64 {
+            let inst = generate(Shape::AdversarialCampaign, seed);
+            assert!(
+                (12..=20).contains(&inst.num_workers()),
+                "seed {seed}: pool of {}",
+                inst.num_workers()
+            );
+            inst.coverage_problem()
+                .check_feasible()
+                .unwrap_or_else(|e| panic!("seed {seed} should be feasible: {e}"));
         }
     }
 

@@ -18,6 +18,11 @@
 //!   incremental hindsight pricer must agree with from-scratch residual
 //!   builds at every arrival, and its posted-price channel must satisfy
 //!   the exact ε-DP log-ratio bound.
+//! * [`campaign`] — the multi-round lifecycle engine must reproduce the
+//!   legacy campaign loop byte-for-byte on benign inputs (reports,
+//!   payments, and RNG stream position), and its per-round ε-DP audit
+//!   must find zero price-channel violations even on adversarial,
+//!   reputation-gated campaigns auctioning on estimated skills.
 //! * [`fuzz`] — the service wire decoder must never panic on arbitrary
 //!   bytes, and every accepted document must survive a
 //!   decode → encode → decode round trip unchanged.
@@ -35,6 +40,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod campaign;
 pub mod chance;
 pub mod differential;
 pub mod dp;

@@ -1,0 +1,168 @@
+//! Campaign-lifecycle differential: the refactored engine against the
+//! legacy loop, across every winner-determination strategy and both
+//! mechanisms.
+//!
+//! The refactor's byte-identity claim must hold whatever schedule engine
+//! fills the winner sets, because strategy equivalence and campaign
+//! equivalence compose: each (strategy, mechanism) pair runs the full
+//! legacy oracle and the lifecycle engine from the same seed and demands
+//! identical reports and an identical RNG stream position afterwards.
+
+use rand::Rng;
+
+use mcs_auction::{BaselineAuction, DpHsrcAuction, Strategy};
+use mcs_num::rng;
+use mcs_sim::campaign::{
+    run_campaign, AdversaryGroup, AdversaryPlan, AdversaryStrategy, CampaignSpec, SkillSource,
+};
+use mcs_verify::campaign::{check_adversarial, check_equivalence, truthful_types};
+use mcs_verify::gen::{generate, Shape};
+
+/// Privacy budgets cycled across seeds.
+const EPSILONS: [f64; 3] = [0.1, 0.5, 2.0];
+
+/// ≥ 100 seeds, cycling the full (strategy × mechanism × skill-source)
+/// matrix: with 7 strategies and 2 mechanisms each combination is hit by
+/// 8 different seeds, half with known and half with re-estimated skills.
+#[test]
+fn benign_campaigns_match_legacy_across_strategies_and_mechanisms() {
+    let configs = Strategy::ALL.len() * 2;
+    let seeds = 8 * configs as u64; // 112
+    for seed in 0..seeds {
+        let strategy = Strategy::ALL[seed as usize % Strategy::ALL.len()];
+        let use_baseline = (seed as usize / Strategy::ALL.len()) % 2 == 1;
+        let reestimate = (seed / configs as u64) % 2 == 1;
+        let epsilon = EPSILONS[seed as usize % EPSILONS.len()];
+        let instance = generate(Shape::AdversarialCampaign, seed);
+        let result = if use_baseline {
+            let mechanism = BaselineAuction::new(epsilon)
+                .expect("valid ε")
+                .with_strategy(strategy);
+            check_equivalence(&mechanism, reestimate, &instance, seed)
+        } else {
+            let mechanism = DpHsrcAuction::new(epsilon)
+                .expect("valid ε")
+                .with_strategy(strategy);
+            check_equivalence(&mechanism, reestimate, &instance, seed)
+        };
+        result.unwrap_or_else(|m| {
+            panic!(
+                "seed {seed} ({:?}, {}, {} skills, ε = {epsilon}): {m}",
+                strategy,
+                if use_baseline { "baseline" } else { "dp-hsrc" },
+                if reestimate { "re-estimated" } else { "known" },
+            )
+        });
+    }
+}
+
+/// The audited adversarial campaign holds its ε-DP price-channel
+/// guarantee under both mechanisms.
+#[test]
+fn adversarial_audit_passes_under_both_mechanisms() {
+    for seed in 0..8u64 {
+        let instance = generate(Shape::AdversarialCampaign, seed);
+        let epsilon = EPSILONS[seed as usize % EPSILONS.len()];
+        let dp = DpHsrcAuction::new(epsilon).expect("valid ε");
+        check_adversarial(&dp, &instance, seed)
+            .unwrap_or_else(|m| panic!("seed {seed} dp-hsrc: {m}"));
+        let baseline = BaselineAuction::new(epsilon).expect("valid ε");
+        check_adversarial(&baseline, &instance, seed)
+            .unwrap_or_else(|m| panic!("seed {seed} baseline: {m}"));
+    }
+}
+
+/// A benign spec run through the public `run_campaign` with each
+/// strategy produces the *same* outcome as the default strategy: the
+/// winner-determination strategy is a cost profile, never a behaviour
+/// change, even across a full multi-round campaign.
+#[test]
+fn strategies_are_outcome_invisible_across_a_campaign() {
+    for seed in 0..6u64 {
+        let instance = generate(Shape::AdversarialCampaign, seed);
+        let types = truthful_types(&instance);
+        let spec = CampaignSpec::benign(3);
+        let reference = {
+            let mechanism = DpHsrcAuction::new(0.5).expect("valid ε");
+            let mut r = rng::derived(seed, 0x51);
+            run_campaign(&spec, &mechanism, &instance, &types, &mut r).expect("campaign runs")
+        };
+        for strategy in Strategy::ALL {
+            let mechanism = DpHsrcAuction::new(0.5)
+                .expect("valid ε")
+                .with_strategy(strategy);
+            let mut r = rng::derived(seed, 0x51);
+            let outcome =
+                run_campaign(&spec, &mechanism, &instance, &types, &mut r).expect("campaign runs");
+            assert_eq!(outcome, reference, "seed {seed} strategy {strategy:?}");
+        }
+    }
+}
+
+/// Sleeper rings are benign until their turn round: a campaign whose
+/// sleeper never wakes (honest_rounds ≥ rounds) is byte-identical to a
+/// campaign with no adversaries at all, and both leave the main RNG in
+/// the same position — the adversary machinery draws only from its own
+/// derived streams while dormant.
+#[test]
+fn dormant_sleepers_are_byte_invisible() {
+    for seed in 0..10u64 {
+        let instance = generate(Shape::AdversarialCampaign, seed);
+        let types = truthful_types(&instance);
+        let mechanism = DpHsrcAuction::new(0.5).expect("valid ε");
+        let benign = CampaignSpec::benign(3);
+        let dormant = CampaignSpec {
+            adversaries: AdversaryPlan {
+                groups: vec![AdversaryGroup {
+                    members: vec![mcs_types::WorkerId(0), mcs_types::WorkerId(1)],
+                    strategy: AdversaryStrategy::Sleeper { honest_rounds: 3 },
+                }],
+                seed,
+            },
+            ..CampaignSpec::benign(3)
+        };
+        let mut r_benign = rng::derived(seed, 0x52);
+        let mut r_dormant = rng::derived(seed, 0x52);
+        let a = run_campaign(&benign, &mechanism, &instance, &types, &mut r_benign)
+            .expect("benign campaign runs");
+        let b = run_campaign(&dormant, &mechanism, &instance, &types, &mut r_dormant)
+            .expect("dormant campaign runs");
+        assert_eq!(a, b, "seed {seed}");
+        assert_eq!(
+            r_benign.gen::<u64>(),
+            r_dormant.gen::<u64>(),
+            "seed {seed}: RNG streams diverged"
+        );
+    }
+}
+
+/// Re-estimated skills genuinely change the campaign (the differential
+/// would be vacuous if `SkillSource::RefitEachRound` collapsed onto
+/// `Known`): across a pool of seeds, at least one campaign must differ
+/// between the two sources.
+#[test]
+fn skill_sources_are_not_vacuously_identical() {
+    let mechanism = DpHsrcAuction::new(0.5).expect("valid ε");
+    let mut any_differ = false;
+    for seed in 0..10u64 {
+        let instance = generate(Shape::AdversarialCampaign, seed);
+        let types = truthful_types(&instance);
+        let known = CampaignSpec::benign(3);
+        let refit = CampaignSpec {
+            skills: SkillSource::RefitEachRound,
+            ..CampaignSpec::benign(3)
+        };
+        let mut r1 = rng::derived(seed, 0x53);
+        let mut r2 = rng::derived(seed, 0x53);
+        let a = run_campaign(&known, &mechanism, &instance, &types, &mut r1).expect("runs");
+        let b = run_campaign(&refit, &mechanism, &instance, &types, &mut r2).expect("runs");
+        if a.rounds != b.rounds || a.final_skill_error != b.final_skill_error {
+            any_differ = true;
+            break;
+        }
+    }
+    assert!(
+        any_differ,
+        "re-estimated campaigns never diverged from known-skill campaigns"
+    );
+}
